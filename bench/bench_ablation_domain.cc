@@ -1,0 +1,40 @@
+// EXP-A2 — ablation of the feature-space projection (Section IV-E
+// "Domain Adaption"): SLAMPRED with the Theorem-1 projection vs. the
+// passthrough that transfers raw source features through the anchors
+// with no adaptation — the transfer style of the PL/SCAN baselines.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace slampred;
+  bench::Banner("Ablation A2",
+                "feature-space projection vs raw-feature transfer");
+
+  const GeneratedAligned generated = bench::MakeBundle();
+  const ExperimentOptions base = bench::MakeOptions();
+
+  TablePrinter table({"transfer mode", "anchor ratio", "AUC",
+                      "Precision@100"});
+  for (bool adapt : {true, false}) {
+    ExperimentOptions options = base;
+    options.slampred.domain_adaptation = adapt;
+    auto runner = ExperimentRunner::Create(generated.networks, options);
+    SLAMPRED_CHECK(runner.ok()) << runner.status().ToString();
+    for (double ratio : {0.5, 1.0}) {
+      auto run = runner.value().RunMethod(MethodId::kSlamPred, ratio);
+      SLAMPRED_CHECK(run.ok()) << run.status().ToString();
+      const MethodResult& result = run.value();
+      table.AddRow({adapt ? "Theorem-1 projection" : "raw passthrough",
+                    FormatDouble(ratio, 1),
+                    FormatMeanStd(result.auc.mean, result.auc.std),
+                    FormatMeanStd(result.precision.mean,
+                                  result.precision.std)});
+    }
+  }
+  std::printf("%s", table.ToString().c_str());
+  return 0;
+}

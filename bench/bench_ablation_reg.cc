@@ -1,0 +1,67 @@
+// EXP-A1 — ablation of the sparse (γ‖S‖₁) and low-rank (τ‖S‖_*)
+// regularizers (Section IV-E "Regularization"): a 2x2 on/off grid plus a
+// strong-sparsity point demonstrating the paper's claim that the
+// regularization combats class imbalance (it trades broad AUC for
+// top-of-the-ranking precision).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace slampred;
+  bench::Banner("Ablation A1",
+                "sparse and low-rank regularization contributions");
+
+  const GeneratedAligned generated = bench::MakeBundle();
+  const ExperimentOptions base = bench::MakeOptions();
+
+  struct Cell {
+    const char* label;
+    double gamma;
+    double tau;
+  };
+  const std::vector<Cell> grid = {
+      {"no regularization", 0.0, 0.0},
+      {"sparse only (gamma)", 0.3, 0.0},
+      {"low-rank only (tau)", 0.0, 6.0},
+      {"sparse + low-rank (default)", 0.3, 6.0},
+      {"strong sparsity (gamma x6)", 2.0, 6.0},
+  };
+
+  TablePrinter table({"configuration", "gamma", "tau", "AUC",
+                      "Precision@100", "score sparsity"});
+  for (const Cell& cell : grid) {
+    ExperimentOptions options = base;
+    options.slampred.gamma = cell.gamma;
+    options.slampred.tau = cell.tau;
+    auto runner = ExperimentRunner::Create(generated.networks, options);
+    SLAMPRED_CHECK(runner.ok()) << runner.status().ToString();
+    auto run = runner.value().RunMethod(MethodId::kSlamPred, 1.0);
+    SLAMPRED_CHECK(run.ok()) << run.status().ToString();
+    const MethodResult& result = run.value();
+
+    // Fraction of exactly-zero entries in one fitted score matrix (the
+    // sparsity the γ term is there to produce).
+    const SocialGraph full_graph = SocialGraph::FromHeterogeneousNetwork(
+        generated.networks.target());
+    SlamPred model(options.slampred);
+    SLAMPRED_CHECK(model.Fit(generated.networks, full_graph).ok());
+    const double sparsity = model.ScoreMatrix().Sparsity();
+
+    table.AddRow({cell.label, FormatDouble(cell.gamma, 1),
+                  FormatDouble(cell.tau, 1),
+                  FormatMeanStd(result.auc.mean, result.auc.std),
+                  FormatMeanStd(result.precision.mean, result.precision.std),
+                  FormatDouble(sparsity, 3)});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "\nExpected shape: regularizers improve Precision@100; strong\n"
+      "sparsity pushes precision further at AUC's expense (the paper's\n"
+      "class-imbalance argument).\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Shared scaffolding for the experiment benches: default bundle, default
+// harness options, and environment-variable overrides so a user can
+// scale experiments up (e.g. SLAMPRED_BENCH_FOLDS=5) without rebuilding.
+
+#ifndef SLAMPRED_BENCH_BENCH_COMMON_H_
+#define SLAMPRED_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "datagen/aligned_generator.h"
+#include "eval/experiment.h"
+#include "util/logging.h"
+
+namespace slampred {
+namespace bench {
+
+/// Reads a positive integer from the environment, defaulting otherwise.
+inline std::size_t EnvSize(const char* name, std::size_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  const long parsed = std::strtol(value, nullptr, 10);
+  return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
+}
+
+/// Reads a seed from SLAMPRED_BENCH_SEED (default 42).
+inline std::uint64_t EnvSeed() {
+  return static_cast<std::uint64_t>(EnvSize("SLAMPRED_BENCH_SEED", 42));
+}
+
+/// Generates the default experiment bundle used by every bench.
+inline GeneratedAligned MakeBundle() {
+  auto generated = GenerateAligned(DefaultExperimentConfig(EnvSeed()));
+  SLAMPRED_CHECK(generated.ok()) << generated.status().ToString();
+  return std::move(generated).value();
+}
+
+/// Harness options matching Section IV's protocol, scaled to run in
+/// minutes on one core. SLAMPRED_BENCH_FOLDS=5 restores the paper's
+/// 5-fold split.
+inline ExperimentOptions MakeOptions() {
+  ExperimentOptions options;
+  options.num_folds = EnvSize("SLAMPRED_BENCH_FOLDS", 3);
+  options.negatives_per_positive = 5.0;
+  options.precision_k = 100;
+  options.slampred.optimization.inner.max_iterations =
+      static_cast<int>(EnvSize("SLAMPRED_BENCH_INNER", 60));
+  options.slampred.optimization.max_outer_iterations = 2;
+  options.seed = 123;
+  return options;
+}
+
+/// Prints the standard bench banner.
+inline void Banner(const char* experiment_id, const char* description) {
+  std::printf("=== %s: %s ===\n", experiment_id, description);
+  std::printf("(synthetic aligned networks; see DESIGN.md for the\n");
+  std::printf(" dataset substitution rationale. Shapes, not absolute\n");
+  std::printf(" values, are the comparison target.)\n\n");
+}
+
+}  // namespace bench
+}  // namespace slampred
+
+#endif  // SLAMPRED_BENCH_BENCH_COMMON_H_

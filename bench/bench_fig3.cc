@@ -1,0 +1,63 @@
+// EXP-F3 — reproduces Figure 3: convergence of the iterative CCCP.
+// Plots (as printed series + CSV) the ℓ₁ norm of the iterate ‖S^h‖₁ and
+// of its change ‖S^h − S^{h−1}‖₁ per proximal step, in the paper's
+// small-learning-rate regime (θ = 0.001, hundreds of iterations).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/slampred.h"
+#include "eval/link_split.h"
+#include "util/csv_writer.h"
+#include "util/string_util.h"
+
+int main() {
+  using namespace slampred;
+  bench::Banner("Figure 3", "convergence analysis of the iterative CCCP");
+
+  const GeneratedAligned generated = bench::MakeBundle();
+  const SocialGraph full_graph =
+      SocialGraph::FromHeterogeneousNetwork(generated.networks.target());
+  Rng rng(7);
+  auto folds = SplitLinks(full_graph, 5, rng);
+  SLAMPRED_CHECK(folds.ok()) << folds.status().ToString();
+  const SocialGraph train_graph =
+      full_graph.WithEdgesRemoved(folds.value()[0].test_edges);
+
+  SlamPredConfig config;
+  // Small-step regime as in the paper's Figure 3 (their θ = 0.001 pairs
+  // with an unnormalised loss; 0.01 reaches the same stationary point on
+  // this library's normalised objective within the plotted window).
+  config.optimization.inner.theta =
+      bench::EnvSize("SLAMPRED_BENCH_FIG3_THETA_MILLI", 10) / 1000.0;
+  config.optimization.inner.max_iterations =
+      static_cast<int>(bench::EnvSize("SLAMPRED_BENCH_FIG3_STEPS", 400));
+  config.optimization.inner.tol = 0.0;  // Record the full series.
+  config.optimization.max_outer_iterations = 1;
+
+  SlamPred model(config);
+  const Status fit = model.Fit(generated.networks, train_graph);
+  SLAMPRED_CHECK(fit.ok()) << fit.ToString();
+  const auto& trace = model.trace().steps;
+
+  CsvWriter csv({"iteration", "s_norm_l1", "s_change_l1"});
+  std::printf("iteration   ||S^h||_1    ||S^h - S^(h-1)||_1\n");
+  for (std::size_t h = 0; h < trace.s_norm_l1.size(); ++h) {
+    csv.AddNumericRow({static_cast<double>(h + 1), trace.s_norm_l1[h],
+                       trace.s_change_l1[h]});
+    if ((h + 1) % 25 == 0 || h == 0) {
+      std::printf("%9zu   %9.2f    %.4f\n", h + 1, trace.s_norm_l1[h],
+                  trace.s_change_l1[h]);
+    }
+  }
+
+  const double first = trace.s_change_l1.front();
+  const double last = trace.s_change_l1.back();
+  std::printf("\nchange shrank from %.3f to %.5f over %zu steps "
+              "(paper: converges within ~300 iterations)\n",
+              first, last, trace.s_change_l1.size());
+  if (csv.WriteToFile("fig3_convergence.csv").ok()) {
+    std::printf("raw series written to fig3_convergence.csv\n");
+  }
+  return 0;
+}

@@ -1,0 +1,85 @@
+// EXP-F4 / EXP-F5 — reproduces Figures 4 and 5: sensitivity of SLAMPRED
+// to the intimacy-term weights.
+//   Figure 4: sweep α_s with α_t fixed at 0.0 and 1.0.
+//   Figure 5: sweep α_t with α_s fixed at 0.0 and 1.0.
+// The sweep extends past the paper's [0, 1] grid to 2.0 so the
+// "too-large weight overfits the attribute information" regime
+// (Section IV-D2) is visible.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "util/csv_writer.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace slampred;
+
+// Runs SLAMPRED across all folds for one (α_t, α_s) pair.
+MethodResult RunWeighted(const GeneratedAligned& generated,
+                         const ExperimentOptions& base, double alpha_t,
+                         double alpha_s) {
+  ExperimentOptions options = base;
+  options.slampred.alpha_target = alpha_t;
+  options.slampred.alpha_sources = {alpha_s};
+  auto runner = ExperimentRunner::Create(generated.networks, options);
+  SLAMPRED_CHECK(runner.ok()) << runner.status().ToString();
+  auto result = runner.value().RunMethod(MethodId::kSlamPred, 1.0);
+  SLAMPRED_CHECK(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+void Sweep(const char* figure, const char* swept, const char* fixed,
+           bool sweep_alpha_s, const GeneratedAligned& generated,
+           const ExperimentOptions& options, CsvWriter& csv) {
+  std::printf("--- %s: sweep %s with fixed %s ---\n", figure, swept, fixed);
+  const std::vector<double> sweep_values = {0.0, 0.2, 0.5, 1.0, 1.5, 2.0};
+  for (double fixed_value : {0.0, 1.0}) {
+    TablePrinter table({swept, "AUC", "Precision@100"});
+    for (double value : sweep_values) {
+      const double alpha_t = sweep_alpha_s ? fixed_value : value;
+      const double alpha_s = sweep_alpha_s ? value : fixed_value;
+      const MethodResult result =
+          RunWeighted(generated, options, alpha_t, alpha_s);
+      table.AddRow({FormatDouble(value, 1),
+                    FormatMeanStd(result.auc.mean, result.auc.std),
+                    FormatMeanStd(result.precision.mean,
+                                  result.precision.std)});
+      csv.AddRow({figure, FormatDouble(alpha_t, 2), FormatDouble(alpha_s, 2),
+                  FormatDouble(result.auc.mean, 4),
+                  FormatDouble(result.precision.mean, 4)});
+    }
+    std::printf("%s = %.1f:\n", fixed, fixed_value);
+    std::printf("%s", table.ToString().c_str());
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("Figures 4 & 5",
+                "parameter analysis of the intimacy weights α_t, α_s");
+
+  const GeneratedAligned generated = bench::MakeBundle();
+  ExperimentOptions options = bench::MakeOptions();
+  // Sweeps run 24 full SLAMPRED fits per figure; a slightly shorter
+  // inner loop keeps the bench in the minutes range without moving the
+  // curve shapes.
+  options.slampred.optimization.inner.max_iterations =
+      static_cast<int>(bench::EnvSize("SLAMPRED_BENCH_FIG45_INNER", 40));
+
+  CsvWriter csv({"figure", "alpha_t", "alpha_s", "auc", "precision"});
+  Sweep("Figure 4", "alpha_s", "alpha_t", /*sweep_alpha_s=*/true, generated,
+        options, csv);
+  Sweep("Figure 5", "alpha_t", "alpha_s", /*sweep_alpha_s=*/false, generated,
+        options, csv);
+
+  if (csv.WriteToFile("fig45_parameters.csv").ok()) {
+    std::printf("raw series written to fig45_parameters.csv\n");
+  }
+  return 0;
+}

@@ -1,0 +1,152 @@
+// EXP-M — google-benchmark micro-benchmarks of the numerical kernels the
+// experiments spend their time in: GEMM, SVD, symmetric eigen, the two
+// proximal operators, feature extraction and AUC computation.
+
+#include <benchmark/benchmark.h>
+
+#include "datagen/aligned_generator.h"
+#include "eval/metrics.h"
+#include "features/structural_features.h"
+#include "linalg/matrix.h"
+#include "linalg/randomized_svd.h"
+#include "linalg/svd.h"
+#include "linalg/symmetric_eigen.h"
+#include "optim/proximal.h"
+#include "util/random.h"
+
+namespace slampred {
+namespace {
+
+Matrix RandomMatrix(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  return Matrix::RandomGaussian(n, n, rng);
+}
+
+void BM_Gemm(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const Matrix a = RandomMatrix(n, 1);
+  const Matrix b = RandomMatrix(n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a * b);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128)->Complexity();
+
+void BM_Svd(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const Matrix a = RandomMatrix(n, 3);
+  for (auto _ : state) {
+    auto svd = ComputeSvd(a);
+    benchmark::DoNotOptimize(svd);
+  }
+}
+BENCHMARK(BM_Svd)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_SymmetricEigen(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const Matrix a = RandomMatrix(n, 4).Symmetrized();
+  for (auto _ : state) {
+    auto eig = ComputeSymmetricEigen(a);
+    benchmark::DoNotOptimize(eig);
+  }
+}
+BENCHMARK(BM_SymmetricEigen)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_ProxL1(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const Matrix s = RandomMatrix(n, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ProxL1(s, 0.1));
+  }
+}
+BENCHMARK(BM_ProxL1)->Arg(64)->Arg(256);
+
+void BM_ProxNuclearSymmetric(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const Matrix s = RandomMatrix(n, 6).Symmetrized();
+  for (auto _ : state) {
+    auto prox = ProxNuclearSymmetric(s, 0.1);
+    benchmark::DoNotOptimize(prox);
+  }
+}
+BENCHMARK(BM_ProxNuclearSymmetric)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_ProxNuclearRandomized(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  // Near-low-rank input: the regime where the sketch pays off.
+  Rng rng(7);
+  const Matrix u = Matrix::RandomGaussian(n, 8, rng);
+  Matrix s(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double sum = 0.0;
+      for (std::size_t r = 0; r < 8; ++r) sum += u(i, r) * u(j, r);
+      s(i, j) = sum;
+    }
+  }
+  RandomizedSvdOptions options;
+  options.rank = 16;
+  for (auto _ : state) {
+    auto prox = ProxNuclearRandomized(s, 0.1, options);
+    benchmark::DoNotOptimize(prox);
+  }
+}
+BENCHMARK(BM_ProxNuclearRandomized)->Arg(64)->Arg(128)->Arg(256);
+
+SocialGraph BenchGraph(std::size_t n) {
+  Rng rng(7);
+  SocialGraph g(n);
+  const std::size_t edges = n * 3;
+  while (g.num_edges() < edges) {
+    g.AddEdge(rng.NextBounded(n), rng.NextBounded(n));
+  }
+  return g;
+}
+
+void BM_CommonNeighbors(benchmark::State& state) {
+  const SocialGraph g = BenchGraph(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CommonNeighborsMap(g));
+  }
+}
+BENCHMARK(BM_CommonNeighbors)->Arg(128)->Arg(256);
+
+void BM_TruncatedKatz(benchmark::State& state) {
+  const SocialGraph g = BenchGraph(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TruncatedKatzMap(g));
+  }
+}
+BENCHMARK(BM_TruncatedKatz)->Arg(64)->Arg(128);
+
+void BM_Auc(benchmark::State& state) {
+  Rng rng(9);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> scores(n);
+  std::vector<int> labels(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scores[i] = rng.NextDouble();
+    labels[i] = rng.NextBernoulli(0.2) ? 1 : 0;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeAuc(scores, labels));
+  }
+}
+BENCHMARK(BM_Auc)->Arg(1000)->Arg(10000);
+
+void BM_GenerateBundle(benchmark::State& state) {
+  for (auto _ : state) {
+    AlignedGeneratorConfig config = DefaultExperimentConfig(11);
+    config.population.num_personas =
+        static_cast<std::size_t>(state.range(0));
+    auto generated = GenerateAligned(config);
+    benchmark::DoNotOptimize(generated);
+  }
+}
+BENCHMARK(BM_GenerateBundle)->Arg(60)->Arg(120);
+
+}  // namespace
+}  // namespace slampred
+
+BENCHMARK_MAIN();

@@ -1,0 +1,46 @@
+// EXP-T1 — reproduces Table I: properties of the heterogeneous networks
+// (node and link counts per type for the target and source networks).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "graph/heterogeneous_network.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace slampred;
+  bench::Banner("Table I", "properties of the heterogeneous networks");
+
+  const GeneratedAligned generated = bench::MakeBundle();
+  const HeterogeneousNetwork& target = generated.networks.target();
+  const HeterogeneousNetwork& source = generated.networks.source(0);
+
+  auto count = [](const HeterogeneousNetwork& net, NodeType type) {
+    return std::to_string(net.NumNodes(type));
+  };
+  auto edges = [](const HeterogeneousNetwork& net, EdgeType type) {
+    return std::to_string(net.NumEdges(type));
+  };
+
+  TablePrinter table({"", "property", target.name(), source.name()});
+  table.AddRow({"# node", "user", count(target, NodeType::kUser),
+                count(source, NodeType::kUser)});
+  table.AddRow({"", "tweet/tip", count(target, NodeType::kPost),
+                count(source, NodeType::kPost)});
+  table.AddRow({"", "location", count(target, NodeType::kLocation),
+                count(source, NodeType::kLocation)});
+  table.AddRow({"# link", "friend/follow", edges(target, EdgeType::kFriend),
+                edges(source, EdgeType::kFriend)});
+  table.AddRow({"", "write", edges(target, EdgeType::kWrite),
+                edges(source, EdgeType::kWrite)});
+  table.AddRow({"", "locate", edges(target, EdgeType::kCheckin),
+                edges(source, EdgeType::kCheckin)});
+  std::printf("%s", table.ToString().c_str());
+
+  std::printf("\nanchor links (shared users): %zu\n",
+              generated.networks.anchors(0).size());
+  std::printf("target density: %.4f, source density: %.4f\n",
+              SocialGraph::FromHeterogeneousNetwork(target).Density(),
+              SocialGraph::FromHeterogeneousNetwork(source).Density());
+  return 0;
+}

@@ -1,0 +1,89 @@
+// EXP-T2 — reproduces Table II: AUC and Precision@100 of all twelve
+// methods across anchor-link sampling ratios 0.0 … 1.0.
+//
+// Methods that ignore the source networks are evaluated once and their
+// row repeated, exactly as their columns repeat in the paper's table.
+//
+// Environment knobs: SLAMPRED_BENCH_FOLDS (default 3; paper uses 5),
+// SLAMPRED_BENCH_RATIO_STEP (default 2 → ratios 0.0, 0.2, …; set 1 for
+// the paper's full 0.1 grid), SLAMPRED_BENCH_SEED.
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench_common.h"
+#include "util/csv_writer.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace slampred;
+  bench::Banner("Table II",
+                "method comparison across anchor link sampling ratios");
+
+  const GeneratedAligned generated = bench::MakeBundle();
+  const ExperimentOptions options = bench::MakeOptions();
+  auto runner = ExperimentRunner::Create(generated.networks, options);
+  SLAMPRED_CHECK(runner.ok()) << runner.status().ToString();
+
+  const std::size_t step = bench::EnvSize("SLAMPRED_BENCH_RATIO_STEP", 2);
+  std::vector<double> ratios;
+  for (std::size_t tick = 0; tick <= 10; tick += step) {
+    ratios.push_back(static_cast<double>(tick) / 10.0);
+  }
+
+  std::vector<std::string> headers = {"measure", "method"};
+  for (double r : ratios) headers.push_back(FormatDouble(r, 1));
+  TablePrinter auc_table(headers);
+  TablePrinter precision_table(headers);
+  CsvWriter csv({"method", "ratio", "auc_mean", "auc_std",
+                 "precision_mean", "precision_std"});
+
+  Stopwatch total;
+  for (MethodId method : AllMethods()) {
+    std::vector<std::string> auc_row = {"AUC", MethodIdName(method)};
+    std::vector<std::string> precision_row = {"P@100",
+                                              MethodIdName(method)};
+    // Ratio-independent methods: evaluate once, repeat the cell.
+    std::map<int, MethodResult> cache;
+    for (double ratio : ratios) {
+      const int key = MethodUsesSources(method)
+                          ? static_cast<int>(ratio * 1000)
+                          : -1;
+      if (cache.find(key) == cache.end()) {
+        Stopwatch watch;
+        auto result = runner.value().RunMethod(method, ratio);
+        SLAMPRED_CHECK(result.ok())
+            << MethodIdName(method) << ": " << result.status().ToString();
+        std::fprintf(stderr, "  %-10s ratio %.1f  auc %.3f  (%.1fs)\n",
+                     MethodIdName(method), ratio, result.value().auc.mean,
+                     watch.ElapsedSeconds());
+        cache.emplace(key, std::move(result).value());
+      }
+      const MethodResult& r = cache.at(key);
+      auc_row.push_back(FormatMeanStd(r.auc.mean, r.auc.std));
+      precision_row.push_back(
+          FormatMeanStd(r.precision.mean, r.precision.std));
+      csv.AddRow({MethodIdName(method), FormatDouble(ratio, 1),
+                  FormatDouble(r.auc.mean, 4), FormatDouble(r.auc.std, 4),
+                  FormatDouble(r.precision.mean, 4),
+                  FormatDouble(r.precision.std, 4)});
+    }
+    auc_table.AddRow(auc_row);
+    precision_table.AddRow(precision_row);
+  }
+
+  std::printf("AUC by anchor-link sampling ratio\n");
+  std::printf("%s", auc_table.ToString().c_str());
+  std::printf("\nPrecision@100 by anchor-link sampling ratio\n");
+  std::printf("%s", precision_table.ToString().c_str());
+  std::printf("\ntotal time: %.1fs\n", total.ElapsedSeconds());
+
+  const Status written = csv.WriteToFile("table2_results.csv");
+  if (written.ok()) {
+    std::printf("raw series written to table2_results.csv\n");
+  }
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Cold-start scenario: the target network is *severely* information
+// sparse — most of its links are unobserved — which is exactly the
+// regime the paper motivates transfer for ("especially when the target
+// network suffers from information sparsity problem", Section III-C).
+//
+// The example sweeps the fraction of observed target links and compares
+// SLAMPRED (with transfer) against SLAMPRED-T (target only): the sparser
+// the target, the larger the transfer gain.
+
+#include <cstdio>
+
+#include "core/slampred.h"
+#include "datagen/aligned_generator.h"
+#include "eval/link_split.h"
+#include "eval/metrics.h"
+#include "util/random.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace slampred;
+
+  auto generated = GenerateAligned(DefaultExperimentConfig(/*seed=*/404));
+  if (!generated.ok()) return 1;
+  const AlignedNetworks& networks = generated.value().networks;
+  const SocialGraph full_graph =
+      SocialGraph::FromHeterogeneousNetwork(networks.target());
+
+  // Fixed held-out test fold (20% of links).
+  Rng rng(13);
+  auto folds = SplitLinks(full_graph, 5, rng);
+  if (!folds.ok()) return 1;
+  const std::vector<UserPair>& test_edges = folds.value()[0].test_edges;
+  auto eval = BuildEvaluationSet(full_graph, test_edges, 5.0, rng);
+  if (!eval.ok()) return 1;
+
+  SlamPredConfig fast;
+  fast.optimization.inner.max_iterations = 60;
+  fast.optimization.max_outer_iterations = 2;
+
+  auto auc_of = [&](const SlamPred& model) {
+    auto scores = model.ScorePairs(eval.value().pairs);
+    return ComputeAuc(scores.value(), eval.value().labels).value_or(0.0);
+  };
+
+  TablePrinter table({"observed target links", "SLAMPRED-T AUC",
+                      "SLAMPRED AUC", "transfer gain"});
+  const std::vector<UserPair> train_pool = folds.value()[0].train_edges;
+  for (double keep : {1.0, 0.6, 0.3, 0.15}) {
+    // Thin the training structure: hide a further fraction of links.
+    Rng thin_rng(17);
+    std::vector<UserPair> pool = train_pool;
+    thin_rng.Shuffle(pool);
+    const std::size_t kept = static_cast<std::size_t>(
+        keep * static_cast<double>(pool.size()));
+    std::vector<UserPair> dropped(pool.begin() + kept, pool.end());
+    // Training graph = full minus test fold minus the thinned links.
+    SocialGraph train_graph = full_graph.WithEdgesRemoved(test_edges);
+    train_graph = train_graph.WithEdgesRemoved(dropped);
+
+    SlamPredConfig t_config = SlamPredTargetOnlyConfig();
+    t_config.optimization = fast.optimization;
+    SlamPred target_only(t_config);
+    if (!target_only.Fit(networks, train_graph).ok()) return 1;
+
+    SlamPred full_model(fast);
+    if (!full_model.Fit(networks, train_graph).ok()) return 1;
+
+    const double auc_t = auc_of(target_only);
+    const double auc_full = auc_of(full_model);
+    table.AddRow({FormatDouble(keep * 100.0, 0) + "% (" +
+                      std::to_string(train_graph.num_edges()) + " links)",
+                  FormatDouble(auc_t, 3), FormatDouble(auc_full, 3),
+                  (auc_full >= auc_t ? "+" : "") +
+                      FormatDouble(auc_full - auc_t, 3)});
+  }
+
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "\nReading: as the observed target structure thins out, the\n"
+      "target-only model degrades while the aligned source keeps\n"
+      "propping SLAMPRED up — the transfer gain widens. This is the\n"
+      "cold-start argument for aligned-network link prediction.\n");
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Cross-network transfer scenario: how much does an aligned source
+// network improve link prediction in the target, and how does that gain
+// scale with the number of anchor links?
+//
+// This is the workload the paper's introduction motivates: a target
+// network whose own signal is limited, aligned with an information-rich
+// source. The example compares SLAMPRED against its target-only and
+// structure-only variants and the classic unsupervised predictors at
+// three anchor-link sampling ratios.
+
+#include <cstdio>
+
+#include "baselines/unsupervised.h"
+#include "core/slampred.h"
+#include "datagen/aligned_generator.h"
+#include "eval/anchor_sampler.h"
+#include "eval/link_split.h"
+#include "eval/metrics.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace slampred;
+
+  auto generated = GenerateAligned(DefaultExperimentConfig(/*seed=*/2026));
+  if (!generated.ok()) {
+    std::fprintf(stderr, "%s\n", generated.status().ToString().c_str());
+    return 1;
+  }
+  const AlignedNetworks& networks = generated.value().networks;
+  std::printf("%s\n%s\nanchors: %zu\n\n",
+              networks.target().Summary().c_str(),
+              networks.source(0).Summary().c_str(),
+              networks.anchors(0).size());
+
+  // Hide one fold of target links.
+  Rng rng(5);
+  const SocialGraph full_graph =
+      SocialGraph::FromHeterogeneousNetwork(networks.target());
+  auto folds = SplitLinks(full_graph, 5, rng);
+  if (!folds.ok()) return 1;
+  const SocialGraph train_graph =
+      full_graph.WithEdgesRemoved(folds.value()[0].test_edges);
+  auto eval = BuildEvaluationSet(full_graph, folds.value()[0].test_edges,
+                                 5.0, rng);
+  if (!eval.ok()) return 1;
+
+  auto evaluate = [&](const LinkPredictor& model) {
+    auto scores = model.ScorePairs(eval.value().pairs);
+    const double auc =
+        ComputeAuc(scores.value(), eval.value().labels).value_or(0.0);
+    const double p100 =
+        ComputePrecisionAtK(scores.value(), eval.value().labels, 100)
+            .value_or(0.0);
+    return std::make_pair(auc, p100);
+  };
+
+  SlamPredConfig fast;
+  fast.optimization.inner.max_iterations = 60;
+  fast.optimization.max_outer_iterations = 2;
+
+  TablePrinter table({"method", "anchor ratio", "AUC", "P@100"});
+
+  // SLAMPRED with progressively more anchor links.
+  for (double ratio : {0.0, 0.5, 1.0}) {
+    Rng anchor_rng(99);
+    const AlignedNetworks bundle =
+        WithAnchorRatio(networks, ratio, anchor_rng);
+    SlamPred model(fast);
+    if (!model.Fit(bundle, train_graph).ok()) return 1;
+    const auto [auc, p100] = evaluate(model);
+    table.AddRow({"SLAMPRED", FormatDouble(ratio, 1), FormatDouble(auc, 3),
+                  FormatDouble(p100, 3)});
+  }
+
+  // Target-only and structure-only variants (anchor-independent).
+  {
+    SlamPredConfig config = SlamPredTargetOnlyConfig();
+    config.optimization = fast.optimization;
+    SlamPred model(config);
+    if (!model.Fit(networks, train_graph).ok()) return 1;
+    const auto [auc, p100] = evaluate(model);
+    table.AddRow({"SLAMPRED-T", "-", FormatDouble(auc, 3),
+                  FormatDouble(p100, 3)});
+  }
+  {
+    SlamPredConfig config = SlamPredHomogeneousConfig();
+    config.optimization = fast.optimization;
+    SlamPred model(config);
+    if (!model.Fit(networks, train_graph).ok()) return 1;
+    const auto [auc, p100] = evaluate(model);
+    table.AddRow({"SLAMPRED-H", "-", FormatDouble(auc, 3),
+                  FormatDouble(p100, 3)});
+  }
+
+  // Unsupervised baselines on the training structure.
+  for (const LinkPredictor* baseline :
+       std::initializer_list<const LinkPredictor*>{
+           new JcPredictor(train_graph), new CnPredictor(train_graph),
+           new PaPredictor(train_graph)}) {
+    const auto [auc, p100] = evaluate(*baseline);
+    table.AddRow({baseline->name(), "-", FormatDouble(auc, 3),
+                  FormatDouble(p100, 3)});
+    delete baseline;
+  }
+
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "\nReading: SLAMPRED at ratio 0.0 matches SLAMPRED-T (nothing\n"
+      "transfers without anchors); adding anchor links lifts both\n"
+      "metrics above every single-network method.\n");
+  return 0;
+}

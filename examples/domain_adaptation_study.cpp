@@ -1,0 +1,98 @@
+// Domain-adaptation study: a look inside the feature-space projection
+// (Theorem 1). The example samples link instances, solves the joint
+// mapping inference, and reports (a) the generalized eigenvalues, (b)
+// how discriminative each latent dimension is, and (c) how much signal
+// the adapted tensors carry compared with raw features — with and
+// without the projection.
+
+#include <cstdio>
+
+#include "datagen/aligned_generator.h"
+#include "embedding/domain_adapter.h"
+#include "eval/link_split.h"
+#include "eval/metrics.h"
+#include "features/feature_tensor.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace slampred;
+
+  auto generated = GenerateAligned(DefaultExperimentConfig(/*seed=*/7));
+  if (!generated.ok()) return 1;
+  const AlignedNetworks& networks = generated.value().networks;
+
+  Rng rng(3);
+  const SocialGraph full_graph =
+      SocialGraph::FromHeterogeneousNetwork(networks.target());
+  auto folds = SplitLinks(full_graph, 5, rng);
+  if (!folds.ok()) return 1;
+  const SocialGraph train_graph =
+      full_graph.WithEdgesRemoved(folds.value()[0].test_edges);
+  auto eval = BuildEvaluationSet(full_graph, folds.value()[0].test_edges,
+                                 5.0, rng);
+  if (!eval.ok()) return 1;
+
+  // Raw feature tensors for both networks.
+  std::vector<Tensor3> raw;
+  raw.push_back(BuildFeatureTensor(networks.target(), train_graph));
+  const SocialGraph source_graph =
+      SocialGraph::FromHeterogeneousNetwork(networks.source(0));
+  raw.push_back(BuildFeatureTensor(networks.source(0), source_graph));
+  std::printf("raw feature slices: %s\n\n",
+              Join(FeatureNames({}), ", ").c_str());
+
+  // Run the adaptation.
+  DomainAdapterOptions options;
+  Rng adapter_rng(11);
+  auto adapted = AdaptDomains(networks, train_graph, raw, options,
+                              adapter_rng);
+  if (!adapted.ok()) {
+    std::fprintf(stderr, "%s\n", adapted.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("generalized eigenvalues of the Theorem-1 problem: %s\n",
+              adapted.value().eigenvalues.ToString(4).c_str());
+  std::printf("(a well-separated smallest eigenvalue = one strongly\n"
+              " discriminative shared direction)\n\n");
+
+  // How much signal does each latent dimension carry on held-out links?
+  auto auc_of_map = [&](const Matrix& map) {
+    std::vector<double> scores;
+    for (const UserPair& p : eval.value().pairs) {
+      scores.push_back(map(p.u, p.v));
+    }
+    return ComputeAuc(scores, eval.value().labels).value_or(0.5);
+  };
+
+  TablePrinter dims({"latent dim", "target AUC", "source(->target) AUC"});
+  const Tensor3& target_adapted = adapted.value().tensors[0];
+  const Tensor3& source_adapted = adapted.value().tensors[1];
+  for (std::size_t c = 0; c < target_adapted.dim0(); ++c) {
+    dims.AddRow({std::to_string(c),
+                 FormatDouble(auc_of_map(target_adapted.Slice(c)), 3),
+                 FormatDouble(auc_of_map(source_adapted.Slice(c)), 3)});
+  }
+  std::printf("%s", dims.ToString().c_str());
+
+  // Aggregate comparison: raw vs adapted vs passthrough-transferred.
+  auto pass = PassthroughAdapt(networks, raw);
+  if (!pass.ok()) return 1;
+  TablePrinter agg({"signal", "AUC on held-out links"});
+  agg.AddRow({"raw target features (sum)",
+              FormatDouble(auc_of_map(raw[0].SumSlices()), 3)});
+  agg.AddRow({"adapted target features (sum)",
+              FormatDouble(auc_of_map(target_adapted.SumSlices()), 3)});
+  agg.AddRow({"raw source via anchors (sum)",
+              FormatDouble(auc_of_map(pass.value().tensors[1].SumSlices()),
+                           3)});
+  agg.AddRow({"adapted source via anchors (sum)",
+              FormatDouble(auc_of_map(source_adapted.SumSlices()), 3)});
+  std::printf("\n%s", agg.ToString().c_str());
+  std::printf(
+      "\nReading: the projection concentrates each network's signal in\n"
+      "the shared low-dimensional space (dimension 0 carries most of\n"
+      "it), which is what lets SLAMPRED mix target and source intimacy\n"
+      "terms on a common scale.\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Multiple aligned source networks (the paper's general K-source
+// setting, Definition 2): the target is aligned with TWO sources with
+// different densities and domain shifts; the example compares
+// no-transfer, each single source, and both sources together.
+
+#include <cstdio>
+
+#include "core/slampred.h"
+#include "datagen/aligned_generator.h"
+#include "eval/link_split.h"
+#include "eval/metrics.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace slampred;
+
+  // Bundle with two sources: a dense attribute-rich one and a sparser,
+  // heavily domain-shifted one.
+  AlignedGeneratorConfig config = DefaultExperimentConfig(/*seed=*/77);
+  NetworkRealizationConfig second = config.sources[0];
+  second.name = "second-source";
+  second.p_intra = 0.22;
+  second.attributes.posts_per_user_mean = 4.0;
+  second.attributes.domain_shift = 0.7;
+  config.sources.push_back(second);
+
+  auto generated = GenerateAligned(config);
+  if (!generated.ok()) return 1;
+  const AlignedNetworks& networks = generated.value().networks;
+  std::printf("target   : %s\n", networks.target().Summary().c_str());
+  for (std::size_t k = 0; k < networks.num_sources(); ++k) {
+    std::printf("source %zu : %s (%zu anchors)\n", k,
+                networks.source(k).Summary().c_str(),
+                networks.anchors(k).size());
+  }
+  std::printf("\n");
+
+  Rng rng(9);
+  const SocialGraph full_graph =
+      SocialGraph::FromHeterogeneousNetwork(networks.target());
+  auto folds = SplitLinks(full_graph, 5, rng);
+  if (!folds.ok()) return 1;
+  const SocialGraph train_graph =
+      full_graph.WithEdgesRemoved(folds.value()[0].test_edges);
+  auto eval = BuildEvaluationSet(full_graph, folds.value()[0].test_edges,
+                                 5.0, rng);
+  if (!eval.ok()) return 1;
+
+  auto run = [&](const char* label, const std::vector<double>& alphas,
+                 bool use_sources, TablePrinter& table) {
+    SlamPredConfig model_config;
+    model_config.use_sources = use_sources;
+    model_config.alpha_sources = alphas;
+    model_config.optimization.inner.max_iterations = 60;
+    model_config.optimization.max_outer_iterations = 2;
+    SlamPred model(model_config);
+    if (!model.Fit(networks, train_graph).ok()) return;
+    auto scores = model.ScorePairs(eval.value().pairs);
+    table.AddRow(
+        {label,
+         FormatDouble(
+             ComputeAuc(scores.value(), eval.value().labels).value_or(0.0),
+             3),
+         FormatDouble(ComputePrecisionAtK(scores.value(),
+                                          eval.value().labels, 100)
+                          .value_or(0.0),
+                      3)});
+  };
+
+  TablePrinter table({"configuration", "AUC", "P@100"});
+  run("target only", {}, false, table);
+  run("source 0 only (alpha {1, 0})", {1.0, 0.0}, true, table);
+  run("source 1 only (alpha {0, 1})", {0.0, 1.0}, true, table);
+  run("both, balanced (alpha {.5, .5})", {0.5, 0.5}, true, table);
+  run("both, source-1 downweighted", {1.0, 0.4}, true, table);
+  run("both, overweighted (alpha {1, 1})", {1.0, 1.0}, true, table);
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "\nReading: each source helps on its own; combining them works\n"
+      "when the total source weight is kept moderate (and the heavily\n"
+      "shifted source downweighted), while overweighting both sources\n"
+      "drowns the target signal — the overfitting effect the paper's\n"
+      "Section IV-D2 describes for too-large intimacy weights.\n");
+  return 0;
+}

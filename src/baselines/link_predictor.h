@@ -1,0 +1,31 @@
+// Common interface of every link-prediction method in the repo: score a
+// batch of candidate target-network user pairs with confidence values
+// (higher = more likely to be / become a link).
+
+#ifndef SLAMPRED_BASELINES_LINK_PREDICTOR_H_
+#define SLAMPRED_BASELINES_LINK_PREDICTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/social_graph.h"
+#include "util/status.h"
+
+namespace slampred {
+
+/// Abstract scorer over target user pairs.
+class LinkPredictor {
+ public:
+  virtual ~LinkPredictor() = default;
+
+  /// Display name used in result tables ("SLAMPRED", "PL-T", "CN", ...).
+  virtual std::string name() const = 0;
+
+  /// Scores each candidate pair; returns one score per pair in order.
+  virtual Result<std::vector<double>> ScorePairs(
+      const std::vector<UserPair>& pairs) const = 0;
+};
+
+}  // namespace slampred
+
+#endif  // SLAMPRED_BASELINES_LINK_PREDICTOR_H_

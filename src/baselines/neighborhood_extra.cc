@@ -1,0 +1,49 @@
+#include "baselines/neighborhood_extra.h"
+
+#include "features/structural_features.h"
+#include "util/logging.h"
+
+namespace slampred {
+
+namespace {
+
+Result<std::vector<double>> ScoreFromMap(const Matrix& map,
+                                         const std::vector<UserPair>& pairs) {
+  std::vector<double> scores;
+  scores.reserve(pairs.size());
+  for (const UserPair& p : pairs) {
+    if (p.u >= map.rows() || p.v >= map.cols()) {
+      return Status::OutOfRange("pair outside the fitted user set");
+    }
+    scores.push_back(map(p.u, p.v));
+  }
+  return scores;
+}
+
+}  // namespace
+
+AaPredictor::AaPredictor(const SocialGraph& graph)
+    : map_(AdamicAdarMap(graph)) {}
+
+Result<std::vector<double>> AaPredictor::ScorePairs(
+    const std::vector<UserPair>& pairs) const {
+  return ScoreFromMap(map_, pairs);
+}
+
+RaPredictor::RaPredictor(const SocialGraph& graph)
+    : map_(ResourceAllocationMap(graph)) {}
+
+Result<std::vector<double>> RaPredictor::ScorePairs(
+    const std::vector<UserPair>& pairs) const {
+  return ScoreFromMap(map_, pairs);
+}
+
+KatzPredictor::KatzPredictor(const SocialGraph& graph, double beta)
+    : map_(TruncatedKatzMap(graph, beta)) {}
+
+Result<std::vector<double>> KatzPredictor::ScorePairs(
+    const std::vector<UserPair>& pairs) const {
+  return ScoreFromMap(map_, pairs);
+}
+
+}  // namespace slampred

@@ -1,0 +1,53 @@
+// Additional unsupervised neighborhood predictors from the survey the
+// paper cites ([6]): Adamic–Adar, Resource Allocation, and a truncated
+// Katz scorer. They complete the classic-predictor family next to
+// PA/CN/JC in unsupervised.h and serve as extra baselines in ablations.
+
+#ifndef SLAMPRED_BASELINES_NEIGHBORHOOD_EXTRA_H_
+#define SLAMPRED_BASELINES_NEIGHBORHOOD_EXTRA_H_
+
+#include "baselines/link_predictor.h"
+#include "graph/social_graph.h"
+#include "linalg/matrix.h"
+
+namespace slampred {
+
+/// AA: score(u, v) = Σ_{w ∈ Γ(u)∩Γ(v)} 1/log(max(deg(w), 2)).
+class AaPredictor : public LinkPredictor {
+ public:
+  explicit AaPredictor(const SocialGraph& graph);
+  std::string name() const override { return "AA"; }
+  Result<std::vector<double>> ScorePairs(
+      const std::vector<UserPair>& pairs) const override;
+
+ private:
+  Matrix map_;
+};
+
+/// RA: score(u, v) = Σ_{w ∈ Γ(u)∩Γ(v)} 1/deg(w).
+class RaPredictor : public LinkPredictor {
+ public:
+  explicit RaPredictor(const SocialGraph& graph);
+  std::string name() const override { return "RA"; }
+  Result<std::vector<double>> ScorePairs(
+      const std::vector<UserPair>& pairs) const override;
+
+ private:
+  Matrix map_;
+};
+
+/// Truncated Katz: score(u, v) = β·A²(u,v) + β²·A³(u,v).
+class KatzPredictor : public LinkPredictor {
+ public:
+  explicit KatzPredictor(const SocialGraph& graph, double beta = 0.05);
+  std::string name() const override { return "KATZ"; }
+  Result<std::vector<double>> ScorePairs(
+      const std::vector<UserPair>& pairs) const override;
+
+ private:
+  Matrix map_;
+};
+
+}  // namespace slampred
+
+#endif  // SLAMPRED_BASELINES_NEIGHBORHOOD_EXTRA_H_

@@ -1,0 +1,59 @@
+#include "baselines/pair_features.h"
+
+#include "util/logging.h"
+
+namespace slampred {
+
+std::size_t PairFeatureWidth(const std::vector<Tensor3>& raw_tensors,
+                             FeatureSource source) {
+  std::size_t width = 0;
+  if (source != FeatureSource::kSourceOnly && !raw_tensors.empty()) {
+    width += raw_tensors[0].dim0();
+  }
+  if (source != FeatureSource::kTargetOnly) {
+    for (std::size_t k = 1; k < raw_tensors.size(); ++k) {
+      width += raw_tensors[k].dim0();
+    }
+  }
+  return width;
+}
+
+Vector BuildPairFeatures(const AlignedNetworks& networks,
+                         const std::vector<Tensor3>& raw_tensors,
+                         FeatureSource source, const UserPair& pair) {
+  SLAMPRED_CHECK(raw_tensors.size() == networks.num_sources() + 1)
+      << "one raw tensor per network required";
+  Vector out;
+  if (source != FeatureSource::kSourceOnly) {
+    const Vector fibre = raw_tensors[0].Fiber(pair.u, pair.v);
+    for (std::size_t d = 0; d < fibre.size(); ++d) out.PushBack(fibre[d]);
+  }
+  if (source != FeatureSource::kTargetOnly) {
+    for (std::size_t k = 0; k < networks.num_sources(); ++k) {
+      const AnchorLinks& anchors = networks.anchors(k);
+      const auto su = anchors.RightOf(pair.u);
+      const auto sv = anchors.RightOf(pair.v);
+      const std::size_t dims = raw_tensors[k + 1].dim0();
+      if (su.has_value() && sv.has_value()) {
+        const Vector fibre = raw_tensors[k + 1].Fiber(*su, *sv);
+        for (std::size_t d = 0; d < dims; ++d) out.PushBack(fibre[d]);
+      } else {
+        for (std::size_t d = 0; d < dims; ++d) out.PushBack(0.0);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Vector> BuildPairFeatureBatch(
+    const AlignedNetworks& networks, const std::vector<Tensor3>& raw_tensors,
+    FeatureSource source, const std::vector<UserPair>& pairs) {
+  std::vector<Vector> out;
+  out.reserve(pairs.size());
+  for (const UserPair& pair : pairs) {
+    out.push_back(BuildPairFeatures(networks, raw_tensors, source, pair));
+  }
+  return out;
+}
+
+}  // namespace slampred

@@ -1,0 +1,43 @@
+// Pair-feature assembly shared by the SCAN and PL baselines: the raw
+// per-network intimacy feature fibres, concatenated *without* any domain
+// adaptation (these methods are the paper's no-adaptation comparison
+// points). Source fibres reach target pairs only through anchor links;
+// pairs with an unanchored endpoint get zero source features.
+
+#ifndef SLAMPRED_BASELINES_PAIR_FEATURES_H_
+#define SLAMPRED_BASELINES_PAIR_FEATURES_H_
+
+#include <vector>
+
+#include "graph/aligned_networks.h"
+#include "graph/social_graph.h"
+#include "linalg/tensor3.h"
+#include "linalg/vector.h"
+
+namespace slampred {
+
+/// Which networks' features a classification baseline consumes.
+enum class FeatureSource {
+  kTargetOnly,   ///< The "-T" variants.
+  kSourceOnly,   ///< The "-S" variants.
+  kBoth,         ///< The full PL / SCAN methods.
+};
+
+/// Width of the assembled feature vector for the given source mode.
+std::size_t PairFeatureWidth(const std::vector<Tensor3>& raw_tensors,
+                             FeatureSource source);
+
+/// Assembles the feature vector of one target pair: target fibre and/or
+/// anchor-mapped source fibres, concatenated in network order.
+Vector BuildPairFeatures(const AlignedNetworks& networks,
+                         const std::vector<Tensor3>& raw_tensors,
+                         FeatureSource source, const UserPair& pair);
+
+/// Batch version.
+std::vector<Vector> BuildPairFeatureBatch(
+    const AlignedNetworks& networks, const std::vector<Tensor3>& raw_tensors,
+    FeatureSource source, const std::vector<UserPair>& pairs);
+
+}  // namespace slampred
+
+#endif  // SLAMPRED_BASELINES_PAIR_FEATURES_H_

@@ -1,0 +1,107 @@
+#include "baselines/pl.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "ml/instance_sampler.h"
+
+namespace slampred {
+
+Pl::Pl(PlOptions options) : options_(options) {}
+
+Status Pl::Fit(const AlignedNetworks& networks,
+               const SocialGraph& target_structure,
+               const std::vector<Tensor3>& raw_tensors,
+               const std::vector<UserPair>& exclude, Rng& rng) {
+  if (raw_tensors.size() != networks.num_sources() + 1) {
+    return Status::InvalidArgument("need one raw tensor per network");
+  }
+  networks_ = &networks;
+  raw_tensors_ = &raw_tensors;
+
+  const PairTrainingSet training = SamplePairTrainingSet(
+      target_structure, options_.max_positives, options_.unlabeled_ratio,
+      exclude, rng);
+  if (training.pairs.empty()) {
+    return Status::FailedPrecondition("no training instances available");
+  }
+
+  std::vector<Vector> features = BuildPairFeatureBatch(
+      networks, raw_tensors, options_.feature_source, training.pairs);
+  scaler_.Fit(features);
+  scaler_.TransformInPlace(features);
+
+  // Step 1: positive vs unlabeled-as-negative.
+  LogisticRegression step1(options_.classifier);
+  SLAMPRED_RETURN_NOT_OK(step1.Fit(features, training.labels));
+
+  // Step 2: score the unlabeled set; keep the lowest-scored fraction as
+  // reliable negatives.
+  std::vector<std::size_t> unlabeled;
+  for (std::size_t i = 0; i < training.labels.size(); ++i) {
+    if (training.labels[i] == 0) unlabeled.push_back(i);
+  }
+  if (unlabeled.empty()) {
+    classifier_ = step1;
+    return Status::OK();
+  }
+  std::vector<double> unlabeled_scores(unlabeled.size());
+  for (std::size_t k = 0; k < unlabeled.size(); ++k) {
+    unlabeled_scores[k] = step1.PredictProbability(features[unlabeled[k]]);
+  }
+  std::vector<std::size_t> order(unlabeled.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return unlabeled_scores[a] < unlabeled_scores[b];
+  });
+  const std::size_t keep = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::floor(options_.reliable_negative_fraction *
+                        static_cast<double>(unlabeled.size()))));
+
+  // Step 3: retrain on positives vs reliable negatives.
+  std::vector<Vector> final_features;
+  std::vector<int> final_labels;
+  for (std::size_t i = 0; i < training.labels.size(); ++i) {
+    if (training.labels[i] == 1) {
+      final_features.push_back(features[i]);
+      final_labels.push_back(1);
+    }
+  }
+  for (std::size_t k = 0; k < keep; ++k) {
+    final_features.push_back(features[unlabeled[order[k]]]);
+    final_labels.push_back(0);
+  }
+  classifier_ = LogisticRegression(options_.classifier);
+  return classifier_.Fit(final_features, final_labels);
+}
+
+std::string Pl::name() const {
+  switch (options_.feature_source) {
+    case FeatureSource::kTargetOnly:
+      return "PL-T";
+    case FeatureSource::kSourceOnly:
+      return "PL-S";
+    case FeatureSource::kBoth:
+      return "PL";
+  }
+  return "PL";
+}
+
+Result<std::vector<double>> Pl::ScorePairs(
+    const std::vector<UserPair>& pairs) const {
+  if (!classifier_.fitted()) {
+    return Status::FailedPrecondition("PL scored before Fit");
+  }
+  std::vector<double> scores;
+  scores.reserve(pairs.size());
+  for (const UserPair& pair : pairs) {
+    const Vector features = scaler_.Transform(BuildPairFeatures(
+        *networks_, *raw_tensors_, options_.feature_source, pair));
+    scores.push_back(classifier_.PredictProbability(features));
+  }
+  return scores;
+}
+
+}  // namespace slampred

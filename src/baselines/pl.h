@@ -1,0 +1,61 @@
+// PL: PU-classification based link prediction ([37], Section IV-B2).
+// Existing links are positive instances; absent pairs are *unlabeled*
+// (they may be future links), handled with the classic two-step PU
+// scheme: (1) train positive-vs-unlabeled, (2) keep the lowest-scored
+// unlabeled pairs as reliable negatives, (3) retrain positive-vs-
+// reliable-negative. Features are assembled exactly like SCAN's — raw,
+// no domain adaptation.
+
+#ifndef SLAMPRED_BASELINES_PL_H_
+#define SLAMPRED_BASELINES_PL_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/link_predictor.h"
+#include "baselines/pair_features.h"
+#include "graph/aligned_networks.h"
+#include "linalg/tensor3.h"
+#include "ml/logistic_regression.h"
+#include "ml/standard_scaler.h"
+#include "util/random.h"
+
+namespace slampred {
+
+/// PL training controls.
+struct PlOptions {
+  FeatureSource feature_source = FeatureSource::kBoth;
+  std::size_t max_positives = 400;
+  double unlabeled_ratio = 2.0;  ///< Unlabeled pairs per positive.
+  /// Fraction of unlabeled instances kept as reliable negatives after
+  /// the spy step.
+  double reliable_negative_fraction = 0.5;
+  LogisticRegressionOptions classifier;
+};
+
+/// PU-learning link predictor (PL / PL-T / PL-S).
+class Pl : public LinkPredictor {
+ public:
+  explicit Pl(PlOptions options = {});
+
+  /// Trains the two-step PU classifier. Arguments as in Scan::Fit.
+  Status Fit(const AlignedNetworks& networks,
+             const SocialGraph& target_structure,
+             const std::vector<Tensor3>& raw_tensors,
+             const std::vector<UserPair>& exclude, Rng& rng);
+
+  std::string name() const override;
+  Result<std::vector<double>> ScorePairs(
+      const std::vector<UserPair>& pairs) const override;
+
+ private:
+  PlOptions options_;
+  const AlignedNetworks* networks_ = nullptr;
+  const std::vector<Tensor3>* raw_tensors_ = nullptr;
+  StandardScaler scaler_;
+  LogisticRegression classifier_;
+};
+
+}  // namespace slampred
+
+#endif  // SLAMPRED_BASELINES_PL_H_

@@ -1,0 +1,60 @@
+#include "baselines/scan.h"
+
+#include "ml/instance_sampler.h"
+
+namespace slampred {
+
+Scan::Scan(ScanOptions options) : options_(options) {}
+
+Status Scan::Fit(const AlignedNetworks& networks,
+                 const SocialGraph& target_structure,
+                 const std::vector<Tensor3>& raw_tensors,
+                 const std::vector<UserPair>& exclude, Rng& rng) {
+  if (raw_tensors.size() != networks.num_sources() + 1) {
+    return Status::InvalidArgument("need one raw tensor per network");
+  }
+  networks_ = &networks;
+  raw_tensors_ = &raw_tensors;
+
+  const PairTrainingSet training = SamplePairTrainingSet(
+      target_structure, options_.max_positives, options_.negative_ratio,
+      exclude, rng);
+  if (training.pairs.empty()) {
+    return Status::FailedPrecondition("no training instances available");
+  }
+
+  std::vector<Vector> features = BuildPairFeatureBatch(
+      networks, raw_tensors, options_.feature_source, training.pairs);
+  scaler_.Fit(features);
+  scaler_.TransformInPlace(features);
+  return classifier_.Fit(features, training.labels);
+}
+
+std::string Scan::name() const {
+  switch (options_.feature_source) {
+    case FeatureSource::kTargetOnly:
+      return "SCAN-T";
+    case FeatureSource::kSourceOnly:
+      return "SCAN-S";
+    case FeatureSource::kBoth:
+      return "SCAN";
+  }
+  return "SCAN";
+}
+
+Result<std::vector<double>> Scan::ScorePairs(
+    const std::vector<UserPair>& pairs) const {
+  if (!classifier_.fitted()) {
+    return Status::FailedPrecondition("SCAN scored before Fit");
+  }
+  std::vector<double> scores;
+  scores.reserve(pairs.size());
+  for (const UserPair& pair : pairs) {
+    const Vector features = scaler_.Transform(BuildPairFeatures(
+        *networks_, *raw_tensors_, options_.feature_source, pair));
+    scores.push_back(classifier_.PredictProbability(features));
+  }
+  return scores;
+}
+
+}  // namespace slampred

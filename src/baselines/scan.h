@@ -1,0 +1,59 @@
+// SCAN: supervised classification based link prediction ([28], used as a
+// baseline in Section IV-B2). Existing (training) links are positive
+// instances, sampled absent pairs are negative instances, and a logistic
+// classifier scores candidates. Feature vectors concatenate raw target
+// and/or anchor-mapped source intimacy features with *no* domain
+// adaptation — the contrast the paper draws against SLAMPRED.
+
+#ifndef SLAMPRED_BASELINES_SCAN_H_
+#define SLAMPRED_BASELINES_SCAN_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/link_predictor.h"
+#include "baselines/pair_features.h"
+#include "graph/aligned_networks.h"
+#include "linalg/tensor3.h"
+#include "ml/logistic_regression.h"
+#include "ml/standard_scaler.h"
+#include "util/random.h"
+
+namespace slampred {
+
+/// SCAN training controls.
+struct ScanOptions {
+  FeatureSource feature_source = FeatureSource::kBoth;
+  std::size_t max_positives = 400;
+  double negative_ratio = 1.0;  ///< Negatives per positive.
+  LogisticRegressionOptions classifier;
+};
+
+/// Supervised classification link predictor (SCAN / SCAN-T / SCAN-S).
+class Scan : public LinkPredictor {
+ public:
+  explicit Scan(ScanOptions options = {});
+
+  /// Trains the classifier. `target_structure` is the training graph of
+  /// the target; `raw_tensors[0]` its raw feature tensor, followed by
+  /// one per source. `exclude` pairs (the test fold) are never sampled.
+  Status Fit(const AlignedNetworks& networks,
+             const SocialGraph& target_structure,
+             const std::vector<Tensor3>& raw_tensors,
+             const std::vector<UserPair>& exclude, Rng& rng);
+
+  std::string name() const override;
+  Result<std::vector<double>> ScorePairs(
+      const std::vector<UserPair>& pairs) const override;
+
+ private:
+  ScanOptions options_;
+  const AlignedNetworks* networks_ = nullptr;
+  const std::vector<Tensor3>* raw_tensors_ = nullptr;
+  StandardScaler scaler_;
+  LogisticRegression classifier_;
+};
+
+}  // namespace slampred
+
+#endif  // SLAMPRED_BASELINES_SCAN_H_

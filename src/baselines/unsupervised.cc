@@ -1,0 +1,40 @@
+#include "baselines/unsupervised.h"
+
+namespace slampred {
+
+Result<std::vector<double>> PaPredictor::ScorePairs(
+    const std::vector<UserPair>& pairs) const {
+  std::vector<double> scores;
+  scores.reserve(pairs.size());
+  for (const UserPair& p : pairs) {
+    scores.push_back(static_cast<double>(graph_.Degree(p.u)) *
+                     static_cast<double>(graph_.Degree(p.v)));
+  }
+  return scores;
+}
+
+Result<std::vector<double>> CnPredictor::ScorePairs(
+    const std::vector<UserPair>& pairs) const {
+  std::vector<double> scores;
+  scores.reserve(pairs.size());
+  for (const UserPair& p : pairs) {
+    scores.push_back(
+        static_cast<double>(graph_.CommonNeighborCount(p.u, p.v)));
+  }
+  return scores;
+}
+
+Result<std::vector<double>> JcPredictor::ScorePairs(
+    const std::vector<UserPair>& pairs) const {
+  std::vector<double> scores;
+  scores.reserve(pairs.size());
+  for (const UserPair& p : pairs) {
+    const double inter =
+        static_cast<double>(graph_.CommonNeighborCount(p.u, p.v));
+    const double uni = static_cast<double>(graph_.NeighborUnionCount(p.u, p.v));
+    scores.push_back(uni > 0.0 ? inter / uni : 0.0);
+  }
+  return scores;
+}
+
+}  // namespace slampred

@@ -1,0 +1,53 @@
+// The paper's unsupervised comparison predictors (Section IV-B2):
+// Preferential Attachment, Common Neighbor, and Jaccard's Coefficient.
+// Each scores a pair from the observed (training) target graph alone.
+
+#ifndef SLAMPRED_BASELINES_UNSUPERVISED_H_
+#define SLAMPRED_BASELINES_UNSUPERVISED_H_
+
+#include <memory>
+
+#include "baselines/link_predictor.h"
+#include "graph/social_graph.h"
+
+namespace slampred {
+
+/// PA: score(u, v) = |Γ(u)| · |Γ(v)|.
+class PaPredictor : public LinkPredictor {
+ public:
+  explicit PaPredictor(const SocialGraph& graph) : graph_(graph) {}
+  std::string name() const override { return "PA"; }
+  Result<std::vector<double>> ScorePairs(
+      const std::vector<UserPair>& pairs) const override;
+
+ private:
+  SocialGraph graph_;
+};
+
+/// CN: score(u, v) = |Γ(u) ∩ Γ(v)|.
+class CnPredictor : public LinkPredictor {
+ public:
+  explicit CnPredictor(const SocialGraph& graph) : graph_(graph) {}
+  std::string name() const override { return "CN"; }
+  Result<std::vector<double>> ScorePairs(
+      const std::vector<UserPair>& pairs) const override;
+
+ private:
+  SocialGraph graph_;
+};
+
+/// JC: score(u, v) = |Γ(u) ∩ Γ(v)| / |Γ(u) ∪ Γ(v)|.
+class JcPredictor : public LinkPredictor {
+ public:
+  explicit JcPredictor(const SocialGraph& graph) : graph_(graph) {}
+  std::string name() const override { return "JC"; }
+  Result<std::vector<double>> ScorePairs(
+      const std::vector<UserPair>& pairs) const override;
+
+ private:
+  SocialGraph graph_;
+};
+
+}  // namespace slampred
+
+#endif  // SLAMPRED_BASELINES_UNSUPERVISED_H_

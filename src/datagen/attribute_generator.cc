@@ -1,0 +1,85 @@
+#include "datagen/attribute_generator.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace slampred {
+
+namespace {
+
+// A random permutation acting as the network-specific channel for one
+// attribute universe.
+std::vector<std::size_t> RandomPermutation(std::size_t n, Rng& rng) {
+  std::vector<std::size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  rng.Shuffle(perm);
+  return perm;
+}
+
+// Emits `index` through the shift channel with probability `shift`.
+std::size_t MaybeShift(std::size_t index,
+                       const std::vector<std::size_t>& channel, double shift,
+                       Rng& rng) {
+  return rng.NextBernoulli(shift) ? channel[index] : index;
+}
+
+}  // namespace
+
+void GenerateAttributes(const CommunityModel& model,
+                        const std::vector<std::size_t>& personas,
+                        const AttributeConfig& config, Rng& rng,
+                        HeterogeneousNetwork& network) {
+  SLAMPRED_CHECK(personas.size() == network.NumUsers())
+      << "persona map must cover every user";
+  const CommunityModelConfig& mc = model.config();
+
+  // Attribute universes are created up front so indices are stable.
+  if (network.NumNodes(NodeType::kWord) == 0) {
+    network.AddNodes(NodeType::kWord, mc.vocab_size);
+  }
+  if (network.NumNodes(NodeType::kLocation) == 0) {
+    network.AddNodes(NodeType::kLocation, mc.num_locations);
+  }
+  if (network.NumNodes(NodeType::kTimestamp) == 0) {
+    network.AddNodes(NodeType::kTimestamp, mc.num_time_bins);
+  }
+
+  // One channel per attribute universe per network realisation.
+  const auto word_channel = RandomPermutation(mc.vocab_size, rng);
+  const auto loc_channel = RandomPermutation(mc.num_locations, rng);
+  const auto time_channel = RandomPermutation(mc.num_time_bins, rng);
+
+  for (std::size_t user = 0; user < network.NumUsers(); ++user) {
+    const Persona& persona = model.persona(personas[user]);
+    const int num_posts =
+        rng.NextPoisson(config.posts_per_user_mean * persona.activity);
+    for (int p = 0; p < num_posts; ++p) {
+      const std::size_t post = network.AddNodes(NodeType::kPost, 1);
+      SLAMPRED_CHECK(
+          network.AddEdge(EdgeType::kWrite, user, post).ok());
+
+      for (std::size_t w = 0; w < config.words_per_post; ++w) {
+        const std::size_t word = MaybeShift(rng.NextWeighted(persona.topic),
+                                            word_channel,
+                                            config.domain_shift, rng);
+        network.AddEdge(EdgeType::kHasWord, post, word);
+      }
+
+      const std::size_t time_bin =
+          MaybeShift(rng.NextWeighted(persona.time_profile), time_channel,
+                     config.domain_shift, rng);
+      network.AddEdge(EdgeType::kPostedAt, post, time_bin);
+
+      if (rng.NextBernoulli(config.checkin_prob)) {
+        const std::size_t loc =
+            MaybeShift(rng.NextWeighted(persona.location), loc_channel,
+                       config.domain_shift, rng);
+        network.AddEdge(EdgeType::kCheckin, post, loc);
+      }
+    }
+  }
+}
+
+}  // namespace slampred

@@ -1,0 +1,92 @@
+#include "datagen/community_model.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace slampred {
+
+namespace {
+
+// Samples a Dirichlet-like sharpened distribution: a community-specific
+// base pattern plus individual noise, normalised to a probability vector.
+// `anchor` picks which slice of the support the community prefers so
+// distinct communities get distinct modes.
+std::vector<double> SampleProfile(std::size_t dim, std::size_t community,
+                                  std::size_t num_communities,
+                                  double sharpness, Rng& rng) {
+  std::vector<double> weights(dim);
+  // Community c prefers the contiguous band [c*dim/C, (c+1)*dim/C).
+  const double band = static_cast<double>(dim) /
+                      static_cast<double>(num_communities);
+  const double center = (static_cast<double>(community) + 0.5) * band;
+  double total = 0.0;
+  for (std::size_t i = 0; i < dim; ++i) {
+    // Circular distance to the community's band center.
+    double dist = std::fabs(static_cast<double>(i) - center);
+    dist = std::min(dist, static_cast<double>(dim) - dist);
+    const double base = std::exp(-sharpness * dist / static_cast<double>(dim));
+    // Multiplicative individual noise keeps weights positive.
+    const double noise = std::exp(0.5 * rng.NextGaussian());
+    weights[i] = base * noise + 1e-4;
+    total += weights[i];
+  }
+  for (double& w : weights) w /= total;
+  return weights;
+}
+
+}  // namespace
+
+Result<CommunityModel> CommunityModel::Sample(
+    const CommunityModelConfig& config, Rng& rng) {
+  if (config.num_personas == 0 || config.num_communities == 0) {
+    return Status::InvalidArgument("population and communities must be > 0");
+  }
+  if (config.num_communities > config.num_personas) {
+    return Status::InvalidArgument("more communities than personas");
+  }
+  if (config.vocab_size == 0 || config.num_locations == 0 ||
+      config.num_time_bins == 0) {
+    return Status::InvalidArgument("attribute universes must be non-empty");
+  }
+
+  CommunityModel model;
+  model.config_ = config;
+  model.personas_.reserve(config.num_personas);
+  for (std::size_t i = 0; i < config.num_personas; ++i) {
+    Persona p;
+    // Round-robin base assignment keeps community sizes balanced, with a
+    // random remainder so sizes are not perfectly equal.
+    p.community = i < config.num_communities
+                      ? i
+                      : static_cast<std::size_t>(
+                            rng.NextBounded(config.num_communities));
+    p.activity = std::exp(config.activity_sigma * rng.NextGaussian() -
+                          0.5 * config.activity_sigma *
+                              config.activity_sigma);
+    p.topic = SampleProfile(config.vocab_size, p.community,
+                            config.num_communities,
+                            config.profile_sharpness, rng);
+    p.location = SampleProfile(config.num_locations, p.community,
+                               config.num_communities,
+                               config.profile_sharpness, rng);
+    p.time_profile = SampleProfile(config.num_time_bins, p.community,
+                                   config.num_communities,
+                                   config.profile_sharpness, rng);
+    model.personas_.push_back(std::move(p));
+  }
+  return model;
+}
+
+bool CommunityModel::SameCommunity(std::size_t i, std::size_t j) const {
+  SLAMPRED_CHECK(i < personas_.size() && j < personas_.size());
+  return personas_[i].community == personas_[j].community;
+}
+
+std::vector<std::size_t> CommunityModel::CommunitySizes() const {
+  std::vector<std::size_t> sizes(config_.num_communities, 0);
+  for (const Persona& p : personas_) ++sizes[p.community];
+  return sizes;
+}
+
+}  // namespace slampred

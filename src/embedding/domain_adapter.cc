@@ -1,0 +1,257 @@
+#include "embedding/domain_adapter.h"
+
+#include <cmath>
+
+#include "embedding/indicator_matrices.h"
+#include "util/logging.h"
+
+namespace slampred {
+
+namespace {
+
+// Per-network feature standardisation fitted on the sampled instances.
+// Scatter-based projections (Theorem 1 minimises sums of squared
+// distances) are scale-sensitive; standardising the inputs and absorbing
+// the transform into the effective projection leaves the theory intact
+// while making the eigen directions comparable to an LDA direction.
+struct FeatureScaler {
+  Vector mean;
+  Vector inv_std;  ///< 1/std, 0 for constant features.
+};
+
+FeatureScaler FitScaler(const InstanceSample& sample, std::size_t network) {
+  const std::size_t begin = sample.network_offsets[network];
+  const std::size_t end = sample.network_offsets[network + 1];
+  const std::size_t d = sample.feature_dims[network];
+  FeatureScaler scaler{Vector(d), Vector(d)};
+  const double count = std::max<double>(1.0, static_cast<double>(end - begin));
+  for (std::size_t i = begin; i < end; ++i) {
+    scaler.mean += sample.instances[i].features;
+  }
+  scaler.mean /= count;
+  Vector var(d);
+  for (std::size_t i = begin; i < end; ++i) {
+    for (std::size_t k = 0; k < d; ++k) {
+      const double diff = sample.instances[i].features[k] - scaler.mean[k];
+      var[k] += diff * diff;
+    }
+  }
+  for (std::size_t k = 0; k < d; ++k) {
+    const double std = std::sqrt(var[k] / count);
+    scaler.inv_std[k] = std > 1e-12 ? 1.0 / std : 0.0;
+  }
+  return scaler;
+}
+
+// Projects every fibre of `raw` (d x n x n) through fᵀ (d x c) after
+// standardising it, giving a c x n x n tensor.
+Tensor3 ProjectTensor(const Tensor3& raw, const FeatureScaler& scaler,
+                      const Matrix& f) {
+  SLAMPRED_CHECK(f.rows() == raw.dim0()) << "projection dim mismatch";
+  const std::size_t c = f.cols();
+  const std::size_t n1 = raw.dim1();
+  const std::size_t n2 = raw.dim2();
+  Tensor3 out(c, n1, n2);
+  for (std::size_t i = 0; i < n1; ++i) {
+    for (std::size_t j = 0; j < n2; ++j) {
+      for (std::size_t cc = 0; cc < c; ++cc) {
+        double sum = 0.0;
+        for (std::size_t d = 0; d < raw.dim0(); ++d) {
+          const double z =
+              (raw(d, i, j) - scaler.mean[d]) * scaler.inv_std[d];
+          sum += f(d, cc) * z;
+        }
+        out(cc, i, j) = sum;
+      }
+    }
+  }
+  return out;
+}
+
+// Re-indexes a source-coordinate tensor (dims x n_s x n_s) into target
+// coordinates (dims x n_t x n_t) through the anchors. Pairs without
+// transferred evidence (either endpoint unanchored) are imputed at the
+// mean of the covered pairs, per slice: transferred information should
+// *rerank* the pairs it covers, not systematically push every uncovered
+// pair below every covered one — without the imputation, partial anchor
+// ratios (Table II's sweep) degrade instead of interpolating.
+Tensor3 ReindexToTarget(const Tensor3& source_tensor,
+                        const AnchorLinks& anchors, std::size_t n_target) {
+  const std::size_t dims = source_tensor.dim0();
+  Tensor3 out(dims, n_target, n_target);
+  std::vector<double> slice_sum(dims, 0.0);
+  std::size_t covered = 0;
+  for (std::size_t ti = 0; ti < n_target; ++ti) {
+    const auto si = anchors.RightOf(ti);
+    if (!si.has_value()) continue;
+    for (std::size_t tj = 0; tj < n_target; ++tj) {
+      if (ti == tj) continue;
+      const auto sj = anchors.RightOf(tj);
+      if (!sj.has_value()) continue;
+      ++covered;
+      for (std::size_t d = 0; d < dims; ++d) {
+        const double v = source_tensor(d, *si, *sj);
+        out(d, ti, tj) = v;
+        slice_sum[d] += v;
+      }
+    }
+  }
+  if (covered == 0) return out;  // No anchors: nothing transfers.
+
+  // Impute uncovered off-diagonal pairs at the covered mean.
+  std::vector<double> slice_mean(dims);
+  for (std::size_t d = 0; d < dims; ++d) {
+    slice_mean[d] = slice_sum[d] / static_cast<double>(covered);
+  }
+  for (std::size_t ti = 0; ti < n_target; ++ti) {
+    const bool ti_anchored = anchors.RightOf(ti).has_value();
+    for (std::size_t tj = 0; tj < n_target; ++tj) {
+      if (ti == tj) continue;
+      if (ti_anchored && anchors.RightOf(tj).has_value()) continue;
+      for (std::size_t d = 0; d < dims; ++d) {
+        out(d, ti, tj) = slice_mean[d];
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<AdaptedFeatures> AdaptDomains(const AlignedNetworks& networks,
+                                     const SocialGraph& target_structure,
+                                     const std::vector<Tensor3>& raw_tensors,
+                                     const DomainAdapterOptions& options,
+                                     Rng& rng) {
+  if (raw_tensors.size() != networks.num_sources() + 1) {
+    return Status::InvalidArgument("need one raw tensor per network");
+  }
+
+  auto sample_result = SampleLinkInstances(networks, target_structure,
+                                           raw_tensors, options.sampling,
+                                           rng);
+  if (!sample_result.ok()) return sample_result.status();
+  InstanceSample& sample = sample_result.value();
+
+  // Standardise instance features per network; the same scalers are
+  // applied to every fibre at projection time.
+  std::vector<FeatureScaler> scalers;
+  for (std::size_t k = 0; k < sample.num_networks(); ++k) {
+    scalers.push_back(FitScaler(sample, k));
+    for (std::size_t i = sample.network_offsets[k];
+         i < sample.network_offsets[k + 1]; ++i) {
+      Vector& f = sample.instances[i].features;
+      for (std::size_t d = 0; d < f.size(); ++d) {
+        f[d] = (f[d] - scalers[k].mean[d]) * scalers[k].inv_std[d];
+      }
+    }
+  }
+
+  std::vector<const AnchorLinks*> anchors;
+  for (std::size_t k = 0; k < networks.num_sources(); ++k) {
+    anchors.push_back(&networks.anchors(k));
+  }
+  const CsrMatrix w_a = BuildAlignedIndicator(sample, anchors);
+  const CsrMatrix w_s = BuildSimilarIndicator(sample);
+  const CsrMatrix w_d = BuildDissimilarIndicator(sample);
+
+  auto proj = SolveProjections(sample, w_a, w_s, w_d, options.projection);
+  if (!proj.ok()) return proj.status();
+
+  AdaptedFeatures out;
+  out.projections = proj.value().projections;
+  out.eigenvalues = proj.value().eigenvalues;
+
+  // Generalized eigenvectors carry an arbitrary sign, but the intimacy
+  // term ‖S ∘ X̂‖₁ reads latent coordinates as non-negative closeness
+  // scores. Orient every latent dimension so existing-link instances
+  // score higher on average, and record each dimension's Fisher-style
+  // label separation — the separation later weights the dimension's
+  // slice so discriminative directions dominate noisy ones.
+  const std::size_t latent = options.projection.latent_dim;
+  Vector separation(latent);
+  for (std::size_t c = 0; c < latent; ++c) {
+    double mean_pos = 0.0, mean_neg = 0.0, sq = 0.0;
+    std::size_t n_pos = 0, n_neg = 0;
+    std::vector<double> values(sample.total());
+    for (std::size_t i = 0; i < sample.total(); ++i) {
+      const LinkInstance& inst = sample.instances[i];
+      const Matrix& f = out.projections[inst.network];
+      double value = 0.0;
+      for (std::size_t d = 0; d < inst.features.size(); ++d) {
+        value += f(d, c) * inst.features[d];
+      }
+      values[i] = value;
+      if (inst.exists) {
+        mean_pos += value;
+        ++n_pos;
+      } else {
+        mean_neg += value;
+        ++n_neg;
+      }
+    }
+    if (n_pos > 0) mean_pos /= static_cast<double>(n_pos);
+    if (n_neg > 0) mean_neg /= static_cast<double>(n_neg);
+    for (double v : values) {
+      const double mixed = v - 0.5 * (mean_pos + mean_neg);
+      sq += mixed * mixed;
+    }
+    const double spread =
+        std::sqrt(sq / std::max<double>(1.0, sample.total())) + 1e-9;
+    if (mean_pos < mean_neg) {
+      for (Matrix& f : out.projections) {
+        for (std::size_t d = 0; d < f.rows(); ++d) f(d, c) = -f(d, c);
+      }
+    }
+    separation[c] = std::fabs(mean_pos - mean_neg) / spread;
+  }
+  // Normalise weights so the best dimension has weight 1.
+  const double max_sep = std::max(separation.NormInf(), 1e-12);
+  for (std::size_t c = 0; c < latent; ++c) separation[c] /= max_sep;
+
+  const std::size_t n_target = networks.target().NumUsers();
+
+  auto finalize = [&](Tensor3 adapted) {
+    if (options.normalize_adapted) adapted.NormalizeSlicesMinMax();
+    for (std::size_t c = 0; c < adapted.dim0(); ++c) {
+      Matrix slice = adapted.Slice(c);
+      slice *= separation[c];
+      adapted.SetSlice(c, slice);
+    }
+    return adapted;
+  };
+
+  // Target: project in place.
+  out.tensors.push_back(
+      finalize(ProjectTensor(raw_tensors[0], scalers[0],
+                             out.projections[0])));
+
+  // Sources: project in source coordinates, then re-index through the
+  // anchors into target coordinates.
+  for (std::size_t k = 0; k < networks.num_sources(); ++k) {
+    Tensor3 adapted = finalize(ProjectTensor(raw_tensors[k + 1],
+                                             scalers[k + 1],
+                                             out.projections[k + 1]));
+    out.tensors.push_back(
+        ReindexToTarget(adapted, networks.anchors(k), n_target));
+  }
+  return out;
+}
+
+Result<AdaptedFeatures> PassthroughAdapt(
+    const AlignedNetworks& networks,
+    const std::vector<Tensor3>& raw_tensors) {
+  if (raw_tensors.size() != networks.num_sources() + 1) {
+    return Status::InvalidArgument("need one raw tensor per network");
+  }
+  AdaptedFeatures out;
+  const std::size_t n_target = networks.target().NumUsers();
+  out.tensors.push_back(raw_tensors[0]);
+  for (std::size_t k = 0; k < networks.num_sources(); ++k) {
+    out.tensors.push_back(ReindexToTarget(raw_tensors[k + 1],
+                                          networks.anchors(k), n_target));
+  }
+  return out;
+}
+
+}  // namespace slampred

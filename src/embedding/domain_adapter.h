@@ -1,0 +1,63 @@
+// End-to-end domain adaptation (Section III-C): samples link instances,
+// builds the W_A / W_S / W_D indicators, solves Theorem 1 for the
+// per-network projections F^k, and produces the adapted feature tensors
+// X̂^k. Source tensors are re-indexed into *target* user coordinates
+// through the anchor links — a source pair only contributes where both
+// endpoints are anchored, which is exactly how the anchor-sampling ratio
+// modulates how much transferred signal SLAMPRED sees.
+
+#ifndef SLAMPRED_EMBEDDING_DOMAIN_ADAPTER_H_
+#define SLAMPRED_EMBEDDING_DOMAIN_ADAPTER_H_
+
+#include <vector>
+
+#include "embedding/link_instance.h"
+#include "embedding/projection_solver.h"
+#include "graph/aligned_networks.h"
+#include "graph/social_graph.h"
+#include "linalg/tensor3.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace slampred {
+
+/// Adaptation controls.
+struct DomainAdapterOptions {
+  ProjectionOptions projection;
+  InstanceSampleOptions sampling;
+  /// Min-max normalise adapted slices to [0, 1] so the intimacy terms
+  /// (and the constant CCCP gradient) treat them as non-negative scores.
+  bool normalize_adapted = true;
+};
+
+/// Adapted tensors, all in target coordinates.
+struct AdaptedFeatures {
+  /// tensors[0] = adapted target features (c x n_t x n_t);
+  /// tensors[k>=1] = source k features mapped through anchors into
+  /// target coordinates (zero where either endpoint is unanchored).
+  std::vector<Tensor3> tensors;
+  /// The learned projections (projections[k] is d_k x c).
+  std::vector<Matrix> projections;
+  Vector eigenvalues;  ///< Generalized eigenvalues behind the projection.
+};
+
+/// Runs the full pipeline. `raw_tensors[0]` must be the target's feature
+/// tensor built on `target_structure`; `raw_tensors[k]` source k's
+/// tensor on its own graph. Deterministic given `rng`'s state.
+Result<AdaptedFeatures> AdaptDomains(const AlignedNetworks& networks,
+                                     const SocialGraph& target_structure,
+                                     const std::vector<Tensor3>& raw_tensors,
+                                     const DomainAdapterOptions& options,
+                                     Rng& rng);
+
+/// Ablation path (EXP-A2): skips the learned projection entirely and
+/// simply re-indexes the *raw* source tensors into target coordinates
+/// through the anchors (the target tensor passes through unchanged).
+/// This is what "transferring without domain adaptation" means for a
+/// matrix-estimation model.
+Result<AdaptedFeatures> PassthroughAdapt(
+    const AlignedNetworks& networks, const std::vector<Tensor3>& raw_tensors);
+
+}  // namespace slampred
+
+#endif  // SLAMPRED_EMBEDDING_DOMAIN_ADAPTER_H_

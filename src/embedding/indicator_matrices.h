@@ -1,0 +1,37 @@
+// The joint indicator matrices over sampled link instances
+// (Section III-C): W_A marks aligned social links (Definition 4), W_S
+// marks instance pairs sharing a link-existence label, and W_D marks
+// pairs with different labels. All are symmetric CSR matrices over the
+// concatenated instance index space.
+
+#ifndef SLAMPRED_EMBEDDING_INDICATOR_MATRICES_H_
+#define SLAMPRED_EMBEDDING_INDICATOR_MATRICES_H_
+
+#include <vector>
+
+#include "embedding/link_instance.h"
+#include "graph/anchor_links.h"
+#include "linalg/csr_matrix.h"
+
+namespace slampred {
+
+/// Builds the joint aligned-social-link indicator W_A: entry (i, j) = 1
+/// iff instances i and j live in different networks, one of them being
+/// the target, and both endpoint users are paired by the corresponding
+/// anchor set (anchors[k] relates the target to source k). Symmetric,
+/// zero diagonal blocks.
+CsrMatrix BuildAlignedIndicator(const InstanceSample& sample,
+                                const std::vector<const AnchorLinks*>& anchors);
+
+/// Builds the similar-label indicator W_S: entry (i, j) = 1 iff i ≠ j
+/// and the instances share the same existence label, across all network
+/// pairs (including within a network).
+CsrMatrix BuildSimilarIndicator(const InstanceSample& sample);
+
+/// Builds the dissimilar-label indicator W_D: entry (i, j) = 1 iff the
+/// instances have different existence labels.
+CsrMatrix BuildDissimilarIndicator(const InstanceSample& sample);
+
+}  // namespace slampred
+
+#endif  // SLAMPRED_EMBEDDING_INDICATOR_MATRICES_H_

@@ -1,0 +1,56 @@
+#include "embedding/laplacian.h"
+
+#include "util/logging.h"
+
+namespace slampred {
+
+Matrix DenseLaplacian(const CsrMatrix& w) {
+  SLAMPRED_CHECK(w.rows() == w.cols()) << "Laplacian of non-square matrix";
+  Matrix l = w.ToDense() * -1.0;
+  const Vector degrees = w.RowSums();
+  for (std::size_t i = 0; i < w.rows(); ++i) l(i, i) += degrees[i];
+  return l;
+}
+
+Matrix SandwichLaplacian(const Matrix& z, const CsrMatrix& w) {
+  SLAMPRED_CHECK(z.cols() == w.rows() && w.rows() == w.cols())
+      << "Z / W shape mismatch";
+  const std::size_t d = z.rows();
+  Matrix out(d, d);
+
+  // Z D Zᵀ part.
+  const Vector degrees = w.RowSums();
+  for (std::size_t i = 0; i < z.cols(); ++i) {
+    const double deg = degrees[i];
+    if (deg == 0.0) continue;
+    for (std::size_t a = 0; a < d; ++a) {
+      const double za = z(a, i) * deg;
+      if (za == 0.0) continue;
+      for (std::size_t b = 0; b < d; ++b) {
+        out(a, b) += za * z(b, i);
+      }
+    }
+  }
+
+  // −Z W Zᵀ part, iterating stored entries only.
+  const auto& row_ptr = w.row_ptr();
+  const auto& col_idx = w.col_idx();
+  const auto& values = w.values();
+  for (std::size_t i = 0; i < w.rows(); ++i) {
+    for (std::size_t p = row_ptr[i]; p < row_ptr[i + 1]; ++p) {
+      const std::size_t j = col_idx[p];
+      const double wij = values[p];
+      if (wij == 0.0) continue;
+      for (std::size_t a = 0; a < d; ++a) {
+        const double za = z(a, i) * wij;
+        if (za == 0.0) continue;
+        for (std::size_t b = 0; b < d; ++b) {
+          out(a, b) -= za * z(b, j);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace slampred

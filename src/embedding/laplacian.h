@@ -1,0 +1,25 @@
+// Graph Laplacians of the indicator matrices: L = D − W with D the
+// diagonal row-sum matrix (Section III-C1).
+
+#ifndef SLAMPRED_EMBEDDING_LAPLACIAN_H_
+#define SLAMPRED_EMBEDDING_LAPLACIAN_H_
+
+#include "linalg/csr_matrix.h"
+#include "linalg/matrix.h"
+
+namespace slampred {
+
+/// Dense Laplacian D − W of a (symmetric, non-negative) weight matrix.
+/// Dense because the projection solver immediately sandwiches it between
+/// the small dense Z blocks.
+Matrix DenseLaplacian(const CsrMatrix& w);
+
+/// Computes Z L Zᵀ without densifying L, where Z is the block-diagonal
+/// feature matrix (features x instances): Z L Zᵀ = Z D Zᵀ − Z W Zᵀ, with
+/// Z D Zᵀ = Σᵢ dᵢ zᵢ zᵢᵀ and Z W Zᵀ = Σ_{(i,j)∈W} wᵢⱼ zᵢ zⱼᵀ. `z` holds
+/// the instance feature vectors as *columns* (total_dims x instances).
+Matrix SandwichLaplacian(const Matrix& z, const CsrMatrix& w);
+
+}  // namespace slampred
+
+#endif  // SLAMPRED_EMBEDDING_LAPLACIAN_H_

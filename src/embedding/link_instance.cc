@@ -1,0 +1,112 @@
+#include "embedding/link_instance.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/logging.h"
+
+namespace slampred {
+
+namespace {
+
+// Samples `count` positives (existing edges) and `count_neg` negatives
+// (absent pairs) from `graph`, appending to `out` with the given network
+// id and features from `tensor`. `taken` avoids duplicates.
+void SampleFromGraph(const SocialGraph& graph, const Tensor3& tensor,
+                     std::size_t network_id,
+                     const InstanceSampleOptions& options, Rng& rng,
+                     std::set<UserPair>* taken,
+                     std::vector<LinkInstance>* out) {
+  const std::size_t n = graph.num_users();
+  // Positives: uniform sample of existing edges.
+  const std::vector<UserPair> edges = graph.Edges();
+  if (!edges.empty()) {
+    const std::size_t want =
+        std::min(options.positives_per_network, edges.size());
+    for (std::size_t idx : rng.SampleWithoutReplacement(edges.size(), want)) {
+      const UserPair pair = edges[idx];
+      if (!taken->insert(pair).second) continue;
+      out->push_back({network_id, pair.u, pair.v, true,
+                      tensor.Fiber(pair.u, pair.v)});
+    }
+  }
+  // Negatives: rejection-sample absent pairs.
+  if (n >= 2) {
+    std::size_t found = 0;
+    std::size_t attempts = 0;
+    const std::size_t max_attempts =
+        options.negatives_per_network * options.max_negative_attempts;
+    while (found < options.negatives_per_network &&
+           attempts < max_attempts) {
+      ++attempts;
+      const std::size_t a = static_cast<std::size_t>(rng.NextBounded(n));
+      const std::size_t b = static_cast<std::size_t>(rng.NextBounded(n));
+      if (a == b || graph.HasEdge(a, b)) continue;
+      const UserPair pair = MakeUserPair(a, b);
+      if (!taken->insert(pair).second) continue;
+      out->push_back({network_id, pair.u, pair.v, false,
+                      tensor.Fiber(pair.u, pair.v)});
+      ++found;
+    }
+  }
+}
+
+}  // namespace
+
+Result<InstanceSample> SampleLinkInstances(
+    const AlignedNetworks& networks, const SocialGraph& target_structure,
+    const std::vector<Tensor3>& tensors, const InstanceSampleOptions& options,
+    Rng& rng) {
+  const std::size_t num_networks = networks.num_sources() + 1;
+  if (tensors.size() != num_networks) {
+    return Status::InvalidArgument("need one feature tensor per network");
+  }
+  if (target_structure.num_users() != networks.target().NumUsers()) {
+    return Status::InvalidArgument("target structure user count mismatch");
+  }
+
+  InstanceSample sample;
+  sample.feature_dims.resize(num_networks);
+  for (std::size_t k = 0; k < num_networks; ++k) {
+    sample.feature_dims[k] = tensors[k].dim0();
+  }
+
+  // Target block.
+  std::set<UserPair> taken_target;
+  std::vector<LinkInstance> target_block;
+  SampleFromGraph(target_structure, tensors[0], 0, options, rng,
+                  &taken_target, &target_block);
+
+  sample.network_offsets.push_back(0);
+  for (auto& inst : target_block) sample.instances.push_back(std::move(inst));
+  sample.network_offsets.push_back(sample.instances.size());
+
+  // Source blocks: mirror anchored target pairs first, then top up.
+  for (std::size_t k = 0; k < networks.num_sources(); ++k) {
+    const SocialGraph source_graph =
+        SocialGraph::FromHeterogeneousNetwork(networks.source(k));
+    const AnchorLinks& anchors = networks.anchors(k);
+    std::set<UserPair> taken_source;
+    std::vector<LinkInstance> block;
+
+    for (std::size_t idx = 0; idx < sample.network_offsets[1]; ++idx) {
+      const LinkInstance& ti = sample.instances[idx];
+      const auto su = anchors.RightOf(ti.u);
+      const auto sv = anchors.RightOf(ti.v);
+      if (!su.has_value() || !sv.has_value()) continue;
+      const UserPair pair = MakeUserPair(*su, *sv);
+      if (!taken_source.insert(pair).second) continue;
+      block.push_back({k + 1, pair.u, pair.v,
+                       source_graph.HasEdge(pair.u, pair.v),
+                       tensors[k + 1].Fiber(pair.u, pair.v)});
+    }
+    SampleFromGraph(source_graph, tensors[k + 1], k + 1, options, rng,
+                    &taken_source, &block);
+
+    for (auto& inst : block) sample.instances.push_back(std::move(inst));
+    sample.network_offsets.push_back(sample.instances.size());
+  }
+  return sample;
+}
+
+}  // namespace slampred

@@ -1,0 +1,67 @@
+// Link instances: the sampled user pairs whose feature vectors anchor
+// the feature-space projection (Section III-C). One instance is a user
+// pair of one network, carrying its link-existence label (Definition 5)
+// and raw intimacy feature vector.
+
+#ifndef SLAMPRED_EMBEDDING_LINK_INSTANCE_H_
+#define SLAMPRED_EMBEDDING_LINK_INSTANCE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/aligned_networks.h"
+#include "graph/social_graph.h"
+#include "linalg/tensor3.h"
+#include "linalg/vector.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace slampred {
+
+/// One sampled link instance.
+struct LinkInstance {
+  std::size_t network;  ///< 0 = target, 1..K = source index + 1.
+  std::size_t u;        ///< First endpoint (u < v).
+  std::size_t v;        ///< Second endpoint.
+  bool exists;          ///< Link existence label y(l).
+  Vector features;      ///< Raw feature vector (length d_network).
+};
+
+/// All sampled instances, grouped by network (target block first).
+struct InstanceSample {
+  std::vector<LinkInstance> instances;
+  /// network_offsets[k] = first index of network k's block;
+  /// network_offsets.back() = total count (size K+2).
+  std::vector<std::size_t> network_offsets;
+  /// feature_dims[k] = d_k.
+  std::vector<std::size_t> feature_dims;
+
+  std::size_t total() const { return instances.size(); }
+  std::size_t num_networks() const { return feature_dims.size(); }
+};
+
+/// Sampling controls.
+struct InstanceSampleOptions {
+  std::size_t positives_per_network = 150;
+  std::size_t negatives_per_network = 150;
+  /// Cap on rejection-sampling attempts per requested negative.
+  std::size_t max_negative_attempts = 50;
+};
+
+/// Samples link instances for the target and every source.
+///
+/// Target labels/pairs come from `target_structure` (the training graph);
+/// each source uses its own full friend graph. To make aligned-link
+/// pairs (Definition 4) actually appear in the sample, every target
+/// instance whose endpoints are both anchored into a source is mirrored
+/// as a source instance before the source's own quota is topped up.
+///
+/// `tensors[k]` supplies the feature fibres (tensors[0] = target).
+Result<InstanceSample> SampleLinkInstances(
+    const AlignedNetworks& networks, const SocialGraph& target_structure,
+    const std::vector<Tensor3>& tensors, const InstanceSampleOptions& options,
+    Rng& rng);
+
+}  // namespace slampred
+
+#endif  // SLAMPRED_EMBEDDING_LINK_INSTANCE_H_

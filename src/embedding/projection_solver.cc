@@ -1,0 +1,104 @@
+#include "embedding/projection_solver.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "embedding/laplacian.h"
+#include "linalg/generalized_eigen.h"
+#include "util/logging.h"
+
+namespace slampred {
+
+Matrix BuildBlockDiagonalZ(const InstanceSample& sample) {
+  const std::size_t total_dims =
+      std::accumulate(sample.feature_dims.begin(), sample.feature_dims.end(),
+                      std::size_t{0});
+  Matrix z(total_dims, sample.total());
+
+  std::size_t row_offset = 0;
+  for (std::size_t k = 0; k < sample.num_networks(); ++k) {
+    const std::size_t begin = sample.network_offsets[k];
+    const std::size_t end = sample.network_offsets[k + 1];
+    for (std::size_t i = begin; i < end; ++i) {
+      const Vector& f = sample.instances[i].features;
+      SLAMPRED_CHECK(f.size() == sample.feature_dims[k])
+          << "instance feature length mismatch in network " << k;
+      for (std::size_t r = 0; r < f.size(); ++r) {
+        z(row_offset + r, i) = f[r];
+      }
+    }
+    row_offset += sample.feature_dims[k];
+  }
+  return z;
+}
+
+Result<ProjectionResult> SolveProjections(const InstanceSample& sample,
+                                          const CsrMatrix& w_aligned,
+                                          const CsrMatrix& w_similar,
+                                          const CsrMatrix& w_dissimilar,
+                                          const ProjectionOptions& options) {
+  const std::size_t total = sample.total();
+  if (total == 0) {
+    return Status::InvalidArgument("empty instance sample");
+  }
+  if (w_aligned.rows() != total || w_similar.rows() != total ||
+      w_dissimilar.rows() != total) {
+    return Status::InvalidArgument("indicator matrix order mismatch");
+  }
+  const std::size_t total_dims =
+      std::accumulate(sample.feature_dims.begin(), sample.feature_dims.end(),
+                      std::size_t{0});
+  if (options.latent_dim == 0 || options.latent_dim > total_dims) {
+    return Status::InvalidArgument(
+        "latent_dim must be in [1, total feature dims]");
+  }
+
+  const Matrix z = BuildBlockDiagonalZ(sample);
+
+  // A = Z(μ L_A + L_S)Zᵀ and B = Z L_D Zᵀ, assembled without forming the
+  // big |L| x |L| Laplacians densely.
+  Matrix a = SandwichLaplacian(z, w_aligned) * options.mu +
+             SandwichLaplacian(z, w_similar);
+  Matrix b = SandwichLaplacian(z, w_dissimilar);
+
+  auto gen = ComputeGeneralizedEigen(a.Symmetrized(), b.Symmetrized());
+  if (!gen.ok()) return gen.status();
+  const Vector& lambda = gen.value().eigenvalues;
+  const Matrix& vecs = gen.value().eigenvectors;
+
+  // Pick the c smallest non-zero eigenvalues (Theorem 1), padding with
+  // near-zero ones if the spectrum is too degenerate.
+  double max_abs = 0.0;
+  for (std::size_t i = 0; i < lambda.size(); ++i) {
+    max_abs = std::max(max_abs, std::fabs(lambda[i]));
+  }
+  const double cutoff = 1e-8 * std::max(max_abs, 1e-300);
+  std::vector<std::size_t> chosen;
+  for (std::size_t i = 0; i < lambda.size() &&
+                          chosen.size() < options.latent_dim; ++i) {
+    if (lambda[i] > cutoff) chosen.push_back(i);
+  }
+  for (std::size_t i = 0; i < lambda.size() &&
+                          chosen.size() < options.latent_dim; ++i) {
+    if (lambda[i] <= cutoff) chosen.push_back(i);
+  }
+
+  Matrix f(total_dims, options.latent_dim);
+  ProjectionResult result;
+  result.eigenvalues = Vector(options.latent_dim);
+  for (std::size_t c = 0; c < chosen.size(); ++c) {
+    f.SetCol(c, vecs.Col(chosen[c]));
+    result.eigenvalues[c] = lambda[chosen[c]];
+  }
+
+  // Split F into per-network blocks.
+  std::size_t row_offset = 0;
+  for (std::size_t k = 0; k < sample.num_networks(); ++k) {
+    result.projections.push_back(
+        f.Block(row_offset, 0, sample.feature_dims[k], options.latent_dim));
+    row_offset += sample.feature_dims[k];
+  }
+  return result;
+}
+
+}  // namespace slampred

@@ -1,0 +1,47 @@
+// Solves the joint mapping-function inference of Theorem 1: the stacked
+// projection matrix F is given by the eigenvectors of the generalized
+// problem  Z(μ L_A + L_S) Zᵀ x = λ Z L_D Zᵀ x  belonging to the c
+// smallest non-zero eigenvalues. F splits into one d_k x c projection
+// per network.
+
+#ifndef SLAMPRED_EMBEDDING_PROJECTION_SOLVER_H_
+#define SLAMPRED_EMBEDDING_PROJECTION_SOLVER_H_
+
+#include <vector>
+
+#include "embedding/link_instance.h"
+#include "linalg/csr_matrix.h"
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+namespace slampred {
+
+/// Per-network linear projections F^k : R^{d_k} → R^c.
+struct ProjectionResult {
+  std::vector<Matrix> projections;  ///< projections[k] is d_k x c.
+  Vector eigenvalues;               ///< The chosen generalized eigenvalues.
+};
+
+/// Controls for the solver.
+struct ProjectionOptions {
+  std::size_t latent_dim = 5;  ///< c, the shared latent dimension.
+  double mu = 1.0;             ///< Weight of the anchor-alignment cost.
+};
+
+/// Assembles the block-diagonal feature matrix Z (total feature dims x
+/// instances) from the sample: block k holds the feature vectors of
+/// network k's instances as columns, offset to its own feature rows.
+Matrix BuildBlockDiagonalZ(const InstanceSample& sample);
+
+/// Runs Theorem 1. `latent_dim` must not exceed the total feature
+/// dimension; the indicator matrices must be square over the sample's
+/// total instance count.
+Result<ProjectionResult> SolveProjections(const InstanceSample& sample,
+                                          const CsrMatrix& w_aligned,
+                                          const CsrMatrix& w_similar,
+                                          const CsrMatrix& w_dissimilar,
+                                          const ProjectionOptions& options);
+
+}  // namespace slampred
+
+#endif  // SLAMPRED_EMBEDDING_PROJECTION_SOLVER_H_

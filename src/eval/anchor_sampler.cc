@@ -1,0 +1,15 @@
+#include "eval/anchor_sampler.h"
+
+namespace slampred {
+
+AlignedNetworks WithAnchorRatio(const AlignedNetworks& networks,
+                                double ratio, Rng& rng) {
+  AlignedNetworks out(networks.target());
+  for (std::size_t k = 0; k < networks.num_sources(); ++k) {
+    out.AddSource(networks.source(k),
+                  networks.anchors(k).Sampled(ratio, rng));
+  }
+  return out;
+}
+
+}  // namespace slampred

@@ -1,0 +1,20 @@
+// Anchor-ratio manipulation for the Table II sweep: produce a copy of an
+// aligned bundle whose anchor sets are subsampled to a given ratio.
+
+#ifndef SLAMPRED_EVAL_ANCHOR_SAMPLER_H_
+#define SLAMPRED_EVAL_ANCHOR_SAMPLER_H_
+
+#include "graph/aligned_networks.h"
+#include "util/random.h"
+
+namespace slampred {
+
+/// Returns a bundle identical to `networks` but with every source's
+/// anchor set independently subsampled to `ratio` (0 = unaligned,
+/// 1 = fully aligned). Deterministic given `rng`'s state.
+AlignedNetworks WithAnchorRatio(const AlignedNetworks& networks,
+                                double ratio, Rng& rng);
+
+}  // namespace slampred
+
+#endif  // SLAMPRED_EVAL_ANCHOR_SAMPLER_H_

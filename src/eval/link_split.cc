@@ -1,0 +1,94 @@
+#include "eval/link_split.h"
+
+#include <cmath>
+#include <set>
+
+namespace slampred {
+
+Result<std::vector<LinkFold>> SplitLinks(const SocialGraph& graph,
+                                         std::size_t num_folds, Rng& rng) {
+  if (num_folds < 2) {
+    return Status::InvalidArgument("need at least 2 folds");
+  }
+  std::vector<UserPair> edges = graph.Edges();
+  if (edges.size() < num_folds) {
+    return Status::FailedPrecondition("fewer edges than folds");
+  }
+  rng.Shuffle(edges);
+
+  std::vector<std::vector<UserPair>> shards(num_folds);
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    shards[i % num_folds].push_back(edges[i]);
+  }
+
+  std::vector<LinkFold> folds(num_folds);
+  for (std::size_t f = 0; f < num_folds; ++f) {
+    folds[f].test_edges = shards[f];
+    for (std::size_t g = 0; g < num_folds; ++g) {
+      if (g == f) continue;
+      folds[f].train_edges.insert(folds[f].train_edges.end(),
+                                  shards[g].begin(), shards[g].end());
+    }
+  }
+  return folds;
+}
+
+Result<EvaluationSet> BuildEvaluationSet(
+    const SocialGraph& full_graph, const std::vector<UserPair>& test_edges,
+    double negatives_per_positive, Rng& rng) {
+  if (test_edges.empty()) {
+    return Status::InvalidArgument("no test edges");
+  }
+  if (negatives_per_positive <= 0.0) {
+    return Status::InvalidArgument("negatives_per_positive must be > 0");
+  }
+
+  EvaluationSet out;
+  std::set<UserPair> taken;
+  for (const UserPair& e : test_edges) {
+    const UserPair pair = MakeUserPair(e.u, e.v);
+    if (!taken.insert(pair).second) continue;
+    out.pairs.push_back(pair);
+    out.labels.push_back(1);
+  }
+
+  const std::size_t want_neg = static_cast<std::size_t>(
+      std::ceil(negatives_per_positive *
+                static_cast<double>(out.pairs.size())));
+  const std::size_t n = full_graph.num_users();
+  if (n < 2) return Status::FailedPrecondition("graph too small");
+
+  std::size_t found = 0;
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = want_neg * 200 + 1000;
+  while (found < want_neg && attempts < max_attempts) {
+    ++attempts;
+    const std::size_t a = static_cast<std::size_t>(rng.NextBounded(n));
+    const std::size_t b = static_cast<std::size_t>(rng.NextBounded(n));
+    if (a == b || full_graph.HasEdge(a, b)) continue;
+    const UserPair pair = MakeUserPair(a, b);
+    if (!taken.insert(pair).second) continue;
+    out.pairs.push_back(pair);
+    out.labels.push_back(0);
+    ++found;
+  }
+  if (found == 0) {
+    return Status::FailedPrecondition("could not sample any negatives");
+  }
+
+  // Shuffle so tied scores don't resolve in positives-first insertion
+  // order (ranking metrics on a constant scorer must read as chance).
+  std::vector<std::size_t> order(out.pairs.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.Shuffle(order);
+  EvaluationSet shuffled;
+  shuffled.pairs.reserve(out.pairs.size());
+  shuffled.labels.reserve(out.labels.size());
+  for (std::size_t idx : order) {
+    shuffled.pairs.push_back(out.pairs[idx]);
+    shuffled.labels.push_back(out.labels[idx]);
+  }
+  return shuffled;
+}
+
+}  // namespace slampred

@@ -1,0 +1,45 @@
+// K-fold splitting of the target network's links (Section IV-B1: 5 folds,
+// 4 train / 1 test) and assembly of the labelled evaluation candidate
+// set (hidden test links as positives plus sampled absent pairs as
+// negatives).
+
+#ifndef SLAMPRED_EVAL_LINK_SPLIT_H_
+#define SLAMPRED_EVAL_LINK_SPLIT_H_
+
+#include <vector>
+
+#include "graph/social_graph.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace slampred {
+
+/// One train/test partition of a graph's edges.
+struct LinkFold {
+  std::vector<UserPair> train_edges;
+  std::vector<UserPair> test_edges;
+};
+
+/// Shuffles the edges of `graph` and splits them into `num_folds`
+/// train/test partitions (fold i's test set is the i-th shard). Requires
+/// num_folds >= 2 and at least num_folds edges.
+Result<std::vector<LinkFold>> SplitLinks(const SocialGraph& graph,
+                                         std::size_t num_folds, Rng& rng);
+
+/// The labelled candidate set one fold is evaluated on.
+struct EvaluationSet {
+  std::vector<UserPair> pairs;
+  std::vector<int> labels;  ///< 1 = hidden test link, 0 = sampled non-link.
+};
+
+/// Builds the evaluation set for a fold: every test edge as a positive
+/// plus `negatives_per_positive` times as many sampled pairs that are
+/// links in neither the full graph nor the test set.
+Result<EvaluationSet> BuildEvaluationSet(const SocialGraph& full_graph,
+                                         const std::vector<UserPair>& test_edges,
+                                         double negatives_per_positive,
+                                         Rng& rng);
+
+}  // namespace slampred
+
+#endif  // SLAMPRED_EVAL_LINK_SPLIT_H_

@@ -1,0 +1,94 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace slampred {
+
+Result<double> ComputeAuc(const std::vector<double>& scores,
+                          const std::vector<int>& labels) {
+  if (scores.size() != labels.size()) {
+    return Status::InvalidArgument("scores/labels size mismatch");
+  }
+  if (scores.empty()) {
+    return Status::InvalidArgument("empty evaluation set");
+  }
+  std::size_t positives = 0;
+  for (int label : labels) {
+    if (label != 0 && label != 1) {
+      return Status::InvalidArgument("labels must be 0/1");
+    }
+    positives += static_cast<std::size_t>(label);
+  }
+  const std::size_t negatives = scores.size() - positives;
+  if (positives == 0 || negatives == 0) return 0.5;
+
+  // Mann–Whitney U via average ranks.
+  std::vector<std::size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return scores[a] < scores[b];
+  });
+
+  double rank_sum_pos = 0.0;
+  std::size_t i = 0;
+  while (i < order.size()) {
+    std::size_t j = i;
+    while (j + 1 < order.size() &&
+           scores[order[j + 1]] == scores[order[i]]) {
+      ++j;
+    }
+    // Average rank (1-based) for the tie group [i, j].
+    const double avg_rank = 0.5 * (static_cast<double>(i + 1) +
+                                   static_cast<double>(j + 1));
+    for (std::size_t k = i; k <= j; ++k) {
+      if (labels[order[k]] == 1) rank_sum_pos += avg_rank;
+    }
+    i = j + 1;
+  }
+  const double n_pos = static_cast<double>(positives);
+  const double n_neg = static_cast<double>(negatives);
+  const double u = rank_sum_pos - n_pos * (n_pos + 1.0) / 2.0;
+  return u / (n_pos * n_neg);
+}
+
+Result<double> ComputePrecisionAtK(const std::vector<double>& scores,
+                                   const std::vector<int>& labels,
+                                   std::size_t k) {
+  if (scores.size() != labels.size()) {
+    return Status::InvalidArgument("scores/labels size mismatch");
+  }
+  if (scores.empty() || k == 0) {
+    return Status::InvalidArgument("empty evaluation set or k == 0");
+  }
+  k = std::min(k, scores.size());
+  std::vector<std::size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return scores[a] > scores[b];
+                   });
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    if (labels[order[i]] == 1) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+MeanStd ComputeMeanStd(const std::vector<double>& values) {
+  MeanStd out;
+  if (values.empty()) return out;
+  for (double v : values) out.mean += v;
+  out.mean /= static_cast<double>(values.size());
+  if (values.size() < 2) return out;
+  double ss = 0.0;
+  for (double v : values) {
+    const double d = v - out.mean;
+    ss += d * d;
+  }
+  out.std = std::sqrt(ss / static_cast<double>(values.size() - 1));
+  return out;
+}
+
+}  // namespace slampred

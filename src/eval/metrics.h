@@ -1,0 +1,35 @@
+// Evaluation metrics of Section IV-B3: AUC and Precision@K, plus the
+// mean±std aggregation used by Table II.
+
+#ifndef SLAMPRED_EVAL_METRICS_H_
+#define SLAMPRED_EVAL_METRICS_H_
+
+#include <vector>
+
+#include "util/status.h"
+
+namespace slampred {
+
+/// ROC AUC of `scores` against binary `labels` (1 = positive). Ties get
+/// half credit (Mann–Whitney formulation). Returns 0.5 when either class
+/// is absent; fails on size mismatch or empty input.
+Result<double> ComputeAuc(const std::vector<double>& scores,
+                          const std::vector<int>& labels);
+
+/// Fraction of positives among the top-k scored instances (ties broken
+/// by original order after a stable sort). k is clamped to the number of
+/// instances.
+Result<double> ComputePrecisionAtK(const std::vector<double>& scores,
+                                   const std::vector<int>& labels,
+                                   std::size_t k);
+
+/// Mean and sample standard deviation of a series (std = 0 for size 1).
+struct MeanStd {
+  double mean = 0.0;
+  double std = 0.0;
+};
+MeanStd ComputeMeanStd(const std::vector<double>& values);
+
+}  // namespace slampred
+
+#endif  // SLAMPRED_EVAL_METRICS_H_

@@ -1,0 +1,109 @@
+#include "eval/ranking_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace slampred {
+
+namespace {
+
+// Validates inputs and returns the indices sorted by descending score
+// (stable, so insertion order breaks ties deterministically).
+Result<std::vector<std::size_t>> RankDescending(
+    const std::vector<double>& scores, const std::vector<int>& labels,
+    bool require_positive) {
+  if (scores.size() != labels.size()) {
+    return Status::InvalidArgument("scores/labels size mismatch");
+  }
+  if (scores.empty()) {
+    return Status::InvalidArgument("empty evaluation set");
+  }
+  std::size_t positives = 0;
+  for (int label : labels) {
+    if (label != 0 && label != 1) {
+      return Status::InvalidArgument("labels must be 0/1");
+    }
+    positives += static_cast<std::size_t>(label);
+  }
+  if (require_positive && positives == 0) {
+    return Status::FailedPrecondition("no positive instances");
+  }
+  std::vector<std::size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return scores[a] > scores[b];
+                   });
+  return order;
+}
+
+}  // namespace
+
+Result<double> ComputeAveragePrecision(const std::vector<double>& scores,
+                                       const std::vector<int>& labels) {
+  auto order = RankDescending(scores, labels, /*require_positive=*/true);
+  if (!order.ok()) return order.status();
+  double sum = 0.0;
+  std::size_t hits = 0;
+  for (std::size_t rank = 0; rank < order.value().size(); ++rank) {
+    if (labels[order.value()[rank]] == 1) {
+      ++hits;
+      sum += static_cast<double>(hits) / static_cast<double>(rank + 1);
+    }
+  }
+  return sum / static_cast<double>(hits);
+}
+
+Result<double> ComputeReciprocalRank(const std::vector<double>& scores,
+                                     const std::vector<int>& labels) {
+  auto order = RankDescending(scores, labels, /*require_positive=*/true);
+  if (!order.ok()) return order.status();
+  for (std::size_t rank = 0; rank < order.value().size(); ++rank) {
+    if (labels[order.value()[rank]] == 1) {
+      return 1.0 / static_cast<double>(rank + 1);
+    }
+  }
+  return 0.0;  // Unreachable: a positive exists.
+}
+
+Result<double> ComputeNdcgAtK(const std::vector<double>& scores,
+                              const std::vector<int>& labels,
+                              std::size_t k) {
+  if (k == 0) return Status::InvalidArgument("k must be positive");
+  auto order = RankDescending(scores, labels, /*require_positive=*/true);
+  if (!order.ok()) return order.status();
+  k = std::min(k, scores.size());
+
+  double dcg = 0.0;
+  for (std::size_t rank = 0; rank < k; ++rank) {
+    if (labels[order.value()[rank]] == 1) {
+      dcg += 1.0 / std::log2(static_cast<double>(rank) + 2.0);
+    }
+  }
+  std::size_t positives = 0;
+  for (int label : labels) positives += static_cast<std::size_t>(label);
+  double ideal = 0.0;
+  for (std::size_t rank = 0; rank < std::min(k, positives); ++rank) {
+    ideal += 1.0 / std::log2(static_cast<double>(rank) + 2.0);
+  }
+  return ideal > 0.0 ? dcg / ideal : 0.0;
+}
+
+Result<double> ComputeRecallAtK(const std::vector<double>& scores,
+                                const std::vector<int>& labels,
+                                std::size_t k) {
+  if (k == 0) return Status::InvalidArgument("k must be positive");
+  auto order = RankDescending(scores, labels, /*require_positive=*/true);
+  if (!order.ok()) return order.status();
+  k = std::min(k, scores.size());
+  std::size_t hits = 0;
+  std::size_t positives = 0;
+  for (int label : labels) positives += static_cast<std::size_t>(label);
+  for (std::size_t rank = 0; rank < k; ++rank) {
+    if (labels[order.value()[rank]] == 1) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(positives);
+}
+
+}  // namespace slampred

@@ -1,0 +1,40 @@
+// Additional ranking metrics for link prediction beyond AUC / P@K:
+// average precision, mean reciprocal rank, NDCG@K, and recall@K. All
+// follow the same convention as eval/metrics.h: higher scores = more
+// confident, labels are 0/1, ties receive a deterministic stable order
+// (callers should shuffle candidates if tie bias matters — the
+// evaluation-set builder already does).
+
+#ifndef SLAMPRED_EVAL_RANKING_METRICS_H_
+#define SLAMPRED_EVAL_RANKING_METRICS_H_
+
+#include <vector>
+
+#include "util/status.h"
+
+namespace slampred {
+
+/// Average precision: mean of precision@rank over the positions of the
+/// positives (the area under the precision–recall curve, interpolated
+/// at positive positions). Fails on size mismatch / empty input /
+/// no positives.
+Result<double> ComputeAveragePrecision(const std::vector<double>& scores,
+                                       const std::vector<int>& labels);
+
+/// Reciprocal rank of the first positive (1-based); 0-positives fails.
+Result<double> ComputeReciprocalRank(const std::vector<double>& scores,
+                                     const std::vector<int>& labels);
+
+/// Binary NDCG@K: DCG with gain 1 for positives, discount 1/log2(1+rank),
+/// normalised by the ideal ordering. k is clamped to the input size.
+Result<double> ComputeNdcgAtK(const std::vector<double>& scores,
+                              const std::vector<int>& labels, std::size_t k);
+
+/// Recall@K: fraction of all positives ranked in the top k.
+Result<double> ComputeRecallAtK(const std::vector<double>& scores,
+                                const std::vector<int>& labels,
+                                std::size_t k);
+
+}  // namespace slampred
+
+#endif  // SLAMPRED_EVAL_RANKING_METRICS_H_

@@ -1,0 +1,85 @@
+#include "features/attribute_features.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace slampred {
+
+namespace {
+
+EdgeType KindToPostEdge(AttributeKind kind) {
+  switch (kind) {
+    case AttributeKind::kWord:
+      return EdgeType::kHasWord;
+    case AttributeKind::kLocation:
+      return EdgeType::kCheckin;
+    case AttributeKind::kTimestamp:
+      return EdgeType::kPostedAt;
+  }
+  return EdgeType::kHasWord;
+}
+
+NodeType KindToNodeType(AttributeKind kind) {
+  switch (kind) {
+    case AttributeKind::kWord:
+      return NodeType::kWord;
+    case AttributeKind::kLocation:
+      return NodeType::kLocation;
+    case AttributeKind::kTimestamp:
+      return NodeType::kTimestamp;
+  }
+  return NodeType::kWord;
+}
+
+}  // namespace
+
+Matrix UserAttributeProfile(const HeterogeneousNetwork& network,
+                            AttributeKind kind) {
+  const std::size_t users = network.NumUsers();
+  const std::size_t universe = network.NumNodes(KindToNodeType(kind));
+  const EdgeType post_edge = KindToPostEdge(kind);
+  Matrix profiles(users, universe);
+  for (std::size_t u = 0; u < users; ++u) {
+    for (std::size_t post : network.Neighbors(EdgeType::kWrite, u)) {
+      for (std::size_t attr : network.Neighbors(post_edge, post)) {
+        profiles(u, attr) += 1.0;
+      }
+    }
+  }
+  return profiles;
+}
+
+Matrix CosineSimilarityMap(const Matrix& profiles) {
+  const std::size_t n = profiles.rows();
+  Vector norms(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    double sum = 0.0;
+    for (std::size_t a = 0; a < profiles.cols(); ++a) {
+      sum += profiles(u, a) * profiles(u, a);
+    }
+    norms[u] = std::sqrt(sum);
+  }
+  Matrix map(n, n);
+  for (std::size_t u = 0; u < n; ++u) {
+    if (norms[u] == 0.0) continue;
+    for (std::size_t v = u + 1; v < n; ++v) {
+      if (norms[v] == 0.0) continue;
+      double dot = 0.0;
+      for (std::size_t a = 0; a < profiles.cols(); ++a) {
+        dot += profiles(u, a) * profiles(v, a);
+      }
+      const double sim = dot / (norms[u] * norms[v]);
+      map(u, v) = sim;
+      map(v, u) = sim;
+    }
+  }
+  return map;
+}
+
+Matrix AttributeSimilarityMap(const HeterogeneousNetwork& network,
+                              AttributeKind kind) {
+  return CosineSimilarityMap(UserAttributeProfile(network, kind));
+}
+
+}  // namespace slampred

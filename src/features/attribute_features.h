@@ -1,0 +1,37 @@
+// Attribute-based intimacy features: per-user profiles aggregated from
+// the heterogeneous layers (word usage, location checkins, temporal
+// activity), turned into pairwise cosine-similarity maps. These are the
+// "location checkin records, online social activity temporal patterns,
+// and text usage patterns" features of Section III-B2.
+
+#ifndef SLAMPRED_FEATURES_ATTRIBUTE_FEATURES_H_
+#define SLAMPRED_FEATURES_ATTRIBUTE_FEATURES_H_
+
+#include "graph/heterogeneous_network.h"
+#include "linalg/matrix.h"
+
+namespace slampred {
+
+/// The attribute universe a profile aggregates over.
+enum class AttributeKind {
+  kWord,       ///< user → posts → words.
+  kLocation,   ///< user → posts → location checkins.
+  kTimestamp,  ///< user → posts → time bins.
+};
+
+/// Builds the users x universe count matrix: entry (u, a) is how many of
+/// u's posts attach to attribute value a.
+Matrix UserAttributeProfile(const HeterogeneousNetwork& network,
+                            AttributeKind kind);
+
+/// Pairwise cosine similarity of the rows of `profiles`, with zero rows
+/// yielding zero similarity and the diagonal zeroed.
+Matrix CosineSimilarityMap(const Matrix& profiles);
+
+/// Shorthand: cosine-similarity map of the given attribute kind.
+Matrix AttributeSimilarityMap(const HeterogeneousNetwork& network,
+                              AttributeKind kind);
+
+}  // namespace slampred
+
+#endif  // SLAMPRED_FEATURES_ATTRIBUTE_FEATURES_H_

@@ -1,0 +1,105 @@
+#include "features/feature_tensor.h"
+
+#include <cmath>
+
+#include "features/attribute_features.h"
+#include "features/meta_path_features.h"
+#include "features/structural_features.h"
+#include "util/logging.h"
+
+namespace slampred {
+
+std::vector<std::string> FeatureNames(const FeatureTensorOptions& options) {
+  std::vector<std::string> names;
+  if (options.common_neighbors) names.push_back("common_neighbors");
+  if (options.jaccard) names.push_back("jaccard");
+  if (options.adamic_adar) names.push_back("adamic_adar");
+  if (options.resource_allocation) names.push_back("resource_allocation");
+  if (options.preferential_attachment) {
+    names.push_back("preferential_attachment");
+  }
+  if (options.truncated_katz) names.push_back("truncated_katz");
+  if (options.word_similarity) names.push_back("word_similarity");
+  if (options.location_similarity) names.push_back("location_similarity");
+  if (options.time_similarity) names.push_back("time_similarity");
+  if (options.meta_paths) {
+    for (MetaPath path : AllMetaPaths()) {
+      names.push_back(std::string("meta_path_") + MetaPathName(path));
+    }
+  }
+  return names;
+}
+
+std::size_t NumFeatures(const FeatureTensorOptions& options) {
+  return FeatureNames(options).size();
+}
+
+Tensor3 BuildFeatureTensor(const HeterogeneousNetwork& network,
+                           const SocialGraph& structure,
+                           const FeatureTensorOptions& options) {
+  SLAMPRED_CHECK(structure.num_users() == network.NumUsers())
+      << "structure graph and network must have the same user set";
+  const std::size_t n = network.NumUsers();
+  const std::size_t d = NumFeatures(options);
+  Tensor3 tensor(d, n, n);
+
+  std::size_t slice = 0;
+  auto add = [&](Matrix map) {
+    for (std::size_t i = 0; i < n; ++i) map(i, i) = 0.0;
+    tensor.SetSlice(slice++, map);
+  };
+
+  if (options.common_neighbors) add(CommonNeighborsMap(structure));
+  if (options.jaccard) add(JaccardMap(structure));
+  if (options.adamic_adar) add(AdamicAdarMap(structure));
+  if (options.resource_allocation) add(ResourceAllocationMap(structure));
+  if (options.preferential_attachment) {
+    add(PreferentialAttachmentMap(structure));
+  }
+  if (options.truncated_katz) {
+    add(TruncatedKatzMap(structure, options.katz_beta));
+  }
+  if (options.word_similarity) {
+    add(AttributeSimilarityMap(network, AttributeKind::kWord));
+  }
+  if (options.location_similarity) {
+    add(AttributeSimilarityMap(network, AttributeKind::kLocation));
+  }
+  if (options.time_similarity) {
+    add(AttributeSimilarityMap(network, AttributeKind::kTimestamp));
+  }
+  if (options.meta_paths) {
+    for (MetaPath path : AllMetaPaths()) {
+      if (path == MetaPath::kUserUserUser) {
+        // The structural schema must respect the (training) structure
+        // graph, not the network's full friend layer.
+        const Matrix a = structure.AdjacencyMatrix();
+        Matrix counts = a * a;
+        Matrix sim(n, n);
+        for (std::size_t u = 0; u < n; ++u) {
+          const double cu = counts(u, u);
+          if (cu <= 0.0) continue;
+          for (std::size_t v = u + 1; v < n; ++v) {
+            const double cv = counts(v, v);
+            if (cv <= 0.0) continue;
+            const double value = counts(u, v) / std::sqrt(cu * cv);
+            sim(u, v) = value;
+            sim(v, u) = value;
+          }
+        }
+        add(std::move(sim));
+      } else {
+        add(MetaPathSimilarityMap(network, path));
+      }
+    }
+  }
+  SLAMPRED_CHECK(slice == d);
+
+  tensor.NormalizeSlicesMinMax();
+  if (options.sqrt_transform) {
+    for (double& v : tensor.data()) v = std::sqrt(v);
+  }
+  return tensor;
+}
+
+}  // namespace slampred

@@ -1,0 +1,37 @@
+// Structural intimacy features over user pairs, computed from an
+// (observed / training) social graph: the classic neighborhood predictors
+// plus truncated path counts. Each extractor returns a full n x n
+// symmetric feature map (one slice of the paper's X^k tensor).
+
+#ifndef SLAMPRED_FEATURES_STRUCTURAL_FEATURES_H_
+#define SLAMPRED_FEATURES_STRUCTURAL_FEATURES_H_
+
+#include "graph/social_graph.h"
+#include "linalg/matrix.h"
+
+namespace slampred {
+
+/// Common-neighbor counts |Γ(u) ∩ Γ(v)|.
+Matrix CommonNeighborsMap(const SocialGraph& graph);
+
+/// Jaccard coefficients |Γ(u) ∩ Γ(v)| / |Γ(u) ∪ Γ(v)| (0 when the union
+/// is empty).
+Matrix JaccardMap(const SocialGraph& graph);
+
+/// Adamic–Adar scores Σ_{w ∈ Γ(u)∩Γ(v)} 1/log(deg(w)) (degree-1 common
+/// neighbors contribute with log replaced by log 2).
+Matrix AdamicAdarMap(const SocialGraph& graph);
+
+/// Resource-allocation scores Σ_{w ∈ Γ(u)∩Γ(v)} 1/deg(w).
+Matrix ResourceAllocationMap(const SocialGraph& graph);
+
+/// Preferential-attachment products deg(u) * deg(v).
+Matrix PreferentialAttachmentMap(const SocialGraph& graph);
+
+/// Truncated Katz index β A² + β² A³ (paths of length 2 and 3); captures
+/// slightly longer-range closure than CN without a matrix inverse.
+Matrix TruncatedKatzMap(const SocialGraph& graph, double beta = 0.05);
+
+}  // namespace slampred
+
+#endif  // SLAMPRED_FEATURES_STRUCTURAL_FEATURES_H_

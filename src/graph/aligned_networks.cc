@@ -1,0 +1,38 @@
+#include "graph/aligned_networks.h"
+
+#include "util/logging.h"
+
+namespace slampred {
+
+AlignedNetworks::AlignedNetworks(HeterogeneousNetwork target)
+    : target_(std::move(target)) {}
+
+std::size_t AlignedNetworks::AddSource(HeterogeneousNetwork source,
+                                       AnchorLinks anchors) {
+  SLAMPRED_CHECK(anchors.left_users() == target_.NumUsers())
+      << "anchor left side must match target user count";
+  SLAMPRED_CHECK(anchors.right_users() == source.NumUsers())
+      << "anchor right side must match source user count";
+  sources_.push_back(std::move(source));
+  anchors_.push_back(std::move(anchors));
+  return sources_.size() - 1;
+}
+
+const HeterogeneousNetwork& AlignedNetworks::source(std::size_t k) const {
+  SLAMPRED_CHECK(k < sources_.size()) << "source index out of range";
+  return sources_[k];
+}
+
+const AnchorLinks& AlignedNetworks::anchors(std::size_t k) const {
+  SLAMPRED_CHECK(k < anchors_.size()) << "anchor index out of range";
+  return anchors_[k];
+}
+
+void AlignedNetworks::SetAnchors(std::size_t k, AnchorLinks anchors) {
+  SLAMPRED_CHECK(k < anchors_.size()) << "anchor index out of range";
+  SLAMPRED_CHECK(anchors.left_users() == target_.NumUsers());
+  SLAMPRED_CHECK(anchors.right_users() == sources_[k].NumUsers());
+  anchors_[k] = std::move(anchors);
+}
+
+}  // namespace slampred

@@ -1,0 +1,53 @@
+// The multiple-aligned-networks bundle G = ({Gᵗ, G¹, ..., G^K},
+// {A^{t,1}, ...}) of Definition 2. The target network is distinguished;
+// each source network carries its anchor-link set to the target.
+
+#ifndef SLAMPRED_GRAPH_ALIGNED_NETWORKS_H_
+#define SLAMPRED_GRAPH_ALIGNED_NETWORKS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/anchor_links.h"
+#include "graph/heterogeneous_network.h"
+
+namespace slampred {
+
+/// A target heterogeneous network plus K aligned source networks and the
+/// anchor links pairing the target's users with each source's users.
+/// (Source-source anchor links are not needed by SLAMPRED and omitted.)
+class AlignedNetworks {
+ public:
+  /// Takes ownership of the target network.
+  explicit AlignedNetworks(HeterogeneousNetwork target);
+
+  /// Adds a source network with its anchor links to the target. The
+  /// anchor set's sides must match the target's and source's user
+  /// counts. Returns the source index.
+  std::size_t AddSource(HeterogeneousNetwork source, AnchorLinks anchors);
+
+  /// The target network Gᵗ.
+  const HeterogeneousNetwork& target() const { return target_; }
+  HeterogeneousNetwork& mutable_target() { return target_; }
+
+  /// Number of aligned source networks K.
+  std::size_t num_sources() const { return sources_.size(); }
+
+  /// The k-th source network G^k (0-based).
+  const HeterogeneousNetwork& source(std::size_t k) const;
+
+  /// The anchor links A^{t,k} between the target and the k-th source.
+  const AnchorLinks& anchors(std::size_t k) const;
+
+  /// Replaces the anchor set for source k (used by the ratio sweep).
+  void SetAnchors(std::size_t k, AnchorLinks anchors);
+
+ private:
+  HeterogeneousNetwork target_;
+  std::vector<HeterogeneousNetwork> sources_;
+  std::vector<AnchorLinks> anchors_;
+};
+
+}  // namespace slampred
+
+#endif  // SLAMPRED_GRAPH_ALIGNED_NETWORKS_H_

@@ -1,0 +1,61 @@
+#include "graph/anchor_links.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace slampred {
+
+AnchorLinks::AnchorLinks(std::size_t left_users, std::size_t right_users)
+    : left_to_right_(left_users), right_to_left_(right_users) {}
+
+Status AnchorLinks::Add(std::size_t left, std::size_t right) {
+  if (left >= left_to_right_.size() || right >= right_to_left_.size()) {
+    return Status::OutOfRange("anchor endpoint out of range");
+  }
+  if (left_to_right_[left].has_value()) {
+    return Status::AlreadyExists("left user " + std::to_string(left) +
+                                 " already anchored");
+  }
+  if (right_to_left_[right].has_value()) {
+    return Status::AlreadyExists("right user " + std::to_string(right) +
+                                 " already anchored");
+  }
+  left_to_right_[left] = right;
+  right_to_left_[right] = left;
+  pairs_.emplace_back(left, right);
+  return Status::OK();
+}
+
+std::optional<std::size_t> AnchorLinks::RightOf(std::size_t left) const {
+  if (left >= left_to_right_.size()) return std::nullopt;
+  return left_to_right_[left];
+}
+
+std::optional<std::size_t> AnchorLinks::LeftOf(std::size_t right) const {
+  if (right >= right_to_left_.size()) return std::nullopt;
+  return right_to_left_[right];
+}
+
+bool AnchorLinks::Contains(std::size_t left, std::size_t right) const {
+  const auto r = RightOf(left);
+  return r.has_value() && *r == right;
+}
+
+AnchorLinks AnchorLinks::Sampled(double ratio, Rng& rng) const {
+  ratio = std::clamp(ratio, 0.0, 1.0);
+  const std::size_t keep = static_cast<std::size_t>(
+      std::ceil(ratio * static_cast<double>(pairs_.size())));
+  AnchorLinks out(left_to_right_.size(), right_to_left_.size());
+  if (keep == 0) return out;
+  const auto chosen = rng.SampleWithoutReplacement(pairs_.size(), keep);
+  for (std::size_t idx : chosen) {
+    const Status st = out.Add(pairs_[idx].first, pairs_[idx].second);
+    SLAMPRED_CHECK(st.ok()) << st.ToString();
+  }
+  return out;
+}
+
+}  // namespace slampred

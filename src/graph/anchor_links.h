@@ -1,0 +1,64 @@
+// Anchor links: one-to-one correspondences between user accounts of two
+// aligned networks (Definition 2 of the paper). The anchor-ratio sweep
+// of Table II subsamples these.
+
+#ifndef SLAMPRED_GRAPH_ANCHOR_LINKS_H_
+#define SLAMPRED_GRAPH_ANCHOR_LINKS_H_
+
+#include <cstddef>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace slampred {
+
+class Rng;
+
+/// The set of anchor links A^{t,k} between a target network (left side)
+/// and one source network (right side). Each account participates in at
+/// most one anchor link (one-to-one constraint, as in the paper's
+/// Foursquare/Twitter data).
+class AnchorLinks {
+ public:
+  /// Empty set between networks of the given user counts.
+  AnchorLinks(std::size_t left_users, std::size_t right_users);
+
+  std::size_t left_users() const { return left_to_right_.size(); }
+  std::size_t right_users() const { return right_to_left_.size(); }
+
+  /// Number of anchor links.
+  std::size_t size() const { return pairs_.size(); }
+
+  /// Adds the anchor link (left, right); fails if either endpoint is out
+  /// of range or already anchored.
+  Status Add(std::size_t left, std::size_t right);
+
+  /// The right-side account anchored to `left`, if any.
+  std::optional<std::size_t> RightOf(std::size_t left) const;
+
+  /// The left-side account anchored to `right`, if any.
+  std::optional<std::size_t> LeftOf(std::size_t right) const;
+
+  /// True iff (left, right) is an anchor link.
+  bool Contains(std::size_t left, std::size_t right) const;
+
+  /// All anchor pairs in insertion order.
+  const std::vector<std::pair<std::size_t, std::size_t>>& pairs() const {
+    return pairs_;
+  }
+
+  /// Random subset keeping ceil(ratio * size()) links (the paper's anchor
+  /// link sampling ratio). ratio is clamped to [0, 1].
+  AnchorLinks Sampled(double ratio, Rng& rng) const;
+
+ private:
+  std::vector<std::optional<std::size_t>> left_to_right_;
+  std::vector<std::optional<std::size_t>> right_to_left_;
+  std::vector<std::pair<std::size_t, std::size_t>> pairs_;
+};
+
+}  // namespace slampred
+
+#endif  // SLAMPRED_GRAPH_ANCHOR_LINKS_H_

@@ -1,0 +1,225 @@
+#include "graph/graph_io.h"
+
+#include <fstream>
+#include <optional>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace slampred {
+
+namespace {
+
+std::optional<NodeType> NodeTypeFromName(const std::string& name) {
+  for (std::size_t t = 0; t < kNumNodeTypes; ++t) {
+    const NodeType type = static_cast<NodeType>(t);
+    if (name == NodeTypeName(type)) return type;
+  }
+  return std::nullopt;
+}
+
+std::optional<EdgeType> EdgeTypeFromName(const std::string& name) {
+  for (std::size_t e = 0; e < kNumEdgeTypes; ++e) {
+    const EdgeType type = static_cast<EdgeType>(e);
+    if (name == EdgeTypeName(type)) return type;
+  }
+  return std::nullopt;
+}
+
+Status LineError(std::size_t line_number, const std::string& message) {
+  return Status::InvalidArgument("line " + std::to_string(line_number) +
+                                 ": " + message);
+}
+
+bool ParseSize(const std::string& token, std::size_t* out) {
+  if (token.empty()) return false;
+  std::size_t value = 0;
+  for (char c : token) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<std::size_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+Status WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  out << content;
+  if (!out.good()) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string SerializeNetwork(const HeterogeneousNetwork& network) {
+  std::string out = "# slampred heterogeneous network v1\n";
+  out += "network " + network.name() + "\n";
+  for (std::size_t t = 0; t < kNumNodeTypes; ++t) {
+    const NodeType type = static_cast<NodeType>(t);
+    if (network.NumNodes(type) == 0) continue;
+    out += "nodes " + std::string(NodeTypeName(type)) + " " +
+           std::to_string(network.NumNodes(type)) + "\n";
+  }
+  for (std::size_t e = 0; e < kNumEdgeTypes; ++e) {
+    const EdgeType type = static_cast<EdgeType>(e);
+    const std::size_t src_count = network.NumNodes(EdgeSourceType(type));
+    for (std::size_t src = 0; src < src_count; ++src) {
+      for (std::size_t dst : network.Neighbors(type, src)) {
+        // Friend edges are stored both ways; emit each pair once.
+        if (type == EdgeType::kFriend && dst < src) continue;
+        out += "edge " + std::string(EdgeTypeName(type)) + " " +
+               std::to_string(src) + " " + std::to_string(dst) + "\n";
+      }
+    }
+  }
+  return out;
+}
+
+Result<HeterogeneousNetwork> ParseNetwork(const std::string& text) {
+  HeterogeneousNetwork network("network");
+  std::istringstream stream(text);
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(stream, line)) {
+    ++line_number;
+    line = Trim(line);
+    if (line.empty() || line[0] == '#') continue;
+    const std::vector<std::string> tokens = Split(line, ' ');
+    if (tokens[0] == "network") {
+      if (tokens.size() != 2) {
+        return LineError(line_number, "expected 'network <name>'");
+      }
+      network = HeterogeneousNetwork(tokens[1]);
+      continue;
+    }
+    if (tokens[0] == "nodes") {
+      if (tokens.size() != 3) {
+        return LineError(line_number, "expected 'nodes <type> <count>'");
+      }
+      const auto type = NodeTypeFromName(tokens[1]);
+      std::size_t count = 0;
+      if (!type.has_value()) {
+        return LineError(line_number, "unknown node type " + tokens[1]);
+      }
+      if (!ParseSize(tokens[2], &count)) {
+        return LineError(line_number, "bad count " + tokens[2]);
+      }
+      network.AddNodes(*type, count);
+      continue;
+    }
+    if (tokens[0] == "edge") {
+      if (tokens.size() != 4) {
+        return LineError(line_number, "expected 'edge <type> <src> <dst>'");
+      }
+      const auto type = EdgeTypeFromName(tokens[1]);
+      std::size_t src = 0;
+      std::size_t dst = 0;
+      if (!type.has_value()) {
+        return LineError(line_number, "unknown edge type " + tokens[1]);
+      }
+      if (!ParseSize(tokens[2], &src) || !ParseSize(tokens[3], &dst)) {
+        return LineError(line_number, "bad endpoints");
+      }
+      const Status added = network.AddEdge(*type, src, dst);
+      if (!added.ok()) {
+        return LineError(line_number, added.message());
+      }
+      continue;
+    }
+    return LineError(line_number, "unknown directive " + tokens[0]);
+  }
+  return network;
+}
+
+Status SaveNetwork(const HeterogeneousNetwork& network,
+                   const std::string& path) {
+  return WriteFile(path, SerializeNetwork(network));
+}
+
+Result<HeterogeneousNetwork> LoadNetwork(const std::string& path) {
+  auto text = ReadFile(path);
+  if (!text.ok()) return text.status();
+  return ParseNetwork(text.value());
+}
+
+std::string SerializeAnchors(const AnchorLinks& anchors) {
+  std::string out = "# slampred anchor links v1\n";
+  out += "anchors " + std::to_string(anchors.left_users()) + " " +
+         std::to_string(anchors.right_users()) + "\n";
+  for (const auto& [left, right] : anchors.pairs()) {
+    out += "anchor " + std::to_string(left) + " " + std::to_string(right) +
+           "\n";
+  }
+  return out;
+}
+
+Result<AnchorLinks> ParseAnchors(const std::string& text) {
+  std::istringstream stream(text);
+  std::string line;
+  std::size_t line_number = 0;
+  std::optional<AnchorLinks> anchors;
+  while (std::getline(stream, line)) {
+    ++line_number;
+    line = Trim(line);
+    if (line.empty() || line[0] == '#') continue;
+    const std::vector<std::string> tokens = Split(line, ' ');
+    if (tokens[0] == "anchors") {
+      if (tokens.size() != 3) {
+        return LineError(line_number, "expected 'anchors <left> <right>'");
+      }
+      std::size_t left = 0;
+      std::size_t right = 0;
+      if (!ParseSize(tokens[1], &left) || !ParseSize(tokens[2], &right)) {
+        return LineError(line_number, "bad user counts");
+      }
+      anchors.emplace(left, right);
+      continue;
+    }
+    if (tokens[0] == "anchor") {
+      if (!anchors.has_value()) {
+        return LineError(line_number, "'anchor' before 'anchors' header");
+      }
+      if (tokens.size() != 3) {
+        return LineError(line_number, "expected 'anchor <left> <right>'");
+      }
+      std::size_t left = 0;
+      std::size_t right = 0;
+      if (!ParseSize(tokens[1], &left) || !ParseSize(tokens[2], &right)) {
+        return LineError(line_number, "bad endpoints");
+      }
+      const Status added = anchors->Add(left, right);
+      if (!added.ok()) return LineError(line_number, added.message());
+      continue;
+    }
+    return LineError(line_number, "unknown directive " + tokens[0]);
+  }
+  if (!anchors.has_value()) {
+    return Status::InvalidArgument("missing 'anchors' header");
+  }
+  return std::move(*anchors);
+}
+
+Status SaveAnchors(const AnchorLinks& anchors, const std::string& path) {
+  return WriteFile(path, SerializeAnchors(anchors));
+}
+
+Result<AnchorLinks> LoadAnchors(const std::string& path) {
+  auto text = ReadFile(path);
+  if (!text.ok()) return text.status();
+  return ParseAnchors(text.value());
+}
+
+}  // namespace slampred

@@ -1,0 +1,55 @@
+// Plain-text serialisation of heterogeneous networks and anchor links,
+// so the library can be driven by real datasets (or inspected) without
+// recompiling. The format is line-oriented:
+//
+//   # comments and blank lines are ignored
+//   network <name>
+//   nodes <node-type> <count>          e.g. "nodes user 5223"
+//   edge <edge-type> <src> <dst>       e.g. "edge friend 12 85"
+//
+// and for anchor links:
+//
+//   anchors <left-user-count> <right-user-count>
+//   anchor <left> <right>
+
+#ifndef SLAMPRED_GRAPH_GRAPH_IO_H_
+#define SLAMPRED_GRAPH_GRAPH_IO_H_
+
+#include <string>
+
+#include "graph/anchor_links.h"
+#include "graph/heterogeneous_network.h"
+#include "util/status.h"
+
+namespace slampred {
+
+/// Serialises a network to the text format.
+std::string SerializeNetwork(const HeterogeneousNetwork& network);
+
+/// Parses a network from the text format; fails with kInvalidArgument on
+/// malformed lines (reporting the line number) and on edges whose
+/// endpoints are out of range.
+Result<HeterogeneousNetwork> ParseNetwork(const std::string& text);
+
+/// Writes a network to `path`.
+Status SaveNetwork(const HeterogeneousNetwork& network,
+                   const std::string& path);
+
+/// Reads a network from `path`.
+Result<HeterogeneousNetwork> LoadNetwork(const std::string& path);
+
+/// Serialises anchor links to the text format.
+std::string SerializeAnchors(const AnchorLinks& anchors);
+
+/// Parses anchor links from the text format.
+Result<AnchorLinks> ParseAnchors(const std::string& text);
+
+/// Writes anchor links to `path`.
+Status SaveAnchors(const AnchorLinks& anchors, const std::string& path);
+
+/// Reads anchor links from `path`.
+Result<AnchorLinks> LoadAnchors(const std::string& path);
+
+}  // namespace slampred
+
+#endif  // SLAMPRED_GRAPH_GRAPH_IO_H_

@@ -1,0 +1,75 @@
+// Heterogeneous information network G = (V, E): typed node sets and
+// typed adjacency, per Definition 1 of the paper.
+
+#ifndef SLAMPRED_GRAPH_HETEROGENEOUS_NETWORK_H_
+#define SLAMPRED_GRAPH_HETEROGENEOUS_NETWORK_H_
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "graph/node_types.h"
+#include "util/status.h"
+
+namespace slampred {
+
+/// A heterogeneous information network: users, posts, words, timestamps
+/// and locations, with typed edges between them. Nodes of each type are
+/// dense indices [0, NumNodes(type)). Friend edges are kept undirected
+/// (stored in both directions); all other edge types are directed from
+/// their natural source (user→post, post→word, ...).
+class HeterogeneousNetwork {
+ public:
+  /// Creates an empty network with the given display name.
+  explicit HeterogeneousNetwork(std::string name = "network");
+
+  /// Network display name (e.g. "target", "source-1").
+  const std::string& name() const { return name_; }
+
+  /// Adds `count` fresh nodes of `type`; returns the first new index.
+  std::size_t AddNodes(NodeType type, std::size_t count = 1);
+
+  /// Number of nodes of `type`.
+  std::size_t NumNodes(NodeType type) const;
+
+  /// Number of users (shorthand for NumNodes(kUser)).
+  std::size_t NumUsers() const { return NumNodes(NodeType::kUser); }
+
+  /// Adds a typed edge; endpoints must exist and match the edge type's
+  /// endpoint types. Friend edges are undirected: (u,v) implies (v,u),
+  /// self-loops are rejected, duplicates are ignored.
+  Status AddEdge(EdgeType type, std::size_t src, std::size_t dst);
+
+  /// True iff the directed (or for kFriend, undirected) edge exists.
+  bool HasEdge(EdgeType type, std::size_t src, std::size_t dst) const;
+
+  /// Out-neighbors of `src` under `type` (sorted ascending).
+  const std::vector<std::size_t>& Neighbors(EdgeType type,
+                                            std::size_t src) const;
+
+  /// Total number of edges of `type`. Friend edges are counted once per
+  /// undirected pair.
+  std::size_t NumEdges(EdgeType type) const;
+
+  /// Out-degree of `src` under `type`.
+  std::size_t Degree(EdgeType type, std::size_t src) const;
+
+  /// Removes all friend edges (used when re-basing a network on a
+  /// training fold); other edge types are untouched.
+  void ClearFriendEdges();
+
+  /// One-line summary: node and edge counts per type.
+  std::string Summary() const;
+
+ private:
+  std::string name_;
+  std::array<std::size_t, kNumNodeTypes> node_counts_{};
+  // adjacency_[edge_type][src] = sorted out-neighbor list.
+  std::array<std::vector<std::vector<std::size_t>>, kNumEdgeTypes> adjacency_;
+  std::array<std::size_t, kNumEdgeTypes> edge_counts_{};
+};
+
+}  // namespace slampred
+
+#endif  // SLAMPRED_GRAPH_HETEROGENEOUS_NETWORK_H_

@@ -1,0 +1,71 @@
+#include "graph/node_types.h"
+
+namespace slampred {
+
+const char* NodeTypeName(NodeType type) {
+  switch (type) {
+    case NodeType::kUser:
+      return "user";
+    case NodeType::kPost:
+      return "post";
+    case NodeType::kWord:
+      return "word";
+    case NodeType::kTimestamp:
+      return "timestamp";
+    case NodeType::kLocation:
+      return "location";
+  }
+  return "?";
+}
+
+const char* EdgeTypeName(EdgeType type) {
+  switch (type) {
+    case EdgeType::kFriend:
+      return "friend";
+    case EdgeType::kWrite:
+      return "write";
+    case EdgeType::kHasWord:
+      return "has_word";
+    case EdgeType::kPostedAt:
+      return "posted_at";
+    case EdgeType::kCheckin:
+      return "checkin";
+  }
+  return "?";
+}
+
+NodeType EdgeSourceType(EdgeType type) {
+  switch (type) {
+    case EdgeType::kFriend:
+    case EdgeType::kWrite:
+      return NodeType::kUser;
+    case EdgeType::kHasWord:
+    case EdgeType::kPostedAt:
+    case EdgeType::kCheckin:
+      return NodeType::kPost;
+  }
+  return NodeType::kUser;
+}
+
+NodeType EdgeDestType(EdgeType type) {
+  switch (type) {
+    case EdgeType::kFriend:
+      return NodeType::kUser;
+    case EdgeType::kWrite:
+      return NodeType::kPost;
+    case EdgeType::kHasWord:
+      return NodeType::kWord;
+    case EdgeType::kPostedAt:
+      return NodeType::kTimestamp;
+    case EdgeType::kCheckin:
+      return NodeType::kLocation;
+  }
+  return NodeType::kUser;
+}
+
+std::string NodeRefToString(const NodeRef& ref) {
+  return std::string(NodeTypeName(ref.type)) + ":" +
+         std::to_string(ref.index);
+}
+
+}  // namespace slampred

@@ -1,0 +1,64 @@
+// Node and edge taxonomy of the heterogeneous information networks in
+// the paper: V = U ∪ P ∪ W ∪ T ∪ L (users, posts, words, timestamps,
+// location checkins) and E = E_u ∪ E_p ∪ E_w ∪ E_t ∪ E_l.
+
+#ifndef SLAMPRED_GRAPH_NODE_TYPES_H_
+#define SLAMPRED_GRAPH_NODE_TYPES_H_
+
+#include <cstdint>
+#include <string>
+
+namespace slampred {
+
+/// Node categories of the heterogeneous information network.
+enum class NodeType : std::uint8_t {
+  kUser = 0,
+  kPost = 1,
+  kWord = 2,
+  kTimestamp = 3,
+  kLocation = 4,
+};
+
+/// Number of node categories.
+inline constexpr std::size_t kNumNodeTypes = 5;
+
+/// Edge categories; each connects a fixed pair of node types.
+enum class EdgeType : std::uint8_t {
+  kFriend = 0,    ///< user – user (E_u, undirected social links).
+  kWrite = 1,     ///< user – post (E_p).
+  kHasWord = 2,   ///< post – word (E_w).
+  kPostedAt = 3,  ///< post – timestamp (E_t).
+  kCheckin = 4,   ///< post – location (E_l).
+};
+
+/// Number of edge categories.
+inline constexpr std::size_t kNumEdgeTypes = 5;
+
+/// Human-readable node type name.
+const char* NodeTypeName(NodeType type);
+
+/// Human-readable edge type name.
+const char* EdgeTypeName(EdgeType type);
+
+/// The node type an edge type's source endpoint must have.
+NodeType EdgeSourceType(EdgeType type);
+
+/// The node type an edge type's destination endpoint must have.
+NodeType EdgeDestType(EdgeType type);
+
+/// Typed node handle: a type plus an index within that type.
+struct NodeRef {
+  NodeType type;
+  std::size_t index;
+
+  bool operator==(const NodeRef& other) const {
+    return type == other.type && index == other.index;
+  }
+};
+
+/// Renders "user:17" style handles.
+std::string NodeRefToString(const NodeRef& ref);
+
+}  // namespace slampred
+
+#endif  // SLAMPRED_GRAPH_NODE_TYPES_H_

@@ -1,0 +1,80 @@
+#include "linalg/cholesky.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace slampred {
+
+Result<CholeskyResult> ComputeCholesky(const Matrix& a) {
+  if (a.empty() || !a.IsSquare()) {
+    return Status::InvalidArgument("Cholesky needs a non-empty square matrix");
+  }
+  const std::size_t n = a.rows();
+  Matrix l(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    if (diag <= 0.0 || !std::isfinite(diag)) {
+      return Status::NumericalError(
+          "matrix not positive definite at pivot " + std::to_string(j));
+    }
+    const double ljj = std::sqrt(diag);
+    l(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double sum = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) sum -= l(i, k) * l(j, k);
+      l(i, j) = sum / ljj;
+    }
+  }
+  return CholeskyResult{std::move(l)};
+}
+
+Vector ForwardSubstitute(const Matrix& l, const Vector& b) {
+  SLAMPRED_CHECK(l.IsSquare() && l.rows() == b.size());
+  const std::size_t n = b.size();
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (std::size_t k = 0; k < i; ++k) sum -= l(i, k) * y[k];
+    y[i] = sum / l(i, i);
+  }
+  return y;
+}
+
+Vector BackSubstituteTranspose(const Matrix& l, const Vector& y) {
+  SLAMPRED_CHECK(l.IsSquare() && l.rows() == y.size());
+  const std::size_t n = y.size();
+  Vector x(n);
+  for (std::size_t ii = n; ii > 0; --ii) {
+    const std::size_t i = ii - 1;
+    double sum = y[i];
+    for (std::size_t k = i + 1; k < n; ++k) sum -= l(k, i) * x[k];
+    x[i] = sum / l(i, i);
+  }
+  return x;
+}
+
+Vector CholeskySolve(const CholeskyResult& chol, const Vector& b) {
+  return BackSubstituteTranspose(chol.l, ForwardSubstitute(chol.l, b));
+}
+
+Matrix ForwardSubstituteMatrix(const Matrix& l, const Matrix& b) {
+  SLAMPRED_CHECK(l.IsSquare() && l.rows() == b.rows());
+  Matrix out(b.rows(), b.cols());
+  for (std::size_t j = 0; j < b.cols(); ++j) {
+    out.SetCol(j, ForwardSubstitute(l, b.Col(j)));
+  }
+  return out;
+}
+
+Matrix BackSubstituteTransposeMatrix(const Matrix& l, const Matrix& b) {
+  SLAMPRED_CHECK(l.IsSquare() && l.rows() == b.rows());
+  Matrix out(b.rows(), b.cols());
+  for (std::size_t j = 0; j < b.cols(); ++j) {
+    out.SetCol(j, BackSubstituteTranspose(l, b.Col(j)));
+  }
+  return out;
+}
+
+}  // namespace slampred

@@ -1,0 +1,41 @@
+// Cholesky factorisation of symmetric positive-definite matrices, plus
+// triangular solves. Used to reduce the generalized eigenproblem of the
+// paper's Theorem 1 to a standard symmetric one.
+
+#ifndef SLAMPRED_LINALG_CHOLESKY_H_
+#define SLAMPRED_LINALG_CHOLESKY_H_
+
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+#include "util/status.h"
+
+namespace slampred {
+
+/// Lower-triangular factor of A = L Lᵀ.
+struct CholeskyResult {
+  Matrix l;  ///< Lower-triangular factor.
+};
+
+/// Computes the Cholesky factor of the SPD matrix `a`.
+/// Fails with kNumericalError if a non-positive pivot appears (matrix is
+/// not positive definite within roundoff).
+Result<CholeskyResult> ComputeCholesky(const Matrix& a);
+
+/// Solves L y = b for lower-triangular L (forward substitution).
+Vector ForwardSubstitute(const Matrix& l, const Vector& b);
+
+/// Solves Lᵀ x = y for lower-triangular L (back substitution on Lᵀ).
+Vector BackSubstituteTranspose(const Matrix& l, const Vector& y);
+
+/// Solves A x = b given the Cholesky factor of A.
+Vector CholeskySolve(const CholeskyResult& chol, const Vector& b);
+
+/// Computes L⁻¹ B column-by-column (forward substitution per column).
+Matrix ForwardSubstituteMatrix(const Matrix& l, const Matrix& b);
+
+/// Computes L⁻ᵀ B column-by-column.
+Matrix BackSubstituteTransposeMatrix(const Matrix& l, const Matrix& b);
+
+}  // namespace slampred
+
+#endif  // SLAMPRED_LINALG_CHOLESKY_H_

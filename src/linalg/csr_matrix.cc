@@ -1,0 +1,195 @@
+#include "linalg/csr_matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace slampred {
+
+CsrMatrix CsrMatrix::FromTriplets(std::size_t rows, std::size_t cols,
+                                  std::vector<Triplet> triplets) {
+  for (const Triplet& t : triplets) {
+    SLAMPRED_CHECK(t.row < rows && t.col < cols)
+        << "triplet (" << t.row << "," << t.col << ") outside " << rows << "x"
+        << cols;
+  }
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+
+  CsrMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_ptr_.assign(rows + 1, 0);
+
+  // Merge duplicates, drop zeros.
+  std::vector<Triplet> merged;
+  merged.reserve(triplets.size());
+  for (const Triplet& t : triplets) {
+    if (!merged.empty() && merged.back().row == t.row &&
+        merged.back().col == t.col) {
+      merged.back().value += t.value;
+    } else {
+      merged.push_back(t);
+    }
+  }
+
+  for (const Triplet& t : merged) {
+    if (t.value == 0.0) continue;
+    m.col_idx_.push_back(t.col);
+    m.values_.push_back(t.value);
+    ++m.row_ptr_[t.row + 1];
+  }
+  for (std::size_t i = 0; i < rows; ++i) m.row_ptr_[i + 1] += m.row_ptr_[i];
+  return m;
+}
+
+CsrMatrix CsrMatrix::FromDense(const Matrix& dense, double drop_tol) {
+  std::vector<Triplet> trips;
+  for (std::size_t i = 0; i < dense.rows(); ++i) {
+    for (std::size_t j = 0; j < dense.cols(); ++j) {
+      const double v = dense(i, j);
+      if (std::fabs(v) > drop_tol) trips.push_back({i, j, v});
+    }
+  }
+  return FromTriplets(dense.rows(), dense.cols(), std::move(trips));
+}
+
+CsrMatrix CsrMatrix::Identity(std::size_t n) {
+  std::vector<Triplet> trips;
+  trips.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) trips.push_back({i, i, 1.0});
+  return FromTriplets(n, n, std::move(trips));
+}
+
+double CsrMatrix::At(std::size_t i, std::size_t j) const {
+  SLAMPRED_CHECK(i < rows_ && j < cols_) << "CSR index out of range";
+  const auto begin = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[i]);
+  const auto end = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[i + 1]);
+  const auto it = std::lower_bound(begin, end, j);
+  if (it == end || *it != j) return 0.0;
+  return values_[static_cast<std::size_t>(it - col_idx_.begin())];
+}
+
+Vector CsrMatrix::Multiply(const Vector& x) const {
+  SLAMPRED_CHECK(x.size() == cols_) << "CSR matvec shape mismatch";
+  Vector y(rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double sum = 0.0;
+    for (std::size_t p = row_ptr_[i]; p < row_ptr_[i + 1]; ++p) {
+      sum += values_[p] * x[col_idx_[p]];
+    }
+    y[i] = sum;
+  }
+  return y;
+}
+
+Vector CsrMatrix::MultiplyTranspose(const Vector& x) const {
+  SLAMPRED_CHECK(x.size() == rows_) << "CSR matvec(T) shape mismatch";
+  Vector y(cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double xi = x[i];
+    if (xi == 0.0) continue;
+    for (std::size_t p = row_ptr_[i]; p < row_ptr_[i + 1]; ++p) {
+      y[col_idx_[p]] += values_[p] * xi;
+    }
+  }
+  return y;
+}
+
+Matrix CsrMatrix::MultiplyDense(const Matrix& b) const {
+  SLAMPRED_CHECK(b.rows() == cols_) << "CSR * dense shape mismatch";
+  Matrix out(rows_, b.cols());
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t p = row_ptr_[i]; p < row_ptr_[i + 1]; ++p) {
+      const double v = values_[p];
+      const std::size_t k = col_idx_[p];
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        out(i, j) += v * b(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+Matrix CsrMatrix::MultiplyTransposeDense(const Matrix& b) const {
+  SLAMPRED_CHECK(b.rows() == rows_) << "CSRᵀ * dense shape mismatch";
+  Matrix out(cols_, b.cols());
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t p = row_ptr_[i]; p < row_ptr_[i + 1]; ++p) {
+      const double v = values_[p];
+      const std::size_t k = col_idx_[p];
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        out(k, j) += v * b(i, j);
+      }
+    }
+  }
+  return out;
+}
+
+Vector CsrMatrix::RowSums() const {
+  Vector sums(rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double sum = 0.0;
+    for (std::size_t p = row_ptr_[i]; p < row_ptr_[i + 1]; ++p) {
+      sum += values_[p];
+    }
+    sums[i] = sum;
+  }
+  return sums;
+}
+
+Matrix CsrMatrix::ToDense() const {
+  Matrix out(rows_, cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t p = row_ptr_[i]; p < row_ptr_[i + 1]; ++p) {
+      out(i, col_idx_[p]) = values_[p];
+    }
+  }
+  return out;
+}
+
+CsrMatrix CsrMatrix::Transposed() const {
+  std::vector<Triplet> trips;
+  trips.reserve(nnz());
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t p = row_ptr_[i]; p < row_ptr_[i + 1]; ++p) {
+      trips.push_back({col_idx_[p], i, values_[p]});
+    }
+  }
+  return FromTriplets(cols_, rows_, std::move(trips));
+}
+
+CsrMatrix CsrMatrix::Scaled(double factor) const {
+  CsrMatrix out = *this;
+  for (double& v : out.values_) v *= factor;
+  return out;
+}
+
+CsrMatrix CsrMatrix::Add(const CsrMatrix& other) const {
+  SLAMPRED_CHECK(rows_ == other.rows_ && cols_ == other.cols_)
+      << "CSR add shape mismatch";
+  std::vector<Triplet> trips;
+  trips.reserve(nnz() + other.nnz());
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t p = row_ptr_[i]; p < row_ptr_[i + 1]; ++p) {
+      trips.push_back({i, col_idx_[p], values_[p]});
+    }
+  }
+  for (std::size_t i = 0; i < other.rows_; ++i) {
+    for (std::size_t p = other.row_ptr_[i]; p < other.row_ptr_[i + 1]; ++p) {
+      trips.push_back({i, other.col_idx_[p], other.values_[p]});
+    }
+  }
+  return FromTriplets(rows_, cols_, std::move(trips));
+}
+
+double CsrMatrix::Sum() const {
+  double sum = 0.0;
+  for (double v : values_) sum += v;
+  return sum;
+}
+
+}  // namespace slampred

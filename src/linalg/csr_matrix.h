@@ -1,0 +1,93 @@
+// Compressed sparse row matrix for the big, sparse link-instance
+// indicator matrices W_A / W_S / W_D and their Laplacian products. The
+// embedding step multiplies these against the block-diagonal feature
+// matrix Z, which is far cheaper in CSR than dense.
+
+#ifndef SLAMPRED_LINALG_CSR_MATRIX_H_
+#define SLAMPRED_LINALG_CSR_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace slampred {
+
+/// Coordinate-format triplet used to assemble CSR matrices.
+struct Triplet {
+  std::size_t row;
+  std::size_t col;
+  double value;
+};
+
+/// Immutable CSR sparse matrix.
+class CsrMatrix {
+ public:
+  /// Empty 0x0 matrix.
+  CsrMatrix() = default;
+
+  /// Builds from triplets; duplicate (row, col) entries are summed and
+  /// exact zeros are dropped.
+  static CsrMatrix FromTriplets(std::size_t rows, std::size_t cols,
+                                std::vector<Triplet> triplets);
+
+  /// Converts a dense matrix, dropping entries with |v| <= drop_tol.
+  static CsrMatrix FromDense(const Matrix& dense, double drop_tol = 0.0);
+
+  /// Sparse identity of order n.
+  static CsrMatrix Identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t nnz() const { return values_.size(); }
+
+  /// Value at (i, j); O(log nnz(row i)).
+  double At(std::size_t i, std::size_t j) const;
+
+  /// y = A x.
+  Vector Multiply(const Vector& x) const;
+
+  /// y = Aᵀ x.
+  Vector MultiplyTranspose(const Vector& x) const;
+
+  /// C = A B with dense B (rows() x b.cols() dense result).
+  Matrix MultiplyDense(const Matrix& b) const;
+
+  /// C = Aᵀ B with dense B.
+  Matrix MultiplyTransposeDense(const Matrix& b) const;
+
+  /// Row sums (the degree vector of an adjacency-like matrix).
+  Vector RowSums() const;
+
+  /// Densifies (intended for tests / small matrices).
+  Matrix ToDense() const;
+
+  /// Transposed copy.
+  CsrMatrix Transposed() const;
+
+  /// Scales all stored values by `factor`.
+  CsrMatrix Scaled(double factor) const;
+
+  /// Entry-wise sum A + B (shapes must match).
+  CsrMatrix Add(const CsrMatrix& other) const;
+
+  /// Sum of all stored values.
+  double Sum() const;
+
+  /// CSR internals (exposed for iteration by the Laplacian builder).
+  const std::vector<std::size_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<std::size_t>& col_idx() const { return col_idx_; }
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::size_t> row_ptr_{0};
+  std::vector<std::size_t> col_idx_;
+  std::vector<double> values_;
+};
+
+}  // namespace slampred
+
+#endif  // SLAMPRED_LINALG_CSR_MATRIX_H_

@@ -1,0 +1,93 @@
+#include "linalg/lu.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace slampred {
+
+Result<LuResult> ComputeLu(const Matrix& a) {
+  if (a.empty() || !a.IsSquare()) {
+    return Status::InvalidArgument("LU needs a non-empty square matrix");
+  }
+  const std::size_t n = a.rows();
+  LuResult res;
+  res.lu = a;
+  res.perm.resize(n);
+  for (std::size_t i = 0; i < n; ++i) res.perm[i] = i;
+
+  Matrix& m = res.lu;
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivoting: pick the largest |entry| in column k at/below row k.
+    std::size_t pivot = k;
+    double best = std::fabs(m(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double v = std::fabs(m(i, k));
+      if (v > best) {
+        best = v;
+        pivot = i;
+      }
+    }
+    if (best == 0.0) {
+      return Status::NumericalError("singular matrix in LU at column " +
+                                    std::to_string(k));
+    }
+    if (pivot != k) {
+      for (std::size_t j = 0; j < n; ++j) std::swap(m(k, j), m(pivot, j));
+      std::swap(res.perm[k], res.perm[pivot]);
+      res.sign = -res.sign;
+    }
+    const double inv_pivot = 1.0 / m(k, k);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double factor = m(i, k) * inv_pivot;
+      m(i, k) = factor;
+      for (std::size_t j = k + 1; j < n; ++j) {
+        m(i, j) -= factor * m(k, j);
+      }
+    }
+  }
+  return res;
+}
+
+Vector LuSolve(const LuResult& lu, const Vector& b) {
+  const std::size_t n = lu.lu.rows();
+  SLAMPRED_CHECK(b.size() == n);
+  // Apply permutation, then forward- and back-substitute.
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = b[lu.perm[i]];
+    for (std::size_t k = 0; k < i; ++k) sum -= lu.lu(i, k) * y[k];
+    y[i] = sum;
+  }
+  Vector x(n);
+  for (std::size_t ii = n; ii > 0; --ii) {
+    const std::size_t i = ii - 1;
+    double sum = y[i];
+    for (std::size_t k = i + 1; k < n; ++k) sum -= lu.lu(i, k) * x[k];
+    x[i] = sum / lu.lu(i, i);
+  }
+  return x;
+}
+
+Matrix LuSolveMatrix(const LuResult& lu, const Matrix& b) {
+  SLAMPRED_CHECK(b.rows() == lu.lu.rows());
+  Matrix out(b.rows(), b.cols());
+  for (std::size_t j = 0; j < b.cols(); ++j) {
+    out.SetCol(j, LuSolve(lu, b.Col(j)));
+  }
+  return out;
+}
+
+double LuDeterminant(const LuResult& lu) {
+  double det = static_cast<double>(lu.sign);
+  for (std::size_t i = 0; i < lu.lu.rows(); ++i) det *= lu.lu(i, i);
+  return det;
+}
+
+Result<Matrix> Inverse(const Matrix& a) {
+  auto lu = ComputeLu(a);
+  if (!lu.ok()) return lu.status();
+  return LuSolveMatrix(lu.value(), Matrix::Identity(a.rows()));
+}
+
+}  // namespace slampred

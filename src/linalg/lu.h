@@ -1,0 +1,41 @@
+// LU factorisation with partial pivoting; general linear solves and
+// determinants for the few places that need a non-SPD solve.
+
+#ifndef SLAMPRED_LINALG_LU_H_
+#define SLAMPRED_LINALG_LU_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+#include "util/status.h"
+
+namespace slampred {
+
+/// Compact LU factorisation P A = L U with unit-diagonal L stored below
+/// the diagonal of `lu` and U stored on/above it.
+struct LuResult {
+  Matrix lu;                      ///< Packed L (strict lower) and U (upper).
+  std::vector<std::size_t> perm;  ///< Row permutation: row i of PA is row perm[i] of A.
+  int sign = 1;                   ///< Permutation parity (for determinants).
+};
+
+/// Computes the pivoted LU factorisation of the square matrix `a`.
+/// Fails with kNumericalError if a zero pivot is met (singular matrix).
+Result<LuResult> ComputeLu(const Matrix& a);
+
+/// Solves A x = b given a factorisation of A.
+Vector LuSolve(const LuResult& lu, const Vector& b);
+
+/// Solves A X = B column-wise.
+Matrix LuSolveMatrix(const LuResult& lu, const Matrix& b);
+
+/// Determinant from the factorisation.
+double LuDeterminant(const LuResult& lu);
+
+/// Inverts `a` via LU; fails on singular input.
+Result<Matrix> Inverse(const Matrix& a);
+
+}  // namespace slampred
+
+#endif  // SLAMPRED_LINALG_LU_H_

@@ -1,0 +1,296 @@
+#include "linalg/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace slampred {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double value)
+    : rows_(rows), cols_(cols), data_(rows * cols, value) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    SLAMPRED_CHECK(row.size() == cols_) << "ragged initializer list";
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::Identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::Diagonal(const Vector& diag) {
+  Matrix m(diag.size(), diag.size());
+  for (std::size_t i = 0; i < diag.size(); ++i) m(i, i) = diag[i];
+  return m;
+}
+
+Matrix Matrix::RandomGaussian(std::size_t rows, std::size_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  for (double& v : m.data_) v = rng.NextGaussian();
+  return m;
+}
+
+double Matrix::At(std::size_t i, std::size_t j) const {
+  SLAMPRED_CHECK(i < rows_ && j < cols_)
+      << "matrix index (" << i << "," << j << ") out of range (" << rows_
+      << "x" << cols_ << ")";
+  return (*this)(i, j);
+}
+
+void Matrix::Set(std::size_t i, std::size_t j, double value) {
+  SLAMPRED_CHECK(i < rows_ && j < cols_)
+      << "matrix index (" << i << "," << j << ") out of range (" << rows_
+      << "x" << cols_ << ")";
+  (*this)(i, j) = value;
+}
+
+Vector Matrix::Row(std::size_t i) const {
+  SLAMPRED_CHECK(i < rows_);
+  Vector out(cols_);
+  for (std::size_t j = 0; j < cols_; ++j) out[j] = (*this)(i, j);
+  return out;
+}
+
+Vector Matrix::Col(std::size_t j) const {
+  SLAMPRED_CHECK(j < cols_);
+  Vector out(rows_);
+  for (std::size_t i = 0; i < rows_; ++i) out[i] = (*this)(i, j);
+  return out;
+}
+
+void Matrix::SetRow(std::size_t i, const Vector& row) {
+  SLAMPRED_CHECK(i < rows_ && row.size() == cols_);
+  for (std::size_t j = 0; j < cols_; ++j) (*this)(i, j) = row[j];
+}
+
+void Matrix::SetCol(std::size_t j, const Vector& col) {
+  SLAMPRED_CHECK(j < cols_ && col.size() == rows_);
+  for (std::size_t i = 0; i < rows_; ++i) (*this)(i, j) = col[i];
+}
+
+Vector Matrix::Diag() const {
+  const std::size_t n = std::min(rows_, cols_);
+  Vector out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = (*this)(i, i);
+  return out;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  SLAMPRED_CHECK(rows_ == other.rows_ && cols_ == other.cols_)
+      << "matrix shape mismatch in +=";
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  SLAMPRED_CHECK(rows_ == other.rows_ && cols_ == other.cols_)
+      << "matrix shape mismatch in -=";
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double scalar) {
+  for (double& v : data_) v *= scalar;
+  return *this;
+}
+
+Matrix Matrix::operator+(const Matrix& other) const {
+  Matrix out = *this;
+  out += other;
+  return out;
+}
+
+Matrix Matrix::operator-(const Matrix& other) const {
+  Matrix out = *this;
+  out -= other;
+  return out;
+}
+
+Matrix Matrix::operator*(double scalar) const {
+  Matrix out = *this;
+  out *= scalar;
+  return out;
+}
+
+Matrix Matrix::operator*(const Matrix& other) const {
+  SLAMPRED_CHECK(cols_ == other.rows_)
+      << "matmul shape mismatch: " << rows_ << "x" << cols_ << " * "
+      << other.rows_ << "x" << other.cols_;
+  Matrix out(rows_, other.cols_);
+  // i-k-j loop order: streams through `other` row-wise for cache locality.
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double* a_row = &data_[i * cols_];
+    double* out_row = &out.data_[i * other.cols_];
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a_ik = a_row[k];
+      if (a_ik == 0.0) continue;
+      const double* b_row = &other.data_[k * other.cols_];
+      for (std::size_t j = 0; j < other.cols_; ++j) {
+        out_row[j] += a_ik * b_row[j];
+      }
+    }
+  }
+  return out;
+}
+
+Vector Matrix::operator*(const Vector& v) const {
+  SLAMPRED_CHECK(cols_ == v.size()) << "matvec shape mismatch";
+  Vector out(rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double* row = &data_[i * cols_];
+    double sum = 0.0;
+    for (std::size_t j = 0; j < cols_; ++j) sum += row[j] * v[j];
+    out[i] = sum;
+  }
+  return out;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = 0; j < cols_; ++j) {
+      out(j, i) = (*this)(i, j);
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Hadamard(const Matrix& other) const {
+  SLAMPRED_CHECK(rows_ == other.rows_ && cols_ == other.cols_)
+      << "Hadamard shape mismatch";
+  Matrix out(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    out.data_[i] = data_[i] * other.data_[i];
+  }
+  return out;
+}
+
+double Matrix::FrobeniusNorm() const {
+  double sum = 0.0;
+  for (double v : data_) sum += v * v;
+  return std::sqrt(sum);
+}
+
+double Matrix::NormL1() const {
+  double sum = 0.0;
+  for (double v : data_) sum += std::fabs(v);
+  return sum;
+}
+
+double Matrix::MaxAbs() const {
+  double best = 0.0;
+  for (double v : data_) best = std::max(best, std::fabs(v));
+  return best;
+}
+
+double Matrix::Sum() const {
+  double sum = 0.0;
+  for (double v : data_) sum += v;
+  return sum;
+}
+
+double Matrix::Trace() const {
+  SLAMPRED_CHECK(IsSquare()) << "trace of non-square matrix";
+  double sum = 0.0;
+  for (std::size_t i = 0; i < rows_; ++i) sum += (*this)(i, i);
+  return sum;
+}
+
+bool Matrix::IsSymmetric(double tol) const {
+  if (!IsSquare()) return false;
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = i + 1; j < cols_; ++j) {
+      if (std::fabs((*this)(i, j) - (*this)(j, i)) > tol) return false;
+    }
+  }
+  return true;
+}
+
+Matrix Matrix::Symmetrized() const {
+  SLAMPRED_CHECK(IsSquare()) << "symmetrize of non-square matrix";
+  Matrix out(rows_, cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = 0; j < cols_; ++j) {
+      out(i, j) = 0.5 * ((*this)(i, j) + (*this)(j, i));
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Block(std::size_t row0, std::size_t col0, std::size_t n_rows,
+                     std::size_t n_cols) const {
+  SLAMPRED_CHECK(row0 + n_rows <= rows_ && col0 + n_cols <= cols_)
+      << "block out of range";
+  Matrix out(n_rows, n_cols);
+  for (std::size_t i = 0; i < n_rows; ++i) {
+    for (std::size_t j = 0; j < n_cols; ++j) {
+      out(i, j) = (*this)(row0 + i, col0 + j);
+    }
+  }
+  return out;
+}
+
+void Matrix::SetBlock(std::size_t row0, std::size_t col0,
+                      const Matrix& block) {
+  SLAMPRED_CHECK(row0 + block.rows() <= rows_ && col0 + block.cols() <= cols_)
+      << "block out of range";
+  for (std::size_t i = 0; i < block.rows(); ++i) {
+    for (std::size_t j = 0; j < block.cols(); ++j) {
+      (*this)(row0 + i, col0 + j) = block(i, j);
+    }
+  }
+}
+
+void Matrix::Fill(double value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+std::size_t Matrix::ZeroSmallEntries(double tol) {
+  std::size_t zeroed = 0;
+  for (double& v : data_) {
+    if (v != 0.0 && std::fabs(v) < tol) {
+      v = 0.0;
+      ++zeroed;
+    }
+  }
+  return zeroed;
+}
+
+double Matrix::Sparsity() const {
+  if (data_.empty()) return 1.0;
+  std::size_t zeros = 0;
+  for (double v : data_) {
+    if (v == 0.0) ++zeros;
+  }
+  return static_cast<double>(zeros) / static_cast<double>(data_.size());
+}
+
+std::string Matrix::ToString(int precision) const {
+  std::string out;
+  for (std::size_t i = 0; i < rows_; ++i) {
+    out += "[";
+    for (std::size_t j = 0; j < cols_; ++j) {
+      if (j > 0) out += ", ";
+      out += FormatDouble((*this)(i, j), precision);
+    }
+    out += "]\n";
+  }
+  return out;
+}
+
+Matrix operator*(double scalar, const Matrix& m) { return m * scalar; }
+
+}  // namespace slampred

@@ -1,0 +1,153 @@
+// Dense row-major double-precision matrix.
+
+#ifndef SLAMPRED_LINALG_MATRIX_H_
+#define SLAMPRED_LINALG_MATRIX_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "linalg/vector.h"
+
+namespace slampred {
+
+/// Dense row-major matrix of doubles. The workhorse type of the library:
+/// adjacency matrices, predictor matrices, feature slices, Laplacians and
+/// factorisations all use it.
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() = default;
+
+  /// Zero matrix of shape rows x cols.
+  Matrix(std::size_t rows, std::size_t cols);
+
+  /// Constant matrix of shape rows x cols filled with `value`.
+  Matrix(std::size_t rows, std::size_t cols, double value);
+
+  /// Matrix from nested initializer lists (rows of equal length), e.g.
+  /// Matrix{{1, 2}, {3, 4}}.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  /// Identity matrix of order n.
+  static Matrix Identity(std::size_t n);
+
+  /// Diagonal matrix with `diag` on the diagonal.
+  static Matrix Diagonal(const Vector& diag);
+
+  /// Matrix with i.i.d. N(0,1) entries drawn from `rng`.
+  static Matrix RandomGaussian(std::size_t rows, std::size_t cols,
+                               class Rng& rng);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+  bool IsSquare() const { return rows_ == cols_; }
+
+  /// Unchecked element access.
+  double operator()(std::size_t i, std::size_t j) const {
+    return data_[i * cols_ + j];
+  }
+  double& operator()(std::size_t i, std::size_t j) {
+    return data_[i * cols_ + j];
+  }
+
+  /// Bounds-checked access (aborts on violation).
+  double At(std::size_t i, std::size_t j) const;
+  void Set(std::size_t i, std::size_t j, double value);
+
+  /// Raw row-major storage.
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+  /// Copies out row i / column j.
+  Vector Row(std::size_t i) const;
+  Vector Col(std::size_t j) const;
+
+  /// Overwrites row i / column j. Dimension must match.
+  void SetRow(std::size_t i, const Vector& row);
+  void SetCol(std::size_t j, const Vector& col);
+
+  /// Copy of the main diagonal (length min(rows, cols)).
+  Vector Diag() const;
+
+  /// In-place arithmetic. Shapes must match.
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(double scalar);
+
+  Matrix operator+(const Matrix& other) const;
+  Matrix operator-(const Matrix& other) const;
+  Matrix operator*(double scalar) const;
+
+  /// Matrix product; this->cols() must equal other.rows().
+  Matrix operator*(const Matrix& other) const;
+
+  /// Matrix-vector product; cols() must equal v.size().
+  Vector operator*(const Vector& v) const;
+
+  /// Transpose copy.
+  Matrix Transposed() const;
+
+  /// Element-wise (Hadamard) product. Shapes must match.
+  Matrix Hadamard(const Matrix& other) const;
+
+  /// Frobenius norm.
+  double FrobeniusNorm() const;
+
+  /// Entry-wise l1 norm (sum of absolute values).
+  double NormL1() const;
+
+  /// Largest absolute entry.
+  double MaxAbs() const;
+
+  /// Sum of all entries.
+  double Sum() const;
+
+  /// Trace; requires a square matrix.
+  double Trace() const;
+
+  /// True iff |(i,j) - (j,i)| <= tol for all entries (square only).
+  bool IsSymmetric(double tol = 1e-10) const;
+
+  /// Returns (A + Aᵀ)/2; requires a square matrix.
+  Matrix Symmetrized() const;
+
+  /// Copies the rectangular block starting at (row0, col0).
+  Matrix Block(std::size_t row0, std::size_t col0, std::size_t n_rows,
+               std::size_t n_cols) const;
+
+  /// Writes `block` at offset (row0, col0); must fit.
+  void SetBlock(std::size_t row0, std::size_t col0, const Matrix& block);
+
+  /// Sets every entry to `value`.
+  void Fill(double value);
+
+  /// Sets every entry with |entry| < tol to exactly zero and returns the
+  /// number of zeroed entries.
+  std::size_t ZeroSmallEntries(double tol);
+
+  /// Fraction of exactly-zero entries (1.0 for the empty matrix).
+  double Sparsity() const;
+
+  /// Human-readable rendering (intended for small matrices).
+  std::string ToString(int precision = 3) const;
+
+  bool operator==(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_ &&
+           data_ == other.data_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Scalar * matrix.
+Matrix operator*(double scalar, const Matrix& m);
+
+}  // namespace slampred
+
+#endif  // SLAMPRED_LINALG_MATRIX_H_

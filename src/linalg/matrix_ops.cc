@@ -1,0 +1,142 @@
+#include "linalg/matrix_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/svd.h"
+#include "util/logging.h"
+
+namespace slampred {
+
+Matrix GramAtA(const Matrix& a) {
+  const std::size_t n = a.cols();
+  Matrix g(n, n);
+  for (std::size_t k = 0; k < a.rows(); ++k) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double aki = a(k, i);
+      if (aki == 0.0) continue;
+      for (std::size_t j = i; j < n; ++j) {
+        g(i, j) += aki * a(k, j);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < i; ++j) g(i, j) = g(j, i);
+  }
+  return g;
+}
+
+Matrix GramAAt(const Matrix& a) { return MultiplyABt(a, a); }
+
+Matrix MultiplyABt(const Matrix& a, const Matrix& b) {
+  SLAMPRED_CHECK(a.cols() == b.cols()) << "A*Bt shape mismatch";
+  Matrix out(a.rows(), b.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      double sum = 0.0;
+      for (std::size_t k = 0; k < a.cols(); ++k) sum += a(i, k) * b(j, k);
+      out(i, j) = sum;
+    }
+  }
+  return out;
+}
+
+Matrix MultiplyAtB(const Matrix& a, const Matrix& b) {
+  SLAMPRED_CHECK(a.rows() == b.rows()) << "At*B shape mismatch";
+  Matrix out(a.cols(), b.cols());
+  for (std::size_t k = 0; k < a.rows(); ++k) {
+    for (std::size_t i = 0; i < a.cols(); ++i) {
+      const double aki = a(k, i);
+      if (aki == 0.0) continue;
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        out(i, j) += aki * b(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+Matrix PositivePart(const Matrix& m) {
+  Matrix out = m;
+  for (double& v : out.data()) v = std::max(v, 0.0);
+  return out;
+}
+
+Matrix SignMatrix(const Matrix& m) {
+  Matrix out = m;
+  for (double& v : out.data()) {
+    v = v > 0.0 ? 1.0 : (v < 0.0 ? -1.0 : 0.0);
+  }
+  return out;
+}
+
+Matrix AbsMatrix(const Matrix& m) {
+  Matrix out = m;
+  for (double& v : out.data()) v = std::fabs(v);
+  return out;
+}
+
+Result<std::size_t> NumericalRank(const Matrix& m, double tol) {
+  auto svd = ComputeSvd(m);
+  if (!svd.ok()) return svd.status();
+  const auto& sigma = svd.value().singular_values;
+  if (sigma.empty()) return std::size_t{0};
+  const double cutoff = tol * sigma[0];
+  std::size_t rank = 0;
+  for (double s : sigma.data()) {
+    if (s > cutoff) ++rank;
+  }
+  return rank;
+}
+
+Result<double> NuclearNorm(const Matrix& m) {
+  auto svd = ComputeSvd(m);
+  if (!svd.ok()) return svd.status();
+  return svd.value().singular_values.Sum();
+}
+
+double SpectralNormEstimate(const Matrix& m, int iterations) {
+  if (m.empty()) return 0.0;
+  // Power iteration on the Gram operator v -> Aᵀ(Av).
+  Vector v(m.cols(), 1.0);
+  v = v.Normalized();
+  double sigma = 0.0;
+  for (int it = 0; it < iterations; ++it) {
+    Vector av = m * v;
+    Vector atav(m.cols());
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      double sum = 0.0;
+      for (std::size_t i = 0; i < m.rows(); ++i) sum += m(i, j) * av[i];
+      atav[j] = sum;
+    }
+    const double norm = atav.Norm();
+    if (norm <= 1e-300) return 0.0;
+    v = atav * (1.0 / norm);
+    sigma = std::sqrt(norm);
+  }
+  return sigma;
+}
+
+double RelativeMaxDiff(const Matrix& a, const Matrix& b) {
+  SLAMPRED_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  double diff = 0.0;
+  for (std::size_t i = 0; i < a.data().size(); ++i) {
+    diff = std::max(diff, std::fabs(a.data()[i] - b.data()[i]));
+  }
+  return diff / std::max(1.0, a.MaxAbs());
+}
+
+Matrix Clamp(const Matrix& m, double lo, double hi) {
+  Matrix out = m;
+  for (double& v : out.data()) v = std::clamp(v, lo, hi);
+  return out;
+}
+
+Matrix ZeroDiagonal(const Matrix& m) {
+  SLAMPRED_CHECK(m.IsSquare()) << "ZeroDiagonal on non-square matrix";
+  Matrix out = m;
+  for (std::size_t i = 0; i < m.rows(); ++i) out(i, i) = 0.0;
+  return out;
+}
+
+}  // namespace slampred

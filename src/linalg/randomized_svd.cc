@@ -1,0 +1,96 @@
+#include "linalg/randomized_svd.h"
+
+#include <algorithm>
+
+#include "linalg/matrix_ops.h"
+#include "linalg/qr.h"
+#include "util/logging.h"
+
+namespace slampred {
+
+Result<SvdResult> ComputeRandomizedSvd(const Matrix& a,
+                                       const RandomizedSvdOptions& options) {
+  if (a.empty()) {
+    return Status::InvalidArgument("randomized SVD of empty matrix");
+  }
+  if (options.rank == 0) {
+    return Status::InvalidArgument("rank must be positive");
+  }
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  const std::size_t k = std::min(options.rank, std::min(m, n));
+  const std::size_t sketch =
+      std::min(k + options.oversampling, std::min(m, n));
+
+  // Stage A: find an orthonormal basis Q for the range of A.
+  Rng rng(options.seed);
+  Matrix omega = Matrix::RandomGaussian(n, sketch, rng);
+  Matrix y = a * omega;                       // m x sketch.
+  Matrix q = OrthonormalizeColumns(y);
+  for (int it = 0; it < options.power_iterations; ++it) {
+    // Subspace iteration: Q <- orth(A Aᵀ Q), re-orthonormalising at each
+    // half-step for numerical stability.
+    Matrix z = MultiplyAtB(a, q);             // n x sketch.
+    z = OrthonormalizeColumns(z);
+    q = OrthonormalizeColumns(a * z);         // m x sketch.
+  }
+  if (q.cols() == 0) {
+    // A is (numerically) zero: return a rank-k zero decomposition.
+    SvdResult res;
+    res.u = Matrix(m, k);
+    res.v = Matrix(n, k);
+    res.singular_values = Vector(k, 0.0);
+    return res;
+  }
+
+  // Stage B: SVD of the small projected matrix B = Qᵀ A (sketch x n).
+  Matrix b = MultiplyAtB(q, a);
+  auto small_svd = ComputeSvd(b);
+  if (!small_svd.ok()) return small_svd.status();
+  const SvdResult& dec = small_svd.value();
+
+  const std::size_t keep = std::min<std::size_t>(k, dec.singular_values.size());
+  SvdResult res;
+  res.u = Matrix(m, keep);
+  res.v = Matrix(n, keep);
+  res.singular_values = Vector(keep);
+  // U = Q · U_small.
+  for (std::size_t r = 0; r < keep; ++r) {
+    res.singular_values[r] = dec.singular_values[r];
+    for (std::size_t i = 0; i < m; ++i) {
+      double sum = 0.0;
+      for (std::size_t c = 0; c < q.cols(); ++c) {
+        sum += q(i, c) * dec.u(c, r);
+      }
+      res.u(i, r) = sum;
+    }
+    for (std::size_t j = 0; j < n; ++j) res.v(j, r) = dec.v(j, r);
+  }
+  return res;
+}
+
+Result<Matrix> ProxNuclearRandomized(const Matrix& s, double threshold,
+                                     const RandomizedSvdOptions& options) {
+  if (threshold < 0.0) {
+    return Status::InvalidArgument("negative nuclear threshold");
+  }
+  auto svd = ComputeRandomizedSvd(s, options);
+  if (!svd.ok()) return svd.status();
+  const SvdResult& dec = svd.value();
+
+  Matrix out(s.rows(), s.cols());
+  for (std::size_t r = 0; r < dec.singular_values.size(); ++r) {
+    const double shrunk = dec.singular_values[r] - threshold;
+    if (shrunk <= 0.0) break;  // Sorted descending.
+    for (std::size_t i = 0; i < s.rows(); ++i) {
+      const double ui = dec.u(i, r) * shrunk;
+      if (ui == 0.0) continue;
+      for (std::size_t j = 0; j < s.cols(); ++j) {
+        out(i, j) += ui * dec.v(j, r);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace slampred

@@ -1,0 +1,136 @@
+#include "linalg/svd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace slampred {
+
+Matrix SvdResult::Reconstruct() const {
+  const std::size_t m = u.rows();
+  const std::size_t n = v.rows();
+  const std::size_t k = singular_values.size();
+  Matrix out(m, n);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double sum = 0.0;
+      for (std::size_t r = 0; r < k; ++r) {
+        sum += u(i, r) * singular_values[r] * v(j, r);
+      }
+      out(i, j) = sum;
+    }
+  }
+  return out;
+}
+
+Result<SvdResult> ComputeSvd(const Matrix& a, const SvdOptions& options) {
+  if (a.empty()) {
+    return Status::InvalidArgument("SVD of empty matrix");
+  }
+
+  // Work on B with rows >= cols; if a is wide, decompose aᵀ and swap U/V.
+  const bool transposed = a.rows() < a.cols();
+  Matrix b = transposed ? a.Transposed() : a;
+  const std::size_t m = b.rows();
+  const std::size_t n = b.cols();
+
+  // One-sided Jacobi: rotate column pairs of W (initialised to B) until
+  // all pairs are numerically orthogonal. V accumulates the rotations.
+  Matrix w = b;
+  Matrix v = Matrix::Identity(n);
+
+  const double frob = b.FrobeniusNorm();
+  if (frob == 0.0) {
+    // All-zero matrix: U/V arbitrary orthonormal, sigma = 0.
+    SvdResult res;
+    res.singular_values = Vector(n, 0.0);
+    res.u = Matrix(m, n);
+    for (std::size_t i = 0; i < std::min(m, n); ++i) res.u(i, i) = 1.0;
+    res.v = Matrix::Identity(n);
+    if (transposed) std::swap(res.u, res.v);
+    return res;
+  }
+  const double threshold = options.tol * frob * frob;
+
+  bool converged = false;
+  for (int sweep = 0; sweep < options.max_sweeps && !converged; ++sweep) {
+    converged = true;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        // Gram entries of columns p and q.
+        double alpha = 0.0;
+        double beta = 0.0;
+        double gamma = 0.0;
+        for (std::size_t i = 0; i < m; ++i) {
+          const double wp = w(i, p);
+          const double wq = w(i, q);
+          alpha += wp * wp;
+          beta += wq * wq;
+          gamma += wp * wq;
+        }
+        if (std::fabs(gamma) <= threshold ||
+            std::fabs(gamma) <= options.tol * std::sqrt(alpha * beta)) {
+          continue;
+        }
+        converged = false;
+
+        // Jacobi rotation zeroing the (p,q) Gram entry.
+        const double zeta = (beta - alpha) / (2.0 * gamma);
+        const double t =
+            (zeta >= 0.0 ? 1.0 : -1.0) /
+            (std::fabs(zeta) + std::sqrt(1.0 + zeta * zeta));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+
+        for (std::size_t i = 0; i < m; ++i) {
+          const double wp = w(i, p);
+          const double wq = w(i, q);
+          w(i, p) = c * wp - s * wq;
+          w(i, q) = s * wp + c * wq;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const double vp = v(i, p);
+          const double vq = v(i, q);
+          v(i, p) = c * vp - s * vq;
+          v(i, q) = s * vp + c * vq;
+        }
+      }
+    }
+  }
+  if (!converged) {
+    return Status::NotConverged("one-sided Jacobi SVD did not converge");
+  }
+
+  // Column norms of W are the singular values; normalised columns are U.
+  Vector sigma(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double norm = 0.0;
+    for (std::size_t i = 0; i < m; ++i) norm += w(i, j) * w(i, j);
+    sigma[j] = std::sqrt(norm);
+  }
+
+  // Sort singular values descending, permuting columns of W and V.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t x, std::size_t y) { return sigma[x] > sigma[y]; });
+
+  SvdResult res;
+  res.singular_values = Vector(n);
+  res.u = Matrix(m, n);
+  res.v = Matrix(n, n);
+  for (std::size_t jj = 0; jj < n; ++jj) {
+    const std::size_t j = order[jj];
+    res.singular_values[jj] = sigma[j];
+    const double inv = sigma[j] > 1e-300 ? 1.0 / sigma[j] : 0.0;
+    for (std::size_t i = 0; i < m; ++i) res.u(i, jj) = w(i, j) * inv;
+    for (std::size_t i = 0; i < n; ++i) res.v(i, jj) = v(i, j);
+  }
+
+  if (transposed) std::swap(res.u, res.v);
+  return res;
+}
+
+}  // namespace slampred

@@ -1,0 +1,43 @@
+// Singular value decomposition via one-sided Jacobi rotations.
+//
+// The nuclear-norm proximal operator needs a full SVD each inner
+// iteration, so this is the numerical core of SLAMPRED. One-sided Jacobi
+// is chosen for robustness and simplicity: it orthogonalises the columns
+// of A in place, giving A = U Σ Vᵀ with high relative accuracy, at O(n³)
+// per sweep — ample for the dense sizes this library targets (≲ 1000).
+
+#ifndef SLAMPRED_LINALG_SVD_H_
+#define SLAMPRED_LINALG_SVD_H_
+
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+#include "util/status.h"
+
+namespace slampred {
+
+/// Thin SVD A = U Σ Vᵀ with Σ sorted descending and non-negative.
+/// For A (m x n): U is m x k, singular_values has length k, V is n x k,
+/// where k = min(m, n).
+struct SvdResult {
+  Matrix u;                 ///< Left singular vectors (m x k).
+  Vector singular_values;   ///< σ₁ ≥ σ₂ ≥ ... ≥ σ_k ≥ 0.
+  Matrix v;                 ///< Right singular vectors (n x k).
+
+  /// Reconstructs U Σ Vᵀ (for testing / verification).
+  Matrix Reconstruct() const;
+};
+
+/// Options controlling the Jacobi iteration.
+struct SvdOptions {
+  int max_sweeps = 60;      ///< Hard cap on full Jacobi sweeps.
+  double tol = 1e-12;       ///< Relative off-diagonal convergence tolerance.
+};
+
+/// Computes the thin SVD of `a`. Fails with kNotConverged if the Jacobi
+/// sweeps do not reach `tol` within `max_sweeps` (practically unseen for
+/// well-scaled inputs), and kInvalidArgument for empty input.
+Result<SvdResult> ComputeSvd(const Matrix& a, const SvdOptions& options = {});
+
+}  // namespace slampred
+
+#endif  // SLAMPRED_LINALG_SVD_H_

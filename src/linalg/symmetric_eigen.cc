@@ -1,0 +1,115 @@
+#include "linalg/symmetric_eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace slampred {
+
+Matrix SymmetricEigenResult::Reconstruct() const {
+  const std::size_t n = eigenvalues.size();
+  Matrix out(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double sum = 0.0;
+      for (std::size_t k = 0; k < n; ++k) {
+        sum += eigenvectors(i, k) * eigenvalues[k] * eigenvectors(j, k);
+      }
+      out(i, j) = sum;
+    }
+  }
+  return out;
+}
+
+Result<SymmetricEigenResult> ComputeSymmetricEigen(
+    const Matrix& a, const SymmetricEigenOptions& options) {
+  if (a.empty()) {
+    return Status::InvalidArgument("eigen of empty matrix");
+  }
+  if (!a.IsSquare()) {
+    return Status::InvalidArgument("eigen of non-square matrix");
+  }
+  if (!a.IsSymmetric(1e-8 * std::max(1.0, a.MaxAbs()))) {
+    return Status::InvalidArgument("eigen of asymmetric matrix");
+  }
+
+  const std::size_t n = a.rows();
+  Matrix m = a.Symmetrized();  // Wipe out tiny asymmetries up front.
+  Matrix q = Matrix::Identity(n);
+
+  auto off_diag_norm = [&]() {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) sum += m(i, j) * m(i, j);
+    }
+    return std::sqrt(2.0 * sum);
+  };
+
+  const double scale = std::max(m.FrobeniusNorm(), 1e-300);
+  bool converged = off_diag_norm() <= options.tol * scale;
+
+  for (int sweep = 0; sweep < options.max_sweeps && !converged; ++sweep) {
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t quad = p + 1; quad < n; ++quad) {
+        const std::size_t qq = quad;
+        const double apq = m(p, qq);
+        if (std::fabs(apq) <= options.tol * scale / (n * n)) continue;
+
+        const double app = m(p, p);
+        const double aqq = m(qq, qq);
+        const double zeta = (aqq - app) / (2.0 * apq);
+        const double t =
+            (zeta >= 0.0 ? 1.0 : -1.0) /
+            (std::fabs(zeta) + std::sqrt(1.0 + zeta * zeta));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+
+        // Apply the rotation J(p, q, theta) from both sides: M <- JᵀMJ.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double mkp = m(k, p);
+          const double mkq = m(k, qq);
+          m(k, p) = c * mkp - s * mkq;
+          m(k, qq) = s * mkp + c * mkq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double mpk = m(p, k);
+          const double mqk = m(qq, k);
+          m(p, k) = c * mpk - s * mqk;
+          m(qq, k) = s * mpk + c * mqk;
+        }
+        // Accumulate eigenvectors: Q <- Q J.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double qkp = q(k, p);
+          const double qkq = q(k, qq);
+          q(k, p) = c * qkp - s * qkq;
+          q(k, qq) = s * qkp + c * qkq;
+        }
+      }
+    }
+    converged = off_diag_norm() <= options.tol * scale;
+  }
+  if (!converged) {
+    return Status::NotConverged("Jacobi eigen iteration did not converge");
+  }
+
+  // Sort eigenpairs ascending by eigenvalue.
+  Vector lambda(n);
+  for (std::size_t i = 0; i < n; ++i) lambda[i] = m(i, i);
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return lambda[x] < lambda[y];
+  });
+
+  SymmetricEigenResult res;
+  res.eigenvalues = Vector(n);
+  res.eigenvectors = Matrix(n, n);
+  for (std::size_t jj = 0; jj < n; ++jj) {
+    const std::size_t j = order[jj];
+    res.eigenvalues[jj] = lambda[j];
+    for (std::size_t i = 0; i < n; ++i) res.eigenvectors(i, jj) = q(i, j);
+  }
+  return res;
+}
+
+}  // namespace slampred

@@ -1,0 +1,40 @@
+// Symmetric eigendecomposition via the cyclic Jacobi method.
+//
+// Used for (a) the fast symmetric path of the nuclear-norm prox (the
+// predictor matrix S stays symmetric for undirected social graphs) and
+// (b) the reduced standard problem inside the generalized eigensolver
+// that implements the paper's Theorem 1.
+
+#ifndef SLAMPRED_LINALG_SYMMETRIC_EIGEN_H_
+#define SLAMPRED_LINALG_SYMMETRIC_EIGEN_H_
+
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+#include "util/status.h"
+
+namespace slampred {
+
+/// Eigendecomposition A = Q Λ Qᵀ with eigenvalues sorted ascending.
+struct SymmetricEigenResult {
+  Vector eigenvalues;   ///< λ₁ ≤ λ₂ ≤ ... ≤ λ_n.
+  Matrix eigenvectors;  ///< Column j is the eigenvector for eigenvalues[j].
+
+  /// Reconstructs Q Λ Qᵀ (for testing / verification).
+  Matrix Reconstruct() const;
+};
+
+/// Options controlling the Jacobi iteration.
+struct SymmetricEigenOptions {
+  int max_sweeps = 100;  ///< Hard cap on full sweeps.
+  double tol = 1e-12;    ///< Off-diagonal convergence tolerance (relative).
+};
+
+/// Computes the full eigendecomposition of the symmetric matrix `a`.
+/// Fails with kInvalidArgument if `a` is empty, non-square, or visibly
+/// asymmetric, and kNotConverged if sweeps are exhausted.
+Result<SymmetricEigenResult> ComputeSymmetricEigen(
+    const Matrix& a, const SymmetricEigenOptions& options = {});
+
+}  // namespace slampred
+
+#endif  // SLAMPRED_LINALG_SYMMETRIC_EIGEN_H_

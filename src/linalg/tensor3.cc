@@ -1,0 +1,84 @@
+#include "linalg/tensor3.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace slampred {
+
+Tensor3::Tensor3(std::size_t dim0, std::size_t dim1, std::size_t dim2)
+    : dim0_(dim0), dim1_(dim1), dim2_(dim2), data_(dim0 * dim1 * dim2, 0.0) {}
+
+double Tensor3::At(std::size_t k, std::size_t i, std::size_t j) const {
+  SLAMPRED_CHECK(k < dim0_ && i < dim1_ && j < dim2_)
+      << "tensor index out of range";
+  return (*this)(k, i, j);
+}
+
+Matrix Tensor3::Slice(std::size_t k) const {
+  SLAMPRED_CHECK(k < dim0_);
+  Matrix out(dim1_, dim2_);
+  const double* src = &data_[k * dim1_ * dim2_];
+  std::copy(src, src + dim1_ * dim2_, out.data().begin());
+  return out;
+}
+
+void Tensor3::SetSlice(std::size_t k, const Matrix& slice) {
+  SLAMPRED_CHECK(k < dim0_ && slice.rows() == dim1_ && slice.cols() == dim2_)
+      << "slice shape mismatch";
+  double* dst = &data_[k * dim1_ * dim2_];
+  std::copy(slice.data().begin(), slice.data().end(), dst);
+}
+
+Vector Tensor3::Fiber(std::size_t i, std::size_t j) const {
+  SLAMPRED_CHECK(i < dim1_ && j < dim2_);
+  Vector out(dim0_);
+  for (std::size_t k = 0; k < dim0_; ++k) out[k] = (*this)(k, i, j);
+  return out;
+}
+
+void Tensor3::SetFiber(std::size_t i, std::size_t j, const Vector& fiber) {
+  SLAMPRED_CHECK(i < dim1_ && j < dim2_ && fiber.size() == dim0_);
+  for (std::size_t k = 0; k < dim0_; ++k) (*this)(k, i, j) = fiber[k];
+}
+
+Matrix Tensor3::SumSlices() const {
+  Matrix out(dim1_, dim2_);
+  for (std::size_t k = 0; k < dim0_; ++k) {
+    const double* src = &data_[k * dim1_ * dim2_];
+    for (std::size_t idx = 0; idx < dim1_ * dim2_; ++idx) {
+      out.data()[idx] += src[idx];
+    }
+  }
+  return out;
+}
+
+void Tensor3::NormalizeSlicesMinMax() {
+  const std::size_t per_slice = dim1_ * dim2_;
+  for (std::size_t k = 0; k < dim0_; ++k) {
+    double* slice = &data_[k * per_slice];
+    double lo = slice[0];
+    double hi = slice[0];
+    for (std::size_t idx = 1; idx < per_slice; ++idx) {
+      lo = std::min(lo, slice[idx]);
+      hi = std::max(hi, slice[idx]);
+    }
+    const double range = hi - lo;
+    if (range <= 0.0) {
+      std::fill(slice, slice + per_slice, 0.0);
+      continue;
+    }
+    for (std::size_t idx = 0; idx < per_slice; ++idx) {
+      slice[idx] = (slice[idx] - lo) / range;
+    }
+  }
+}
+
+double Tensor3::MaxAbs() const {
+  double best = 0.0;
+  for (double v : data_) best = std::max(best, std::fabs(v));
+  return best;
+}
+
+}  // namespace slampred

@@ -1,0 +1,80 @@
+// Dense 3-way tensor, used for the per-network intimacy feature tensors
+// X^k ∈ R^{d x n x n} of the paper (slice(k) = the k-th feature map over
+// all user pairs).
+
+#ifndef SLAMPRED_LINALG_TENSOR3_H_
+#define SLAMPRED_LINALG_TENSOR3_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace slampred {
+
+/// Dense 3-way tensor of shape (dim0, dim1, dim2), stored contiguously.
+/// Indexing follows the paper: T(k, i, j) is entry (i, j) of the k-th
+/// slice along the first dimension.
+class Tensor3 {
+ public:
+  Tensor3() = default;
+
+  /// Zero tensor of the given shape.
+  Tensor3(std::size_t dim0, std::size_t dim1, std::size_t dim2);
+
+  std::size_t dim0() const { return dim0_; }
+  std::size_t dim1() const { return dim1_; }
+  std::size_t dim2() const { return dim2_; }
+  bool empty() const { return dim0_ == 0 || dim1_ == 0 || dim2_ == 0; }
+
+  /// Unchecked element access.
+  double operator()(std::size_t k, std::size_t i, std::size_t j) const {
+    return data_[(k * dim1_ + i) * dim2_ + j];
+  }
+  double& operator()(std::size_t k, std::size_t i, std::size_t j) {
+    return data_[(k * dim1_ + i) * dim2_ + j];
+  }
+
+  /// Bounds-checked access.
+  double At(std::size_t k, std::size_t i, std::size_t j) const;
+
+  /// Copies out the k-th slice along dim0 (a dim1 x dim2 matrix) —
+  /// the paper's X(k, :, :).
+  Matrix Slice(std::size_t k) const;
+
+  /// Overwrites the k-th slice along dim0.
+  void SetSlice(std::size_t k, const Matrix& slice);
+
+  /// Copies out the fibre T(:, i, j) — the paper's X(i, j, :) feature
+  /// vector for user pair (i, j) (length dim0).
+  Vector Fiber(std::size_t i, std::size_t j) const;
+
+  /// Overwrites the fibre T(:, i, j).
+  void SetFiber(std::size_t i, std::size_t j, const Vector& fiber);
+
+  /// Sum of all slices along dim0 (a dim1 x dim2 matrix). This is the
+  /// Σ_c X̂(c,:,:) term of the CCCP constant gradient.
+  Matrix SumSlices() const;
+
+  /// Applies min-max scaling per slice so every slice lies in [0, 1].
+  /// Constant slices map to all-zero.
+  void NormalizeSlicesMinMax();
+
+  /// Largest absolute entry.
+  double MaxAbs() const;
+
+  /// Raw storage.
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+ private:
+  std::size_t dim0_ = 0;
+  std::size_t dim1_ = 0;
+  std::size_t dim2_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace slampred
+
+#endif  // SLAMPRED_LINALG_TENSOR3_H_

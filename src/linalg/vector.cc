@@ -1,0 +1,128 @@
+#include "linalg/vector.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace slampred {
+
+double Vector::At(std::size_t i) const {
+  SLAMPRED_CHECK(i < data_.size()) << "vector index " << i << " out of range "
+                                   << data_.size();
+  return data_[i];
+}
+
+void Vector::Set(std::size_t i, double value) {
+  SLAMPRED_CHECK(i < data_.size()) << "vector index " << i << " out of range "
+                                   << data_.size();
+  data_[i] = value;
+}
+
+Vector& Vector::operator+=(const Vector& other) {
+  SLAMPRED_CHECK(size() == other.size()) << "vector dim mismatch";
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Vector& Vector::operator-=(const Vector& other) {
+  SLAMPRED_CHECK(size() == other.size()) << "vector dim mismatch";
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Vector& Vector::operator*=(double scalar) {
+  for (double& v : data_) v *= scalar;
+  return *this;
+}
+
+Vector& Vector::operator/=(double scalar) {
+  for (double& v : data_) v /= scalar;
+  return *this;
+}
+
+Vector Vector::operator+(const Vector& other) const {
+  Vector out = *this;
+  out += other;
+  return out;
+}
+
+Vector Vector::operator-(const Vector& other) const {
+  Vector out = *this;
+  out -= other;
+  return out;
+}
+
+Vector Vector::operator*(double scalar) const {
+  Vector out = *this;
+  out *= scalar;
+  return out;
+}
+
+double Vector::Dot(const Vector& other) const {
+  SLAMPRED_CHECK(size() == other.size()) << "vector dim mismatch";
+  double sum = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    sum += data_[i] * other.data_[i];
+  }
+  return sum;
+}
+
+double Vector::Norm() const { return std::sqrt(Dot(*this)); }
+
+double Vector::NormL1() const {
+  double sum = 0.0;
+  for (double v : data_) sum += std::fabs(v);
+  return sum;
+}
+
+double Vector::NormInf() const {
+  double best = 0.0;
+  for (double v : data_) best = std::max(best, std::fabs(v));
+  return best;
+}
+
+double Vector::Sum() const {
+  double sum = 0.0;
+  for (double v : data_) sum += v;
+  return sum;
+}
+
+double Vector::Mean() const {
+  return data_.empty() ? 0.0 : Sum() / static_cast<double>(data_.size());
+}
+
+Vector Vector::Hadamard(const Vector& other) const {
+  SLAMPRED_CHECK(size() == other.size()) << "vector dim mismatch";
+  Vector out(size());
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    out.data_[i] = data_[i] * other.data_[i];
+  }
+  return out;
+}
+
+Vector Vector::Normalized() const {
+  const double norm = Norm();
+  if (norm <= 0.0) return *this;
+  Vector out = *this;
+  out /= norm;
+  return out;
+}
+
+void Vector::Fill(double value) {
+  for (double& v : data_) v = value;
+}
+
+std::string Vector::ToString(int precision) const {
+  std::string out = "[";
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += FormatDouble(data_[i], precision);
+  }
+  out += "]";
+  return out;
+}
+
+Vector operator*(double scalar, const Vector& v) { return v * scalar; }
+
+}  // namespace slampred

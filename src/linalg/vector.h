@@ -1,0 +1,105 @@
+// Dense double-precision vector.
+
+#ifndef SLAMPRED_LINALG_VECTOR_H_
+#define SLAMPRED_LINALG_VECTOR_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace slampred {
+
+/// Dense column vector of doubles with the arithmetic used by the
+/// optimizers and feature extractors.
+class Vector {
+ public:
+  /// Empty vector.
+  Vector() = default;
+
+  /// Zero vector of dimension `n`.
+  explicit Vector(std::size_t n) : data_(n, 0.0) {}
+
+  /// Constant vector of dimension `n` filled with `value`.
+  Vector(std::size_t n, double value) : data_(n, value) {}
+
+  /// Vector from an initializer list, e.g. Vector{1.0, 2.0}.
+  Vector(std::initializer_list<double> values) : data_(values) {}
+
+  /// Vector adopting an existing buffer.
+  explicit Vector(std::vector<double> values) : data_(std::move(values)) {}
+
+  /// Dimension.
+  std::size_t size() const { return data_.size(); }
+
+  /// True iff dimension is zero.
+  bool empty() const { return data_.empty(); }
+
+  /// Unchecked element access.
+  double operator[](std::size_t i) const { return data_[i]; }
+  double& operator[](std::size_t i) { return data_[i]; }
+
+  /// Bounds-checked element access (aborts on violation).
+  double At(std::size_t i) const;
+  void Set(std::size_t i, double value);
+
+  /// Raw storage.
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+  /// In-place arithmetic. Dimensions must match.
+  Vector& operator+=(const Vector& other);
+  Vector& operator-=(const Vector& other);
+  Vector& operator*=(double scalar);
+  Vector& operator/=(double scalar);
+
+  /// Element-wise arithmetic. Dimensions must match.
+  Vector operator+(const Vector& other) const;
+  Vector operator-(const Vector& other) const;
+  Vector operator*(double scalar) const;
+
+  /// Dot product. Dimensions must match.
+  double Dot(const Vector& other) const;
+
+  /// Euclidean (l2) norm.
+  double Norm() const;
+
+  /// Entry-wise l1 norm.
+  double NormL1() const;
+
+  /// Largest absolute entry (0 for the empty vector).
+  double NormInf() const;
+
+  /// Sum of entries.
+  double Sum() const;
+
+  /// Arithmetic mean (0 for the empty vector).
+  double Mean() const;
+
+  /// Element-wise (Hadamard) product. Dimensions must match.
+  Vector Hadamard(const Vector& other) const;
+
+  /// Returns a copy scaled to unit l2 norm; zero vectors stay zero.
+  Vector Normalized() const;
+
+  /// Appends an element.
+  void PushBack(double value) { data_.push_back(value); }
+
+  /// Sets all entries to `value`.
+  void Fill(double value);
+
+  /// Human-readable rendering, e.g. "[1.000, 2.000]".
+  std::string ToString(int precision = 3) const;
+
+  bool operator==(const Vector& other) const { return data_ == other.data_; }
+
+ private:
+  std::vector<double> data_;
+};
+
+/// Scalar * vector.
+Vector operator*(double scalar, const Vector& v);
+
+}  // namespace slampred
+
+#endif  // SLAMPRED_LINALG_VECTOR_H_

@@ -1,0 +1,51 @@
+#include "ml/instance_sampler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace slampred {
+
+PairTrainingSet SamplePairTrainingSet(const SocialGraph& graph,
+                                      std::size_t max_positives,
+                                      double negative_ratio,
+                                      const std::vector<UserPair>& exclude,
+                                      Rng& rng) {
+  PairTrainingSet out;
+  std::set<UserPair> blocked;
+  for (const UserPair& p : exclude) blocked.insert(MakeUserPair(p.u, p.v));
+
+  const std::vector<UserPair> edges = graph.Edges();
+  const std::size_t take = std::min(max_positives, edges.size());
+  for (std::size_t idx : rng.SampleWithoutReplacement(edges.size(), take)) {
+    const UserPair pair = edges[idx];
+    if (blocked.count(pair) > 0) continue;
+    out.pairs.push_back(pair);
+    out.labels.push_back(1);
+    blocked.insert(pair);
+  }
+
+  const std::size_t num_pos = out.pairs.size();
+  const std::size_t want_neg = static_cast<std::size_t>(
+      std::ceil(negative_ratio * static_cast<double>(num_pos)));
+  const std::size_t n = graph.num_users();
+  if (n >= 2) {
+    std::size_t found = 0;
+    std::size_t attempts = 0;
+    const std::size_t max_attempts = want_neg * 100 + 100;
+    while (found < want_neg && attempts < max_attempts) {
+      ++attempts;
+      const std::size_t a = static_cast<std::size_t>(rng.NextBounded(n));
+      const std::size_t b = static_cast<std::size_t>(rng.NextBounded(n));
+      if (a == b || graph.HasEdge(a, b)) continue;
+      const UserPair pair = MakeUserPair(a, b);
+      if (!blocked.insert(pair).second) continue;
+      out.pairs.push_back(pair);
+      out.labels.push_back(0);
+      ++found;
+    }
+  }
+  return out;
+}
+
+}  // namespace slampred

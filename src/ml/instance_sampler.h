@@ -1,0 +1,34 @@
+// Training-instance assembly for the classification baselines: positive
+// instances are (training) edges, negative/unlabeled instances are
+// sampled absent pairs.
+
+#ifndef SLAMPRED_ML_INSTANCE_SAMPLER_H_
+#define SLAMPRED_ML_INSTANCE_SAMPLER_H_
+
+#include <vector>
+
+#include "graph/social_graph.h"
+#include "util/random.h"
+
+namespace slampred {
+
+/// A labelled user-pair training set (labels 1 = linked, 0 = not).
+struct PairTrainingSet {
+  std::vector<UserPair> pairs;
+  std::vector<int> labels;
+};
+
+/// Builds a training set from `graph`: all (or up to `max_positives`)
+/// existing edges as positives, plus `negative_ratio` times as many
+/// sampled absent pairs as negatives. Pairs listed in `exclude` are
+/// never emitted (pass the held-out test pairs here so negatives don't
+/// collide with hidden positives).
+PairTrainingSet SamplePairTrainingSet(const SocialGraph& graph,
+                                      std::size_t max_positives,
+                                      double negative_ratio,
+                                      const std::vector<UserPair>& exclude,
+                                      Rng& rng);
+
+}  // namespace slampred
+
+#endif  // SLAMPRED_ML_INSTANCE_SAMPLER_H_

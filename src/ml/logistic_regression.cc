@@ -1,0 +1,101 @@
+#include "ml/logistic_regression.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace slampred {
+
+double Sigmoid(double z) {
+  if (z >= 0.0) {
+    const double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+LogisticRegression::LogisticRegression(LogisticRegressionOptions options)
+    : options_(options) {}
+
+Status LogisticRegression::Fit(const std::vector<Vector>& features,
+                               const std::vector<int>& labels) {
+  return FitWeighted(features, labels,
+                     std::vector<double>(features.size(), 1.0));
+}
+
+Status LogisticRegression::FitWeighted(
+    const std::vector<Vector>& features, const std::vector<int>& labels,
+    const std::vector<double>& example_weights) {
+  if (features.empty()) {
+    return Status::InvalidArgument("empty training set");
+  }
+  if (features.size() != labels.size() ||
+      features.size() != example_weights.size()) {
+    return Status::InvalidArgument("features/labels/weights size mismatch");
+  }
+  const std::size_t n = features.size();
+  const std::size_t d = features[0].size();
+  double weight_total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (features[i].size() != d) {
+      return Status::InvalidArgument("ragged feature rows");
+    }
+    if (labels[i] != 0 && labels[i] != 1) {
+      return Status::InvalidArgument("labels must be 0/1");
+    }
+    if (example_weights[i] < 0.0) {
+      return Status::InvalidArgument("negative example weight");
+    }
+    weight_total += example_weights[i];
+  }
+  if (weight_total <= 0.0) {
+    return Status::InvalidArgument("example weights sum to zero");
+  }
+
+  weights_ = Vector(d);
+  bias_ = 0.0;
+
+  for (int it = 0; it < options_.max_iterations; ++it) {
+    Vector grad_w(d);
+    double grad_b = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double p = Sigmoid(weights_.Dot(features[i]) + bias_);
+      const double err =
+          example_weights[i] * (p - static_cast<double>(labels[i]));
+      for (std::size_t j = 0; j < d; ++j) {
+        grad_w[j] += err * features[i][j];
+      }
+      grad_b += err;
+    }
+    grad_w /= weight_total;
+    grad_b /= weight_total;
+    for (std::size_t j = 0; j < d; ++j) {
+      grad_w[j] += options_.l2 * weights_[j];
+    }
+
+    const double step = options_.learning_rate;
+    double max_delta = std::fabs(step * grad_b);
+    bias_ -= step * grad_b;
+    for (std::size_t j = 0; j < d; ++j) {
+      const double delta = step * grad_w[j];
+      max_delta = std::max(max_delta, std::fabs(delta));
+      weights_[j] -= delta;
+    }
+    if (max_delta < options_.tol) break;
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+double LogisticRegression::PredictProbability(const Vector& x) const {
+  SLAMPRED_CHECK(fitted_) << "predict before fit";
+  SLAMPRED_CHECK(x.size() == weights_.size()) << "feature width mismatch";
+  return Sigmoid(weights_.Dot(x) + bias_);
+}
+
+int LogisticRegression::Predict(const Vector& x) const {
+  return PredictProbability(x) >= 0.5 ? 1 : 0;
+}
+
+}  // namespace slampred

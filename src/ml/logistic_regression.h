@@ -1,0 +1,62 @@
+// L2-regularised logistic regression trained by full-batch gradient
+// descent — the classifier behind the SCAN and PL baselines.
+
+#ifndef SLAMPRED_ML_LOGISTIC_REGRESSION_H_
+#define SLAMPRED_ML_LOGISTIC_REGRESSION_H_
+
+#include <vector>
+
+#include "linalg/vector.h"
+#include "util/status.h"
+
+namespace slampred {
+
+/// Training controls.
+struct LogisticRegressionOptions {
+  double learning_rate = 0.5;
+  double l2 = 1e-3;          ///< Ridge strength on the weights (not bias).
+  int max_iterations = 400;
+  double tol = 1e-6;         ///< Converged when ‖Δw‖∞ < tol.
+};
+
+/// Binary logistic model p(y=1|x) = σ(wᵀx + b) with optional per-example
+/// weights (used by the PU reweighting step of PL).
+class LogisticRegression {
+ public:
+  explicit LogisticRegression(LogisticRegressionOptions options = {});
+
+  /// Fits on (features, labels) with uniform example weights.
+  Status Fit(const std::vector<Vector>& features,
+             const std::vector<int>& labels);
+
+  /// Fits with per-example weights (all weights must be >= 0).
+  Status FitWeighted(const std::vector<Vector>& features,
+                     const std::vector<int>& labels,
+                     const std::vector<double>& example_weights);
+
+  /// Predicted probability p(y=1|x). Requires a fitted model of
+  /// matching width.
+  double PredictProbability(const Vector& x) const;
+
+  /// Decision at threshold 0.5.
+  int Predict(const Vector& x) const;
+
+  /// True once Fit succeeded.
+  bool fitted() const { return fitted_; }
+
+  const Vector& weights() const { return weights_; }
+  double bias() const { return bias_; }
+
+ private:
+  LogisticRegressionOptions options_;
+  Vector weights_;
+  double bias_ = 0.0;
+  bool fitted_ = false;
+};
+
+/// Numerically-stable sigmoid.
+double Sigmoid(double z);
+
+}  // namespace slampred
+
+#endif  // SLAMPRED_ML_LOGISTIC_REGRESSION_H_

@@ -1,0 +1,47 @@
+#include "ml/standard_scaler.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace slampred {
+
+void StandardScaler::Fit(const std::vector<Vector>& rows) {
+  if (rows.empty()) {
+    means_ = Vector();
+    stds_ = Vector();
+    return;
+  }
+  const std::size_t d = rows[0].size();
+  means_ = Vector(d);
+  stds_ = Vector(d);
+  for (const Vector& row : rows) {
+    SLAMPRED_CHECK(row.size() == d) << "ragged training rows";
+    means_ += row;
+  }
+  means_ /= static_cast<double>(rows.size());
+  for (const Vector& row : rows) {
+    for (std::size_t j = 0; j < d; ++j) {
+      const double diff = row[j] - means_[j];
+      stds_[j] += diff * diff;
+    }
+  }
+  for (std::size_t j = 0; j < d; ++j) {
+    stds_[j] = std::sqrt(stds_[j] / static_cast<double>(rows.size()));
+  }
+}
+
+Vector StandardScaler::Transform(const Vector& x) const {
+  SLAMPRED_CHECK(x.size() == means_.size()) << "scaler width mismatch";
+  Vector out(x.size());
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    out[j] = stds_[j] > 1e-12 ? (x[j] - means_[j]) / stds_[j] : 0.0;
+  }
+  return out;
+}
+
+void StandardScaler::TransformInPlace(std::vector<Vector>& rows) const {
+  for (Vector& row : rows) row = Transform(row);
+}
+
+}  // namespace slampred

@@ -1,0 +1,40 @@
+// Per-feature standardisation (zero mean, unit variance) for the
+// classification baselines.
+
+#ifndef SLAMPRED_ML_STANDARD_SCALER_H_
+#define SLAMPRED_ML_STANDARD_SCALER_H_
+
+#include <vector>
+
+#include "linalg/vector.h"
+
+namespace slampred {
+
+/// Fits column means/standard deviations on a training set and applies
+/// (x − mean) / std per feature; constant features map to zero.
+class StandardScaler {
+ public:
+  /// Fits on `rows` (each a feature vector of equal length). An empty
+  /// training set leaves the scaler as identity-on-empty.
+  void Fit(const std::vector<Vector>& rows);
+
+  /// Transforms one vector (length must match the fitted width).
+  Vector Transform(const Vector& x) const;
+
+  /// Transforms a batch in place.
+  void TransformInPlace(std::vector<Vector>& rows) const;
+
+  /// Fitted feature width (0 before Fit).
+  std::size_t width() const { return means_.size(); }
+
+  const Vector& means() const { return means_; }
+  const Vector& stds() const { return stds_; }
+
+ private:
+  Vector means_;
+  Vector stds_;
+};
+
+}  // namespace slampred
+
+#endif  // SLAMPRED_ML_STANDARD_SCALER_H_

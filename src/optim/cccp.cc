@@ -1,0 +1,39 @@
+#include "optim/cccp.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace slampred {
+
+Result<Matrix> SolveCccp(const Objective& objective,
+                         const CccpOptions& options, CccpTrace* trace) {
+  return SolveCccpFrom(objective, objective.a, options, trace);
+}
+
+Result<Matrix> SolveCccpFrom(const Objective& objective, const Matrix& s0,
+                             const CccpOptions& options, CccpTrace* trace) {
+  Matrix s = s0;
+  bool converged = false;
+  int outer = 0;
+  for (; outer < options.max_outer_iterations && !converged; ++outer) {
+    const Matrix prev = s;
+    IterationTrace* inner_trace = trace != nullptr ? &trace->steps : nullptr;
+    auto inner = GeneralizedForwardBackward(objective, s, options.inner,
+                                            inner_trace);
+    if (!inner.ok()) return inner.status();
+    s = std::move(inner).value();
+
+    const double change = (s - prev).NormL1();
+    const double scale = std::max(1.0, s.NormL1());
+    converged = change / scale < options.outer_tol;
+    if (trace != nullptr) trace->outer_change_l1.push_back(change);
+  }
+  if (trace != nullptr) {
+    trace->outer_iterations = outer;
+    trace->converged = converged;
+  }
+  return s;
+}
+
+}  // namespace slampred

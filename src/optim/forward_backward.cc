@@ -1,0 +1,62 @@
+#include "optim/forward_backward.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "optim/proximal.h"
+#include "util/logging.h"
+
+namespace slampred {
+
+Result<Matrix> GeneralizedForwardBackward(
+    const Objective& objective, const Matrix& s0,
+    const ForwardBackwardOptions& options, IterationTrace* trace) {
+  SLAMPRED_CHECK(s0.rows() == objective.a.rows() &&
+                 s0.cols() == objective.a.cols())
+      << "initial point shape mismatch";
+
+  Matrix s = s0;
+  bool converged = false;
+  int it = 0;
+  for (; it < options.max_iterations && !converged; ++it) {
+    const Matrix prev = s;
+
+    // Forward (gradient) step on the smooth linearised part.
+    s -= SmoothGradient(objective, s) * options.theta;
+
+    // Backward steps: one prox per non-smooth regularizer.
+    if (objective.tau > 0.0) {
+      auto prox = ProxNuclearAuto(s, options.theta * objective.tau);
+      if (!prox.ok()) return prox.status();
+      s = std::move(prox).value();
+    }
+    if (objective.gamma > 0.0) {
+      s = ProxL1(s, options.theta * objective.gamma);
+    }
+
+    // Projection onto the admissible set 𝒮.
+    if (options.project_unit_box) {
+      for (double& v : s.data()) v = std::clamp(v, 0.0, 1.0);
+    }
+    if (options.keep_symmetric && s.IsSquare()) {
+      s = s.Symmetrized();
+    }
+
+    const double change = (s - prev).NormL1();
+    const double scale = std::max(1.0, s.NormL1());
+    converged = change / scale < options.tol;
+
+    if (trace != nullptr) {
+      trace->s_norm_l1.push_back(s.NormL1());
+      trace->s_change_l1.push_back(change);
+    }
+  }
+
+  if (trace != nullptr) {
+    trace->converged = converged;
+    trace->iterations += it;
+  }
+  return s;
+}
+
+}  // namespace slampred

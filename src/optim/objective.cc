@@ -1,0 +1,109 @@
+#include "optim/objective.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/matrix_ops.h"
+#include "util/logging.h"
+
+namespace slampred {
+
+Matrix BuildIntimacyGradient(const std::vector<Tensor3>& tensors,
+                             const std::vector<double>& weights,
+                             std::size_t n) {
+  SLAMPRED_CHECK(tensors.size() == weights.size())
+      << "one weight per tensor required";
+  Matrix g(n, n);
+  for (std::size_t k = 0; k < tensors.size(); ++k) {
+    if (weights[k] == 0.0 || tensors[k].empty()) continue;
+    SLAMPRED_CHECK(tensors[k].dim1() == n && tensors[k].dim2() == n)
+        << "tensor " << k << " shape mismatch";
+    g += tensors[k].SumSlices() * weights[k];
+  }
+  return g;
+}
+
+namespace {
+
+// Loss value of the smooth empirical term.
+double LossValue(const Objective& objective, const Matrix& s) {
+  switch (objective.loss) {
+    case LossKind::kSquaredFrobenius: {
+      Matrix diff = s - objective.a;
+      const double frob = diff.FrobeniusNorm();
+      return frob * frob;
+    }
+    case LossKind::kSquaredHinge: {
+      double sum = 0.0;
+      for (std::size_t i = 0; i < s.data().size(); ++i) {
+        const double y = 2.0 * objective.a.data()[i] - 1.0;
+        const double slack = std::max(0.0, 1.0 - y * s.data()[i]);
+        sum += slack * slack;
+      }
+      return sum;
+    }
+  }
+  return 0.0;
+}
+
+// Gradient of the loss alone.
+Matrix LossGradient(const Objective& objective, const Matrix& s) {
+  switch (objective.loss) {
+    case LossKind::kSquaredFrobenius:
+      return (s - objective.a) * 2.0;
+    case LossKind::kSquaredHinge: {
+      Matrix g(s.rows(), s.cols());
+      for (std::size_t i = 0; i < s.data().size(); ++i) {
+        const double y = 2.0 * objective.a.data()[i] - 1.0;
+        const double slack = std::max(0.0, 1.0 - y * s.data()[i]);
+        g.data()[i] = -2.0 * y * slack;
+      }
+      return g;
+    }
+  }
+  return Matrix(s.rows(), s.cols());
+}
+
+}  // namespace
+
+double SmoothValue(const Objective& objective, const Matrix& s) {
+  double inner = 0.0;
+  for (std::size_t i = 0; i < s.data().size(); ++i) {
+    inner += s.data()[i] * objective.grad_v.data()[i];
+  }
+  return LossValue(objective, s) - inner;
+}
+
+Matrix SmoothGradient(const Objective& objective, const Matrix& s) {
+  Matrix g = LossGradient(objective, s);
+  g -= objective.grad_v;
+  return g;
+}
+
+double FullObjectiveValue(const Objective& objective, const Matrix& s,
+                          const std::vector<Tensor3>& tensors,
+                          const std::vector<double>& weights) {
+  SLAMPRED_CHECK(tensors.size() == weights.size());
+  double value = LossValue(objective, s);
+
+  for (std::size_t k = 0; k < tensors.size(); ++k) {
+    if (weights[k] == 0.0 || tensors[k].empty()) continue;
+    double intimacy = 0.0;
+    for (std::size_t c = 0; c < tensors[k].dim0(); ++c) {
+      for (std::size_t i = 0; i < s.rows(); ++i) {
+        for (std::size_t j = 0; j < s.cols(); ++j) {
+          intimacy += std::fabs(s(i, j) * tensors[k](c, i, j));
+        }
+      }
+    }
+    value -= weights[k] * intimacy;
+  }
+
+  value += objective.gamma * s.NormL1();
+  auto nuclear = NuclearNorm(s);
+  SLAMPRED_CHECK(nuclear.ok()) << nuclear.status().ToString();
+  value += objective.tau * nuclear.value();
+  return value;
+}
+
+}  // namespace slampred

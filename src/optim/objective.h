@@ -1,0 +1,67 @@
+// The SLAMPRED objective (Section III-C4 / III-D of the paper):
+//
+//   min_{S∈𝒮}  ‖S − Aᵗ‖²_F  −  Σ_k α_k ‖S ∘ X̂^k‖₁
+//              + γ‖S‖₁ + τ‖S‖_*
+//
+// decomposed as u(S) − v(S) with
+//   u(S) = ‖S − Aᵗ‖²_F + γ‖S‖₁ + τ‖S‖_*     (convex)
+//   v(S) = Σ_k α_k ‖S ∘ X̂^k‖₁                (convex; subtracted)
+//
+// With non-negative adapted features, ∇v is the constant matrix
+// G = Σ_k α_k Σ_c X̂^k(c,:,:) used by the CCCP linearisation.
+
+#ifndef SLAMPRED_OPTIM_OBJECTIVE_H_
+#define SLAMPRED_OPTIM_OBJECTIVE_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "linalg/tensor3.h"
+
+namespace slampred {
+
+/// Convex surrogate for the paper's 0/1 empirical loss (Section III-D
+/// proposes "the hinge loss and the Frobenius norm"; the Frobenius form
+/// is the paper's default and ours).
+enum class LossKind {
+  /// ‖S − A‖²_F.
+  kSquaredFrobenius,
+  /// Σᵢⱼ max(0, 1 − yᵢⱼ Sᵢⱼ)² with yᵢⱼ = 2Aᵢⱼ − 1 (squared hinge — the
+  /// squaring keeps the smooth part differentiable for the
+  /// forward–backward inner loop).
+  kSquaredHinge,
+};
+
+/// Immutable problem data for one solve.
+struct Objective {
+  Matrix a;        ///< Observed (training) adjacency Aᵗ.
+  Matrix grad_v;   ///< Constant CCCP gradient G of the intimacy terms.
+  double gamma;    ///< ℓ₁ regularization weight.
+  double tau;      ///< Nuclear-norm regularization weight.
+  LossKind loss = LossKind::kSquaredFrobenius;
+};
+
+/// Builds G = Σ_k α_k Σ_c tensors[k](c,:,:). Each tensor must be square
+/// n x n in its last two dims with n = a-rows; weights.size() must match
+/// tensors.size().
+Matrix BuildIntimacyGradient(const std::vector<Tensor3>& tensors,
+                             const std::vector<double>& weights,
+                             std::size_t n);
+
+/// Smooth part of the linearised subproblem:
+/// f(S) = ‖S − A‖²_F − <S, G>.
+double SmoothValue(const Objective& objective, const Matrix& s);
+
+/// Gradient of the smooth part: 2(S − A) − G.
+Matrix SmoothGradient(const Objective& objective, const Matrix& s);
+
+/// Full non-smooth objective value u(S) − v(S) evaluated literally (the
+/// intimacy term uses the exact entry-wise ‖S ∘ X̂‖₁, not the
+/// linearisation); used for traces and tests.
+double FullObjectiveValue(const Objective& objective, const Matrix& s,
+                          const std::vector<Tensor3>& tensors,
+                          const std::vector<double>& weights);
+
+}  // namespace slampred
+
+#endif  // SLAMPRED_OPTIM_OBJECTIVE_H_

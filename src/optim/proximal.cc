@@ -1,0 +1,88 @@
+#include "optim/proximal.h"
+
+#include <cmath>
+
+#include "linalg/svd.h"
+#include "linalg/symmetric_eigen.h"
+#include "util/logging.h"
+
+namespace slampred {
+
+Matrix ProxL1(const Matrix& s, double threshold) {
+  SLAMPRED_CHECK(threshold >= 0.0) << "negative l1 threshold";
+  Matrix out = s;
+  for (double& v : out.data()) {
+    if (v > threshold) {
+      v -= threshold;
+    } else if (v < -threshold) {
+      v += threshold;
+    } else {
+      v = 0.0;
+    }
+  }
+  return out;
+}
+
+Result<Matrix> ProxNuclear(const Matrix& s, double threshold) {
+  if (threshold < 0.0) {
+    return Status::InvalidArgument("negative nuclear threshold");
+  }
+  auto svd = ComputeSvd(s);
+  if (!svd.ok()) return svd.status();
+  const SvdResult& dec = svd.value();
+  const std::size_t k = dec.singular_values.size();
+
+  Matrix out(s.rows(), s.cols());
+  for (std::size_t r = 0; r < k; ++r) {
+    const double shrunk = dec.singular_values[r] - threshold;
+    if (shrunk <= 0.0) continue;  // Sorted descending: could break, but
+                                  // keep scanning for clarity/safety.
+    for (std::size_t i = 0; i < s.rows(); ++i) {
+      const double ui = dec.u(i, r) * shrunk;
+      if (ui == 0.0) continue;
+      for (std::size_t j = 0; j < s.cols(); ++j) {
+        out(i, j) += ui * dec.v(j, r);
+      }
+    }
+  }
+  return out;
+}
+
+Result<Matrix> ProxNuclearSymmetric(const Matrix& s, double threshold) {
+  if (threshold < 0.0) {
+    return Status::InvalidArgument("negative nuclear threshold");
+  }
+  auto eig = ComputeSymmetricEigen(s);
+  if (!eig.ok()) return eig.status();
+  const SymmetricEigenResult& dec = eig.value();
+  const std::size_t n = s.rows();
+
+  Matrix out(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    const double lambda = dec.eigenvalues[r];
+    const double mag = std::fabs(lambda) - threshold;
+    if (mag <= 0.0) continue;
+    const double shrunk = lambda >= 0.0 ? mag : -mag;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double qi = dec.eigenvectors(i, r) * shrunk;
+      if (qi == 0.0) continue;
+      for (std::size_t j = i; j < n; ++j) {
+        out(i, j) += qi * dec.eigenvectors(j, r);
+      }
+    }
+  }
+  // Mirror the computed upper triangle.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < i; ++j) out(i, j) = out(j, i);
+  }
+  return out;
+}
+
+Result<Matrix> ProxNuclearAuto(const Matrix& s, double threshold) {
+  if (s.IsSquare() && s.IsSymmetric(1e-9 * std::max(1.0, s.MaxAbs()))) {
+    return ProxNuclearSymmetric(s, threshold);
+  }
+  return ProxNuclear(s, threshold);
+}
+
+}  // namespace slampred

@@ -1,0 +1,37 @@
+// Proximal operators for the two non-differentiable regularizers of the
+// SLAMPRED objective (Section III-D2 of the paper):
+//
+//   prox_{γ‖·‖₁}(S) = sgn(S) ∘ (|S| − γ)₊            (soft thresholding)
+//   prox_{τ‖·‖_*}(S) = U diag((σᵢ − τ)₊) Vᵀ           (singular value
+//                                                      shrinkage)
+
+#ifndef SLAMPRED_OPTIM_PROXIMAL_H_
+#define SLAMPRED_OPTIM_PROXIMAL_H_
+
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+namespace slampred {
+
+/// Entry-wise soft thresholding: shrinks every entry toward zero by
+/// `threshold` and clips at zero. `threshold` must be >= 0.
+Matrix ProxL1(const Matrix& s, double threshold);
+
+/// Nuclear-norm prox via full SVD: shrinks each singular value by
+/// `threshold`. Works for any rectangular matrix.
+Result<Matrix> ProxNuclear(const Matrix& s, double threshold);
+
+/// Nuclear-norm prox fast path for *symmetric* matrices: eigendecompose
+/// S = QΛQᵀ; the singular values are |λᵢ|, so the shrunk matrix is
+/// Q diag(sgn(λᵢ)(|λᵢ| − τ)₊) Qᵀ. One symmetric eigensolve instead of a
+/// rectangular SVD — the predictor matrix of an undirected graph stays
+/// symmetric through the whole algorithm, so this is the hot path.
+Result<Matrix> ProxNuclearSymmetric(const Matrix& s, double threshold);
+
+/// Dispatches to the symmetric fast path when `s` is symmetric, else the
+/// general SVD path.
+Result<Matrix> ProxNuclearAuto(const Matrix& s, double threshold);
+
+}  // namespace slampred
+
+#endif  // SLAMPRED_OPTIM_PROXIMAL_H_

@@ -1,0 +1,72 @@
+#include "util/csv_writer.h"
+
+#include <fstream>
+
+#include "util/string_util.h"
+
+namespace slampred {
+
+namespace {
+
+std::string EscapeCell(const std::string& cell) {
+  bool needs_quote = false;
+  for (char c : cell) {
+    if (c == ',' || c == '"' || c == '\n' || c == '\r') {
+      needs_quote = true;
+      break;
+    }
+  }
+  if (!needs_quote) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+std::string RenderRow(const std::vector<std::string>& row) {
+  std::string line;
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) line += ",";
+    line += EscapeCell(row[i]);
+  }
+  line += "\n";
+  return line;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void CsvWriter::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void CsvWriter::AddNumericRow(const std::vector<double>& cells,
+                              int precision) {
+  std::vector<std::string> row;
+  row.reserve(cells.size());
+  for (double v : cells) row.push_back(FormatDouble(v, precision));
+  rows_.push_back(std::move(row));
+}
+
+std::string CsvWriter::ToString() const {
+  std::string out = RenderRow(header_);
+  for (const auto& row : rows_) out += RenderRow(row);
+  return out;
+}
+
+Status CsvWriter::WriteToFile(const std::string& path) const {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file.is_open()) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  file << ToString();
+  if (!file.good()) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace slampred

@@ -1,0 +1,40 @@
+// CSV output for experiment results so downstream plotting scripts can
+// regenerate the paper's figures from the raw series.
+
+#ifndef SLAMPRED_UTIL_CSV_WRITER_H_
+#define SLAMPRED_UTIL_CSV_WRITER_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace slampred {
+
+/// Buffers rows and writes an RFC-4180-ish CSV file (quotes cells that
+/// contain separators, quotes, or newlines).
+class CsvWriter {
+ public:
+  /// Creates a writer with the given header row.
+  explicit CsvWriter(std::vector<std::string> header);
+
+  /// Appends a row of string cells.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Appends a row of numeric cells formatted with `precision` digits.
+  void AddNumericRow(const std::vector<double>& cells, int precision = 6);
+
+  /// Serialises all buffered rows (header first).
+  std::string ToString() const;
+
+  /// Writes the CSV to `path`, overwriting any existing file.
+  Status WriteToFile(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace slampred
+
+#endif  // SLAMPRED_UTIL_CSV_WRITER_H_

@@ -1,0 +1,79 @@
+// Deterministic, seed-stable pseudo-random generation.
+//
+// Every stochastic step in the library (data generation, fold splitting,
+// negative sampling, anchor subsampling, SGD shuffling) consumes an Rng so
+// experiments reproduce bit-for-bit given the same seed. The engine is
+// xoshiro256**, seeded through SplitMix64; both are implemented here so the
+// stream is stable across standard-library versions.
+
+#ifndef SLAMPRED_UTIL_RANDOM_H_
+#define SLAMPRED_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace slampred {
+
+/// xoshiro256** PRNG with convenience draws used across the library.
+class Rng {
+ public:
+  /// Seeds the state deterministically from `seed` via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eedULL);
+
+  /// Next raw 64-bit draw.
+  std::uint64_t NextUint64();
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform integer in [0, bound) using rejection to avoid modulo bias.
+  /// `bound` must be > 0.
+  std::uint64_t NextBounded(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  std::int64_t NextInt(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal draw (Box–Muller, cached second value).
+  double NextGaussian();
+
+  /// Bernoulli draw with success probability `p`.
+  bool NextBernoulli(double p);
+
+  /// Poisson draw (Knuth for small lambda, normal approx for large).
+  int NextPoisson(double lambda);
+
+  /// Geometric draw: number of failures before first success, p in (0,1].
+  int NextGeometric(double p);
+
+  /// Samples an index from the unnormalised weight vector. Weights must be
+  /// non-negative with a positive sum.
+  std::size_t NextWeighted(const std::vector<double>& weights);
+
+  /// Fisher–Yates shuffles `items` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(NextBounded(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Samples `k` distinct indices from [0, n) in random order
+  /// (partial Fisher–Yates). Requires k <= n.
+  std::vector<std::size_t> SampleWithoutReplacement(std::size_t n,
+                                                    std::size_t k);
+
+  /// Forks an independent child stream; children with different salts are
+  /// decorrelated from the parent and from each other.
+  Rng Fork(std::uint64_t salt);
+
+ private:
+  std::uint64_t state_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace slampred
+
+#endif  // SLAMPRED_UTIL_RANDOM_H_

@@ -1,0 +1,153 @@
+// Status / Result error-handling primitives for the slampred library.
+//
+// Fallible operations return a Status (or a Result<T> when they also
+// produce a value) instead of throwing. This mirrors the convention used
+// by Arrow / RocksDB style database codebases: exceptions never cross the
+// public API boundary.
+
+#ifndef SLAMPRED_UTIL_STATUS_H_
+#define SLAMPRED_UTIL_STATUS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace slampred {
+
+/// Machine-readable category of a failure.
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kFailedPrecondition = 3,
+  kNotFound = 4,
+  kAlreadyExists = 5,
+  kNumericalError = 6,
+  kNotConverged = 7,
+  kIoError = 8,
+  kInternal = 9,
+};
+
+/// Returns a stable human-readable name for a status code.
+const char* StatusCodeToString(StatusCode code);
+
+/// Outcome of a fallible operation: a code plus an optional message.
+///
+/// A default-constructed Status is OK. Statuses are cheap to copy
+/// (the common OK case stores no message).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Factory helpers, one per non-OK code.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status NumericalError(std::string msg) {
+    return Status(StatusCode::kNumericalError, std::move(msg));
+  }
+  static Status NotConverged(std::string msg) {
+    return Status(StatusCode::kNotConverged, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff the operation succeeded.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  /// The failure category (kOk when ok()).
+  StatusCode code() const { return code_; }
+
+  /// The failure message (empty when ok()).
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error pair: either holds a T or a non-OK Status.
+///
+/// Usage:
+///   Result<Matrix> r = ComputeSomething();
+///   if (!r.ok()) return r.status();
+///   Matrix m = std::move(r).value();
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result holding `value`.
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)) {}
+
+  /// Constructs a failed result from a non-OK status.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {}
+
+  /// True iff a value is held.
+  bool ok() const { return status_.ok(); }
+
+  /// The status; OK iff a value is held.
+  const Status& status() const { return status_; }
+
+  /// Accesses the held value. Requires ok().
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  /// Accesses the held value, or returns `fallback` when failed.
+  T value_or(T fallback) const& {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK Status from the evaluated expression.
+#define SLAMPRED_RETURN_NOT_OK(expr)            \
+  do {                                          \
+    ::slampred::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                  \
+  } while (false)
+
+/// Evaluates a Result-returning expression, propagating failure and
+/// otherwise binding the value to `lhs`.
+#define SLAMPRED_ASSIGN_OR_RETURN(lhs, expr)    \
+  auto _res_##__LINE__ = (expr);                \
+  if (!_res_##__LINE__.ok()) return _res_##__LINE__.status(); \
+  lhs = std::move(_res_##__LINE__).value()
+
+}  // namespace slampred
+
+#endif  // SLAMPRED_UTIL_STATUS_H_

@@ -1,0 +1,30 @@
+// Wall-clock timing helper used by benchmarks and experiment harnesses.
+
+#ifndef SLAMPRED_UTIL_STOPWATCH_H_
+#define SLAMPRED_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace slampred {
+
+/// Monotonic stopwatch; starts running on construction.
+class Stopwatch {
+ public:
+  Stopwatch();
+
+  /// Resets the start point to now.
+  void Restart();
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const;
+
+  /// Milliseconds elapsed since construction or the last Restart().
+  double ElapsedMillis() const;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace slampred
+
+#endif  // SLAMPRED_UTIL_STOPWATCH_H_

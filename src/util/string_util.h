@@ -1,0 +1,35 @@
+// Small string formatting helpers shared by table/CSV writers.
+
+#ifndef SLAMPRED_UTIL_STRING_UTIL_H_
+#define SLAMPRED_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace slampred {
+
+/// Formats a double with `precision` digits after the decimal point.
+std::string FormatDouble(double value, int precision = 3);
+
+/// Formats "mean±std" the way the paper's Table II prints cells.
+std::string FormatMeanStd(double mean, double std, int precision = 3);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// Splits `s` on the single character `sep` (keeps empty fields).
+std::vector<std::string> Split(const std::string& s, char sep);
+
+/// Left-pads (or truncates nothing) `s` with spaces to `width`.
+std::string PadLeft(const std::string& s, std::size_t width);
+
+/// Right-pads `s` with spaces to `width`.
+std::string PadRight(const std::string& s, std::size_t width);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string Trim(const std::string& s);
+
+}  // namespace slampred
+
+#endif  // SLAMPRED_UTIL_STRING_UTIL_H_

@@ -1,0 +1,68 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace slampred {
+
+namespace {
+
+// Display width in code points (UTF-8 continuation bytes don't count);
+// keeps columns aligned when cells contain "±".
+std::size_t DisplayWidth(const std::string& s) {
+  std::size_t width = 0;
+  for (unsigned char c : s) {
+    if ((c & 0xC0) != 0x80) ++width;
+  }
+  return width;
+}
+
+}  // namespace
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::size_t cols = headers_.size();
+  for (const auto& row : rows_) cols = std::max(cols, row.size());
+
+  std::vector<std::size_t> widths(cols, 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = std::max(widths[c], DisplayWidth(headers_[c]));
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], DisplayWidth(row[c]));
+    }
+  }
+
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::string cell = c < row.size() ? row[c] : "";
+      const std::size_t pad = widths[c] - DisplayWidth(cell);
+      os << (c == 0 ? "| " : " ") << cell << std::string(pad, ' ') << " |";
+    }
+    os << "\n";
+  };
+
+  emit_row(headers_);
+  for (std::size_t c = 0; c < cols; ++c) {
+    os << (c == 0 ? "|" : "") << std::string(widths[c] + 2, '-') << "|";
+  }
+  os << "\n";
+  for (const auto& row : rows_) emit_row(row);
+}
+
+std::string TablePrinter::ToString() const {
+  std::ostringstream oss;
+  Print(oss);
+  return oss.str();
+}
+
+}  // namespace slampred

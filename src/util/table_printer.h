@@ -1,0 +1,40 @@
+// Fixed-width ASCII table printer used by the experiment harnesses to
+// emit paper-style result tables (e.g. Table II rows).
+
+#ifndef SLAMPRED_UTIL_TABLE_PRINTER_H_
+#define SLAMPRED_UTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace slampred {
+
+/// Accumulates rows of string cells and renders them with aligned
+/// columns and a header separator.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; missing cells render empty, extra cells are kept and
+  /// widen the table.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table to `os`.
+  void Print(std::ostream& os) const;
+
+  /// Renders the table to a string.
+  std::string ToString() const;
+
+  /// Number of data rows added so far.
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace slampred
+
+#endif  // SLAMPRED_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,228 @@
+// Tests for the baseline predictors: PA/CN/JC, SCAN and PL.
+
+#include <gtest/gtest.h>
+
+#include "baselines/pair_features.h"
+#include "baselines/pl.h"
+#include "baselines/scan.h"
+#include "baselines/unsupervised.h"
+#include "datagen/aligned_generator.h"
+#include "eval/link_split.h"
+#include "eval/metrics.h"
+#include "features/feature_tensor.h"
+
+namespace slampred {
+namespace {
+
+SocialGraph Fixture() {
+  // Triangle 0-1-2 plus 1-3, 2-3; node 4 isolated.
+  SocialGraph g(5);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  g.AddEdge(1, 2);
+  g.AddEdge(1, 3);
+  g.AddEdge(2, 3);
+  return g;
+}
+
+TEST(UnsupervisedTest, PaScores) {
+  PaPredictor pa(Fixture());
+  auto scores = pa.ScorePairs({{0, 1}, {0, 4}, {1, 2}});
+  ASSERT_TRUE(scores.ok());
+  EXPECT_DOUBLE_EQ(scores.value()[0], 6.0);  // 2 * 3.
+  EXPECT_DOUBLE_EQ(scores.value()[1], 0.0);  // Isolated node.
+  EXPECT_DOUBLE_EQ(scores.value()[2], 9.0);  // 3 * 3.
+  EXPECT_EQ(pa.name(), "PA");
+}
+
+TEST(UnsupervisedTest, CnScores) {
+  CnPredictor cn(Fixture());
+  auto scores = cn.ScorePairs({{0, 3}, {0, 4}});
+  ASSERT_TRUE(scores.ok());
+  EXPECT_DOUBLE_EQ(scores.value()[0], 2.0);
+  EXPECT_DOUBLE_EQ(scores.value()[1], 0.0);
+  EXPECT_EQ(cn.name(), "CN");
+}
+
+TEST(UnsupervisedTest, JcScores) {
+  JcPredictor jc(Fixture());
+  auto scores = jc.ScorePairs({{0, 3}, {0, 4}});
+  ASSERT_TRUE(scores.ok());
+  EXPECT_DOUBLE_EQ(scores.value()[0], 1.0);  // Identical neighborhoods.
+  EXPECT_DOUBLE_EQ(scores.value()[1], 0.0);
+  EXPECT_EQ(jc.name(), "JC");
+}
+
+// End-to-end fixture for the trained baselines.
+class TrainedBaselineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    AlignedGeneratorConfig config = DefaultExperimentConfig(23);
+    config.population.num_personas = 120;
+    auto gen = GenerateAligned(config);
+    ASSERT_TRUE(gen.ok());
+    generated_ = std::make_unique<GeneratedAligned>(std::move(gen).value());
+    full_graph_ = SocialGraph::FromHeterogeneousNetwork(
+        generated_->networks.target());
+    Rng rng(3);
+    auto folds = SplitLinks(full_graph_, 5, rng);
+    ASSERT_TRUE(folds.ok());
+    test_edges_ = folds.value()[0].test_edges;
+    train_graph_ = full_graph_.WithEdgesRemoved(test_edges_);
+    auto eval = BuildEvaluationSet(full_graph_, test_edges_, 4.0, rng);
+    ASSERT_TRUE(eval.ok());
+    eval_ = std::make_unique<EvaluationSet>(std::move(eval).value());
+
+    tensors_.push_back(
+        BuildFeatureTensor(generated_->networks.target(), train_graph_));
+    const SocialGraph source_graph = SocialGraph::FromHeterogeneousNetwork(
+        generated_->networks.source(0));
+    tensors_.push_back(
+        BuildFeatureTensor(generated_->networks.source(0), source_graph));
+  }
+
+  double AucOf(const LinkPredictor& model) {
+    auto scores = model.ScorePairs(eval_->pairs);
+    EXPECT_TRUE(scores.ok());
+    return ComputeAuc(scores.value(), eval_->labels).value_or(0.0);
+  }
+
+  std::unique_ptr<GeneratedAligned> generated_;
+  SocialGraph full_graph_{0};
+  SocialGraph train_graph_{0};
+  std::vector<UserPair> test_edges_;
+  std::unique_ptr<EvaluationSet> eval_;
+  std::vector<Tensor3> tensors_;
+};
+
+TEST_F(TrainedBaselineTest, PairFeatureWidths) {
+  EXPECT_EQ(PairFeatureWidth(tensors_, FeatureSource::kTargetOnly),
+            tensors_[0].dim0());
+  EXPECT_EQ(PairFeatureWidth(tensors_, FeatureSource::kSourceOnly),
+            tensors_[1].dim0());
+  EXPECT_EQ(PairFeatureWidth(tensors_, FeatureSource::kBoth),
+            tensors_[0].dim0() + tensors_[1].dim0());
+}
+
+TEST_F(TrainedBaselineTest, PairFeatureAnchorMapping) {
+  const AnchorLinks& anchors = generated_->networks.anchors(0);
+  // Find an anchored pair and an unanchored user.
+  std::size_t anchored_u = 0;
+  std::size_t anchored_v = 0;
+  bool found = false;
+  for (std::size_t u = 0; u < full_graph_.num_users() && !found; ++u) {
+    for (std::size_t v = u + 1; v < full_graph_.num_users(); ++v) {
+      if (anchors.RightOf(u).has_value() && anchors.RightOf(v).has_value()) {
+        anchored_u = u;
+        anchored_v = v;
+        found = true;
+        break;
+      }
+    }
+  }
+  ASSERT_TRUE(found);
+  const Vector feats =
+      BuildPairFeatures(generated_->networks, tensors_,
+                        FeatureSource::kSourceOnly, {anchored_u, anchored_v});
+  const Vector expected = tensors_[1].Fiber(
+      std::min(*anchors.RightOf(anchored_u), *anchors.RightOf(anchored_v)),
+      std::max(*anchors.RightOf(anchored_u), *anchors.RightOf(anchored_v)));
+  EXPECT_EQ(feats, expected);
+}
+
+TEST_F(TrainedBaselineTest, ScanBeatsRandom) {
+  Rng rng(5);
+  Scan scan;
+  ASSERT_TRUE(scan
+                  .Fit(generated_->networks, train_graph_, tensors_,
+                       test_edges_, rng)
+                  .ok());
+  EXPECT_GT(AucOf(scan), 0.6);
+  EXPECT_EQ(scan.name(), "SCAN");
+}
+
+TEST_F(TrainedBaselineTest, ScanVariantsHaveNames) {
+  ScanOptions t_options;
+  t_options.feature_source = FeatureSource::kTargetOnly;
+  EXPECT_EQ(Scan(t_options).name(), "SCAN-T");
+  ScanOptions s_options;
+  s_options.feature_source = FeatureSource::kSourceOnly;
+  EXPECT_EQ(Scan(s_options).name(), "SCAN-S");
+}
+
+TEST_F(TrainedBaselineTest, ScanScoreBeforeFitFails) {
+  Scan scan;
+  EXPECT_FALSE(scan.ScorePairs({{0, 1}}).ok());
+}
+
+TEST_F(TrainedBaselineTest, PlBeatsRandom) {
+  Rng rng(7);
+  Pl pl;
+  ASSERT_TRUE(
+      pl.Fit(generated_->networks, train_graph_, tensors_, test_edges_, rng)
+          .ok());
+  EXPECT_GT(AucOf(pl), 0.6);
+  EXPECT_EQ(pl.name(), "PL");
+}
+
+TEST_F(TrainedBaselineTest, PlVariantNames) {
+  PlOptions t;
+  t.feature_source = FeatureSource::kTargetOnly;
+  EXPECT_EQ(Pl(t).name(), "PL-T");
+  PlOptions s;
+  s.feature_source = FeatureSource::kSourceOnly;
+  EXPECT_EQ(Pl(s).name(), "PL-S");
+}
+
+TEST_F(TrainedBaselineTest, PlScoreBeforeFitFails) {
+  Pl pl;
+  EXPECT_FALSE(pl.ScorePairs({{0, 1}}).ok());
+}
+
+TEST_F(TrainedBaselineTest, TargetOnlyVariantIgnoresAnchors) {
+  // SCAN-T must produce identical scores whether or not anchors exist.
+  Rng rng_a(11);
+  ScanOptions options;
+  options.feature_source = FeatureSource::kTargetOnly;
+  Scan with_anchors(options);
+  ASSERT_TRUE(with_anchors
+                  .Fit(generated_->networks, train_graph_, tensors_,
+                       test_edges_, rng_a)
+                  .ok());
+
+  AlignedNetworks unaligned(generated_->networks.target());
+  AnchorLinks empty(generated_->networks.target().NumUsers(),
+                    generated_->networks.source(0).NumUsers());
+  unaligned.AddSource(generated_->networks.source(0), std::move(empty));
+  Rng rng_b(11);
+  Scan without_anchors(options);
+  ASSERT_TRUE(without_anchors
+                  .Fit(unaligned, train_graph_, tensors_, test_edges_, rng_b)
+                  .ok());
+
+  auto a = with_anchors.ScorePairs(eval_->pairs);
+  auto b = without_anchors.ScorePairs(eval_->pairs);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (std::size_t i = 0; i < a.value().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.value()[i], b.value()[i]);
+  }
+}
+
+TEST_F(TrainedBaselineTest, FitRejectsWrongTensorCount) {
+  Rng rng(13);
+  Scan scan;
+  std::vector<Tensor3> only_target = {tensors_[0]};
+  EXPECT_FALSE(scan
+                   .Fit(generated_->networks, train_graph_, only_target,
+                        test_edges_, rng)
+                   .ok());
+  Pl pl;
+  EXPECT_FALSE(
+      pl.Fit(generated_->networks, train_graph_, only_target, test_edges_,
+             rng)
+          .ok());
+}
+
+}  // namespace
+}  // namespace slampred

@@ -1,0 +1,236 @@
+// Tests for the synthetic aligned-network generator (the dataset
+// substitute — see DESIGN.md).
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "datagen/aligned_generator.h"
+#include "datagen/attribute_generator.h"
+#include "datagen/community_model.h"
+#include "graph/social_graph.h"
+
+namespace slampred {
+namespace {
+
+TEST(CommunityModelTest, RejectsDegenerateConfigs) {
+  Rng rng(1);
+  CommunityModelConfig config;
+  config.num_personas = 0;
+  EXPECT_FALSE(CommunityModel::Sample(config, rng).ok());
+  config = CommunityModelConfig{};
+  config.num_communities = 0;
+  EXPECT_FALSE(CommunityModel::Sample(config, rng).ok());
+  config = CommunityModelConfig{};
+  config.num_personas = 3;
+  config.num_communities = 5;
+  EXPECT_FALSE(CommunityModel::Sample(config, rng).ok());
+  config = CommunityModelConfig{};
+  config.vocab_size = 0;
+  EXPECT_FALSE(CommunityModel::Sample(config, rng).ok());
+}
+
+TEST(CommunityModelTest, ProfilesAreDistributions) {
+  Rng rng(2);
+  CommunityModelConfig config;
+  config.num_personas = 40;
+  auto model = CommunityModel::Sample(config, rng);
+  ASSERT_TRUE(model.ok());
+  for (std::size_t i = 0; i < model.value().num_personas(); ++i) {
+    const Persona& p = model.value().persona(i);
+    EXPECT_LT(p.community, config.num_communities);
+    EXPECT_GT(p.activity, 0.0);
+    double sum = 0.0;
+    for (double w : p.topic) {
+      EXPECT_GE(w, 0.0);
+      sum += w;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(CommunityModelTest, EveryCommunityInhabited) {
+  Rng rng(3);
+  CommunityModelConfig config;
+  config.num_personas = 60;
+  config.num_communities = 6;
+  auto model = CommunityModel::Sample(config, rng);
+  ASSERT_TRUE(model.ok());
+  const auto sizes = model.value().CommunitySizes();
+  ASSERT_EQ(sizes.size(), 6u);
+  std::size_t total = 0;
+  for (std::size_t s : sizes) {
+    EXPECT_GT(s, 0u);
+    total += s;
+  }
+  EXPECT_EQ(total, 60u);
+}
+
+TEST(CommunityModelTest, SameCommunityProfilesAreCloser) {
+  Rng rng(4);
+  CommunityModelConfig config;
+  config.num_personas = 80;
+  config.num_communities = 4;
+  auto model = CommunityModel::Sample(config, rng);
+  ASSERT_TRUE(model.ok());
+
+  auto l1 = [](const std::vector<double>& a, const std::vector<double>& b) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) sum += std::fabs(a[i] - b[i]);
+    return sum;
+  };
+  double same_total = 0.0;
+  double diff_total = 0.0;
+  std::size_t same_count = 0;
+  std::size_t diff_count = 0;
+  for (std::size_t i = 0; i < 80; ++i) {
+    for (std::size_t j = i + 1; j < 80; ++j) {
+      const double dist = l1(model.value().persona(i).topic,
+                             model.value().persona(j).topic);
+      if (model.value().SameCommunity(i, j)) {
+        same_total += dist;
+        ++same_count;
+      } else {
+        diff_total += dist;
+        ++diff_count;
+      }
+    }
+  }
+  EXPECT_LT(same_total / same_count, diff_total / diff_count);
+}
+
+TEST(AttributeGeneratorTest, ProducesConsistentLayers) {
+  Rng rng(5);
+  CommunityModelConfig mc;
+  mc.num_personas = 20;
+  auto model = CommunityModel::Sample(mc, rng);
+  ASSERT_TRUE(model.ok());
+
+  HeterogeneousNetwork net("n");
+  net.AddNodes(NodeType::kUser, 10);
+  std::vector<std::size_t> personas;
+  for (std::size_t i = 0; i < 10; ++i) personas.push_back(i);
+  AttributeConfig config;
+  config.posts_per_user_mean = 5.0;
+  GenerateAttributes(model.value(), personas, config, rng, net);
+
+  // Every post is written by exactly one user and carries a timestamp.
+  const std::size_t posts = net.NumNodes(NodeType::kPost);
+  EXPECT_GT(posts, 0u);
+  EXPECT_EQ(net.NumEdges(EdgeType::kWrite), posts);
+  EXPECT_EQ(net.NumEdges(EdgeType::kPostedAt), posts);
+  // Word attachments exist and point into the vocabulary.
+  EXPECT_GT(net.NumEdges(EdgeType::kHasWord), 0u);
+  EXPECT_EQ(net.NumNodes(NodeType::kWord), mc.vocab_size);
+}
+
+TEST(AttributeGeneratorTest, CheckinProbabilityRespected) {
+  Rng rng(6);
+  CommunityModelConfig mc;
+  mc.num_personas = 30;
+  auto model = CommunityModel::Sample(mc, rng);
+  ASSERT_TRUE(model.ok());
+  HeterogeneousNetwork net("n");
+  net.AddNodes(NodeType::kUser, 30);
+  std::vector<std::size_t> personas;
+  for (std::size_t i = 0; i < 30; ++i) personas.push_back(i);
+  AttributeConfig config;
+  config.posts_per_user_mean = 10.0;
+  config.checkin_prob = 1.0;
+  GenerateAttributes(model.value(), personas, config, rng, net);
+  // With probability 1, every post has exactly one checkin.
+  EXPECT_EQ(net.NumEdges(EdgeType::kCheckin),
+            net.NumNodes(NodeType::kPost));
+}
+
+TEST(AlignedGeneratorTest, DeterministicGivenSeed) {
+  auto a = GenerateAligned(DefaultExperimentConfig(99));
+  auto b = GenerateAligned(DefaultExperimentConfig(99));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().networks.target().NumUsers(),
+            b.value().networks.target().NumUsers());
+  EXPECT_EQ(a.value().networks.target().NumEdges(EdgeType::kFriend),
+            b.value().networks.target().NumEdges(EdgeType::kFriend));
+  EXPECT_EQ(a.value().networks.anchors(0).size(),
+            b.value().networks.anchors(0).size());
+  EXPECT_EQ(a.value().personas_target, b.value().personas_target);
+}
+
+TEST(AlignedGeneratorTest, DifferentSeedsDiffer) {
+  auto a = GenerateAligned(DefaultExperimentConfig(1));
+  auto b = GenerateAligned(DefaultExperimentConfig(2));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a.value().networks.target().NumEdges(EdgeType::kFriend),
+            b.value().networks.target().NumEdges(EdgeType::kFriend));
+}
+
+TEST(AlignedGeneratorTest, AnchorsPairSamePersona) {
+  auto gen = GenerateAligned(DefaultExperimentConfig(7));
+  ASSERT_TRUE(gen.ok());
+  const auto& g = gen.value();
+  for (const auto& [left, right] : g.networks.anchors(0).pairs()) {
+    EXPECT_EQ(g.personas_target[left], g.personas_sources[0][right])
+        << "anchor must connect accounts of the same persona";
+  }
+}
+
+TEST(AlignedGeneratorTest, AnchorsCoverAllSharedPersonas) {
+  auto gen = GenerateAligned(DefaultExperimentConfig(8));
+  ASSERT_TRUE(gen.ok());
+  const auto& g = gen.value();
+  std::set<std::size_t> target_personas(g.personas_target.begin(),
+                                        g.personas_target.end());
+  std::size_t shared = 0;
+  for (std::size_t p : g.personas_sources[0]) {
+    if (target_personas.count(p) > 0) ++shared;
+  }
+  EXPECT_EQ(g.networks.anchors(0).size(), shared);
+}
+
+TEST(AlignedGeneratorTest, CommunityStructureShowsInGraph) {
+  auto gen = GenerateAligned(DefaultExperimentConfig(9));
+  ASSERT_TRUE(gen.ok());
+  const auto& g = gen.value();
+  const SocialGraph graph =
+      SocialGraph::FromHeterogeneousNetwork(g.networks.target());
+
+  std::size_t intra = 0;
+  std::size_t inter = 0;
+  for (const UserPair& e : graph.Edges()) {
+    if (g.model.SameCommunity(g.personas_target[e.u],
+                              g.personas_target[e.v])) {
+      ++intra;
+    } else {
+      ++inter;
+    }
+  }
+  // Intra-community links must dominate despite far more inter pairs.
+  EXPECT_GT(intra, inter);
+}
+
+TEST(AlignedGeneratorTest, SourceDenserThanTarget) {
+  auto gen = GenerateAligned(DefaultExperimentConfig(10));
+  ASSERT_TRUE(gen.ok());
+  const SocialGraph target = SocialGraph::FromHeterogeneousNetwork(
+      gen.value().networks.target());
+  const SocialGraph source = SocialGraph::FromHeterogeneousNetwork(
+      gen.value().networks.source(0));
+  EXPECT_GT(source.Density(), target.Density());
+}
+
+TEST(AlignedGeneratorTest, MultipleSources) {
+  AlignedGeneratorConfig config = DefaultExperimentConfig(11);
+  NetworkRealizationConfig extra = config.sources[0];
+  extra.name = "extra-source";
+  config.sources.push_back(extra);
+  auto gen = GenerateAligned(config);
+  ASSERT_TRUE(gen.ok());
+  EXPECT_EQ(gen.value().networks.num_sources(), 2u);
+  EXPECT_GT(gen.value().networks.anchors(1).size(), 0u);
+}
+
+}  // namespace
+}  // namespace slampred

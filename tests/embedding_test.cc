@@ -1,0 +1,316 @@
+// Tests for the domain-adaptation pipeline: instance sampling, indicator
+// matrices, Laplacians, the Theorem-1 solver and the adapter.
+
+#include <gtest/gtest.h>
+
+#include "datagen/aligned_generator.h"
+#include "embedding/domain_adapter.h"
+#include "embedding/indicator_matrices.h"
+#include "embedding/laplacian.h"
+#include "embedding/link_instance.h"
+#include "embedding/projection_solver.h"
+#include "features/feature_tensor.h"
+
+namespace slampred {
+namespace {
+
+// Shared small generated bundle for the pipeline tests.
+class EmbeddingPipelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    AlignedGeneratorConfig config = DefaultExperimentConfig(17);
+    config.population.num_personas = 80;
+    auto gen = GenerateAligned(config);
+    ASSERT_TRUE(gen.ok());
+    generated_ = std::make_unique<GeneratedAligned>(std::move(gen).value());
+    target_graph_ = SocialGraph::FromHeterogeneousNetwork(
+        generated_->networks.target());
+    tensors_.push_back(
+        BuildFeatureTensor(generated_->networks.target(), target_graph_));
+    const SocialGraph source_graph = SocialGraph::FromHeterogeneousNetwork(
+        generated_->networks.source(0));
+    tensors_.push_back(
+        BuildFeatureTensor(generated_->networks.source(0), source_graph));
+  }
+
+  std::unique_ptr<GeneratedAligned> generated_;
+  SocialGraph target_graph_{0};
+  std::vector<Tensor3> tensors_;
+};
+
+TEST_F(EmbeddingPipelineTest, SampleRespectsStructure) {
+  Rng rng(3);
+  InstanceSampleOptions options;
+  options.positives_per_network = 20;
+  options.negatives_per_network = 20;
+  auto sample = SampleLinkInstances(generated_->networks, target_graph_,
+                                    tensors_, options, rng);
+  ASSERT_TRUE(sample.ok()) << sample.status().ToString();
+  const InstanceSample& s = sample.value();
+  EXPECT_EQ(s.num_networks(), 2u);
+  ASSERT_EQ(s.network_offsets.size(), 3u);
+  EXPECT_EQ(s.network_offsets[0], 0u);
+  EXPECT_EQ(s.network_offsets.back(), s.total());
+  EXPECT_EQ(s.feature_dims[0], tensors_[0].dim0());
+
+  const SocialGraph source_graph = SocialGraph::FromHeterogeneousNetwork(
+      generated_->networks.source(0));
+  for (std::size_t i = 0; i < s.total(); ++i) {
+    const LinkInstance& inst = s.instances[i];
+    EXPECT_LT(inst.u, inst.v);
+    const SocialGraph& graph =
+        inst.network == 0 ? target_graph_ : source_graph;
+    EXPECT_EQ(inst.exists, graph.HasEdge(inst.u, inst.v))
+        << "existence label must match the graph";
+    EXPECT_EQ(inst.features.size(), s.feature_dims[inst.network]);
+  }
+}
+
+TEST_F(EmbeddingPipelineTest, SampleContainsBothLabels) {
+  Rng rng(5);
+  auto sample = SampleLinkInstances(generated_->networks, target_graph_,
+                                    tensors_, InstanceSampleOptions{}, rng);
+  ASSERT_TRUE(sample.ok());
+  std::size_t pos = 0;
+  std::size_t neg = 0;
+  for (const auto& inst : sample.value().instances) {
+    (inst.exists ? pos : neg) += 1;
+  }
+  EXPECT_GT(pos, 0u);
+  EXPECT_GT(neg, 0u);
+}
+
+TEST_F(EmbeddingPipelineTest, AlignedIndicatorConnectsAnchoredPairs) {
+  Rng rng(7);
+  InstanceSampleOptions options;
+  options.positives_per_network = 30;
+  options.negatives_per_network = 30;
+  auto sample = SampleLinkInstances(generated_->networks, target_graph_,
+                                    tensors_, options, rng);
+  ASSERT_TRUE(sample.ok());
+  const InstanceSample& s = sample.value();
+  const AnchorLinks& anchors = generated_->networks.anchors(0);
+  const CsrMatrix w_a = BuildAlignedIndicator(s, {&anchors});
+
+  EXPECT_GT(w_a.nnz(), 0u) << "mirrored instances must produce alignments";
+  // Every marked pair must genuinely be an aligned social link.
+  for (std::size_t i = 0; i < w_a.rows(); ++i) {
+    for (std::size_t p = w_a.row_ptr()[i]; p < w_a.row_ptr()[i + 1]; ++p) {
+      const std::size_t j = w_a.col_idx()[p];
+      const LinkInstance& a = s.instances[std::min(i, j)];
+      const LinkInstance& b = s.instances[std::max(i, j)];
+      EXPECT_EQ(a.network, 0u);
+      EXPECT_EQ(b.network, 1u);
+      const auto bu = anchors.LeftOf(b.u);
+      const auto bv = anchors.LeftOf(b.v);
+      ASSERT_TRUE(bu.has_value() && bv.has_value());
+      EXPECT_EQ(MakeUserPair(*bu, *bv), (UserPair{a.u, a.v}));
+    }
+  }
+}
+
+TEST_F(EmbeddingPipelineTest, LabelIndicatorsPartitionPairs) {
+  Rng rng(9);
+  InstanceSampleOptions options;
+  options.positives_per_network = 10;
+  options.negatives_per_network = 10;
+  auto sample = SampleLinkInstances(generated_->networks, target_graph_,
+                                    tensors_, options, rng);
+  ASSERT_TRUE(sample.ok());
+  const InstanceSample& s = sample.value();
+  const CsrMatrix w_s = BuildSimilarIndicator(s);
+  const CsrMatrix w_d = BuildDissimilarIndicator(s);
+  const std::size_t total = s.total();
+  // Every off-diagonal pair is in exactly one of W_S, W_D.
+  EXPECT_EQ(w_s.nnz() + w_d.nnz(), total * (total - 1));
+  for (std::size_t i = 0; i < std::min<std::size_t>(total, 12); ++i) {
+    for (std::size_t j = 0; j < std::min<std::size_t>(total, 12); ++j) {
+      if (i == j) continue;
+      const bool same = s.instances[i].exists == s.instances[j].exists;
+      EXPECT_DOUBLE_EQ(w_s.At(i, j), same ? 1.0 : 0.0);
+      EXPECT_DOUBLE_EQ(w_d.At(i, j), same ? 0.0 : 1.0);
+    }
+  }
+}
+
+TEST(LaplacianTest, RowSumsAreZero) {
+  const CsrMatrix w = CsrMatrix::FromTriplets(
+      3, 3, {{0, 1, 1.0}, {1, 0, 1.0}, {1, 2, 2.0}, {2, 1, 2.0}});
+  const Matrix l = DenseLaplacian(w);
+  for (std::size_t i = 0; i < 3; ++i) {
+    double row_sum = 0.0;
+    for (std::size_t j = 0; j < 3; ++j) row_sum += l(i, j);
+    EXPECT_NEAR(row_sum, 0.0, 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(l(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(l(1, 1), 3.0);
+  EXPECT_DOUBLE_EQ(l(0, 1), -1.0);
+}
+
+TEST(LaplacianTest, SandwichMatchesDenseComputation) {
+  Rng rng(11);
+  const Matrix z = Matrix::RandomGaussian(4, 6, rng);
+  const CsrMatrix w = CsrMatrix::FromTriplets(
+      6, 6,
+      {{0, 1, 1.0}, {1, 0, 1.0}, {2, 3, 0.5}, {3, 2, 0.5}, {4, 5, 2.0},
+       {5, 4, 2.0}});
+  const Matrix direct = z * DenseLaplacian(w) * z.Transposed();
+  const Matrix sandwich = SandwichLaplacian(z, w);
+  EXPECT_LT((direct - sandwich).MaxAbs(), 1e-10);
+}
+
+TEST_F(EmbeddingPipelineTest, BlockDiagonalZHasBlockStructure) {
+  Rng rng(13);
+  InstanceSampleOptions options;
+  options.positives_per_network = 8;
+  options.negatives_per_network = 8;
+  auto sample = SampleLinkInstances(generated_->networks, target_graph_,
+                                    tensors_, options, rng);
+  ASSERT_TRUE(sample.ok());
+  const InstanceSample& s = sample.value();
+  const Matrix z = BuildBlockDiagonalZ(s);
+  EXPECT_EQ(z.rows(), s.feature_dims[0] + s.feature_dims[1]);
+  EXPECT_EQ(z.cols(), s.total());
+  // Off-block regions are zero: source instances have no target rows.
+  for (std::size_t col = s.network_offsets[1]; col < s.total(); ++col) {
+    for (std::size_t row = 0; row < s.feature_dims[0]; ++row) {
+      EXPECT_DOUBLE_EQ(z(row, col), 0.0);
+    }
+  }
+}
+
+TEST_F(EmbeddingPipelineTest, ProjectionSolverProducesRequestedShape) {
+  Rng rng(15);
+  auto sample = SampleLinkInstances(generated_->networks, target_graph_,
+                                    tensors_, InstanceSampleOptions{}, rng);
+  ASSERT_TRUE(sample.ok());
+  const CsrMatrix w_a = BuildAlignedIndicator(
+      sample.value(), {&generated_->networks.anchors(0)});
+  const CsrMatrix w_s = BuildSimilarIndicator(sample.value());
+  const CsrMatrix w_d = BuildDissimilarIndicator(sample.value());
+  ProjectionOptions options;
+  options.latent_dim = 4;
+  auto proj = SolveProjections(sample.value(), w_a, w_s, w_d, options);
+  ASSERT_TRUE(proj.ok()) << proj.status().ToString();
+  ASSERT_EQ(proj.value().projections.size(), 2u);
+  EXPECT_EQ(proj.value().projections[0].rows(), tensors_[0].dim0());
+  EXPECT_EQ(proj.value().projections[0].cols(), 4u);
+  EXPECT_EQ(proj.value().projections[1].rows(), tensors_[1].dim0());
+  // Projections must be non-trivial.
+  EXPECT_GT(proj.value().projections[0].MaxAbs(), 0.0);
+}
+
+TEST_F(EmbeddingPipelineTest, ProjectionSolverRejectsBadLatentDim) {
+  Rng rng(17);
+  auto sample = SampleLinkInstances(generated_->networks, target_graph_,
+                                    tensors_, InstanceSampleOptions{}, rng);
+  ASSERT_TRUE(sample.ok());
+  const CsrMatrix w_s = BuildSimilarIndicator(sample.value());
+  const CsrMatrix w_d = BuildDissimilarIndicator(sample.value());
+  const CsrMatrix w_a = BuildAlignedIndicator(
+      sample.value(), {&generated_->networks.anchors(0)});
+  ProjectionOptions options;
+  options.latent_dim = 10000;
+  EXPECT_FALSE(
+      SolveProjections(sample.value(), w_a, w_s, w_d, options).ok());
+  options.latent_dim = 0;
+  EXPECT_FALSE(
+      SolveProjections(sample.value(), w_a, w_s, w_d, options).ok());
+}
+
+TEST_F(EmbeddingPipelineTest, AdapterOutputsTargetCoordinates) {
+  Rng rng(19);
+  DomainAdapterOptions options;
+  auto adapted = AdaptDomains(generated_->networks, target_graph_, tensors_,
+                              options, rng);
+  ASSERT_TRUE(adapted.ok()) << adapted.status().ToString();
+  const std::size_t n = generated_->networks.target().NumUsers();
+  ASSERT_EQ(adapted.value().tensors.size(), 2u);
+  EXPECT_EQ(adapted.value().tensors[0].dim0(),
+            options.projection.latent_dim);
+  EXPECT_EQ(adapted.value().tensors[0].dim1(), n);
+  EXPECT_EQ(adapted.value().tensors[1].dim1(), n);
+  EXPECT_EQ(adapted.value().tensors[1].dim2(), n);
+}
+
+TEST_F(EmbeddingPipelineTest, AdapterOrientsPositiveInstancesHigher) {
+  Rng rng(21);
+  auto adapted = AdaptDomains(generated_->networks, target_graph_, tensors_,
+                              DomainAdapterOptions{}, rng);
+  ASSERT_TRUE(adapted.ok());
+  // The best (highest-separation) latent slice must score existing links
+  // above absent pairs on average.
+  const Tensor3& t = adapted.value().tensors[0];
+  double link_sum = 0.0;
+  double non_sum = 0.0;
+  std::size_t links = 0;
+  std::size_t nons = 0;
+  const Matrix sum = t.SumSlices();
+  for (std::size_t u = 0; u < target_graph_.num_users(); ++u) {
+    for (std::size_t v = u + 1; v < target_graph_.num_users(); ++v) {
+      if (target_graph_.HasEdge(u, v)) {
+        link_sum += sum(u, v);
+        ++links;
+      } else {
+        non_sum += sum(u, v);
+        ++nons;
+      }
+    }
+  }
+  ASSERT_GT(links, 0u);
+  ASSERT_GT(nons, 0u);
+  EXPECT_GT(link_sum / links, non_sum / nons);
+}
+
+TEST_F(EmbeddingPipelineTest, PassthroughKeepsRawTargetTensor) {
+  auto pass = PassthroughAdapt(generated_->networks, tensors_);
+  ASSERT_TRUE(pass.ok());
+  EXPECT_EQ(pass.value().tensors[0].dim0(), tensors_[0].dim0());
+  // Target tensor passes through unchanged.
+  EXPECT_EQ(pass.value().tensors[0].data(), tensors_[0].data());
+}
+
+TEST_F(EmbeddingPipelineTest, ReindexImputesUncoveredPairsAtCoveredMean) {
+  // With a tiny anchor set, uncovered pairs get the covered-mean value
+  // rather than zero (no systematic penalty for unanchored users).
+  Rng rng(23);
+  AlignedNetworks bundle(generated_->networks.target());
+  AnchorLinks small(generated_->networks.target().NumUsers(),
+                    generated_->networks.source(0).NumUsers());
+  int added = 0;
+  for (const auto& [l, r] : generated_->networks.anchors(0).pairs()) {
+    if (added >= 5) break;
+    ASSERT_TRUE(small.Add(l, r).ok());
+    ++added;
+  }
+  bundle.AddSource(generated_->networks.source(0), std::move(small));
+  auto pass = PassthroughAdapt(bundle, tensors_);
+  ASSERT_TRUE(pass.ok());
+  const Tensor3& t = pass.value().tensors[1];
+  // Pick a pair of certainly-unanchored users (beyond the 5 anchored
+  // lefts): all its slices must equal the per-slice covered mean, which
+  // is constant across uncovered pairs.
+  std::vector<std::size_t> unanchored;
+  for (std::size_t u = 0; u < bundle.target().NumUsers(); ++u) {
+    if (!bundle.anchors(0).RightOf(u).has_value()) unanchored.push_back(u);
+  }
+  ASSERT_GE(unanchored.size(), 3u);
+  for (std::size_t d = 0; d < t.dim0(); ++d) {
+    const double a = t(d, unanchored[0], unanchored[1]);
+    const double b = t(d, unanchored[1], unanchored[2]);
+    EXPECT_DOUBLE_EQ(a, b) << "uncovered pairs share the imputed mean";
+  }
+}
+
+TEST_F(EmbeddingPipelineTest, NoAnchorsMeansZeroTransfer) {
+  AlignedNetworks bundle(generated_->networks.target());
+  AnchorLinks empty(generated_->networks.target().NumUsers(),
+                    generated_->networks.source(0).NumUsers());
+  bundle.AddSource(generated_->networks.source(0), std::move(empty));
+  auto pass = PassthroughAdapt(bundle, tensors_);
+  ASSERT_TRUE(pass.ok());
+  EXPECT_DOUBLE_EQ(pass.value().tensors[1].MaxAbs(), 0.0);
+}
+
+}  // namespace
+}  // namespace slampred

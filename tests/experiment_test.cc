@@ -1,0 +1,140 @@
+// Tests for the experiment harness (the machinery behind Table II).
+
+#include <gtest/gtest.h>
+
+#include "datagen/aligned_generator.h"
+#include "eval/anchor_sampler.h"
+#include "eval/experiment.h"
+
+namespace slampred {
+namespace {
+
+ExperimentOptions FastOptions() {
+  ExperimentOptions options;
+  options.num_folds = 3;
+  options.negatives_per_positive = 3.0;
+  options.precision_k = 50;
+  options.slampred.optimization.inner.max_iterations = 30;
+  options.slampred.optimization.max_outer_iterations = 2;
+  return options;
+}
+
+class ExperimentTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    AlignedGeneratorConfig config = DefaultExperimentConfig(37);
+    config.population.num_personas = 100;
+    auto gen = GenerateAligned(config);
+    ASSERT_TRUE(gen.ok());
+    generated_ = new GeneratedAligned(std::move(gen).value());
+  }
+  static void TearDownTestSuite() {
+    delete generated_;
+    generated_ = nullptr;
+  }
+  static GeneratedAligned* generated_;
+};
+
+GeneratedAligned* ExperimentTest::generated_ = nullptr;
+
+TEST(MethodIdTest, NamesAndInventory) {
+  EXPECT_STREQ(MethodIdName(MethodId::kSlamPred), "SLAMPRED");
+  EXPECT_STREQ(MethodIdName(MethodId::kSlamPredT), "SLAMPRED-T");
+  EXPECT_STREQ(MethodIdName(MethodId::kPlS), "PL-S");
+  EXPECT_STREQ(MethodIdName(MethodId::kPa), "PA");
+  EXPECT_EQ(AllMethods().size(), 12u);
+}
+
+TEST(MethodIdTest, SourceUsageFlags) {
+  EXPECT_TRUE(MethodUsesSources(MethodId::kSlamPred));
+  EXPECT_TRUE(MethodUsesSources(MethodId::kScanS));
+  EXPECT_FALSE(MethodUsesSources(MethodId::kSlamPredT));
+  EXPECT_FALSE(MethodUsesSources(MethodId::kJc));
+  EXPECT_FALSE(MethodUsesSources(MethodId::kPlT));
+}
+
+TEST_F(ExperimentTest, UnsupervisedMethodsRunAllFolds) {
+  auto runner = ExperimentRunner::Create(generated_->networks, FastOptions());
+  ASSERT_TRUE(runner.ok()) << runner.status().ToString();
+  for (MethodId method : {MethodId::kJc, MethodId::kCn, MethodId::kPa}) {
+    auto result = runner.value().RunMethod(method, 1.0);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result.value().auc_folds.size(), 3u);
+    EXPECT_GT(result.value().auc.mean, 0.5)
+        << MethodIdName(method) << " should beat random";
+    EXPECT_GE(result.value().precision.mean, 0.0);
+    EXPECT_LE(result.value().precision.mean, 1.0);
+  }
+}
+
+TEST_F(ExperimentTest, ClassifierMethodsRun) {
+  auto runner = ExperimentRunner::Create(generated_->networks, FastOptions());
+  ASSERT_TRUE(runner.ok());
+  for (MethodId method : {MethodId::kScan, MethodId::kScanT, MethodId::kPl,
+                          MethodId::kPlT}) {
+    auto result = runner.value().RunMethod(method, 1.0);
+    ASSERT_TRUE(result.ok()) << MethodIdName(method) << ": "
+                             << result.status().ToString();
+    EXPECT_GT(result.value().auc.mean, 0.55) << MethodIdName(method);
+  }
+}
+
+TEST_F(ExperimentTest, SourceOnlyMethodsDegradeWithoutAnchors) {
+  auto runner = ExperimentRunner::Create(generated_->networks, FastOptions());
+  ASSERT_TRUE(runner.ok());
+  // At ratio 0 a source-only classifier has no usable features: AUC ~ 0.5.
+  auto at_zero = runner.value().RunMethod(MethodId::kScanS, 0.0);
+  ASSERT_TRUE(at_zero.ok());
+  EXPECT_NEAR(at_zero.value().auc.mean, 0.5, 0.1);
+  auto at_one = runner.value().RunMethod(MethodId::kScanS, 1.0);
+  ASSERT_TRUE(at_one.ok());
+  EXPECT_GT(at_one.value().auc.mean, at_zero.value().auc.mean);
+}
+
+TEST_F(ExperimentTest, ResultsAreDeterministic) {
+  auto runner_a =
+      ExperimentRunner::Create(generated_->networks, FastOptions());
+  auto runner_b =
+      ExperimentRunner::Create(generated_->networks, FastOptions());
+  ASSERT_TRUE(runner_a.ok());
+  ASSERT_TRUE(runner_b.ok());
+  auto a = runner_a.value().RunMethod(MethodId::kCn, 1.0);
+  auto b = runner_b.value().RunMethod(MethodId::kCn, 1.0);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().auc_folds, b.value().auc_folds);
+}
+
+TEST_F(ExperimentTest, TargetOnlyMethodsIgnoreAnchorRatio) {
+  auto runner = ExperimentRunner::Create(generated_->networks, FastOptions());
+  ASSERT_TRUE(runner.ok());
+  auto low = runner.value().RunMethod(MethodId::kCn, 0.2);
+  auto high = runner.value().RunMethod(MethodId::kCn, 0.9);
+  ASSERT_TRUE(low.ok());
+  ASSERT_TRUE(high.ok());
+  EXPECT_EQ(low.value().auc_folds, high.value().auc_folds);
+}
+
+TEST_F(ExperimentTest, AnchorSamplerKeepsBundleShape) {
+  Rng rng(7);
+  const AlignedNetworks half =
+      WithAnchorRatio(generated_->networks, 0.5, rng);
+  EXPECT_EQ(half.num_sources(), generated_->networks.num_sources());
+  EXPECT_EQ(half.target().NumUsers(),
+            generated_->networks.target().NumUsers());
+  const std::size_t original = generated_->networks.anchors(0).size();
+  EXPECT_EQ(half.anchors(0).size(), (original + 1) / 2);
+}
+
+TEST_F(ExperimentTest, CreateFailsOnTinyGraph) {
+  HeterogeneousNetwork tiny("tiny");
+  tiny.AddNodes(NodeType::kUser, 3);
+  tiny.AddEdge(EdgeType::kFriend, 0, 1);
+  AlignedNetworks bundle(std::move(tiny));
+  ExperimentOptions options = FastOptions();
+  options.num_folds = 5;
+  EXPECT_FALSE(ExperimentRunner::Create(bundle, options).ok());
+}
+
+}  // namespace
+}  // namespace slampred

@@ -1,0 +1,127 @@
+// Tests for the text serialisation of networks and anchor links.
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "datagen/aligned_generator.h"
+#include "graph/graph_io.h"
+
+namespace slampred {
+namespace {
+
+HeterogeneousNetwork SmallNetwork() {
+  HeterogeneousNetwork net("demo");
+  net.AddNodes(NodeType::kUser, 4);
+  net.AddNodes(NodeType::kPost, 2);
+  net.AddNodes(NodeType::kWord, 3);
+  net.AddEdge(EdgeType::kFriend, 0, 1);
+  net.AddEdge(EdgeType::kFriend, 2, 3);
+  net.AddEdge(EdgeType::kWrite, 0, 0);
+  net.AddEdge(EdgeType::kHasWord, 0, 2);
+  return net;
+}
+
+TEST(GraphIoTest, NetworkRoundTrip) {
+  const HeterogeneousNetwork original = SmallNetwork();
+  auto parsed = ParseNetwork(SerializeNetwork(original));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const HeterogeneousNetwork& net = parsed.value();
+  EXPECT_EQ(net.name(), "demo");
+  EXPECT_EQ(net.NumUsers(), 4u);
+  EXPECT_EQ(net.NumNodes(NodeType::kPost), 2u);
+  EXPECT_EQ(net.NumNodes(NodeType::kWord), 3u);
+  EXPECT_EQ(net.NumEdges(EdgeType::kFriend), 2u);
+  EXPECT_TRUE(net.HasEdge(EdgeType::kFriend, 1, 0));
+  EXPECT_TRUE(net.HasEdge(EdgeType::kWrite, 0, 0));
+  EXPECT_TRUE(net.HasEdge(EdgeType::kHasWord, 0, 2));
+}
+
+TEST(GraphIoTest, GeneratedNetworkRoundTrip) {
+  AlignedGeneratorConfig config = DefaultExperimentConfig(5);
+  config.population.num_personas = 60;
+  auto generated = GenerateAligned(config);
+  ASSERT_TRUE(generated.ok());
+  const HeterogeneousNetwork& original = generated.value().networks.target();
+  auto parsed = ParseNetwork(SerializeNetwork(original));
+  ASSERT_TRUE(parsed.ok());
+  for (std::size_t e = 0; e < kNumEdgeTypes; ++e) {
+    const EdgeType type = static_cast<EdgeType>(e);
+    EXPECT_EQ(parsed.value().NumEdges(type), original.NumEdges(type))
+        << EdgeTypeName(type);
+  }
+}
+
+TEST(GraphIoTest, CommentsAndBlankLinesIgnored) {
+  auto parsed = ParseNetwork(
+      "# header\n\nnetwork x\n  # indented comment\nnodes user 2\n"
+      "edge friend 0 1\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().NumEdges(EdgeType::kFriend), 1u);
+}
+
+TEST(GraphIoTest, MalformedLinesReportLineNumber) {
+  auto bad_directive = ParseNetwork("nodes user 2\nfrobnicate 1 2\n");
+  ASSERT_FALSE(bad_directive.ok());
+  EXPECT_NE(bad_directive.status().message().find("line 2"),
+            std::string::npos);
+
+  EXPECT_FALSE(ParseNetwork("nodes user\n").ok());
+  EXPECT_FALSE(ParseNetwork("nodes gremlin 5\n").ok());
+  EXPECT_FALSE(ParseNetwork("nodes user 2\nedge friend 0 9\n").ok());
+  EXPECT_FALSE(ParseNetwork("nodes user 2\nedge friend 0 x\n").ok());
+}
+
+TEST(GraphIoTest, NetworkFileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/slampred_net_test.txt";
+  const HeterogeneousNetwork original = SmallNetwork();
+  ASSERT_TRUE(SaveNetwork(original, path).ok());
+  auto loaded = LoadNetwork(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().NumEdges(EdgeType::kFriend),
+            original.NumEdges(EdgeType::kFriend));
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, LoadMissingFileFails) {
+  EXPECT_FALSE(LoadNetwork("/no/such/file.txt").ok());
+  EXPECT_FALSE(LoadAnchors("/no/such/file.txt").ok());
+}
+
+TEST(GraphIoTest, AnchorsRoundTrip) {
+  AnchorLinks anchors(5, 7);
+  anchors.Add(0, 3);
+  anchors.Add(2, 6);
+  auto parsed = ParseAnchors(SerializeAnchors(anchors));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().left_users(), 5u);
+  EXPECT_EQ(parsed.value().right_users(), 7u);
+  EXPECT_EQ(parsed.value().size(), 2u);
+  EXPECT_TRUE(parsed.value().Contains(0, 3));
+  EXPECT_TRUE(parsed.value().Contains(2, 6));
+}
+
+TEST(GraphIoTest, AnchorsRequireHeader) {
+  EXPECT_FALSE(ParseAnchors("anchor 0 1\n").ok());
+  EXPECT_FALSE(ParseAnchors("# only comments\n").ok());
+}
+
+TEST(GraphIoTest, AnchorsRejectConflicts) {
+  auto parsed = ParseAnchors("anchors 3 3\nanchor 0 0\nanchor 0 1\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("line 3"), std::string::npos);
+}
+
+TEST(GraphIoTest, AnchorsFileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/slampred_anchor_test.txt";
+  AnchorLinks anchors(3, 3);
+  anchors.Add(1, 2);
+  ASSERT_TRUE(SaveAnchors(anchors, path).ok());
+  auto loaded = LoadAnchors(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded.value().Contains(1, 2));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace slampred

@@ -1,0 +1,124 @@
+// Tests for the squared-hinge loss surrogate (the alternative loss the
+// paper's Section III-D mentions alongside the Frobenius form).
+
+#include <gtest/gtest.h>
+
+#include "core/slampred.h"
+#include "datagen/aligned_generator.h"
+#include "eval/link_split.h"
+#include "eval/metrics.h"
+#include "optim/cccp.h"
+#include "optim/objective.h"
+#include "util/random.h"
+
+namespace slampred {
+namespace {
+
+TEST(HingeLossTest, ValueHandChecked) {
+  Objective objective;
+  objective.a = Matrix{{1.0, 0.0}, {0.0, 1.0}};
+  objective.grad_v = Matrix(2, 2);
+  objective.gamma = 0.0;
+  objective.tau = 0.0;
+  objective.loss = LossKind::kSquaredHinge;
+  // At S = 0: links (y=+1) have slack 1, non-links (y=−1) have slack 1.
+  EXPECT_NEAR(SmoothValue(objective, Matrix(2, 2)), 4.0, 1e-12);
+  // At S with S_ij = y_ij: all slacks 0.
+  const Matrix perfect{{1.0, -1.0}, {-1.0, 1.0}};
+  EXPECT_NEAR(SmoothValue(objective, perfect), 0.0, 1e-12);
+}
+
+TEST(HingeLossTest, GradientMatchesFiniteDifference) {
+  Rng rng(3);
+  Objective objective;
+  objective.a = Matrix{{1.0, 0.0, 1.0},
+                       {0.0, 1.0, 0.0},
+                       {1.0, 0.0, 0.0}};
+  objective.grad_v = Matrix::RandomGaussian(3, 3, rng) * 0.1;
+  objective.gamma = 0.0;
+  objective.tau = 0.0;
+  objective.loss = LossKind::kSquaredHinge;
+  const Matrix s = Matrix::RandomGaussian(3, 3, rng) * 0.5;
+  const Matrix grad = SmoothGradient(objective, s);
+  const double eps = 1e-6;
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      Matrix plus = s;
+      plus(i, j) += eps;
+      Matrix minus = s;
+      minus(i, j) -= eps;
+      const double numeric =
+          (SmoothValue(objective, plus) - SmoothValue(objective, minus)) /
+          (2.0 * eps);
+      EXPECT_NEAR(grad(i, j), numeric, 1e-4) << "(" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(HingeLossTest, ZeroGradientInsideMargin) {
+  Objective objective;
+  objective.a = Matrix{{1.0}};
+  objective.grad_v = Matrix(1, 1);
+  objective.gamma = 0.0;
+  objective.tau = 0.0;
+  objective.loss = LossKind::kSquaredHinge;
+  // S = 2 > margin for a positive entry: no loss, no gradient.
+  const Matrix s{{2.0}};
+  EXPECT_DOUBLE_EQ(SmoothGradient(objective, s)(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(SmoothValue(objective, s), 0.0);
+}
+
+TEST(HingeLossTest, CccpSolvesWithHinge) {
+  Objective objective;
+  objective.a = Matrix{{0.0, 1.0, 0.0},
+                       {1.0, 0.0, 1.0},
+                       {0.0, 1.0, 0.0}};
+  objective.grad_v = Matrix(3, 3, 0.1);
+  objective.gamma = 0.05;
+  objective.tau = 0.05;
+  objective.loss = LossKind::kSquaredHinge;
+  CccpOptions options;
+  options.inner.theta = 0.05;
+  options.inner.max_iterations = 200;
+  auto s = SolveCccp(objective, options);
+  ASSERT_TRUE(s.ok());
+  // Observed links should be scored higher than observed non-links.
+  EXPECT_GT(s.value()(0, 1), s.value()(0, 2));
+}
+
+TEST(HingeLossTest, EndToEndComparableToFrobenius) {
+  AlignedGeneratorConfig config = DefaultExperimentConfig(19);
+  config.population.num_personas = 100;
+  auto generated = GenerateAligned(config);
+  ASSERT_TRUE(generated.ok());
+  const SocialGraph full_graph = SocialGraph::FromHeterogeneousNetwork(
+      generated.value().networks.target());
+  Rng rng(3);
+  auto folds = SplitLinks(full_graph, 5, rng);
+  ASSERT_TRUE(folds.ok());
+  const SocialGraph train =
+      full_graph.WithEdgesRemoved(folds.value()[0].test_edges);
+  auto eval = BuildEvaluationSet(full_graph, folds.value()[0].test_edges,
+                                 4.0, rng);
+  ASSERT_TRUE(eval.ok());
+
+  auto auc_with = [&](LossKind loss) {
+    SlamPredConfig model_config;
+    model_config.loss = loss;
+    model_config.optimization.inner.max_iterations = 40;
+    model_config.optimization.max_outer_iterations = 2;
+    SlamPred model(model_config);
+    EXPECT_TRUE(model.Fit(generated.value().networks, train).ok());
+    auto scores = model.ScorePairs(eval.value().pairs);
+    return ComputeAuc(scores.value(), eval.value().labels).value_or(0.0);
+  };
+
+  const double frobenius = auc_with(LossKind::kSquaredFrobenius);
+  const double hinge = auc_with(LossKind::kSquaredHinge);
+  EXPECT_GT(frobenius, 0.6);
+  EXPECT_GT(hinge, 0.6);
+  EXPECT_NEAR(frobenius, hinge, 0.15);
+}
+
+}  // namespace
+}  // namespace slampred

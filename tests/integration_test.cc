@@ -1,0 +1,121 @@
+// End-to-end integration tests: the paper's qualitative claims must hold
+// on a freshly generated bundle — the full pipeline from generation
+// through adaptation and optimisation to evaluation.
+
+#include <gtest/gtest.h>
+
+#include "core/slampred.h"
+#include "datagen/aligned_generator.h"
+#include "eval/anchor_sampler.h"
+#include "eval/experiment.h"
+
+namespace slampred {
+namespace {
+
+ExperimentOptions IntegrationOptions() {
+  ExperimentOptions options;
+  options.num_folds = 3;
+  options.negatives_per_positive = 4.0;
+  options.precision_k = 50;
+  options.slampred.optimization.inner.max_iterations = 40;
+  options.slampred.optimization.max_outer_iterations = 2;
+  return options;
+}
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto gen = GenerateAligned(DefaultExperimentConfig(41));
+    ASSERT_TRUE(gen.ok());
+    generated_ = new GeneratedAligned(std::move(gen).value());
+    auto runner = ExperimentRunner::Create(generated_->networks,
+                                           IntegrationOptions());
+    ASSERT_TRUE(runner.ok());
+    runner_ = new ExperimentRunner(std::move(runner).value());
+  }
+  static void TearDownTestSuite() {
+    delete runner_;
+    delete generated_;
+    runner_ = nullptr;
+    generated_ = nullptr;
+  }
+
+  static double Auc(MethodId method, double ratio) {
+    auto result = runner_->RunMethod(method, ratio);
+    EXPECT_TRUE(result.ok()) << MethodIdName(method) << ": "
+                             << result.status().ToString();
+    return result.ok() ? result.value().auc.mean : 0.0;
+  }
+
+  static GeneratedAligned* generated_;
+  static ExperimentRunner* runner_;
+};
+
+GeneratedAligned* IntegrationTest::generated_ = nullptr;
+ExperimentRunner* IntegrationTest::runner_ = nullptr;
+
+TEST_F(IntegrationTest, SlamPredVariantOrdering) {
+  // Paper: SLAMPRED >= SLAMPRED-T >= SLAMPRED-H (Table II, high ratios).
+  const double full = Auc(MethodId::kSlamPred, 1.0);
+  const double target_only = Auc(MethodId::kSlamPredT, 1.0);
+  const double homogeneous = Auc(MethodId::kSlamPredH, 1.0);
+  EXPECT_GT(full, target_only - 0.02);
+  EXPECT_GT(target_only, homogeneous - 0.02);
+  EXPECT_GT(full, homogeneous);
+}
+
+TEST_F(IntegrationTest, SlamPredImprovesWithAnchorRatio) {
+  // Paper: SLAMPRED's AUC rises (approximately monotonically) with the
+  // anchor sampling ratio.
+  const double at_zero = Auc(MethodId::kSlamPred, 0.0);
+  const double at_half = Auc(MethodId::kSlamPred, 0.5);
+  const double at_one = Auc(MethodId::kSlamPred, 1.0);
+  EXPECT_GT(at_one, at_zero);
+  EXPECT_GT(at_half, at_zero - 0.03);
+  EXPECT_GT(at_one, at_half - 0.03);
+}
+
+TEST_F(IntegrationTest, SlamPredBeatsBaselinesAtFullAlignment) {
+  // Paper: SLAMPRED outperforms PL, SCAN, JC, CN, PA at ratio 1.0.
+  const double slampred = Auc(MethodId::kSlamPred, 1.0);
+  EXPECT_GT(slampred, Auc(MethodId::kJc, 1.0));
+  EXPECT_GT(slampred, Auc(MethodId::kCn, 1.0));
+  EXPECT_GT(slampred, Auc(MethodId::kPa, 1.0));
+  EXPECT_GT(slampred, Auc(MethodId::kScan, 1.0) - 0.02);
+  EXPECT_GT(slampred, Auc(MethodId::kPl, 1.0) - 0.02);
+}
+
+TEST_F(IntegrationTest, AllTwelveMethodsProduceResults) {
+  for (MethodId method : AllMethods()) {
+    auto result = runner_->RunMethod(method, 0.6);
+    ASSERT_TRUE(result.ok()) << MethodIdName(method) << ": "
+                             << result.status().ToString();
+    EXPECT_GE(result.value().auc.mean, 0.3) << MethodIdName(method);
+    EXPECT_LE(result.value().auc.mean, 1.0) << MethodIdName(method);
+  }
+}
+
+TEST_F(IntegrationTest, ConvergenceTraceShrinks) {
+  // Paper Figure 3: the iterate change approaches zero.
+  const SocialGraph full_graph = SocialGraph::FromHeterogeneousNetwork(
+      generated_->networks.target());
+  SlamPredConfig config;
+  config.optimization.inner.max_iterations = 120;
+  config.optimization.inner.tol = 0.0;  // Record the full series.
+  config.optimization.max_outer_iterations = 1;
+  SlamPred model(config);
+  ASSERT_TRUE(model.Fit(generated_->networks, full_graph).ok());
+  const auto& change = model.trace().steps.s_change_l1;
+  ASSERT_GE(change.size(), 100u);
+  // Compare the mean change of the first and last 20 steps.
+  double head = 0.0;
+  double tail = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    head += change[i];
+    tail += change[change.size() - 1 - i];
+  }
+  EXPECT_LT(tail, head * 0.5);
+}
+
+}  // namespace
+}  // namespace slampred

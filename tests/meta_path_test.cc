@@ -1,0 +1,123 @@
+// Tests for the meta-path intimacy features.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "features/feature_tensor.h"
+#include "features/meta_path_features.h"
+#include "graph/social_graph.h"
+
+namespace slampred {
+namespace {
+
+// Two users writing posts with overlapping words:
+//   user 0 → post 0 → words {0, 1}
+//   user 1 → post 1 → words {1, 2}
+//   user 2 → post 2 → word  {3}
+HeterogeneousNetwork Fixture() {
+  HeterogeneousNetwork net("n");
+  net.AddNodes(NodeType::kUser, 3);
+  net.AddNodes(NodeType::kPost, 3);
+  net.AddNodes(NodeType::kWord, 4);
+  net.AddNodes(NodeType::kLocation, 2);
+  net.AddNodes(NodeType::kTimestamp, 2);
+  net.AddEdge(EdgeType::kWrite, 0, 0);
+  net.AddEdge(EdgeType::kWrite, 1, 1);
+  net.AddEdge(EdgeType::kWrite, 2, 2);
+  net.AddEdge(EdgeType::kHasWord, 0, 0);
+  net.AddEdge(EdgeType::kHasWord, 0, 1);
+  net.AddEdge(EdgeType::kHasWord, 1, 1);
+  net.AddEdge(EdgeType::kHasWord, 1, 2);
+  net.AddEdge(EdgeType::kHasWord, 2, 3);
+  net.AddEdge(EdgeType::kFriend, 0, 1);
+  net.AddEdge(EdgeType::kFriend, 1, 2);
+  return net;
+}
+
+TEST(MetaPathTest, NamesAndInventory) {
+  EXPECT_STREQ(MetaPathName(MetaPath::kUserUserUser), "U-U-U");
+  EXPECT_STREQ(MetaPathName(MetaPath::kUserPostWordPostUser), "U-P-W-P-U");
+  EXPECT_EQ(AllMetaPaths().size(), 4u);
+}
+
+TEST(MetaPathTest, WordPathCountsHandChecked) {
+  const Matrix counts =
+      MetaPathCountMap(Fixture(), MetaPath::kUserPostWordPostUser);
+  // count(u, v) = Σ_w profile(u, w)·profile(v, w).
+  EXPECT_DOUBLE_EQ(counts(0, 1), 1.0);  // Shared word 1.
+  EXPECT_DOUBLE_EQ(counts(0, 2), 0.0);  // Disjoint.
+  EXPECT_DOUBLE_EQ(counts(0, 0), 2.0);  // Two word attachments.
+}
+
+TEST(MetaPathTest, PathSimNormalisationHandChecked) {
+  const Matrix sim =
+      MetaPathSimilarityMap(Fixture(), MetaPath::kUserPostWordPostUser);
+  // sim(0,1) = 1 / sqrt(2 * 2) = 0.5.
+  EXPECT_DOUBLE_EQ(sim(0, 1), 0.5);
+  EXPECT_DOUBLE_EQ(sim(0, 2), 0.0);
+  EXPECT_DOUBLE_EQ(sim(0, 0), 0.0);  // Diagonal zeroed.
+  EXPECT_TRUE(sim.IsSymmetric());
+}
+
+TEST(MetaPathTest, StructuralPathIsAdjacencySquared) {
+  const Matrix counts = MetaPathCountMap(Fixture(), MetaPath::kUserUserUser);
+  // Path graph 0-1-2: A²(0,2) = 1 (via 1), A²(0,0) = deg(0) = 1.
+  EXPECT_DOUBLE_EQ(counts(0, 2), 1.0);
+  EXPECT_DOUBLE_EQ(counts(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(counts(1, 1), 2.0);
+}
+
+TEST(MetaPathTest, IsolatedUserGetsZeroSimilarity) {
+  const Matrix sim =
+      MetaPathSimilarityMap(Fixture(), MetaPath::kUserPostLocationPostUser);
+  // No checkins at all: everything zero, no NaNs.
+  for (double v : sim.data()) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_DOUBLE_EQ(v, 0.0);
+  }
+}
+
+TEST(MetaPathTest, SimilarityBounded) {
+  const HeterogeneousNetwork net = Fixture();
+  for (MetaPath path : AllMetaPaths()) {
+    const Matrix sim = MetaPathSimilarityMap(net, path);
+    for (double v : sim.data()) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0 + 1e-12);
+    }
+  }
+}
+
+TEST(MetaPathTest, FeatureTensorIntegration) {
+  FeatureTensorOptions options;
+  options.meta_paths = true;
+  EXPECT_EQ(NumFeatures(options), 13u);
+  const auto names = FeatureNames(options);
+  EXPECT_EQ(names.back(), "meta_path_U-P-L-P-U");
+
+  const HeterogeneousNetwork net = Fixture();
+  const SocialGraph structure = SocialGraph::FromHeterogeneousNetwork(net);
+  const Tensor3 tensor = BuildFeatureTensor(net, structure, options);
+  EXPECT_EQ(tensor.dim0(), 13u);
+}
+
+TEST(MetaPathTest, StructuralSliceUsesTrainingGraph) {
+  // The U-U-U slice must change when the structure graph loses an edge;
+  // attribute meta-path slices must not.
+  FeatureTensorOptions options;
+  options.meta_paths = true;
+  options.sqrt_transform = false;
+  const HeterogeneousNetwork net = Fixture();
+  const SocialGraph full = SocialGraph::FromHeterogeneousNetwork(net);
+  const SocialGraph train = full.WithEdgesRemoved({{0, 1}});
+  const Tensor3 on_full = BuildFeatureTensor(net, full, options);
+  const Tensor3 on_train = BuildFeatureTensor(net, train, options);
+  const std::size_t uuu = 9;    // First meta-path slice.
+  const std::size_t upwpu = 10; // Word meta-path slice.
+  EXPECT_FALSE(on_full.Slice(uuu) == on_train.Slice(uuu));
+  EXPECT_EQ(on_full.Slice(upwpu), on_train.Slice(upwpu));
+}
+
+}  // namespace
+}  // namespace slampred

@@ -1,0 +1,189 @@
+// Tests for AUC, Precision@K, aggregation, fold splitting and the
+// evaluation-set builder.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "eval/link_split.h"
+#include "eval/metrics.h"
+#include "util/random.h"
+
+namespace slampred {
+namespace {
+
+TEST(AucTest, PerfectRankingIsOne) {
+  auto auc = ComputeAuc({0.9, 0.8, 0.2, 0.1}, {1, 1, 0, 0});
+  ASSERT_TRUE(auc.ok());
+  EXPECT_DOUBLE_EQ(auc.value(), 1.0);
+}
+
+TEST(AucTest, InvertedRankingIsZero) {
+  auto auc = ComputeAuc({0.1, 0.2, 0.8, 0.9}, {1, 1, 0, 0});
+  ASSERT_TRUE(auc.ok());
+  EXPECT_DOUBLE_EQ(auc.value(), 0.0);
+}
+
+TEST(AucTest, HandComputedMixedCase) {
+  // Positives scores {0.8, 0.3}, negatives {0.5, 0.1}.
+  // Pairs: (0.8 vs 0.5) win, (0.8 vs 0.1) win, (0.3 vs 0.5) loss,
+  // (0.3 vs 0.1) win → AUC = 3/4.
+  auto auc = ComputeAuc({0.8, 0.3, 0.5, 0.1}, {1, 1, 0, 0});
+  ASSERT_TRUE(auc.ok());
+  EXPECT_DOUBLE_EQ(auc.value(), 0.75);
+}
+
+TEST(AucTest, TiesGetHalfCredit) {
+  auto auc = ComputeAuc({0.5, 0.5}, {1, 0});
+  ASSERT_TRUE(auc.ok());
+  EXPECT_DOUBLE_EQ(auc.value(), 0.5);
+}
+
+TEST(AucTest, AllScoresEqualIsHalf) {
+  auto auc = ComputeAuc({0.3, 0.3, 0.3, 0.3}, {1, 0, 1, 0});
+  ASSERT_TRUE(auc.ok());
+  EXPECT_DOUBLE_EQ(auc.value(), 0.5);
+}
+
+TEST(AucTest, SingleClassReturnsHalf) {
+  auto auc = ComputeAuc({0.9, 0.8}, {1, 1});
+  ASSERT_TRUE(auc.ok());
+  EXPECT_DOUBLE_EQ(auc.value(), 0.5);
+}
+
+TEST(AucTest, RejectsBadInput) {
+  EXPECT_FALSE(ComputeAuc({0.5}, {1, 0}).ok());
+  EXPECT_FALSE(ComputeAuc({}, {}).ok());
+  EXPECT_FALSE(ComputeAuc({0.5}, {2}).ok());
+}
+
+TEST(AucTest, InvariantToMonotoneTransform) {
+  Rng rng(5);
+  std::vector<double> scores;
+  std::vector<int> labels;
+  for (int i = 0; i < 100; ++i) {
+    scores.push_back(rng.NextDouble());
+    labels.push_back(rng.NextBernoulli(0.4) ? 1 : 0);
+  }
+  std::vector<double> doubled = scores;
+  for (double& s : doubled) s = 2.0 * s + 5.0;
+  EXPECT_DOUBLE_EQ(ComputeAuc(scores, labels).value(),
+                   ComputeAuc(doubled, labels).value());
+}
+
+TEST(PrecisionAtKTest, HandChecked) {
+  const std::vector<double> scores = {0.9, 0.8, 0.7, 0.6, 0.5};
+  const std::vector<int> labels = {1, 0, 1, 0, 1};
+  EXPECT_DOUBLE_EQ(ComputePrecisionAtK(scores, labels, 1).value(), 1.0);
+  EXPECT_DOUBLE_EQ(ComputePrecisionAtK(scores, labels, 2).value(), 0.5);
+  EXPECT_DOUBLE_EQ(ComputePrecisionAtK(scores, labels, 3).value(), 2.0 / 3.0);
+}
+
+TEST(PrecisionAtKTest, KLargerThanSetIsClamped) {
+  EXPECT_DOUBLE_EQ(ComputePrecisionAtK({0.5, 0.4}, {1, 1}, 100).value(), 1.0);
+}
+
+TEST(PrecisionAtKTest, RejectsBadInput) {
+  EXPECT_FALSE(ComputePrecisionAtK({}, {}, 10).ok());
+  EXPECT_FALSE(ComputePrecisionAtK({0.5}, {1}, 0).ok());
+  EXPECT_FALSE(ComputePrecisionAtK({0.5}, {1, 0}, 1).ok());
+}
+
+TEST(MeanStdTest, HandChecked) {
+  const MeanStd ms = ComputeMeanStd({2.0, 4.0, 6.0});
+  EXPECT_DOUBLE_EQ(ms.mean, 4.0);
+  EXPECT_DOUBLE_EQ(ms.std, 2.0);  // Sample std with n-1.
+}
+
+TEST(MeanStdTest, DegenerateCases) {
+  EXPECT_DOUBLE_EQ(ComputeMeanStd({}).mean, 0.0);
+  EXPECT_DOUBLE_EQ(ComputeMeanStd({5.0}).mean, 5.0);
+  EXPECT_DOUBLE_EQ(ComputeMeanStd({5.0}).std, 0.0);
+}
+
+SocialGraph RandomGraph(std::size_t n, std::size_t edges, Rng& rng) {
+  SocialGraph g(n);
+  while (g.num_edges() < edges) {
+    g.AddEdge(rng.NextBounded(n), rng.NextBounded(n));
+  }
+  return g;
+}
+
+TEST(LinkSplitTest, FoldsPartitionEdges) {
+  Rng rng(7);
+  const SocialGraph g = RandomGraph(30, 60, rng);
+  auto folds = SplitLinks(g, 5, rng);
+  ASSERT_TRUE(folds.ok());
+  ASSERT_EQ(folds.value().size(), 5u);
+
+  std::set<UserPair> all_test;
+  for (const LinkFold& fold : folds.value()) {
+    EXPECT_EQ(fold.train_edges.size() + fold.test_edges.size(),
+              g.num_edges());
+    for (const UserPair& e : fold.test_edges) {
+      EXPECT_TRUE(all_test.insert(e).second)
+          << "test shards must be disjoint";
+    }
+    // Train and test are disjoint within a fold.
+    std::set<UserPair> test_set(fold.test_edges.begin(),
+                                fold.test_edges.end());
+    for (const UserPair& e : fold.train_edges) {
+      EXPECT_EQ(test_set.count(e), 0u);
+    }
+  }
+  EXPECT_EQ(all_test.size(), g.num_edges());
+}
+
+TEST(LinkSplitTest, FoldSizesBalanced) {
+  Rng rng(9);
+  const SocialGraph g = RandomGraph(30, 55, rng);
+  auto folds = SplitLinks(g, 5, rng);
+  ASSERT_TRUE(folds.ok());
+  for (const LinkFold& fold : folds.value()) {
+    EXPECT_GE(fold.test_edges.size(), 11u);
+    EXPECT_LE(fold.test_edges.size(), 12u);
+  }
+}
+
+TEST(LinkSplitTest, RejectsDegenerateInputs) {
+  Rng rng(11);
+  const SocialGraph g = RandomGraph(10, 8, rng);
+  EXPECT_FALSE(SplitLinks(g, 1, rng).ok());
+  EXPECT_FALSE(SplitLinks(g, 20, rng).ok());
+}
+
+TEST(EvaluationSetTest, LabelsAreConsistent) {
+  Rng rng(13);
+  const SocialGraph g = RandomGraph(25, 50, rng);
+  auto folds = SplitLinks(g, 5, rng);
+  ASSERT_TRUE(folds.ok());
+  const auto& test_edges = folds.value()[0].test_edges;
+  auto eval = BuildEvaluationSet(g, test_edges, 3.0, rng);
+  ASSERT_TRUE(eval.ok());
+
+  const std::set<UserPair> test_set(test_edges.begin(), test_edges.end());
+  std::size_t pos = 0;
+  for (std::size_t i = 0; i < eval.value().pairs.size(); ++i) {
+    const UserPair& p = eval.value().pairs[i];
+    if (eval.value().labels[i] == 1) {
+      EXPECT_EQ(test_set.count(p), 1u);
+      ++pos;
+    } else {
+      // Negatives are links nowhere in the full graph.
+      EXPECT_FALSE(g.HasEdge(p.u, p.v));
+    }
+  }
+  EXPECT_EQ(pos, test_edges.size());
+  EXPECT_NEAR(static_cast<double>(eval.value().pairs.size() - pos),
+              3.0 * static_cast<double>(pos), static_cast<double>(pos));
+}
+
+TEST(EvaluationSetTest, RejectsBadInput) {
+  Rng rng(15);
+  const SocialGraph g = RandomGraph(10, 10, rng);
+  EXPECT_FALSE(BuildEvaluationSet(g, {}, 3.0, rng).ok());
+  EXPECT_FALSE(BuildEvaluationSet(g, {{0, 1}}, 0.0, rng).ok());
+}
+
+}  // namespace
+}  // namespace slampred

@@ -1,0 +1,175 @@
+// Tests for the ML substrate: scaler, logistic regression, samplers.
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "ml/instance_sampler.h"
+#include "ml/logistic_regression.h"
+#include "ml/standard_scaler.h"
+#include "util/random.h"
+
+namespace slampred {
+namespace {
+
+TEST(SigmoidTest, KnownValuesAndStability) {
+  EXPECT_DOUBLE_EQ(Sigmoid(0.0), 0.5);
+  EXPECT_NEAR(Sigmoid(2.0), 1.0 / (1.0 + std::exp(-2.0)), 1e-12);
+  EXPECT_NEAR(Sigmoid(1000.0), 1.0, 1e-12);
+  EXPECT_NEAR(Sigmoid(-1000.0), 0.0, 1e-12);
+  EXPECT_NEAR(Sigmoid(3.0) + Sigmoid(-3.0), 1.0, 1e-12);
+}
+
+TEST(StandardScalerTest, TransformsToZeroMeanUnitVariance) {
+  std::vector<Vector> rows = {Vector{1.0, 10.0}, Vector{3.0, 20.0},
+                              Vector{5.0, 30.0}};
+  StandardScaler scaler;
+  scaler.Fit(rows);
+  EXPECT_EQ(scaler.width(), 2u);
+  EXPECT_DOUBLE_EQ(scaler.means()[0], 3.0);
+  EXPECT_DOUBLE_EQ(scaler.means()[1], 20.0);
+  scaler.TransformInPlace(rows);
+  double mean0 = 0.0;
+  double var0 = 0.0;
+  for (const Vector& r : rows) mean0 += r[0];
+  mean0 /= 3.0;
+  for (const Vector& r : rows) var0 += (r[0] - mean0) * (r[0] - mean0);
+  EXPECT_NEAR(mean0, 0.0, 1e-12);
+  EXPECT_NEAR(var0 / 3.0, 1.0, 1e-12);
+}
+
+TEST(StandardScalerTest, ConstantFeatureMapsToZero) {
+  std::vector<Vector> rows = {Vector{7.0, 1.0}, Vector{7.0, 2.0}};
+  StandardScaler scaler;
+  scaler.Fit(rows);
+  const Vector out = scaler.Transform(Vector{7.0, 1.5});
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  const Vector far = scaler.Transform(Vector{99.0, 1.5});
+  EXPECT_DOUBLE_EQ(far[0], 0.0);  // Still zero: no scale information.
+}
+
+TEST(StandardScalerTest, EmptyFit) {
+  StandardScaler scaler;
+  scaler.Fit({});
+  EXPECT_EQ(scaler.width(), 0u);
+}
+
+TEST(LogisticRegressionTest, LearnsLinearlySeparableData) {
+  Rng rng(3);
+  std::vector<Vector> features;
+  std::vector<int> labels;
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.NextGaussian();
+    const double y = rng.NextGaussian();
+    features.push_back(Vector{x, y});
+    labels.push_back(x + y > 0.0 ? 1 : 0);
+  }
+  LogisticRegression model;
+  ASSERT_TRUE(model.Fit(features, labels).ok());
+  int correct = 0;
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    if (model.Predict(features[i]) == labels[i]) ++correct;
+  }
+  EXPECT_GT(correct, 185);
+}
+
+TEST(LogisticRegressionTest, ProbabilitiesOrderedBySignal) {
+  Rng rng(5);
+  std::vector<Vector> features;
+  std::vector<int> labels;
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.NextGaussian();
+    features.push_back(Vector{x});
+    labels.push_back(x > 0.0 ? 1 : 0);
+  }
+  LogisticRegression model;
+  ASSERT_TRUE(model.Fit(features, labels).ok());
+  EXPECT_GT(model.PredictProbability(Vector{2.0}),
+            model.PredictProbability(Vector{-2.0}));
+  EXPECT_GT(model.PredictProbability(Vector{2.0}), 0.8);
+}
+
+TEST(LogisticRegressionTest, RejectsBadInputs) {
+  LogisticRegression model;
+  EXPECT_FALSE(model.Fit({}, {}).ok());
+  EXPECT_FALSE(model.Fit({Vector{1.0}}, {1, 0}).ok());
+  EXPECT_FALSE(model.Fit({Vector{1.0}}, {2}).ok());
+  EXPECT_FALSE(model
+                   .FitWeighted({Vector{1.0}}, {1}, {-1.0})
+                   .ok());
+  EXPECT_FALSE(model.FitWeighted({Vector{1.0}}, {1}, {0.0}).ok());
+  EXPECT_FALSE(model.Fit({Vector{1.0}, Vector{1.0, 2.0}}, {1, 0}).ok());
+  EXPECT_FALSE(model.fitted());
+}
+
+TEST(LogisticRegressionTest, ExampleWeightsShiftDecision) {
+  // Same point appears with both labels; the heavier label must win.
+  std::vector<Vector> features = {Vector{1.0}, Vector{1.0}};
+  std::vector<int> labels = {1, 0};
+  LogisticRegression pro;
+  ASSERT_TRUE(pro.FitWeighted(features, labels, {10.0, 1.0}).ok());
+  EXPECT_GT(pro.PredictProbability(Vector{1.0}), 0.5);
+  LogisticRegression contra;
+  ASSERT_TRUE(contra.FitWeighted(features, labels, {1.0, 10.0}).ok());
+  EXPECT_LT(contra.PredictProbability(Vector{1.0}), 0.5);
+}
+
+TEST(InstanceSamplerTest, LabelsMatchGraph) {
+  SocialGraph g(20);
+  Rng grng(7);
+  for (int i = 0; i < 40; ++i) {
+    g.AddEdge(grng.NextBounded(20), grng.NextBounded(20));
+  }
+  Rng rng(9);
+  const PairTrainingSet set = SamplePairTrainingSet(g, 15, 1.0, {}, rng);
+  ASSERT_EQ(set.pairs.size(), set.labels.size());
+  for (std::size_t i = 0; i < set.pairs.size(); ++i) {
+    EXPECT_EQ(set.labels[i] == 1,
+              g.HasEdge(set.pairs[i].u, set.pairs[i].v));
+  }
+}
+
+TEST(InstanceSamplerTest, RespectsExclusions) {
+  SocialGraph g(10);
+  g.AddEdge(0, 1);
+  g.AddEdge(2, 3);
+  Rng rng(11);
+  const PairTrainingSet set =
+      SamplePairTrainingSet(g, 10, 3.0, {{0, 1}}, rng);
+  for (const UserPair& p : set.pairs) {
+    EXPECT_FALSE(p.u == 0 && p.v == 1) << "excluded pair sampled";
+  }
+}
+
+TEST(InstanceSamplerTest, NegativeRatioApproximatelyHonoured) {
+  SocialGraph g(30);
+  Rng grng(13);
+  for (int i = 0; i < 60; ++i) {
+    g.AddEdge(grng.NextBounded(30), grng.NextBounded(30));
+  }
+  Rng rng(15);
+  const PairTrainingSet set = SamplePairTrainingSet(g, 20, 2.0, {}, rng);
+  std::size_t pos = 0;
+  std::size_t neg = 0;
+  for (int label : set.labels) (label == 1 ? pos : neg) += 1;
+  EXPECT_GT(pos, 0u);
+  EXPECT_NEAR(static_cast<double>(neg),
+              2.0 * static_cast<double>(pos),
+              static_cast<double>(pos));
+}
+
+TEST(InstanceSamplerTest, NoDuplicatePairs) {
+  SocialGraph g(15);
+  Rng grng(17);
+  for (int i = 0; i < 30; ++i) {
+    g.AddEdge(grng.NextBounded(15), grng.NextBounded(15));
+  }
+  Rng rng(19);
+  const PairTrainingSet set = SamplePairTrainingSet(g, 20, 2.0, {}, rng);
+  std::set<UserPair> unique(set.pairs.begin(), set.pairs.end());
+  EXPECT_EQ(unique.size(), set.pairs.size());
+}
+
+}  // namespace
+}  // namespace slampred

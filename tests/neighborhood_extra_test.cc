@@ -1,0 +1,70 @@
+// Tests for the extra unsupervised predictors (AA, RA, Katz).
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "baselines/neighborhood_extra.h"
+
+namespace slampred {
+namespace {
+
+// Triangle 0-1-2 plus 1-3, 2-3; node 4 isolated.
+SocialGraph Fixture() {
+  SocialGraph g(5);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  g.AddEdge(1, 2);
+  g.AddEdge(1, 3);
+  g.AddEdge(2, 3);
+  return g;
+}
+
+TEST(NeighborhoodExtraTest, AdamicAdarScores) {
+  AaPredictor aa(Fixture());
+  auto scores = aa.ScorePairs({{0, 3}, {0, 4}});
+  ASSERT_TRUE(scores.ok());
+  EXPECT_NEAR(scores.value()[0], 2.0 / std::log(3.0), 1e-12);
+  EXPECT_DOUBLE_EQ(scores.value()[1], 0.0);
+  EXPECT_EQ(aa.name(), "AA");
+}
+
+TEST(NeighborhoodExtraTest, ResourceAllocationScores) {
+  RaPredictor ra(Fixture());
+  auto scores = ra.ScorePairs({{0, 3}});
+  ASSERT_TRUE(scores.ok());
+  EXPECT_NEAR(scores.value()[0], 2.0 / 3.0, 1e-12);
+  EXPECT_EQ(ra.name(), "RA");
+}
+
+TEST(NeighborhoodExtraTest, KatzScores) {
+  KatzPredictor katz(Fixture(), 0.1);
+  auto scores = katz.ScorePairs({{0, 3}});
+  ASSERT_TRUE(scores.ok());
+  EXPECT_NEAR(scores.value()[0], 0.22, 1e-12);  // 0.1·2 + 0.01·2.
+  EXPECT_EQ(katz.name(), "KATZ");
+}
+
+TEST(NeighborhoodExtraTest, OutOfRangePairRejected) {
+  AaPredictor aa(Fixture());
+  EXPECT_FALSE(aa.ScorePairs({{0, 99}}).ok());
+  RaPredictor ra(Fixture());
+  EXPECT_FALSE(ra.ScorePairs({{99, 0}}).ok());
+}
+
+TEST(NeighborhoodExtraTest, RankingAgreesWithIntuition) {
+  // (0,3) shares two neighbors; (0,4) shares none — every predictor must
+  // rank (0,3) above (0,4).
+  const SocialGraph g = Fixture();
+  for (const LinkPredictor* model :
+       std::initializer_list<const LinkPredictor*>{
+           new AaPredictor(g), new RaPredictor(g), new KatzPredictor(g)}) {
+    auto scores = model->ScorePairs({{0, 3}, {0, 4}});
+    ASSERT_TRUE(scores.ok()) << model->name();
+    EXPECT_GT(scores.value()[0], scores.value()[1]) << model->name();
+    delete model;
+  }
+}
+
+}  // namespace
+}  // namespace slampred

@@ -1,0 +1,148 @@
+// Tests for the randomized truncated SVD and its prox variant.
+
+#include <gtest/gtest.h>
+
+#include "linalg/matrix_ops.h"
+#include "linalg/qr.h"
+#include "linalg/randomized_svd.h"
+#include "linalg/svd.h"
+#include "optim/proximal.h"
+#include "util/random.h"
+
+namespace slampred {
+namespace {
+
+// Exactly rank-r matrix with controlled singular values.
+Matrix LowRankMatrix(std::size_t m, std::size_t n, std::size_t r,
+                     double top_sigma, Rng& rng) {
+  const Matrix u = OrthonormalizeColumns(Matrix::RandomGaussian(m, r, rng));
+  const Matrix v = OrthonormalizeColumns(Matrix::RandomGaussian(n, r, rng));
+  Vector sigma(r);
+  for (std::size_t i = 0; i < r; ++i) {
+    sigma[i] = top_sigma / static_cast<double>(i + 1);
+  }
+  return u * Matrix::Diagonal(sigma) * v.Transposed();
+}
+
+TEST(RandomizedSvdTest, ExactOnLowRankInput) {
+  Rng rng(3);
+  const Matrix a = LowRankMatrix(30, 20, 4, 10.0, rng);
+  RandomizedSvdOptions options;
+  options.rank = 4;
+  auto svd = ComputeRandomizedSvd(a, options);
+  ASSERT_TRUE(svd.ok()) << svd.status().ToString();
+  EXPECT_LT((svd.value().Reconstruct() - a).MaxAbs(), 1e-8);
+}
+
+TEST(RandomizedSvdTest, TopSingularValuesMatchFullSvd) {
+  Rng rng(5);
+  const Matrix a = Matrix::RandomGaussian(25, 25, rng);
+  RandomizedSvdOptions options;
+  options.rank = 5;
+  options.power_iterations = 4;
+  auto approx = ComputeRandomizedSvd(a, options);
+  auto full = ComputeSvd(a);
+  ASSERT_TRUE(approx.ok());
+  ASSERT_TRUE(full.ok());
+  // With power iterations the top singular values are accurate to a few
+  // percent even on a flat random spectrum.
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(approx.value().singular_values[i],
+                full.value().singular_values[i],
+                0.05 * full.value().singular_values[0])
+        << "sigma_" << i;
+  }
+}
+
+TEST(RandomizedSvdTest, FactorsOrthonormal) {
+  Rng rng(7);
+  const Matrix a = LowRankMatrix(20, 30, 6, 5.0, rng);
+  RandomizedSvdOptions options;
+  options.rank = 6;
+  auto svd = ComputeRandomizedSvd(a, options);
+  ASSERT_TRUE(svd.ok());
+  const Matrix ugram = GramAtA(svd.value().u);
+  const Matrix vgram = GramAtA(svd.value().v);
+  EXPECT_LT((ugram - Matrix::Identity(ugram.rows())).MaxAbs(), 1e-7);
+  EXPECT_LT((vgram - Matrix::Identity(vgram.rows())).MaxAbs(), 1e-7);
+}
+
+TEST(RandomizedSvdTest, DeterministicGivenSeed) {
+  Rng rng(9);
+  const Matrix a = Matrix::RandomGaussian(15, 15, rng);
+  RandomizedSvdOptions options;
+  options.rank = 3;
+  auto first = ComputeRandomizedSvd(a, options);
+  auto second = ComputeRandomizedSvd(a, options);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first.value().singular_values.data(),
+            second.value().singular_values.data());
+}
+
+TEST(RandomizedSvdTest, RejectsBadInput) {
+  EXPECT_FALSE(ComputeRandomizedSvd(Matrix(), {}).ok());
+  RandomizedSvdOptions zero_rank;
+  zero_rank.rank = 0;
+  EXPECT_FALSE(ComputeRandomizedSvd(Matrix::Identity(3), zero_rank).ok());
+}
+
+TEST(RandomizedSvdTest, ZeroMatrixHandled) {
+  RandomizedSvdOptions options;
+  options.rank = 2;
+  auto svd = ComputeRandomizedSvd(Matrix(5, 5), options);
+  ASSERT_TRUE(svd.ok());
+  EXPECT_NEAR(svd.value().singular_values.NormInf(), 0.0, 1e-12);
+}
+
+TEST(ProxNuclearRandomizedTest, MatchesExactProxWhenRankSuffices) {
+  Rng rng(11);
+  const Matrix s = LowRankMatrix(20, 20, 3, 8.0, rng).Symmetrized();
+  RandomizedSvdOptions options;
+  options.rank = 8;
+  options.power_iterations = 3;
+  auto fast = ProxNuclearRandomized(s, 0.5, options);
+  auto exact = ProxNuclear(s, 0.5);
+  ASSERT_TRUE(fast.ok());
+  ASSERT_TRUE(exact.ok());
+  EXPECT_LT((fast.value() - exact.value()).MaxAbs(), 1e-4);
+}
+
+TEST(ProxNuclearRandomizedTest, LargeThresholdGivesZero) {
+  Rng rng(13);
+  const Matrix s = LowRankMatrix(10, 10, 2, 3.0, rng);
+  RandomizedSvdOptions options;
+  options.rank = 4;
+  auto out = ProxNuclearRandomized(s, 100.0, options);
+  ASSERT_TRUE(out.ok());
+  EXPECT_DOUBLE_EQ(out.value().MaxAbs(), 0.0);
+}
+
+// Property sweep over target ranks: reconstruction error never grows as
+// the sketch rank increases.
+class RandomizedRankParamTest : public ::testing::TestWithParam<std::size_t> {
+};
+
+TEST_P(RandomizedRankParamTest, ErrorShrinksWithRank) {
+  Rng rng(17);
+  const Matrix a = LowRankMatrix(24, 24, 8, 10.0, rng);
+  RandomizedSvdOptions options;
+  options.rank = GetParam();
+  options.power_iterations = 3;
+  auto svd = ComputeRandomizedSvd(a, options);
+  ASSERT_TRUE(svd.ok());
+  const double error = (svd.value().Reconstruct() - a).FrobeniusNorm();
+  // Rank-k best error is the tail of the singular values 10/(i+1).
+  double tail = 0.0;
+  for (std::size_t i = GetParam(); i < 8; ++i) {
+    const double sigma = 10.0 / static_cast<double>(i + 1);
+    tail += sigma * sigma;
+  }
+  EXPECT_LE(error * error, tail + 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, RandomizedRankParamTest,
+                         ::testing::Values(2, 4, 6, 8));
+
+}  // namespace
+}  // namespace slampred

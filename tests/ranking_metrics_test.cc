@@ -1,0 +1,104 @@
+// Tests for the extended ranking metrics (AP, MRR, NDCG@K, Recall@K).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eval/ranking_metrics.h"
+
+namespace slampred {
+namespace {
+
+const std::vector<double> kScores = {0.9, 0.8, 0.7, 0.6, 0.5};
+
+TEST(AveragePrecisionTest, PerfectRankingIsOne) {
+  auto ap = ComputeAveragePrecision(kScores, {1, 1, 0, 0, 0});
+  ASSERT_TRUE(ap.ok());
+  EXPECT_DOUBLE_EQ(ap.value(), 1.0);
+}
+
+TEST(AveragePrecisionTest, HandComputed) {
+  // Positives at ranks 1 and 3: AP = (1/1 + 2/3) / 2 = 5/6.
+  auto ap = ComputeAveragePrecision(kScores, {1, 0, 1, 0, 0});
+  ASSERT_TRUE(ap.ok());
+  EXPECT_NEAR(ap.value(), 5.0 / 6.0, 1e-12);
+}
+
+TEST(AveragePrecisionTest, WorstRanking) {
+  // Single positive at the last rank: AP = 1/5.
+  auto ap = ComputeAveragePrecision(kScores, {0, 0, 0, 0, 1});
+  ASSERT_TRUE(ap.ok());
+  EXPECT_DOUBLE_EQ(ap.value(), 0.2);
+}
+
+TEST(AveragePrecisionTest, RejectsDegenerate) {
+  EXPECT_FALSE(ComputeAveragePrecision({}, {}).ok());
+  EXPECT_FALSE(ComputeAveragePrecision({0.5}, {0}).ok());
+  EXPECT_FALSE(ComputeAveragePrecision({0.5}, {1, 0}).ok());
+  EXPECT_FALSE(ComputeAveragePrecision({0.5}, {7}).ok());
+}
+
+TEST(ReciprocalRankTest, HandComputed) {
+  EXPECT_DOUBLE_EQ(
+      ComputeReciprocalRank(kScores, {1, 0, 0, 0, 0}).value(), 1.0);
+  EXPECT_DOUBLE_EQ(
+      ComputeReciprocalRank(kScores, {0, 0, 1, 0, 0}).value(), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(
+      ComputeReciprocalRank(kScores, {0, 0, 0, 0, 1}).value(), 0.2);
+}
+
+TEST(NdcgTest, PerfectRankingIsOne) {
+  auto ndcg = ComputeNdcgAtK(kScores, {1, 1, 0, 0, 0}, 5);
+  ASSERT_TRUE(ndcg.ok());
+  EXPECT_DOUBLE_EQ(ndcg.value(), 1.0);
+}
+
+TEST(NdcgTest, HandComputed) {
+  // Positive at rank 2 only; ideal would put it at rank 1.
+  auto ndcg = ComputeNdcgAtK(kScores, {0, 1, 0, 0, 0}, 5);
+  ASSERT_TRUE(ndcg.ok());
+  const double dcg = 1.0 / std::log2(3.0);
+  const double ideal = 1.0 / std::log2(2.0);
+  EXPECT_NEAR(ndcg.value(), dcg / ideal, 1e-12);
+}
+
+TEST(NdcgTest, CutoffExcludesDeepPositives) {
+  auto ndcg = ComputeNdcgAtK(kScores, {0, 0, 0, 0, 1}, 2);
+  ASSERT_TRUE(ndcg.ok());
+  EXPECT_DOUBLE_EQ(ndcg.value(), 0.0);
+}
+
+TEST(NdcgTest, RejectsZeroK) {
+  EXPECT_FALSE(ComputeNdcgAtK(kScores, {1, 0, 0, 0, 0}, 0).ok());
+}
+
+TEST(RecallTest, HandComputed) {
+  const std::vector<int> labels = {1, 0, 1, 0, 1};
+  EXPECT_NEAR(ComputeRecallAtK(kScores, labels, 1).value(), 1.0 / 3.0,
+              1e-12);
+  EXPECT_NEAR(ComputeRecallAtK(kScores, labels, 3).value(), 2.0 / 3.0,
+              1e-12);
+  EXPECT_DOUBLE_EQ(ComputeRecallAtK(kScores, labels, 5).value(), 1.0);
+}
+
+TEST(RecallTest, KClamped) {
+  EXPECT_DOUBLE_EQ(ComputeRecallAtK({0.5}, {1}, 100).value(), 1.0);
+}
+
+TEST(RankingMetricsTest, ConsistencyAcrossMetrics) {
+  // A strictly better ranking can't score worse on any of the metrics.
+  const std::vector<int> labels = {1, 1, 0, 0, 0, 0};
+  const std::vector<double> good = {0.9, 0.8, 0.7, 0.6, 0.5, 0.4};
+  const std::vector<double> bad = {0.4, 0.5, 0.9, 0.8, 0.7, 0.6};
+  EXPECT_GT(ComputeAveragePrecision(good, labels).value(),
+            ComputeAveragePrecision(bad, labels).value());
+  EXPECT_GT(ComputeReciprocalRank(good, labels).value(),
+            ComputeReciprocalRank(bad, labels).value());
+  EXPECT_GT(ComputeNdcgAtK(good, labels, 6).value(),
+            ComputeNdcgAtK(bad, labels, 6).value());
+  EXPECT_GE(ComputeRecallAtK(good, labels, 2).value(),
+            ComputeRecallAtK(bad, labels, 2).value());
+}
+
+}  // namespace
+}  // namespace slampred

@@ -1,0 +1,120 @@
+// Tests for string formatting, table printing and CSV output helpers.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/csv_writer.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace slampred {
+namespace {
+
+TEST(StringUtilTest, FormatDoublePrecision) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(3.14159, 4), "3.1416");
+  EXPECT_EQ(FormatDouble(-0.5, 1), "-0.5");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+}
+
+TEST(StringUtilTest, FormatMeanStdMatchesPaperStyle) {
+  EXPECT_EQ(FormatMeanStd(0.941, 0.019), "0.941±0.019");
+}
+
+TEST(StringUtilTest, JoinAndSplitRoundTrip) {
+  const std::vector<std::string> parts = {"a", "b", "c"};
+  EXPECT_EQ(Join(parts, ","), "a,b,c");
+  EXPECT_EQ(Split("a,b,c", ','), parts);
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  const auto parts = Split(",x,", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[1], "x");
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(StringUtilTest, Padding) {
+  EXPECT_EQ(PadLeft("ab", 5), "   ab");
+  EXPECT_EQ(PadRight("ab", 5), "ab   ");
+  EXPECT_EQ(PadLeft("abcdef", 3), "abcdef");
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  x y  "), "x y");
+  EXPECT_EQ(Trim("\t\n z"), "z");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"x", "1"});
+  table.AddRow({"longer", "22"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(out.find("| longer | 22    |"), std::string::npos);
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+TEST(TablePrinterTest, HandlesRaggedRows) {
+  TablePrinter table({"a"});
+  table.AddRow({"1", "extra"});
+  table.AddRow({});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("extra"), std::string::npos);
+}
+
+TEST(CsvWriterTest, BasicOutput) {
+  CsvWriter csv({"x", "y"});
+  csv.AddRow({"1", "2"});
+  csv.AddNumericRow({0.5, 1.25}, 2);
+  EXPECT_EQ(csv.ToString(), "x,y\n1,2\n0.50,1.25\n");
+}
+
+TEST(CsvWriterTest, EscapesSpecialCharacters) {
+  CsvWriter csv({"v"});
+  csv.AddRow({"a,b"});
+  csv.AddRow({"quote\"inside"});
+  csv.AddRow({"line\nbreak"});
+  const std::string out = csv.ToString();
+  EXPECT_NE(out.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(out.find("\"quote\"\"inside\""), std::string::npos);
+  EXPECT_NE(out.find("\"line\nbreak\""), std::string::npos);
+}
+
+TEST(CsvWriterTest, WritesFile) {
+  const std::string path = ::testing::TempDir() + "/slampred_csv_test.csv";
+  CsvWriter csv({"a"});
+  csv.AddRow({"1"});
+  ASSERT_TRUE(csv.WriteToFile(path).ok());
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), "a\n1\n");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriterTest, WriteToBadPathFails) {
+  CsvWriter csv({"a"});
+  EXPECT_FALSE(csv.WriteToFile("/nonexistent-dir-xyz/file.csv").ok());
+}
+
+TEST(StopwatchTest, ElapsedIsMonotonic) {
+  Stopwatch watch;
+  const double a = watch.ElapsedSeconds();
+  const double b = watch.ElapsedSeconds();
+  EXPECT_GE(b, a);
+  EXPECT_GE(a, 0.0);
+  watch.Restart();
+  EXPECT_LT(watch.ElapsedSeconds(), 1.0);
+  EXPECT_NEAR(watch.ElapsedMillis(), watch.ElapsedSeconds() * 1e3, 10.0);
+}
+
+}  // namespace
+}  // namespace slampred

@@ -1,0 +1,199 @@
+// Tests for the dense Vector and Matrix types.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+#include "util/random.h"
+
+namespace slampred {
+namespace {
+
+TEST(VectorTest, ConstructionAndAccess) {
+  Vector v{1.0, 2.0, 3.0};
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_DOUBLE_EQ(v[1], 2.0);
+  EXPECT_DOUBLE_EQ(v.At(2), 3.0);
+  v.Set(0, 9.0);
+  EXPECT_DOUBLE_EQ(v[0], 9.0);
+}
+
+TEST(VectorTest, Arithmetic) {
+  Vector a{1.0, 2.0};
+  Vector b{3.0, -1.0};
+  EXPECT_EQ(a + b, (Vector{4.0, 1.0}));
+  EXPECT_EQ(a - b, (Vector{-2.0, 3.0}));
+  EXPECT_EQ(a * 2.0, (Vector{2.0, 4.0}));
+  EXPECT_EQ(2.0 * a, (Vector{2.0, 4.0}));
+  a += b;
+  EXPECT_EQ(a, (Vector{4.0, 1.0}));
+  a /= 2.0;
+  EXPECT_EQ(a, (Vector{2.0, 0.5}));
+}
+
+TEST(VectorTest, DotAndNorms) {
+  Vector a{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(a.Dot(a), 25.0);
+  EXPECT_DOUBLE_EQ(a.Norm(), 5.0);
+  EXPECT_DOUBLE_EQ(a.NormL1(), 7.0);
+  EXPECT_DOUBLE_EQ(a.NormInf(), 4.0);
+  EXPECT_DOUBLE_EQ(a.Sum(), 7.0);
+  EXPECT_DOUBLE_EQ(a.Mean(), 3.5);
+}
+
+TEST(VectorTest, HadamardAndNormalize) {
+  Vector a{2.0, 3.0};
+  Vector b{4.0, -1.0};
+  EXPECT_EQ(a.Hadamard(b), (Vector{8.0, -3.0}));
+  const Vector unit = a.Normalized();
+  EXPECT_NEAR(unit.Norm(), 1.0, 1e-12);
+  const Vector zero(3);
+  EXPECT_EQ(zero.Normalized(), zero);
+}
+
+TEST(VectorTest, EmptyVectorEdgeCases) {
+  Vector v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_DOUBLE_EQ(v.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(v.NormInf(), 0.0);
+}
+
+TEST(MatrixTest, ConstructionAndAccess) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+  m.Set(0, 1, 7.0);
+  EXPECT_DOUBLE_EQ(m.At(0, 1), 7.0);
+}
+
+TEST(MatrixTest, IdentityAndDiagonal) {
+  const Matrix eye = Matrix::Identity(3);
+  EXPECT_DOUBLE_EQ(eye.Trace(), 3.0);
+  const Matrix diag = Matrix::Diagonal(Vector{2.0, 5.0});
+  EXPECT_DOUBLE_EQ(diag(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(diag(1, 1), 5.0);
+  EXPECT_DOUBLE_EQ(diag(0, 1), 0.0);
+}
+
+TEST(MatrixTest, MultiplicationMatchesHandComputation) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+  const Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(MatrixTest, RectangularMultiplication) {
+  Matrix a(2, 3, 1.0);
+  Matrix b(3, 4, 2.0);
+  const Matrix c = a * b;
+  EXPECT_EQ(c.rows(), 2u);
+  EXPECT_EQ(c.cols(), 4u);
+  EXPECT_DOUBLE_EQ(c(1, 3), 6.0);
+}
+
+TEST(MatrixTest, MatVec) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Vector y = a * Vector{1.0, 1.0};
+  EXPECT_EQ(y, (Vector{3.0, 7.0}));
+}
+
+TEST(MatrixTest, TransposeInvolution) {
+  Rng rng(3);
+  const Matrix m = Matrix::RandomGaussian(4, 7, rng);
+  const Matrix mtt = m.Transposed().Transposed();
+  EXPECT_EQ(m, mtt);
+  EXPECT_DOUBLE_EQ(m.Transposed()(2, 3), m(3, 2));
+}
+
+TEST(MatrixTest, NormsAndSums) {
+  Matrix m{{3.0, 0.0}, {0.0, -4.0}};
+  EXPECT_DOUBLE_EQ(m.FrobeniusNorm(), 5.0);
+  EXPECT_DOUBLE_EQ(m.NormL1(), 7.0);
+  EXPECT_DOUBLE_EQ(m.MaxAbs(), 4.0);
+  EXPECT_DOUBLE_EQ(m.Sum(), -1.0);
+  EXPECT_DOUBLE_EQ(m.Trace(), -1.0);
+}
+
+TEST(MatrixTest, SymmetryPredicateAndSymmetrize) {
+  Matrix sym{{1.0, 2.0}, {2.0, 3.0}};
+  EXPECT_TRUE(sym.IsSymmetric());
+  Matrix asym{{1.0, 2.0}, {0.0, 3.0}};
+  EXPECT_FALSE(asym.IsSymmetric());
+  const Matrix fixed = asym.Symmetrized();
+  EXPECT_TRUE(fixed.IsSymmetric());
+  EXPECT_DOUBLE_EQ(fixed(0, 1), 1.0);
+}
+
+TEST(MatrixTest, RowColSetters) {
+  Matrix m(2, 3);
+  m.SetRow(0, Vector{1.0, 2.0, 3.0});
+  m.SetCol(2, Vector{7.0, 8.0});
+  EXPECT_EQ(m.Row(0), (Vector{1.0, 2.0, 7.0}));
+  EXPECT_EQ(m.Col(2), (Vector{7.0, 8.0}));
+  EXPECT_EQ(m.Diag(), (Vector{1.0, 0.0}));
+}
+
+TEST(MatrixTest, BlockRoundTrip) {
+  Matrix m(4, 4);
+  Matrix block{{1.0, 2.0}, {3.0, 4.0}};
+  m.SetBlock(1, 2, block);
+  EXPECT_EQ(m.Block(1, 2, 2, 2), block);
+  EXPECT_DOUBLE_EQ(m(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(m(2, 3), 4.0);
+}
+
+TEST(MatrixTest, HadamardProduct) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b{{2.0, 0.0}, {1.0, -1.0}};
+  const Matrix h = a.Hadamard(b);
+  EXPECT_DOUBLE_EQ(h(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(h(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(h(1, 1), -4.0);
+}
+
+TEST(MatrixTest, SparsityAndZeroSmallEntries) {
+  Matrix m{{1e-12, 1.0}, {0.0, 2.0}};
+  EXPECT_DOUBLE_EQ(m.Sparsity(), 0.25);
+  EXPECT_EQ(m.ZeroSmallEntries(1e-9), 1u);
+  EXPECT_DOUBLE_EQ(m.Sparsity(), 0.5);
+}
+
+TEST(MatrixTest, MultiplicationAssociativityProperty) {
+  Rng rng(5);
+  const Matrix a = Matrix::RandomGaussian(3, 4, rng);
+  const Matrix b = Matrix::RandomGaussian(4, 5, rng);
+  const Matrix c = Matrix::RandomGaussian(5, 2, rng);
+  const Matrix left = (a * b) * c;
+  const Matrix right = a * (b * c);
+  EXPECT_LT((left - right).MaxAbs(), 1e-10);
+}
+
+// Parameterised property: (A*B)ᵀ == Bᵀ*Aᵀ across shapes.
+class MatrixShapeParamTest
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(MatrixShapeParamTest, TransposeOfProduct) {
+  Rng rng(GetParam().first * 31 + GetParam().second);
+  const Matrix a =
+      Matrix::RandomGaussian(GetParam().first, GetParam().second, rng);
+  const Matrix b =
+      Matrix::RandomGaussian(GetParam().second, GetParam().first, rng);
+  const Matrix lhs = (a * b).Transposed();
+  const Matrix rhs = b.Transposed() * a.Transposed();
+  EXPECT_LT((lhs - rhs).MaxAbs(), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MatrixShapeParamTest,
+    ::testing::Values(std::make_pair(1u, 1u), std::make_pair(2u, 5u),
+                      std::make_pair(7u, 3u), std::make_pair(10u, 10u),
+                      std::make_pair(1u, 8u)));
+
+}  // namespace
+}  // namespace slampred
