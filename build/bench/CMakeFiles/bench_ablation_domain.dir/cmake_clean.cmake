@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_domain.dir/bench_ablation_domain.cc.o"
+  "CMakeFiles/bench_ablation_domain.dir/bench_ablation_domain.cc.o.d"
+  "bench_ablation_domain"
+  "bench_ablation_domain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_domain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_reg.dir/bench_ablation_reg.cc.o"
+  "CMakeFiles/bench_ablation_reg.dir/bench_ablation_reg.cc.o.d"
+  "bench_ablation_reg"
+  "bench_ablation_reg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_reg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig45.dir/bench_fig45.cc.o"
+  "CMakeFiles/bench_fig45.dir/bench_fig45.cc.o.d"
+  "bench_fig45"
+  "bench_fig45.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig45.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

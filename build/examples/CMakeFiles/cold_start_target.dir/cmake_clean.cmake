@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cold_start_target.dir/cold_start_target.cpp.o"
+  "CMakeFiles/cold_start_target.dir/cold_start_target.cpp.o.d"
+  "cold_start_target"
+  "cold_start_target.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cold_start_target.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

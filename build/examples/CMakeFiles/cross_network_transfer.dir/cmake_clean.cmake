@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_network_transfer.dir/cross_network_transfer.cpp.o"
+  "CMakeFiles/cross_network_transfer.dir/cross_network_transfer.cpp.o.d"
+  "cross_network_transfer"
+  "cross_network_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_network_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

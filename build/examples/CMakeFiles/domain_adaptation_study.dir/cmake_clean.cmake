@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/domain_adaptation_study.dir/domain_adaptation_study.cpp.o"
+  "CMakeFiles/domain_adaptation_study.dir/domain_adaptation_study.cpp.o.d"
+  "domain_adaptation_study"
+  "domain_adaptation_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/domain_adaptation_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

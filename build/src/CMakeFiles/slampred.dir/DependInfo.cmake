@@ -1,0 +1,73 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/neighborhood_extra.cc" "src/CMakeFiles/slampred.dir/baselines/neighborhood_extra.cc.o" "gcc" "src/CMakeFiles/slampred.dir/baselines/neighborhood_extra.cc.o.d"
+  "/root/repo/src/baselines/pair_features.cc" "src/CMakeFiles/slampred.dir/baselines/pair_features.cc.o" "gcc" "src/CMakeFiles/slampred.dir/baselines/pair_features.cc.o.d"
+  "/root/repo/src/baselines/pl.cc" "src/CMakeFiles/slampred.dir/baselines/pl.cc.o" "gcc" "src/CMakeFiles/slampred.dir/baselines/pl.cc.o.d"
+  "/root/repo/src/baselines/scan.cc" "src/CMakeFiles/slampred.dir/baselines/scan.cc.o" "gcc" "src/CMakeFiles/slampred.dir/baselines/scan.cc.o.d"
+  "/root/repo/src/baselines/unsupervised.cc" "src/CMakeFiles/slampred.dir/baselines/unsupervised.cc.o" "gcc" "src/CMakeFiles/slampred.dir/baselines/unsupervised.cc.o.d"
+  "/root/repo/src/core/slampred.cc" "src/CMakeFiles/slampred.dir/core/slampred.cc.o" "gcc" "src/CMakeFiles/slampred.dir/core/slampred.cc.o.d"
+  "/root/repo/src/datagen/aligned_generator.cc" "src/CMakeFiles/slampred.dir/datagen/aligned_generator.cc.o" "gcc" "src/CMakeFiles/slampred.dir/datagen/aligned_generator.cc.o.d"
+  "/root/repo/src/datagen/attribute_generator.cc" "src/CMakeFiles/slampred.dir/datagen/attribute_generator.cc.o" "gcc" "src/CMakeFiles/slampred.dir/datagen/attribute_generator.cc.o.d"
+  "/root/repo/src/datagen/community_model.cc" "src/CMakeFiles/slampred.dir/datagen/community_model.cc.o" "gcc" "src/CMakeFiles/slampred.dir/datagen/community_model.cc.o.d"
+  "/root/repo/src/embedding/domain_adapter.cc" "src/CMakeFiles/slampred.dir/embedding/domain_adapter.cc.o" "gcc" "src/CMakeFiles/slampred.dir/embedding/domain_adapter.cc.o.d"
+  "/root/repo/src/embedding/indicator_matrices.cc" "src/CMakeFiles/slampred.dir/embedding/indicator_matrices.cc.o" "gcc" "src/CMakeFiles/slampred.dir/embedding/indicator_matrices.cc.o.d"
+  "/root/repo/src/embedding/laplacian.cc" "src/CMakeFiles/slampred.dir/embedding/laplacian.cc.o" "gcc" "src/CMakeFiles/slampred.dir/embedding/laplacian.cc.o.d"
+  "/root/repo/src/embedding/link_instance.cc" "src/CMakeFiles/slampred.dir/embedding/link_instance.cc.o" "gcc" "src/CMakeFiles/slampred.dir/embedding/link_instance.cc.o.d"
+  "/root/repo/src/embedding/projection_solver.cc" "src/CMakeFiles/slampred.dir/embedding/projection_solver.cc.o" "gcc" "src/CMakeFiles/slampred.dir/embedding/projection_solver.cc.o.d"
+  "/root/repo/src/eval/anchor_sampler.cc" "src/CMakeFiles/slampred.dir/eval/anchor_sampler.cc.o" "gcc" "src/CMakeFiles/slampred.dir/eval/anchor_sampler.cc.o.d"
+  "/root/repo/src/eval/experiment.cc" "src/CMakeFiles/slampred.dir/eval/experiment.cc.o" "gcc" "src/CMakeFiles/slampred.dir/eval/experiment.cc.o.d"
+  "/root/repo/src/eval/link_split.cc" "src/CMakeFiles/slampred.dir/eval/link_split.cc.o" "gcc" "src/CMakeFiles/slampred.dir/eval/link_split.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/CMakeFiles/slampred.dir/eval/metrics.cc.o" "gcc" "src/CMakeFiles/slampred.dir/eval/metrics.cc.o.d"
+  "/root/repo/src/eval/ranking_metrics.cc" "src/CMakeFiles/slampred.dir/eval/ranking_metrics.cc.o" "gcc" "src/CMakeFiles/slampred.dir/eval/ranking_metrics.cc.o.d"
+  "/root/repo/src/features/attribute_features.cc" "src/CMakeFiles/slampred.dir/features/attribute_features.cc.o" "gcc" "src/CMakeFiles/slampred.dir/features/attribute_features.cc.o.d"
+  "/root/repo/src/features/feature_tensor.cc" "src/CMakeFiles/slampred.dir/features/feature_tensor.cc.o" "gcc" "src/CMakeFiles/slampred.dir/features/feature_tensor.cc.o.d"
+  "/root/repo/src/features/meta_path_features.cc" "src/CMakeFiles/slampred.dir/features/meta_path_features.cc.o" "gcc" "src/CMakeFiles/slampred.dir/features/meta_path_features.cc.o.d"
+  "/root/repo/src/features/structural_features.cc" "src/CMakeFiles/slampred.dir/features/structural_features.cc.o" "gcc" "src/CMakeFiles/slampred.dir/features/structural_features.cc.o.d"
+  "/root/repo/src/graph/aligned_networks.cc" "src/CMakeFiles/slampred.dir/graph/aligned_networks.cc.o" "gcc" "src/CMakeFiles/slampred.dir/graph/aligned_networks.cc.o.d"
+  "/root/repo/src/graph/anchor_links.cc" "src/CMakeFiles/slampred.dir/graph/anchor_links.cc.o" "gcc" "src/CMakeFiles/slampred.dir/graph/anchor_links.cc.o.d"
+  "/root/repo/src/graph/graph_io.cc" "src/CMakeFiles/slampred.dir/graph/graph_io.cc.o" "gcc" "src/CMakeFiles/slampred.dir/graph/graph_io.cc.o.d"
+  "/root/repo/src/graph/heterogeneous_network.cc" "src/CMakeFiles/slampred.dir/graph/heterogeneous_network.cc.o" "gcc" "src/CMakeFiles/slampred.dir/graph/heterogeneous_network.cc.o.d"
+  "/root/repo/src/graph/node_types.cc" "src/CMakeFiles/slampred.dir/graph/node_types.cc.o" "gcc" "src/CMakeFiles/slampred.dir/graph/node_types.cc.o.d"
+  "/root/repo/src/graph/social_graph.cc" "src/CMakeFiles/slampred.dir/graph/social_graph.cc.o" "gcc" "src/CMakeFiles/slampred.dir/graph/social_graph.cc.o.d"
+  "/root/repo/src/linalg/cholesky.cc" "src/CMakeFiles/slampred.dir/linalg/cholesky.cc.o" "gcc" "src/CMakeFiles/slampred.dir/linalg/cholesky.cc.o.d"
+  "/root/repo/src/linalg/csr_matrix.cc" "src/CMakeFiles/slampred.dir/linalg/csr_matrix.cc.o" "gcc" "src/CMakeFiles/slampred.dir/linalg/csr_matrix.cc.o.d"
+  "/root/repo/src/linalg/generalized_eigen.cc" "src/CMakeFiles/slampred.dir/linalg/generalized_eigen.cc.o" "gcc" "src/CMakeFiles/slampred.dir/linalg/generalized_eigen.cc.o.d"
+  "/root/repo/src/linalg/lu.cc" "src/CMakeFiles/slampred.dir/linalg/lu.cc.o" "gcc" "src/CMakeFiles/slampred.dir/linalg/lu.cc.o.d"
+  "/root/repo/src/linalg/matrix.cc" "src/CMakeFiles/slampred.dir/linalg/matrix.cc.o" "gcc" "src/CMakeFiles/slampred.dir/linalg/matrix.cc.o.d"
+  "/root/repo/src/linalg/matrix_ops.cc" "src/CMakeFiles/slampred.dir/linalg/matrix_ops.cc.o" "gcc" "src/CMakeFiles/slampred.dir/linalg/matrix_ops.cc.o.d"
+  "/root/repo/src/linalg/qr.cc" "src/CMakeFiles/slampred.dir/linalg/qr.cc.o" "gcc" "src/CMakeFiles/slampred.dir/linalg/qr.cc.o.d"
+  "/root/repo/src/linalg/randomized_svd.cc" "src/CMakeFiles/slampred.dir/linalg/randomized_svd.cc.o" "gcc" "src/CMakeFiles/slampred.dir/linalg/randomized_svd.cc.o.d"
+  "/root/repo/src/linalg/svd.cc" "src/CMakeFiles/slampred.dir/linalg/svd.cc.o" "gcc" "src/CMakeFiles/slampred.dir/linalg/svd.cc.o.d"
+  "/root/repo/src/linalg/symmetric_eigen.cc" "src/CMakeFiles/slampred.dir/linalg/symmetric_eigen.cc.o" "gcc" "src/CMakeFiles/slampred.dir/linalg/symmetric_eigen.cc.o.d"
+  "/root/repo/src/linalg/tensor3.cc" "src/CMakeFiles/slampred.dir/linalg/tensor3.cc.o" "gcc" "src/CMakeFiles/slampred.dir/linalg/tensor3.cc.o.d"
+  "/root/repo/src/linalg/vector.cc" "src/CMakeFiles/slampred.dir/linalg/vector.cc.o" "gcc" "src/CMakeFiles/slampred.dir/linalg/vector.cc.o.d"
+  "/root/repo/src/ml/instance_sampler.cc" "src/CMakeFiles/slampred.dir/ml/instance_sampler.cc.o" "gcc" "src/CMakeFiles/slampred.dir/ml/instance_sampler.cc.o.d"
+  "/root/repo/src/ml/logistic_regression.cc" "src/CMakeFiles/slampred.dir/ml/logistic_regression.cc.o" "gcc" "src/CMakeFiles/slampred.dir/ml/logistic_regression.cc.o.d"
+  "/root/repo/src/ml/standard_scaler.cc" "src/CMakeFiles/slampred.dir/ml/standard_scaler.cc.o" "gcc" "src/CMakeFiles/slampred.dir/ml/standard_scaler.cc.o.d"
+  "/root/repo/src/optim/cccp.cc" "src/CMakeFiles/slampred.dir/optim/cccp.cc.o" "gcc" "src/CMakeFiles/slampred.dir/optim/cccp.cc.o.d"
+  "/root/repo/src/optim/forward_backward.cc" "src/CMakeFiles/slampred.dir/optim/forward_backward.cc.o" "gcc" "src/CMakeFiles/slampred.dir/optim/forward_backward.cc.o.d"
+  "/root/repo/src/optim/objective.cc" "src/CMakeFiles/slampred.dir/optim/objective.cc.o" "gcc" "src/CMakeFiles/slampred.dir/optim/objective.cc.o.d"
+  "/root/repo/src/optim/proximal.cc" "src/CMakeFiles/slampred.dir/optim/proximal.cc.o" "gcc" "src/CMakeFiles/slampred.dir/optim/proximal.cc.o.d"
+  "/root/repo/src/util/csv_writer.cc" "src/CMakeFiles/slampred.dir/util/csv_writer.cc.o" "gcc" "src/CMakeFiles/slampred.dir/util/csv_writer.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/slampred.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/slampred.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/slampred.dir/util/random.cc.o" "gcc" "src/CMakeFiles/slampred.dir/util/random.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/slampred.dir/util/status.cc.o" "gcc" "src/CMakeFiles/slampred.dir/util/status.cc.o.d"
+  "/root/repo/src/util/stopwatch.cc" "src/CMakeFiles/slampred.dir/util/stopwatch.cc.o" "gcc" "src/CMakeFiles/slampred.dir/util/stopwatch.cc.o.d"
+  "/root/repo/src/util/string_util.cc" "src/CMakeFiles/slampred.dir/util/string_util.cc.o" "gcc" "src/CMakeFiles/slampred.dir/util/string_util.cc.o.d"
+  "/root/repo/src/util/table_printer.cc" "src/CMakeFiles/slampred.dir/util/table_printer.cc.o" "gcc" "src/CMakeFiles/slampred.dir/util/table_printer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

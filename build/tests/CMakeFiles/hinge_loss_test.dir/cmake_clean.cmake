@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hinge_loss_test.dir/hinge_loss_test.cc.o"
+  "CMakeFiles/hinge_loss_test.dir/hinge_loss_test.cc.o.d"
+  "hinge_loss_test"
+  "hinge_loss_test.pdb"
+  "hinge_loss_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hinge_loss_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

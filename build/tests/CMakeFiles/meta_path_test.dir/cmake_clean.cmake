@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meta_path_test.dir/meta_path_test.cc.o"
+  "CMakeFiles/meta_path_test.dir/meta_path_test.cc.o.d"
+  "meta_path_test"
+  "meta_path_test.pdb"
+  "meta_path_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meta_path_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

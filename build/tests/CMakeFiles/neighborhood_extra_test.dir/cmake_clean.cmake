@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neighborhood_extra_test.dir/neighborhood_extra_test.cc.o"
+  "CMakeFiles/neighborhood_extra_test.dir/neighborhood_extra_test.cc.o.d"
+  "neighborhood_extra_test"
+  "neighborhood_extra_test.pdb"
+  "neighborhood_extra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neighborhood_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/randomized_svd_test.dir/randomized_svd_test.cc.o"
+  "CMakeFiles/randomized_svd_test.dir/randomized_svd_test.cc.o.d"
+  "randomized_svd_test"
+  "randomized_svd_test.pdb"
+  "randomized_svd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/randomized_svd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

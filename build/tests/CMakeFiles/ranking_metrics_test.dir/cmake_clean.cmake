@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ranking_metrics_test.dir/ranking_metrics_test.cc.o"
+  "CMakeFiles/ranking_metrics_test.dir/ranking_metrics_test.cc.o.d"
+  "ranking_metrics_test"
+  "ranking_metrics_test.pdb"
+  "ranking_metrics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ranking_metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

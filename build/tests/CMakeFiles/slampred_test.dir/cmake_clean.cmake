@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slampred_test.dir/slampred_test.cc.o"
+  "CMakeFiles/slampred_test.dir/slampred_test.cc.o.d"
+  "slampred_test"
+  "slampred_test.pdb"
+  "slampred_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slampred_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

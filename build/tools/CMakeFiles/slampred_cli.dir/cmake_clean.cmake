@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slampred_cli.dir/slampred_cli.cpp.o"
+  "CMakeFiles/slampred_cli.dir/slampred_cli.cpp.o.d"
+  "slampred_cli"
+  "slampred_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slampred_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
