@@ -59,5 +59,9 @@ int main() {
   if (csv.WriteToFile("fig3_convergence.csv").ok()) {
     std::printf("raw series written to fig3_convergence.csv\n");
   }
+  if (model.trace().recovery.Total() > 0) {
+    std::printf("solver recoveries: %s\n",
+                model.trace().recovery.ToString().c_str());
+  }
   return 0;
 }

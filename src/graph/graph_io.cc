@@ -4,6 +4,7 @@
 #include <optional>
 #include <sstream>
 
+#include "util/fault_injection.h"
 #include "util/string_util.h"
 
 namespace slampred {
@@ -62,6 +63,37 @@ Status WriteFile(const std::string& path, const std::string& content) {
   return Status::OK();
 }
 
+// Routes one bad record through the parse policy. Records the error in
+// `stats` and returns OK when the caller should skip the record
+// (lenient), or the line-tagged error itself when the caller should
+// fail the parse (strict).
+Status HandleBadRecord(const ParseOptions& options, ParseStats* stats,
+                       Status error) {
+  if (stats != nullptr && stats->first_error.ok()) {
+    stats->first_error = error;
+  }
+  if (options.policy == ParsePolicy::kLenient) {
+    if (stats != nullptr) ++stats->lines_skipped;
+    return Status::OK();
+  }
+  return error;
+}
+
+// Checks the "graph_io.parse" injection site for this record. Returns
+// the Status to treat the record as having failed with, or OK.
+Status InjectedParseFault(std::size_t line_number) {
+  switch (SLAMPRED_FAULT_HIT("graph_io.parse")) {
+    case FaultKind::kNone:
+      break;
+    case FaultKind::kFailIo:
+      return Status::IoError("line " + std::to_string(line_number) +
+                             ": injected I/O fault");
+    default:
+      return LineError(line_number, "injected parse fault");
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 std::string SerializeNetwork(const HeterogeneousNetwork& network) {
@@ -88,7 +120,9 @@ std::string SerializeNetwork(const HeterogeneousNetwork& network) {
   return out;
 }
 
-Result<HeterogeneousNetwork> ParseNetwork(const std::string& text) {
+Result<HeterogeneousNetwork> ParseNetwork(const std::string& text,
+                                          const ParseOptions& options,
+                                          ParseStats* stats) {
   HeterogeneousNetwork network("network");
   std::istringstream stream(text);
   std::string line;
@@ -97,51 +131,99 @@ Result<HeterogeneousNetwork> ParseNetwork(const std::string& text) {
     ++line_number;
     line = Trim(line);
     if (line.empty() || line[0] == '#') continue;
+    if (stats != nullptr) ++stats->lines_total;
+
+    const Status injected = InjectedParseFault(line_number);
+    if (!injected.ok()) {
+      const Status handled = HandleBadRecord(options, stats, injected);
+      if (!handled.ok()) return handled;
+      continue;
+    }
+
     const std::vector<std::string> tokens = Split(line, ' ');
     if (tokens[0] == "network") {
       if (tokens.size() != 2) {
-        return LineError(line_number, "expected 'network <name>'");
+        const Status handled = HandleBadRecord(
+            options, stats, LineError(line_number, "expected 'network <name>'"));
+        if (!handled.ok()) return handled;
+        continue;
       }
       network = HeterogeneousNetwork(tokens[1]);
       continue;
     }
     if (tokens[0] == "nodes") {
-      if (tokens.size() != 3) {
-        return LineError(line_number, "expected 'nodes <type> <count>'");
-      }
-      const auto type = NodeTypeFromName(tokens[1]);
+      Status problem;
+      const auto type =
+          tokens.size() == 3 ? NodeTypeFromName(tokens[1]) : std::nullopt;
       std::size_t count = 0;
-      if (!type.has_value()) {
-        return LineError(line_number, "unknown node type " + tokens[1]);
+      if (tokens.size() != 3) {
+        problem = LineError(line_number, "expected 'nodes <type> <count>'");
+      } else if (!type.has_value()) {
+        problem = LineError(line_number, "unknown node type " + tokens[1]);
+      } else if (!ParseSize(tokens[2], &count)) {
+        problem = LineError(line_number, "bad count " + tokens[2]);
       }
-      if (!ParseSize(tokens[2], &count)) {
-        return LineError(line_number, "bad count " + tokens[2]);
+      if (!problem.ok()) {
+        const Status handled = HandleBadRecord(options, stats, problem);
+        if (!handled.ok()) return handled;
+        continue;
       }
-      network.AddNodes(*type, count);
+      // value_or keeps the deref branch-free for the optimizer; the
+      // fallback is unreachable (problem is set whenever type is empty).
+      network.AddNodes(type.value_or(NodeType::kUser), count);
       continue;
     }
     if (tokens[0] == "edge") {
-      if (tokens.size() != 4) {
-        return LineError(line_number, "expected 'edge <type> <src> <dst>'");
-      }
-      const auto type = EdgeTypeFromName(tokens[1]);
+      Status problem;
+      const auto type =
+          tokens.size() == 4 ? EdgeTypeFromName(tokens[1]) : std::nullopt;
       std::size_t src = 0;
       std::size_t dst = 0;
-      if (!type.has_value()) {
-        return LineError(line_number, "unknown edge type " + tokens[1]);
+      if (tokens.size() != 4) {
+        problem = LineError(line_number, "expected 'edge <type> <src> <dst>'");
+      } else if (!type.has_value()) {
+        problem = LineError(line_number, "unknown edge type " + tokens[1]);
+      } else if (!ParseSize(tokens[2], &src) || !ParseSize(tokens[3], &dst)) {
+        problem = LineError(line_number, "bad endpoints");
       }
-      if (!ParseSize(tokens[2], &src) || !ParseSize(tokens[3], &dst)) {
-        return LineError(line_number, "bad endpoints");
+      if (!problem.ok()) {
+        const Status handled = HandleBadRecord(options, stats, problem);
+        if (!handled.ok()) return handled;
+        continue;
       }
-      const Status added = network.AddEdge(*type, src, dst);
+      const EdgeType edge_type = type.value_or(EdgeType::kFriend);
+      if (network.HasEdge(edge_type, src, dst)) {
+        // Duplicate record: an error in strict mode, a dedicated counter
+        // in lenient mode (the edge itself is already present either way).
+        if (options.policy == ParsePolicy::kStrict) {
+          return LineError(line_number, "duplicate edge");
+        }
+        if (stats != nullptr) {
+          ++stats->duplicate_edges;
+          if (stats->first_error.ok()) {
+            stats->first_error = LineError(line_number, "duplicate edge");
+          }
+        }
+        continue;
+      }
+      const Status added = network.AddEdge(edge_type, src, dst);
       if (!added.ok()) {
-        return LineError(line_number, added.message());
+        const Status handled = HandleBadRecord(
+            options, stats, LineError(line_number, added.message()));
+        if (!handled.ok()) return handled;
+        continue;
       }
       continue;
     }
-    return LineError(line_number, "unknown directive " + tokens[0]);
+    const Status handled = HandleBadRecord(
+        options, stats, LineError(line_number, "unknown directive " + tokens[0]));
+    if (!handled.ok()) return handled;
   }
   return network;
+}
+
+Result<HeterogeneousNetwork> ParseNetwork(const std::string& text) {
+  return ParseNetwork(text, ParseOptions{});
 }
 
 Status SaveNetwork(const HeterogeneousNetwork& network,
@@ -149,10 +231,16 @@ Status SaveNetwork(const HeterogeneousNetwork& network,
   return WriteFile(path, SerializeNetwork(network));
 }
 
-Result<HeterogeneousNetwork> LoadNetwork(const std::string& path) {
+Result<HeterogeneousNetwork> LoadNetwork(const std::string& path,
+                                         const ParseOptions& options,
+                                         ParseStats* stats) {
   auto text = ReadFile(path);
   if (!text.ok()) return text.status();
-  return ParseNetwork(text.value());
+  return ParseNetwork(text.value(), options, stats);
+}
+
+Result<HeterogeneousNetwork> LoadNetwork(const std::string& path) {
+  return LoadNetwork(path, ParseOptions{});
 }
 
 std::string SerializeAnchors(const AnchorLinks& anchors) {
@@ -166,7 +254,9 @@ std::string SerializeAnchors(const AnchorLinks& anchors) {
   return out;
 }
 
-Result<AnchorLinks> ParseAnchors(const std::string& text) {
+Result<AnchorLinks> ParseAnchors(const std::string& text,
+                                 const ParseOptions& options,
+                                 ParseStats* stats) {
   std::istringstream stream(text);
   std::string line;
   std::size_t line_number = 0;
@@ -175,36 +265,75 @@ Result<AnchorLinks> ParseAnchors(const std::string& text) {
     ++line_number;
     line = Trim(line);
     if (line.empty() || line[0] == '#') continue;
+    if (stats != nullptr) ++stats->lines_total;
+
+    const Status injected = InjectedParseFault(line_number);
+    if (!injected.ok()) {
+      const Status handled = HandleBadRecord(options, stats, injected);
+      if (!handled.ok()) return handled;
+      continue;
+    }
+
     const std::vector<std::string> tokens = Split(line, ' ');
     if (tokens[0] == "anchors") {
-      if (tokens.size() != 3) {
-        return LineError(line_number, "expected 'anchors <left> <right>'");
-      }
+      Status problem;
       std::size_t left = 0;
       std::size_t right = 0;
-      if (!ParseSize(tokens[1], &left) || !ParseSize(tokens[2], &right)) {
-        return LineError(line_number, "bad user counts");
+      if (tokens.size() != 3) {
+        problem = LineError(line_number, "expected 'anchors <left> <right>'");
+      } else if (!ParseSize(tokens[1], &left) ||
+                 !ParseSize(tokens[2], &right)) {
+        problem = LineError(line_number, "bad user counts");
+      }
+      if (!problem.ok()) {
+        const Status handled = HandleBadRecord(options, stats, problem);
+        if (!handled.ok()) return handled;
+        continue;
       }
       anchors.emplace(left, right);
       continue;
     }
     if (tokens[0] == "anchor") {
-      if (!anchors.has_value()) {
-        return LineError(line_number, "'anchor' before 'anchors' header");
-      }
-      if (tokens.size() != 3) {
-        return LineError(line_number, "expected 'anchor <left> <right>'");
-      }
+      Status problem;
       std::size_t left = 0;
       std::size_t right = 0;
-      if (!ParseSize(tokens[1], &left) || !ParseSize(tokens[2], &right)) {
-        return LineError(line_number, "bad endpoints");
+      if (!anchors.has_value()) {
+        problem = LineError(line_number, "'anchor' before 'anchors' header");
+      } else if (tokens.size() != 3) {
+        problem = LineError(line_number, "expected 'anchor <left> <right>'");
+      } else if (!ParseSize(tokens[1], &left) ||
+                 !ParseSize(tokens[2], &right)) {
+        problem = LineError(line_number, "bad endpoints");
+      }
+      if (!problem.ok()) {
+        const Status handled = HandleBadRecord(options, stats, problem);
+        if (!handled.ok()) return handled;
+        continue;
+      }
+      if (anchors->Contains(left, right)) {
+        if (options.policy == ParsePolicy::kStrict) {
+          return LineError(line_number, "duplicate anchor");
+        }
+        if (stats != nullptr) {
+          ++stats->duplicate_edges;
+          if (stats->first_error.ok()) {
+            stats->first_error = LineError(line_number, "duplicate anchor");
+          }
+        }
+        continue;
       }
       const Status added = anchors->Add(left, right);
-      if (!added.ok()) return LineError(line_number, added.message());
+      if (!added.ok()) {
+        const Status handled = HandleBadRecord(
+            options, stats, LineError(line_number, added.message()));
+        if (!handled.ok()) return handled;
+        continue;
+      }
       continue;
     }
-    return LineError(line_number, "unknown directive " + tokens[0]);
+    const Status handled = HandleBadRecord(
+        options, stats, LineError(line_number, "unknown directive " + tokens[0]));
+    if (!handled.ok()) return handled;
   }
   if (!anchors.has_value()) {
     return Status::InvalidArgument("missing 'anchors' header");
@@ -212,14 +341,24 @@ Result<AnchorLinks> ParseAnchors(const std::string& text) {
   return std::move(*anchors);
 }
 
+Result<AnchorLinks> ParseAnchors(const std::string& text) {
+  return ParseAnchors(text, ParseOptions{});
+}
+
 Status SaveAnchors(const AnchorLinks& anchors, const std::string& path) {
   return WriteFile(path, SerializeAnchors(anchors));
 }
 
-Result<AnchorLinks> LoadAnchors(const std::string& path) {
+Result<AnchorLinks> LoadAnchors(const std::string& path,
+                                const ParseOptions& options,
+                                ParseStats* stats) {
   auto text = ReadFile(path);
   if (!text.ok()) return text.status();
-  return ParseAnchors(text.value());
+  return ParseAnchors(text.value(), options, stats);
+}
+
+Result<AnchorLinks> LoadAnchors(const std::string& path) {
+  return LoadAnchors(path, ParseOptions{});
 }
 
 }  // namespace slampred

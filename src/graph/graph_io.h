@@ -11,10 +11,16 @@
 //
 //   anchors <left-user-count> <right-user-count>
 //   anchor <left> <right>
+//
+// Malformed input never aborts the process. Under the default strict
+// policy the first bad record fails the parse with a line-numbered
+// Status; under the lenient policy bad records are skipped and counted
+// in ParseStats, and the parse succeeds with whatever was salvageable.
 
 #ifndef SLAMPRED_GRAPH_GRAPH_IO_H_
 #define SLAMPRED_GRAPH_GRAPH_IO_H_
 
+#include <cstddef>
 #include <string>
 
 #include "graph/anchor_links.h"
@@ -23,31 +29,72 @@
 
 namespace slampred {
 
+/// What to do with a malformed, out-of-range or duplicate record.
+enum class ParsePolicy {
+  kStrict,   ///< First bad record fails the parse (line-numbered Status).
+  kLenient,  ///< Bad records are skipped and counted; the parse succeeds.
+};
+
+/// Parse controls.
+struct ParseOptions {
+  ParsePolicy policy = ParsePolicy::kStrict;
+};
+
+/// What a (lenient) parse encountered. All zero / OK on clean input.
+struct ParseStats {
+  std::size_t lines_total = 0;      ///< Non-comment, non-blank lines seen.
+  std::size_t lines_skipped = 0;    ///< Bad records skipped (lenient only).
+  std::size_t duplicate_edges = 0;  ///< Duplicate edge/anchor records.
+  Status first_error;               ///< First problem found (OK if none).
+};
+
 /// Serialises a network to the text format.
 std::string SerializeNetwork(const HeterogeneousNetwork& network);
 
-/// Parses a network from the text format; fails with kInvalidArgument on
-/// malformed lines (reporting the line number) and on edges whose
-/// endpoints are out of range.
+/// Parses a network from the text format under `options`, reporting
+/// per-record problems into `stats` (may be null). Strict mode fails
+/// with a line-numbered kInvalidArgument / kOutOfRange on the first bad
+/// record (duplicates included); lenient mode skips and counts them.
+Result<HeterogeneousNetwork> ParseNetwork(const std::string& text,
+                                          const ParseOptions& options,
+                                          ParseStats* stats = nullptr);
+
+/// Strict parse (back-compatible convenience overload).
 Result<HeterogeneousNetwork> ParseNetwork(const std::string& text);
 
 /// Writes a network to `path`.
 Status SaveNetwork(const HeterogeneousNetwork& network,
                    const std::string& path);
 
-/// Reads a network from `path`.
+/// Reads a network from `path` under `options`.
+Result<HeterogeneousNetwork> LoadNetwork(const std::string& path,
+                                         const ParseOptions& options,
+                                         ParseStats* stats = nullptr);
+
+/// Strict load (back-compatible convenience overload).
 Result<HeterogeneousNetwork> LoadNetwork(const std::string& path);
 
 /// Serialises anchor links to the text format.
 std::string SerializeAnchors(const AnchorLinks& anchors);
 
-/// Parses anchor links from the text format.
+/// Parses anchor links from the text format under `options`; same
+/// strict/lenient semantics as ParseNetwork.
+Result<AnchorLinks> ParseAnchors(const std::string& text,
+                                 const ParseOptions& options,
+                                 ParseStats* stats = nullptr);
+
+/// Strict parse (back-compatible convenience overload).
 Result<AnchorLinks> ParseAnchors(const std::string& text);
 
 /// Writes anchor links to `path`.
 Status SaveAnchors(const AnchorLinks& anchors, const std::string& path);
 
-/// Reads anchor links from `path`.
+/// Reads anchor links from `path` under `options`.
+Result<AnchorLinks> LoadAnchors(const std::string& path,
+                                const ParseOptions& options,
+                                ParseStats* stats = nullptr);
+
+/// Strict load (back-compatible convenience overload).
 Result<AnchorLinks> LoadAnchors(const std::string& path);
 
 }  // namespace slampred

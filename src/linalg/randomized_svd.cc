@@ -1,9 +1,12 @@
 #include "linalg/randomized_svd.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 #include "linalg/matrix_ops.h"
 #include "linalg/qr.h"
+#include "util/fault_injection.h"
 #include "util/logging.h"
 
 namespace slampred {
@@ -15,6 +18,13 @@ Result<SvdResult> ComputeRandomizedSvd(const Matrix& a,
   }
   if (options.rank == 0) {
     return Status::InvalidArgument("rank must be positive");
+  }
+  // Fail fast on poisoned input: the sketch would only smear the NaNs.
+  for (double v : a.data()) {
+    if (!std::isfinite(v)) {
+      return Status::NumericalError(
+          "randomized SVD input contains non-finite entries");
+    }
   }
   const std::size_t m = a.rows();
   const std::size_t n = a.cols();
@@ -73,6 +83,24 @@ Result<Matrix> ProxNuclearRandomized(const Matrix& s, double threshold,
                                      const RandomizedSvdOptions& options) {
   if (threshold < 0.0) {
     return Status::InvalidArgument("negative nuclear threshold");
+  }
+  // Shares the "svd.prox" injection site with the exact prox backends
+  // (proximal.cc) — the fallback chain in optim/guardrails.cc must see
+  // the same fault regardless of which primary backend is active.
+  switch (SLAMPRED_FAULT_HIT("svd.prox")) {
+    case FaultKind::kFailNotConverged:
+      return Status::NotConverged("injected fault at svd.prox");
+    case FaultKind::kFailNumerical:
+    case FaultKind::kFailIo:
+      return Status::NumericalError("injected fault at svd.prox");
+    case FaultKind::kPoisonNaN:
+    case FaultKind::kPoisonInf: {
+      Matrix poisoned(s.rows(), s.cols(),
+                      std::numeric_limits<double>::quiet_NaN());
+      return poisoned;
+    }
+    case FaultKind::kNone:
+      break;
   }
   auto svd = ComputeRandomizedSvd(s, options);
   if (!svd.ok()) return svd.status();

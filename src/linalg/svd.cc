@@ -29,6 +29,13 @@ Result<SvdResult> ComputeSvd(const Matrix& a, const SvdOptions& options) {
   if (a.empty()) {
     return Status::InvalidArgument("SVD of empty matrix");
   }
+  // Non-finite input can never orthogonalise; fail fast with a
+  // recoverable code instead of burning max_sweeps on NaN rotations.
+  for (double v : a.data()) {
+    if (!std::isfinite(v)) {
+      return Status::NumericalError("SVD input contains non-finite entries");
+    }
+  }
 
   // Work on B with rows >= cols; if a is wide, decompose aᵀ and swap U/V.
   const bool transposed = a.rows() < a.cols();

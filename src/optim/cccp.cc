@@ -6,6 +6,78 @@
 
 namespace slampred {
 
+namespace {
+
+// Shared implementation: solve from `s0` with `theta0`, running
+// `max_outer` rounds starting at round index `first_round`.
+Result<Matrix> SolveImpl(const Objective& objective, const Matrix& s0,
+                         double theta0, int first_round,
+                         const CccpOptions& options, CccpTrace* trace) {
+  const GuardrailOptions& guard = options.inner.guardrails;
+  Matrix s = s0;
+  double theta = theta0;
+  RecoveryStats local_recovery;
+  RecoveryStats* recovery =
+      trace != nullptr ? &trace->recovery : &local_recovery;
+
+  SolverCheckpoint checkpoint;
+  checkpoint.s = s;
+  checkpoint.theta = theta;
+  checkpoint.outer_round = first_round;
+  checkpoint.valid = true;
+
+  int resumes = 0;
+  bool converged = false;
+  int outer = first_round;
+  while (outer < options.max_outer_iterations && !converged) {
+    const Matrix prev = s;
+    IterationTrace* inner_trace = trace != nullptr ? &trace->steps : nullptr;
+    ForwardBackwardOptions inner_options = options.inner;
+    inner_options.theta = theta;
+    auto inner = GeneralizedForwardBackward(objective, s, inner_options,
+                                            inner_trace, recovery);
+    if (!inner.ok()) {
+      // Guardrail: a failed round (persistent fault, exhausted inner
+      // recovery budget) restarts from the last good checkpoint with a
+      // backed-off step size instead of abandoning the whole solve.
+      const StatusCode code = inner.status().code();
+      if (guard.enabled && resumes < guard.max_checkpoint_resumes &&
+          (code == StatusCode::kNotConverged ||
+           code == StatusCode::kNumericalError)) {
+        ++resumes;
+        ++recovery->checkpoint_resumes;
+        theta *= guard.backoff_factor;
+        s = checkpoint.s;
+        continue;
+      }
+      return inner.status();
+    }
+    s = std::move(inner).value();
+    // The backoff is episodic: a clean round ends the recovery episode,
+    // so a transient fault leaves no permanent step-size change (and the
+    // solve converges to the same fixed point as a fault-free run).
+    theta = theta0;
+
+    const double change = (s - prev).NormL1();
+    const double scale = std::max(1.0, s.NormL1());
+    converged = change / scale < options.outer_tol;
+    if (trace != nullptr) trace->outer_change_l1.push_back(change);
+
+    ++outer;
+    checkpoint.s = s;
+    checkpoint.theta = theta;
+    checkpoint.outer_round = outer;
+  }
+  if (trace != nullptr) {
+    trace->outer_iterations = outer - first_round;
+    trace->converged = converged;
+    trace->checkpoint = checkpoint;
+  }
+  return s;
+}
+
+}  // namespace
+
 Result<Matrix> SolveCccp(const Objective& objective,
                          const CccpOptions& options, CccpTrace* trace) {
   return SolveCccpFrom(objective, objective.a, options, trace);
@@ -13,27 +85,29 @@ Result<Matrix> SolveCccp(const Objective& objective,
 
 Result<Matrix> SolveCccpFrom(const Objective& objective, const Matrix& s0,
                              const CccpOptions& options, CccpTrace* trace) {
-  Matrix s = s0;
-  bool converged = false;
-  int outer = 0;
-  for (; outer < options.max_outer_iterations && !converged; ++outer) {
-    const Matrix prev = s;
-    IterationTrace* inner_trace = trace != nullptr ? &trace->steps : nullptr;
-    auto inner = GeneralizedForwardBackward(objective, s, options.inner,
-                                            inner_trace);
-    if (!inner.ok()) return inner.status();
-    s = std::move(inner).value();
+  return SolveImpl(objective, s0, options.inner.theta, 0, options, trace);
+}
 
-    const double change = (s - prev).NormL1();
-    const double scale = std::max(1.0, s.NormL1());
-    converged = change / scale < options.outer_tol;
-    if (trace != nullptr) trace->outer_change_l1.push_back(change);
+Result<Matrix> ResumeCccp(const Objective& objective,
+                          const SolverCheckpoint& checkpoint,
+                          const CccpOptions& options, CccpTrace* trace) {
+  if (!checkpoint.valid) {
+    return Status::FailedPrecondition("resume from an invalid checkpoint");
   }
-  if (trace != nullptr) {
-    trace->outer_iterations = outer;
-    trace->converged = converged;
+  if (checkpoint.s.rows() != objective.a.rows() ||
+      checkpoint.s.cols() != objective.a.cols()) {
+    return Status::FailedPrecondition("checkpoint shape mismatch");
   }
-  return s;
+  if (checkpoint.outer_round >= options.max_outer_iterations) {
+    // Nothing left to do; the checkpointed iterate is the answer.
+    if (trace != nullptr) {
+      trace->checkpoint = checkpoint;
+      trace->converged = true;
+    }
+    return checkpoint.s;
+  }
+  return SolveImpl(objective, checkpoint.s, checkpoint.theta,
+                   checkpoint.outer_round, options, trace);
 }
 
 }  // namespace slampred

@@ -8,6 +8,11 @@
 // outer loop still matters operationally — it restarts the inner loop
 // from the warm iterate exactly as Algorithm 1 prescribes — and the
 // recorded trace reproduces Figure 3.
+//
+// Robustness: the outer loop keeps a SolverCheckpoint of the last good
+// iterate. If the inner loop fails (persistent fault, exhausted
+// recovery budget), the solve backs off the step size and resumes from
+// the checkpoint a bounded number of times before giving up.
 
 #ifndef SLAMPRED_OPTIM_CCCP_H_
 #define SLAMPRED_OPTIM_CCCP_H_
@@ -16,6 +21,7 @@
 
 #include "linalg/matrix.h"
 #include "optim/forward_backward.h"
+#include "optim/guardrails.h"
 #include "optim/objective.h"
 #include "util/status.h"
 
@@ -35,6 +41,8 @@ struct CccpTrace {
   std::vector<double> outer_change_l1;  ///< ‖S^{(h)} − S^{(h−1)}‖₁ per round.
   int outer_iterations = 0;
   bool converged = false;
+  RecoveryStats recovery;         ///< Every guardrail action taken.
+  SolverCheckpoint checkpoint;    ///< Last good state of the solve.
 };
 
 /// Runs Algorithm 1: S is initialised to the observed adjacency A
@@ -48,6 +56,16 @@ Result<Matrix> SolveCccp(const Objective& objective,
 Result<Matrix> SolveCccpFrom(const Objective& objective, const Matrix& s0,
                              const CccpOptions& options,
                              CccpTrace* trace = nullptr);
+
+/// Resumes a solve from a checkpoint (e.g. CccpTrace::checkpoint taken
+/// before a crash or a recovered fault): starts at the checkpointed
+/// iterate and step size and runs the outer rounds the checkpoint has
+/// not completed yet. Fails with kFailedPrecondition on an invalid
+/// checkpoint.
+Result<Matrix> ResumeCccp(const Objective& objective,
+                          const SolverCheckpoint& checkpoint,
+                          const CccpOptions& options,
+                          CccpTrace* trace = nullptr);
 
 }  // namespace slampred
 

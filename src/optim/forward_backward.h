@@ -5,6 +5,12 @@
 //   S ← prox_{θγ‖·‖₁}(S)          (soft thresholding)
 // optionally followed by projection onto the admissible set 𝒮
 // (entry-wise [0, 1], matching the paper's confidence-score range).
+//
+// The loop is wrapped in solver guardrails (optim/guardrails.h): a
+// non-finite or diverging iterate rolls back to the last good one with
+// a halved θ, and a failing nuclear prox falls back to the full Jacobi
+// SVD. With guardrails at their defaults a healthy run is bit-identical
+// to the unguarded loop.
 
 #ifndef SLAMPRED_OPTIM_FORWARD_BACKWARD_H_
 #define SLAMPRED_OPTIM_FORWARD_BACKWARD_H_
@@ -12,6 +18,7 @@
 #include <vector>
 
 #include "linalg/matrix.h"
+#include "optim/guardrails.h"
 #include "optim/objective.h"
 #include "util/status.h"
 
@@ -28,9 +35,13 @@ struct ForwardBackwardOptions {
   double tol = 1e-5;         ///< Converged when ‖ΔS‖₁/max(1,‖S‖₁) < tol.
   bool project_unit_box = true;  ///< Clamp S into [0, 1] each step.
   bool keep_symmetric = true;    ///< Re-symmetrise after each step.
+  GuardrailOptions guardrails;   ///< Rollback/backoff/fallback controls.
+  NuclearProxOptions nuclear_prox;  ///< Nuclear-prox backend selection.
 };
 
-/// Per-step trace used by the Figure-3 convergence experiment.
+/// Per-step trace used by the Figure-3 convergence experiment. Recovery
+/// steps (rollbacks) are not recorded in the per-step series — only
+/// accepted iterates are.
 struct IterationTrace {
   std::vector<double> s_norm_l1;    ///< ‖S^h‖₁ after step h.
   std::vector<double> s_change_l1;  ///< ‖S^h − S^{h−1}‖₁ after step h.
@@ -40,11 +51,15 @@ struct IterationTrace {
 
 /// Runs the generalized forward–backward loop from `s0` on the
 /// linearised objective (Objective::grad_v is the frozen CCCP gradient).
-/// `trace` is appended to when non-null. Fails only if the nuclear prox
-/// fails to converge internally.
+/// `trace` is appended to when non-null; recovery actions are counted
+/// into `recovery` when non-null. Fails with kNotConverged when the
+/// guardrail recovery budget is exhausted by a persistent fault, or
+/// propagates the nuclear-prox failure directly when guardrails are
+/// disabled.
 Result<Matrix> GeneralizedForwardBackward(
     const Objective& objective, const Matrix& s0,
-    const ForwardBackwardOptions& options, IterationTrace* trace = nullptr);
+    const ForwardBackwardOptions& options, IterationTrace* trace = nullptr,
+    RecoveryStats* recovery = nullptr);
 
 }  // namespace slampred
 

@@ -1,0 +1,118 @@
+// Solver guardrails: detection, backoff and fallback machinery that
+// lets the CCCP / forward–backward pipeline degrade gracefully instead
+// of aborting or silently emitting a garbage predictor matrix.
+//
+// The guardrails are observers on the healthy path — with no fault and
+// no divergence they only read the iterate, so traces are bit-identical
+// to an unguarded run — and only steer the solver when something is
+// measurably wrong:
+//
+//   * NaN/Inf in the iterate after a step  → roll back to the last good
+//     iterate and halve the step size θ.
+//   * Divergence (the step change blowing up well past its best value
+//     for several consecutive steps)       → same rollback + backoff.
+//   * Nuclear-prox failure (randomized or symmetric-eigen backend not
+//     converging)                          → bounded-retry fallback to
+//     the full Jacobi SVD with extra sweeps.
+//   * Inner-loop failure after its own retries → CCCP resumes from the
+//     last SolverCheckpoint with a halved θ.
+//
+// Every intervention is counted in RecoveryStats, surfaced through
+// CccpTrace and printed by tools/slampred_cli.
+
+#ifndef SLAMPRED_OPTIM_GUARDRAILS_H_
+#define SLAMPRED_OPTIM_GUARDRAILS_H_
+
+#include <string>
+
+#include "linalg/matrix.h"
+#include "linalg/randomized_svd.h"
+#include "util/status.h"
+
+namespace slampred {
+
+/// Counters for every recovery action the solver took. All zero on a
+/// fault-free, well-conditioned run.
+struct RecoveryStats {
+  int nan_rollbacks = 0;       ///< Non-finite iterate → rollback.
+  int prox_rollbacks = 0;      ///< Unrecoverable prox failure → rollback.
+  int divergence_backoffs = 0; ///< Diverging change → rollback + θ/2.
+  int svd_fallbacks = 0;       ///< Nuclear prox retried on Jacobi SVD.
+  int checkpoint_resumes = 0;  ///< CCCP resumed from a checkpoint.
+
+  /// Total number of recoveries of any kind.
+  int Total() const {
+    return nan_rollbacks + prox_rollbacks + divergence_backoffs +
+           svd_fallbacks + checkpoint_resumes;
+  }
+
+  /// Adds another stats object into this one.
+  void Merge(const RecoveryStats& other) {
+    nan_rollbacks += other.nan_rollbacks;
+    prox_rollbacks += other.prox_rollbacks;
+    divergence_backoffs += other.divergence_backoffs;
+    svd_fallbacks += other.svd_fallbacks;
+    checkpoint_resumes += other.checkpoint_resumes;
+  }
+
+  /// One-line human-readable summary.
+  std::string ToString() const;
+};
+
+/// Last known-good solver state; enough to resume Algorithm 1 after a
+/// recovered fault.
+struct SolverCheckpoint {
+  Matrix s;              ///< Last good iterate.
+  double theta = 0.0;    ///< Step size in effect when it was taken.
+  int outer_round = 0;   ///< CCCP round that produced it.
+  bool valid = false;    ///< False until the first checkpoint is taken.
+};
+
+/// Guardrail controls shared by the inner and outer loops.
+struct GuardrailOptions {
+  /// Master switch. Off restores the exact pre-guardrail behavior
+  /// (aborts on nothing, but propagates any prox failure immediately).
+  bool enabled = true;
+  /// Multiplier applied to θ at each backoff (0 < factor < 1).
+  double backoff_factor = 0.5;
+  /// Maximum rollback/backoff recoveries per inner-loop run before the
+  /// loop gives up and returns its last good iterate.
+  int max_recoveries = 8;
+  /// Divergence test: the change ‖ΔS‖₁ must exceed
+  /// divergence_factor × (best change seen) for divergence_window
+  /// consecutive steps. The defaults are far outside anything a healthy
+  /// run produces, so the healthy path is untouched.
+  double divergence_factor = 1e3;
+  int divergence_window = 3;
+  /// Bounded retries of the full-Jacobi nuclear-prox fallback; each
+  /// retry doubles the sweep budget.
+  int max_svd_fallbacks = 2;
+  /// Maximum checkpoint resumes at the CCCP level.
+  int max_checkpoint_resumes = 2;
+};
+
+/// True iff every entry of `m` is finite (no NaN, no ±Inf).
+bool MatrixIsFinite(const Matrix& m);
+
+/// Nuclear-prox backend selection for GuardedProxNuclear.
+struct NuclearProxOptions {
+  /// Use the randomized sketch as the primary backend (scalable path);
+  /// the full/symmetric decomposition remains the fallback.
+  bool use_randomized = false;
+  RandomizedSvdOptions randomized;
+};
+
+/// Nuclear-norm prox with a bounded-retry fallback chain:
+/// primary backend (randomized sketch or symmetric-eigen/Jacobi auto
+/// dispatch, honoring the "svd.prox" fault-injection site) and, on
+/// kNotConverged / kNumericalError / non-finite output, the full Jacobi
+/// SVD with a doubled sweep budget per retry. Each fallback taken is
+/// counted in `stats` (when non-null).
+Result<Matrix> GuardedProxNuclear(const Matrix& s, double threshold,
+                                  const NuclearProxOptions& options,
+                                  const GuardrailOptions& guardrails,
+                                  RecoveryStats* stats);
+
+}  // namespace slampred
+
+#endif  // SLAMPRED_OPTIM_GUARDRAILS_H_

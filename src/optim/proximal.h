@@ -9,6 +9,7 @@
 #define SLAMPRED_OPTIM_PROXIMAL_H_
 
 #include "linalg/matrix.h"
+#include "linalg/svd.h"
 #include "util/status.h"
 
 namespace slampred {
@@ -18,8 +19,10 @@ namespace slampred {
 Matrix ProxL1(const Matrix& s, double threshold);
 
 /// Nuclear-norm prox via full SVD: shrinks each singular value by
-/// `threshold`. Works for any rectangular matrix.
-Result<Matrix> ProxNuclear(const Matrix& s, double threshold);
+/// `threshold`. Works for any rectangular matrix. `svd_options` lets
+/// recovery paths retry with a larger sweep budget.
+Result<Matrix> ProxNuclear(const Matrix& s, double threshold,
+                           const SvdOptions& svd_options = {});
 
 /// Nuclear-norm prox fast path for *symmetric* matrices: eigendecompose
 /// S = QΛQᵀ; the singular values are |λᵢ|, so the shrunk matrix is

@@ -1,0 +1,82 @@
+#include "util/fault_injection.h"
+
+namespace slampred {
+
+const char* FaultKindToString(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone:
+      return "NONE";
+    case FaultKind::kPoisonNaN:
+      return "POISON_NAN";
+    case FaultKind::kPoisonInf:
+      return "POISON_INF";
+    case FaultKind::kFailNotConverged:
+      return "FAIL_NOT_CONVERGED";
+    case FaultKind::kFailNumerical:
+      return "FAIL_NUMERICAL";
+    case FaultKind::kFailIo:
+      return "FAIL_IO";
+  }
+  return "UNKNOWN";
+}
+
+FaultInjector& FaultInjector::Instance() {
+  static FaultInjector* instance = new FaultInjector();
+  return *instance;
+}
+
+void FaultInjector::Arm(const std::string& site, FaultSpec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SiteState& state = sites_[site];
+  if (!state.armed) armed_sites_.fetch_add(1, std::memory_order_relaxed);
+  state.spec = spec;
+  state.armed = true;
+  state.hits = 0;
+  state.triggers = 0;
+}
+
+void FaultInjector::Disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  if (it == sites_.end() || !it->second.armed) return;
+  it->second.armed = false;
+  armed_sites_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sites_.clear();
+  armed_sites_.store(0, std::memory_order_relaxed);
+}
+
+FaultKind FaultInjector::Hit(const std::string& site) {
+  if (armed_sites_.load(std::memory_order_relaxed) == 0) {
+    return FaultKind::kNone;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  if (it == sites_.end() || !it->second.armed) return FaultKind::kNone;
+  SiteState& state = it->second;
+  const int hit_index = state.hits++;
+  if (hit_index < state.spec.trigger_after) return FaultKind::kNone;
+  if (state.spec.max_triggers >= 0 &&
+      state.triggers >= state.spec.max_triggers) {
+    return FaultKind::kNone;
+  }
+  ++state.triggers;
+  return state.spec.kind;
+}
+
+int FaultInjector::HitCount(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.hits;
+}
+
+int FaultInjector::TriggerCount(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.triggers;
+}
+
+}  // namespace slampred

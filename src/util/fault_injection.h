@@ -1,0 +1,109 @@
+// Deterministic fault injection for robustness testing.
+//
+// Production code marks interesting failure points with named sites:
+//
+//   switch (SLAMPRED_FAULT_HIT("svd.prox")) { ... }
+//
+// Tests arm a site with a FaultSpec (what to inject, after how many
+// hits, how many times) through the process-wide FaultInjector. The
+// counting is fully deterministic — no randomness, no time — so a test
+// that arms "fb.grad_step" to poison the 3rd hit always poisons exactly
+// the 3rd gradient step.
+//
+// When the library is configured with SLAMPRED_FAULT_INJECTION=OFF the
+// macro compiles to the constant kNone and the whole mechanism
+// disappears from the binary. When compiled in but nothing is armed,
+// each hit costs one relaxed atomic load.
+//
+// Known injection sites wired into the library:
+//   "svd.prox"        nuclear-norm prox (proximal.cc, randomized_svd.cc)
+//   "fb.grad_step"    forward–backward gradient step (forward_backward.cc)
+//   "graph_io.parse"  per-line network/anchor parsing (graph_io.cc)
+
+#ifndef SLAMPRED_UTIL_FAULT_INJECTION_H_
+#define SLAMPRED_UTIL_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace slampred {
+
+/// What an armed site injects when it triggers.
+enum class FaultKind : int {
+  kNone = 0,           ///< No fault at this hit.
+  kPoisonNaN,          ///< Caller should poison its state with NaN.
+  kPoisonInf,          ///< Caller should poison its state with +Inf.
+  kFailNotConverged,   ///< Caller should fail with kNotConverged.
+  kFailNumerical,      ///< Caller should fail with kNumericalError.
+  kFailIo,             ///< Caller should fail with kIoError.
+};
+
+/// Returns a stable name for a fault kind (for logs and test messages).
+const char* FaultKindToString(FaultKind kind);
+
+/// How an armed site behaves over successive hits.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kPoisonNaN;
+  /// Number of hits to let pass before the first trigger (0 = trigger on
+  /// the very first hit).
+  int trigger_after = 0;
+  /// Maximum number of triggers; < 0 means trigger on every eligible hit.
+  int max_triggers = 1;
+};
+
+/// Process-wide deterministic fault injector. Thread-safe; intended to
+/// be armed from tests only.
+class FaultInjector {
+ public:
+  /// The process-wide instance.
+  static FaultInjector& Instance();
+
+  /// Arms (or re-arms) `site` with `spec`, resetting its counters.
+  void Arm(const std::string& site, FaultSpec spec);
+
+  /// Disarms `site`; its counters survive for inspection until Reset.
+  void Disarm(const std::string& site);
+
+  /// Disarms every site and clears all counters.
+  void Reset();
+
+  /// Records a hit at `site` and returns the fault to inject now
+  /// (kNone when the site is unarmed or outside its trigger window).
+  FaultKind Hit(const std::string& site);
+
+  /// Total hits recorded at `site` since it was last armed/reset.
+  int HitCount(const std::string& site) const;
+
+  /// Number of faults actually injected at `site`.
+  int TriggerCount(const std::string& site) const;
+
+ private:
+  FaultInjector() = default;
+
+  struct SiteState {
+    FaultSpec spec;
+    bool armed = false;
+    int hits = 0;
+    int triggers = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, SiteState> sites_;
+  // Fast-path gate: number of currently armed sites. Checked without the
+  // lock so unarmed hot loops pay one relaxed load per hit.
+  std::atomic<int> armed_sites_{0};
+};
+
+}  // namespace slampred
+
+#if defined(SLAMPRED_FAULT_INJECTION_ENABLED) && SLAMPRED_FAULT_INJECTION_ENABLED
+#define SLAMPRED_FAULT_HIT(site) \
+  (::slampred::FaultInjector::Instance().Hit(site))
+#else
+#define SLAMPRED_FAULT_HIT(site) (::slampred::FaultKind::kNone)
+#endif
+
+#endif  // SLAMPRED_UTIL_FAULT_INJECTION_H_

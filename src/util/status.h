@@ -141,12 +141,23 @@ class Result {
     if (!_st.ok()) return _st;                  \
   } while (false)
 
+// Two-level paste indirection so __LINE__ expands before ## is applied;
+// a direct `_res_##__LINE__` would paste the literal token `__LINE__`
+// and collide across multiple uses in one scope.
+#define SLAMPRED_INTERNAL_CONCAT_IMPL(a, b) a##b
+#define SLAMPRED_INTERNAL_CONCAT(a, b) SLAMPRED_INTERNAL_CONCAT_IMPL(a, b)
+
+#define SLAMPRED_INTERNAL_ASSIGN_OR_RETURN(result, lhs, expr) \
+  auto result = (expr);                                       \
+  if (!result.ok()) return result.status();                   \
+  lhs = std::move(result).value()
+
 /// Evaluates a Result-returning expression, propagating failure and
-/// otherwise binding the value to `lhs`.
-#define SLAMPRED_ASSIGN_OR_RETURN(lhs, expr)    \
-  auto _res_##__LINE__ = (expr);                \
-  if (!_res_##__LINE__.ok()) return _res_##__LINE__.status(); \
-  lhs = std::move(_res_##__LINE__).value()
+/// otherwise binding the value to `lhs`. Usable more than once per
+/// scope (the temporary's name is line-unique).
+#define SLAMPRED_ASSIGN_OR_RETURN(lhs, expr)           \
+  SLAMPRED_INTERNAL_ASSIGN_OR_RETURN(                  \
+      SLAMPRED_INTERNAL_CONCAT(_slampred_res_, __LINE__), lhs, expr)
 
 }  // namespace slampred
 

@@ -112,6 +112,112 @@ TEST(GraphIoTest, AnchorsRejectConflicts) {
   EXPECT_NE(parsed.status().message().find("line 3"), std::string::npos);
 }
 
+TEST(GraphIoTest, TruncatedFileStrictFailsLenientRecovers) {
+  // A tail cut mid-record, as after a partial write or disk-full.
+  const std::string truncated =
+      "network demo\nnodes user 4\nedge friend 0 1\nedge friend 2\n";
+
+  auto strict = ParseNetwork(truncated);
+  ASSERT_FALSE(strict.ok());
+  EXPECT_NE(strict.status().message().find("line 4"), std::string::npos);
+
+  ParseStats stats;
+  auto lenient =
+      ParseNetwork(truncated, ParseOptions{ParsePolicy::kLenient}, &stats);
+  ASSERT_TRUE(lenient.ok()) << lenient.status().ToString();
+  EXPECT_EQ(stats.lines_total, 4u);
+  EXPECT_EQ(stats.lines_skipped, 1u);
+  EXPECT_FALSE(stats.first_error.ok());
+  EXPECT_EQ(lenient.value().NumEdges(EdgeType::kFriend), 1u);
+}
+
+TEST(GraphIoTest, GarbageLineSkippedUnderLenientPolicy) {
+  const std::string text =
+      "nodes user 3\n<<<< merge conflict >>>>\nedge friend 0 2\n";
+  EXPECT_FALSE(ParseNetwork(text).ok());
+
+  ParseStats stats;
+  auto lenient =
+      ParseNetwork(text, ParseOptions{ParsePolicy::kLenient}, &stats);
+  ASSERT_TRUE(lenient.ok());
+  EXPECT_EQ(stats.lines_skipped, 1u);
+  EXPECT_NE(stats.first_error.message().find("line 2"), std::string::npos);
+  EXPECT_TRUE(lenient.value().HasEdge(EdgeType::kFriend, 0, 2));
+}
+
+TEST(GraphIoTest, OutOfRangeNodeIdReportsLineUnderStrict) {
+  const std::string text = "nodes user 2\nedge friend 0 1\nedge friend 1 7\n";
+  auto strict = ParseNetwork(text);
+  ASSERT_FALSE(strict.ok());
+  EXPECT_NE(strict.status().message().find("line 3"), std::string::npos);
+
+  ParseStats stats;
+  auto lenient =
+      ParseNetwork(text, ParseOptions{ParsePolicy::kLenient}, &stats);
+  ASSERT_TRUE(lenient.ok());
+  EXPECT_EQ(stats.lines_skipped, 1u);
+  EXPECT_EQ(lenient.value().NumEdges(EdgeType::kFriend), 1u);
+}
+
+TEST(GraphIoTest, DuplicateEdgeStrictFailsWithLineNumber) {
+  // Friend edges are undirected, so the reversed record is a duplicate.
+  auto dup = ParseNetwork("nodes user 3\nedge friend 0 1\nedge friend 1 0\n");
+  ASSERT_FALSE(dup.ok());
+  EXPECT_NE(dup.status().message().find("line 3"), std::string::npos);
+  EXPECT_NE(dup.status().message().find("duplicate edge"), std::string::npos);
+}
+
+TEST(GraphIoTest, DuplicateEdgeLenientCountsAndKeepsGraph) {
+  ParseStats stats;
+  auto lenient = ParseNetwork(
+      "nodes user 3\nedge friend 0 1\nedge friend 1 0\nedge friend 1 2\n",
+      ParseOptions{ParsePolicy::kLenient}, &stats);
+  ASSERT_TRUE(lenient.ok());
+  EXPECT_EQ(stats.duplicate_edges, 1u);
+  EXPECT_EQ(stats.lines_skipped, 0u);  // Duplicates are counted, not skipped.
+  EXPECT_NE(stats.first_error.message().find("duplicate edge"),
+            std::string::npos);
+  EXPECT_EQ(lenient.value().NumEdges(EdgeType::kFriend), 2u);
+}
+
+TEST(GraphIoTest, CleanParsePopulatesStatsWithZeros) {
+  ParseStats stats;
+  auto parsed = ParseNetwork("nodes user 2\nedge friend 0 1\n",
+                             ParseOptions{ParsePolicy::kLenient}, &stats);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(stats.lines_total, 2u);
+  EXPECT_EQ(stats.lines_skipped, 0u);
+  EXPECT_EQ(stats.duplicate_edges, 0u);
+  EXPECT_TRUE(stats.first_error.ok());
+}
+
+TEST(GraphIoTest, DuplicateAnchorPolicies) {
+  const std::string text = "anchors 3 3\nanchor 0 0\nanchor 0 0\nanchor 1 2\n";
+  auto strict = ParseAnchors(text);
+  ASSERT_FALSE(strict.ok());
+  EXPECT_NE(strict.status().message().find("line 3"), std::string::npos);
+
+  ParseStats stats;
+  auto lenient =
+      ParseAnchors(text, ParseOptions{ParsePolicy::kLenient}, &stats);
+  ASSERT_TRUE(lenient.ok()) << lenient.status().ToString();
+  EXPECT_EQ(stats.duplicate_edges, 1u);
+  EXPECT_EQ(lenient.value().size(), 2u);
+}
+
+TEST(GraphIoTest, LenientAnchorsSalvageConflicts) {
+  // A conflicting re-anchor (0 already anchored to 0) is skipped.
+  ParseStats stats;
+  auto lenient =
+      ParseAnchors("anchors 3 3\nanchor 0 0\nanchor 0 1\nanchor 2 2\n",
+                   ParseOptions{ParsePolicy::kLenient}, &stats);
+  ASSERT_TRUE(lenient.ok()) << lenient.status().ToString();
+  EXPECT_EQ(stats.lines_skipped, 1u);
+  EXPECT_EQ(lenient.value().size(), 2u);
+  EXPECT_TRUE(lenient.value().Contains(0, 0));
+  EXPECT_TRUE(lenient.value().Contains(2, 2));
+}
+
 TEST(GraphIoTest, AnchorsFileRoundTrip) {
   const std::string path = ::testing::TempDir() + "/slampred_anchor_test.txt";
   AnchorLinks anchors(3, 3);

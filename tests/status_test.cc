@@ -83,6 +83,37 @@ TEST(StatusMacrosTest, AssignOrReturnBindsValue) {
   EXPECT_EQ(out, 7);
 }
 
+// Regression: the macro's temporary must be line-unique, so two uses in
+// the same scope must compile (the old `_res_##__LINE__` pasted the
+// literal token `__LINE__` and collided).
+Status UsesAssignOrReturnTwice(int* out) {
+  SLAMPRED_ASSIGN_OR_RETURN(const int a, MakeValue());
+  SLAMPRED_ASSIGN_OR_RETURN(const int b, MakeValue());
+  *out = a + b;
+  return Status::OK();
+}
+
+Result<int> FailingValue() { return Status::NotFound("no value"); }
+
+Status AssignOrReturnPropagates(int* out) {
+  SLAMPRED_ASSIGN_OR_RETURN(const int a, MakeValue());
+  SLAMPRED_ASSIGN_OR_RETURN(const int b, FailingValue());
+  *out = a + b;
+  return Status::OK();
+}
+
+TEST(StatusMacrosTest, AssignOrReturnTwiceInOneScope) {
+  int out = 0;
+  ASSERT_TRUE(UsesAssignOrReturnTwice(&out).ok());
+  EXPECT_EQ(out, 14);
+}
+
+TEST(StatusMacrosTest, AssignOrReturnPropagatesFailureFromSecondUse) {
+  int out = 0;
+  EXPECT_EQ(AssignOrReturnPropagates(&out).code(), StatusCode::kNotFound);
+  EXPECT_EQ(out, 0);
+}
+
 TEST(StatusCodeTest, AllCodesHaveNames) {
   EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kNotConverged),

@@ -5,13 +5,18 @@
 //       source.txt and anchors.txt in DIR (graph_io text format).
 //
 //   slampred_cli predict --target FILE --source FILE --anchors FILE
-//                        [--method NAME] [--top K]
+//                        [--method NAME] [--top K] [--io-policy POLICY]
 //       Fit on the full observed structure and print the top-K scored
-//       *unobserved* target pairs.
+//       *unobserved* target pairs. Any solver recoveries taken during
+//       the fit are reported on stderr.
 //
 //   slampred_cli evaluate --target FILE --source FILE --anchors FILE
-//                         [--method NAME] [--folds K]
+//                         [--method NAME] [--folds K] [--io-policy POLICY]
 //       Cross-validated AUC / Precision@100 for one method.
+//
+// --io-policy is `strict` (default: first malformed input record fails
+// the load with a line-numbered error) or `lenient` (bad records are
+// skipped; skip counts are reported on stderr).
 //
 // Methods: SLAMPRED (default), SLAMPRED-T, SLAMPRED-H, PL, PL-T, PL-S,
 // SCAN, SCAN-T, SCAN-S, JC, CN, PA.
@@ -105,6 +110,16 @@ int Generate(const Flags& flags) {
   return 0;
 }
 
+// Reports what a lenient load had to skip, so silently-degraded input
+// is visible on stderr.
+void ReportParseStats(const std::string& path, const ParseStats& stats) {
+  if (stats.lines_skipped == 0 && stats.duplicate_edges == 0) return;
+  std::fprintf(stderr,
+               "%s: skipped %zu bad record(s), %zu duplicate(s); first: %s\n",
+               path.c_str(), stats.lines_skipped, stats.duplicate_edges,
+               stats.first_error.ToString().c_str());
+}
+
 Result<AlignedNetworks> LoadBundle(const Flags& flags) {
   const auto target_path = flags.GetRequired("target");
   const auto source_path = flags.GetRequired("source");
@@ -112,12 +127,27 @@ Result<AlignedNetworks> LoadBundle(const Flags& flags) {
   if (!target_path || !source_path || !anchors_path) {
     return Status::InvalidArgument("missing input paths");
   }
-  auto target = LoadNetwork(*target_path);
+  const std::string policy_name = flags.Get("io-policy", "strict");
+  ParseOptions io;
+  if (policy_name == "lenient") {
+    io.policy = ParsePolicy::kLenient;
+  } else if (policy_name != "strict") {
+    return Status::InvalidArgument("--io-policy must be strict or lenient, got " +
+                                   policy_name);
+  }
+
+  ParseStats stats;
+  auto target = LoadNetwork(*target_path, io, &stats);
   if (!target.ok()) return target.status();
-  auto source = LoadNetwork(*source_path);
+  ReportParseStats(*target_path, stats);
+  stats = ParseStats{};
+  auto source = LoadNetwork(*source_path, io, &stats);
   if (!source.ok()) return source.status();
-  auto anchors = LoadAnchors(*anchors_path);
+  ReportParseStats(*source_path, stats);
+  stats = ParseStats{};
+  auto anchors = LoadAnchors(*anchors_path, io, &stats);
   if (!anchors.ok()) return anchors.status();
+  ReportParseStats(*anchors_path, stats);
   AlignedNetworks bundle(std::move(target).value());
   bundle.AddSource(std::move(source).value(), std::move(anchors).value());
   return bundle;
@@ -142,6 +172,10 @@ int Predict(const Flags& flags) {
   if (!fit.ok()) {
     std::fprintf(stderr, "%s\n", fit.ToString().c_str());
     return 1;
+  }
+  if (model.trace().recovery.Total() > 0) {
+    std::fprintf(stderr, "solver recoveries: %s\n",
+                 model.trace().recovery.ToString().c_str());
   }
 
   // Rank all unobserved pairs.
