@@ -10,6 +10,7 @@
 #include "eval/link_split.h"
 #include "util/csv_writer.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 int main() {
   using namespace slampred;
@@ -63,5 +64,12 @@ int main() {
     std::printf("solver recoveries: %s\n",
                 model.trace().recovery.ToString().c_str());
   }
+  const FitPhaseTimes& times = model.phase_times();
+  std::printf(
+      "phase times (s): features %.3f | embedding %.3f | cccp %.3f | "
+      "svd %.3f | total %.3f  [%zu thread(s)]\n",
+      times.features_seconds, times.embedding_seconds, times.cccp_seconds,
+      times.svd_seconds, times.total_seconds,
+      ThreadPool::Global().num_threads());
   return 0;
 }

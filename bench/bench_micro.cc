@@ -1,21 +1,58 @@
 // EXP-M — google-benchmark micro-benchmarks of the numerical kernels the
 // experiments spend their time in: GEMM, SVD, symmetric eigen, the two
 // proximal operators, feature extraction and AUC computation.
+//
+// Parallelized kernels run over a (n, threads) grid so serial vs.
+// parallel timings land in the same report; pass
+// --benchmark_out=BENCH_micro.json --benchmark_out_format=json (or use
+// the `bench_micro_json` CMake target / tools/run_bench_micro.sh) to
+// record them. Results are bit-identical across the threads axis by the
+// pool's determinism contract; only the timing changes.
 
 #include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
 
 #include "datagen/aligned_generator.h"
 #include "eval/metrics.h"
 #include "features/structural_features.h"
 #include "linalg/matrix.h"
+#include "linalg/matrix_ops.h"
 #include "linalg/randomized_svd.h"
 #include "linalg/svd.h"
 #include "linalg/symmetric_eigen.h"
 #include "optim/proximal.h"
 #include "util/random.h"
+#include "util/thread_pool.h"
 
 namespace slampred {
 namespace {
+
+// Pins the global pool to the benchmark's `threads` argument for the
+// duration of one benchmark run, restoring the previous size after.
+class ThreadCountGuard {
+ public:
+  explicit ThreadCountGuard(std::size_t threads)
+      : previous_(ThreadPool::Global().num_threads()) {
+    ThreadPool::Global().Resize(threads);
+  }
+  ~ThreadCountGuard() { ThreadPool::Global().Resize(previous_); }
+
+  ThreadCountGuard(const ThreadCountGuard&) = delete;
+  ThreadCountGuard& operator=(const ThreadCountGuard&) = delete;
+
+ private:
+  std::size_t previous_;
+};
+
+// (n, threads) grid for the parallelized kernels.
+void SizeThreadGrid(benchmark::internal::Benchmark* b,
+                    std::vector<std::int64_t> sizes) {
+  b->ArgsProduct({std::move(sizes), {1, 4}})->ArgNames({"n", "threads"});
+}
 
 Matrix RandomMatrix(std::size_t n, std::uint64_t seed) {
   Rng rng(seed);
@@ -24,6 +61,7 @@ Matrix RandomMatrix(std::size_t n, std::uint64_t seed) {
 
 void BM_Gemm(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
+  ThreadCountGuard guard(static_cast<std::size_t>(state.range(1)));
   const Matrix a = RandomMatrix(n, 1);
   const Matrix b = RandomMatrix(n, 2);
   for (auto _ : state) {
@@ -31,7 +69,34 @@ void BM_Gemm(benchmark::State& state) {
   }
   state.SetComplexityN(state.range(0));
 }
-BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128)->Complexity();
+BENCHMARK(BM_Gemm)->Apply([](benchmark::internal::Benchmark* b) {
+  SizeThreadGrid(b, {32, 64, 128, 256});
+});
+
+void BM_MultiplyABt(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  ThreadCountGuard guard(static_cast<std::size_t>(state.range(1)));
+  const Matrix a = RandomMatrix(n, 12);
+  const Matrix b = RandomMatrix(n, 13);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MultiplyABt(a, b));
+  }
+}
+BENCHMARK(BM_MultiplyABt)->Apply([](benchmark::internal::Benchmark* b) {
+  SizeThreadGrid(b, {64, 128, 256});
+});
+
+void BM_GramAtA(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  ThreadCountGuard guard(static_cast<std::size_t>(state.range(1)));
+  const Matrix a = RandomMatrix(n, 14);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GramAtA(a));
+  }
+}
+BENCHMARK(BM_GramAtA)->Apply([](benchmark::internal::Benchmark* b) {
+  SizeThreadGrid(b, {64, 128, 256});
+});
 
 void BM_Svd(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
@@ -42,6 +107,21 @@ void BM_Svd(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Svd)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_RandomizedSvd(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  ThreadCountGuard guard(static_cast<std::size_t>(state.range(1)));
+  const Matrix a = RandomMatrix(n, 15);
+  RandomizedSvdOptions options;
+  options.rank = 16;
+  for (auto _ : state) {
+    auto svd = ComputeRandomizedSvd(a, options);
+    benchmark::DoNotOptimize(svd);
+  }
+}
+BENCHMARK(BM_RandomizedSvd)->Apply([](benchmark::internal::Benchmark* b) {
+  SizeThreadGrid(b, {64, 128, 256});
+});
 
 void BM_SymmetricEigen(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
@@ -55,25 +135,33 @@ BENCHMARK(BM_SymmetricEigen)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
 
 void BM_ProxL1(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
+  ThreadCountGuard guard(static_cast<std::size_t>(state.range(1)));
   const Matrix s = RandomMatrix(n, 5);
   for (auto _ : state) {
     benchmark::DoNotOptimize(ProxL1(s, 0.1));
   }
 }
-BENCHMARK(BM_ProxL1)->Arg(64)->Arg(256);
+BENCHMARK(BM_ProxL1)->Apply([](benchmark::internal::Benchmark* b) {
+  SizeThreadGrid(b, {64, 256, 512});
+});
 
 void BM_ProxNuclearSymmetric(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
+  ThreadCountGuard guard(static_cast<std::size_t>(state.range(1)));
   const Matrix s = RandomMatrix(n, 6).Symmetrized();
   for (auto _ : state) {
     auto prox = ProxNuclearSymmetric(s, 0.1);
     benchmark::DoNotOptimize(prox);
   }
 }
-BENCHMARK(BM_ProxNuclearSymmetric)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK(BM_ProxNuclearSymmetric)
+    ->Apply([](benchmark::internal::Benchmark* b) {
+      SizeThreadGrid(b, {32, 64, 128});
+    });
 
 void BM_ProxNuclearRandomized(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
+  ThreadCountGuard guard(static_cast<std::size_t>(state.range(1)));
   // Near-low-rank input: the regime where the sketch pays off.
   Rng rng(7);
   const Matrix u = Matrix::RandomGaussian(n, 8, rng);
@@ -92,7 +180,10 @@ void BM_ProxNuclearRandomized(benchmark::State& state) {
     benchmark::DoNotOptimize(prox);
   }
 }
-BENCHMARK(BM_ProxNuclearRandomized)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK(BM_ProxNuclearRandomized)
+    ->Apply([](benchmark::internal::Benchmark* b) {
+      SizeThreadGrid(b, {64, 128, 256});
+    });
 
 SocialGraph BenchGraph(std::size_t n) {
   Rng rng(7);
@@ -106,11 +197,14 @@ SocialGraph BenchGraph(std::size_t n) {
 
 void BM_CommonNeighbors(benchmark::State& state) {
   const SocialGraph g = BenchGraph(static_cast<std::size_t>(state.range(0)));
+  ThreadCountGuard guard(static_cast<std::size_t>(state.range(1)));
   for (auto _ : state) {
     benchmark::DoNotOptimize(CommonNeighborsMap(g));
   }
 }
-BENCHMARK(BM_CommonNeighbors)->Arg(128)->Arg(256);
+BENCHMARK(BM_CommonNeighbors)->Apply([](benchmark::internal::Benchmark* b) {
+  SizeThreadGrid(b, {128, 256});
+});
 
 void BM_TruncatedKatz(benchmark::State& state) {
   const SocialGraph g = BenchGraph(static_cast<std::size_t>(state.range(0)));
@@ -149,4 +243,13 @@ BENCHMARK(BM_GenerateBundle)->Arg(60)->Arg(120);
 }  // namespace
 }  // namespace slampred
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);  // Handles --benchmark_out=... etc.
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::AddCustomContext(
+      "slampred_default_threads",
+      std::to_string(slampred::ThreadPool::Global().num_threads()));
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,39 +1,60 @@
 #include "baselines/unsupervised.h"
 
+#include "util/thread_pool.h"
+
 namespace slampred {
+
+namespace {
+
+// Pairs are scored independently into a pre-sized vector: each index
+// has exactly one writing chunk, so the parallel sweep is bit-identical
+// to the serial one.
+constexpr std::size_t kScoreWorkPerPair = 64;
+
+}  // namespace
 
 Result<std::vector<double>> PaPredictor::ScorePairs(
     const std::vector<UserPair>& pairs) const {
-  std::vector<double> scores;
-  scores.reserve(pairs.size());
-  for (const UserPair& p : pairs) {
-    scores.push_back(static_cast<double>(graph_.Degree(p.u)) *
-                     static_cast<double>(graph_.Degree(p.v)));
-  }
+  std::vector<double> scores(pairs.size(), 0.0);
+  ParallelFor(0, pairs.size(), GrainForWork(kScoreWorkPerPair),
+              [&](std::size_t i0, std::size_t i1) {
+                for (std::size_t i = i0; i < i1; ++i) {
+                  const UserPair& p = pairs[i];
+                  scores[i] = static_cast<double>(graph_.Degree(p.u)) *
+                              static_cast<double>(graph_.Degree(p.v));
+                }
+              });
   return scores;
 }
 
 Result<std::vector<double>> CnPredictor::ScorePairs(
     const std::vector<UserPair>& pairs) const {
-  std::vector<double> scores;
-  scores.reserve(pairs.size());
-  for (const UserPair& p : pairs) {
-    scores.push_back(
-        static_cast<double>(graph_.CommonNeighborCount(p.u, p.v)));
-  }
+  std::vector<double> scores(pairs.size(), 0.0);
+  ParallelFor(0, pairs.size(), GrainForWork(kScoreWorkPerPair),
+              [&](std::size_t i0, std::size_t i1) {
+                for (std::size_t i = i0; i < i1; ++i) {
+                  const UserPair& p = pairs[i];
+                  scores[i] = static_cast<double>(
+                      graph_.CommonNeighborCount(p.u, p.v));
+                }
+              });
   return scores;
 }
 
 Result<std::vector<double>> JcPredictor::ScorePairs(
     const std::vector<UserPair>& pairs) const {
-  std::vector<double> scores;
-  scores.reserve(pairs.size());
-  for (const UserPair& p : pairs) {
-    const double inter =
-        static_cast<double>(graph_.CommonNeighborCount(p.u, p.v));
-    const double uni = static_cast<double>(graph_.NeighborUnionCount(p.u, p.v));
-    scores.push_back(uni > 0.0 ? inter / uni : 0.0);
-  }
+  std::vector<double> scores(pairs.size(), 0.0);
+  ParallelFor(0, pairs.size(), GrainForWork(kScoreWorkPerPair),
+              [&](std::size_t i0, std::size_t i1) {
+                for (std::size_t i = i0; i < i1; ++i) {
+                  const UserPair& p = pairs[i];
+                  const double inter = static_cast<double>(
+                      graph_.CommonNeighborCount(p.u, p.v));
+                  const double uni = static_cast<double>(
+                      graph_.NeighborUnionCount(p.u, p.v));
+                  scores[i] = uni > 0.0 ? inter / uni : 0.0;
+                }
+              });
   return scores;
 }
 

@@ -5,6 +5,7 @@
 #include "optim/objective.h"
 #include "util/logging.h"
 #include "util/random.h"
+#include "util/stopwatch.h"
 
 namespace slampred {
 
@@ -25,6 +26,14 @@ SlamPred::SlamPred(SlamPredConfig config) : config_(std::move(config)) {}
 
 Status SlamPred::Fit(const AlignedNetworks& networks,
                      const SocialGraph& target_structure) {
+  // Phase wall clocks. The fit runs on a single thread (nested
+  // ParallelFor serialises), so the thread-local SVD accumulator delta
+  // is this fit's own SVD total.
+  phase_times_ = FitPhaseTimes();
+  const double svd_seconds_before = SvdSecondsThisThread();
+  Stopwatch total_watch;
+  Stopwatch phase_watch;
+
   const std::size_t n = networks.target().NumUsers();
   if (target_structure.num_users() != n) {
     return Status::InvalidArgument(
@@ -69,6 +78,9 @@ Status SlamPred::Fit(const AlignedNetworks& networks,
     }
   }
 
+  phase_times_.features_seconds = phase_watch.ElapsedSeconds();
+  phase_watch.Restart();
+
   // Feature-space projection (Theorem 1) — or the ablation passthrough.
   // The projection is applied in every variant (with no sources it
   // degrades to a within-network embedding) so that SLAMPRED at anchor
@@ -109,6 +121,9 @@ Status SlamPred::Fit(const AlignedNetworks& networks,
     adapted_tensors_.push_back(std::move(raw_tensors[0]));
   }
 
+  phase_times_.embedding_seconds = phase_watch.ElapsedSeconds();
+  phase_watch.Restart();
+
   // Intimacy weights: αᵗ then α^k per transferred source. Each weight is
   // divided by its tensor's slice count so Σ_c X̂(c,:,:) stays on the
   // same [0, 1] scale regardless of how many feature slices a network
@@ -140,7 +155,11 @@ Status SlamPred::Fit(const AlignedNetworks& networks,
   objective.loss = config_.loss;
 
   trace_ = CccpTrace();
+  phase_watch.Restart();  // The CCCP phase starts at the solve proper.
   auto solution = SolveCccp(objective, config_.optimization, &trace_);
+  phase_times_.cccp_seconds = phase_watch.ElapsedSeconds();
+  phase_times_.svd_seconds = SvdSecondsThisThread() - svd_seconds_before;
+  phase_times_.total_seconds = total_watch.ElapsedSeconds();
   if (!solution.ok()) return solution.status();
   s_ = std::move(solution).value();
   fitted_ = true;

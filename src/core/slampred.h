@@ -91,6 +91,18 @@ struct SlamPredConfig {
 SlamPredConfig SlamPredTargetOnlyConfig();
 SlamPredConfig SlamPredHomogeneousConfig();
 
+/// Wall-clock breakdown of the last Fit, surfaced by the CLI and the
+/// Figure-3 bench next to the recovery stats. `svd_seconds` is the time
+/// spent inside SVD/eigen kernels across all phases (it overlaps the
+/// other entries rather than adding to them).
+struct FitPhaseTimes {
+  double features_seconds = 0.0;
+  double embedding_seconds = 0.0;
+  double cccp_seconds = 0.0;
+  double svd_seconds = 0.0;
+  double total_seconds = 0.0;
+};
+
 /// The SLAMPRED estimator. Usage:
 ///   SlamPred model(config);
 ///   SLAMPRED_RETURN_NOT_OK(model.Fit(networks, training_graph));
@@ -114,6 +126,9 @@ class SlamPred : public LinkPredictor {
   /// Optimisation trace of the last Fit (drives the Figure-3 series).
   const CccpTrace& trace() const { return trace_; }
 
+  /// Per-phase wall times of the last Fit.
+  const FitPhaseTimes& phase_times() const { return phase_times_; }
+
   /// The adapted feature tensors of the last Fit (target coordinates).
   const std::vector<Tensor3>& adapted_tensors() const {
     return adapted_tensors_;
@@ -129,6 +144,7 @@ class SlamPred : public LinkPredictor {
   SlamPredConfig config_;
   Matrix s_;
   CccpTrace trace_;
+  FitPhaseTimes phase_times_;
   std::vector<Tensor3> adapted_tensors_;
   bool fitted_ = false;
 };

@@ -1,11 +1,14 @@
 #include "eval/experiment.h"
 
 #include <cmath>
+#include <utility>
+#include <vector>
 
 #include "baselines/unsupervised.h"
 #include "eval/anchor_sampler.h"
 #include "features/feature_tensor.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace slampred {
 
@@ -122,17 +125,38 @@ Result<MethodResult> ExperimentRunner::RunMethod(MethodId method,
   result.method = method;
   result.anchor_ratio = anchor_ratio;
 
-  for (std::size_t f = 0; f < folds_.size(); ++f) {
-    // Per-(method, ratio, fold) deterministic stream.
-    Rng rng(options_.seed ^
-            (static_cast<std::uint64_t>(method) * 7919 + f * 104729 +
-             static_cast<std::uint64_t>(
-                 std::lround(anchor_ratio * 1000.0)) * 15485863));
-    auto fold_result = RunFold(method, bundle, f, rng);
-    if (!fold_result.ok()) return fold_result.status();
-    result.auc_folds.push_back(fold_result.value().first);
-    result.precision_folds.push_back(fold_result.value().second);
+  // Folds are independent (their own Rng stream, read-only shared
+  // state) and run in parallel, one fold per chunk; results land at the
+  // fold's own index, so fold order — and hence the mean/std — is
+  // unchanged. Nested ParallelFor calls inside a fit fall back to
+  // serial automatically.
+  const std::size_t num_folds = folds_.size();
+  std::vector<double> auc_folds(num_folds, 0.0);
+  std::vector<double> precision_folds(num_folds, 0.0);
+  std::vector<Status> fold_status(num_folds, Status::OK());
+  ParallelFor(0, num_folds, 1, [&](std::size_t f0, std::size_t f1) {
+    for (std::size_t f = f0; f < f1; ++f) {
+      // Per-(method, ratio, fold) deterministic stream.
+      Rng rng(options_.seed ^
+              (static_cast<std::uint64_t>(method) * 7919 + f * 104729 +
+               static_cast<std::uint64_t>(
+                   std::lround(anchor_ratio * 1000.0)) * 15485863));
+      auto fold_result = RunFold(method, bundle, f, rng);
+      if (!fold_result.ok()) {
+        fold_status[f] = fold_result.status();
+        continue;
+      }
+      auc_folds[f] = fold_result.value().first;
+      precision_folds[f] = fold_result.value().second;
+    }
+  });
+  // Surface the first failure in fold order (matching the serial loop's
+  // early return).
+  for (const Status& st : fold_status) {
+    if (!st.ok()) return st;
   }
+  result.auc_folds = std::move(auc_folds);
+  result.precision_folds = std::move(precision_folds);
   result.auc = ComputeMeanStd(result.auc_folds);
   result.precision = ComputeMeanStd(result.precision_folds);
   return result;

@@ -6,6 +6,7 @@
 #include "features/meta_path_features.h"
 #include "features/structural_features.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace slampred {
 
@@ -76,17 +77,22 @@ Tensor3 BuildFeatureTensor(const HeterogeneousNetwork& network,
         const Matrix a = structure.AdjacencyMatrix();
         Matrix counts = a * a;
         Matrix sim(n, n);
-        for (std::size_t u = 0; u < n; ++u) {
-          const double cu = counts(u, u);
-          if (cu <= 0.0) continue;
-          for (std::size_t v = u + 1; v < n; ++v) {
-            const double cv = counts(v, v);
-            if (cv <= 0.0) continue;
-            const double value = counts(u, v) / std::sqrt(cu * cv);
-            sim(u, v) = value;
-            sim(v, u) = value;
-          }
-        }
+        // Full-row form so every row has one writing chunk; counts is
+        // symmetric and sqrt(cu*cv) == sqrt(cv*cu), so (u,v) and (v,u)
+        // still match exactly.
+        ParallelFor(0, n, GrainForWork(n),
+                    [&](std::size_t row0, std::size_t row1) {
+                      for (std::size_t u = row0; u < row1; ++u) {
+                        const double cu = counts(u, u);
+                        if (cu <= 0.0) continue;
+                        for (std::size_t v = 0; v < n; ++v) {
+                          if (v == u) continue;
+                          const double cv = counts(v, v);
+                          if (cv <= 0.0) continue;
+                          sim(u, v) = counts(u, v) / std::sqrt(cu * cv);
+                        }
+                      }
+                    });
         add(std::move(sim));
       } else {
         add(MetaPathSimilarityMap(network, path));
@@ -97,7 +103,13 @@ Tensor3 BuildFeatureTensor(const HeterogeneousNetwork& network,
 
   tensor.NormalizeSlicesMinMax();
   if (options.sqrt_transform) {
-    for (double& v : tensor.data()) v = std::sqrt(v);
+    double* td = tensor.data().data();
+    ParallelFor(0, tensor.data().size(), GrainForWork(1),
+                [&](std::size_t i0, std::size_t i1) {
+                  for (std::size_t i = i0; i < i1; ++i) {
+                    td[i] = std::sqrt(td[i]);
+                  }
+                });
   }
   return tensor;
 }

@@ -1,6 +1,9 @@
 #include "features/structural_features.h"
 
 #include <cmath>
+#include <vector>
+
+#include "util/thread_pool.h"
 
 namespace slampred {
 
@@ -8,24 +11,36 @@ namespace {
 
 // Applies `score(w)` over the common neighbors w of every pair (u, v)
 // and accumulates into a symmetric map. Shared skeleton of CN/AA/RA.
+//
+// Gather form: row u collects score(w) for every two-hop path u–w–v,
+// so each map row has exactly one writing chunk and the middle nodes w
+// arrive in ascending order (neighbor lists are sorted) — the same
+// per-element accumulation order as the classic scatter loop, hence
+// bit-identical results for any thread count. Total work stays
+// O(Σ deg(w)²).
 template <typename ScoreFn>
 Matrix AccumulateCommonNeighborScores(const SocialGraph& graph,
                                       ScoreFn score) {
   const std::size_t n = graph.num_users();
-  Matrix map(n, n);
-  // For each potential middle node w, every pair of its neighbors gains
-  // score(w): O(Σ deg(w)²) instead of O(n² · deg).
+  std::vector<double> s(n, 0.0);
+  std::size_t degree_sq_sum = 0;
   for (std::size_t w = 0; w < n; ++w) {
-    const auto& nbrs = graph.Neighbors(w);
-    const double s = score(w);
-    if (s == 0.0) continue;
-    for (std::size_t a = 0; a < nbrs.size(); ++a) {
-      for (std::size_t b = a + 1; b < nbrs.size(); ++b) {
-        map(nbrs[a], nbrs[b]) += s;
-        map(nbrs[b], nbrs[a]) += s;
-      }
-    }
+    s[w] = score(w);
+    degree_sq_sum += graph.Degree(w) * graph.Degree(w);
   }
+  const std::size_t avg_row_work = n == 0 ? 1 : degree_sq_sum / n + 1;
+  Matrix map(n, n);
+  ParallelFor(0, n, GrainForWork(avg_row_work),
+              [&](std::size_t row0, std::size_t row1) {
+                for (std::size_t u = row0; u < row1; ++u) {
+                  for (std::size_t w : graph.Neighbors(u)) {
+                    if (s[w] == 0.0) continue;
+                    for (std::size_t v : graph.Neighbors(w)) {
+                      if (v != u) map(u, v) += s[w];
+                    }
+                  }
+                }
+              });
   return map;
 }
 
@@ -40,17 +55,22 @@ Matrix JaccardMap(const SocialGraph& graph) {
   const std::size_t n = graph.num_users();
   Matrix cn = CommonNeighborsMap(graph);
   Matrix map(n, n);
-  for (std::size_t u = 0; u < n; ++u) {
-    for (std::size_t v = u + 1; v < n; ++v) {
-      const double inter = cn(u, v);
-      if (inter == 0.0) continue;
-      const double uni = static_cast<double>(graph.Degree(u)) +
-                         static_cast<double>(graph.Degree(v)) - inter;
-      const double score = uni > 0.0 ? inter / uni : 0.0;
-      map(u, v) = score;
-      map(v, u) = score;
-    }
-  }
+  // Each row is computed in full by its one writing chunk; cn is exactly
+  // symmetric, so (u,v) and (v,u) still get equal scores.
+  ParallelFor(0, n, GrainForWork(n),
+              [&](std::size_t row0, std::size_t row1) {
+                for (std::size_t u = row0; u < row1; ++u) {
+                  const double du = static_cast<double>(graph.Degree(u));
+                  for (std::size_t v = 0; v < n; ++v) {
+                    if (v == u) continue;
+                    const double inter = cn(u, v);
+                    if (inter == 0.0) continue;
+                    const double uni =
+                        du + static_cast<double>(graph.Degree(v)) - inter;
+                    map(u, v) = uni > 0.0 ? inter / uni : 0.0;
+                  }
+                }
+              });
   return map;
 }
 
@@ -73,13 +93,16 @@ Matrix ResourceAllocationMap(const SocialGraph& graph) {
 Matrix PreferentialAttachmentMap(const SocialGraph& graph) {
   const std::size_t n = graph.num_users();
   Matrix map(n, n);
-  for (std::size_t u = 0; u < n; ++u) {
-    const double du = static_cast<double>(graph.Degree(u));
-    for (std::size_t v = 0; v < n; ++v) {
-      if (u == v) continue;
-      map(u, v) = du * static_cast<double>(graph.Degree(v));
-    }
-  }
+  ParallelFor(0, n, GrainForWork(n),
+              [&](std::size_t row0, std::size_t row1) {
+                for (std::size_t u = row0; u < row1; ++u) {
+                  const double du = static_cast<double>(graph.Degree(u));
+                  for (std::size_t v = 0; v < n; ++v) {
+                    if (u == v) continue;
+                    map(u, v) = du * static_cast<double>(graph.Degree(v));
+                  }
+                }
+              });
   return map;
 }
 

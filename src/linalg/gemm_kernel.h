@@ -1,0 +1,59 @@
+// The one blocked GEMM micro-kernel shared by the dense product
+// variants (Matrix::operator*, MultiplyAtB, GramAtA). Internal to
+// linalg — not part of the public surface.
+
+#ifndef SLAMPRED_LINALG_GEMM_KERNEL_H_
+#define SLAMPRED_LINALG_GEMM_KERNEL_H_
+
+#include <algorithm>
+#include <cstddef>
+
+namespace slampred {
+namespace internal {
+
+/// k-dimension tile size: one tile of the streamed B panel
+/// (kGemmKBlock rows of B) stays cache-resident while every output row
+/// of the chunk sweeps it.
+constexpr std::size_t kGemmKBlock = 128;
+
+/// Accumulates out(i, j) += Σ_k pa(i, k) · b(k, j) for output rows
+/// i ∈ [row0, row1) and columns j ∈ [col_begin(i), ncols).
+///
+/// Contract (load-bearing for the determinism guarantee):
+///   - k runs strictly ascending per output element — tiling processes
+///     k-blocks in order, so the FP accumulation order never depends on
+///     the partitioning and parallel results are bit-identical to
+///     serial ones;
+///   - zero pa(i, k) entries are skipped (sparse adjacency fast path);
+///   - `pa(i, k)` abstracts the left operand (A, or Aᵀ read in place);
+///     `b` is row-major inner_dim × ncols; `out` is row-major with
+///     stride ncols and absolute row indexing;
+///   - `col_begin(i)` is 0 for the full kernel, i for the
+///     upper-triangular Gram variant.
+template <typename PanelA, typename ColBegin>
+inline void GemmAccumulateRows(std::size_t row0, std::size_t row1,
+                               std::size_t inner_dim, std::size_t ncols,
+                               PanelA pa, const double* b, double* out,
+                               ColBegin col_begin) {
+  for (std::size_t k0 = 0; k0 < inner_dim; k0 += kGemmKBlock) {
+    const std::size_t k1 = std::min(inner_dim, k0 + kGemmKBlock);
+    for (std::size_t i = row0; i < row1; ++i) {
+      const std::size_t j0 = col_begin(i);
+      if (j0 >= ncols) continue;
+      double* out_row = out + i * ncols;
+      for (std::size_t k = k0; k < k1; ++k) {
+        const double aik = pa(i, k);
+        if (aik == 0.0) continue;
+        const double* b_row = b + k * ncols;
+        for (std::size_t j = j0; j < ncols; ++j) {
+          out_row[j] += aik * b_row[j];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace internal
+}  // namespace slampred
+
+#endif  // SLAMPRED_LINALG_GEMM_KERNEL_H_

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 
+#include "linalg/gemm_kernel.h"
 #include "util/logging.h"
 #include "util/random.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace slampred {
 
@@ -130,41 +132,52 @@ Matrix Matrix::operator*(const Matrix& other) const {
       << "matmul shape mismatch: " << rows_ << "x" << cols_ << " * "
       << other.rows_ << "x" << other.cols_;
   Matrix out(rows_, other.cols_);
-  // i-k-j loop order: streams through `other` row-wise for cache locality.
-  for (std::size_t i = 0; i < rows_; ++i) {
-    const double* a_row = &data_[i * cols_];
-    double* out_row = &out.data_[i * other.cols_];
-    for (std::size_t k = 0; k < cols_; ++k) {
-      const double a_ik = a_row[k];
-      if (a_ik == 0.0) continue;
-      const double* b_row = &other.data_[k * other.cols_];
-      for (std::size_t j = 0; j < other.cols_; ++j) {
-        out_row[j] += a_ik * b_row[j];
-      }
-    }
-  }
+  const double* a = data_.data();
+  const double* b = other.data_.data();
+  double* o = out.data_.data();
+  const std::size_t inner = cols_;
+  const std::size_t ncols = other.cols_;
+  // Row-parallel blocked kernel; every output row has one writing chunk
+  // and k ascends per element, so results match serial bit-for-bit.
+  ParallelFor(0, rows_, GrainForWork(inner * ncols),
+              [&](std::size_t row0, std::size_t row1) {
+                internal::GemmAccumulateRows(
+                    row0, row1, inner, ncols,
+                    [a, inner](std::size_t i, std::size_t k) {
+                      return a[i * inner + k];
+                    },
+                    b, o, [](std::size_t) { return std::size_t{0}; });
+              });
   return out;
 }
 
 Vector Matrix::operator*(const Vector& v) const {
   SLAMPRED_CHECK(cols_ == v.size()) << "matvec shape mismatch";
   Vector out(rows_);
-  for (std::size_t i = 0; i < rows_; ++i) {
-    const double* row = &data_[i * cols_];
-    double sum = 0.0;
-    for (std::size_t j = 0; j < cols_; ++j) sum += row[j] * v[j];
-    out[i] = sum;
-  }
+  ParallelFor(0, rows_, GrainForWork(cols_),
+              [&](std::size_t row0, std::size_t row1) {
+                for (std::size_t i = row0; i < row1; ++i) {
+                  const double* row = &data_[i * cols_];
+                  double sum = 0.0;
+                  for (std::size_t j = 0; j < cols_; ++j) sum += row[j] * v[j];
+                  out[i] = sum;
+                }
+              });
   return out;
 }
 
 Matrix Matrix::Transposed() const {
   Matrix out(cols_, rows_);
-  for (std::size_t i = 0; i < rows_; ++i) {
-    for (std::size_t j = 0; j < cols_; ++j) {
-      out(j, i) = (*this)(i, j);
-    }
-  }
+  // Parallel over *output* rows: each chunk owns a column stripe of the
+  // source and a row stripe of the destination.
+  ParallelFor(0, cols_, GrainForWork(rows_),
+              [&](std::size_t j0, std::size_t j1) {
+                for (std::size_t j = j0; j < j1; ++j) {
+                  for (std::size_t i = 0; i < rows_; ++i) {
+                    out(j, i) = (*this)(i, j);
+                  }
+                }
+              });
   return out;
 }
 
@@ -222,11 +235,14 @@ bool Matrix::IsSymmetric(double tol) const {
 Matrix Matrix::Symmetrized() const {
   SLAMPRED_CHECK(IsSquare()) << "symmetrize of non-square matrix";
   Matrix out(rows_, cols_);
-  for (std::size_t i = 0; i < rows_; ++i) {
-    for (std::size_t j = 0; j < cols_; ++j) {
-      out(i, j) = 0.5 * ((*this)(i, j) + (*this)(j, i));
-    }
-  }
+  ParallelFor(0, rows_, GrainForWork(cols_),
+              [&](std::size_t row0, std::size_t row1) {
+                for (std::size_t i = row0; i < row1; ++i) {
+                  for (std::size_t j = 0; j < cols_; ++j) {
+                    out(i, j) = 0.5 * ((*this)(i, j) + (*this)(j, i));
+                  }
+                }
+              });
   return out;
 }
 

@@ -2,27 +2,39 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
+#include <vector>
 
+#include "linalg/gemm_kernel.h"
 #include "linalg/svd.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace slampred {
 
 Matrix GramAtA(const Matrix& a) {
   const std::size_t n = a.cols();
+  const std::size_t inner = a.rows();
   Matrix g(n, n);
-  for (std::size_t k = 0; k < a.rows(); ++k) {
-    for (std::size_t i = 0; i < n; ++i) {
-      const double aki = a(k, i);
-      if (aki == 0.0) continue;
-      for (std::size_t j = i; j < n; ++j) {
-        g(i, j) += aki * a(k, j);
-      }
-    }
-  }
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = 0; j < i; ++j) g(i, j) = g(j, i);
-  }
+  const double* ad = a.data().data();
+  double* gd = g.data().data();
+  // Upper triangle through the shared micro-kernel (pa = Aᵀ read in
+  // place, col_begin(i) = i), one writing chunk per output row.
+  ParallelFor(0, n, GrainForWork(inner * n),
+              [&](std::size_t row0, std::size_t row1) {
+                internal::GemmAccumulateRows(
+                    row0, row1, inner, n,
+                    [ad, n](std::size_t i, std::size_t k) {
+                      return ad[k * n + i];
+                    },
+                    ad, gd, [](std::size_t i) { return i; });
+              });
+  ParallelFor(0, n, GrainForWork(n),
+              [&](std::size_t row0, std::size_t row1) {
+                for (std::size_t i = row0; i < row1; ++i) {
+                  for (std::size_t j = 0; j < i; ++j) g(i, j) = g(j, i);
+                }
+              });
   return g;
 }
 
@@ -30,29 +42,62 @@ Matrix GramAAt(const Matrix& a) { return MultiplyABt(a, a); }
 
 Matrix MultiplyABt(const Matrix& a, const Matrix& b) {
   SLAMPRED_CHECK(a.cols() == b.cols()) << "A*Bt shape mismatch";
+  const std::size_t inner = a.cols();
   Matrix out(a.rows(), b.rows());
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    for (std::size_t j = 0; j < b.rows(); ++j) {
-      double sum = 0.0;
-      for (std::size_t k = 0; k < a.cols(); ++k) sum += a(i, k) * b(j, k);
-      out(i, j) = sum;
-    }
-  }
+  ParallelFor(
+      0, a.rows(), GrainForWork(inner * b.rows()),
+      [&](std::size_t row0, std::size_t row1) {
+        // Zero-skip fast path (symmetric with MultiplyAtB/GramAtA): the
+        // nonzeros of row i are gathered once, then every dot against a
+        // row of B walks only them — k stays ascending per element.
+        std::vector<std::pair<std::size_t, double>> nonzeros;
+        nonzeros.reserve(inner);
+        for (std::size_t i = row0; i < row1; ++i) {
+          nonzeros.clear();
+          for (std::size_t k = 0; k < inner; ++k) {
+            const double aik = a(i, k);
+            if (aik != 0.0) nonzeros.emplace_back(k, aik);
+          }
+          if (nonzeros.empty()) continue;
+          if (nonzeros.size() == inner) {
+            // Dense row: direct dots, no indirection.
+            for (std::size_t j = 0; j < b.rows(); ++j) {
+              double sum = 0.0;
+              for (std::size_t k = 0; k < inner; ++k) {
+                sum += a(i, k) * b(j, k);
+              }
+              out(i, j) = sum;
+            }
+            continue;
+          }
+          for (std::size_t j = 0; j < b.rows(); ++j) {
+            double sum = 0.0;
+            for (const auto& [k, aik] : nonzeros) sum += aik * b(j, k);
+            out(i, j) = sum;
+          }
+        }
+      });
   return out;
 }
 
 Matrix MultiplyAtB(const Matrix& a, const Matrix& b) {
   SLAMPRED_CHECK(a.rows() == b.rows()) << "At*B shape mismatch";
-  Matrix out(a.cols(), b.cols());
-  for (std::size_t k = 0; k < a.rows(); ++k) {
-    for (std::size_t i = 0; i < a.cols(); ++i) {
-      const double aki = a(k, i);
-      if (aki == 0.0) continue;
-      for (std::size_t j = 0; j < b.cols(); ++j) {
-        out(i, j) += aki * b(k, j);
-      }
-    }
-  }
+  const std::size_t inner = a.rows();
+  const std::size_t acols = a.cols();
+  const std::size_t ncols = b.cols();
+  Matrix out(acols, ncols);
+  const double* ad = a.data().data();
+  const double* bd = b.data().data();
+  double* od = out.data().data();
+  ParallelFor(0, acols, GrainForWork(inner * ncols),
+              [&](std::size_t row0, std::size_t row1) {
+                internal::GemmAccumulateRows(
+                    row0, row1, inner, ncols,
+                    [ad, acols](std::size_t i, std::size_t k) {
+                      return ad[k * acols + i];
+                    },
+                    bd, od, [](std::size_t) { return std::size_t{0}; });
+              });
   return out;
 }
 
@@ -104,11 +149,16 @@ double SpectralNormEstimate(const Matrix& m, int iterations) {
   for (int it = 0; it < iterations; ++it) {
     Vector av = m * v;
     Vector atav(m.cols());
-    for (std::size_t j = 0; j < m.cols(); ++j) {
-      double sum = 0.0;
-      for (std::size_t i = 0; i < m.rows(); ++i) sum += m(i, j) * av[i];
-      atav[j] = sum;
-    }
+    ParallelFor(0, m.cols(), GrainForWork(m.rows()),
+                [&](std::size_t j0, std::size_t j1) {
+                  for (std::size_t j = j0; j < j1; ++j) {
+                    double sum = 0.0;
+                    for (std::size_t i = 0; i < m.rows(); ++i) {
+                      sum += m(i, j) * av[i];
+                    }
+                    atav[j] = sum;
+                  }
+                });
     const double norm = atav.Norm();
     if (norm <= 1e-300) return 0.0;
     v = atav * (1.0 / norm);

@@ -3,16 +3,21 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <vector>
 
 #include "linalg/matrix_ops.h"
 #include "linalg/qr.h"
 #include "util/fault_injection.h"
 #include "util/logging.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace slampred {
 
 Result<SvdResult> ComputeRandomizedSvd(const Matrix& a,
                                        const RandomizedSvdOptions& options) {
+  // Outermost scope: the nested ComputeSvd of the sketch counts once.
+  SvdTimerScope svd_timer;
   if (a.empty()) {
     return Status::InvalidArgument("randomized SVD of empty matrix");
   }
@@ -64,18 +69,25 @@ Result<SvdResult> ComputeRandomizedSvd(const Matrix& a,
   res.u = Matrix(m, keep);
   res.v = Matrix(n, keep);
   res.singular_values = Vector(keep);
-  // U = Q · U_small.
   for (std::size_t r = 0; r < keep; ++r) {
     res.singular_values[r] = dec.singular_values[r];
-    for (std::size_t i = 0; i < m; ++i) {
-      double sum = 0.0;
-      for (std::size_t c = 0; c < q.cols(); ++c) {
-        sum += q(i, c) * dec.u(c, r);
-      }
-      res.u(i, r) = sum;
-    }
     for (std::size_t j = 0; j < n; ++j) res.v(j, r) = dec.v(j, r);
   }
+  // U = Q · U_small, row-parallel (c ascends per element, one writing
+  // chunk per row of U — bit-identical for any thread count).
+  const std::size_t qc = q.cols();
+  ParallelFor(0, m, GrainForWork(keep * qc),
+              [&](std::size_t row0, std::size_t row1) {
+                for (std::size_t i = row0; i < row1; ++i) {
+                  for (std::size_t r = 0; r < keep; ++r) {
+                    double sum = 0.0;
+                    for (std::size_t c = 0; c < qc; ++c) {
+                      sum += q(i, c) * dec.u(c, r);
+                    }
+                    res.u(i, r) = sum;
+                  }
+                }
+              });
   return res;
 }
 
@@ -106,18 +118,31 @@ Result<Matrix> ProxNuclearRandomized(const Matrix& s, double threshold,
   if (!svd.ok()) return svd.status();
   const SvdResult& dec = svd.value();
 
-  Matrix out(s.rows(), s.cols());
+  // Ranks surviving the shrinkage (sorted descending → prefix).
+  std::size_t keep = 0;
+  std::vector<double> shrunk(dec.singular_values.size(), 0.0);
   for (std::size_t r = 0; r < dec.singular_values.size(); ++r) {
-    const double shrunk = dec.singular_values[r] - threshold;
-    if (shrunk <= 0.0) break;  // Sorted descending.
-    for (std::size_t i = 0; i < s.rows(); ++i) {
-      const double ui = dec.u(i, r) * shrunk;
-      if (ui == 0.0) continue;
-      for (std::size_t j = 0; j < s.cols(); ++j) {
-        out(i, j) += ui * dec.v(j, r);
-      }
-    }
+    shrunk[r] = dec.singular_values[r] - threshold;
+    if (shrunk[r] <= 0.0) break;
+    ++keep;
   }
+
+  Matrix out(s.rows(), s.cols());
+  const std::size_t ncols = s.cols();
+  // Row-parallel reconstruction; r ascends per element, exactly as the
+  // serial rank-1 accumulation did.
+  ParallelFor(0, s.rows(), GrainForWork(keep * ncols),
+              [&](std::size_t row0, std::size_t row1) {
+                for (std::size_t i = row0; i < row1; ++i) {
+                  for (std::size_t r = 0; r < keep; ++r) {
+                    const double ui = dec.u(i, r) * shrunk[r];
+                    if (ui == 0.0) continue;
+                    for (std::size_t j = 0; j < ncols; ++j) {
+                      out(i, j) += ui * dec.v(j, r);
+                    }
+                  }
+                }
+              });
   return out;
 }
 

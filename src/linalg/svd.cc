@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "util/logging.h"
+#include "util/stopwatch.h"
 
 namespace slampred {
 
@@ -26,6 +27,7 @@ Matrix SvdResult::Reconstruct() const {
 }
 
 Result<SvdResult> ComputeSvd(const Matrix& a, const SvdOptions& options) {
+  SvdTimerScope svd_timer;
   if (a.empty()) {
     return Status::InvalidArgument("SVD of empty matrix");
   }

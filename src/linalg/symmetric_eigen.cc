@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "util/stopwatch.h"
+
 namespace slampred {
 
 Matrix SymmetricEigenResult::Reconstruct() const {
@@ -23,6 +25,7 @@ Matrix SymmetricEigenResult::Reconstruct() const {
 
 Result<SymmetricEigenResult> ComputeSymmetricEigen(
     const Matrix& a, const SymmetricEigenOptions& options) {
+  SvdTimerScope svd_timer;
   if (a.empty()) {
     return Status::InvalidArgument("eigen of empty matrix");
   }

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <mutex>
 
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace slampred {
 
@@ -44,13 +46,20 @@ void Tensor3::SetFiber(std::size_t i, std::size_t j, const Vector& fiber) {
 }
 
 Matrix Tensor3::SumSlices() const {
+  const std::size_t per_slice = dim1_ * dim2_;
   Matrix out(dim1_, dim2_);
-  for (std::size_t k = 0; k < dim0_; ++k) {
-    const double* src = &data_[k * dim1_ * dim2_];
-    for (std::size_t idx = 0; idx < dim1_ * dim2_; ++idx) {
-      out.data()[idx] += src[idx];
-    }
-  }
+  // Gather form: each output element sums its fibre with k ascending,
+  // so the partitioning cannot change the accumulation order.
+  ParallelFor(0, per_slice, GrainForWork(dim0_),
+              [&](std::size_t idx0, std::size_t idx1) {
+                for (std::size_t idx = idx0; idx < idx1; ++idx) {
+                  double sum = 0.0;
+                  for (std::size_t k = 0; k < dim0_; ++k) {
+                    sum += data_[k * per_slice + idx];
+                  }
+                  out.data()[idx] = sum;
+                }
+              });
   return out;
 }
 
@@ -58,20 +67,35 @@ void Tensor3::NormalizeSlicesMinMax() {
   const std::size_t per_slice = dim1_ * dim2_;
   for (std::size_t k = 0; k < dim0_; ++k) {
     double* slice = &data_[k * per_slice];
+    if (per_slice == 0) continue;
+    // min/max are exactly associative-commutative, so the chunked scan
+    // is bit-identical to the serial one for any thread count.
     double lo = slice[0];
     double hi = slice[0];
-    for (std::size_t idx = 1; idx < per_slice; ++idx) {
-      lo = std::min(lo, slice[idx]);
-      hi = std::max(hi, slice[idx]);
-    }
+    std::mutex minmax_mutex;
+    ParallelFor(0, per_slice, GrainForWork(1),
+                [&](std::size_t idx0, std::size_t idx1) {
+                  double chunk_lo = slice[idx0];
+                  double chunk_hi = slice[idx0];
+                  for (std::size_t idx = idx0 + 1; idx < idx1; ++idx) {
+                    chunk_lo = std::min(chunk_lo, slice[idx]);
+                    chunk_hi = std::max(chunk_hi, slice[idx]);
+                  }
+                  std::lock_guard<std::mutex> lock(minmax_mutex);
+                  lo = std::min(lo, chunk_lo);
+                  hi = std::max(hi, chunk_hi);
+                });
     const double range = hi - lo;
     if (range <= 0.0) {
       std::fill(slice, slice + per_slice, 0.0);
       continue;
     }
-    for (std::size_t idx = 0; idx < per_slice; ++idx) {
-      slice[idx] = (slice[idx] - lo) / range;
-    }
+    ParallelFor(0, per_slice, GrainForWork(1),
+                [&](std::size_t idx0, std::size_t idx1) {
+                  for (std::size_t idx = idx0; idx < idx1; ++idx) {
+                    slice[idx] = (slice[idx] - lo) / range;
+                  }
+                });
   }
 }
 

@@ -7,6 +7,7 @@
 #include "linalg/matrix_ops.h"
 #include "linalg/svd.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace slampred {
 
@@ -29,21 +30,33 @@ namespace {
 
 // Loss value of the smooth empirical term.
 double LossValue(const Objective& objective, const Matrix& s) {
+  const double* sd = s.data().data();
+  const double* ad = objective.a.data().data();
   switch (objective.loss) {
-    case LossKind::kSquaredFrobenius: {
-      Matrix diff = s - objective.a;
-      const double frob = diff.FrobeniusNorm();
-      return frob * frob;
-    }
-    case LossKind::kSquaredHinge: {
-      double sum = 0.0;
-      for (std::size_t i = 0; i < s.data().size(); ++i) {
-        const double y = 2.0 * objective.a.data()[i] - 1.0;
-        const double slack = std::max(0.0, 1.0 - y * s.data()[i]);
-        sum += slack * slack;
-      }
-      return sum;
-    }
+    case LossKind::kSquaredFrobenius:
+      // ‖S − A‖²_F as a chunked sum of squares (partials combined in
+      // chunk order → deterministic for any thread count).
+      return ParallelReduceSum(0, s.data().size(), GrainForWork(1),
+                               [&](std::size_t i0, std::size_t i1) {
+                                 double sum = 0.0;
+                                 for (std::size_t i = i0; i < i1; ++i) {
+                                   const double d = sd[i] - ad[i];
+                                   sum += d * d;
+                                 }
+                                 return sum;
+                               });
+    case LossKind::kSquaredHinge:
+      return ParallelReduceSum(
+          0, s.data().size(), GrainForWork(1),
+          [&](std::size_t i0, std::size_t i1) {
+            double sum = 0.0;
+            for (std::size_t i = i0; i < i1; ++i) {
+              const double y = 2.0 * ad[i] - 1.0;
+              const double slack = std::max(0.0, 1.0 - y * sd[i]);
+              sum += slack * slack;
+            }
+            return sum;
+          });
   }
   return 0.0;
 }
@@ -55,11 +68,17 @@ Matrix LossGradient(const Objective& objective, const Matrix& s) {
       return (s - objective.a) * 2.0;
     case LossKind::kSquaredHinge: {
       Matrix g(s.rows(), s.cols());
-      for (std::size_t i = 0; i < s.data().size(); ++i) {
-        const double y = 2.0 * objective.a.data()[i] - 1.0;
-        const double slack = std::max(0.0, 1.0 - y * s.data()[i]);
-        g.data()[i] = -2.0 * y * slack;
-      }
+      const double* sd = s.data().data();
+      const double* ad = objective.a.data().data();
+      double* gd = g.data().data();
+      ParallelFor(0, s.data().size(), GrainForWork(1),
+                  [&](std::size_t i0, std::size_t i1) {
+                    for (std::size_t i = i0; i < i1; ++i) {
+                      const double y = 2.0 * ad[i] - 1.0;
+                      const double slack = std::max(0.0, 1.0 - y * sd[i]);
+                      gd[i] = -2.0 * y * slack;
+                    }
+                  });
       return g;
     }
   }
@@ -69,10 +88,17 @@ Matrix LossGradient(const Objective& objective, const Matrix& s) {
 }  // namespace
 
 double SmoothValue(const Objective& objective, const Matrix& s) {
-  double inner = 0.0;
-  for (std::size_t i = 0; i < s.data().size(); ++i) {
-    inner += s.data()[i] * objective.grad_v.data()[i];
-  }
+  const double* sd = s.data().data();
+  const double* vd = objective.grad_v.data().data();
+  const double inner =
+      ParallelReduceSum(0, s.data().size(), GrainForWork(1),
+                        [&](std::size_t i0, std::size_t i1) {
+                          double sum = 0.0;
+                          for (std::size_t i = i0; i < i1; ++i) {
+                            sum += sd[i] * vd[i];
+                          }
+                          return sum;
+                        });
   return LossValue(objective, s) - inner;
 }
 
@@ -88,16 +114,22 @@ double FullObjectiveValue(const Objective& objective, const Matrix& s,
   SLAMPRED_CHECK(tensors.size() == weights.size());
   double value = LossValue(objective, s);
 
+  const std::size_t per_slice = s.rows() * s.cols();
+  const double* sd = s.data().data();
   for (std::size_t k = 0; k < tensors.size(); ++k) {
     if (weights[k] == 0.0 || tensors[k].empty()) continue;
-    double intimacy = 0.0;
-    for (std::size_t c = 0; c < tensors[k].dim0(); ++c) {
-      for (std::size_t i = 0; i < s.rows(); ++i) {
-        for (std::size_t j = 0; j < s.cols(); ++j) {
-          intimacy += std::fabs(s(i, j) * tensors[k](c, i, j));
-        }
-      }
-    }
+    // Flat sweep over (slice, i, j); the matching S entry is the flat
+    // index modulo the slice size. Chunk partials combine in order.
+    const double* td = tensors[k].data().data();
+    const double intimacy = ParallelReduceSum(
+        0, tensors[k].dim0() * per_slice, GrainForWork(1),
+        [&](std::size_t f0, std::size_t f1) {
+          double sum = 0.0;
+          for (std::size_t f = f0; f < f1; ++f) {
+            sum += std::fabs(sd[f % per_slice] * td[f]);
+          }
+          return sum;
+        });
     value -= weights[k] * intimacy;
   }
 

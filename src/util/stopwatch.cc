@@ -14,4 +14,22 @@ double Stopwatch::ElapsedSeconds() const {
 
 double Stopwatch::ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
 
+namespace {
+thread_local double tls_svd_seconds = 0.0;
+thread_local int tls_svd_depth = 0;
+}  // namespace
+
+SvdTimerScope::SvdTimerScope() : outermost_(tls_svd_depth == 0) {
+  ++tls_svd_depth;
+}
+
+SvdTimerScope::~SvdTimerScope() {
+  --tls_svd_depth;
+  if (outermost_) tls_svd_seconds += watch_.ElapsedSeconds();
+}
+
+double SvdSecondsThisThread() { return tls_svd_seconds; }
+
+void ResetSvdSecondsThisThread() { tls_svd_seconds = 0.0; }
+
 }  // namespace slampred

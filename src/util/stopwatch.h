@@ -25,6 +25,35 @@ class Stopwatch {
   std::chrono::steady_clock::time_point start_;
 };
 
+/// RAII scope that accrues wall time spent inside SVD/eigen kernels to a
+/// thread-local total (read back via SvdSecondsThisThread). Nested scopes
+/// count once: the randomized SVD calls the dense SVD internally, and only
+/// the outermost scope adds its elapsed time.
+///
+/// The counter is thread-local on purpose: a fit runs entirely on one
+/// thread (nested ParallelFor falls back to serial), so resetting before
+/// Fit and reading after it yields that fit's own SVD total even when
+/// several fits run on different pool workers concurrently.
+class SvdTimerScope {
+ public:
+  SvdTimerScope();
+  ~SvdTimerScope();
+
+  SvdTimerScope(const SvdTimerScope&) = delete;
+  SvdTimerScope& operator=(const SvdTimerScope&) = delete;
+
+ private:
+  bool outermost_;
+  Stopwatch watch_;
+};
+
+/// Seconds accumulated by outermost SvdTimerScope instances on the
+/// current thread since the last reset.
+double SvdSecondsThisThread();
+
+/// Resets the current thread's SVD time accumulator to zero.
+void ResetSvdSecondsThisThread();
+
 }  // namespace slampred
 
 #endif  // SLAMPRED_UTIL_STOPWATCH_H_

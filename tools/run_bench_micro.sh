@@ -1,0 +1,24 @@
+#!/usr/bin/env sh
+# Runs the bench_micro kernel suite and records the serial-vs-parallel
+# timings to BENCH_micro.json at the repo root.
+#
+# Usage: tools/run_bench_micro.sh [BUILD_DIR] [extra bench_micro flags...]
+#   BUILD_DIR defaults to ./build. Extra flags are passed through, e.g.
+#   --benchmark_min_time=0.01s for the CI smoke run.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir="${1:-$repo_root/build}"
+[ $# -gt 0 ] && shift
+
+bench_bin="$build_dir/bench/bench_micro"
+if [ ! -x "$bench_bin" ]; then
+  echo "bench_micro not found at $bench_bin — build it first:" >&2
+  echo "  cmake -B '$build_dir' -S '$repo_root' && cmake --build '$build_dir' --target bench_micro" >&2
+  exit 1
+fi
+
+exec "$bench_bin" \
+  --benchmark_out="$repo_root/BENCH_micro.json" \
+  --benchmark_out_format=json \
+  "$@"

@@ -18,6 +18,11 @@
 // the load with a line-numbered error) or `lenient` (bad records are
 // skipped; skip counts are reported on stderr).
 //
+// --threads N sizes the shared worker pool for this invocation (every
+// command accepts it). It overrides the SLAMPRED_THREADS environment
+// variable; N = 1 forces the exact serial path. Results are
+// bit-identical for every thread count.
+//
 // Methods: SLAMPRED (default), SLAMPRED-T, SLAMPRED-H, PL, PL-T, PL-S,
 // SCAN, SCAN-T, SCAN-S, JC, CN, PA.
 
@@ -32,6 +37,7 @@
 #include "eval/experiment.h"
 #include "graph/graph_io.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -177,6 +183,13 @@ int Predict(const Flags& flags) {
     std::fprintf(stderr, "solver recoveries: %s\n",
                  model.trace().recovery.ToString().c_str());
   }
+  const FitPhaseTimes& times = model.phase_times();
+  std::printf(
+      "phase times (s): features %.3f | embedding %.3f | cccp %.3f | "
+      "svd %.3f | total %.3f  [%zu thread(s)]\n",
+      times.features_seconds, times.embedding_seconds, times.cccp_seconds,
+      times.svd_seconds, times.total_seconds,
+      ThreadPool::Global().num_threads());
 
   // Rank all unobserved pairs.
   std::vector<UserPair> candidates;
@@ -227,8 +240,8 @@ int Evaluate(const Flags& flags) {
     std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
     return 1;
   }
-  std::printf("%s over %zu folds:\n", MethodIdName(*method),
-              options.num_folds);
+  std::printf("%s over %zu folds [%zu thread(s)]:\n", MethodIdName(*method),
+              options.num_folds, ThreadPool::Global().num_threads());
   std::printf("  AUC           : %s\n",
               FormatMeanStd(result.value().auc.mean,
                             result.value().auc.std).c_str());
@@ -254,6 +267,15 @@ int main(int argc, char** argv) {
   }
   const std::string command = argv[1];
   const Flags flags(argc, argv);
+  const std::string threads = flags.Get("threads", "");
+  if (!threads.empty()) {
+    const unsigned long long n = std::stoull(threads);
+    if (n == 0) {
+      std::fprintf(stderr, "--threads must be >= 1\n");
+      return 2;
+    }
+    ThreadPool::Global().Resize(static_cast<std::size_t>(n));
+  }
   if (command == "generate") return Generate(flags);
   if (command == "predict") return Predict(flags);
   if (command == "evaluate") return Evaluate(flags);
