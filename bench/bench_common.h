@@ -7,7 +7,9 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <string>
+#include <system_error>
 
 #include "datagen/aligned_generator.h"
 #include "eval/experiment.h"
@@ -30,8 +32,13 @@ inline std::uint64_t EnvSeed() {
 }
 
 /// Generates the default experiment bundle used by every bench.
+/// SLAMPRED_BENCH_PERSONAS overrides the population size — the CI
+/// sparse-path leg uses it to smoke-test a larger n than the default.
 inline GeneratedAligned MakeBundle() {
-  auto generated = GenerateAligned(DefaultExperimentConfig(EnvSeed()));
+  AlignedGeneratorConfig config = DefaultExperimentConfig(EnvSeed());
+  config.population.num_personas =
+      EnvSize("SLAMPRED_BENCH_PERSONAS", config.population.num_personas);
+  auto generated = GenerateAligned(config);
   SLAMPRED_CHECK(generated.ok()) << generated.status().ToString();
   return std::move(generated).value();
 }
@@ -49,6 +56,19 @@ inline ExperimentOptions MakeOptions() {
   options.slampred.optimization.max_outer_iterations = 2;
   options.seed = 123;
   return options;
+}
+
+/// Directory for bench output artifacts (CSV series), created on
+/// demand. Defaults to bench_out/ under the working directory — i.e.
+/// build/bench_out/ for the usual in-build-tree invocation — keeping
+/// generated series out of the source tree. SLAMPRED_BENCH_OUT_DIR
+/// overrides it.
+inline std::string OutDir() {
+  const char* dir = std::getenv("SLAMPRED_BENCH_OUT_DIR");
+  std::string path = (dir != nullptr && dir[0] != '\0') ? dir : "bench_out";
+  std::error_code ec;
+  std::filesystem::create_directories(path, ec);  // Best effort.
+  return path;
 }
 
 /// Prints the standard bench banner.

@@ -57,8 +57,9 @@ int main() {
   std::printf("\nchange shrank from %.3f to %.5f over %zu steps "
               "(paper: converges within ~300 iterations)\n",
               first, last, trace.s_change_l1.size());
-  if (csv.WriteToFile("fig3_convergence.csv").ok()) {
-    std::printf("raw series written to fig3_convergence.csv\n");
+  const std::string csv_path = bench::OutDir() + "/fig3_convergence.csv";
+  if (csv.WriteToFile(csv_path).ok()) {
+    std::printf("raw series written to %s\n", csv_path.c_str());
   }
   if (model.trace().recovery.Total() > 0) {
     std::printf("solver recoveries: %s\n",
@@ -71,5 +72,7 @@ int main() {
       times.features_seconds, times.embedding_seconds, times.cccp_seconds,
       times.svd_seconds, times.total_seconds,
       ThreadPool::Global().num_threads());
+  std::printf("sparse-path memory: %s\n",
+              model.memory_stats().ToString().c_str());
   return 0;
 }

@@ -18,12 +18,16 @@
 
 #include "datagen/aligned_generator.h"
 #include "eval/metrics.h"
+#include "features/feature_tensor.h"
 #include "features/structural_features.h"
+#include "linalg/csr_matrix.h"
 #include "linalg/matrix.h"
 #include "linalg/matrix_ops.h"
 #include "linalg/randomized_svd.h"
+#include "linalg/sparse_tensor3.h"
 #include "linalg/svd.h"
 #include "linalg/symmetric_eigen.h"
+#include "optim/objective.h"
 #include "optim/proximal.h"
 #include "util/random.h"
 #include "util/thread_pool.h"
@@ -212,7 +216,154 @@ void BM_TruncatedKatz(benchmark::State& state) {
     benchmark::DoNotOptimize(TruncatedKatzMap(g));
   }
 }
-BENCHMARK(BM_TruncatedKatz)->Arg(64)->Arg(128);
+BENCHMARK(BM_TruncatedKatz)->Arg(64)->Arg(128)->Arg(256);
+
+// --- Sparse data path vs. its dense counterparts --------------------
+// The CSR kernels below produce bit-identical results to the dense
+// benchmarks they mirror (BM_Gemm, BM_CommonNeighbors, BM_TruncatedKatz
+// and the dense objective); only the asymptotics change
+// (O(n³)/O(d·n²) → O(nnz)-driven).
+
+// SpMM: adjacency² in CSR (row-gather SpGEMM) — counterpart of BM_Gemm
+// at the same n, on a ~3n-edge graph.
+void BM_SpMM(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  ThreadCountGuard guard(static_cast<std::size_t>(state.range(1)));
+  const CsrMatrix a = BenchGraph(n).AdjacencyCsr();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.MultiplySparse(a));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SpMM)->Apply([](benchmark::internal::Benchmark* b) {
+  SizeThreadGrid(b, {64, 128, 256, 512});
+});
+
+void BM_CommonNeighborsCsr(benchmark::State& state) {
+  const SocialGraph g = BenchGraph(static_cast<std::size_t>(state.range(0)));
+  ThreadCountGuard guard(static_cast<std::size_t>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CommonNeighborsCsr(g));
+  }
+}
+BENCHMARK(BM_CommonNeighborsCsr)
+    ->Apply([](benchmark::internal::Benchmark* b) {
+      SizeThreadGrid(b, {128, 256, 512});
+    });
+
+void BM_TruncatedKatzCsr(benchmark::State& state) {
+  const SocialGraph g = BenchGraph(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TruncatedKatzCsr(g));
+  }
+}
+BENCHMARK(BM_TruncatedKatzCsr)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+// Eight structural slices assembled in CSR — the feature-build hot
+// loop, at the real pipeline's slice count (two graphs' worth of
+// CN/JC/AA/RA maps).
+SparseTensor3 BenchSparseTensor(const SocialGraph& g1,
+                                const SocialGraph& g2) {
+  SparseTensor3 tensor(8, g1.num_users(), g1.num_users());
+  tensor.SetSlice(0, CommonNeighborsCsr(g1));
+  tensor.SetSlice(1, JaccardCsr(g1));
+  tensor.SetSlice(2, AdamicAdarCsr(g1));
+  tensor.SetSlice(3, ResourceAllocationCsr(g1));
+  tensor.SetSlice(4, CommonNeighborsCsr(g2));
+  tensor.SetSlice(5, JaccardCsr(g2));
+  tensor.SetSlice(6, AdamicAdarCsr(g2));
+  tensor.SetSlice(7, ResourceAllocationCsr(g2));
+  tensor.NormalizeSlicesMinMax();
+  return tensor;
+}
+
+void BM_SparseFeatureBuild(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const SocialGraph g1 = BenchGraph(n);
+  const SocialGraph g2 = BenchGraph(n);
+  ThreadCountGuard guard(static_cast<std::size_t>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BenchSparseTensor(g1, g2));
+  }
+}
+BENCHMARK(BM_SparseFeatureBuild)
+    ->Apply([](benchmark::internal::Benchmark* b) {
+      SizeThreadGrid(b, {256, 1024, 2048});
+    });
+
+void BM_DenseFeatureBuild(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const SocialGraph g1 = BenchGraph(n);
+  const SocialGraph g2 = BenchGraph(n);
+  ThreadCountGuard guard(static_cast<std::size_t>(state.range(1)));
+  for (auto _ : state) {
+    Tensor3 tensor(8, n, n);
+    tensor.SetSlice(0, CommonNeighborsMap(g1));
+    tensor.SetSlice(1, JaccardMap(g1));
+    tensor.SetSlice(2, AdamicAdarMap(g1));
+    tensor.SetSlice(3, ResourceAllocationMap(g1));
+    tensor.SetSlice(4, CommonNeighborsMap(g2));
+    tensor.SetSlice(5, JaccardMap(g2));
+    tensor.SetSlice(6, AdamicAdarMap(g2));
+    tensor.SetSlice(7, ResourceAllocationMap(g2));
+    tensor.NormalizeSlicesMinMax();
+    benchmark::DoNotOptimize(tensor);
+  }
+}
+BENCHMARK(BM_DenseFeatureBuild)
+    ->Apply([](benchmark::internal::Benchmark* b) {
+      SizeThreadGrid(b, {256, 1024, 2048});
+    });
+
+// Objective data terms (loss + γ‖S‖₁ + the intimacy sweep) with τ = 0 so
+// the dense-SVD nuclear norm — identical in both variants — does not
+// drown the comparison. The intimacy sweep walks stored entries only
+// (sparse, O(nnz)) vs. all d·n² entries (dense). Both read the same
+// CSR A^t.
+void BM_ObjectiveSparse(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const SocialGraph g1 = BenchGraph(n);
+  const SocialGraph g2 = BenchGraph(n);
+  ThreadCountGuard guard(static_cast<std::size_t>(state.range(1)));
+  const std::vector<SparseTensor3> tensors = {BenchSparseTensor(g1, g2)};
+  const std::vector<double> weights = {0.25};
+  Objective objective;
+  objective.a = g1.AdjacencyCsr();
+  objective.grad_v = BuildIntimacyGradient(tensors, weights, n);
+  objective.gamma = 0.3;
+  objective.tau = 0.0;
+  const Matrix s = RandomMatrix(n, 21);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        FullObjectiveValue(objective, s, tensors, weights));
+  }
+}
+BENCHMARK(BM_ObjectiveSparse)->Apply([](benchmark::internal::Benchmark* b) {
+  SizeThreadGrid(b, {256, 1024, 2048});
+});
+
+void BM_ObjectiveDense(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const SocialGraph g1 = BenchGraph(n);
+  const SocialGraph g2 = BenchGraph(n);
+  ThreadCountGuard guard(static_cast<std::size_t>(state.range(1)));
+  const SparseTensor3 sparse = BenchSparseTensor(g1, g2);
+  const std::vector<Tensor3> tensors = {sparse.ToDense()};
+  const std::vector<double> weights = {0.25};
+  Objective objective;
+  objective.a = g1.AdjacencyCsr();
+  objective.grad_v = BuildIntimacyGradient(tensors, weights, n);
+  objective.gamma = 0.3;
+  objective.tau = 0.0;
+  const Matrix s = RandomMatrix(n, 21);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        FullObjectiveValue(objective, s, tensors, weights));
+  }
+}
+BENCHMARK(BM_ObjectiveDense)->Apply([](benchmark::internal::Benchmark* b) {
+  SizeThreadGrid(b, {256, 1024, 2048});
+});
 
 void BM_Auc(benchmark::State& state) {
   Rng rng(9);

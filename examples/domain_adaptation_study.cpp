@@ -34,11 +34,11 @@ int main() {
   if (!eval.ok()) return 1;
 
   // Raw feature tensors for both networks.
-  std::vector<Tensor3> raw;
-  raw.push_back(BuildFeatureTensor(networks.target(), train_graph));
+  std::vector<SparseTensor3> raw;
+  raw.push_back(BuildSparseFeatureTensor(networks.target(), train_graph));
   const SocialGraph source_graph =
       SocialGraph::FromHeterogeneousNetwork(networks.source(0));
-  raw.push_back(BuildFeatureTensor(networks.source(0), source_graph));
+  raw.push_back(BuildSparseFeatureTensor(networks.source(0), source_graph));
   std::printf("raw feature slices: %s\n\n",
               Join(FeatureNames({}), ", ").c_str());
 
@@ -66,8 +66,8 @@ int main() {
   };
 
   TablePrinter dims({"latent dim", "target AUC", "source(->target) AUC"});
-  const Tensor3& target_adapted = adapted.value().tensors[0];
-  const Tensor3& source_adapted = adapted.value().tensors[1];
+  const SparseTensor3& target_adapted = adapted.value().tensors[0];
+  const SparseTensor3& source_adapted = adapted.value().tensors[1];
   for (std::size_t c = 0; c < target_adapted.dim0(); ++c) {
     dims.AddRow({std::to_string(c),
                  FormatDouble(auc_of_map(target_adapted.Slice(c)), 3),

@@ -4,7 +4,7 @@
 
 namespace slampred {
 
-std::size_t PairFeatureWidth(const std::vector<Tensor3>& raw_tensors,
+std::size_t PairFeatureWidth(const std::vector<SparseTensor3>& raw_tensors,
                              FeatureSource source) {
   std::size_t width = 0;
   if (source != FeatureSource::kSourceOnly && !raw_tensors.empty()) {
@@ -19,7 +19,7 @@ std::size_t PairFeatureWidth(const std::vector<Tensor3>& raw_tensors,
 }
 
 Vector BuildPairFeatures(const AlignedNetworks& networks,
-                         const std::vector<Tensor3>& raw_tensors,
+                         const std::vector<SparseTensor3>& raw_tensors,
                          FeatureSource source, const UserPair& pair) {
   SLAMPRED_CHECK(raw_tensors.size() == networks.num_sources() + 1)
       << "one raw tensor per network required";
@@ -46,7 +46,7 @@ Vector BuildPairFeatures(const AlignedNetworks& networks,
 }
 
 std::vector<Vector> BuildPairFeatureBatch(
-    const AlignedNetworks& networks, const std::vector<Tensor3>& raw_tensors,
+    const AlignedNetworks& networks, const std::vector<SparseTensor3>& raw_tensors,
     FeatureSource source, const std::vector<UserPair>& pairs) {
   std::vector<Vector> out;
   out.reserve(pairs.size());

@@ -11,7 +11,7 @@
 
 #include "graph/aligned_networks.h"
 #include "graph/social_graph.h"
-#include "linalg/tensor3.h"
+#include "linalg/sparse_tensor3.h"
 #include "linalg/vector.h"
 
 namespace slampred {
@@ -24,18 +24,18 @@ enum class FeatureSource {
 };
 
 /// Width of the assembled feature vector for the given source mode.
-std::size_t PairFeatureWidth(const std::vector<Tensor3>& raw_tensors,
+std::size_t PairFeatureWidth(const std::vector<SparseTensor3>& raw_tensors,
                              FeatureSource source);
 
 /// Assembles the feature vector of one target pair: target fibre and/or
 /// anchor-mapped source fibres, concatenated in network order.
 Vector BuildPairFeatures(const AlignedNetworks& networks,
-                         const std::vector<Tensor3>& raw_tensors,
+                         const std::vector<SparseTensor3>& raw_tensors,
                          FeatureSource source, const UserPair& pair);
 
 /// Batch version.
 std::vector<Vector> BuildPairFeatureBatch(
-    const AlignedNetworks& networks, const std::vector<Tensor3>& raw_tensors,
+    const AlignedNetworks& networks, const std::vector<SparseTensor3>& raw_tensors,
     FeatureSource source, const std::vector<UserPair>& pairs);
 
 }  // namespace slampred

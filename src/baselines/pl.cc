@@ -12,7 +12,7 @@ Pl::Pl(PlOptions options) : options_(options) {}
 
 Status Pl::Fit(const AlignedNetworks& networks,
                const SocialGraph& target_structure,
-               const std::vector<Tensor3>& raw_tensors,
+               const std::vector<SparseTensor3>& raw_tensors,
                const std::vector<UserPair>& exclude, Rng& rng) {
   if (raw_tensors.size() != networks.num_sources() + 1) {
     return Status::InvalidArgument("need one raw tensor per network");

@@ -15,7 +15,7 @@
 #include "baselines/link_predictor.h"
 #include "baselines/pair_features.h"
 #include "graph/aligned_networks.h"
-#include "linalg/tensor3.h"
+#include "linalg/sparse_tensor3.h"
 #include "ml/logistic_regression.h"
 #include "ml/standard_scaler.h"
 #include "util/random.h"
@@ -41,7 +41,7 @@ class Pl : public LinkPredictor {
   /// Trains the two-step PU classifier. Arguments as in Scan::Fit.
   Status Fit(const AlignedNetworks& networks,
              const SocialGraph& target_structure,
-             const std::vector<Tensor3>& raw_tensors,
+             const std::vector<SparseTensor3>& raw_tensors,
              const std::vector<UserPair>& exclude, Rng& rng);
 
   std::string name() const override;
@@ -51,7 +51,7 @@ class Pl : public LinkPredictor {
  private:
   PlOptions options_;
   const AlignedNetworks* networks_ = nullptr;
-  const std::vector<Tensor3>* raw_tensors_ = nullptr;
+  const std::vector<SparseTensor3>* raw_tensors_ = nullptr;
   StandardScaler scaler_;
   LogisticRegression classifier_;
 };

@@ -8,7 +8,7 @@ Scan::Scan(ScanOptions options) : options_(options) {}
 
 Status Scan::Fit(const AlignedNetworks& networks,
                  const SocialGraph& target_structure,
-                 const std::vector<Tensor3>& raw_tensors,
+                 const std::vector<SparseTensor3>& raw_tensors,
                  const std::vector<UserPair>& exclude, Rng& rng) {
   if (raw_tensors.size() != networks.num_sources() + 1) {
     return Status::InvalidArgument("need one raw tensor per network");

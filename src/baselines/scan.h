@@ -14,7 +14,7 @@
 #include "baselines/link_predictor.h"
 #include "baselines/pair_features.h"
 #include "graph/aligned_networks.h"
-#include "linalg/tensor3.h"
+#include "linalg/sparse_tensor3.h"
 #include "ml/logistic_regression.h"
 #include "ml/standard_scaler.h"
 #include "util/random.h"
@@ -39,7 +39,7 @@ class Scan : public LinkPredictor {
   /// one per source. `exclude` pairs (the test fold) are never sampled.
   Status Fit(const AlignedNetworks& networks,
              const SocialGraph& target_structure,
-             const std::vector<Tensor3>& raw_tensors,
+             const std::vector<SparseTensor3>& raw_tensors,
              const std::vector<UserPair>& exclude, Rng& rng);
 
   std::string name() const override;
@@ -49,7 +49,7 @@ class Scan : public LinkPredictor {
  private:
   ScanOptions options_;
   const AlignedNetworks* networks_ = nullptr;
-  const std::vector<Tensor3>* raw_tensors_ = nullptr;
+  const std::vector<SparseTensor3>* raw_tensors_ = nullptr;
   StandardScaler scaler_;
   LogisticRegression classifier_;
 };

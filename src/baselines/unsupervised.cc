@@ -11,6 +11,33 @@ namespace {
 // to the serial one.
 constexpr std::size_t kScoreWorkPerPair = 64;
 
+std::size_t RowDegree(const CsrMatrix& a, std::size_t u) {
+  return a.row_ptr()[u + 1] - a.row_ptr()[u];
+}
+
+// |Γ(u) ∩ Γ(v)| as a merge over the two sorted column-index ranges.
+std::size_t IntersectionCount(const CsrMatrix& a, std::size_t u,
+                              std::size_t v) {
+  const auto& col = a.col_idx();
+  std::size_t p = a.row_ptr()[u];
+  const std::size_t pe = a.row_ptr()[u + 1];
+  std::size_t q = a.row_ptr()[v];
+  const std::size_t qe = a.row_ptr()[v + 1];
+  std::size_t count = 0;
+  while (p < pe && q < qe) {
+    if (col[p] < col[q]) {
+      ++p;
+    } else if (col[q] < col[p]) {
+      ++q;
+    } else {
+      ++count;
+      ++p;
+      ++q;
+    }
+  }
+  return count;
+}
+
 }  // namespace
 
 Result<std::vector<double>> PaPredictor::ScorePairs(
@@ -20,8 +47,9 @@ Result<std::vector<double>> PaPredictor::ScorePairs(
               [&](std::size_t i0, std::size_t i1) {
                 for (std::size_t i = i0; i < i1; ++i) {
                   const UserPair& p = pairs[i];
-                  scores[i] = static_cast<double>(graph_.Degree(p.u)) *
-                              static_cast<double>(graph_.Degree(p.v));
+                  scores[i] =
+                      static_cast<double>(RowDegree(adjacency_, p.u)) *
+                      static_cast<double>(RowDegree(adjacency_, p.v));
                 }
               });
   return scores;
@@ -35,7 +63,7 @@ Result<std::vector<double>> CnPredictor::ScorePairs(
                 for (std::size_t i = i0; i < i1; ++i) {
                   const UserPair& p = pairs[i];
                   scores[i] = static_cast<double>(
-                      graph_.CommonNeighborCount(p.u, p.v));
+                      IntersectionCount(adjacency_, p.u, p.v));
                 }
               });
   return scores;
@@ -48,11 +76,14 @@ Result<std::vector<double>> JcPredictor::ScorePairs(
               [&](std::size_t i0, std::size_t i1) {
                 for (std::size_t i = i0; i < i1; ++i) {
                   const UserPair& p = pairs[i];
-                  const double inter = static_cast<double>(
-                      graph_.CommonNeighborCount(p.u, p.v));
-                  const double uni = static_cast<double>(
-                      graph_.NeighborUnionCount(p.u, p.v));
-                  scores[i] = uni > 0.0 ? inter / uni : 0.0;
+                  const std::size_t inter =
+                      IntersectionCount(adjacency_, p.u, p.v);
+                  const std::size_t uni = RowDegree(adjacency_, p.u) +
+                                          RowDegree(adjacency_, p.v) - inter;
+                  scores[i] = uni > 0
+                                  ? static_cast<double>(inter) /
+                                        static_cast<double>(uni)
+                                  : 0.0;
                 }
               });
   return scores;

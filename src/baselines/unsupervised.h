@@ -1,6 +1,9 @@
 // The paper's unsupervised comparison predictors (Section IV-B2):
 // Preferential Attachment, Common Neighbor, and Jaccard's Coefficient.
-// Each scores a pair from the observed (training) target graph alone.
+// Each scores a pair from the observed (training) target graph alone,
+// held as a CSR adjacency — degrees are row lengths and neighbor
+// intersections walk the sorted column indices, so the scores equal the
+// adjacency-list computations exactly (they are integer counts).
 
 #ifndef SLAMPRED_BASELINES_UNSUPERVISED_H_
 #define SLAMPRED_BASELINES_UNSUPERVISED_H_
@@ -9,43 +12,47 @@
 
 #include "baselines/link_predictor.h"
 #include "graph/social_graph.h"
+#include "linalg/csr_matrix.h"
 
 namespace slampred {
 
 /// PA: score(u, v) = |Γ(u)| · |Γ(v)|.
 class PaPredictor : public LinkPredictor {
  public:
-  explicit PaPredictor(const SocialGraph& graph) : graph_(graph) {}
+  explicit PaPredictor(const SocialGraph& graph)
+      : adjacency_(graph.AdjacencyCsr()) {}
   std::string name() const override { return "PA"; }
   Result<std::vector<double>> ScorePairs(
       const std::vector<UserPair>& pairs) const override;
 
  private:
-  SocialGraph graph_;
+  CsrMatrix adjacency_;
 };
 
 /// CN: score(u, v) = |Γ(u) ∩ Γ(v)|.
 class CnPredictor : public LinkPredictor {
  public:
-  explicit CnPredictor(const SocialGraph& graph) : graph_(graph) {}
+  explicit CnPredictor(const SocialGraph& graph)
+      : adjacency_(graph.AdjacencyCsr()) {}
   std::string name() const override { return "CN"; }
   Result<std::vector<double>> ScorePairs(
       const std::vector<UserPair>& pairs) const override;
 
  private:
-  SocialGraph graph_;
+  CsrMatrix adjacency_;
 };
 
 /// JC: score(u, v) = |Γ(u) ∩ Γ(v)| / |Γ(u) ∪ Γ(v)|.
 class JcPredictor : public LinkPredictor {
  public:
-  explicit JcPredictor(const SocialGraph& graph) : graph_(graph) {}
+  explicit JcPredictor(const SocialGraph& graph)
+      : adjacency_(graph.AdjacencyCsr()) {}
   std::string name() const override { return "JC"; }
   Result<std::vector<double>> ScorePairs(
       const std::vector<UserPair>& pairs) const override;
 
  private:
-  SocialGraph graph_;
+  CsrMatrix adjacency_;
 };
 
 }  // namespace slampred

@@ -1,6 +1,7 @@
 #include "core/slampred.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "optim/objective.h"
 #include "util/logging.h"
@@ -20,6 +21,25 @@ SlamPredConfig SlamPredHomogeneousConfig() {
   config.use_sources = false;
   config.use_attributes = false;
   return config;
+}
+
+std::string FitMemoryStats::ToString() const {
+  auto mib = [](std::size_t bytes) {
+    return static_cast<double>(bytes) / (1024.0 * 1024.0);
+  };
+  char buffer[320];
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "A^t %zu nnz (%.2f MiB csr, dense %.2f) | X %zu nnz (%.2f, dense "
+      "%.2f) | X-hat %zu nnz (%.2f, dense %.2f) | peak %.2f MiB "
+      "(dense %.2f)",
+      adjacency_nnz, mib(adjacency_bytes), mib(adjacency_dense_bytes),
+      raw_tensor_nnz, mib(raw_tensor_bytes), mib(raw_tensor_dense_bytes),
+      adapted_tensor_nnz, mib(adapted_tensor_bytes),
+      mib(adapted_tensor_dense_bytes), mib(peak_bytes),
+      mib(adjacency_dense_bytes + raw_tensor_dense_bytes +
+          adapted_tensor_dense_bytes));
+  return buffer;
 }
 
 SlamPred::SlamPred(SlamPredConfig config) : config_(std::move(config)) {}
@@ -49,12 +69,13 @@ Status SlamPred::Fit(const AlignedNetworks& networks,
     feature_options.time_similarity = false;
   }
 
-  // Raw intimacy tensors: target (on the training structure) and, when
-  // transferring, every source on its own graph.
-  std::vector<Tensor3> raw_tensors;
-  raw_tensors.push_back(BuildFeatureTensor(networks.target(),
-                                           target_structure,
-                                           feature_options));
+  // Raw intimacy tensors, built natively in CSR: target (on the
+  // training structure) and, when transferring, every source on its own
+  // graph.
+  std::vector<SparseTensor3> raw_tensors;
+  raw_tensors.push_back(BuildSparseFeatureTensor(networks.target(),
+                                                 target_structure,
+                                                 feature_options));
   // Without a single anchor link nothing can transfer and the projection
   // has no cross-network constraints, so an unaligned bundle degrades to
   // the target-only variant (matching Table II's ratio-0.0 column, where
@@ -72,14 +93,21 @@ Status SlamPred::Fit(const AlignedNetworks& networks,
     for (std::size_t k = 0; k < networks.num_sources(); ++k) {
       const SocialGraph source_graph =
           SocialGraph::FromHeterogeneousNetwork(networks.source(k));
-      raw_tensors.push_back(BuildFeatureTensor(networks.source(k),
-                                               source_graph,
-                                               feature_options));
+      raw_tensors.push_back(BuildSparseFeatureTensor(networks.source(k),
+                                                     source_graph,
+                                                     feature_options));
     }
   }
 
   phase_times_.features_seconds = phase_watch.ElapsedSeconds();
   phase_watch.Restart();
+
+  memory_stats_ = FitMemoryStats();
+  for (const SparseTensor3& tensor : raw_tensors) {
+    memory_stats_.raw_tensor_nnz += tensor.TotalNnz();
+    memory_stats_.raw_tensor_bytes += tensor.EstimatedBytes();
+    memory_stats_.raw_tensor_dense_bytes += tensor.DenseEquivalentBytes();
+  }
 
   // Feature-space projection (Theorem 1) — or the ablation passthrough.
   // The projection is applied in every variant (with no sources it
@@ -107,7 +135,7 @@ Status SlamPred::Fit(const AlignedNetworks& networks,
     // the same pipeline with no cross-network blocks.
     Rng rng(config_.seed);
     AlignedNetworks target_only(networks.target());
-    std::vector<Tensor3> target_tensor = {raw_tensors[0]};
+    std::vector<SparseTensor3> target_tensor = {raw_tensors[0]};
     auto adapted = AdaptDomains(target_only, target_structure,
                                 target_tensor, adapter_options, rng);
     if (!adapted.ok()) return adapted.status();
@@ -123,6 +151,12 @@ Status SlamPred::Fit(const AlignedNetworks& networks,
 
   phase_times_.embedding_seconds = phase_watch.ElapsedSeconds();
   phase_watch.Restart();
+
+  for (const SparseTensor3& tensor : adapted_tensors_) {
+    memory_stats_.adapted_tensor_nnz += tensor.TotalNnz();
+    memory_stats_.adapted_tensor_bytes += tensor.EstimatedBytes();
+    memory_stats_.adapted_tensor_dense_bytes += tensor.DenseEquivalentBytes();
+  }
 
   // Intimacy weights: αᵗ then α^k per transferred source. Each weight is
   // divided by its tensor's slice count so Σ_c X̂(c,:,:) stays on the
@@ -148,11 +182,20 @@ Status SlamPred::Fit(const AlignedNetworks& networks,
 
   // Assemble and solve the sparse + low-rank estimation (Algorithm 1).
   Objective objective;
-  objective.a = target_structure.AdjacencyMatrix();
+  objective.a = target_structure.AdjacencyCsr();
   objective.grad_v = BuildIntimacyGradient(adapted_tensors_, weights, n);
   objective.gamma = config_.gamma;
   objective.tau = config_.tau;
   objective.loss = config_.loss;
+
+  memory_stats_.adjacency_nnz = objective.a.nnz();
+  memory_stats_.adjacency_bytes = objective.a.EstimatedBytes();
+  memory_stats_.adjacency_dense_bytes = n * n * sizeof(double);
+  // At the end of the embedding phase the adjacency, raw and adapted
+  // tensors are all live — that is the tracked high-water mark.
+  memory_stats_.peak_bytes = memory_stats_.adjacency_bytes +
+                             memory_stats_.raw_tensor_bytes +
+                             memory_stats_.adapted_tensor_bytes;
 
   trace_ = CccpTrace();
   phase_watch.Restart();  // The CCCP phase starts at the solve proper.

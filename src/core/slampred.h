@@ -103,6 +103,28 @@ struct FitPhaseTimes {
   double total_seconds = 0.0;
 };
 
+/// Memory footprint of the last Fit's sparse data path, surfaced next to
+/// FitPhaseTimes by the CLI and the Figure-3 bench. All `*_bytes` are
+/// CSR heap bytes; the `*_dense_bytes` twins are what the same data
+/// would occupy densified (dims · sizeof(double)).
+struct FitMemoryStats {
+  std::size_t adjacency_nnz = 0;        ///< nnz(Aᵗ).
+  std::size_t adjacency_bytes = 0;      ///< CSR bytes of Aᵗ.
+  std::size_t adjacency_dense_bytes = 0;
+  std::size_t raw_tensor_nnz = 0;       ///< Σ_k nnz(X^k) (features phase).
+  std::size_t raw_tensor_bytes = 0;
+  std::size_t raw_tensor_dense_bytes = 0;
+  std::size_t adapted_tensor_nnz = 0;   ///< Σ_k nnz(X̂^k) (embedding phase).
+  std::size_t adapted_tensor_bytes = 0;
+  std::size_t adapted_tensor_dense_bytes = 0;
+  /// High-water mark of the tracked CSR footprint: adjacency + raw +
+  /// adapted tensors all live at the end of the embedding phase.
+  std::size_t peak_bytes = 0;
+
+  /// One-line human-readable summary for CLI / bench output.
+  std::string ToString() const;
+};
+
 /// The SLAMPRED estimator. Usage:
 ///   SlamPred model(config);
 ///   SLAMPRED_RETURN_NOT_OK(model.Fit(networks, training_graph));
@@ -129,8 +151,11 @@ class SlamPred : public LinkPredictor {
   /// Per-phase wall times of the last Fit.
   const FitPhaseTimes& phase_times() const { return phase_times_; }
 
+  /// Sparse-path memory footprint of the last Fit.
+  const FitMemoryStats& memory_stats() const { return memory_stats_; }
+
   /// The adapted feature tensors of the last Fit (target coordinates).
-  const std::vector<Tensor3>& adapted_tensors() const {
+  const std::vector<SparseTensor3>& adapted_tensors() const {
     return adapted_tensors_;
   }
 
@@ -145,7 +170,8 @@ class SlamPred : public LinkPredictor {
   Matrix s_;
   CccpTrace trace_;
   FitPhaseTimes phase_times_;
-  std::vector<Tensor3> adapted_tensors_;
+  FitMemoryStats memory_stats_;
+  std::vector<SparseTensor3> adapted_tensors_;
   bool fitted_ = false;
 };
 

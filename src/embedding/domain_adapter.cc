@@ -1,5 +1,6 @@
 #include "embedding/domain_adapter.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "embedding/indicator_matrices.h"
@@ -44,22 +45,36 @@ FeatureScaler FitScaler(const InstanceSample& sample, std::size_t network) {
 }
 
 // Projects every fibre of `raw` (d x n x n) through fᵀ (d x c) after
-// standardising it, giving a c x n x n tensor.
-Tensor3 ProjectTensor(const Tensor3& raw, const FeatureScaler& scaler,
+// standardising it, giving a c x n x n tensor. The raw tensor stays CSR;
+// each row is decompressed into a d x n panel so the fibre reads are
+// O(1) and the per-element sum runs d ascending over the exact dense
+// values (absent entries are exact zeros) — bit-identical to projecting
+// the densified tensor.
+Tensor3 ProjectTensor(const SparseTensor3& raw, const FeatureScaler& scaler,
                       const Matrix& f) {
   SLAMPRED_CHECK(f.rows() == raw.dim0()) << "projection dim mismatch";
   const std::size_t c = f.cols();
+  const std::size_t d = raw.dim0();
   const std::size_t n1 = raw.dim1();
   const std::size_t n2 = raw.dim2();
   Tensor3 out(c, n1, n2);
+  Matrix panel(d, n2);
   for (std::size_t i = 0; i < n1; ++i) {
+    std::fill(panel.data().begin(), panel.data().end(), 0.0);
+    for (std::size_t dd = 0; dd < d; ++dd) {
+      const CsrMatrix& slice = raw.SliceCsr(dd);
+      for (std::size_t p = slice.row_ptr()[i]; p < slice.row_ptr()[i + 1];
+           ++p) {
+        panel(dd, slice.col_idx()[p]) = slice.values()[p];
+      }
+    }
     for (std::size_t j = 0; j < n2; ++j) {
       for (std::size_t cc = 0; cc < c; ++cc) {
         double sum = 0.0;
-        for (std::size_t d = 0; d < raw.dim0(); ++d) {
+        for (std::size_t dd = 0; dd < d; ++dd) {
           const double z =
-              (raw(d, i, j) - scaler.mean[d]) * scaler.inv_std[d];
-          sum += f(d, cc) * z;
+              (panel(dd, j) - scaler.mean[dd]) * scaler.inv_std[dd];
+          sum += f(dd, cc) * z;
         }
         out(cc, i, j) = sum;
       }
@@ -118,11 +133,10 @@ Tensor3 ReindexToTarget(const Tensor3& source_tensor,
 
 }  // namespace
 
-Result<AdaptedFeatures> AdaptDomains(const AlignedNetworks& networks,
-                                     const SocialGraph& target_structure,
-                                     const std::vector<Tensor3>& raw_tensors,
-                                     const DomainAdapterOptions& options,
-                                     Rng& rng) {
+Result<AdaptedFeatures> AdaptDomains(
+    const AlignedNetworks& networks, const SocialGraph& target_structure,
+    const std::vector<SparseTensor3>& raw_tensors,
+    const DomainAdapterOptions& options, Rng& rng) {
   if (raw_tensors.size() != networks.num_sources() + 1) {
     return Status::InvalidArgument("need one raw tensor per network");
   }
@@ -221,26 +235,30 @@ Result<AdaptedFeatures> AdaptDomains(const AlignedNetworks& networks,
     return adapted;
   };
 
-  // Target: project in place.
-  out.tensors.push_back(
+  // Target: project in place; the adapted slices sparsify at the
+  // boundary (FromDense only drops exact zeros, so the round trip is
+  // bit-exact).
+  out.tensors.push_back(SparseTensor3::FromDense(
       finalize(ProjectTensor(raw_tensors[0], scalers[0],
-                             out.projections[0])));
+                             out.projections[0]))));
 
   // Sources: project in source coordinates, then re-index through the
-  // anchors into target coordinates.
+  // anchors into target coordinates. The reindexed tensor is dense by
+  // construction (mean imputation fills uncovered pairs) — it still
+  // rides the SparseTensor3 interface for a uniform downstream path.
   for (std::size_t k = 0; k < networks.num_sources(); ++k) {
     Tensor3 adapted = finalize(ProjectTensor(raw_tensors[k + 1],
                                              scalers[k + 1],
                                              out.projections[k + 1]));
-    out.tensors.push_back(
-        ReindexToTarget(adapted, networks.anchors(k), n_target));
+    out.tensors.push_back(SparseTensor3::FromDense(
+        ReindexToTarget(adapted, networks.anchors(k), n_target)));
   }
   return out;
 }
 
 Result<AdaptedFeatures> PassthroughAdapt(
     const AlignedNetworks& networks,
-    const std::vector<Tensor3>& raw_tensors) {
+    const std::vector<SparseTensor3>& raw_tensors) {
   if (raw_tensors.size() != networks.num_sources() + 1) {
     return Status::InvalidArgument("need one raw tensor per network");
   }
@@ -248,8 +266,8 @@ Result<AdaptedFeatures> PassthroughAdapt(
   const std::size_t n_target = networks.target().NumUsers();
   out.tensors.push_back(raw_tensors[0]);
   for (std::size_t k = 0; k < networks.num_sources(); ++k) {
-    out.tensors.push_back(ReindexToTarget(raw_tensors[k + 1],
-                                          networks.anchors(k), n_target));
+    out.tensors.push_back(SparseTensor3::FromDense(ReindexToTarget(
+        raw_tensors[k + 1].ToDense(), networks.anchors(k), n_target)));
   }
   return out;
 }

@@ -15,7 +15,7 @@
 #include "embedding/projection_solver.h"
 #include "graph/aligned_networks.h"
 #include "graph/social_graph.h"
-#include "linalg/tensor3.h"
+#include "linalg/sparse_tensor3.h"
 #include "util/random.h"
 #include "util/status.h"
 
@@ -35,7 +35,10 @@ struct AdaptedFeatures {
   /// tensors[0] = adapted target features (c x n_t x n_t);
   /// tensors[k>=1] = source k features mapped through anchors into
   /// target coordinates (zero where either endpoint is unanchored).
-  std::vector<Tensor3> tensors;
+  /// Stored sparse: the projection itself is dense work, but the
+  /// adapted slices sparsify at the boundary so downstream consumers
+  /// (objective, scorers) stay on the CSR path.
+  std::vector<SparseTensor3> tensors;
   /// The learned projections (projections[k] is d_k x c).
   std::vector<Matrix> projections;
   Vector eigenvalues;  ///< Generalized eigenvalues behind the projection.
@@ -46,7 +49,7 @@ struct AdaptedFeatures {
 /// tensor on its own graph. Deterministic given `rng`'s state.
 Result<AdaptedFeatures> AdaptDomains(const AlignedNetworks& networks,
                                      const SocialGraph& target_structure,
-                                     const std::vector<Tensor3>& raw_tensors,
+                                     const std::vector<SparseTensor3>& raw_tensors,
                                      const DomainAdapterOptions& options,
                                      Rng& rng);
 
@@ -56,7 +59,8 @@ Result<AdaptedFeatures> AdaptDomains(const AlignedNetworks& networks,
 /// This is what "transferring without domain adaptation" means for a
 /// matrix-estimation model.
 Result<AdaptedFeatures> PassthroughAdapt(
-    const AlignedNetworks& networks, const std::vector<Tensor3>& raw_tensors);
+    const AlignedNetworks& networks,
+    const std::vector<SparseTensor3>& raw_tensors);
 
 }  // namespace slampred
 

@@ -12,7 +12,7 @@ namespace {
 // Samples `count` positives (existing edges) and `count_neg` negatives
 // (absent pairs) from `graph`, appending to `out` with the given network
 // id and features from `tensor`. `taken` avoids duplicates.
-void SampleFromGraph(const SocialGraph& graph, const Tensor3& tensor,
+void SampleFromGraph(const SocialGraph& graph, const SparseTensor3& tensor,
                      std::size_t network_id,
                      const InstanceSampleOptions& options, Rng& rng,
                      std::set<UserPair>* taken,
@@ -55,8 +55,8 @@ void SampleFromGraph(const SocialGraph& graph, const Tensor3& tensor,
 
 Result<InstanceSample> SampleLinkInstances(
     const AlignedNetworks& networks, const SocialGraph& target_structure,
-    const std::vector<Tensor3>& tensors, const InstanceSampleOptions& options,
-    Rng& rng) {
+    const std::vector<SparseTensor3>& tensors,
+    const InstanceSampleOptions& options, Rng& rng) {
   const std::size_t num_networks = networks.num_sources() + 1;
   if (tensors.size() != num_networks) {
     return Status::InvalidArgument("need one feature tensor per network");

@@ -11,7 +11,7 @@
 
 #include "graph/aligned_networks.h"
 #include "graph/social_graph.h"
-#include "linalg/tensor3.h"
+#include "linalg/sparse_tensor3.h"
 #include "linalg/vector.h"
 #include "util/random.h"
 #include "util/status.h"
@@ -56,10 +56,13 @@ struct InstanceSampleOptions {
 /// instance whose endpoints are both anchored into a source is mirrored
 /// as a source instance before the source's own quota is topped up.
 ///
-/// `tensors[k]` supplies the feature fibres (tensors[0] = target).
+/// `tensors[k]` supplies the feature fibres (tensors[0] = target);
+/// sparse tensors are the pipeline default and fibre reads return exact
+/// zeros for absent entries, matching the dense tensors entry for entry.
 Result<InstanceSample> SampleLinkInstances(
     const AlignedNetworks& networks, const SocialGraph& target_structure,
-    const std::vector<Tensor3>& tensors, const InstanceSampleOptions& options,
+    const std::vector<SparseTensor3>& tensors,
+    const InstanceSampleOptions& options,
     Rng& rng);
 
 }  // namespace slampred

@@ -92,14 +92,14 @@ Status ExperimentRunner::Prepare() {
     eval_sets_.push_back(std::move(eval).value());
 
     // Target tensor for SCAN/PL: full feature set on the training graph.
-    target_tensors_.push_back(BuildFeatureTensor(
+    target_tensors_.push_back(BuildSparseFeatureTensor(
         networks_.target(), train_graphs_.back(), FeatureTensorOptions{}));
   }
 
   for (std::size_t k = 0; k < networks_.num_sources(); ++k) {
     const SocialGraph source_graph =
         SocialGraph::FromHeterogeneousNetwork(networks_.source(k));
-    source_tensors_.push_back(BuildFeatureTensor(
+    source_tensors_.push_back(BuildSparseFeatureTensor(
         networks_.source(k), source_graph, FeatureTensorOptions{}));
   }
   return Status::OK();
@@ -141,7 +141,11 @@ Result<MethodResult> ExperimentRunner::RunMethod(MethodId method,
               (static_cast<std::uint64_t>(method) * 7919 + f * 104729 +
                static_cast<std::uint64_t>(
                    std::lround(anchor_ratio * 1000.0)) * 15485863));
-      auto fold_result = RunFold(method, bundle, f, rng);
+      // Fold 0 reports its fit's sparse-path footprint; each index has
+      // exactly one writing chunk, so the parallel sweep stays
+      // deterministic.
+      auto fold_result = RunFold(method, bundle, f, rng,
+                                 f == 0 ? &result.memory_stats : nullptr);
       if (!fold_result.ok()) {
         fold_status[f] = fold_result.status();
         continue;
@@ -164,7 +168,7 @@ Result<MethodResult> ExperimentRunner::RunMethod(MethodId method,
 
 Result<std::pair<double, double>> ExperimentRunner::RunFold(
     MethodId method, const AlignedNetworks& bundle, std::size_t fold_index,
-    Rng& rng) {
+    Rng& rng, FitMemoryStats* memory_stats) {
   const SocialGraph& train_graph = train_graphs_[fold_index];
   const EvaluationSet& eval = eval_sets_[fold_index];
   const std::vector<UserPair>& test_edges = folds_[fold_index].test_edges;
@@ -186,6 +190,7 @@ Result<std::pair<double, double>> ExperimentRunner::RunFold(
       config.seed = rng.NextUint64();
       SlamPred model(config);
       SLAMPRED_RETURN_NOT_OK(model.Fit(bundle, train_graph));
+      if (memory_stats != nullptr) *memory_stats = model.memory_stats();
       scores = model.ScorePairs(eval.pairs);
       break;
     }
@@ -198,9 +203,9 @@ Result<std::pair<double, double>> ExperimentRunner::RunFold(
               ? FeatureSource::kBoth
               : (method == MethodId::kPlT ? FeatureSource::kTargetOnly
                                           : FeatureSource::kSourceOnly);
-      std::vector<Tensor3> raw_tensors;
+      std::vector<SparseTensor3> raw_tensors;
       raw_tensors.push_back(target_tensors_[fold_index]);
-      for (const Tensor3& t : source_tensors_) raw_tensors.push_back(t);
+      for (const SparseTensor3& t : source_tensors_) raw_tensors.push_back(t);
       Pl model(pl_options);
       SLAMPRED_RETURN_NOT_OK(
           model.Fit(bundle, train_graph, raw_tensors, test_edges, rng));
@@ -216,9 +221,9 @@ Result<std::pair<double, double>> ExperimentRunner::RunFold(
               ? FeatureSource::kBoth
               : (method == MethodId::kScanT ? FeatureSource::kTargetOnly
                                             : FeatureSource::kSourceOnly);
-      std::vector<Tensor3> raw_tensors;
+      std::vector<SparseTensor3> raw_tensors;
       raw_tensors.push_back(target_tensors_[fold_index]);
-      for (const Tensor3& t : source_tensors_) raw_tensors.push_back(t);
+      for (const SparseTensor3& t : source_tensors_) raw_tensors.push_back(t);
       Scan model(scan_options);
       SLAMPRED_RETURN_NOT_OK(
           model.Fit(bundle, train_graph, raw_tensors, test_edges, rng));

@@ -17,7 +17,7 @@
 #include "eval/link_split.h"
 #include "eval/metrics.h"
 #include "graph/aligned_networks.h"
-#include "linalg/tensor3.h"
+#include "linalg/sparse_tensor3.h"
 #include "util/status.h"
 
 namespace slampred {
@@ -68,6 +68,9 @@ struct MethodResult {
   MeanStd precision;
   std::vector<double> auc_folds;
   std::vector<double> precision_folds;
+  /// Sparse-path footprint of the fold-0 SLAMPRED fit (all folds share
+  /// the same data shapes); zero-valued for methods without such a fit.
+  FitMemoryStats memory_stats;
 };
 
 /// Runs methods over fixed folds of one aligned bundle.
@@ -90,11 +93,13 @@ class ExperimentRunner {
 
   Status Prepare();
 
-  /// Scores one fold; returns {auc, precision@k}.
+  /// Scores one fold; returns {auc, precision@k}. When `memory_stats`
+  /// is non-null and the method fits a SLAMPRED model, the fit's
+  /// sparse-path footprint is written through it.
   Result<std::pair<double, double>> RunFold(MethodId method,
                                             const AlignedNetworks& bundle,
-                                            std::size_t fold_index,
-                                            Rng& rng);
+                                            std::size_t fold_index, Rng& rng,
+                                            FitMemoryStats* memory_stats);
 
   /// The anchor-subsampled bundle for `ratio`, built once and cached.
   const AlignedNetworks& BundleAtRatio(double ratio);
@@ -105,11 +110,11 @@ class ExperimentRunner {
   std::vector<LinkFold> folds_;
   std::vector<SocialGraph> train_graphs_;
   std::vector<EvaluationSet> eval_sets_;
-  /// Raw per-fold target feature tensors (full feature set), shared by
-  /// the SCAN/PL variants.
-  std::vector<Tensor3> target_tensors_;
-  /// Raw source tensors (fold-independent).
-  std::vector<Tensor3> source_tensors_;
+  /// Raw per-fold target feature tensors (full feature set, CSR),
+  /// shared by the SCAN/PL variants.
+  std::vector<SparseTensor3> target_tensors_;
+  /// Raw source tensors (fold-independent, CSR).
+  std::vector<SparseTensor3> source_tensors_;
   std::map<int, AlignedNetworks> bundles_by_ratio_key_;
 };
 

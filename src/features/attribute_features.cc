@@ -1,8 +1,11 @@
 #include "features/attribute_features.h"
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace slampred {
 
@@ -80,6 +83,92 @@ Matrix CosineSimilarityMap(const Matrix& profiles) {
 Matrix AttributeSimilarityMap(const HeterogeneousNetwork& network,
                               AttributeKind kind) {
   return CosineSimilarityMap(UserAttributeProfile(network, kind));
+}
+
+CsrMatrix UserAttributeProfileCsr(const HeterogeneousNetwork& network,
+                                  AttributeKind kind) {
+  const std::size_t users = network.NumUsers();
+  const std::size_t universe = network.NumNodes(KindToNodeType(kind));
+  const EdgeType post_edge = KindToPostEdge(kind);
+  TripletBuilder builder(users, universe);
+  for (std::size_t u = 0; u < users; ++u) {
+    for (std::size_t post : network.Neighbors(EdgeType::kWrite, u)) {
+      for (std::size_t attr : network.Neighbors(post_edge, post)) {
+        builder.Add(u, attr, 1.0);
+      }
+    }
+  }
+  // Duplicate (u, attr) triplets sum to the same integer counts the
+  // dense `+= 1.0` loop produces — exact.
+  return builder.Build();
+}
+
+CsrMatrix CosineSimilarityCsr(const CsrMatrix& profiles) {
+  const std::size_t n = profiles.rows();
+  // Norms from stored squares, attribute id ascending. The dense loop
+  // also sums its zero squares — exact no-ops on a non-negative sum.
+  std::vector<double> norms(n, 0.0);
+  for (std::size_t u = 0; u < n; ++u) {
+    double sum = 0.0;
+    for (std::size_t p = profiles.row_ptr()[u]; p < profiles.row_ptr()[u + 1];
+         ++p) {
+      sum += profiles.values()[p] * profiles.values()[p];
+    }
+    norms[u] = std::sqrt(sum);
+  }
+  // Inverted index: row a of the transpose lists the users holding
+  // attribute a, in ascending user order.
+  const CsrMatrix pt = profiles.Transposed();
+  const std::size_t avg_row_nnz =
+      n == 0 ? 1 : profiles.nnz() / std::max<std::size_t>(1, n) + 1;
+  std::vector<std::vector<CsrMatrix::RowEntry>> rows(n);
+  ParallelFor(
+      0, n, GrainForWork(avg_row_nnz * avg_row_nnz + 1),
+      [&](std::size_t row0, std::size_t row1) {
+        std::vector<double> scratch(n, 0.0);
+        std::vector<char> seen(n, 0);
+        std::vector<std::size_t> touched;
+        for (std::size_t u = row0; u < row1; ++u) {
+          if (norms[u] == 0.0) continue;
+          touched.clear();
+          // Outer loop ascends over u's attributes, so each pair's dot
+          // accumulates in the dense a-ascending order (with its exact
+          // zero terms skipped — all products are non-negative). Both
+          // (u, v) and (v, u) are computed independently from identical
+          // term sequences (FP multiplication is commutative), so the
+          // map stays exactly symmetric like the dense mirror-write.
+          for (std::size_t p = profiles.row_ptr()[u];
+               p < profiles.row_ptr()[u + 1]; ++p) {
+            const std::size_t a = profiles.col_idx()[p];
+            const double pu = profiles.values()[p];
+            for (std::size_t q = pt.row_ptr()[a]; q < pt.row_ptr()[a + 1];
+                 ++q) {
+              const std::size_t v = pt.col_idx()[q];
+              if (!seen[v]) {
+                seen[v] = 1;
+                touched.push_back(v);
+              }
+              scratch[v] += pu * pt.values()[q];
+            }
+          }
+          std::sort(touched.begin(), touched.end());
+          rows[u].reserve(touched.size());
+          for (std::size_t v : touched) {
+            if (v != u && norms[v] != 0.0) {
+              const double sim = scratch[v] / (norms[u] * norms[v]);
+              if (sim != 0.0) rows[u].push_back({v, sim});
+            }
+            scratch[v] = 0.0;
+            seen[v] = 0;
+          }
+        }
+      });
+  return CsrMatrix::FromRows(n, std::move(rows));
+}
+
+CsrMatrix AttributeSimilarityCsr(const HeterogeneousNetwork& network,
+                                 AttributeKind kind) {
+  return CosineSimilarityCsr(UserAttributeProfileCsr(network, kind));
 }
 
 }  // namespace slampred

@@ -8,6 +8,7 @@
 #define SLAMPRED_FEATURES_ATTRIBUTE_FEATURES_H_
 
 #include "graph/heterogeneous_network.h"
+#include "linalg/csr_matrix.h"
 #include "linalg/matrix.h"
 
 namespace slampred {
@@ -31,6 +32,24 @@ Matrix CosineSimilarityMap(const Matrix& profiles);
 /// Shorthand: cosine-similarity map of the given attribute kind.
 Matrix AttributeSimilarityMap(const HeterogeneousNetwork& network,
                               AttributeKind kind);
+
+// Sparse-native builders — the pipeline's default path. Profiles and
+// similarity maps only store the entries the dense versions fill in;
+// every stored value is bit-identical to the dense reference (cosine
+// terms are non-negative, so skipping the zero addends is exact).
+
+/// CSR UserAttributeProfile (counts are summed-1.0 triplets — exact).
+CsrMatrix UserAttributeProfileCsr(const HeterogeneousNetwork& network,
+                                  AttributeKind kind);
+
+/// CSR CosineSimilarityMap over CSR profiles: norms from stored squares,
+/// dots via an attribute-inverted index with the attribute id ascending
+/// per pair — the dense accumulation order minus its exact-zero terms.
+CsrMatrix CosineSimilarityCsr(const CsrMatrix& profiles);
+
+/// Shorthand: CSR cosine-similarity map of the given attribute kind.
+CsrMatrix AttributeSimilarityCsr(const HeterogeneousNetwork& network,
+                                 AttributeKind kind);
 
 }  // namespace slampred
 

@@ -114,4 +114,74 @@ Tensor3 BuildFeatureTensor(const HeterogeneousNetwork& network,
   return tensor;
 }
 
+SparseTensor3 BuildSparseFeatureTensor(const HeterogeneousNetwork& network,
+                                       const SocialGraph& structure,
+                                       const FeatureTensorOptions& options) {
+  SLAMPRED_CHECK(structure.num_users() == network.NumUsers())
+      << "structure graph and network must have the same user set";
+  const std::size_t n = network.NumUsers();
+  const std::size_t d = NumFeatures(options);
+  SparseTensor3 tensor(d, n, n);
+
+  std::size_t slice = 0;
+  // The CSR extractors never emit diagonal entries, so the dense path's
+  // explicit diagonal zeroing is already satisfied.
+  auto add = [&](CsrMatrix map) { tensor.SetSlice(slice++, std::move(map)); };
+  // Meta-path fallback: dense extraction, diagonal zeroed, sparsified.
+  auto add_dense = [&](Matrix map) {
+    for (std::size_t i = 0; i < n; ++i) map(i, i) = 0.0;
+    add(CsrMatrix::FromDense(map));
+  };
+
+  if (options.common_neighbors) add(CommonNeighborsCsr(structure));
+  if (options.jaccard) add(JaccardCsr(structure));
+  if (options.adamic_adar) add(AdamicAdarCsr(structure));
+  if (options.resource_allocation) add(ResourceAllocationCsr(structure));
+  if (options.preferential_attachment) {
+    add(PreferentialAttachmentCsr(structure));
+  }
+  if (options.truncated_katz) {
+    add(TruncatedKatzCsr(structure, options.katz_beta));
+  }
+  if (options.word_similarity) {
+    add(AttributeSimilarityCsr(network, AttributeKind::kWord));
+  }
+  if (options.location_similarity) {
+    add(AttributeSimilarityCsr(network, AttributeKind::kLocation));
+  }
+  if (options.time_similarity) {
+    add(AttributeSimilarityCsr(network, AttributeKind::kTimestamp));
+  }
+  if (options.meta_paths) {
+    for (MetaPath path : AllMetaPaths()) {
+      if (path == MetaPath::kUserUserUser) {
+        const Matrix a = structure.AdjacencyMatrix();
+        Matrix counts = a * a;
+        Matrix sim(n, n);
+        ParallelFor(0, n, GrainForWork(n),
+                    [&](std::size_t row0, std::size_t row1) {
+                      for (std::size_t u = row0; u < row1; ++u) {
+                        const double cu = counts(u, u);
+                        if (cu <= 0.0) continue;
+                        for (std::size_t v = 0; v < n; ++v) {
+                          if (v == u) continue;
+                          const double cv = counts(v, v);
+                          if (cv <= 0.0) continue;
+                          sim(u, v) = counts(u, v) / std::sqrt(cu * cv);
+                        }
+                      }
+                    });
+        add_dense(std::move(sim));
+      } else {
+        add_dense(MetaPathSimilarityMap(network, path));
+      }
+    }
+  }
+  SLAMPRED_CHECK(slice == d);
+
+  tensor.NormalizeSlicesMinMax();
+  if (options.sqrt_transform) tensor.ApplySqrt();
+  return tensor;
+}
+
 }  // namespace slampred

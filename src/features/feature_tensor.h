@@ -10,6 +10,7 @@
 
 #include "graph/heterogeneous_network.h"
 #include "graph/social_graph.h"
+#include "linalg/sparse_tensor3.h"
 #include "linalg/tensor3.h"
 
 namespace slampred {
@@ -54,6 +55,16 @@ std::size_t NumFeatures(const FeatureTensorOptions& options);
 Tensor3 BuildFeatureTensor(const HeterogeneousNetwork& network,
                            const SocialGraph& structure,
                            const FeatureTensorOptions& options = {});
+
+/// Sparse-native BuildFeatureTensor — the pipeline's default path. Each
+/// slice is built directly in CSR (meta-path slices, off by default,
+/// fall back to the dense extractor and sparsify), normalised and
+/// sqrt-transformed on stored values only. The result densifies to
+/// exactly BuildFeatureTensor's tensor, bit for bit; memory and work
+/// scale with the slices' nnz instead of d·n².
+SparseTensor3 BuildSparseFeatureTensor(const HeterogeneousNetwork& network,
+                                       const SocialGraph& structure,
+                                       const FeatureTensorOptions& options = {});
 
 }  // namespace slampred
 

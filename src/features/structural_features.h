@@ -7,6 +7,7 @@
 #define SLAMPRED_FEATURES_STRUCTURAL_FEATURES_H_
 
 #include "graph/social_graph.h"
+#include "linalg/csr_matrix.h"
 #include "linalg/matrix.h"
 
 namespace slampred {
@@ -31,6 +32,34 @@ Matrix PreferentialAttachmentMap(const SocialGraph& graph);
 /// Truncated Katz index β A² + β² A³ (paths of length 2 and 3); captures
 /// slightly longer-range closure than CN without a matrix inverse.
 Matrix TruncatedKatzMap(const SocialGraph& graph, double beta = 0.05);
+
+// Sparse-native builders — the pipeline's default path. Each produces
+// the CSR form of the matching dense map above with bit-identical
+// stored values (the dense maps are kept as the equivalence-test
+// references): the per-element accumulation order is the same and every
+// skipped zero term is an exact no-op. Work and memory scale with the
+// two-hop neighborhood size (O(Σ deg²)) instead of n².
+
+/// CSR CommonNeighborsMap.
+CsrMatrix CommonNeighborsCsr(const SocialGraph& graph);
+
+/// CSR JaccardMap (pattern = the common-neighbor pattern).
+CsrMatrix JaccardCsr(const SocialGraph& graph);
+
+/// CSR AdamicAdarMap.
+CsrMatrix AdamicAdarCsr(const SocialGraph& graph);
+
+/// CSR ResourceAllocationMap.
+CsrMatrix ResourceAllocationCsr(const SocialGraph& graph);
+
+/// CSR PreferentialAttachmentMap. Every pair of nonzero-degree users
+/// scores, so this slice is inherently ~n² nnz — it is kept CSR for
+/// interface uniformity, not for memory.
+CsrMatrix PreferentialAttachmentCsr(const SocialGraph& graph);
+
+/// CSR TruncatedKatzMap via SpGEMM (A², A³ as sparse products) — the
+/// big win over the dense O(n³) GEMM on sparse graphs.
+CsrMatrix TruncatedKatzCsr(const SocialGraph& graph, double beta = 0.05);
 
 }  // namespace slampred
 

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "graph/node_types.h"
+#include "linalg/csr_matrix.h"
 #include "util/status.h"
 
 namespace slampred {
@@ -58,6 +59,13 @@ class HeterogeneousNetwork {
   /// Removes all friend edges (used when re-basing a network on a
   /// training fold); other edge types are untouched.
   void ClearFriendEdges();
+
+  /// The 0/1 incidence of `type` in CSR — source-type nodes as rows,
+  /// destination-type nodes as columns, built straight from the sorted
+  /// adjacency lists in O(nnz). For kFriend this is the symmetric
+  /// user x user layer; other types are the bipartite layers the
+  /// attribute profiles aggregate over.
+  CsrMatrix AdjacencyCsr(EdgeType type) const;
 
   /// One-line summary: node and edge counts per type.
   std::string Summary() const;

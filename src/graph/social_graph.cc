@@ -86,6 +86,10 @@ Matrix SocialGraph::AdjacencyMatrix() const {
   return a;
 }
 
+CsrMatrix SocialGraph::AdjacencyCsr() const {
+  return CsrMatrix::FromSortedLists(adjacency_, num_users());
+}
+
 std::size_t SocialGraph::CommonNeighborCount(std::size_t u,
                                              std::size_t v) const {
   const auto& nu = Neighbors(u);

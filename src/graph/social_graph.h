@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "linalg/csr_matrix.h"
 #include "linalg/matrix.h"
 #include "util/status.h"
 
@@ -65,8 +66,14 @@ class SocialGraph {
   /// All edges as normalised pairs, sorted.
   std::vector<UserPair> Edges() const;
 
-  /// Symmetric 0/1 adjacency matrix (the paper's Aᵗ).
+  /// Symmetric 0/1 adjacency matrix (the paper's Aᵗ), densified.
+  /// Prefer AdjacencyCsr — the dense form is O(n²) and only kept for
+  /// tests and the dense reference kernels.
   Matrix AdjacencyMatrix() const;
+
+  /// Symmetric 0/1 adjacency in CSR, built straight from the sorted
+  /// neighbor lists in O(nnz) — the pipeline's default Aᵗ.
+  CsrMatrix AdjacencyCsr() const;
 
   /// |Γ(u) ∩ Γ(v)| — shared-neighbor count (both lists are sorted).
   std::size_t CommonNeighborCount(std::size_t u, std::size_t v) const;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace slampred {
 
@@ -57,6 +58,55 @@ CsrMatrix CsrMatrix::FromDense(const Matrix& dense, double drop_tol) {
   return FromTriplets(dense.rows(), dense.cols(), std::move(trips));
 }
 
+CsrMatrix CsrMatrix::FromSortedLists(
+    const std::vector<std::vector<std::size_t>>& lists, std::size_t cols) {
+  CsrMatrix m;
+  m.rows_ = lists.size();
+  m.cols_ = cols;
+  m.row_ptr_.assign(lists.size() + 1, 0);
+  std::size_t nnz = 0;
+  for (std::size_t i = 0; i < lists.size(); ++i) {
+    nnz += lists[i].size();
+    m.row_ptr_[i + 1] = nnz;
+  }
+  m.col_idx_.reserve(nnz);
+  m.values_.assign(nnz, 1.0);
+  for (const std::vector<std::size_t>& list : lists) {
+    for (std::size_t j : list) {
+      SLAMPRED_CHECK(j < cols) << "list index " << j << " outside " << cols
+                               << " cols";
+      m.col_idx_.push_back(j);
+    }
+  }
+  return m;
+}
+
+CsrMatrix CsrMatrix::FromRows(std::size_t cols,
+                              std::vector<std::vector<RowEntry>> rows) {
+  CsrMatrix m;
+  m.rows_ = rows.size();
+  m.cols_ = cols;
+  m.row_ptr_.assign(rows.size() + 1, 0);
+  std::size_t nnz = 0;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    for (const RowEntry& e : rows[i]) {
+      if (e.second != 0.0) ++nnz;
+    }
+    m.row_ptr_[i + 1] = nnz;
+  }
+  m.col_idx_.reserve(nnz);
+  m.values_.reserve(nnz);
+  for (const std::vector<RowEntry>& row : rows) {
+    for (const RowEntry& e : row) {
+      if (e.second == 0.0) continue;
+      SLAMPRED_CHECK(e.first < cols) << "row entry outside " << cols << " cols";
+      m.col_idx_.push_back(e.first);
+      m.values_.push_back(e.second);
+    }
+  }
+  return m;
+}
+
 CsrMatrix CsrMatrix::Identity(std::size_t n) {
   std::vector<Triplet> trips;
   trips.reserve(n);
@@ -101,17 +151,71 @@ Vector CsrMatrix::MultiplyTranspose(const Vector& x) const {
 
 Matrix CsrMatrix::MultiplyDense(const Matrix& b) const {
   SLAMPRED_CHECK(b.rows() == cols_) << "CSR * dense shape mismatch";
-  Matrix out(rows_, b.cols());
-  for (std::size_t i = 0; i < rows_; ++i) {
-    for (std::size_t p = row_ptr_[i]; p < row_ptr_[i + 1]; ++p) {
-      const double v = values_[p];
-      const std::size_t k = col_idx_[p];
-      for (std::size_t j = 0; j < b.cols(); ++j) {
-        out(i, j) += v * b(k, j);
-      }
-    }
-  }
+  const std::size_t ncols = b.cols();
+  Matrix out(rows_, ncols);
+  // One writing chunk per output row; the stored k stream ascending per
+  // row, so the accumulation order per element is partition-independent.
+  const std::size_t avg_row_work =
+      rows_ == 0 ? 1 : (nnz() * ncols) / rows_ + 1;
+  ParallelFor(0, rows_, GrainForWork(avg_row_work),
+              [&](std::size_t row0, std::size_t row1) {
+                for (std::size_t i = row0; i < row1; ++i) {
+                  double* out_row = out.data().data() + i * ncols;
+                  for (std::size_t p = row_ptr_[i]; p < row_ptr_[i + 1]; ++p) {
+                    const double v = values_[p];
+                    const double* b_row = b.data().data() + col_idx_[p] * ncols;
+                    for (std::size_t j = 0; j < ncols; ++j) {
+                      out_row[j] += v * b_row[j];
+                    }
+                  }
+                }
+              });
   return out;
+}
+
+CsrMatrix CsrMatrix::MultiplySparse(const CsrMatrix& b) const {
+  SLAMPRED_CHECK(b.rows() == cols_) << "CSR * CSR shape mismatch";
+  const std::size_t ncols = b.cols_;
+  std::vector<std::vector<RowEntry>> out_rows(rows_);
+  // Row-gather SpGEMM with a per-chunk dense scratch: for output row i
+  // the stored k of A's row i stream ascending, so each element (i, j)
+  // accumulates its products in the dense GEMM kernel's k order.
+  const std::size_t avg_row_work =
+      rows_ == 0 ? 1
+                 : (nnz() * (b.nnz() / std::max<std::size_t>(1, b.rows_) + 1)) /
+                           rows_ +
+                       1;
+  ParallelFor(
+      0, rows_, GrainForWork(avg_row_work),
+      [&](std::size_t row0, std::size_t row1) {
+        std::vector<double> scratch(ncols, 0.0);
+        std::vector<char> seen(ncols, 0);
+        std::vector<std::size_t> touched;
+        for (std::size_t i = row0; i < row1; ++i) {
+          touched.clear();
+          for (std::size_t p = row_ptr_[i]; p < row_ptr_[i + 1]; ++p) {
+            const double aik = values_[p];
+            const std::size_t k = col_idx_[p];
+            for (std::size_t q = b.row_ptr_[k]; q < b.row_ptr_[k + 1]; ++q) {
+              const std::size_t j = b.col_idx_[q];
+              if (!seen[j]) {
+                seen[j] = 1;
+                touched.push_back(j);
+              }
+              scratch[j] += aik * b.values_[q];
+            }
+          }
+          std::sort(touched.begin(), touched.end());
+          std::vector<RowEntry>& out_row = out_rows[i];
+          out_row.reserve(touched.size());
+          for (std::size_t j : touched) {
+            if (scratch[j] != 0.0) out_row.push_back({j, scratch[j]});
+            scratch[j] = 0.0;
+            seen[j] = 0;
+          }
+        }
+      });
+  return FromRows(ncols, std::move(out_rows));
 }
 
 Matrix CsrMatrix::MultiplyTransposeDense(const Matrix& b) const {
@@ -186,10 +290,113 @@ CsrMatrix CsrMatrix::Add(const CsrMatrix& other) const {
   return FromTriplets(rows_, cols_, std::move(trips));
 }
 
+CsrMatrix CsrMatrix::WithoutDiagonal() const {
+  std::vector<std::vector<RowEntry>> out_rows(rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    out_rows[i].reserve(row_ptr_[i + 1] - row_ptr_[i]);
+    for (std::size_t p = row_ptr_[i]; p < row_ptr_[i + 1]; ++p) {
+      if (col_idx_[p] == i) continue;
+      out_rows[i].push_back({col_idx_[p], values_[p]});
+    }
+  }
+  return FromRows(cols_, std::move(out_rows));
+}
+
+CsrMatrix CsrMatrix::AddScaled(const CsrMatrix& other, double factor) const {
+  SLAMPRED_CHECK(rows_ == other.rows_ && cols_ == other.cols_)
+      << "CSR AddScaled shape mismatch";
+  std::vector<std::vector<RowEntry>> out_rows(rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    std::size_t p = row_ptr_[i];
+    std::size_t q = other.row_ptr_[i];
+    const std::size_t p_end = row_ptr_[i + 1];
+    const std::size_t q_end = other.row_ptr_[i + 1];
+    std::vector<RowEntry>& out_row = out_rows[i];
+    out_row.reserve((p_end - p) + (q_end - q));
+    while (p < p_end || q < q_end) {
+      if (q >= q_end || (p < p_end && col_idx_[p] < other.col_idx_[q])) {
+        out_row.push_back({col_idx_[p], values_[p]});
+        ++p;
+      } else if (p >= p_end || other.col_idx_[q] < col_idx_[p]) {
+        out_row.push_back({other.col_idx_[q], factor * other.values_[q]});
+        ++q;
+      } else {
+        out_row.push_back(
+            {col_idx_[p], values_[p] + factor * other.values_[q]});
+        ++p;
+        ++q;
+      }
+    }
+  }
+  return FromRows(cols_, std::move(out_rows));
+}
+
+CsrMatrix CsrMatrix::Hadamard(const CsrMatrix& other) const {
+  SLAMPRED_CHECK(rows_ == other.rows_ && cols_ == other.cols_)
+      << "CSR Hadamard shape mismatch";
+  std::vector<std::vector<RowEntry>> out_rows(rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    std::size_t p = row_ptr_[i];
+    std::size_t q = other.row_ptr_[i];
+    const std::size_t p_end = row_ptr_[i + 1];
+    const std::size_t q_end = other.row_ptr_[i + 1];
+    while (p < p_end && q < q_end) {
+      if (col_idx_[p] < other.col_idx_[q]) {
+        ++p;
+      } else if (other.col_idx_[q] < col_idx_[p]) {
+        ++q;
+      } else {
+        out_rows[i].push_back({col_idx_[p], values_[p] * other.values_[q]});
+        ++p;
+        ++q;
+      }
+    }
+  }
+  return FromRows(cols_, std::move(out_rows));
+}
+
+CsrMatrix CsrMatrix::HadamardDense(const Matrix& dense) const {
+  SLAMPRED_CHECK(rows_ == dense.rows() && cols_ == dense.cols())
+      << "CSR HadamardDense shape mismatch";
+  std::vector<std::vector<RowEntry>> out_rows(rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    out_rows[i].reserve(row_ptr_[i + 1] - row_ptr_[i]);
+    for (std::size_t p = row_ptr_[i]; p < row_ptr_[i + 1]; ++p) {
+      out_rows[i].push_back(
+          {col_idx_[p], values_[p] * dense(i, col_idx_[p])});
+    }
+  }
+  return FromRows(cols_, std::move(out_rows));
+}
+
 double CsrMatrix::Sum() const {
   double sum = 0.0;
   for (double v : values_) sum += v;
   return sum;
+}
+
+double CsrMatrix::NormL1() const {
+  double sum = 0.0;
+  for (double v : values_) sum += std::fabs(v);
+  return sum;
+}
+
+double CsrMatrix::NormFrobenius() const {
+  double sum = 0.0;
+  for (double v : values_) sum += v * v;
+  return std::sqrt(sum);
+}
+
+double CsrMatrix::MaxAbs() const {
+  double best = 0.0;
+  for (double v : values_) best = std::max(best, std::fabs(v));
+  return best;
+}
+
+std::size_t CsrMatrix::EstimatedBytes() const {
+  return row_ptr_.size() * sizeof(std::size_t) +
+         col_idx_.size() * sizeof(std::size_t) +
+         values_.size() * sizeof(double);
 }
 
 }  // namespace slampred

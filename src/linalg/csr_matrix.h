@@ -1,7 +1,14 @@
-// Compressed sparse row matrix for the big, sparse link-instance
-// indicator matrices W_A / W_S / W_D and their Laplacian products. The
-// embedding step multiplies these against the block-diagonal feature
-// matrix Z, which is far cheaper in CSR than dense.
+// Compressed sparse row matrix — the default representation for the
+// pipeline's data matrices: the social adjacency Aᵗ, the intimacy
+// feature slices, the attribute profiles, and the link-instance
+// indicator matrices W_A / W_S / W_D. Only the solver iterate S and the
+// SVD factors stay dense (see DESIGN.md "Sparse data path").
+//
+// Every kernel that can run in parallel goes through the deterministic
+// ParallelFor, and the accumulation order of each output element is the
+// same as the dense reference kernel's (k ascending, zero terms skipped
+// — an exact no-op for the sums involved), so sparse results match the
+// dense path bit for bit.
 
 #ifndef SLAMPRED_LINALG_CSR_MATRIX_H_
 #define SLAMPRED_LINALG_CSR_MATRIX_H_
@@ -35,6 +42,12 @@ class CsrMatrix {
   /// Converts a dense matrix, dropping entries with |v| <= drop_tol.
   static CsrMatrix FromDense(const Matrix& dense, double drop_tol = 0.0);
 
+  /// Builds a 0/1 matrix directly from per-row sorted index lists (the
+  /// adjacency-list layout of SocialGraph / HeterogeneousNetwork) in
+  /// O(nnz), without a triplet sort.
+  static CsrMatrix FromSortedLists(
+      const std::vector<std::vector<std::size_t>>& lists, std::size_t cols);
+
   /// Sparse identity of order n.
   static CsrMatrix Identity(std::size_t n);
 
@@ -51,11 +64,22 @@ class CsrMatrix {
   /// y = Aᵀ x.
   Vector MultiplyTranspose(const Vector& x) const;
 
-  /// C = A B with dense B (rows() x b.cols() dense result).
+  /// C = A B with dense B (rows() x b.cols() dense result). Rows are
+  /// processed in parallel (one writing chunk per output row); within a
+  /// row the stored entries stream in ascending column order, matching
+  /// the dense GEMM kernel's k order with its zero-skip, so the result
+  /// is bit-identical to ToDense() * b.
   Matrix MultiplyDense(const Matrix& b) const;
 
   /// C = Aᵀ B with dense B.
   Matrix MultiplyTransposeDense(const Matrix& b) const;
+
+  /// C = A B with sparse B (row-gather SpGEMM). Per output element the
+  /// inner index k runs strictly ascending and zero products are
+  /// skipped — the same accumulation order as the dense GEMM kernel, so
+  /// ToDense() of the result equals the dense product (computed exact
+  /// zeros are dropped, like FromDense).
+  CsrMatrix MultiplySparse(const CsrMatrix& b) const;
 
   /// Row sums (the degree vector of an adjacency-like matrix).
   Vector RowSums() const;
@@ -72,13 +96,52 @@ class CsrMatrix {
   /// Entry-wise sum A + B (shapes must match).
   CsrMatrix Add(const CsrMatrix& other) const;
 
+  /// Copy with the diagonal entries removed (feature maps zero the
+  /// self-pair diagonal).
+  CsrMatrix WithoutDiagonal() const;
+
+  /// Entry-wise A + factor · B via a sorted row merge. Values combine
+  /// as a + factor * b with absent entries contributing exact zeros, so
+  /// the result matches the dense expression entry for entry.
+  CsrMatrix AddScaled(const CsrMatrix& other, double factor) const;
+
+  /// Entry-wise (Hadamard) product A ∘ B; the pattern is the
+  /// intersection of both patterns.
+  CsrMatrix Hadamard(const CsrMatrix& other) const;
+
+  /// Masked read: gathers `dense` at this matrix's sparsity pattern and
+  /// multiplies entry-wise (the ‖S ∘ X‖-style product with dense S).
+  CsrMatrix HadamardDense(const Matrix& dense) const;
+
   /// Sum of all stored values.
   double Sum() const;
+
+  /// Σ |v| over stored values (equals the dense ℓ₁ norm).
+  double NormL1() const;
+
+  /// √(Σ v²) over stored values (equals the dense Frobenius norm).
+  double NormFrobenius() const;
+
+  /// Largest |v| over stored values (0 for an empty matrix).
+  double MaxAbs() const;
+
+  /// Heap bytes held by the CSR arrays (row_ptr + col_idx + values) —
+  /// the memory-stats counter surfaced by FitMemoryStats.
+  std::size_t EstimatedBytes() const;
 
   /// CSR internals (exposed for iteration by the Laplacian builder).
   const std::vector<std::size_t>& row_ptr() const { return row_ptr_; }
   const std::vector<std::size_t>& col_idx() const { return col_idx_; }
   const std::vector<double>& values() const { return values_; }
+
+  /// One (col, value) entry of a row under assembly.
+  using RowEntry = std::pair<std::size_t, double>;
+
+  /// O(nnz) assembly from per-row entry lists. Each list must be sorted
+  /// by column with no duplicates; exact zeros are dropped. This is the
+  /// fast path for kernels that emit whole rows in parallel.
+  static CsrMatrix FromRows(std::size_t cols,
+                            std::vector<std::vector<RowEntry>> rows);
 
  private:
   std::size_t rows_ = 0;
@@ -86,6 +149,31 @@ class CsrMatrix {
   std::vector<std::size_t> row_ptr_{0};
   std::vector<std::size_t> col_idx_;
   std::vector<double> values_;
+};
+
+/// Incremental triplet collector — the builder convenience for code that
+/// discovers entries in arbitrary order (duplicates are summed, exact
+/// zeros dropped, like FromTriplets).
+class TripletBuilder {
+ public:
+  TripletBuilder(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols) {}
+
+  void Reserve(std::size_t nnz) { triplets_.reserve(nnz); }
+  void Add(std::size_t row, std::size_t col, double value) {
+    triplets_.push_back({row, col, value});
+  }
+  std::size_t size() const { return triplets_.size(); }
+
+  /// Consumes the collected triplets.
+  CsrMatrix Build() {
+    return CsrMatrix::FromTriplets(rows_, cols_, std::move(triplets_));
+  }
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<Triplet> triplets_;
 };
 
 }  // namespace slampred

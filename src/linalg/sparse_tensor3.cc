@@ -1,0 +1,172 @@
+#include "linalg/sparse_tensor3.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
+namespace slampred {
+
+namespace {
+
+// Rebuilds `m` with fn(value) applied to every stored entry (exact-zero
+// results are dropped, preserving the CSR no-stored-zeros invariant).
+template <typename Fn>
+CsrMatrix MapValues(const CsrMatrix& m, Fn fn) {
+  std::vector<std::vector<CsrMatrix::RowEntry>> rows(m.rows());
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    rows[i].reserve(m.row_ptr()[i + 1] - m.row_ptr()[i]);
+    for (std::size_t p = m.row_ptr()[i]; p < m.row_ptr()[i + 1]; ++p) {
+      rows[i].push_back({m.col_idx()[p], fn(m.values()[p])});
+    }
+  }
+  return CsrMatrix::FromRows(m.cols(), std::move(rows));
+}
+
+}  // namespace
+
+SparseTensor3::SparseTensor3(std::size_t dim0, std::size_t dim1,
+                             std::size_t dim2)
+    : dim0_(dim0), dim1_(dim1), dim2_(dim2) {
+  slices_.assign(dim0, CsrMatrix::FromTriplets(dim1, dim2, {}));
+}
+
+SparseTensor3 SparseTensor3::FromDense(const Tensor3& dense,
+                                       double drop_tol) {
+  SparseTensor3 out(dense.dim0(), dense.dim1(), dense.dim2());
+  for (std::size_t k = 0; k < dense.dim0(); ++k) {
+    out.slices_[k] = CsrMatrix::FromDense(dense.Slice(k), drop_tol);
+  }
+  return out;
+}
+
+Tensor3 SparseTensor3::ToDense() const {
+  Tensor3 out(dim0_, dim1_, dim2_);
+  for (std::size_t k = 0; k < dim0_; ++k) {
+    out.SetSlice(k, slices_[k].ToDense());
+  }
+  return out;
+}
+
+double SparseTensor3::At(std::size_t k, std::size_t i, std::size_t j) const {
+  SLAMPRED_CHECK(k < dim0_) << "sparse tensor slice out of range";
+  return slices_[k].At(i, j);
+}
+
+const CsrMatrix& SparseTensor3::SliceCsr(std::size_t k) const {
+  SLAMPRED_CHECK(k < dim0_) << "sparse tensor slice out of range";
+  return slices_[k];
+}
+
+Matrix SparseTensor3::Slice(std::size_t k) const {
+  return SliceCsr(k).ToDense();
+}
+
+void SparseTensor3::SetSlice(std::size_t k, CsrMatrix slice) {
+  SLAMPRED_CHECK(k < dim0_ && slice.rows() == dim1_ && slice.cols() == dim2_)
+      << "sparse slice shape mismatch";
+  slices_[k] = std::move(slice);
+}
+
+Vector SparseTensor3::Fiber(std::size_t i, std::size_t j) const {
+  SLAMPRED_CHECK(i < dim1_ && j < dim2_) << "sparse fibre out of range";
+  Vector out(dim0_);
+  for (std::size_t k = 0; k < dim0_; ++k) out[k] = slices_[k].At(i, j);
+  return out;
+}
+
+Matrix SparseTensor3::SumSlices() const {
+  Matrix out(dim1_, dim2_);
+  // One writing chunk per output row; within a row the slices scatter in
+  // k order, so each element accumulates its fibre with k ascending —
+  // the dense gather's order — and the skipped zeros are exact no-ops.
+  const std::size_t avg_row_work =
+      dim1_ == 0 ? 1 : TotalNnz() / dim1_ + 1;
+  ParallelFor(0, dim1_, GrainForWork(avg_row_work),
+              [&](std::size_t row0, std::size_t row1) {
+                for (std::size_t i = row0; i < row1; ++i) {
+                  double* out_row = out.data().data() + i * dim2_;
+                  for (std::size_t k = 0; k < dim0_; ++k) {
+                    const CsrMatrix& slice = slices_[k];
+                    for (std::size_t p = slice.row_ptr()[i];
+                         p < slice.row_ptr()[i + 1]; ++p) {
+                      out_row[slice.col_idx()[p]] += slice.values()[p];
+                    }
+                  }
+                }
+              });
+  return out;
+}
+
+void SparseTensor3::NormalizeSlicesMinMax() {
+  const std::size_t per_slice = dim1_ * dim2_;
+  if (per_slice == 0) return;
+  for (std::size_t k = 0; k < dim0_; ++k) {
+    const CsrMatrix& slice = slices_[k];
+    // min/max are exactly associative-commutative, so scanning the
+    // stored values and folding in one 0.0 for the implicit zeros gives
+    // the same extrema as the dense full-slice scan.
+    double lo = 0.0;
+    double hi = 0.0;
+    const bool has_implicit_zeros = slice.nnz() < per_slice;
+    if (slice.nnz() > 0) {
+      lo = has_implicit_zeros ? std::min(slice.values()[0], 0.0)
+                              : slice.values()[0];
+      hi = has_implicit_zeros ? std::max(slice.values()[0], 0.0)
+                              : slice.values()[0];
+      for (double v : slice.values()) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+    }
+    const double range = hi - lo;
+    if (range <= 0.0) {
+      // Constant slice (dense maps it to all-zero).
+      slices_[k] = CsrMatrix::FromTriplets(dim1_, dim2_, {});
+      continue;
+    }
+    if (lo < 0.0 && has_implicit_zeros) {
+      // Implicit zeros shift to (0 − lo)/range ≠ 0: the slice is dense
+      // after scaling. Feature slices never take this branch.
+      Matrix dense = slice.ToDense();
+      for (double& v : dense.data()) v = (v - lo) / range;
+      slices_[k] = CsrMatrix::FromDense(dense);
+      continue;
+    }
+    // lo is exactly +0.0 when implicit zeros exist (non-negative slice),
+    // so stored entries scale with the dense expression and implicit
+    // zeros map to (0 − 0)/range = 0, staying implicit.
+    slices_[k] =
+        MapValues(slice, [&](double v) { return (v - lo) / range; });
+  }
+}
+
+void SparseTensor3::ApplySqrt() {
+  for (CsrMatrix& slice : slices_) {
+    slice = MapValues(slice, [](double v) { return std::sqrt(v); });
+  }
+}
+
+double SparseTensor3::MaxAbs() const {
+  double best = 0.0;
+  for (const CsrMatrix& slice : slices_) {
+    best = std::max(best, slice.MaxAbs());
+  }
+  return best;
+}
+
+std::size_t SparseTensor3::TotalNnz() const {
+  std::size_t nnz = 0;
+  for (const CsrMatrix& slice : slices_) nnz += slice.nnz();
+  return nnz;
+}
+
+std::size_t SparseTensor3::EstimatedBytes() const {
+  std::size_t bytes = 0;
+  for (const CsrMatrix& slice : slices_) bytes += slice.EstimatedBytes();
+  return bytes;
+}
+
+}  // namespace slampred

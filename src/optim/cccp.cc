@@ -80,7 +80,8 @@ Result<Matrix> SolveImpl(const Objective& objective, const Matrix& s0,
 
 Result<Matrix> SolveCccp(const Objective& objective,
                          const CccpOptions& options, CccpTrace* trace) {
-  return SolveCccpFrom(objective, objective.a, options, trace);
+  // The iterate is dense; densify the CSR adjacency once for S⁰ = Aᵗ.
+  return SolveCccpFrom(objective, objective.a.ToDense(), options, trace);
 }
 
 Result<Matrix> SolveCccpFrom(const Objective& objective, const Matrix& s0,

@@ -26,63 +26,152 @@ Matrix BuildIntimacyGradient(const std::vector<Tensor3>& tensors,
   return g;
 }
 
+Matrix BuildIntimacyGradient(const std::vector<SparseTensor3>& tensors,
+                             const std::vector<double>& weights,
+                             std::size_t n) {
+  SLAMPRED_CHECK(tensors.size() == weights.size())
+      << "one weight per tensor required";
+  Matrix g(n, n);
+  for (std::size_t k = 0; k < tensors.size(); ++k) {
+    if (weights[k] == 0.0 || tensors[k].empty()) continue;
+    SLAMPRED_CHECK(tensors[k].dim1() == n && tensors[k].dim2() == n)
+        << "tensor " << k << " shape mismatch";
+    g += tensors[k].SumSlices() * weights[k];
+  }
+  return g;
+}
+
 namespace {
 
-// Loss value of the smooth empirical term.
+// Calls fn(flat, a_value) for every row-major flat index in [f0, f1) of
+// `a`, supplying the stored value or an exact 0.0 for absent entries.
+// This lets the loss kernels keep the dense path's flat chunking (and
+// thus its reduction order) while A stays CSR.
+template <typename Fn>
+void ForEachFlatWithA(const CsrMatrix& a, std::size_t f0, std::size_t f1,
+                      Fn fn) {
+  const std::size_t cols = a.cols();
+  if (cols == 0) return;
+  const auto& row_ptr = a.row_ptr();
+  const auto& col_idx = a.col_idx();
+  const auto& values = a.values();
+  std::size_t f = f0;
+  std::size_t i = f0 / cols;
+  while (f < f1) {
+    const std::size_t row_end = std::min(f1, (i + 1) * cols);
+    std::size_t j = f - i * cols;
+    const std::size_t* begin = col_idx.data() + row_ptr[i];
+    const std::size_t* end = col_idx.data() + row_ptr[i + 1];
+    std::size_t p =
+        row_ptr[i] + (std::lower_bound(begin, end, j) - begin);
+    for (; f < row_end; ++f, ++j) {
+      double av = 0.0;
+      if (p < row_ptr[i + 1] && col_idx[p] == j) {
+        av = values[p];
+        ++p;
+      }
+      fn(f, av);
+    }
+    ++i;
+  }
+}
+
+// Calls fn(flat, value) for the stored entries of `m` whose row-major
+// flat index lies in [l0, l1), in ascending flat order.
+template <typename Fn>
+void ForEachStoredInFlatRange(const CsrMatrix& m, std::size_t l0,
+                              std::size_t l1, Fn fn) {
+  const std::size_t cols = m.cols();
+  if (cols == 0 || l0 >= l1) return;
+  const auto& row_ptr = m.row_ptr();
+  const auto& col_idx = m.col_idx();
+  const auto& values = m.values();
+  const std::size_t i0 = l0 / cols;
+  const std::size_t i1 = std::min(m.rows(), (l1 + cols - 1) / cols);
+  for (std::size_t i = i0; i < i1; ++i) {
+    std::size_t p = row_ptr[i];
+    const std::size_t pe = row_ptr[i + 1];
+    if (i == i0) {
+      const std::size_t* begin = col_idx.data() + p;
+      const std::size_t* end = col_idx.data() + pe;
+      p += std::lower_bound(begin, end, l0 - i * cols) - begin;
+    }
+    const std::size_t base = i * cols;
+    for (; p < pe; ++p) {
+      const std::size_t flat = base + col_idx[p];
+      if (flat >= l1) return;
+      fn(flat, values[p]);
+    }
+  }
+}
+
+// Loss value of the smooth empirical term. S is dense, so the sweep is
+// still O(n²); A is read through the flat cursor.
 double LossValue(const Objective& objective, const Matrix& s) {
   const double* sd = s.data().data();
-  const double* ad = objective.a.data().data();
   switch (objective.loss) {
     case LossKind::kSquaredFrobenius:
       // ‖S − A‖²_F as a chunked sum of squares (partials combined in
       // chunk order → deterministic for any thread count).
-      return ParallelReduceSum(0, s.data().size(), GrainForWork(1),
-                               [&](std::size_t i0, std::size_t i1) {
-                                 double sum = 0.0;
-                                 for (std::size_t i = i0; i < i1; ++i) {
-                                   const double d = sd[i] - ad[i];
-                                   sum += d * d;
-                                 }
-                                 return sum;
-                               });
+      return ParallelReduceSum(
+          0, s.data().size(), GrainForWork(1),
+          [&](std::size_t i0, std::size_t i1) {
+            double sum = 0.0;
+            ForEachFlatWithA(objective.a, i0, i1,
+                             [&](std::size_t i, double av) {
+                               const double d = sd[i] - av;
+                               sum += d * d;
+                             });
+            return sum;
+          });
     case LossKind::kSquaredHinge:
       return ParallelReduceSum(
           0, s.data().size(), GrainForWork(1),
           [&](std::size_t i0, std::size_t i1) {
             double sum = 0.0;
-            for (std::size_t i = i0; i < i1; ++i) {
-              const double y = 2.0 * ad[i] - 1.0;
-              const double slack = std::max(0.0, 1.0 - y * sd[i]);
-              sum += slack * slack;
-            }
+            ForEachFlatWithA(objective.a, i0, i1,
+                             [&](std::size_t i, double av) {
+                               const double y = 2.0 * av - 1.0;
+                               const double slack =
+                                   std::max(0.0, 1.0 - y * sd[i]);
+                               sum += slack * slack;
+                             });
             return sum;
           });
   }
   return 0.0;
 }
 
-// Gradient of the loss alone.
+// Gradient of the loss alone. Entries are computed independently, so
+// only the per-entry expressions must match the dense reference.
 Matrix LossGradient(const Objective& objective, const Matrix& s) {
+  Matrix g(s.rows(), s.cols());
+  const double* sd = s.data().data();
+  double* gd = g.data().data();
   switch (objective.loss) {
     case LossKind::kSquaredFrobenius:
-      return (s - objective.a) * 2.0;
-    case LossKind::kSquaredHinge: {
-      Matrix g(s.rows(), s.cols());
-      const double* sd = s.data().data();
-      const double* ad = objective.a.data().data();
-      double* gd = g.data().data();
       ParallelFor(0, s.data().size(), GrainForWork(1),
                   [&](std::size_t i0, std::size_t i1) {
-                    for (std::size_t i = i0; i < i1; ++i) {
-                      const double y = 2.0 * ad[i] - 1.0;
-                      const double slack = std::max(0.0, 1.0 - y * sd[i]);
-                      gd[i] = -2.0 * y * slack;
-                    }
+                    ForEachFlatWithA(objective.a, i0, i1,
+                                     [&](std::size_t i, double av) {
+                                       gd[i] = (sd[i] - av) * 2.0;
+                                     });
                   });
       return g;
-    }
+    case LossKind::kSquaredHinge:
+      ParallelFor(0, s.data().size(), GrainForWork(1),
+                  [&](std::size_t i0, std::size_t i1) {
+                    ForEachFlatWithA(objective.a, i0, i1,
+                                     [&](std::size_t i, double av) {
+                                       const double y = 2.0 * av - 1.0;
+                                       const double slack =
+                                           std::max(0.0, 1.0 - y * sd[i]);
+                                       gd[i] = -2.0 * y * slack;
+                                     });
+                  });
+      return g;
   }
-  return Matrix(s.rows(), s.cols());
+  return g;
 }
 
 }  // namespace
@@ -134,11 +223,64 @@ double FullObjectiveValue(const Objective& objective, const Matrix& s,
   }
 
   value += objective.gamma * s.NormL1();
+  if (objective.tau == 0.0) return value;  // +0.0 * sigma is an exact no-op.
   auto nuclear = NuclearNorm(s);
   if (!nuclear.ok()) {
     // A trace/diagnostic evaluation must not abort the solve. Retry the
     // SVD with a doubled sweep budget; if even that fails, report NaN so
     // callers can see the evaluation was unusable.
+    SvdOptions retry;
+    retry.max_sweeps *= 2;
+    auto svd = ComputeSvd(s, retry);
+    if (!svd.ok()) return std::numeric_limits<double>::quiet_NaN();
+    double sum = 0.0;
+    for (std::size_t r = 0; r < svd.value().singular_values.size(); ++r) {
+      sum += svd.value().singular_values[r];
+    }
+    return value + objective.tau * sum;
+  }
+  value += objective.tau * nuclear.value();
+  return value;
+}
+
+double FullObjectiveValue(const Objective& objective, const Matrix& s,
+                          const std::vector<SparseTensor3>& tensors,
+                          const std::vector<double>& weights) {
+  SLAMPRED_CHECK(tensors.size() == weights.size());
+  double value = LossValue(objective, s);
+
+  const std::size_t per_slice = s.rows() * s.cols();
+  const double* sd = s.data().data();
+  for (std::size_t k = 0; k < tensors.size(); ++k) {
+    if (weights[k] == 0.0 || tensors[k].empty()) continue;
+    const SparseTensor3& tensor = tensors[k];
+    // Same flat chunk boundaries as the dense sweep; inside each chunk
+    // only the stored entries contribute (|S·0| = +0.0 is an exact no-op
+    // on the non-negative partial), walked in ascending flat order.
+    const double intimacy = ParallelReduceSum(
+        0, tensor.dim0() * per_slice, GrainForWork(1),
+        [&](std::size_t f0, std::size_t f1) {
+          double sum = 0.0;
+          const std::size_t c0 = f0 / per_slice;
+          const std::size_t c1 = (f1 - 1) / per_slice;
+          for (std::size_t c = c0; c <= c1; ++c) {
+            const std::size_t base = c * per_slice;
+            const std::size_t l0 = f0 > base ? f0 - base : 0;
+            const std::size_t l1 = std::min(f1 - base, per_slice);
+            ForEachStoredInFlatRange(tensor.SliceCsr(c), l0, l1,
+                                     [&](std::size_t flat, double v) {
+                                       sum += std::fabs(sd[flat] * v);
+                                     });
+          }
+          return sum;
+        });
+    value -= weights[k] * intimacy;
+  }
+
+  value += objective.gamma * s.NormL1();
+  if (objective.tau == 0.0) return value;  // +0.0 * sigma is an exact no-op.
+  auto nuclear = NuclearNorm(s);
+  if (!nuclear.ok()) {
     SvdOptions retry;
     retry.max_sweeps *= 2;
     auto svd = ComputeSvd(s, retry);

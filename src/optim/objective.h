@@ -15,7 +15,9 @@
 
 #include <vector>
 
+#include "linalg/csr_matrix.h"
 #include "linalg/matrix.h"
+#include "linalg/sparse_tensor3.h"
 #include "linalg/tensor3.h"
 
 namespace slampred {
@@ -32,9 +34,13 @@ enum class LossKind {
   kSquaredHinge,
 };
 
-/// Immutable problem data for one solve.
+/// Immutable problem data for one solve. The observed adjacency stays in
+/// CSR (it is the sparsest matrix in the pipeline); only the solver
+/// iterate S and grad_v are dense. Loss kernels read A through a flat
+/// cursor that supplies exact zeros for absent entries, preserving the
+/// dense kernels' chunking and accumulation order bit for bit.
 struct Objective {
-  Matrix a;        ///< Observed (training) adjacency Aᵗ.
+  CsrMatrix a;     ///< Observed (training) adjacency Aᵗ.
   Matrix grad_v;   ///< Constant CCCP gradient G of the intimacy terms.
   double gamma;    ///< ℓ₁ regularization weight.
   double tau;      ///< Nuclear-norm regularization weight.
@@ -45,6 +51,13 @@ struct Objective {
 /// n x n in its last two dims with n = a-rows; weights.size() must match
 /// tensors.size().
 Matrix BuildIntimacyGradient(const std::vector<Tensor3>& tensors,
+                             const std::vector<double>& weights,
+                             std::size_t n);
+
+/// Sparse-tensor overload — the pipeline's default. SumSlices on a
+/// SparseTensor3 is bit-identical to the dense gather, so G matches the
+/// dense overload exactly.
+Matrix BuildIntimacyGradient(const std::vector<SparseTensor3>& tensors,
                              const std::vector<double>& weights,
                              std::size_t n);
 
@@ -60,6 +73,15 @@ Matrix SmoothGradient(const Objective& objective, const Matrix& s);
 /// linearisation); used for traces and tests.
 double FullObjectiveValue(const Objective& objective, const Matrix& s,
                           const std::vector<Tensor3>& tensors,
+                          const std::vector<double>& weights);
+
+/// Sparse-tensor overload — the pipeline's default. The intimacy sweep
+/// keeps the dense flat chunk boundaries but only walks stored entries
+/// inside each chunk (the skipped |S·0| terms are exact no-ops on the
+/// non-negative partials), so the value matches the dense overload bit
+/// for bit in O(nnz) instead of O(d·n²).
+double FullObjectiveValue(const Objective& objective, const Matrix& s,
+                          const std::vector<SparseTensor3>& tensors,
                           const std::vector<double>& weights);
 
 }  // namespace slampred

@@ -73,12 +73,12 @@ class TrainedBaselineTest : public ::testing::Test {
     ASSERT_TRUE(eval.ok());
     eval_ = std::make_unique<EvaluationSet>(std::move(eval).value());
 
-    tensors_.push_back(
-        BuildFeatureTensor(generated_->networks.target(), train_graph_));
+    tensors_.push_back(BuildSparseFeatureTensor(generated_->networks.target(),
+                                                train_graph_));
     const SocialGraph source_graph = SocialGraph::FromHeterogeneousNetwork(
         generated_->networks.source(0));
-    tensors_.push_back(
-        BuildFeatureTensor(generated_->networks.source(0), source_graph));
+    tensors_.push_back(BuildSparseFeatureTensor(generated_->networks.source(0),
+                                                source_graph));
   }
 
   double AucOf(const LinkPredictor& model) {
@@ -92,7 +92,7 @@ class TrainedBaselineTest : public ::testing::Test {
   SocialGraph train_graph_{0};
   std::vector<UserPair> test_edges_;
   std::unique_ptr<EvaluationSet> eval_;
-  std::vector<Tensor3> tensors_;
+  std::vector<SparseTensor3> tensors_;
 };
 
 TEST_F(TrainedBaselineTest, PairFeatureWidths) {
@@ -212,7 +212,7 @@ TEST_F(TrainedBaselineTest, TargetOnlyVariantIgnoresAnchors) {
 TEST_F(TrainedBaselineTest, FitRejectsWrongTensorCount) {
   Rng rng(13);
   Scan scan;
-  std::vector<Tensor3> only_target = {tensors_[0]};
+  std::vector<SparseTensor3> only_target = {tensors_[0]};
   EXPECT_FALSE(scan
                    .Fit(generated_->networks, train_graph_, only_target,
                         test_edges_, rng)

@@ -25,17 +25,17 @@ class EmbeddingPipelineTest : public ::testing::Test {
     generated_ = std::make_unique<GeneratedAligned>(std::move(gen).value());
     target_graph_ = SocialGraph::FromHeterogeneousNetwork(
         generated_->networks.target());
-    tensors_.push_back(
-        BuildFeatureTensor(generated_->networks.target(), target_graph_));
+    tensors_.push_back(BuildSparseFeatureTensor(generated_->networks.target(),
+                                                target_graph_));
     const SocialGraph source_graph = SocialGraph::FromHeterogeneousNetwork(
         generated_->networks.source(0));
-    tensors_.push_back(
-        BuildFeatureTensor(generated_->networks.source(0), source_graph));
+    tensors_.push_back(BuildSparseFeatureTensor(generated_->networks.source(0),
+                                                source_graph));
   }
 
   std::unique_ptr<GeneratedAligned> generated_;
   SocialGraph target_graph_{0};
-  std::vector<Tensor3> tensors_;
+  std::vector<SparseTensor3> tensors_;
 };
 
 TEST_F(EmbeddingPipelineTest, SampleRespectsStructure) {
@@ -240,7 +240,7 @@ TEST_F(EmbeddingPipelineTest, AdapterOrientsPositiveInstancesHigher) {
   ASSERT_TRUE(adapted.ok());
   // The best (highest-separation) latent slice must score existing links
   // above absent pairs on average.
-  const Tensor3& t = adapted.value().tensors[0];
+  const SparseTensor3& t = adapted.value().tensors[0];
   double link_sum = 0.0;
   double non_sum = 0.0;
   std::size_t links = 0;
@@ -267,7 +267,8 @@ TEST_F(EmbeddingPipelineTest, PassthroughKeepsRawTargetTensor) {
   ASSERT_TRUE(pass.ok());
   EXPECT_EQ(pass.value().tensors[0].dim0(), tensors_[0].dim0());
   // Target tensor passes through unchanged.
-  EXPECT_EQ(pass.value().tensors[0].data(), tensors_[0].data());
+  EXPECT_EQ(pass.value().tensors[0].ToDense().data(),
+            tensors_[0].ToDense().data());
 }
 
 TEST_F(EmbeddingPipelineTest, ReindexImputesUncoveredPairsAtCoveredMean) {
@@ -286,7 +287,7 @@ TEST_F(EmbeddingPipelineTest, ReindexImputesUncoveredPairsAtCoveredMean) {
   bundle.AddSource(generated_->networks.source(0), std::move(small));
   auto pass = PassthroughAdapt(bundle, tensors_);
   ASSERT_TRUE(pass.ok());
-  const Tensor3& t = pass.value().tensors[1];
+  const SparseTensor3& t = pass.value().tensors[1];
   // Pick a pair of certainly-unanchored users (beyond the 5 anchored
   // lefts): all its slices must equal the per-slice covered mean, which
   // is constant across uncovered pairs.
@@ -296,8 +297,8 @@ TEST_F(EmbeddingPipelineTest, ReindexImputesUncoveredPairsAtCoveredMean) {
   }
   ASSERT_GE(unanchored.size(), 3u);
   for (std::size_t d = 0; d < t.dim0(); ++d) {
-    const double a = t(d, unanchored[0], unanchored[1]);
-    const double b = t(d, unanchored[1], unanchored[2]);
+    const double a = t.At(d, unanchored[0], unanchored[1]);
+    const double b = t.At(d, unanchored[1], unanchored[2]);
     EXPECT_DOUBLE_EQ(a, b) << "uncovered pairs share the imputed mean";
   }
 }

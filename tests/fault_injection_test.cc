@@ -73,9 +73,9 @@ TEST_F(FaultInjectionTest, UnlimitedTriggersAndReset) {
 // recovered runs land on the same fixed point.
 Objective SmallObjective() {
   Objective objective;
-  objective.a = Matrix{{0.0, 1.0, 0.0},
-                       {1.0, 0.0, 1.0},
-                       {0.0, 1.0, 0.0}};
+  objective.a = CsrMatrix::FromDense(Matrix{{0.0, 1.0, 0.0},
+                                            {1.0, 0.0, 1.0},
+                                            {0.0, 1.0, 0.0}});
   Matrix g(3, 3, 0.2);
   for (std::size_t i = 0; i < 3; ++i) g(i, i) = 0.0;
   objective.grad_v = g;
@@ -224,7 +224,7 @@ TEST_F(FaultInjectionTest, DivergenceBackoffTamesUnstableStepSize) {
   // θ = 5 is far beyond the 1/L = 0.5 stability bound: without the
   // guardrail the iterates oscillate with geometrically growing change.
   Objective objective;
-  objective.a = Matrix{{0.0, 1.0}, {1.0, 0.0}};
+  objective.a = CsrMatrix::FromDense(Matrix{{0.0, 1.0}, {1.0, 0.0}});
   objective.grad_v = Matrix(2, 2);
   objective.gamma = 0.0;
   objective.tau = 0.0;
@@ -243,7 +243,7 @@ TEST_F(FaultInjectionTest, DivergenceBackoffTamesUnstableStepSize) {
   EXPECT_GE(recovery.divergence_backoffs, 1);
   // After the backoffs bring θ into the stable range the loop converges
   // to the unregularised minimiser S = A.
-  EXPECT_LT((s.value() - objective.a).MaxAbs(), 1e-3);
+  EXPECT_LT((s.value() - objective.a.ToDense()).MaxAbs(), 1e-3);
 }
 
 TEST_F(FaultInjectionTest, GuardrailsDisabledPropagatesProxFailure) {

@@ -16,7 +16,7 @@ namespace {
 
 TEST(HingeLossTest, ValueHandChecked) {
   Objective objective;
-  objective.a = Matrix{{1.0, 0.0}, {0.0, 1.0}};
+  objective.a = CsrMatrix::FromDense(Matrix{{1.0, 0.0}, {0.0, 1.0}});
   objective.grad_v = Matrix(2, 2);
   objective.gamma = 0.0;
   objective.tau = 0.0;
@@ -31,9 +31,9 @@ TEST(HingeLossTest, ValueHandChecked) {
 TEST(HingeLossTest, GradientMatchesFiniteDifference) {
   Rng rng(3);
   Objective objective;
-  objective.a = Matrix{{1.0, 0.0, 1.0},
-                       {0.0, 1.0, 0.0},
-                       {1.0, 0.0, 0.0}};
+  objective.a = CsrMatrix::FromDense(Matrix{{1.0, 0.0, 1.0},
+                                            {0.0, 1.0, 0.0},
+                                            {1.0, 0.0, 0.0}});
   objective.grad_v = Matrix::RandomGaussian(3, 3, rng) * 0.1;
   objective.gamma = 0.0;
   objective.tau = 0.0;
@@ -57,7 +57,7 @@ TEST(HingeLossTest, GradientMatchesFiniteDifference) {
 
 TEST(HingeLossTest, ZeroGradientInsideMargin) {
   Objective objective;
-  objective.a = Matrix{{1.0}};
+  objective.a = CsrMatrix::FromDense(Matrix{{1.0}});
   objective.grad_v = Matrix(1, 1);
   objective.gamma = 0.0;
   objective.tau = 0.0;
@@ -70,9 +70,9 @@ TEST(HingeLossTest, ZeroGradientInsideMargin) {
 
 TEST(HingeLossTest, CccpSolvesWithHinge) {
   Objective objective;
-  objective.a = Matrix{{0.0, 1.0, 0.0},
-                       {1.0, 0.0, 1.0},
-                       {0.0, 1.0, 0.0}};
+  objective.a = CsrMatrix::FromDense(Matrix{{0.0, 1.0, 0.0},
+                                            {1.0, 0.0, 1.0},
+                                            {0.0, 1.0, 0.0}});
   objective.grad_v = Matrix(3, 3, 0.1);
   objective.gamma = 0.05;
   objective.tau = 0.05;

@@ -129,7 +129,8 @@ TEST(ObjectiveTest, IntimacyGradientWeightsAndSums) {
 TEST(ObjectiveTest, SmoothGradientMatchesFiniteDifference) {
   Rng rng(11);
   Objective objective;
-  objective.a = Matrix::RandomGaussian(4, 4, rng).Symmetrized();
+  objective.a =
+      CsrMatrix::FromDense(Matrix::RandomGaussian(4, 4, rng).Symmetrized());
   objective.grad_v = Matrix::RandomGaussian(4, 4, rng).Symmetrized();
   objective.gamma = 0.0;
   objective.tau = 0.0;
@@ -152,20 +153,20 @@ TEST(ObjectiveTest, SmoothGradientMatchesFiniteDifference) {
 
 TEST(ObjectiveTest, FullObjectiveValueComposition) {
   Objective objective;
-  objective.a = Matrix::Identity(2);
+  objective.a = CsrMatrix::Identity(2);
   objective.grad_v = Matrix(2, 2);
   objective.gamma = 1.0;
   objective.tau = 1.0;
   // At S = A = I: loss 0, ‖S‖₁ = 2, ‖S‖_* = 2, no intimacy terms.
   const double value = FullObjectiveValue(objective, Matrix::Identity(2),
-                                          {}, {});
+                                          std::vector<SparseTensor3>{}, {});
   EXPECT_NEAR(value, 4.0, 1e-9);
 }
 
 TEST(ForwardBackwardTest, PureLossConvergesToA) {
   // With no regularizers and no intimacy, the minimiser is S = A.
   Objective objective;
-  objective.a = Matrix{{0.0, 1.0}, {1.0, 0.0}};
+  objective.a = CsrMatrix::FromDense(Matrix{{0.0, 1.0}, {1.0, 0.0}});
   objective.grad_v = Matrix(2, 2);
   objective.gamma = 0.0;
   objective.tau = 0.0;
@@ -175,13 +176,13 @@ TEST(ForwardBackwardTest, PureLossConvergesToA) {
   options.tol = 1e-10;
   auto s = GeneralizedForwardBackward(objective, Matrix(2, 2), options);
   ASSERT_TRUE(s.ok());
-  EXPECT_LT((s.value() - objective.a).MaxAbs(), 1e-3);
+  EXPECT_LT((s.value() - objective.a.ToDense()).MaxAbs(), 1e-3);
 }
 
 TEST(ForwardBackwardTest, L1AnalyticFixedPoint) {
   // min (s-a)² + γ|s| has solution a - γ/2 for a > γ/2 (entry-wise).
   Objective objective;
-  objective.a = Matrix{{0.8, 0.8}, {0.8, 0.8}};
+  objective.a = CsrMatrix::FromDense(Matrix{{0.8, 0.8}, {0.8, 0.8}});
   objective.grad_v = Matrix(2, 2);
   objective.gamma = 0.4;
   objective.tau = 0.0;
@@ -197,7 +198,7 @@ TEST(ForwardBackwardTest, L1AnalyticFixedPoint) {
 
 TEST(ForwardBackwardTest, ProjectionKeepsUnitBox) {
   Objective objective;
-  objective.a = Matrix(3, 3, 5.0);  // Pulls far above 1.
+  objective.a = CsrMatrix::FromDense(Matrix(3, 3, 5.0));  // Pulls far above 1.
   objective.grad_v = Matrix(3, 3);
   objective.gamma = 0.0;
   objective.tau = 0.0;
@@ -211,7 +212,7 @@ TEST(ForwardBackwardTest, ProjectionKeepsUnitBox) {
 
 TEST(ForwardBackwardTest, TraceRecordsIterations) {
   Objective objective;
-  objective.a = Matrix::Identity(3);
+  objective.a = CsrMatrix::Identity(3);
   objective.grad_v = Matrix(3, 3);
   objective.gamma = 0.1;
   objective.tau = 0.1;
@@ -231,9 +232,9 @@ TEST(ForwardBackwardTest, TraceRecordsIterations) {
 TEST(CccpTest, ConvergesAndTraces) {
   Rng rng(13);
   Objective objective;
-  objective.a = Matrix{{0.0, 1.0, 0.0},
-                       {1.0, 0.0, 1.0},
-                       {0.0, 1.0, 0.0}};
+  objective.a = CsrMatrix::FromDense(Matrix{{0.0, 1.0, 0.0},
+                                            {1.0, 0.0, 1.0},
+                                            {0.0, 1.0, 0.0}});
   Matrix g(3, 3, 0.2);
   for (std::size_t i = 0; i < 3; ++i) g(i, i) = 0.0;
   objective.grad_v = g;
@@ -259,7 +260,7 @@ TEST(CccpTest, ConvergesAndTraces) {
 
 TEST(CccpTest, SolutionStaysSymmetricInUnitBox) {
   Objective objective;
-  objective.a = Matrix{{0.0, 1.0}, {1.0, 0.0}};
+  objective.a = CsrMatrix::FromDense(Matrix{{0.0, 1.0}, {1.0, 0.0}});
   objective.grad_v = Matrix(2, 2, 0.3);
   objective.gamma = 0.1;
   objective.tau = 0.1;
@@ -274,7 +275,7 @@ TEST(CccpTest, SolutionStaysSymmetricInUnitBox) {
 
 TEST(CccpTest, HigherIntimacyRaisesScores) {
   Objective low;
-  low.a = Matrix(3, 3);
+  low.a = CsrMatrix::FromDense(Matrix(3, 3));
   low.grad_v = Matrix(3, 3, 0.2);
   low.gamma = 0.01;
   low.tau = 0.01;

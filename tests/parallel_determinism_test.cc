@@ -182,7 +182,7 @@ TEST(ParallelDeterminismTest, ProximalOperators) {
 
 TEST(ParallelDeterminismTest, ObjectiveEvaluations) {
   Objective objective;
-  objective.a = RandomMatrix(kN, kN, 14);
+  objective.a = CsrMatrix::FromDense(RandomMatrix(kN, kN, 14));
   objective.grad_v = RandomMatrix(kN, kN, 15);
   objective.gamma = 0.3;
   objective.tau = 1.0;
@@ -332,6 +332,100 @@ TEST(ParallelDeterminismTest, FeatureTensorEndToEnd) {
         ASSERT_EQ(a.data().size(), b.data().size());
         for (std::size_t i = 0; i < a.data().size(); ++i) {
           ASSERT_EQ(a.data()[i], b.data()[i])
+              << "flat index " << i << " at " << threads << " threads";
+        }
+      });
+}
+
+// --- Sparse data-path kernels ---------------------------------------
+
+TEST(ParallelDeterminismTest, SparseMatrixKernels) {
+  const CsrMatrix a = CsrMatrix::FromDense(RandomMatrix(kN, kN, 31));
+  const CsrMatrix b = CsrMatrix::FromDense(RandomMatrix(kN, kN, 32));
+  const Matrix d = RandomMatrix(kN, kN, 33);
+  CheckMatrixInvariance([&] { return a.MultiplySparse(b).ToDense(); });
+  CheckMatrixInvariance([&] { return a.MultiplyDense(d); });
+  CheckMatrixInvariance([&] { return a.MultiplyTransposeDense(d); });
+}
+
+TEST(ParallelDeterminismTest, StructuralFeatureMapsCsr) {
+  const SocialGraph g = TestGraph(120);
+  CheckMatrixInvariance([&] { return CommonNeighborsCsr(g).ToDense(); });
+  CheckMatrixInvariance([&] { return JaccardCsr(g).ToDense(); });
+  CheckMatrixInvariance([&] { return AdamicAdarCsr(g).ToDense(); });
+  CheckMatrixInvariance([&] { return ResourceAllocationCsr(g).ToDense(); });
+  CheckMatrixInvariance(
+      [&] { return PreferentialAttachmentCsr(g).ToDense(); });
+  CheckMatrixInvariance([&] { return TruncatedKatzCsr(g).ToDense(); });
+}
+
+TEST(ParallelDeterminismTest, SparseTensorOps) {
+  Rng rng(34);
+  Tensor3 t(3, kN, kN);
+  for (double& v : t.data()) {
+    const double gauss = rng.NextGaussian();
+    if (rng.NextDouble() < 0.2) v = gauss;
+  }
+  const SparseTensor3 sparse = SparseTensor3::FromDense(t);
+  CheckMatrixInvariance([&] { return sparse.SumSlices(); });
+  CheckMatrixInvariance([&] {
+    SparseTensor3 normalized = sparse;
+    normalized.NormalizeSlicesMinMax();
+    return normalized.SumSlices();
+  });
+}
+
+TEST(ParallelDeterminismTest, SparseObjectiveEvaluations) {
+  Objective objective;
+  objective.a = CsrMatrix::FromDense(RandomMatrix(kN, kN, 35));
+  objective.gamma = 0.3;
+  objective.tau = 1.0;
+  const Matrix s = RandomMatrix(kN, kN, 36);
+
+  Rng rng(37);
+  Tensor3 t(3, kN, kN);
+  for (double& v : t.data()) {
+    const double gauss = rng.NextGaussian();
+    if (rng.NextDouble() < 0.15) v = gauss;
+  }
+  const std::vector<SparseTensor3> tensors = {SparseTensor3::FromDense(t)};
+  const std::vector<double> weights = {0.7};
+  objective.grad_v = BuildIntimacyGradient(tensors, weights, kN);
+
+  CheckMatrixInvariance(
+      [&] { return BuildIntimacyGradient(tensors, weights, kN); });
+  for (LossKind loss :
+       {LossKind::kSquaredFrobenius, LossKind::kSquaredHinge}) {
+    objective.loss = loss;
+    CheckScalarInvariance([&] { return SmoothValue(objective, s); });
+    CheckMatrixInvariance([&] { return SmoothGradient(objective, s); });
+    CheckScalarInvariance(
+        [&] { return FullObjectiveValue(objective, s, tensors, weights); });
+  }
+}
+
+TEST(ParallelDeterminismTest, SparseFeatureTensorEndToEnd) {
+  AlignedGeneratorConfig config = DefaultExperimentConfig(43);
+  config.population.num_personas = 70;
+  auto gen = GenerateAligned(config);
+  ASSERT_TRUE(gen.ok()) << gen.status().ToString();
+  const HeterogeneousNetwork& network = gen.value().networks.target();
+  const SocialGraph structure =
+      SocialGraph::FromHeterogeneousNetwork(network);
+
+  CheckThreadInvariance(
+      [&] {
+        return BuildSparseFeatureTensor(network, structure,
+                                        FeatureTensorOptions{});
+      },
+      [](const SparseTensor3& a, const SparseTensor3& b,
+         std::size_t threads) {
+        ASSERT_EQ(a.TotalNnz(), b.TotalNnz());
+        const Tensor3 da = a.ToDense();
+        const Tensor3 db = b.ToDense();
+        ASSERT_EQ(da.data().size(), db.data().size());
+        for (std::size_t i = 0; i < da.data().size(); ++i) {
+          ASSERT_EQ(da.data()[i], db.data()[i])
               << "flat index " << i << " at " << threads << " threads";
         }
       });

@@ -190,6 +190,8 @@ int Predict(const Flags& flags) {
       times.features_seconds, times.embedding_seconds, times.cccp_seconds,
       times.svd_seconds, times.total_seconds,
       ThreadPool::Global().num_threads());
+  std::printf("sparse-path memory: %s\n",
+              model.memory_stats().ToString().c_str());
 
   // Rank all unobserved pairs.
   std::vector<UserPair> candidates;
@@ -248,6 +250,10 @@ int Evaluate(const Flags& flags) {
   std::printf("  Precision@100 : %s\n",
               FormatMeanStd(result.value().precision.mean,
                             result.value().precision.std).c_str());
+  if (result.value().memory_stats.peak_bytes > 0) {
+    std::printf("  sparse-path memory (fold 0): %s\n",
+                result.value().memory_stats.ToString().c_str());
+  }
   return 0;
 }
 
