@@ -6,11 +6,11 @@
 #include <cstdio>
 
 #include "bench_common.h"
+#include "core/fit_report.h"
 #include "core/slampred.h"
 #include "eval/link_split.h"
 #include "util/csv_writer.h"
 #include "util/string_util.h"
-#include "util/thread_pool.h"
 
 int main() {
   using namespace slampred;
@@ -61,18 +61,6 @@ int main() {
   if (csv.WriteToFile(csv_path).ok()) {
     std::printf("raw series written to %s\n", csv_path.c_str());
   }
-  if (model.trace().recovery.Total() > 0) {
-    std::printf("solver recoveries: %s\n",
-                model.trace().recovery.ToString().c_str());
-  }
-  const FitPhaseTimes& times = model.phase_times();
-  std::printf(
-      "phase times (s): features %.3f | embedding %.3f | cccp %.3f | "
-      "svd %.3f | total %.3f  [%zu thread(s)]\n",
-      times.features_seconds, times.embedding_seconds, times.cccp_seconds,
-      times.svd_seconds, times.total_seconds,
-      ThreadPool::Global().num_threads());
-  std::printf("sparse-path memory: %s\n",
-              model.memory_stats().ToString().c_str());
+  PrintFitReport(stdout, MakeFitReport(model));
   return 0;
 }

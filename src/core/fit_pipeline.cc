@@ -1,0 +1,257 @@
+#include "core/fit_pipeline.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "optim/objective.h"
+#include "util/fault_injection.h"
+#include "util/random.h"
+#include "util/stopwatch.h"
+
+namespace slampred {
+namespace {
+
+// Stage-level fault site: fail kinds map to the matching Status; the
+// poison kinds (which ask the *caller* to corrupt numeric state) have
+// no meaningful stage-granular analogue, so they surface as a numerical
+// failure of the stage.
+Status InjectedStageFault(const char* stage_name) {
+  const std::string site = std::string("fit.") + stage_name;
+  const std::string prefix = "fit stage '" + std::string(stage_name) + "': ";
+  switch (SLAMPRED_FAULT_HIT(site)) {
+    case FaultKind::kNone:
+      return Status::OK();
+    case FaultKind::kFailNotConverged:
+      return Status::NotConverged(prefix + "injected not-converged fault");
+    case FaultKind::kFailIo:
+      return Status::IoError(prefix + "injected io fault");
+    case FaultKind::kFailNumerical:
+    case FaultKind::kPoisonNaN:
+    case FaultKind::kPoisonInf:
+      return Status::NumericalError(prefix + "injected numerical fault");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+FeatureStageConfig FeatureStageConfigFrom(const SlamPredConfig& config) {
+  FeatureStageConfig stage;
+  stage.features = config.features;
+  stage.use_attributes = config.use_attributes;
+  stage.use_sources = config.use_sources;
+  // The -H variant drops every attribute slice and keeps only the
+  // structural ones.
+  if (!config.use_attributes) {
+    stage.features.word_similarity = false;
+    stage.features.location_similarity = false;
+    stage.features.time_similarity = false;
+  }
+  return stage;
+}
+
+Status FeatureStage::Run(FitContext& context) const {
+  const AlignedNetworks& networks = *context.networks;
+  context.feature_options = config_.features;
+  if (!config_.use_attributes) {
+    context.feature_options.word_similarity = false;
+    context.feature_options.location_similarity = false;
+    context.feature_options.time_similarity = false;
+  }
+
+  context.raw_tensors.clear();
+  context.raw_tensors.push_back(BuildSparseFeatureTensor(
+      networks.target(), *context.target_structure, context.feature_options));
+
+  // Without a single anchor link nothing can transfer and the projection
+  // has no cross-network constraints, so an unaligned bundle degrades to
+  // the target-only variant (matching Table II's ratio-0.0 column, where
+  // SLAMPRED equals SLAMPRED-T).
+  bool any_anchors = false;
+  for (std::size_t k = 0; k < networks.num_sources(); ++k) {
+    if (networks.anchors(k).size() > 0) {
+      any_anchors = true;
+      break;
+    }
+  }
+  context.transfer =
+      config_.use_sources && networks.num_sources() > 0 && any_anchors;
+  if (context.transfer) {
+    for (std::size_t k = 0; k < networks.num_sources(); ++k) {
+      const SocialGraph source_graph =
+          SocialGraph::FromHeterogeneousNetwork(networks.source(k));
+      context.raw_tensors.push_back(BuildSparseFeatureTensor(
+          networks.source(k), source_graph, context.feature_options));
+    }
+  }
+
+  for (const SparseTensor3& tensor : context.raw_tensors) {
+    context.memory_stats.raw_tensor_nnz += tensor.TotalNnz();
+    context.memory_stats.raw_tensor_bytes += tensor.EstimatedBytes();
+    context.memory_stats.raw_tensor_dense_bytes +=
+        tensor.DenseEquivalentBytes();
+  }
+  return Status::OK();
+}
+
+EmbeddingStageConfig EmbeddingStageConfigFrom(const SlamPredConfig& config) {
+  EmbeddingStageConfig stage;
+  stage.domain_adaptation = config.domain_adaptation;
+  stage.project_target_features = config.project_target_features;
+  stage.adapter = config.adapter;
+  stage.mu = config.mu;
+  stage.latent_dim = config.latent_dim;
+  stage.seed = config.seed;
+  return stage;
+}
+
+Status EmbeddingStage::Run(FitContext& context) const {
+  const AlignedNetworks& networks = *context.networks;
+  // Feature-space projection (Theorem 1) — or the ablation passthrough.
+  // The projection is applied in every variant (with no sources it
+  // degrades to a within-network embedding) so that SLAMPRED at anchor
+  // ratio 0 coincides with SLAMPRED-T exactly and source terms are pure
+  // additions on top of an identical target treatment.
+  DomainAdapterOptions adapter_options = config_.adapter;
+  adapter_options.projection.mu = config_.mu;
+  adapter_options.projection.latent_dim =
+      std::min(config_.latent_dim, NumFeatures(context.feature_options));
+
+  if (config_.domain_adaptation && context.transfer) {
+    Rng rng(config_.seed);
+    auto adapted = AdaptDomains(networks, *context.target_structure,
+                                context.raw_tensors, adapter_options, rng);
+    if (!adapted.ok()) return adapted.status();
+    context.adapted_tensors = std::move(adapted).value().tensors;
+    if (!config_.project_target_features) {
+      // Keep the target's own intimacy features raw (default — see the
+      // config comment); the source tensors stay projected.
+      context.adapted_tensors[0] = context.raw_tensors[0];
+    }
+  } else if (config_.domain_adaptation && !context.transfer &&
+             config_.project_target_features) {
+    // Strict-paper mode on a single network: project the target through
+    // the same pipeline with no cross-network blocks.
+    Rng rng(config_.seed);
+    AlignedNetworks target_only(networks.target());
+    std::vector<SparseTensor3> target_tensor = {context.raw_tensors[0]};
+    auto adapted = AdaptDomains(target_only, *context.target_structure,
+                                target_tensor, adapter_options, rng);
+    if (!adapted.ok()) return adapted.status();
+    context.adapted_tensors = std::move(adapted).value().tensors;
+  } else if (context.transfer) {
+    auto adapted = PassthroughAdapt(networks, context.raw_tensors);
+    if (!adapted.ok()) return adapted.status();
+    context.adapted_tensors = std::move(adapted).value().tensors;
+  } else {
+    context.adapted_tensors.clear();
+    context.adapted_tensors.push_back(std::move(context.raw_tensors[0]));
+  }
+
+  for (const SparseTensor3& tensor : context.adapted_tensors) {
+    context.memory_stats.adapted_tensor_nnz += tensor.TotalNnz();
+    context.memory_stats.adapted_tensor_bytes += tensor.EstimatedBytes();
+    context.memory_stats.adapted_tensor_dense_bytes +=
+        tensor.DenseEquivalentBytes();
+  }
+  return Status::OK();
+}
+
+SolveStageConfig SolveStageConfigFrom(const SlamPredConfig& config) {
+  SolveStageConfig stage;
+  stage.alpha_target = config.alpha_target;
+  stage.alpha_sources = config.alpha_sources;
+  stage.intimacy_scale = config.intimacy_scale;
+  stage.gamma = config.gamma;
+  stage.tau = config.tau;
+  stage.loss = config.loss;
+  stage.optimization = config.optimization;
+  return stage;
+}
+
+Status SolveStage::Run(FitContext& context) const {
+  if (context.adapted_tensors.empty()) {
+    return Status::FailedPrecondition(
+        "solve stage needs adapted tensors (run the embedding stage first)");
+  }
+  const std::size_t n = context.networks->target().NumUsers();
+
+  // Intimacy weights: αᵗ then α^k per transferred source. Each weight is
+  // divided by its tensor's slice count so Σ_c X̂(c,:,:) stays on the
+  // same [0, 1] scale regardless of how many feature slices a network
+  // contributes — otherwise the intimacy gradient would drown the
+  // Frobenius loss and saturate every score at the box bound.
+  std::vector<double> weights;
+  const double d0 = std::max<double>(1.0, context.adapted_tensors[0].dim0());
+  weights.push_back(config_.alpha_target * config_.intimacy_scale / d0);
+  if (context.transfer) {
+    for (std::size_t k = 0; k < context.networks->num_sources(); ++k) {
+      double alpha = 1.0;
+      if (!config_.alpha_sources.empty()) {
+        alpha = k < config_.alpha_sources.size() ? config_.alpha_sources[k]
+                                                 : config_.alpha_sources.back();
+      }
+      const double dk =
+          std::max<double>(1.0, context.adapted_tensors[k + 1].dim0());
+      weights.push_back(alpha * config_.intimacy_scale / dk);
+    }
+  }
+
+  // Assemble and solve the sparse + low-rank estimation (Algorithm 1).
+  Objective objective;
+  objective.a = context.target_structure->AdjacencyCsr();
+  objective.grad_v =
+      BuildIntimacyGradient(context.adapted_tensors, weights, n);
+  objective.gamma = config_.gamma;
+  objective.tau = config_.tau;
+  objective.loss = config_.loss;
+
+  context.memory_stats.adjacency_nnz = objective.a.nnz();
+  context.memory_stats.adjacency_bytes = objective.a.EstimatedBytes();
+  context.memory_stats.adjacency_dense_bytes = n * n * sizeof(double);
+  // At the end of the embedding phase the adjacency, raw and adapted
+  // tensors are all live — that is the tracked high-water mark.
+  context.memory_stats.peak_bytes = context.memory_stats.adjacency_bytes +
+                                    context.memory_stats.raw_tensor_bytes +
+                                    context.memory_stats.adapted_tensor_bytes;
+
+  context.trace = CccpTrace();
+  auto solution = SolveCccp(objective, config_.optimization, &context.trace);
+  if (!solution.ok()) return solution.status();
+  context.s = std::move(solution).value();
+  return Status::OK();
+}
+
+std::vector<std::unique_ptr<FitStage>> BuildFitPipeline(
+    const SlamPredConfig& config) {
+  std::vector<std::unique_ptr<FitStage>> stages;
+  stages.push_back(
+      std::make_unique<FeatureStage>(FeatureStageConfigFrom(config)));
+  stages.push_back(
+      std::make_unique<EmbeddingStage>(EmbeddingStageConfigFrom(config)));
+  stages.push_back(std::make_unique<SolveStage>(SolveStageConfigFrom(config)));
+  return stages;
+}
+
+Status RunFitPipeline(const std::vector<std::unique_ptr<FitStage>>& stages,
+                      FitContext& context) {
+  if (context.networks == nullptr || context.target_structure == nullptr) {
+    return Status::InvalidArgument("fit context is missing its inputs");
+  }
+  if (context.target_structure->num_users() !=
+      context.networks->target().NumUsers()) {
+    return Status::InvalidArgument(
+        "target structure must cover the target's users");
+  }
+  for (const auto& stage : stages) {
+    SLAMPRED_RETURN_NOT_OK(InjectedStageFault(stage->name()));
+    Stopwatch watch;
+    const Status status = stage->Run(context);
+    stage->PhaseSlot(context.phase_times) += watch.ElapsedSeconds();
+    SLAMPRED_RETURN_NOT_OK(status);
+  }
+  return Status::OK();
+}
+
+}  // namespace slampred

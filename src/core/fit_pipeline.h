@@ -1,0 +1,183 @@
+// The staged SLAMPRED fit pipeline. SlamPred::Fit is a thin driver over
+// three stages sharing one FitContext:
+//
+//   FeatureStage    raw intimacy tensors per network        (features/)
+//   EmbeddingStage  Theorem-1 projection / domain adaption  (embedding/)
+//   SolveStage      sparse + low-rank CCCP estimation       (optim/)
+//
+// Each stage is a self-contained object with its own config struct
+// derived from SlamPredConfig, so the paper's -T/-H variants are stage
+// *configuration* (FeatureStageConfig::use_sources / use_attributes)
+// rather than branches buried in one monolithic Fit. Stages are
+// independently runnable — tests drive a single stage on a hand-built
+// context, and RunFitPipeline accepts any subset in order — and
+// independently fault-injectable through the per-stage sites
+// "fit.features" / "fit.embedding" / "fit.solve" (fail kinds map to the
+// matching Status; poison kinds surface as kNumericalError).
+//
+// RunFitPipeline times every stage into its FitPhaseTimes slot; memory
+// accounting is done by the stage that materialises each tensor.
+
+#ifndef SLAMPRED_CORE_FIT_PIPELINE_H_
+#define SLAMPRED_CORE_FIT_PIPELINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/slampred.h"
+#include "embedding/domain_adapter.h"
+#include "features/feature_tensor.h"
+#include "graph/aligned_networks.h"
+#include "graph/social_graph.h"
+#include "linalg/matrix.h"
+#include "linalg/sparse_tensor3.h"
+#include "optim/cccp.h"
+#include "util/status.h"
+
+namespace slampred {
+
+/// Shared state of one fit: the inputs, every intermediate tensor, and
+/// the diagnostics the stages accumulate. A context outlives the stages
+/// that filled it, so a failed run still carries the stats of the
+/// stages that completed.
+struct FitContext {
+  /// Inputs (non-owning; must outlive the run).
+  const AlignedNetworks* networks = nullptr;
+  const SocialGraph* target_structure = nullptr;
+
+  /// Set by FeatureStage: the slice selection actually extracted and
+  /// whether any source network transfers (sources enabled, present,
+  /// and anchored).
+  FeatureTensorOptions feature_options;
+  bool transfer = false;
+
+  /// raw_tensors[0] = target features on the training structure;
+  /// raw_tensors[k>=1] = source k on its own graph (only when
+  /// transferring).
+  std::vector<SparseTensor3> raw_tensors;
+
+  /// Set by EmbeddingStage: adapted tensors in target coordinates.
+  std::vector<SparseTensor3> adapted_tensors;
+
+  /// Set by SolveStage: the fitted predictor matrix and its trace.
+  Matrix s;
+  CccpTrace trace;
+
+  /// Diagnostics accumulated across stages.
+  FitPhaseTimes phase_times;
+  FitMemoryStats memory_stats;
+};
+
+/// One pipeline stage. Run() reads and extends the context; it must be
+/// safe to call on a context produced by the preceding stages (or a
+/// hand-built equivalent in tests).
+class FitStage {
+ public:
+  virtual ~FitStage() = default;
+
+  /// Short stage name; also the suffix of the stage's fault site
+  /// ("fit.<name>").
+  virtual const char* name() const = 0;
+
+  virtual Status Run(FitContext& context) const = 0;
+
+  /// The FitPhaseTimes field this stage's wall time is recorded in.
+  virtual double& PhaseSlot(FitPhaseTimes& times) const = 0;
+};
+
+/// FeatureStage controls — the -T / -H variant switches live here.
+struct FeatureStageConfig {
+  FeatureTensorOptions features;
+  /// False (the -H variant) drops every attribute slice.
+  bool use_attributes = true;
+  /// False (the -T / -H variants) skips source tensors entirely.
+  bool use_sources = true;
+};
+FeatureStageConfig FeatureStageConfigFrom(const SlamPredConfig& config);
+
+/// Builds the raw intimacy tensors (CSR) and decides `transfer`.
+class FeatureStage : public FitStage {
+ public:
+  explicit FeatureStage(FeatureStageConfig config)
+      : config_(std::move(config)) {}
+  const char* name() const override { return "features"; }
+  Status Run(FitContext& context) const override;
+  double& PhaseSlot(FitPhaseTimes& times) const override {
+    return times.features_seconds;
+  }
+
+ private:
+  FeatureStageConfig config_;
+};
+
+/// EmbeddingStage controls.
+struct EmbeddingStageConfig {
+  /// False runs the EXP-A2 passthrough ablation instead of Theorem 1.
+  bool domain_adaptation = true;
+  /// Project the target's own features too (strict-paper mode).
+  bool project_target_features = false;
+  DomainAdapterOptions adapter;
+  double mu = 1.0;
+  std::size_t latent_dim = 5;
+  std::uint64_t seed = 7;
+};
+EmbeddingStageConfig EmbeddingStageConfigFrom(const SlamPredConfig& config);
+
+/// Produces the adapted tensors from the raw ones (projection,
+/// passthrough, or a plain move when nothing transfers).
+class EmbeddingStage : public FitStage {
+ public:
+  explicit EmbeddingStage(EmbeddingStageConfig config)
+      : config_(std::move(config)) {}
+  const char* name() const override { return "embedding"; }
+  Status Run(FitContext& context) const override;
+  double& PhaseSlot(FitPhaseTimes& times) const override {
+    return times.embedding_seconds;
+  }
+
+ private:
+  EmbeddingStageConfig config_;
+};
+
+/// SolveStage controls.
+struct SolveStageConfig {
+  double alpha_target = 1.0;
+  std::vector<double> alpha_sources = {1.0};
+  double intimacy_scale = 16.0;
+  double gamma = 0.3;
+  double tau = 6.0;
+  LossKind loss = LossKind::kSquaredFrobenius;
+  CccpOptions optimization;
+};
+SolveStageConfig SolveStageConfigFrom(const SlamPredConfig& config);
+
+/// Assembles the objective (intimacy weights + constant CCCP gradient)
+/// and runs Algorithm 1, producing context.s.
+class SolveStage : public FitStage {
+ public:
+  explicit SolveStage(SolveStageConfig config) : config_(std::move(config)) {}
+  const char* name() const override { return "solve"; }
+  Status Run(FitContext& context) const override;
+  double& PhaseSlot(FitPhaseTimes& times) const override {
+    return times.cccp_seconds;
+  }
+
+ private:
+  SolveStageConfig config_;
+};
+
+/// The full three-stage pipeline configured from `config`.
+std::vector<std::unique_ptr<FitStage>> BuildFitPipeline(
+    const SlamPredConfig& config);
+
+/// Validates the context's inputs, then runs `stages` in order: each
+/// stage is wall-clocked into its PhaseSlot and guarded by the
+/// "fit.<name>" fault site; the first failure stops the run (stats of
+/// completed stages stay in the context).
+Status RunFitPipeline(const std::vector<std::unique_ptr<FitStage>>& stages,
+                      FitContext& context);
+
+}  // namespace slampred
+
+#endif  // SLAMPRED_CORE_FIT_PIPELINE_H_

@@ -1,0 +1,121 @@
+#include "core/fit_report.h"
+
+#include "util/binary_io.h"
+#include "util/string_util.h"
+#include "util/thread_pool.h"
+
+namespace slampred {
+namespace {
+
+void AppendField(std::string& out, const char* key, double value,
+                 bool* first) {
+  if (!*first) out += ",";
+  *first = false;
+  out += "\"";
+  out += key;
+  out += "\":";
+  out += FormatDouble(value, 6);
+}
+
+void AppendField(std::string& out, const char* key, std::size_t value,
+                 bool* first) {
+  if (!*first) out += ",";
+  *first = false;
+  out += "\"";
+  out += key;
+  out += "\":";
+  out += std::to_string(value);
+}
+
+void AppendField(std::string& out, const char* key, int value, bool* first) {
+  if (!*first) out += ",";
+  *first = false;
+  out += "\"";
+  out += key;
+  out += "\":";
+  out += std::to_string(value);
+}
+
+}  // namespace
+
+FitReport MakeFitReport(const SlamPred& model) {
+  FitReport report;
+  report.phase_times = model.phase_times();
+  report.memory_stats = model.memory_stats();
+  report.recovery = model.trace().recovery;
+  report.threads = ThreadPool::Global().num_threads();
+  return report;
+}
+
+void PrintFitReport(std::FILE* out, const FitReport& report) {
+  const FitPhaseTimes& times = report.phase_times;
+  std::fprintf(
+      out,
+      "phase times (s): features %.3f | embedding %.3f | cccp %.3f | "
+      "svd %.3f | total %.3f  [%zu thread(s)]\n",
+      times.features_seconds, times.embedding_seconds, times.cccp_seconds,
+      times.svd_seconds, times.total_seconds, report.threads);
+  std::fprintf(out, "sparse-path memory: %s\n",
+               report.memory_stats.ToString().c_str());
+  if (report.recovery.Total() > 0) {
+    std::fprintf(out, "solver recoveries: %s\n",
+                 report.recovery.ToString().c_str());
+  }
+}
+
+std::string FitReportJson(const FitReport& report) {
+  std::string out = "{";
+  out += "\"threads\":" + std::to_string(report.threads);
+
+  out += ",\"phase_times\":{";
+  bool first = true;
+  AppendField(out, "features_seconds", report.phase_times.features_seconds,
+              &first);
+  AppendField(out, "embedding_seconds", report.phase_times.embedding_seconds,
+              &first);
+  AppendField(out, "cccp_seconds", report.phase_times.cccp_seconds, &first);
+  AppendField(out, "svd_seconds", report.phase_times.svd_seconds, &first);
+  AppendField(out, "total_seconds", report.phase_times.total_seconds, &first);
+  out += "}";
+
+  const FitMemoryStats& mem = report.memory_stats;
+  out += ",\"memory_stats\":{";
+  first = true;
+  AppendField(out, "adjacency_nnz", mem.adjacency_nnz, &first);
+  AppendField(out, "adjacency_bytes", mem.adjacency_bytes, &first);
+  AppendField(out, "adjacency_dense_bytes", mem.adjacency_dense_bytes,
+              &first);
+  AppendField(out, "raw_tensor_nnz", mem.raw_tensor_nnz, &first);
+  AppendField(out, "raw_tensor_bytes", mem.raw_tensor_bytes, &first);
+  AppendField(out, "raw_tensor_dense_bytes", mem.raw_tensor_dense_bytes,
+              &first);
+  AppendField(out, "adapted_tensor_nnz", mem.adapted_tensor_nnz, &first);
+  AppendField(out, "adapted_tensor_bytes", mem.adapted_tensor_bytes, &first);
+  AppendField(out, "adapted_tensor_dense_bytes",
+              mem.adapted_tensor_dense_bytes, &first);
+  AppendField(out, "peak_bytes", mem.peak_bytes, &first);
+  out += "}";
+
+  const RecoveryStats& rec = report.recovery;
+  out += ",\"recovery\":{";
+  first = true;
+  AppendField(out, "nan_rollbacks", rec.nan_rollbacks, &first);
+  AppendField(out, "prox_rollbacks", rec.prox_rollbacks, &first);
+  AppendField(out, "divergence_backoffs", rec.divergence_backoffs, &first);
+  AppendField(out, "svd_fallbacks", rec.svd_fallbacks, &first);
+  AppendField(out, "checkpoint_resumes", rec.checkpoint_resumes, &first);
+  AppendField(out, "total", rec.Total(), &first);
+  out += "}}";
+  return out;
+}
+
+Status WriteFitReportJson(const FitReport& report, const std::string& path) {
+  const std::string json = FitReportJson(report) + "\n";
+  if (path == "-") {
+    std::fwrite(json.data(), 1, json.size(), stdout);
+    return Status::OK();
+  }
+  return WriteStringToFile(json, path);
+}
+
+}  // namespace slampred

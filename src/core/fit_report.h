@@ -1,0 +1,46 @@
+// One place for the fit diagnostics every front end prints: phase wall
+// times, sparse-path memory footprint and solver recoveries. Previously
+// duplicated across slampred_cli predict/evaluate and bench_fig3; they
+// all call PrintFitReport now, and --stats-json emits the same numbers
+// machine-readably through FitReportJson.
+
+#ifndef SLAMPRED_CORE_FIT_REPORT_H_
+#define SLAMPRED_CORE_FIT_REPORT_H_
+
+#include <cstdio>
+#include <string>
+
+#include "core/slampred.h"
+#include "optim/guardrails.h"
+#include "util/status.h"
+
+namespace slampred {
+
+/// Snapshot of one fit's diagnostics plus the thread count it ran with.
+struct FitReport {
+  FitPhaseTimes phase_times;
+  FitMemoryStats memory_stats;
+  RecoveryStats recovery;
+  std::size_t threads = 1;
+};
+
+/// Collects the report of `model`'s last Fit (threads = current global
+/// pool size).
+FitReport MakeFitReport(const SlamPred& model);
+
+/// Prints the standard human-readable block to `out`:
+///   phase times (s): ... [N thread(s)]
+///   sparse-path memory: ...
+///   solver recoveries: ...        (only when any were taken)
+void PrintFitReport(std::FILE* out, const FitReport& report);
+
+/// The same stats as a single JSON object (one line, no trailing
+/// newline).
+std::string FitReportJson(const FitReport& report);
+
+/// Writes FitReportJson to `path`, or to stdout when `path` is "-".
+Status WriteFitReportJson(const FitReport& report, const std::string& path);
+
+}  // namespace slampred
+
+#endif  // SLAMPRED_CORE_FIT_REPORT_H_

@@ -1,0 +1,357 @@
+#include "core/model_artifact.h"
+
+#include <cstring>
+#include <utility>
+
+#include "util/binary_io.h"
+#include "util/fault_injection.h"
+
+namespace slampred {
+namespace {
+
+constexpr char kMagic[8] = {'S', 'L', 'P', 'M', 'O', 'D', 'E', 'L'};
+
+// Section ids of format version 1.
+enum SectionId : std::uint32_t {
+  kSectionConfig = 1,
+  kSectionScoreMatrix = 2,
+  kSectionAdaptedTensors = 3,
+};
+
+// The config is stored field by field in a fixed order; any layout
+// change here must bump kModelArtifactFormatVersion.
+void SerializeConfig(const SlamPredConfig& config, BinaryWriter& writer) {
+  writer.WriteDouble(config.alpha_target);
+  writer.WriteU64(config.alpha_sources.size());
+  for (double alpha : config.alpha_sources) writer.WriteDouble(alpha);
+  writer.WriteDouble(config.mu);
+  writer.WriteDouble(config.gamma);
+  writer.WriteDouble(config.tau);
+  writer.WriteDouble(config.intimacy_scale);
+  writer.WriteU64(config.latent_dim);
+  writer.WriteBool(config.use_attributes);
+  writer.WriteBool(config.use_sources);
+  writer.WriteBool(config.domain_adaptation);
+  writer.WriteBool(config.project_target_features);
+  writer.WriteU8(static_cast<std::uint8_t>(config.loss));
+  writer.WriteU64(config.seed);
+
+  const FeatureTensorOptions& f = config.features;
+  writer.WriteBool(f.common_neighbors);
+  writer.WriteBool(f.jaccard);
+  writer.WriteBool(f.adamic_adar);
+  writer.WriteBool(f.resource_allocation);
+  writer.WriteBool(f.preferential_attachment);
+  writer.WriteBool(f.truncated_katz);
+  writer.WriteDouble(f.katz_beta);
+  writer.WriteBool(f.word_similarity);
+  writer.WriteBool(f.location_similarity);
+  writer.WriteBool(f.time_similarity);
+  writer.WriteBool(f.meta_paths);
+  writer.WriteBool(f.sqrt_transform);
+
+  const DomainAdapterOptions& a = config.adapter;
+  writer.WriteU64(a.projection.latent_dim);
+  writer.WriteDouble(a.projection.mu);
+  writer.WriteU64(a.sampling.positives_per_network);
+  writer.WriteU64(a.sampling.negatives_per_network);
+  writer.WriteU64(a.sampling.max_negative_attempts);
+  writer.WriteBool(a.normalize_adapted);
+
+  const CccpOptions& o = config.optimization;
+  writer.WriteDouble(o.inner.theta);
+  writer.WriteI32(o.inner.max_iterations);
+  writer.WriteDouble(o.inner.tol);
+  writer.WriteBool(o.inner.project_unit_box);
+  writer.WriteBool(o.inner.keep_symmetric);
+  writer.WriteBool(o.inner.guardrails.enabled);
+  writer.WriteDouble(o.inner.guardrails.backoff_factor);
+  writer.WriteI32(o.inner.guardrails.max_recoveries);
+  writer.WriteDouble(o.inner.guardrails.divergence_factor);
+  writer.WriteI32(o.inner.guardrails.divergence_window);
+  writer.WriteI32(o.inner.guardrails.max_svd_fallbacks);
+  writer.WriteI32(o.inner.guardrails.max_checkpoint_resumes);
+  writer.WriteBool(o.inner.nuclear_prox.use_randomized);
+  writer.WriteU64(o.inner.nuclear_prox.randomized.rank);
+  writer.WriteU64(o.inner.nuclear_prox.randomized.oversampling);
+  writer.WriteI32(o.inner.nuclear_prox.randomized.power_iterations);
+  writer.WriteU64(o.inner.nuclear_prox.randomized.seed);
+  writer.WriteI32(o.max_outer_iterations);
+  writer.WriteDouble(o.outer_tol);
+}
+
+#define SLAMPRED_READ_INTO(lhs, expr)            \
+  do {                                           \
+    auto _read = (expr);                         \
+    if (!_read.ok()) return _read.status();      \
+    lhs = _read.value();                         \
+  } while (false)
+
+Result<SlamPredConfig> DeserializeConfig(BinaryReader& reader) {
+  SlamPredConfig config;
+  SLAMPRED_READ_INTO(config.alpha_target, reader.ReadDouble());
+  std::uint64_t num_alpha_sources = 0;
+  SLAMPRED_READ_INTO(num_alpha_sources, reader.ReadU64());
+  if (num_alpha_sources > reader.remaining() / sizeof(double)) {
+    return reader.Truncated(
+        static_cast<std::size_t>(num_alpha_sources) * sizeof(double),
+        "alpha_sources");
+  }
+  config.alpha_sources.assign(static_cast<std::size_t>(num_alpha_sources),
+                              0.0);
+  for (double& alpha : config.alpha_sources) {
+    SLAMPRED_READ_INTO(alpha, reader.ReadDouble());
+  }
+  SLAMPRED_READ_INTO(config.mu, reader.ReadDouble());
+  SLAMPRED_READ_INTO(config.gamma, reader.ReadDouble());
+  SLAMPRED_READ_INTO(config.tau, reader.ReadDouble());
+  SLAMPRED_READ_INTO(config.intimacy_scale, reader.ReadDouble());
+  SLAMPRED_READ_INTO(config.latent_dim, reader.ReadU64());
+  SLAMPRED_READ_INTO(config.use_attributes, reader.ReadBool());
+  SLAMPRED_READ_INTO(config.use_sources, reader.ReadBool());
+  SLAMPRED_READ_INTO(config.domain_adaptation, reader.ReadBool());
+  SLAMPRED_READ_INTO(config.project_target_features, reader.ReadBool());
+  const std::size_t loss_offset = reader.offset();
+  std::uint8_t loss = 0;
+  SLAMPRED_READ_INTO(loss, reader.ReadU8());
+  if (loss > static_cast<std::uint8_t>(LossKind::kSquaredHinge)) {
+    return Status::IoError("corrupt loss kind " + std::to_string(loss) +
+                           " at offset " + std::to_string(loss_offset));
+  }
+  config.loss = static_cast<LossKind>(loss);
+  SLAMPRED_READ_INTO(config.seed, reader.ReadU64());
+
+  FeatureTensorOptions& f = config.features;
+  SLAMPRED_READ_INTO(f.common_neighbors, reader.ReadBool());
+  SLAMPRED_READ_INTO(f.jaccard, reader.ReadBool());
+  SLAMPRED_READ_INTO(f.adamic_adar, reader.ReadBool());
+  SLAMPRED_READ_INTO(f.resource_allocation, reader.ReadBool());
+  SLAMPRED_READ_INTO(f.preferential_attachment, reader.ReadBool());
+  SLAMPRED_READ_INTO(f.truncated_katz, reader.ReadBool());
+  SLAMPRED_READ_INTO(f.katz_beta, reader.ReadDouble());
+  SLAMPRED_READ_INTO(f.word_similarity, reader.ReadBool());
+  SLAMPRED_READ_INTO(f.location_similarity, reader.ReadBool());
+  SLAMPRED_READ_INTO(f.time_similarity, reader.ReadBool());
+  SLAMPRED_READ_INTO(f.meta_paths, reader.ReadBool());
+  SLAMPRED_READ_INTO(f.sqrt_transform, reader.ReadBool());
+
+  DomainAdapterOptions& a = config.adapter;
+  SLAMPRED_READ_INTO(a.projection.latent_dim, reader.ReadU64());
+  SLAMPRED_READ_INTO(a.projection.mu, reader.ReadDouble());
+  SLAMPRED_READ_INTO(a.sampling.positives_per_network, reader.ReadU64());
+  SLAMPRED_READ_INTO(a.sampling.negatives_per_network, reader.ReadU64());
+  SLAMPRED_READ_INTO(a.sampling.max_negative_attempts, reader.ReadU64());
+  SLAMPRED_READ_INTO(a.normalize_adapted, reader.ReadBool());
+
+  CccpOptions& o = config.optimization;
+  SLAMPRED_READ_INTO(o.inner.theta, reader.ReadDouble());
+  SLAMPRED_READ_INTO(o.inner.max_iterations, reader.ReadI32());
+  SLAMPRED_READ_INTO(o.inner.tol, reader.ReadDouble());
+  SLAMPRED_READ_INTO(o.inner.project_unit_box, reader.ReadBool());
+  SLAMPRED_READ_INTO(o.inner.keep_symmetric, reader.ReadBool());
+  SLAMPRED_READ_INTO(o.inner.guardrails.enabled, reader.ReadBool());
+  SLAMPRED_READ_INTO(o.inner.guardrails.backoff_factor, reader.ReadDouble());
+  SLAMPRED_READ_INTO(o.inner.guardrails.max_recoveries, reader.ReadI32());
+  SLAMPRED_READ_INTO(o.inner.guardrails.divergence_factor,
+                     reader.ReadDouble());
+  SLAMPRED_READ_INTO(o.inner.guardrails.divergence_window, reader.ReadI32());
+  SLAMPRED_READ_INTO(o.inner.guardrails.max_svd_fallbacks, reader.ReadI32());
+  SLAMPRED_READ_INTO(o.inner.guardrails.max_checkpoint_resumes,
+                     reader.ReadI32());
+  SLAMPRED_READ_INTO(o.inner.nuclear_prox.use_randomized, reader.ReadBool());
+  SLAMPRED_READ_INTO(o.inner.nuclear_prox.randomized.rank, reader.ReadU64());
+  SLAMPRED_READ_INTO(o.inner.nuclear_prox.randomized.oversampling,
+                     reader.ReadU64());
+  SLAMPRED_READ_INTO(o.inner.nuclear_prox.randomized.power_iterations,
+                     reader.ReadI32());
+  SLAMPRED_READ_INTO(o.inner.nuclear_prox.randomized.seed, reader.ReadU64());
+  SLAMPRED_READ_INTO(o.max_outer_iterations, reader.ReadI32());
+  SLAMPRED_READ_INTO(o.outer_tol, reader.ReadDouble());
+  return config;
+}
+
+#undef SLAMPRED_READ_INTO
+
+void AppendSection(std::uint32_t id, const std::string& payload,
+                   BinaryWriter& writer) {
+  writer.WriteU32(id);
+  writer.WriteU64(payload.size());
+  writer.WriteBytes(payload.data(), payload.size());
+  writer.WriteU32(Crc32(payload.data(), payload.size()));
+}
+
+// Translates the "artifact.read" fault site into a load failure.
+Status InjectedArtifactFault() {
+  switch (SLAMPRED_FAULT_HIT("artifact.read")) {
+    case FaultKind::kFailIo:
+      return Status::IoError("injected artifact read fault");
+    case FaultKind::kFailNumerical:
+    case FaultKind::kPoisonNaN:
+    case FaultKind::kPoisonInf:
+      return Status::NumericalError("injected artifact read fault");
+    case FaultKind::kFailNotConverged:
+      return Status::NotConverged("injected artifact read fault");
+    case FaultKind::kNone:
+      break;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<ModelArtifact> MakeModelArtifact(const SlamPred& model,
+                                        bool include_adapted_tensors) {
+  if (!model.fitted()) {
+    return Status::FailedPrecondition(
+        "cannot snapshot an artifact before Fit");
+  }
+  ModelArtifact artifact;
+  artifact.config = model.config();
+  artifact.s = model.ScoreMatrix();
+  if (include_adapted_tensors) {
+    artifact.adapted_tensors = model.adapted_tensors();
+    artifact.has_adapted_tensors = true;
+  }
+  return artifact;
+}
+
+std::string SerializeModelArtifact(const ModelArtifact& artifact) {
+  BinaryWriter writer;
+  writer.WriteBytes(kMagic, sizeof(kMagic));
+  writer.WriteU32(kModelArtifactFormatVersion);
+  const std::uint32_t section_count =
+      artifact.has_adapted_tensors ? 3u : 2u;
+  writer.WriteU32(section_count);
+
+  BinaryWriter config_writer;
+  SerializeConfig(artifact.config, config_writer);
+  AppendSection(kSectionConfig, config_writer.buffer(), writer);
+
+  BinaryWriter s_writer;
+  artifact.s.Serialize(s_writer);
+  AppendSection(kSectionScoreMatrix, s_writer.buffer(), writer);
+
+  if (artifact.has_adapted_tensors) {
+    BinaryWriter tensor_writer;
+    tensor_writer.WriteU64(artifact.adapted_tensors.size());
+    for (const SparseTensor3& tensor : artifact.adapted_tensors) {
+      tensor.Serialize(tensor_writer);
+    }
+    AppendSection(kSectionAdaptedTensors, tensor_writer.buffer(), writer);
+  }
+  return writer.TakeBuffer();
+}
+
+Result<ModelArtifact> DeserializeModelArtifact(const std::string& bytes) {
+  BinaryReader reader(bytes);
+  char magic[sizeof(kMagic)];
+  SLAMPRED_RETURN_NOT_OK(reader.ReadBytes(magic, sizeof(magic)));
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::IoError(
+        "bad magic at offset 0: not a SLAMPRED model artifact");
+  }
+  const std::size_t version_offset = reader.offset();
+  auto version = reader.ReadU32();
+  if (!version.ok()) return version.status();
+  if (version.value() != kModelArtifactFormatVersion) {
+    return Status::IoError(
+        "unsupported artifact format version " +
+        std::to_string(version.value()) + " at offset " +
+        std::to_string(version_offset) + " (this build reads version " +
+        std::to_string(kModelArtifactFormatVersion) + ")");
+  }
+  auto section_count = reader.ReadU32();
+  if (!section_count.ok()) return section_count.status();
+
+  ModelArtifact artifact;
+  bool have_config = false;
+  bool have_s = false;
+  for (std::uint32_t i = 0; i < section_count.value(); ++i) {
+    const std::size_t section_offset = reader.offset();
+    auto id = reader.ReadU32();
+    if (!id.ok()) return id.status();
+    auto payload_size = reader.ReadU64();
+    if (!payload_size.ok()) return payload_size.status();
+    if (payload_size.value() > reader.remaining()) {
+      return reader.Truncated(
+          static_cast<std::size_t>(payload_size.value()), "section payload");
+    }
+    const unsigned char* payload = reader.current();
+    const std::size_t size = static_cast<std::size_t>(payload_size.value());
+    SLAMPRED_RETURN_NOT_OK(reader.Skip(size));
+    const std::size_t crc_offset = reader.offset();
+    auto stored_crc = reader.ReadU32();
+    if (!stored_crc.ok()) return stored_crc.status();
+    const std::uint32_t computed_crc = Crc32(payload, size);
+    if (stored_crc.value() != computed_crc) {
+      return Status::IoError(
+          "checksum mismatch in section " + std::to_string(id.value()) +
+          " starting at offset " + std::to_string(section_offset) +
+          " (stored crc at offset " + std::to_string(crc_offset) + ")");
+    }
+
+    BinaryReader section(payload, size);
+    switch (id.value()) {
+      case kSectionConfig: {
+        auto config = DeserializeConfig(section);
+        if (!config.ok()) return config.status();
+        artifact.config = std::move(config).value();
+        have_config = true;
+        break;
+      }
+      case kSectionScoreMatrix: {
+        auto s = Matrix::Deserialize(section);
+        if (!s.ok()) return s.status();
+        artifact.s = std::move(s).value();
+        have_s = true;
+        break;
+      }
+      case kSectionAdaptedTensors: {
+        auto count = section.ReadU64();
+        if (!count.ok()) return count.status();
+        artifact.adapted_tensors.clear();
+        for (std::uint64_t k = 0; k < count.value(); ++k) {
+          auto tensor = SparseTensor3::Deserialize(section);
+          if (!tensor.ok()) return tensor.status();
+          artifact.adapted_tensors.push_back(std::move(tensor).value());
+        }
+        artifact.has_adapted_tensors = true;
+        break;
+      }
+      default:
+        // Checksum-verified but unknown: skip (additive growth within a
+        // format version stays readable).
+        break;
+    }
+  }
+  if (!have_config || !have_s) {
+    return Status::IoError(
+        "artifact is missing a required section (config and score matrix "
+        "are mandatory)");
+  }
+  if (artifact.s.rows() != artifact.s.cols()) {
+    return Status::IoError("artifact score matrix is not square: " +
+                           std::to_string(artifact.s.rows()) + "x" +
+                           std::to_string(artifact.s.cols()));
+  }
+  return artifact;
+}
+
+Status SaveModelArtifact(const ModelArtifact& artifact,
+                         const std::string& path) {
+  return WriteStringToFile(SerializeModelArtifact(artifact), path);
+}
+
+Result<ModelArtifact> LoadModelArtifact(const std::string& path) {
+  SLAMPRED_RETURN_NOT_OK(InjectedArtifactFault());
+  auto bytes = ReadFileToString(path);
+  if (!bytes.ok()) return bytes.status();
+  auto artifact = DeserializeModelArtifact(bytes.value());
+  if (!artifact.ok()) {
+    return Status(artifact.status().code(),
+                  path + ": " + artifact.status().message());
+  }
+  return artifact;
+}
+
+}  // namespace slampred

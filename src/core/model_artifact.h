@@ -1,0 +1,79 @@
+// Versioned binary model artifact — the train-once / serve-many
+// boundary. A fitted SlamPred exports an artifact (config + predictor
+// matrix S + optionally the adapted CSR tensors); ScoringSession loads
+// it back and serves scores with no refit. Scores from a loaded
+// artifact are bit-identical to the in-memory model: S round-trips
+// through exact IEEE-754 bit patterns.
+//
+// On-disk format (little-endian; see DESIGN.md "Fit pipeline and model
+// artifacts" for the full table):
+//
+//   offset 0   8-byte magic "SLPMODEL"
+//   offset 8   u32 format version (kModelArtifactFormatVersion)
+//   offset 12  u32 section count
+//   then per section:
+//     u32 section id · u64 payload bytes · payload · u32 CRC-32(payload)
+//
+// Loading is strict: bad magic, an unsupported version, a truncated
+// payload or a checksum mismatch all return an offset-diagnosed
+// kIoError Status — never a crash — and unknown section ids are
+// skipped (their checksums still verified) so minor additive format
+// growth stays readable.
+
+#ifndef SLAMPRED_CORE_MODEL_ARTIFACT_H_
+#define SLAMPRED_CORE_MODEL_ARTIFACT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/slampred.h"
+#include "linalg/matrix.h"
+#include "linalg/sparse_tensor3.h"
+#include "util/status.h"
+
+namespace slampred {
+
+/// Bumped on any incompatible layout change; readers reject other
+/// versions with a diagnosed error rather than guessing.
+inline constexpr std::uint32_t kModelArtifactFormatVersion = 1;
+
+/// The serializable outcome of one fit.
+struct ModelArtifact {
+  /// Full model configuration the fit ran with (the -T/-H variant, the
+  /// regularization weights, the solver settings — everything needed to
+  /// reproduce or identify the model).
+  SlamPredConfig config;
+  /// The fitted predictor matrix S (n x n).
+  Matrix s;
+  /// Optionally the adapted feature tensors X̂^k of the fit (target
+  /// coordinates, CSR) — for artifact consumers that post-process
+  /// features; omitted by default to keep serving artifacts small.
+  std::vector<SparseTensor3> adapted_tensors;
+  bool has_adapted_tensors = false;
+};
+
+/// Snapshots a fitted model into an artifact. Fails with
+/// kFailedPrecondition before Fit.
+Result<ModelArtifact> MakeModelArtifact(const SlamPred& model,
+                                        bool include_adapted_tensors = false);
+
+/// Serializes `artifact` to its binary form.
+std::string SerializeModelArtifact(const ModelArtifact& artifact);
+
+/// Parses an artifact from its binary form; every failure is an
+/// offset-diagnosed Status.
+Result<ModelArtifact> DeserializeModelArtifact(const std::string& bytes);
+
+/// Writes `artifact` to `path` (kIoError on filesystem failure).
+Status SaveModelArtifact(const ModelArtifact& artifact,
+                         const std::string& path);
+
+/// Reads and parses an artifact file. Honors the "artifact.read" fault
+/// site. Corrupt / truncated / wrong-version files are rejected with a
+/// diagnosed Status.
+Result<ModelArtifact> LoadModelArtifact(const std::string& path);
+
+}  // namespace slampred
+
+#endif  // SLAMPRED_CORE_MODEL_ARTIFACT_H_

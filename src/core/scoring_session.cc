@@ -1,0 +1,59 @@
+#include "core/scoring_session.h"
+
+#include <utility>
+
+namespace slampred {
+
+Result<ScoringSession> ScoringSession::FromFile(const std::string& path) {
+  auto artifact = LoadModelArtifact(path);
+  if (!artifact.ok()) return artifact.status();
+  return FromArtifact(std::move(artifact).value());
+}
+
+Result<ScoringSession> ScoringSession::FromArtifact(ModelArtifact artifact) {
+  if (artifact.s.empty()) {
+    return Status::InvalidArgument(
+        "artifact holds an empty score matrix; nothing to serve");
+  }
+  if (artifact.s.rows() != artifact.s.cols()) {
+    return Status::InvalidArgument(
+        "artifact score matrix must be square, got " +
+        std::to_string(artifact.s.rows()) + "x" +
+        std::to_string(artifact.s.cols()));
+  }
+  return ScoringSession(std::move(artifact));
+}
+
+Result<double> ScoringSession::Score(std::size_t u, std::size_t v) const {
+  if (u >= artifact_.s.rows() || v >= artifact_.s.cols()) {
+    return Status::OutOfRange(
+        "pair (" + std::to_string(u) + ", " + std::to_string(v) +
+        ") outside the served score matrix (" +
+        std::to_string(artifact_.s.rows()) + " users)");
+  }
+  return artifact_.s(u, v);
+}
+
+std::string ScoringSession::name() const {
+  return std::string(SlamPredVariantName(artifact_.config)) + " (artifact)";
+}
+
+Result<std::vector<double>> ScoringSession::ScorePairs(
+    const std::vector<UserPair>& pairs) const {
+  std::vector<double> scores;
+  scores.reserve(pairs.size());
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    const UserPair& pair = pairs[i];
+    if (pair.u >= artifact_.s.rows() || pair.v >= artifact_.s.cols()) {
+      return Status::OutOfRange(
+          "pair " + std::to_string(i) + " = (" + std::to_string(pair.u) +
+          ", " + std::to_string(pair.v) +
+          ") outside the served score matrix (" +
+          std::to_string(artifact_.s.rows()) + " users)");
+    }
+    scores.push_back(artifact_.s(pair.u, pair.v));
+  }
+  return scores;
+}
+
+}  // namespace slampred

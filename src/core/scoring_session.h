@@ -1,0 +1,55 @@
+// ScoringSession — the serve-many half of the train-once / serve-many
+// split. Wraps a loaded ModelArtifact behind the LinkPredictor
+// interface: Score / ScorePairs are pure lookups into the fitted S, no
+// fit stage ever runs, so a session is cheap to construct and safe to
+// keep hot in a serving process. Scores are bit-identical to the
+// SlamPred model the artifact was snapshotted from.
+
+#ifndef SLAMPRED_CORE_SCORING_SESSION_H_
+#define SLAMPRED_CORE_SCORING_SESSION_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/link_predictor.h"
+#include "core/model_artifact.h"
+#include "util/status.h"
+
+namespace slampred {
+
+/// Serves link scores from a fitted model artifact.
+class ScoringSession : public LinkPredictor {
+ public:
+  /// Loads the artifact at `path` (offset-diagnosed kIoError on any
+  /// corruption) and validates it for serving.
+  static Result<ScoringSession> FromFile(const std::string& path);
+
+  /// Wraps an already-materialised artifact.
+  static Result<ScoringSession> FromArtifact(ModelArtifact artifact);
+
+  /// Number of users the fitted S covers (== its order).
+  std::size_t num_users() const { return artifact_.s.rows(); }
+
+  const ModelArtifact& artifact() const { return artifact_; }
+
+  /// Confidence score of (u, v); kOutOfRange when either id falls
+  /// outside the fitted S.
+  Result<double> Score(std::size_t u, std::size_t v) const;
+
+  /// Variant name of the underlying config, marked as artifact-served.
+  std::string name() const override;
+
+  /// Batch scores; every pair is bounds-checked against the fitted S.
+  Result<std::vector<double>> ScorePairs(
+      const std::vector<UserPair>& pairs) const override;
+
+ private:
+  explicit ScoringSession(ModelArtifact artifact)
+      : artifact_(std::move(artifact)) {}
+
+  ModelArtifact artifact_;
+};
+
+}  // namespace slampred
+
+#endif  // SLAMPRED_CORE_SCORING_SESSION_H_

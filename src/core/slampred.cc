@@ -1,11 +1,9 @@
 #include "core/slampred.h"
 
-#include <algorithm>
 #include <cstdio>
+#include <utility>
 
-#include "optim/objective.h"
-#include "util/logging.h"
-#include "util/random.h"
+#include "core/fit_pipeline.h"
 #include "util/stopwatch.h"
 
 namespace slampred {
@@ -42,184 +40,59 @@ std::string FitMemoryStats::ToString() const {
   return buffer;
 }
 
+const char* SlamPredVariantName(const SlamPredConfig& config) {
+  if (!config.use_sources) {
+    return config.use_attributes ? "SLAMPRED-T" : "SLAMPRED-H";
+  }
+  return "SLAMPRED";
+}
+
 SlamPred::SlamPred(SlamPredConfig config) : config_(std::move(config)) {}
 
 Status SlamPred::Fit(const AlignedNetworks& networks,
                      const SocialGraph& target_structure) {
-  // Phase wall clocks. The fit runs on a single thread (nested
-  // ParallelFor serialises), so the thread-local SVD accumulator delta
-  // is this fit's own SVD total.
-  phase_times_ = FitPhaseTimes();
+  // A second Fit of the same object starts from clean stats: the
+  // context below is fresh, and every stat member is overwritten from
+  // it — even on failure, so stale numbers from a previous fit never
+  // survive.
+  // The fit runs on a single thread (nested ParallelFor serialises), so
+  // the thread-local SVD accumulator delta is this fit's own SVD total.
   const double svd_seconds_before = SvdSecondsThisThread();
   Stopwatch total_watch;
-  Stopwatch phase_watch;
 
-  const std::size_t n = networks.target().NumUsers();
-  if (target_structure.num_users() != n) {
-    return Status::InvalidArgument(
-        "target structure must cover the target's users");
-  }
+  FitContext context;
+  context.networks = &networks;
+  context.target_structure = &target_structure;
 
-  // Feature slice selection: the -H variant drops every attribute slice
-  // and keeps only the structural ones.
-  FeatureTensorOptions feature_options = config_.features;
-  if (!config_.use_attributes) {
-    feature_options.word_similarity = false;
-    feature_options.location_similarity = false;
-    feature_options.time_similarity = false;
-  }
+  const auto stages = BuildFitPipeline(config_);
+  const Status run = RunFitPipeline(stages, context);
 
-  // Raw intimacy tensors, built natively in CSR: target (on the
-  // training structure) and, when transferring, every source on its own
-  // graph.
-  std::vector<SparseTensor3> raw_tensors;
-  raw_tensors.push_back(BuildSparseFeatureTensor(networks.target(),
-                                                 target_structure,
-                                                 feature_options));
-  // Without a single anchor link nothing can transfer and the projection
-  // has no cross-network constraints, so an unaligned bundle degrades to
-  // the target-only variant (matching Table II's ratio-0.0 column, where
-  // SLAMPRED equals SLAMPRED-T).
-  bool any_anchors = false;
-  for (std::size_t k = 0; k < networks.num_sources(); ++k) {
-    if (networks.anchors(k).size() > 0) {
-      any_anchors = true;
-      break;
-    }
-  }
-  const bool transfer =
-      config_.use_sources && networks.num_sources() > 0 && any_anchors;
-  if (transfer) {
-    for (std::size_t k = 0; k < networks.num_sources(); ++k) {
-      const SocialGraph source_graph =
-          SocialGraph::FromHeterogeneousNetwork(networks.source(k));
-      raw_tensors.push_back(BuildSparseFeatureTensor(networks.source(k),
-                                                     source_graph,
-                                                     feature_options));
-    }
-  }
-
-  phase_times_.features_seconds = phase_watch.ElapsedSeconds();
-  phase_watch.Restart();
-
-  memory_stats_ = FitMemoryStats();
-  for (const SparseTensor3& tensor : raw_tensors) {
-    memory_stats_.raw_tensor_nnz += tensor.TotalNnz();
-    memory_stats_.raw_tensor_bytes += tensor.EstimatedBytes();
-    memory_stats_.raw_tensor_dense_bytes += tensor.DenseEquivalentBytes();
-  }
-
-  // Feature-space projection (Theorem 1) — or the ablation passthrough.
-  // The projection is applied in every variant (with no sources it
-  // degrades to a within-network embedding) so that SLAMPRED at anchor
-  // ratio 0 coincides with SLAMPRED-T exactly and source terms are pure
-  // additions on top of an identical target treatment.
-  DomainAdapterOptions adapter_options = config_.adapter;
-  adapter_options.projection.mu = config_.mu;
-  adapter_options.projection.latent_dim =
-      std::min(config_.latent_dim, NumFeatures(feature_options));
-  if (config_.domain_adaptation && transfer) {
-    Rng rng(config_.seed);
-    auto adapted = AdaptDomains(networks, target_structure, raw_tensors,
-                                adapter_options, rng);
-    if (!adapted.ok()) return adapted.status();
-    adapted_tensors_ = std::move(adapted).value().tensors;
-    if (!config_.project_target_features) {
-      // Keep the target's own intimacy features raw (default — see the
-      // config comment); the source tensors stay projected.
-      adapted_tensors_[0] = raw_tensors[0];
-    }
-  } else if (config_.domain_adaptation && !transfer &&
-             config_.project_target_features) {
-    // Strict-paper mode on a single network: project the target through
-    // the same pipeline with no cross-network blocks.
-    Rng rng(config_.seed);
-    AlignedNetworks target_only(networks.target());
-    std::vector<SparseTensor3> target_tensor = {raw_tensors[0]};
-    auto adapted = AdaptDomains(target_only, target_structure,
-                                target_tensor, adapter_options, rng);
-    if (!adapted.ok()) return adapted.status();
-    adapted_tensors_ = std::move(adapted).value().tensors;
-  } else if (transfer) {
-    auto adapted = PassthroughAdapt(networks, raw_tensors);
-    if (!adapted.ok()) return adapted.status();
-    adapted_tensors_ = std::move(adapted).value().tensors;
-  } else {
-    adapted_tensors_.clear();
-    adapted_tensors_.push_back(std::move(raw_tensors[0]));
-  }
-
-  phase_times_.embedding_seconds = phase_watch.ElapsedSeconds();
-  phase_watch.Restart();
-
-  for (const SparseTensor3& tensor : adapted_tensors_) {
-    memory_stats_.adapted_tensor_nnz += tensor.TotalNnz();
-    memory_stats_.adapted_tensor_bytes += tensor.EstimatedBytes();
-    memory_stats_.adapted_tensor_dense_bytes += tensor.DenseEquivalentBytes();
-  }
-
-  // Intimacy weights: αᵗ then α^k per transferred source. Each weight is
-  // divided by its tensor's slice count so Σ_c X̂(c,:,:) stays on the
-  // same [0, 1] scale regardless of how many feature slices a network
-  // contributes — otherwise the intimacy gradient would drown the
-  // Frobenius loss and saturate every score at the box bound.
-  std::vector<double> weights;
-  const double d0 = std::max<double>(1.0, adapted_tensors_[0].dim0());
-  weights.push_back(config_.alpha_target * config_.intimacy_scale / d0);
-  if (transfer) {
-    for (std::size_t k = 0; k < networks.num_sources(); ++k) {
-      double alpha = 1.0;
-      if (!config_.alpha_sources.empty()) {
-        alpha = k < config_.alpha_sources.size()
-                    ? config_.alpha_sources[k]
-                    : config_.alpha_sources.back();
-      }
-      const double dk =
-          std::max<double>(1.0, adapted_tensors_[k + 1].dim0());
-      weights.push_back(alpha * config_.intimacy_scale / dk);
-    }
-  }
-
-  // Assemble and solve the sparse + low-rank estimation (Algorithm 1).
-  Objective objective;
-  objective.a = target_structure.AdjacencyCsr();
-  objective.grad_v = BuildIntimacyGradient(adapted_tensors_, weights, n);
-  objective.gamma = config_.gamma;
-  objective.tau = config_.tau;
-  objective.loss = config_.loss;
-
-  memory_stats_.adjacency_nnz = objective.a.nnz();
-  memory_stats_.adjacency_bytes = objective.a.EstimatedBytes();
-  memory_stats_.adjacency_dense_bytes = n * n * sizeof(double);
-  // At the end of the embedding phase the adjacency, raw and adapted
-  // tensors are all live — that is the tracked high-water mark.
-  memory_stats_.peak_bytes = memory_stats_.adjacency_bytes +
-                             memory_stats_.raw_tensor_bytes +
-                             memory_stats_.adapted_tensor_bytes;
-
-  trace_ = CccpTrace();
-  phase_watch.Restart();  // The CCCP phase starts at the solve proper.
-  auto solution = SolveCccp(objective, config_.optimization, &trace_);
-  phase_times_.cccp_seconds = phase_watch.ElapsedSeconds();
+  phase_times_ = context.phase_times;
   phase_times_.svd_seconds = SvdSecondsThisThread() - svd_seconds_before;
   phase_times_.total_seconds = total_watch.ElapsedSeconds();
-  if (!solution.ok()) return solution.status();
-  s_ = std::move(solution).value();
+  memory_stats_ = context.memory_stats;
+  trace_ = std::move(context.trace);
+  adapted_tensors_ = std::move(context.adapted_tensors);
+  if (!run.ok()) return run;
+  s_ = std::move(context.s);
   fitted_ = true;
   return Status::OK();
 }
 
-double SlamPred::Score(std::size_t u, std::size_t v) const {
-  SLAMPRED_CHECK(fitted_) << "Score before Fit";
-  return s_.At(u, v);
+Result<double> SlamPred::Score(std::size_t u, std::size_t v) const {
+  if (!fitted_) {
+    return Status::FailedPrecondition("SLAMPRED scored before Fit");
+  }
+  if (u >= s_.rows() || v >= s_.cols()) {
+    return Status::OutOfRange(
+        "pair (" + std::to_string(u) + ", " + std::to_string(v) +
+        ") outside the fitted score matrix (" + std::to_string(s_.rows()) +
+        " users)");
+  }
+  return s_(u, v);
 }
 
-std::string SlamPred::name() const {
-  if (!config_.use_sources) {
-    return config_.use_attributes ? "SLAMPRED-T" : "SLAMPRED-H";
-  }
-  return "SLAMPRED";
-}
+std::string SlamPred::name() const { return SlamPredVariantName(config_); }
 
 Result<std::vector<double>> SlamPred::ScorePairs(
     const std::vector<UserPair>& pairs) const {
@@ -228,8 +101,16 @@ Result<std::vector<double>> SlamPred::ScorePairs(
   }
   std::vector<double> scores;
   scores.reserve(pairs.size());
-  for (const UserPair& pair : pairs) {
-    scores.push_back(s_.At(pair.u, pair.v));
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    const UserPair& pair = pairs[i];
+    if (pair.u >= s_.rows() || pair.v >= s_.cols()) {
+      return Status::OutOfRange(
+          "pair " + std::to_string(i) + " = (" + std::to_string(pair.u) +
+          ", " + std::to_string(pair.v) +
+          ") outside the fitted score matrix (" + std::to_string(s_.rows()) +
+          " users)");
+    }
+    scores.push_back(s_(pair.u, pair.v));
   }
   return scores;
 }

@@ -91,6 +91,11 @@ struct SlamPredConfig {
 SlamPredConfig SlamPredTargetOnlyConfig();
 SlamPredConfig SlamPredHomogeneousConfig();
 
+/// Display name of the variant a config encodes ("SLAMPRED",
+/// "SLAMPRED-T" or "SLAMPRED-H") — shared by SlamPred::name() and the
+/// artifact-backed ScoringSession.
+const char* SlamPredVariantName(const SlamPredConfig& config);
+
 /// Wall-clock breakdown of the last Fit, surfaced by the CLI and the
 /// Figure-3 bench next to the recovery stats. `svd_seconds` is the time
 /// spent inside SVD/eigen kernels across all phases (it overlaps the
@@ -128,7 +133,11 @@ struct FitMemoryStats {
 /// The SLAMPRED estimator. Usage:
 ///   SlamPred model(config);
 ///   SLAMPRED_RETURN_NOT_OK(model.Fit(networks, training_graph));
-///   double score = model.Score(u, v);
+///   double score = model.Score(u, v).value();
+///
+/// Fit delegates to the staged pipeline of core/fit_pipeline.h
+/// (FeatureStage → EmbeddingStage → SolveStage over one FitContext);
+/// the -T/-H variants are stage configuration derived from this config.
 class SlamPred : public LinkPredictor {
  public:
   explicit SlamPred(SlamPredConfig config = {});
@@ -142,8 +151,13 @@ class SlamPred : public LinkPredictor {
   /// The inferred predictor matrix S (valid after Fit).
   const Matrix& ScoreMatrix() const { return s_; }
 
-  /// Confidence score of the potential link (u, v).
-  double Score(std::size_t u, std::size_t v) const;
+  /// True once Fit has succeeded.
+  bool fitted() const { return fitted_; }
+
+  /// Confidence score of the potential link (u, v). Fails with
+  /// kFailedPrecondition before Fit and kOutOfRange when either user id
+  /// falls outside the fitted S.
+  Result<double> Score(std::size_t u, std::size_t v) const;
 
   /// Optimisation trace of the last Fit (drives the Figure-3 series).
   const CccpTrace& trace() const { return trace_; }

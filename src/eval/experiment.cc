@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "baselines/unsupervised.h"
+#include "core/model_artifact.h"
+#include "core/scoring_session.h"
 #include "eval/anchor_sampler.h"
 #include "features/feature_tensor.h"
 #include "util/logging.h"
@@ -60,6 +62,18 @@ bool MethodUsesSources(MethodId method) {
     default:
       return false;
   }
+}
+
+bool MethodIsSlamPred(MethodId method) {
+  return method == MethodId::kSlamPred || method == MethodId::kSlamPredT ||
+         method == MethodId::kSlamPredH;
+}
+
+std::string FoldModelPath(const std::string& dir, MethodId method,
+                          double anchor_ratio, std::size_t fold) {
+  const int permille = static_cast<int>(std::lround(anchor_ratio * 1000.0));
+  return dir + "/" + MethodIdName(method) + "_r" + std::to_string(permille) +
+         "_fold" + std::to_string(fold) + ".slpmodel";
 }
 
 Result<ExperimentRunner> ExperimentRunner::Create(
@@ -144,8 +158,8 @@ Result<MethodResult> ExperimentRunner::RunMethod(MethodId method,
       // Fold 0 reports its fit's sparse-path footprint; each index has
       // exactly one writing chunk, so the parallel sweep stays
       // deterministic.
-      auto fold_result = RunFold(method, bundle, f, rng,
-                                 f == 0 ? &result.memory_stats : nullptr);
+      auto fold_result = RunFold(method, bundle, anchor_ratio, f, rng,
+                                 f == 0 ? &result.fold0_report : nullptr);
       if (!fold_result.ok()) {
         fold_status[f] = fold_result.status();
         continue;
@@ -163,12 +177,40 @@ Result<MethodResult> ExperimentRunner::RunMethod(MethodId method,
   result.precision_folds = std::move(precision_folds);
   result.auc = ComputeMeanStd(result.auc_folds);
   result.precision = ComputeMeanStd(result.precision_folds);
+  result.memory_stats = result.fold0_report.memory_stats;
+  return result;
+}
+
+Result<MethodResult> ExperimentRunner::RescoreMethod(
+    MethodId method, double anchor_ratio, const std::string& model_dir) {
+  if (!MethodIsSlamPred(method)) {
+    return Status::InvalidArgument(
+        std::string("only SLAMPRED variants save rescorable artifacts; "
+                    "cannot rescore ") + MethodIdName(method));
+  }
+  MethodResult result;
+  result.method = method;
+  result.anchor_ratio = anchor_ratio;
+  // Pure artifact lookups per fold — no fit stage runs here.
+  for (std::size_t f = 0; f < folds_.size(); ++f) {
+    auto session = ScoringSession::FromFile(
+        FoldModelPath(model_dir, method, anchor_ratio, f));
+    if (!session.ok()) return session.status();
+    auto scores = session.value().ScorePairs(eval_sets_[f].pairs);
+    if (!scores.ok()) return scores.status();
+    auto graded = GradeFold(scores.value(), f);
+    if (!graded.ok()) return graded.status();
+    result.auc_folds.push_back(graded.value().first);
+    result.precision_folds.push_back(graded.value().second);
+  }
+  result.auc = ComputeMeanStd(result.auc_folds);
+  result.precision = ComputeMeanStd(result.precision_folds);
   return result;
 }
 
 Result<std::pair<double, double>> ExperimentRunner::RunFold(
-    MethodId method, const AlignedNetworks& bundle, std::size_t fold_index,
-    Rng& rng, FitMemoryStats* memory_stats) {
+    MethodId method, const AlignedNetworks& bundle, double anchor_ratio,
+    std::size_t fold_index, Rng& rng, FitReport* fold_report) {
   const SocialGraph& train_graph = train_graphs_[fold_index];
   const EvaluationSet& eval = eval_sets_[fold_index];
   const std::vector<UserPair>& test_edges = folds_[fold_index].test_edges;
@@ -190,7 +232,16 @@ Result<std::pair<double, double>> ExperimentRunner::RunFold(
       config.seed = rng.NextUint64();
       SlamPred model(config);
       SLAMPRED_RETURN_NOT_OK(model.Fit(bundle, train_graph));
-      if (memory_stats != nullptr) *memory_stats = model.memory_stats();
+      if (fold_report != nullptr) *fold_report = MakeFitReport(model);
+      if (!options_.save_model_dir.empty()) {
+        auto artifact =
+            MakeModelArtifact(model, options_.save_adapted_tensors);
+        if (!artifact.ok()) return artifact.status();
+        SLAMPRED_RETURN_NOT_OK(SaveModelArtifact(
+            artifact.value(),
+            FoldModelPath(options_.save_model_dir, method, anchor_ratio,
+                          fold_index)));
+      }
       scores = model.ScorePairs(eval.pairs);
       break;
     }
@@ -244,10 +295,15 @@ Result<std::pair<double, double>> ExperimentRunner::RunFold(
     }
   }
   if (!scores.ok()) return scores.status();
+  return GradeFold(scores.value(), fold_index);
+}
 
-  auto auc = ComputeAuc(scores.value(), eval.labels);
+Result<std::pair<double, double>> ExperimentRunner::GradeFold(
+    const std::vector<double>& scores, std::size_t fold_index) const {
+  const EvaluationSet& eval = eval_sets_[fold_index];
+  auto auc = ComputeAuc(scores, eval.labels);
   if (!auc.ok()) return auc.status();
-  auto precision = ComputePrecisionAtK(scores.value(), eval.labels,
+  auto precision = ComputePrecisionAtK(scores, eval.labels,
                                        options_.precision_k);
   if (!precision.ok()) return precision.status();
   return std::make_pair(auc.value(), precision.value());

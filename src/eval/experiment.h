@@ -13,6 +13,7 @@
 
 #include "baselines/pl.h"
 #include "baselines/scan.h"
+#include "core/fit_report.h"
 #include "core/slampred.h"
 #include "eval/link_split.h"
 #include "eval/metrics.h"
@@ -48,6 +49,15 @@ std::vector<MethodId> AllMethods();
 /// results depend on the anchor ratio).
 bool MethodUsesSources(MethodId method);
 
+/// True iff the method is a SLAMPRED variant (fits a model whose
+/// artifact can be saved and rescored).
+bool MethodIsSlamPred(MethodId method);
+
+/// Canonical per-fold artifact path used by the save / rescore pair:
+/// `<dir>/<method>_r<permille>_fold<k>.slpmodel`.
+std::string FoldModelPath(const std::string& dir, MethodId method,
+                          double anchor_ratio, std::size_t fold);
+
 /// Harness controls.
 struct ExperimentOptions {
   std::size_t num_folds = 5;
@@ -58,6 +68,12 @@ struct ExperimentOptions {
                             ///< per variant).
   PlOptions pl;             ///< Base config for PL.
   std::uint64_t seed = 123;
+  /// When non-empty, every SLAMPRED-variant fold fit also writes its
+  /// model artifact to FoldModelPath(save_model_dir, ...) so the fold
+  /// can later be rescored without refitting (see RescoreMethod).
+  std::string save_model_dir;
+  /// Include the adapted CSR tensors in saved per-fold artifacts.
+  bool save_adapted_tensors = false;
 };
 
 /// Aggregated result of one (method, anchor ratio) cell.
@@ -71,6 +87,9 @@ struct MethodResult {
   /// Sparse-path footprint of the fold-0 SLAMPRED fit (all folds share
   /// the same data shapes); zero-valued for methods without such a fit.
   FitMemoryStats memory_stats;
+  /// Full fit diagnostics of the fold-0 SLAMPRED fit (phase times,
+  /// memory, recoveries); zero-valued for methods without such a fit.
+  FitReport fold0_report;
 };
 
 /// Runs methods over fixed folds of one aligned bundle.
@@ -84,6 +103,13 @@ class ExperimentRunner {
   /// Runs one method at one anchor ratio across all folds.
   Result<MethodResult> RunMethod(MethodId method, double anchor_ratio);
 
+  /// Rescores a SLAMPRED-variant cell from per-fold artifacts saved by
+  /// an earlier RunMethod with `save_model_dir` = `model_dir`, without
+  /// running any fit stage. AUC / Precision@K are computed over the
+  /// same fold evaluation sets and are identical to the fitting run's.
+  Result<MethodResult> RescoreMethod(MethodId method, double anchor_ratio,
+                                     const std::string& model_dir);
+
   std::size_t num_folds() const { return folds_.size(); }
   const ExperimentOptions& options() const { return options_; }
 
@@ -93,13 +119,19 @@ class ExperimentRunner {
 
   Status Prepare();
 
-  /// Scores one fold; returns {auc, precision@k}. When `memory_stats`
-  /// is non-null and the method fits a SLAMPRED model, the fit's
-  /// sparse-path footprint is written through it.
+  /// Scores one fold; returns {auc, precision@k}. When `fold_report`
+  /// is non-null and the method fits a SLAMPRED model, the fit's full
+  /// diagnostics are written through it.
   Result<std::pair<double, double>> RunFold(MethodId method,
                                             const AlignedNetworks& bundle,
+                                            double anchor_ratio,
                                             std::size_t fold_index, Rng& rng,
-                                            FitMemoryStats* memory_stats);
+                                            FitReport* fold_report);
+
+  /// Scores the fold's evaluation pairs; shared by RunFold and
+  /// RescoreMethod so both paths grade identically.
+  Result<std::pair<double, double>> GradeFold(
+      const std::vector<double>& scores, std::size_t fold_index) const;
 
   /// The anchor-subsampled bundle for `ratio`, built once and cached.
   const AlignedNetworks& BundleAtRatio(double ratio);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/binary_io.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
@@ -397,6 +398,71 @@ std::size_t CsrMatrix::EstimatedBytes() const {
   return row_ptr_.size() * sizeof(std::size_t) +
          col_idx_.size() * sizeof(std::size_t) +
          values_.size() * sizeof(double);
+}
+
+void CsrMatrix::Serialize(BinaryWriter& writer) const {
+  writer.WriteU64(rows_);
+  writer.WriteU64(cols_);
+  writer.WriteU64(values_.size());
+  for (std::size_t p : row_ptr_) writer.WriteU64(p);
+  for (std::size_t c : col_idx_) writer.WriteU64(c);
+  for (double v : values_) writer.WriteDouble(v);
+}
+
+Result<CsrMatrix> CsrMatrix::Deserialize(BinaryReader& reader) {
+  const std::size_t header_offset = reader.offset();
+  auto rows = reader.ReadU64();
+  if (!rows.ok()) return rows.status();
+  auto cols = reader.ReadU64();
+  if (!cols.ok()) return cols.status();
+  auto nnz = reader.ReadU64();
+  if (!nnz.ok()) return nnz.status();
+  const std::uint64_t payload_words = rows.value() + 1 + 2 * nnz.value();
+  if (payload_words > reader.remaining() / sizeof(std::uint64_t)) {
+    return reader.Truncated(
+        static_cast<std::size_t>(payload_words) * sizeof(std::uint64_t),
+        "csr payload");
+  }
+  auto corrupt = [&](const std::string& what) {
+    return Status::IoError("corrupt csr matrix (" + what + ") in record at "
+                           "offset " + std::to_string(header_offset));
+  };
+
+  CsrMatrix m;
+  m.rows_ = static_cast<std::size_t>(rows.value());
+  m.cols_ = static_cast<std::size_t>(cols.value());
+  m.row_ptr_.assign(m.rows_ + 1, 0);
+  for (std::size_t& p : m.row_ptr_) {
+    auto value = reader.ReadU64();
+    if (!value.ok()) return value.status();
+    p = static_cast<std::size_t>(value.value());
+  }
+  if (m.row_ptr_.front() != 0 ||
+      m.row_ptr_.back() != static_cast<std::size_t>(nnz.value())) {
+    return corrupt("row_ptr endpoints");
+  }
+  for (std::size_t i = 0; i < m.rows_; ++i) {
+    if (m.row_ptr_[i] > m.row_ptr_[i + 1]) return corrupt("row_ptr order");
+  }
+  m.col_idx_.assign(static_cast<std::size_t>(nnz.value()), 0);
+  for (std::size_t& c : m.col_idx_) {
+    auto value = reader.ReadU64();
+    if (!value.ok()) return value.status();
+    if (value.value() >= cols.value()) return corrupt("column index range");
+    c = static_cast<std::size_t>(value.value());
+  }
+  for (std::size_t i = 0; i < m.rows_; ++i) {
+    for (std::size_t p = m.row_ptr_[i] + 1; p < m.row_ptr_[i + 1]; ++p) {
+      if (m.col_idx_[p - 1] >= m.col_idx_[p]) return corrupt("column order");
+    }
+  }
+  m.values_.assign(static_cast<std::size_t>(nnz.value()), 0.0);
+  for (double& v : m.values_) {
+    auto value = reader.ReadDouble();
+    if (!value.ok()) return value.status();
+    v = value.value();
+  }
+  return m;
 }
 
 }  // namespace slampred

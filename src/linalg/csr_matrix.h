@@ -18,8 +18,12 @@
 
 #include "linalg/matrix.h"
 #include "linalg/vector.h"
+#include "util/status.h"
 
 namespace slampred {
+
+class BinaryReader;
+class BinaryWriter;
 
 /// Coordinate-format triplet used to assemble CSR matrices.
 struct Triplet {
@@ -133,6 +137,16 @@ class CsrMatrix {
   const std::vector<std::size_t>& row_ptr() const { return row_ptr_; }
   const std::vector<std::size_t>& col_idx() const { return col_idx_; }
   const std::vector<double>& values() const { return values_; }
+
+  /// Appends shape + CSR arrays to `writer` (binary_io layout).
+  void Serialize(BinaryWriter& writer) const;
+
+  /// Reads a matrix written by Serialize. The CSR invariants (row_ptr
+  /// monotone from 0 to nnz, column indices in range and ascending per
+  /// row) are re-validated so a corrupt payload yields an
+  /// offset-diagnosed kIoError instead of a matrix that reads out of
+  /// bounds later.
+  static Result<CsrMatrix> Deserialize(BinaryReader& reader);
 
   /// One (col, value) entry of a row under assembly.
   using RowEntry = std::pair<std::size_t, double>;

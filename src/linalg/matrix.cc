@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "linalg/gemm_kernel.h"
+#include "util/binary_io.h"
 #include "util/logging.h"
 #include "util/random.h"
 #include "util/string_util.h"
@@ -305,6 +306,41 @@ std::string Matrix::ToString(int precision) const {
     out += "]\n";
   }
   return out;
+}
+
+void Matrix::Serialize(BinaryWriter& writer) const {
+  writer.WriteU64(rows_);
+  writer.WriteU64(cols_);
+  for (double v : data_) writer.WriteDouble(v);
+}
+
+Result<Matrix> Matrix::Deserialize(BinaryReader& reader) {
+  const std::size_t shape_offset = reader.offset();
+  auto rows = reader.ReadU64();
+  if (!rows.ok()) return rows.status();
+  auto cols = reader.ReadU64();
+  if (!cols.ok()) return cols.status();
+  // Guard the allocation: the payload must actually fit in the
+  // remaining bytes, so a corrupt shape cannot trigger a giant alloc.
+  const std::uint64_t count = rows.value() * cols.value();
+  if (rows.value() != 0 && count / rows.value() != cols.value()) {
+    return Status::IoError("corrupt matrix shape " +
+                           std::to_string(rows.value()) + "x" +
+                           std::to_string(cols.value()) + " at offset " +
+                           std::to_string(shape_offset));
+  }
+  if (count > reader.remaining() / sizeof(double)) {
+    return reader.Truncated(static_cast<std::size_t>(count) * sizeof(double),
+                            "matrix payload");
+  }
+  Matrix m(static_cast<std::size_t>(rows.value()),
+           static_cast<std::size_t>(cols.value()));
+  for (double& v : m.data_) {
+    auto value = reader.ReadDouble();
+    if (!value.ok()) return value.status();
+    v = value.value();
+  }
+  return m;
 }
 
 Matrix operator*(double scalar, const Matrix& m) { return m * scalar; }

@@ -9,8 +9,12 @@
 #include <vector>
 
 #include "linalg/vector.h"
+#include "util/status.h"
 
 namespace slampred {
+
+class BinaryReader;
+class BinaryWriter;
 
 /// Dense row-major matrix of doubles. The workhorse type of the library:
 /// adjacency matrices, predictor matrices, feature slices, Laplacians and
@@ -133,6 +137,14 @@ class Matrix {
 
   /// Human-readable rendering (intended for small matrices).
   std::string ToString(int precision = 3) const;
+
+  /// Appends shape + row-major payload to `writer` (binary_io layout).
+  void Serialize(BinaryWriter& writer) const;
+
+  /// Reads a matrix written by Serialize. Fails with an offset-diagnosed
+  /// kIoError on truncation or an implausible shape (rows·cols
+  /// overflowing or exceeding the remaining bytes).
+  static Result<Matrix> Deserialize(BinaryReader& reader);
 
   bool operator==(const Matrix& other) const {
     return rows_ == other.rows_ && cols_ == other.cols_ &&

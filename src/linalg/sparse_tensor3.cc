@@ -4,6 +4,7 @@
 #include <cmath>
 #include <utility>
 
+#include "util/binary_io.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
@@ -167,6 +168,48 @@ std::size_t SparseTensor3::EstimatedBytes() const {
   std::size_t bytes = 0;
   for (const CsrMatrix& slice : slices_) bytes += slice.EstimatedBytes();
   return bytes;
+}
+
+void SparseTensor3::Serialize(BinaryWriter& writer) const {
+  writer.WriteU64(dim0_);
+  writer.WriteU64(dim1_);
+  writer.WriteU64(dim2_);
+  for (const CsrMatrix& slice : slices_) slice.Serialize(writer);
+}
+
+Result<SparseTensor3> SparseTensor3::Deserialize(BinaryReader& reader) {
+  const std::size_t header_offset = reader.offset();
+  auto dim0 = reader.ReadU64();
+  if (!dim0.ok()) return dim0.status();
+  auto dim1 = reader.ReadU64();
+  if (!dim1.ok()) return dim1.status();
+  auto dim2 = reader.ReadU64();
+  if (!dim2.ok()) return dim2.status();
+  // Each slice record is at least its 24-byte header, so dim0 can be
+  // sanity-bounded against the remaining bytes before any allocation.
+  if (dim0.value() > reader.remaining() / 24) {
+    return Status::IoError("corrupt tensor slice count " +
+                           std::to_string(dim0.value()) + " at offset " +
+                           std::to_string(header_offset));
+  }
+  SparseTensor3 tensor(static_cast<std::size_t>(dim0.value()),
+                       static_cast<std::size_t>(dim1.value()),
+                       static_cast<std::size_t>(dim2.value()));
+  for (std::size_t k = 0; k < tensor.dim0_; ++k) {
+    auto slice = CsrMatrix::Deserialize(reader);
+    if (!slice.ok()) return slice.status();
+    if (slice.value().rows() != tensor.dim1_ ||
+        slice.value().cols() != tensor.dim2_) {
+      return Status::IoError(
+          "tensor slice " + std::to_string(k) + " has shape " +
+          std::to_string(slice.value().rows()) + "x" +
+          std::to_string(slice.value().cols()) + ", expected " +
+          std::to_string(tensor.dim1_) + "x" + std::to_string(tensor.dim2_) +
+          " (record at offset " + std::to_string(header_offset) + ")");
+    }
+    tensor.slices_[k] = std::move(slice).value();
+  }
+  return tensor;
 }
 
 }  // namespace slampred

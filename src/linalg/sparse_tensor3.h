@@ -16,8 +16,12 @@
 #include "linalg/matrix.h"
 #include "linalg/tensor3.h"
 #include "linalg/vector.h"
+#include "util/status.h"
 
 namespace slampred {
+
+class BinaryReader;
+class BinaryWriter;
 
 /// Sparse 3-way tensor of shape (dim0, dim1, dim2): dim0 CSR slices of
 /// dim1 x dim2. Indexing follows the paper: T(k, i, j) is entry (i, j)
@@ -90,6 +94,14 @@ class SparseTensor3 {
   std::size_t DenseEquivalentBytes() const {
     return dim0_ * dim1_ * dim2_ * sizeof(double);
   }
+
+  /// Appends shape + every CSR slice to `writer` (binary_io layout).
+  void Serialize(BinaryWriter& writer) const;
+
+  /// Reads a tensor written by Serialize; slice shapes are validated
+  /// against the tensor dims, and corrupt payloads yield an
+  /// offset-diagnosed kIoError.
+  static Result<SparseTensor3> Deserialize(BinaryReader& reader);
 
  private:
   std::size_t dim0_ = 0;

@@ -1,0 +1,186 @@
+#include "util/binary_io.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace slampred {
+namespace {
+
+// Lazily built table for the reflected IEEE CRC-32.
+const std::uint32_t* Crc32Table() {
+  static const auto* table = [] {
+    auto* t = new std::uint32_t[256];
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc & 1u) ? (crc >> 1) ^ 0xEDB88320u : crc >> 1;
+      }
+      t[i] = crc;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t Crc32(const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  const std::uint32_t* table = Crc32Table();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = (crc >> 8) ^ table[(crc ^ bytes[i]) & 0xFFu];
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void BinaryWriter::WriteU8(std::uint8_t value) {
+  buffer_.push_back(static_cast<char>(value));
+}
+
+void BinaryWriter::WriteU32(std::uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    buffer_.push_back(static_cast<char>((value >> (8 * i)) & 0xFFu));
+  }
+}
+
+void BinaryWriter::WriteU64(std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    buffer_.push_back(static_cast<char>((value >> (8 * i)) & 0xFFu));
+  }
+}
+
+void BinaryWriter::WriteI32(std::int32_t value) {
+  WriteU32(static_cast<std::uint32_t>(value));
+}
+
+void BinaryWriter::WriteDouble(double value) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  WriteU64(bits);
+}
+
+void BinaryWriter::WriteBool(bool value) { WriteU8(value ? 1 : 0); }
+
+void BinaryWriter::WriteBytes(const void* data, std::size_t size) {
+  buffer_.append(static_cast<const char*>(data), size);
+}
+
+void BinaryWriter::WriteString(const std::string& value) {
+  WriteU64(value.size());
+  buffer_.append(value);
+}
+
+Status BinaryReader::Truncated(std::size_t need, const char* what) const {
+  return Status::IoError("truncated input: need " + std::to_string(need) +
+                         " byte(s) for " + what + " at offset " +
+                         std::to_string(offset_) + ", " +
+                         std::to_string(remaining()) + " available");
+}
+
+Result<std::uint8_t> BinaryReader::ReadU8() {
+  if (remaining() < 1) return Truncated(1, "u8");
+  return data_[offset_++];
+}
+
+Result<std::uint32_t> BinaryReader::ReadU32() {
+  if (remaining() < 4) return Truncated(4, "u32");
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= static_cast<std::uint32_t>(data_[offset_ + i]) << (8 * i);
+  }
+  offset_ += 4;
+  return value;
+}
+
+Result<std::uint64_t> BinaryReader::ReadU64() {
+  if (remaining() < 8) return Truncated(8, "u64");
+  std::uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<std::uint64_t>(data_[offset_ + i]) << (8 * i);
+  }
+  offset_ += 8;
+  return value;
+}
+
+Result<std::int32_t> BinaryReader::ReadI32() {
+  auto value = ReadU32();
+  if (!value.ok()) return value.status();
+  return static_cast<std::int32_t>(value.value());
+}
+
+Result<double> BinaryReader::ReadDouble() {
+  auto bits = ReadU64();
+  if (!bits.ok()) return bits.status();
+  double value;
+  std::uint64_t raw = bits.value();
+  std::memcpy(&value, &raw, sizeof(value));
+  return value;
+}
+
+Result<bool> BinaryReader::ReadBool() {
+  if (remaining() < 1) return Truncated(1, "bool");
+  const std::uint8_t byte = data_[offset_];
+  if (byte > 1) {
+    return Status::IoError("corrupt bool value " + std::to_string(byte) +
+                           " at offset " + std::to_string(offset_));
+  }
+  ++offset_;
+  return byte == 1;
+}
+
+Result<std::string> BinaryReader::ReadString() {
+  auto size = ReadU64();
+  if (!size.ok()) return size.status();
+  if (remaining() < size.value()) {
+    return Truncated(static_cast<std::size_t>(size.value()), "string body");
+  }
+  std::string value(reinterpret_cast<const char*>(data_ + offset_),
+                    static_cast<std::size_t>(size.value()));
+  offset_ += static_cast<std::size_t>(size.value());
+  return value;
+}
+
+Status BinaryReader::ReadBytes(void* out, std::size_t size) {
+  if (remaining() < size) return Truncated(size, "raw bytes");
+  std::memcpy(out, data_ + offset_, size);
+  offset_ += size;
+  return Status::OK();
+}
+
+Status BinaryReader::Skip(std::size_t size) {
+  if (remaining() < size) return Truncated(size, "skipped bytes");
+  offset_ += size;
+  return Status::OK();
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::IoError("cannot open '" + path + "' for reading");
+  }
+  std::string data;
+  char chunk[1 << 16];
+  std::size_t got;
+  while ((got = std::fread(chunk, 1, sizeof(chunk), file)) > 0) {
+    data.append(chunk, got);
+  }
+  const bool failed = std::ferror(file) != 0;
+  std::fclose(file);
+  if (failed) return Status::IoError("read error on '" + path + "'");
+  return data;
+}
+
+Status WriteStringToFile(const std::string& data, const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::IoError("cannot open '" + path + "' for writing");
+  }
+  const std::size_t written = std::fwrite(data.data(), 1, data.size(), file);
+  const bool failed = written != data.size() || std::fclose(file) != 0;
+  if (failed) return Status::IoError("write error on '" + path + "'");
+  return Status::OK();
+}
+
+}  // namespace slampred

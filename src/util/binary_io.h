@@ -1,0 +1,103 @@
+// Little-endian binary serialization primitives for on-disk artifacts.
+//
+// BinaryWriter appends fixed-width primitives to an in-memory buffer;
+// BinaryReader consumes the same layout with bounds-checked,
+// Status-returning reads. Every read failure is diagnosed with the byte
+// offset at which it occurred ("truncated: need 8 bytes at offset 24,
+// 3 available"), so a corrupt artifact reports *where* it broke instead
+// of crashing. Multi-byte values are stored little-endian regardless of
+// host order, making artifacts portable across machines.
+//
+// Crc32 provides the per-section checksums of the model-artifact format
+// (core/model_artifact.h); ReadFileToString / WriteStringToFile are the
+// whole-file helpers the artifact layer sits on.
+
+#ifndef SLAMPRED_UTIL_BINARY_IO_H_
+#define SLAMPRED_UTIL_BINARY_IO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace slampred {
+
+/// CRC-32 (IEEE 802.3 polynomial, the zlib convention) of `size` bytes.
+std::uint32_t Crc32(const void* data, std::size_t size);
+
+/// Appends little-endian primitives to a growing byte buffer.
+class BinaryWriter {
+ public:
+  BinaryWriter() = default;
+
+  void WriteU8(std::uint8_t value);
+  void WriteU32(std::uint32_t value);
+  void WriteU64(std::uint64_t value);
+  void WriteI32(std::int32_t value);
+  void WriteDouble(double value);  ///< IEEE-754 bit pattern, little-endian.
+  void WriteBool(bool value);      ///< One byte, 0 or 1.
+  void WriteBytes(const void* data, std::size_t size);
+  /// Length-prefixed (u64) byte string.
+  void WriteString(const std::string& value);
+
+  /// Current size of the buffer == offset of the next write.
+  std::size_t offset() const { return buffer_.size(); }
+
+  const std::string& buffer() const { return buffer_; }
+  std::string TakeBuffer() { return std::move(buffer_); }
+
+ private:
+  std::string buffer_;
+};
+
+/// Bounds-checked reader over a byte buffer (non-owning view). Every
+/// failed read returns an offset-diagnosed kIoError Status.
+class BinaryReader {
+ public:
+  BinaryReader(const void* data, std::size_t size)
+      : data_(static_cast<const unsigned char*>(data)), size_(size) {}
+  explicit BinaryReader(const std::string& buffer)
+      : BinaryReader(buffer.data(), buffer.size()) {}
+
+  Result<std::uint8_t> ReadU8();
+  Result<std::uint32_t> ReadU32();
+  Result<std::uint64_t> ReadU64();
+  Result<std::int32_t> ReadI32();
+  Result<double> ReadDouble();
+  Result<bool> ReadBool();  ///< Rejects bytes other than 0/1.
+  /// Length-prefixed (u64) byte string.
+  Result<std::string> ReadString();
+  /// Copies `size` raw bytes into `out`.
+  Status ReadBytes(void* out, std::size_t size);
+  /// Advances past `size` bytes without copying.
+  Status Skip(std::size_t size);
+
+  std::size_t offset() const { return offset_; }
+  std::size_t size() const { return size_; }
+  std::size_t remaining() const { return size_ - offset_; }
+  bool AtEnd() const { return offset_ == size_; }
+
+  /// Pointer to the current position (valid for remaining() bytes).
+  const unsigned char* current() const { return data_ + offset_; }
+
+  /// The truncation diagnosis used by every read; exposed so callers
+  /// can phrase their own bounds failures consistently.
+  Status Truncated(std::size_t need, const char* what) const;
+
+ private:
+  const unsigned char* data_;
+  std::size_t size_;
+  std::size_t offset_ = 0;
+};
+
+/// Reads a whole file into a byte string (kIoError on failure).
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Writes a byte string to `path`, replacing any existing file
+/// (kIoError on failure).
+Status WriteStringToFile(const std::string& data, const std::string& path);
+
+}  // namespace slampred
+
+#endif  // SLAMPRED_UTIL_BINARY_IO_H_

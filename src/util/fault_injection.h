@@ -19,6 +19,10 @@
 //   "svd.prox"        nuclear-norm prox (proximal.cc, randomized_svd.cc)
 //   "fb.grad_step"    forward–backward gradient step (forward_backward.cc)
 //   "graph_io.parse"  per-line network/anchor parsing (graph_io.cc)
+//   "fit.features"    feature stage of the fit pipeline (fit_pipeline.cc)
+//   "fit.embedding"   embedding stage of the fit pipeline (fit_pipeline.cc)
+//   "fit.solve"       solve stage of the fit pipeline (fit_pipeline.cc)
+//   "artifact.read"   model artifact loading (model_artifact.cc)
 
 #ifndef SLAMPRED_UTIL_FAULT_INJECTION_H_
 #define SLAMPRED_UTIL_FAULT_INJECTION_H_

@@ -182,7 +182,25 @@ TEST_F(SlamPredTest, ScoreAccessor) {
   config.optimization = FastOptimization();
   SlamPred model(config);
   ASSERT_TRUE(model.Fit(generated_->networks, *train_graph_).ok());
-  EXPECT_DOUBLE_EQ(model.Score(0, 1), model.ScoreMatrix()(0, 1));
+  EXPECT_DOUBLE_EQ(model.Score(0, 1).value(), model.ScoreMatrix()(0, 1));
+}
+
+TEST_F(SlamPredTest, ScoreBoundsChecked) {
+  SlamPredConfig config;
+  config.optimization = FastOptimization();
+  SlamPred model(config);
+  const std::size_t n = generated_->networks.target().NumUsers();
+  EXPECT_EQ(model.Score(0, 1).status().code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(model.Fit(generated_->networks, *train_graph_).ok());
+  EXPECT_TRUE(model.Score(n - 1, 0).ok());
+  EXPECT_EQ(model.Score(n, 0).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(model.Score(0, n).status().code(), StatusCode::kOutOfRange);
+  const auto batch = model.ScorePairs({{0, 1}, {n, 2}});
+  ASSERT_FALSE(batch.ok());
+  EXPECT_EQ(batch.status().code(), StatusCode::kOutOfRange);
+  // The diagnostic names the offending pair, not just "out of range".
+  EXPECT_NE(batch.status().message().find("pair 1"), std::string::npos);
 }
 
 TEST_F(SlamPredTest, MismatchedStructureRejected) {

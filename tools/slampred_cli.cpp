@@ -4,15 +4,39 @@
 //       Generate a synthetic aligned bundle and write target.txt,
 //       source.txt and anchors.txt in DIR (graph_io text format).
 //
+//   slampred_cli fit --target FILE --source FILE --anchors FILE
+//                    --save-model FILE [--method NAME] [--save-tensors 1]
+//                    [--io-policy POLICY] [--stats-json PATH]
+//       Fit once on the full observed structure and write a versioned
+//       binary model artifact. The artifact can then be served over and
+//       over (`predict --model`, `serve-bench`) with no refit.
+//
 //   slampred_cli predict --target FILE --source FILE --anchors FILE
 //                        [--method NAME] [--top K] [--io-policy POLICY]
-//       Fit on the full observed structure and print the top-K scored
-//       *unobserved* target pairs. Any solver recoveries taken during
-//       the fit are reported on stderr.
+//                        [--stats-json PATH]
+//   slampred_cli predict --model FILE --target FILE
+//                        [--top K] [--io-policy POLICY]
+//       Print the top-K scored *unobserved* target pairs. The first form
+//       fits in-process; the second loads a saved artifact and serves it
+//       without running any fit stage. Both forms rank identically for
+//       the same model. Any solver recoveries taken during an in-process
+//       fit are reported on stderr.
+//
+//   slampred_cli serve-bench --model FILE [--pairs N] [--rounds R]
+//       Load an artifact once, then time batched ScorePairs calls and
+//       report the serving throughput in pairs/sec.
 //
 //   slampred_cli evaluate --target FILE --source FILE --anchors FILE
 //                         [--method NAME] [--folds K] [--io-policy POLICY]
+//                         [--save-model-dir DIR] [--rescore-dir DIR]
+//                         [--stats-json PATH]
 //       Cross-validated AUC / Precision@100 for one method.
+//       --save-model-dir writes one artifact per fold; --rescore-dir
+//       skips the fits entirely and rescores those saved artifacts.
+//
+// --stats-json PATH writes the fit diagnostics (phase times, sparse-path
+// memory, solver recoveries) as one JSON object to PATH ("-" = stdout).
+// For `evaluate` it reports the fold-0 fit.
 //
 // --io-policy is `strict` (default: first malformed input record fails
 // the load with a line-numbered error) or `lenient` (bad records are
@@ -24,18 +48,24 @@
 // bit-identical for every thread count.
 //
 // Methods: SLAMPRED (default), SLAMPRED-T, SLAMPRED-H, PL, PL-T, PL-S,
-// SCAN, SCAN-T, SCAN-S, JC, CN, PA.
+// SCAN, SCAN-T, SCAN-S, JC, CN, PA. `fit` and `predict` fit SLAMPRED
+// variants only.
 
 #include <algorithm>
 #include <cstdio>
 #include <map>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "core/fit_report.h"
+#include "core/model_artifact.h"
+#include "core/scoring_session.h"
 #include "datagen/aligned_generator.h"
 #include "eval/experiment.h"
 #include "graph/graph_io.h"
+#include "util/stopwatch.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
 
@@ -53,6 +83,8 @@ class Flags {
       values_[key] = argv[i + 1];
     }
   }
+
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
 
   std::string Get(const std::string& key, const std::string& fallback) const {
     auto it = values_.find(key);
@@ -126,6 +158,18 @@ void ReportParseStats(const std::string& path, const ParseStats& stats) {
                stats.first_error.ToString().c_str());
 }
 
+Result<ParseOptions> IoPolicyFromFlags(const Flags& flags) {
+  const std::string policy_name = flags.Get("io-policy", "strict");
+  ParseOptions io;
+  if (policy_name == "lenient") {
+    io.policy = ParsePolicy::kLenient;
+  } else if (policy_name != "strict") {
+    return Status::InvalidArgument(
+        "--io-policy must be strict or lenient, got " + policy_name);
+  }
+  return io;
+}
+
 Result<AlignedNetworks> LoadBundle(const Flags& flags) {
   const auto target_path = flags.GetRequired("target");
   const auto source_path = flags.GetRequired("source");
@@ -133,25 +177,19 @@ Result<AlignedNetworks> LoadBundle(const Flags& flags) {
   if (!target_path || !source_path || !anchors_path) {
     return Status::InvalidArgument("missing input paths");
   }
-  const std::string policy_name = flags.Get("io-policy", "strict");
-  ParseOptions io;
-  if (policy_name == "lenient") {
-    io.policy = ParsePolicy::kLenient;
-  } else if (policy_name != "strict") {
-    return Status::InvalidArgument("--io-policy must be strict or lenient, got " +
-                                   policy_name);
-  }
+  auto io = IoPolicyFromFlags(flags);
+  if (!io.ok()) return io.status();
 
   ParseStats stats;
-  auto target = LoadNetwork(*target_path, io, &stats);
+  auto target = LoadNetwork(*target_path, io.value(), &stats);
   if (!target.ok()) return target.status();
   ReportParseStats(*target_path, stats);
   stats = ParseStats{};
-  auto source = LoadNetwork(*source_path, io, &stats);
+  auto source = LoadNetwork(*source_path, io.value(), &stats);
   if (!source.ok()) return source.status();
   ReportParseStats(*source_path, stats);
   stats = ParseStats{};
-  auto anchors = LoadAnchors(*anchors_path, io, &stats);
+  auto anchors = LoadAnchors(*anchors_path, io.value(), &stats);
   if (!anchors.ok()) return anchors.status();
   ReportParseStats(*anchors_path, stats);
   AlignedNetworks bundle(std::move(target).value());
@@ -159,53 +197,81 @@ Result<AlignedNetworks> LoadBundle(const Flags& flags) {
   return bundle;
 }
 
-int Predict(const Flags& flags) {
-  auto bundle = LoadBundle(flags);
-  if (!bundle.ok()) {
-    std::fprintf(stderr, "%s\n", bundle.status().ToString().c_str());
-    return 1;
-  }
-  const std::size_t top_k = static_cast<std::size_t>(
-      std::stoull(flags.Get("top", "20")));
-
-  const SocialGraph observed =
-      SocialGraph::FromHeterogeneousNetwork(bundle.value().target());
+// The SLAMPRED config both `fit` and the fitting form of `predict` use,
+// so a saved artifact and an in-process fit produce bit-identical
+// models for the same inputs.
+Result<SlamPredConfig> CliModelConfig(const Flags& flags) {
+  const std::string method_name = flags.Get("method", "SLAMPRED");
   SlamPredConfig config;
+  if (method_name == "SLAMPRED-T") {
+    config = SlamPredTargetOnlyConfig();
+  } else if (method_name == "SLAMPRED-H") {
+    config = SlamPredHomogeneousConfig();
+  } else if (method_name != "SLAMPRED") {
+    return Status::InvalidArgument(
+        "this command fits SLAMPRED variants only (SLAMPRED, SLAMPRED-T, "
+        "SLAMPRED-H), got " + method_name);
+  }
   config.optimization.inner.max_iterations = 60;
   config.optimization.max_outer_iterations = 2;
-  SlamPred model(config);
-  const Status fit = model.Fit(bundle.value(), observed);
-  if (!fit.ok()) {
-    std::fprintf(stderr, "%s\n", fit.ToString().c_str());
-    return 1;
-  }
+  return config;
+}
+
+// Fits the CLI model on the full observed structure; shared by `fit`
+// and the fitting form of `predict`.
+Result<std::pair<SlamPred, SocialGraph>> FitFromFlags(const Flags& flags) {
+  auto bundle = LoadBundle(flags);
+  if (!bundle.ok()) return bundle.status();
+  auto config = CliModelConfig(flags);
+  if (!config.ok()) return config.status();
+
+  SocialGraph observed =
+      SocialGraph::FromHeterogeneousNetwork(bundle.value().target());
+  SlamPred model(config.value());
+  SLAMPRED_RETURN_NOT_OK(model.Fit(bundle.value(), observed));
   if (model.trace().recovery.Total() > 0) {
     std::fprintf(stderr, "solver recoveries: %s\n",
                  model.trace().recovery.ToString().c_str());
   }
-  const FitPhaseTimes& times = model.phase_times();
-  std::printf(
-      "phase times (s): features %.3f | embedding %.3f | cccp %.3f | "
-      "svd %.3f | total %.3f  [%zu thread(s)]\n",
-      times.features_seconds, times.embedding_seconds, times.cccp_seconds,
-      times.svd_seconds, times.total_seconds,
-      ThreadPool::Global().num_threads());
-  std::printf("sparse-path memory: %s\n",
-              model.memory_stats().ToString().c_str());
+  return std::make_pair(std::move(model), std::move(observed));
+}
 
-  // Rank all unobserved pairs.
+// Prints the shared fit-report block and honors --stats-json.
+int EmitFitReport(const Flags& flags, const FitReport& report) {
+  PrintFitReport(stdout, report);
+  if (flags.Has("stats-json")) {
+    const Status written =
+        WriteFitReportJson(report, flags.Get("stats-json", "-"));
+    if (!written.ok()) {
+      std::fprintf(stderr, "%s\n", written.ToString().c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
+
+// Ranks every unobserved target pair with `scorer` and prints the top
+// K. Identical for an in-process model and a loaded artifact.
+int PrintTopPredictions(const LinkPredictor& scorer,
+                        const SocialGraph& observed, std::size_t top_k) {
   std::vector<UserPair> candidates;
   for (std::size_t u = 0; u < observed.num_users(); ++u) {
     for (std::size_t v = u + 1; v < observed.num_users(); ++v) {
       if (!observed.HasEdge(u, v)) candidates.push_back({u, v});
     }
   }
-  auto scores = model.ScorePairs(candidates);
-  if (!scores.ok()) return 1;
+  auto scores = scorer.ScorePairs(candidates);
+  if (!scores.ok()) {
+    std::fprintf(stderr, "%s\n", scores.status().ToString().c_str());
+    return 1;
+  }
   std::vector<std::size_t> order(candidates.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
   std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    return scores.value()[a] > scores.value()[b];
+    if (scores.value()[a] != scores.value()[b]) {
+      return scores.value()[a] > scores.value()[b];
+    }
+    return a < b;  // Deterministic tie-break by candidate order.
   });
 
   std::printf("top %zu predicted links (u, v, confidence):\n",
@@ -215,6 +281,162 @@ int Predict(const Flags& flags) {
     std::printf("%6zu %6zu  %.4f\n", pair.u, pair.v,
                 scores.value()[order[i]]);
   }
+  return 0;
+}
+
+int Fit(const Flags& flags) {
+  const auto model_path = flags.GetRequired("save-model");
+  if (!model_path.has_value()) return 2;
+  auto fitted = FitFromFlags(flags);
+  if (!fitted.ok()) {
+    std::fprintf(stderr, "%s\n", fitted.status().ToString().c_str());
+    return 1;
+  }
+  const SlamPred& model = fitted.value().first;
+  const int report_rc = EmitFitReport(flags, MakeFitReport(model));
+  if (report_rc != 0) return report_rc;
+
+  const std::string save_tensors = flags.Get("save-tensors", "0");
+  auto artifact = MakeModelArtifact(
+      model, save_tensors == "1" || save_tensors == "true");
+  if (!artifact.ok()) {
+    std::fprintf(stderr, "%s\n", artifact.status().ToString().c_str());
+    return 1;
+  }
+  const std::string bytes = SerializeModelArtifact(artifact.value());
+  const Status saved = SaveModelArtifact(artifact.value(), *model_path);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "%s\n", saved.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote model artifact %s (%zu bytes, format v%u, %s)\n",
+              model_path->c_str(), bytes.size(), kModelArtifactFormatVersion,
+              SlamPredVariantName(model.config()));
+  return 0;
+}
+
+// `predict --model FILE --target FILE`: serve a saved artifact, no fit.
+int PredictFromArtifact(const Flags& flags, std::size_t top_k) {
+  const auto model_path = flags.GetRequired("model");
+  const auto target_path = flags.GetRequired("target");
+  if (!model_path || !target_path) return 2;
+  auto io = IoPolicyFromFlags(flags);
+  if (!io.ok()) {
+    std::fprintf(stderr, "%s\n", io.status().ToString().c_str());
+    return 1;
+  }
+  ParseStats stats;
+  auto target = LoadNetwork(*target_path, io.value(), &stats);
+  if (!target.ok()) {
+    std::fprintf(stderr, "%s\n", target.status().ToString().c_str());
+    return 1;
+  }
+  ReportParseStats(*target_path, stats);
+  const SocialGraph observed =
+      SocialGraph::FromHeterogeneousNetwork(target.value());
+
+  auto session = ScoringSession::FromFile(*model_path);
+  if (!session.ok()) {
+    std::fprintf(stderr, "%s\n", session.status().ToString().c_str());
+    return 1;
+  }
+  if (session.value().num_users() != observed.num_users()) {
+    std::fprintf(stderr,
+                 "model artifact covers %zu users but %s has %zu\n",
+                 session.value().num_users(), target_path->c_str(),
+                 observed.num_users());
+    return 1;
+  }
+  std::printf("serving %s from %s\n", session.value().name().c_str(),
+              model_path->c_str());
+  return PrintTopPredictions(session.value(), observed, top_k);
+}
+
+int Predict(const Flags& flags) {
+  const std::size_t top_k = static_cast<std::size_t>(
+      std::stoull(flags.Get("top", "20")));
+  if (flags.Has("model")) return PredictFromArtifact(flags, top_k);
+
+  auto fitted = FitFromFlags(flags);
+  if (!fitted.ok()) {
+    std::fprintf(stderr, "%s\n", fitted.status().ToString().c_str());
+    return 1;
+  }
+  const SlamPred& model = fitted.value().first;
+  const int report_rc = EmitFitReport(flags, MakeFitReport(model));
+  if (report_rc != 0) return report_rc;
+  return PrintTopPredictions(model, fitted.value().second, top_k);
+}
+
+int ServeBench(const Flags& flags) {
+  const auto model_path = flags.GetRequired("model");
+  if (!model_path.has_value()) return 2;
+  const std::size_t num_pairs = static_cast<std::size_t>(
+      std::stoull(flags.Get("pairs", "200000")));
+  const std::size_t rounds = static_cast<std::size_t>(
+      std::stoull(flags.Get("rounds", "5")));
+  if (num_pairs == 0 || rounds == 0) {
+    std::fprintf(stderr, "--pairs and --rounds must be >= 1\n");
+    return 2;
+  }
+
+  Stopwatch load_watch;
+  auto session = ScoringSession::FromFile(*model_path);
+  if (!session.ok()) {
+    std::fprintf(stderr, "%s\n", session.status().ToString().c_str());
+    return 1;
+  }
+  const double load_seconds = load_watch.ElapsedSeconds();
+  const std::size_t n = session.value().num_users();
+  std::printf("loaded %s (%zu users) in %.3f s\n",
+              session.value().name().c_str(), n, load_seconds);
+
+  // Deterministic batch cycling over the upper triangle.
+  std::vector<UserPair> batch;
+  batch.reserve(num_pairs);
+  std::size_t u = 0, v = 1;
+  for (std::size_t i = 0; i < num_pairs; ++i) {
+    batch.push_back({u, v});
+    if (++v >= n) {
+      if (++u >= n - 1) u = 0;
+      v = u + 1;
+    }
+  }
+
+  // Warm-up round, then timed rounds.
+  double checksum = 0.0;
+  auto warmup = session.value().ScorePairs(batch);
+  if (!warmup.ok()) {
+    std::fprintf(stderr, "%s\n", warmup.status().ToString().c_str());
+    return 1;
+  }
+  double best_pairs_per_sec = 0.0;
+  double total_seconds = 0.0;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    Stopwatch watch;
+    auto scores = session.value().ScorePairs(batch);
+    const double seconds = watch.ElapsedSeconds();
+    if (!scores.ok()) {
+      std::fprintf(stderr, "%s\n", scores.status().ToString().c_str());
+      return 1;
+    }
+    checksum += scores.value().front() + scores.value().back();
+    total_seconds += seconds;
+    const double rate = seconds > 0.0
+                            ? static_cast<double>(num_pairs) / seconds
+                            : static_cast<double>(num_pairs) * 1e9;
+    if (rate > best_pairs_per_sec) best_pairs_per_sec = rate;
+    std::printf("round %zu: %zu pairs in %.4f s  (%.0f pairs/sec)\n",
+                round + 1, num_pairs, seconds, rate);
+  }
+  const double mean_rate =
+      total_seconds > 0.0
+          ? static_cast<double>(num_pairs) * static_cast<double>(rounds) /
+                total_seconds
+          : best_pairs_per_sec;
+  std::printf("serve-bench: %.0f pairs/sec mean, %.0f pairs/sec best "
+              "(%zu rounds, checksum %.6f)\n",
+              mean_rate, best_pairs_per_sec, rounds, checksum);
   return 0;
 }
 
@@ -232,18 +454,24 @@ int Evaluate(const Flags& flags) {
       std::stoull(flags.Get("folds", "5")));
   options.slampred.optimization.inner.max_iterations = 60;
   options.slampred.optimization.max_outer_iterations = 2;
+  options.save_model_dir = flags.Get("save-model-dir", "");
   auto runner = ExperimentRunner::Create(bundle.value(), options);
   if (!runner.ok()) {
     std::fprintf(stderr, "%s\n", runner.status().ToString().c_str());
     return 1;
   }
-  auto result = runner.value().RunMethod(*method, 1.0);
+  const std::string rescore_dir = flags.Get("rescore-dir", "");
+  auto result = rescore_dir.empty()
+                    ? runner.value().RunMethod(*method, 1.0)
+                    : runner.value().RescoreMethod(*method, 1.0, rescore_dir);
   if (!result.ok()) {
     std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
     return 1;
   }
-  std::printf("%s over %zu folds [%zu thread(s)]:\n", MethodIdName(*method),
-              options.num_folds, ThreadPool::Global().num_threads());
+  std::printf("%s over %zu folds%s [%zu thread(s)]:\n", MethodIdName(*method),
+              options.num_folds,
+              rescore_dir.empty() ? "" : " (rescored from artifacts)",
+              ThreadPool::Global().num_threads());
   std::printf("  AUC           : %s\n",
               FormatMeanStd(result.value().auc.mean,
                             result.value().auc.std).c_str());
@@ -251,15 +479,21 @@ int Evaluate(const Flags& flags) {
               FormatMeanStd(result.value().precision.mean,
                             result.value().precision.std).c_str());
   if (result.value().memory_stats.peak_bytes > 0) {
-    std::printf("  sparse-path memory (fold 0): %s\n",
-                result.value().memory_stats.ToString().c_str());
+    std::printf("fold-0 fit report:\n");
+    const int report_rc = EmitFitReport(flags, result.value().fold0_report);
+    if (report_rc != 0) return report_rc;
+  }
+  if (!options.save_model_dir.empty() && rescore_dir.empty()) {
+    std::printf("per-fold artifacts written under %s\n",
+                options.save_model_dir.c_str());
   }
   return 0;
 }
 
 void Usage() {
   std::fprintf(stderr,
-               "usage: slampred_cli <generate|predict|evaluate> [--flag "
+               "usage: slampred_cli "
+               "<generate|fit|predict|serve-bench|evaluate> [--flag "
                "value ...]\n       see the header comment of "
                "tools/slampred_cli.cpp\n");
 }
@@ -283,7 +517,9 @@ int main(int argc, char** argv) {
     ThreadPool::Global().Resize(static_cast<std::size_t>(n));
   }
   if (command == "generate") return Generate(flags);
+  if (command == "fit") return Fit(flags);
   if (command == "predict") return Predict(flags);
+  if (command == "serve-bench") return ServeBench(flags);
   if (command == "evaluate") return Evaluate(flags);
   Usage();
   return 2;
