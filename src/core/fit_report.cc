@@ -104,6 +104,8 @@ std::string FitReportJson(const FitReport& report) {
   AppendField(out, "divergence_backoffs", rec.divergence_backoffs, &first);
   AppendField(out, "svd_fallbacks", rec.svd_fallbacks, &first);
   AppendField(out, "checkpoint_resumes", rec.checkpoint_resumes, &first);
+  AppendField(out, "swap_failures", rec.swap_failures, &first);
+  AppendField(out, "batch_failures", rec.batch_failures, &first);
   AppendField(out, "total", rec.Total(), &first);
   out += "}}";
   return out;

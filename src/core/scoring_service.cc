@@ -1,0 +1,39 @@
+#include "core/scoring_service.h"
+
+#include <memory>
+#include <string>
+
+namespace slampred {
+
+ScoringService::ScoringService(ModelRegistry* registry,
+                               BatchScorerOptions batch)
+    : registry_(registry), batcher_(registry, batch) {}
+
+Result<double> ScoringService::Score(std::size_t u, std::size_t v) const {
+  const std::shared_ptr<const ServableModel> model = registry_->Acquire();
+  if (model == nullptr) {
+    return Status::FailedPrecondition(
+        "no model published; Swap one into the registry first");
+  }
+  return model->session.Score(u, v);
+}
+
+Result<ScoreBatchResponse> ScoringService::ScorePairs(
+    const std::vector<UserPair>& pairs) {
+  return batcher_.ScorePairs(pairs);
+}
+
+Result<TopKResponse> ScoringService::TopK(std::size_t u, std::size_t k,
+                                          bool exclude_known_links) {
+  return batcher_.TopK(u, k, exclude_known_links);
+}
+
+std::uint64_t ScoringService::current_version() const {
+  return registry_->current_version();
+}
+
+RecoveryStats ScoringService::recovery() const {
+  return registry_->recovery();
+}
+
+}  // namespace slampred

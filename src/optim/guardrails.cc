@@ -8,11 +8,18 @@
 namespace slampred {
 
 std::string RecoveryStats::ToString() const {
-  return "recoveries{nan_rollbacks=" + std::to_string(nan_rollbacks) +
-         ", prox_rollbacks=" + std::to_string(prox_rollbacks) +
-         ", divergence_backoffs=" + std::to_string(divergence_backoffs) +
-         ", svd_fallbacks=" + std::to_string(svd_fallbacks) +
-         ", checkpoint_resumes=" + std::to_string(checkpoint_resumes) + "}";
+  std::string out =
+      "recoveries{nan_rollbacks=" + std::to_string(nan_rollbacks) +
+      ", prox_rollbacks=" + std::to_string(prox_rollbacks) +
+      ", divergence_backoffs=" + std::to_string(divergence_backoffs) +
+      ", svd_fallbacks=" + std::to_string(svd_fallbacks) +
+      ", checkpoint_resumes=" + std::to_string(checkpoint_resumes);
+  // Serving-side counters only show up when serving code contributed.
+  if (swap_failures != 0 || batch_failures != 0) {
+    out += ", swap_failures=" + std::to_string(swap_failures) +
+           ", batch_failures=" + std::to_string(batch_failures);
+  }
+  return out + "}";
 }
 
 bool MatrixIsFinite(const Matrix& m) {

@@ -39,11 +39,14 @@ struct RecoveryStats {
   int divergence_backoffs = 0; ///< Diverging change → rollback + θ/2.
   int svd_fallbacks = 0;       ///< Nuclear prox retried on Jacobi SVD.
   int checkpoint_resumes = 0;  ///< CCCP resumed from a checkpoint.
+  int swap_failures = 0;       ///< Rejected model hot-swaps (serving).
+  int batch_failures = 0;      ///< Failed batch dispatches (serving).
 
   /// Total number of recoveries of any kind.
   int Total() const {
     return nan_rollbacks + prox_rollbacks + divergence_backoffs +
-           svd_fallbacks + checkpoint_resumes;
+           svd_fallbacks + checkpoint_resumes + swap_failures +
+           batch_failures;
   }
 
   /// Adds another stats object into this one.
@@ -53,6 +56,8 @@ struct RecoveryStats {
     divergence_backoffs += other.divergence_backoffs;
     svd_fallbacks += other.svd_fallbacks;
     checkpoint_resumes += other.checkpoint_resumes;
+    swap_failures += other.swap_failures;
+    batch_failures += other.batch_failures;
   }
 
   /// One-line human-readable summary.

@@ -1,0 +1,208 @@
+#include "serve/batch_scorer.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "util/fault_injection.h"
+#include "util/thread_pool.h"
+
+namespace slampred {
+namespace {
+
+// Translates the "serve.batch" fault site into a dispatch failure.
+Status InjectedBatchFault() {
+  switch (SLAMPRED_FAULT_HIT("serve.batch")) {
+    case FaultKind::kFailIo:
+      return Status::IoError("injected batch dispatch fault");
+    case FaultKind::kFailNumerical:
+    case FaultKind::kPoisonNaN:
+    case FaultKind::kPoisonInf:
+      return Status::NumericalError("injected batch dispatch fault");
+    case FaultKind::kFailNotConverged:
+      return Status::NotConverged("injected batch dispatch fault");
+    case FaultKind::kNone:
+      break;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+BatchScorer::BatchScorer(ModelRegistry* registry, BatchScorerOptions options)
+    : registry_(registry), options_(options) {}
+
+std::size_t BatchScorer::Cost(const Request& request) {
+  return request.pairs != nullptr ? std::max<std::size_t>(
+                                        request.pairs->size(), 1)
+                                  : 1;
+}
+
+Result<ScoreBatchResponse> BatchScorer::ScorePairs(
+    const std::vector<UserPair>& pairs) {
+  Request request;
+  request.pairs = &pairs;
+  RunQueued(request);
+  if (!request.status.ok()) return request.status;
+  return ScoreBatchResponse{std::move(request.scores), request.version};
+}
+
+Result<TopKResponse> BatchScorer::TopK(std::size_t u, std::size_t k,
+                                       bool exclude_known_links) {
+  Request request;
+  request.u = u;
+  request.k = k;
+  request.exclude_known_links = exclude_known_links;
+  RunQueued(request);
+  if (!request.status.ok()) return request.status;
+  return TopKResponse{std::move(request.entries), request.version};
+}
+
+void BatchScorer::RunQueued(Request& request) {
+  if (!options_.enabled) {
+    // Batch of one through the identical dispatch path (same snapshot
+    // discipline, same fault site), skipping the queue.
+    ProcessBatch({&request});
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++batches_;
+    return;
+  }
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  queue_.push_back(&request);
+  queued_pairs_ += Cost(request);
+  const auto deadline = std::chrono::steady_clock::now() + options_.max_wait;
+  while (!request.done) {
+    if (!dispatching_ &&
+        (queued_pairs_ >= options_.max_batch_pairs ||
+         queue_.size() >= options_.max_batch_requests ||
+         std::chrono::steady_clock::now() >= deadline)) {
+      DispatchLocked(lock);
+      continue;
+    }
+    if (dispatching_) {
+      // A dispatch (possibly carrying this request) is in flight; it
+      // always ends with notify_all, so an untimed wait cannot hang.
+      cv_.wait(lock);
+    } else {
+      cv_.wait_until(lock, deadline);
+    }
+  }
+}
+
+void BatchScorer::DispatchLocked(std::unique_lock<std::mutex>& lock) {
+  dispatching_ = true;
+  std::vector<Request*> batch;
+  std::size_t batch_pairs = 0;
+  while (!queue_.empty() && batch.size() < options_.max_batch_requests) {
+    Request* next = queue_.front();
+    const std::size_t cost = Cost(*next);
+    if (!batch.empty() && batch_pairs + cost > options_.max_batch_pairs) {
+      break;
+    }
+    queue_.pop_front();
+    queued_pairs_ -= cost;
+    batch.push_back(next);
+    batch_pairs += cost;
+  }
+  ++batches_;
+  if (batch.size() > 1) coalesced_ += batch.size();
+
+  lock.unlock();
+  ProcessBatch(batch);
+  lock.lock();
+  dispatching_ = false;
+  for (Request* request : batch) request->done = true;
+  cv_.notify_all();
+}
+
+void BatchScorer::ProcessBatch(const std::vector<Request*>& batch) {
+  const Status injected = InjectedBatchFault();
+  if (!injected.ok()) {
+    registry_->NoteBatchFailure();
+    for (Request* request : batch) request->status = injected;
+    return;
+  }
+  const std::shared_ptr<const ServableModel> model = registry_->Acquire();
+  if (model == nullptr) {
+    for (Request* request : batch) {
+      request->status = Status::FailedPrecondition(
+          "no model published; Swap one into the registry first");
+    }
+    return;
+  }
+  const Matrix& s = model->session.artifact().s;
+  const std::size_t n = s.rows();
+
+  // Validate and flatten the pair requests into one contiguous batch.
+  std::vector<Request*> topk_requests;
+  std::vector<std::pair<Request*, std::size_t>> flat_slices;
+  std::vector<UserPair> flat;
+  for (Request* request : batch) {
+    request->version = model->version;
+    if (request->pairs == nullptr) {
+      topk_requests.push_back(request);
+      continue;
+    }
+    const std::vector<UserPair>& pairs = *request->pairs;
+    bool valid = true;
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      if (pairs[i].u >= n || pairs[i].v >= n) {
+        request->status = Status::OutOfRange(
+            "pair " + std::to_string(i) + " = (" +
+            std::to_string(pairs[i].u) + ", " + std::to_string(pairs[i].v) +
+            ") outside the served score matrix (" + std::to_string(n) +
+            " users)");
+        valid = false;
+        break;
+      }
+    }
+    if (!valid) continue;
+    flat_slices.emplace_back(request, flat.size());
+    flat.insert(flat.end(), pairs.begin(), pairs.end());
+  }
+
+  // One deterministic fan-out over every coalesced pair: each output
+  // element has exactly one writing chunk, so the scores are
+  // bit-identical to the serial oracle at any thread count.
+  std::vector<double> flat_scores(flat.size());
+  ParallelFor(0, flat.size(), GrainForWork(8),
+              [&](std::size_t i0, std::size_t i1) {
+                for (std::size_t i = i0; i < i1; ++i) {
+                  flat_scores[i] = s(flat[i].u, flat[i].v);
+                }
+              });
+  for (const auto& [request, offset] : flat_slices) {
+    request->scores.assign(
+        flat_scores.begin() + static_cast<std::ptrdiff_t>(offset),
+        flat_scores.begin() +
+            static_cast<std::ptrdiff_t>(offset + request->pairs->size()));
+  }
+
+  // Top-K requests fan out one request per index (row sorts dominate).
+  ParallelFor(0, topk_requests.size(), 1,
+              [&](std::size_t i0, std::size_t i1) {
+                for (std::size_t i = i0; i < i1; ++i) {
+                  Request* request = topk_requests[i];
+                  auto result = TopKOnModel(*model, request->u, request->k,
+                                            request->exclude_known_links);
+                  if (result.ok()) {
+                    request->entries = std::move(result).value();
+                  } else {
+                    request->status = result.status();
+                  }
+                }
+              });
+}
+
+std::size_t BatchScorer::batches_dispatched() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return batches_;
+}
+
+std::size_t BatchScorer::coalesced_requests() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return coalesced_;
+}
+
+}  // namespace slampred

@@ -1,0 +1,120 @@
+// BatchScorer — coalesces many small concurrent ScorePairs / TopK
+// requests into batches dispatched over the shared thread pool.
+//
+// Leader–follower protocol: a caller enqueues its request and waits; the
+// first caller that finds no dispatch in flight and either the queued
+// work above max_batch_pairs or its own max_wait expired becomes the
+// leader, claims a FIFO slice of the queue, Acquire()s ONE model
+// snapshot for the whole batch (so a batch can never mix versions, even
+// mid-hot-swap), scores it, and wakes every claimed caller.
+//
+// Determinism: scoring is a pure per-element lookup fanned out with the
+// deterministic ParallelFor, so responses are bit-identical to the
+// serial ScoringSession oracle regardless of batching, coalescing
+// boundaries, or thread count. Disabling batching routes each request
+// through the same dispatch code as a batch of one.
+//
+// The "serve.batch" fault site fires once per dispatch; an injected
+// fault fails every request of that batch (counted in
+// RecoveryStats::batch_failures) and the next dispatch proceeds
+// normally.
+
+#ifndef SLAMPRED_SERVE_BATCH_SCORER_H_
+#define SLAMPRED_SERVE_BATCH_SCORER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "serve/model_registry.h"
+#include "serve/scoring_kernels.h"
+#include "util/status.h"
+
+namespace slampred {
+
+/// Batching knobs.
+struct BatchScorerOptions {
+  /// Off = every request dispatches immediately as a batch of one
+  /// (identical results, no coalescing latency).
+  bool enabled = true;
+  /// Dispatch as soon as the queued pair count reaches this.
+  std::size_t max_batch_pairs = 1024;
+  /// Cap on requests coalesced into one dispatch.
+  std::size_t max_batch_requests = 256;
+  /// A request waits at most this long to be coalesced before its
+  /// caller dispatches whatever is queued.
+  std::chrono::microseconds max_wait{500};
+};
+
+/// Thread-safe batching front end over a ModelRegistry.
+class BatchScorer {
+ public:
+  BatchScorer(ModelRegistry* registry, BatchScorerOptions options = {});
+
+  BatchScorer(const BatchScorer&) = delete;
+  BatchScorer& operator=(const BatchScorer&) = delete;
+
+  /// Scores `pairs` against one consistent model snapshot. Blocks the
+  /// calling thread until its batch is dispatched (bounded by
+  /// max_wait + dispatch time). kFailedPrecondition before the first
+  /// successful registry swap.
+  Result<ScoreBatchResponse> ScorePairs(const std::vector<UserPair>& pairs);
+
+  /// Top-k retrieval for user `u`, batched like ScorePairs.
+  Result<TopKResponse> TopK(std::size_t u, std::size_t k,
+                            bool exclude_known_links);
+
+  const BatchScorerOptions& options() const { return options_; }
+
+  /// Dispatches performed (each covers >= 1 request).
+  std::size_t batches_dispatched() const;
+
+  /// Requests that shared a dispatch with at least one other request.
+  std::size_t coalesced_requests() const;
+
+ private:
+  struct Request {
+    // Inputs.
+    const std::vector<UserPair>* pairs = nullptr;  // Null for TopK.
+    std::size_t u = 0;
+    std::size_t k = 0;
+    bool exclude_known_links = false;
+    // Outputs — written by the dispatching leader, read by the owner
+    // only after observing done == true under the scorer mutex.
+    Status status;
+    std::vector<double> scores;
+    std::vector<TopKEntry> entries;
+    std::uint64_t version = 0;
+    bool done = false;
+  };
+
+  /// Queue weight of a request toward max_batch_pairs.
+  static std::size_t Cost(const Request& request);
+
+  /// Enqueues, waits / leads per the protocol above, returns when done.
+  void RunQueued(Request& request);
+
+  /// Claims a batch from the queue front and dispatches it. Called with
+  /// the lock held; releases it during scoring.
+  void DispatchLocked(std::unique_lock<std::mutex>& lock);
+
+  /// Scores one claimed batch against one snapshot (no lock held).
+  void ProcessBatch(const std::vector<Request*>& batch);
+
+  ModelRegistry* const registry_;
+  const BatchScorerOptions options_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Request*> queue_;        // Guarded by mutex_.
+  std::size_t queued_pairs_ = 0;      // Guarded by mutex_.
+  bool dispatching_ = false;          // Guarded by mutex_.
+  std::size_t batches_ = 0;           // Guarded by mutex_.
+  std::size_t coalesced_ = 0;         // Guarded by mutex_.
+};
+
+}  // namespace slampred
+
+#endif  // SLAMPRED_SERVE_BATCH_SCORER_H_

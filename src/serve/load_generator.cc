@@ -1,0 +1,266 @@
+#include "serve/load_generator.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/random.h"
+#include "util/thread_pool.h"
+
+namespace slampred {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Per-caller counters merged after the run (no contention while hot).
+struct Tally {
+  std::size_t score_requests = 0;
+  std::size_t topk_requests = 0;
+  std::size_t errors = 0;
+  std::vector<double> latencies_ms;
+};
+
+// Issues the request_index-th request of one deterministic stream and
+// returns whether it succeeded (latency is timed by the caller).
+bool IssueRequest(ScoringService& service, std::size_t num_users,
+                  const LoadGeneratorOptions& options, Rng& rng,
+                  std::size_t request_index, Tally& tally) {
+  if (options.topk_every > 0 &&
+      request_index % options.topk_every == options.topk_every - 1) {
+    ++tally.topk_requests;
+    const std::size_t u = static_cast<std::size_t>(
+        rng.NextBounded(num_users));
+    return service.TopK(u, options.top_k, true).ok();
+  }
+  ++tally.score_requests;
+  std::vector<UserPair> pairs(std::max<std::size_t>(
+      options.pairs_per_request, 1));
+  for (UserPair& pair : pairs) {
+    pair.u = static_cast<std::size_t>(rng.NextBounded(num_users));
+    pair.v = static_cast<std::size_t>(rng.NextBounded(num_users));
+  }
+  return service.ScorePairs(pairs).ok();
+}
+
+double PercentileMs(const std::vector<double>& sorted_ms, double q) {
+  if (sorted_ms.empty()) return 0.0;
+  const double rank = q * static_cast<double>(sorted_ms.size());
+  std::size_t index = static_cast<std::size_t>(std::ceil(rank));
+  index = index == 0 ? 0 : index - 1;
+  return sorted_ms[std::min(index, sorted_ms.size() - 1)];
+}
+
+void AppendJsonNumber(std::string& out, const char* key, double value,
+                      bool* first) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+  if (!*first) out += ",";
+  *first = false;
+  out += "\"";
+  out += key;
+  out += "\":";
+  out += buffer;
+}
+
+void AppendJsonSize(std::string& out, const char* key, std::uint64_t value,
+                    bool* first) {
+  if (!*first) out += ",";
+  *first = false;
+  out += "\"";
+  out += key;
+  out += "\":";
+  out += std::to_string(value);
+}
+
+}  // namespace
+
+std::string LoadGeneratorReport::ToJson() const {
+  std::string out = "{";
+  bool first = true;
+  out += "\"mode\":\"" + mode + "\"";
+  first = false;
+  AppendJsonSize(out, "concurrency", concurrency, &first);
+  out += ",\"batching\":";
+  out += batching ? "true" : "false";
+  AppendJsonSize(out, "requests", requests, &first);
+  AppendJsonSize(out, "score_requests", score_requests, &first);
+  AppendJsonSize(out, "topk_requests", topk_requests, &first);
+  AppendJsonSize(out, "errors", errors, &first);
+  AppendJsonSize(out, "swaps", swaps, &first);
+  AppendJsonSize(out, "final_version", final_version, &first);
+  AppendJsonNumber(out, "duration_seconds", duration_seconds, &first);
+  AppendJsonNumber(out, "throughput_rps", throughput_rps, &first);
+  out += ",\"latency_ms\":{";
+  first = true;
+  AppendJsonNumber(out, "p50", latency.p50_ms, &first);
+  AppendJsonNumber(out, "p95", latency.p95_ms, &first);
+  AppendJsonNumber(out, "p99", latency.p99_ms, &first);
+  AppendJsonNumber(out, "max", latency.max_ms, &first);
+  out += "}}";
+  return out;
+}
+
+std::string LoadGeneratorReport::ToString() const {
+  char buffer[512];
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "serve-load: %s loop, %zu caller(s), batching %s\n"
+      "  %zu requests (%zu score, %zu topk), %zu error(s), %llu swap(s), "
+      "final version %llu\n"
+      "  %.0f req/sec over %.2f s; latency ms p50 %.3f  p95 %.3f  "
+      "p99 %.3f  max %.3f",
+      mode.c_str(), concurrency, batching ? "on" : "off", requests,
+      score_requests, topk_requests, errors,
+      static_cast<unsigned long long>(swaps),
+      static_cast<unsigned long long>(final_version), throughput_rps,
+      duration_seconds, latency.p50_ms, latency.p95_ms, latency.p99_ms,
+      latency.max_ms);
+  return buffer;
+}
+
+Result<LoadGeneratorReport> RunLoadGenerator(
+    ModelRegistry& registry, ScoringService& service,
+    const LoadGeneratorOptions& options) {
+  const std::shared_ptr<const ServableModel> initial = registry.Acquire();
+  if (initial == nullptr) {
+    return Status::FailedPrecondition(
+        "load generator needs a published model; Swap one in first");
+  }
+  const std::size_t num_users = initial->num_users();
+  if (options.duration_seconds <= 0.0) {
+    return Status::InvalidArgument("duration must be > 0 seconds");
+  }
+  const std::size_t concurrency = std::max<std::size_t>(
+      options.concurrency, 1);
+
+  const auto start = Clock::now();
+  const auto deadline =
+      start + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(options.duration_seconds));
+
+  // Optional hot-swapper: republishes the initial artifact as a fresh
+  // (re-validated, re-checksummed) version on a fixed cadence.
+  std::atomic<bool> stop_swapper{false};
+  std::uint64_t swaps = 0;
+  std::thread swapper;
+  if (options.swap_every_seconds > 0.0) {
+    const ModelArtifact artifact = initial->session.artifact();
+    swapper = std::thread([&registry, &stop_swapper, &swaps, artifact,
+                           interval = options.swap_every_seconds] {
+      auto next = Clock::now() +
+                  std::chrono::duration_cast<Clock::duration>(
+                      std::chrono::duration<double>(interval));
+      while (!stop_swapper.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        if (Clock::now() < next) continue;
+        if (registry.Swap(ModelArtifact(artifact)).ok()) ++swaps;
+        next += std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double>(interval));
+      }
+    });
+  }
+
+  std::vector<Tally> tallies;
+  if (options.mode == LoadGeneratorOptions::Mode::kClosed) {
+    // Closed loop: each caller thread issues back-to-back requests.
+    tallies.assign(concurrency, Tally{});
+    std::vector<std::thread> callers;
+    callers.reserve(concurrency);
+    for (std::size_t t = 0; t < concurrency; ++t) {
+      callers.emplace_back([&, t] {
+        Tally& tally = tallies[t];
+        Rng rng(options.seed + 0x9e3779b9u * (t + 1));
+        for (std::size_t i = 0; Clock::now() < deadline; ++i) {
+          const auto issued = Clock::now();
+          const bool ok = IssueRequest(service, num_users, options, rng, i,
+                                       tally);
+          if (!ok) ++tally.errors;
+          tally.latencies_ms.push_back(
+              std::chrono::duration<double, std::milli>(Clock::now() -
+                                                        issued)
+                  .count());
+        }
+      });
+    }
+    for (std::thread& caller : callers) caller.join();
+  } else {
+    // Open loop: arrivals on a fixed schedule, each request a pool
+    // task; latency is scheduled-arrival → completion.
+    const double rate = std::max(options.open_rate_rps, 1.0);
+    const auto interval = std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(1.0 / rate));
+    tallies.assign(1, Tally{});
+    std::mutex tally_mutex;
+    CompletionCounter inflight;
+    ThreadPool& pool = ThreadPool::Global();
+    for (std::size_t i = 0;; ++i) {
+      const auto arrival = start + interval * i;
+      if (arrival >= deadline) break;
+      std::this_thread::sleep_until(arrival);
+      inflight.Add();
+      pool.Submit([&, i, arrival] {
+        Tally local;
+        Rng rng(options.seed + 0x9e3779b97f4a7c15ULL * (i + 1));
+        const bool ok = IssueRequest(service, num_users, options, rng, i,
+                                     local);
+        const double latency_ms =
+            std::chrono::duration<double, std::milli>(Clock::now() - arrival)
+                .count();
+        {
+          std::lock_guard<std::mutex> lock(tally_mutex);
+          Tally& tally = tallies[0];
+          tally.score_requests += local.score_requests;
+          tally.topk_requests += local.topk_requests;
+          if (!ok) ++tally.errors;
+          tally.latencies_ms.push_back(latency_ms);
+        }
+        inflight.Done();
+      });
+    }
+    inflight.Wait();
+  }
+
+  if (swapper.joinable()) {
+    stop_swapper.store(true, std::memory_order_relaxed);
+    swapper.join();
+  }
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  LoadGeneratorReport report;
+  report.mode = options.mode == LoadGeneratorOptions::Mode::kClosed
+                    ? "closed"
+                    : "open";
+  report.concurrency = concurrency;
+  report.batching = service.batcher().options().enabled;
+  report.swaps = swaps;
+  report.final_version = registry.current_version();
+  report.duration_seconds = elapsed;
+
+  std::vector<double> latencies;
+  for (const Tally& tally : tallies) {
+    report.score_requests += tally.score_requests;
+    report.topk_requests += tally.topk_requests;
+    report.errors += tally.errors;
+    latencies.insert(latencies.end(), tally.latencies_ms.begin(),
+                     tally.latencies_ms.end());
+  }
+  report.requests = report.score_requests + report.topk_requests;
+  report.throughput_rps =
+      elapsed > 0.0 ? static_cast<double>(report.requests) / elapsed : 0.0;
+  std::sort(latencies.begin(), latencies.end());
+  report.latency.p50_ms = PercentileMs(latencies, 0.50);
+  report.latency.p95_ms = PercentileMs(latencies, 0.95);
+  report.latency.p99_ms = PercentileMs(latencies, 0.99);
+  report.latency.max_ms = latencies.empty() ? 0.0 : latencies.back();
+  return report;
+}
+
+}  // namespace slampred

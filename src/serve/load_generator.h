@@ -1,0 +1,90 @@
+// In-process load generator for the concurrent serving layer — the
+// measurement half of `slampred_cli serve-bench`. Drives a
+// ScoringService with a mixed Score/TopK workload from concurrent
+// callers, optionally hot-swapping the model mid-run, and reports
+// throughput plus p50/p95/p99 latency (emitted as BENCH_serve.json by
+// the CLI).
+//
+// Closed loop: `concurrency` caller threads issue back-to-back requests
+// until the deadline — measures peak sustainable throughput. Open loop:
+// requests arrive on a fixed schedule (`open_rate_rps`) and run as
+// thread-pool tasks; latency is measured from the *scheduled* arrival,
+// so queueing delay under overload is visible instead of coordinated
+// away.
+
+#ifndef SLAMPRED_SERVE_LOAD_GENERATOR_H_
+#define SLAMPRED_SERVE_LOAD_GENERATOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "core/scoring_service.h"
+#include "serve/model_registry.h"
+#include "util/status.h"
+
+namespace slampred {
+
+/// Workload shape for one load-generator run.
+struct LoadGeneratorOptions {
+  enum class Mode { kClosed, kOpen };
+
+  Mode mode = Mode::kClosed;
+  /// Caller threads (closed loop).
+  std::size_t concurrency = 4;
+  /// Wall-clock run length.
+  double duration_seconds = 2.0;
+  /// Arrival rate in requests/sec (open loop).
+  double open_rate_rps = 2000.0;
+  /// Pairs per ScorePairs request.
+  std::size_t pairs_per_request = 64;
+  /// Every Nth request is a TopK instead of a ScorePairs (0 = never).
+  std::size_t topk_every = 4;
+  /// k of the TopK requests.
+  std::size_t top_k = 10;
+  /// > 0: a swapper thread republishes the current artifact as a new
+  /// version this often — the hot-swap-under-load scenario.
+  double swap_every_seconds = 0.0;
+  /// Seed of the deterministic per-thread request streams.
+  std::uint64_t seed = 42;
+};
+
+/// Latency distribution over all completed requests.
+struct LatencySummary {
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+/// Outcome of one run.
+struct LoadGeneratorReport {
+  std::string mode;
+  std::size_t concurrency = 0;
+  bool batching = false;
+  std::size_t requests = 0;
+  std::size_t score_requests = 0;
+  std::size_t topk_requests = 0;
+  std::size_t errors = 0;
+  std::uint64_t swaps = 0;          ///< Successful mid-run hot-swaps.
+  std::uint64_t final_version = 0;  ///< Registry version after the run.
+  double duration_seconds = 0.0;
+  double throughput_rps = 0.0;
+  LatencySummary latency;
+
+  /// One JSON object (the BENCH_serve.json payload).
+  std::string ToJson() const;
+
+  /// Human-readable multi-line summary.
+  std::string ToString() const;
+};
+
+/// Runs the workload against `service`, swapping through `registry`
+/// when configured. Requires a published model; fails fast otherwise.
+Result<LoadGeneratorReport> RunLoadGenerator(
+    ModelRegistry& registry, ScoringService& service,
+    const LoadGeneratorOptions& options);
+
+}  // namespace slampred
+
+#endif  // SLAMPRED_SERVE_LOAD_GENERATOR_H_

@@ -1,0 +1,111 @@
+#include "serve/model_registry.h"
+
+#include <utility>
+
+#include "util/binary_io.h"
+#include "util/fault_injection.h"
+
+namespace slampred {
+namespace {
+
+// Translates the "serve.swap" fault site into a swap failure.
+Status InjectedSwapFault() {
+  switch (SLAMPRED_FAULT_HIT("serve.swap")) {
+    case FaultKind::kFailIo:
+      return Status::IoError("injected model swap fault");
+    case FaultKind::kFailNumerical:
+    case FaultKind::kPoisonNaN:
+    case FaultKind::kPoisonInf:
+      return Status::NumericalError("injected model swap fault");
+    case FaultKind::kFailNotConverged:
+      return Status::NotConverged("injected model swap fault");
+    case FaultKind::kNone:
+      break;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+ModelRegistry::ModelRegistry(ModelRegistryOptions options)
+    : options_(options) {}
+
+Status ModelRegistry::Swap(ModelArtifact artifact, CsrMatrix known_links) {
+  // Validate by round-tripping through the on-disk form: the parse
+  // recomputes every section CRC-32 and re-checks the structural
+  // invariants, so only bytes a loader would accept can be published.
+  const std::string bytes = SerializeModelArtifact(artifact);
+  const std::uint32_t checksum = Crc32(bytes.data(), bytes.size());
+
+  auto publish_failure = [this](Status status) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++recovery_.swap_failures;
+    }
+    return status;
+  };
+
+  // Mid-swap fault window: validation has started, nothing published.
+  const Status injected = InjectedSwapFault();
+  if (!injected.ok()) return publish_failure(injected);
+
+  auto reparsed = DeserializeModelArtifact(bytes);
+  if (!reparsed.ok()) return publish_failure(reparsed.status());
+  auto session = ScoringSession::FromArtifact(std::move(reparsed).value());
+  if (!session.ok()) return publish_failure(session.status());
+
+  const std::size_t n = session.value().num_users();
+  if (known_links.rows() != 0 &&
+      (known_links.rows() != n || known_links.cols() != n)) {
+    return publish_failure(Status::InvalidArgument(
+        "known-links adjacency is " + std::to_string(known_links.rows()) +
+        "x" + std::to_string(known_links.cols()) +
+        " but the artifact serves " + std::to_string(n) + " users"));
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto model = std::make_shared<const ServableModel>(
+      std::move(session).value(), next_version_, checksum,
+      std::move(known_links), options_.max_resident_topk_rows);
+  ++next_version_;
+  current_ = std::move(model);  // Old version drains via shared_ptr.
+  return Status::OK();
+}
+
+Status ModelRegistry::SwapFromFile(const std::string& path,
+                                   CsrMatrix known_links) {
+  auto artifact = LoadModelArtifact(path);
+  if (!artifact.ok()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++recovery_.swap_failures;
+    return artifact.status();
+  }
+  return Swap(std::move(artifact).value(), std::move(known_links));
+}
+
+std::shared_ptr<const ServableModel> ModelRegistry::Acquire() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return current_;
+}
+
+std::uint64_t ModelRegistry::current_version() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return current_ == nullptr ? 0 : current_->version;
+}
+
+std::uint64_t ModelRegistry::swap_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return next_version_ - 1;
+}
+
+RecoveryStats ModelRegistry::recovery() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return recovery_;
+}
+
+void ModelRegistry::NoteBatchFailure() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++recovery_.batch_failures;
+}
+
+}  // namespace slampred

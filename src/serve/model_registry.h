@@ -1,0 +1,118 @@
+// ModelRegistry — shared-ownership registry of the artifact a serving
+// process is currently answering from, with atomic hot-swap.
+//
+// Requests Acquire() an immutable ServableModel snapshot and score
+// against it; Swap() validates a new artifact (full checksum + invariant
+// re-verification via a serialize→parse round trip, plus the
+// "serve.swap" fault site) and publishes it atomically. In-flight
+// requests keep their snapshot alive through shared_ptr ownership, so an
+// old version drains naturally: it is destroyed when its last in-flight
+// request finishes, and no request ever observes a half-swapped model.
+// A failed swap leaves the previous model serving untouched and is
+// counted in RecoveryStats::swap_failures.
+
+#ifndef SLAMPRED_SERVE_MODEL_REGISTRY_H_
+#define SLAMPRED_SERVE_MODEL_REGISTRY_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "core/model_artifact.h"
+#include "core/scoring_session.h"
+#include "linalg/csr_matrix.h"
+#include "optim/guardrails.h"
+#include "serve/topk_index.h"
+#include "util/status.h"
+
+namespace slampred {
+
+/// One published model version: an immutable scoring session plus the
+/// per-version serving state (top-K row cache, exclusion adjacency).
+/// Always held behind shared_ptr<const ServableModel>.
+struct ServableModel {
+  ServableModel(ScoringSession session_in, std::uint64_t version_in,
+                std::uint32_t checksum_in, CsrMatrix known_links_in,
+                std::size_t max_topk_rows)
+      : session(std::move(session_in)),
+        version(version_in),
+        checksum(checksum_in),
+        known_links(std::move(known_links_in)),
+        topk(max_topk_rows) {}
+
+  ServableModel(const ServableModel&) = delete;
+  ServableModel& operator=(const ServableModel&) = delete;
+
+  /// Order of the served score matrix.
+  std::size_t num_users() const { return session.num_users(); }
+
+  const ScoringSession session;
+  /// Monotonic registry version; every response reports the version it
+  /// was answered from.
+  const std::uint64_t version;
+  /// CRC-32 of the full serialized artifact, recomputed at swap time.
+  const std::uint32_t checksum;
+  /// Known-link adjacency for TopK exclusion (empty = no exclusions).
+  const CsrMatrix known_links;
+  /// Lazily-built per-row top-K order cache (interior mutex).
+  mutable TopKIndex topk;
+};
+
+/// Registry construction knobs.
+struct ModelRegistryOptions {
+  /// LRU cap on resident top-K rows per model version.
+  std::size_t max_resident_topk_rows = 64;
+};
+
+/// Thread-safe owner of the current ServableModel.
+class ModelRegistry {
+ public:
+  explicit ModelRegistry(ModelRegistryOptions options = {});
+
+  ModelRegistry(const ModelRegistry&) = delete;
+  ModelRegistry& operator=(const ModelRegistry&) = delete;
+
+  /// Validates `artifact` and atomically publishes it as the next
+  /// version. Validation re-serializes the artifact and re-parses the
+  /// bytes, so every section CRC-32 and structural invariant is checked
+  /// against exactly what a loader would accept; the "serve.swap" fault
+  /// site fires between validation and publish. On any failure the
+  /// previously published model keeps serving and swap_failures is
+  /// incremented. `known_links`, when non-empty, must be a square
+  /// matrix of the artifact's order; it backs TopK known-link exclusion.
+  Status Swap(ModelArtifact artifact, CsrMatrix known_links = {});
+
+  /// Loads the artifact at `path` (offset-diagnosed kIoError on
+  /// corruption) and Swap()s it in.
+  Status SwapFromFile(const std::string& path, CsrMatrix known_links = {});
+
+  /// The currently published model, or nullptr before the first
+  /// successful Swap. The returned snapshot stays valid (and immutable)
+  /// for as long as the caller holds it, across any number of swaps.
+  std::shared_ptr<const ServableModel> Acquire() const;
+
+  /// Version of the currently published model (0 before the first).
+  std::uint64_t current_version() const;
+
+  /// Number of successfully published versions.
+  std::uint64_t swap_count() const;
+
+  /// Serving-side recovery counters (swap_failures, batch_failures).
+  RecoveryStats recovery() const;
+
+  /// Counts a failed batch dispatch (called by BatchScorer).
+  void NoteBatchFailure();
+
+ private:
+  const ModelRegistryOptions options_;
+  mutable std::mutex mutex_;
+  std::shared_ptr<const ServableModel> current_;  // Guarded by mutex_.
+  std::uint64_t next_version_ = 1;                // Guarded by mutex_.
+  RecoveryStats recovery_;                        // Guarded by mutex_.
+};
+
+}  // namespace slampred
+
+#endif  // SLAMPRED_SERVE_MODEL_REGISTRY_H_

@@ -1,0 +1,70 @@
+#include "serve/scoring_kernels.h"
+
+#include <algorithm>
+#include <string>
+
+#include "util/thread_pool.h"
+
+namespace slampred {
+
+Result<std::vector<double>> ScorePairsOnModel(
+    const ServableModel& model, const std::vector<UserPair>& pairs) {
+  const Matrix& s = model.session.artifact().s;
+  const std::size_t n = s.rows();
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    if (pairs[i].u >= n || pairs[i].v >= n) {
+      return Status::OutOfRange(
+          "pair " + std::to_string(i) + " = (" + std::to_string(pairs[i].u) +
+          ", " + std::to_string(pairs[i].v) +
+          ") outside the served score matrix (" + std::to_string(n) +
+          " users)");
+    }
+  }
+  std::vector<double> scores(pairs.size());
+  ParallelFor(0, pairs.size(), GrainForWork(8),
+              [&](std::size_t i0, std::size_t i1) {
+                for (std::size_t i = i0; i < i1; ++i) {
+                  scores[i] = s(pairs[i].u, pairs[i].v);
+                }
+              });
+  return scores;
+}
+
+namespace {
+
+// True iff v is a stored entry of row u of the known-links adjacency.
+bool IsKnownLink(const CsrMatrix& known, std::size_t u, std::size_t v) {
+  const auto& row_ptr = known.row_ptr();
+  const auto& col_idx = known.col_idx();
+  const auto begin = col_idx.begin() + static_cast<std::ptrdiff_t>(row_ptr[u]);
+  const auto end = col_idx.begin() + static_cast<std::ptrdiff_t>(row_ptr[u + 1]);
+  return std::binary_search(begin, end, v);
+}
+
+}  // namespace
+
+Result<std::vector<TopKEntry>> TopKOnModel(const ServableModel& model,
+                                           std::size_t u, std::size_t k,
+                                           bool exclude_known_links) {
+  const Matrix& s = model.session.artifact().s;
+  const std::size_t n = s.rows();
+  if (u >= n) {
+    return Status::OutOfRange("user " + std::to_string(u) +
+                              " outside the served score matrix (" +
+                              std::to_string(n) + " users)");
+  }
+  std::vector<TopKEntry> entries;
+  if (k == 0) return entries;
+  entries.reserve(std::min(k, n == 0 ? std::size_t{0} : n - 1));
+
+  const bool exclude = exclude_known_links && model.known_links.rows() == n;
+  const std::shared_ptr<const TopKRowOrder> order = model.topk.Row(s, u);
+  for (const std::uint32_t v : *order) {
+    if (exclude && IsKnownLink(model.known_links, u, v)) continue;
+    entries.push_back({static_cast<std::size_t>(v), s(u, v)});
+    if (entries.size() == k) break;
+  }
+  return entries;
+}
+
+}  // namespace slampred

@@ -1,0 +1,62 @@
+// Request-scoring kernels shared by the direct and batched serving
+// paths. Both paths call the same functions against one Acquire()'d
+// ServableModel snapshot, so batching on/off and any thread count
+// produce bit-identical results: a pair score is a pure lookup into the
+// snapshot's S written by exactly one ParallelFor chunk, and a top-K
+// answer streams the snapshot's deterministic per-row sorted order.
+
+#ifndef SLAMPRED_SERVE_SCORING_KERNELS_H_
+#define SLAMPRED_SERVE_SCORING_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "graph/social_graph.h"
+#include "serve/model_registry.h"
+#include "util/status.h"
+
+namespace slampred {
+
+/// One retrieved neighbor candidate of a TopK query.
+struct TopKEntry {
+  std::size_t v;  ///< Candidate user.
+  double score;   ///< Confidence score of (u, v).
+
+  bool operator==(const TopKEntry& other) const {
+    return v == other.v && score == other.score;
+  }
+};
+
+/// Batch pair scores answered from one model version.
+struct ScoreBatchResponse {
+  std::vector<double> scores;
+  std::uint64_t version = 0;  ///< Registry version that answered.
+};
+
+/// Top-K retrieval answered from one model version.
+struct TopKResponse {
+  std::vector<TopKEntry> entries;  ///< At most k, best first.
+  std::uint64_t version = 0;       ///< Registry version that answered.
+};
+
+/// Scores every pair against `model`'s S, fanned out deterministically
+/// over the shared thread pool. Bit-identical to the serial
+/// ScoringSession::ScorePairs oracle; every pair is bounds-checked
+/// (kOutOfRange names the first offending pair, like the oracle).
+Result<std::vector<double>> ScorePairsOnModel(
+    const ServableModel& model, const std::vector<UserPair>& pairs);
+
+/// The top `k` candidates v for user `u` by descending score (ties by
+/// ascending v; v == u never returned), streamed from the model's
+/// lazily-built sorted-row cache. With `exclude_known_links` set, every
+/// v stored in row u of the model's known-links adjacency is skipped.
+/// Returns fewer than k entries when fewer candidates exist; kOutOfRange
+/// when u is outside the served matrix.
+Result<std::vector<TopKEntry>> TopKOnModel(const ServableModel& model,
+                                           std::size_t u, std::size_t k,
+                                           bool exclude_known_links);
+
+}  // namespace slampred
+
+#endif  // SLAMPRED_SERVE_SCORING_KERNELS_H_

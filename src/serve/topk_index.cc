@@ -1,0 +1,75 @@
+#include "serve/topk_index.h"
+
+#include <algorithm>
+
+namespace slampred {
+
+TopKRowOrder BuildTopKRowOrder(const Matrix& s, std::size_t u) {
+  const std::size_t n = s.cols();
+  TopKRowOrder order;
+  order.reserve(n == 0 ? 0 : n - 1);
+  for (std::size_t v = 0; v < n; ++v) {
+    if (v != u) order.push_back(static_cast<std::uint32_t>(v));
+  }
+  const double* row = s.data().data() + u * n;
+  std::sort(order.begin(), order.end(),
+            [row](std::uint32_t a, std::uint32_t b) {
+              if (row[a] != row[b]) return row[a] > row[b];
+              return a < b;  // Deterministic tie-break.
+            });
+  return order;
+}
+
+TopKIndex::TopKIndex(std::size_t max_resident_rows)
+    : max_resident_rows_(max_resident_rows == 0 ? 1 : max_resident_rows) {}
+
+std::shared_ptr<const TopKRowOrder> TopKIndex::Row(const Matrix& s,
+                                                   std::size_t u) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = rows_.find(u);
+    if (it != rows_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+      return it->second.order;
+    }
+  }
+
+  // Build outside the lock: concurrent misses on different rows sort in
+  // parallel. A racing build of the same row produces the identical
+  // order; the first insert wins and the loser adopts it.
+  auto built = std::make_shared<const TopKRowOrder>(BuildTopKRowOrder(s, u));
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = rows_.find(u);
+  if (it != rows_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return it->second.order;
+  }
+  ++builds_;
+  lru_.push_front(u);
+  rows_.emplace(u, Entry{built, lru_.begin()});
+  while (rows_.size() > max_resident_rows_) {
+    const std::size_t victim = lru_.back();
+    lru_.pop_back();
+    rows_.erase(victim);
+    ++evictions_;
+  }
+  return built;
+}
+
+std::size_t TopKIndex::resident_rows() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rows_.size();
+}
+
+std::size_t TopKIndex::builds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return builds_;
+}
+
+std::size_t TopKIndex::evictions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return evictions_;
+}
+
+}  // namespace slampred

@@ -1,0 +1,74 @@
+// Lazily-built per-row top-K retrieval index over a dense score matrix
+// S — the serving primitive behind ScoringService::TopK. The first TopK
+// touching row u sorts that row's columns once (descending score,
+// ascending column on ties, the self column u excluded) and caches the
+// sorted order; later queries for any k stream the cached order. An LRU
+// cap bounds resident rows so memory stays O(max_resident_rows · n) on
+// large models. Rows are handed out as shared_ptr, so eviction never
+// invalidates an order a concurrent query is still streaming — eviction
+// changes timing only, never results.
+
+#ifndef SLAMPRED_SERVE_TOPK_INDEX_H_
+#define SLAMPRED_SERVE_TOPK_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace slampred {
+
+/// Sorted column order of one score-matrix row (self excluded).
+using TopKRowOrder = std::vector<std::uint32_t>;
+
+/// Thread-safe LRU cache of per-row sorted column orders.
+class TopKIndex {
+ public:
+  /// Caps resident rows at `max_resident_rows` (min 1).
+  explicit TopKIndex(std::size_t max_resident_rows = 64);
+
+  /// The full sorted column order of row `u` of `s` (descending score,
+  /// ties broken by ascending column, column u itself excluded).
+  /// Builds and caches the order on first use; `u` must be < s.rows().
+  /// The same `s` must be passed for the lifetime of the index (one
+  /// index per model).
+  std::shared_ptr<const TopKRowOrder> Row(const Matrix& s, std::size_t u);
+
+  std::size_t max_resident_rows() const { return max_resident_rows_; }
+
+  /// Rows currently resident in the cache.
+  std::size_t resident_rows() const;
+
+  /// Total row builds since construction (> resident when evicted rows
+  /// were rebuilt).
+  std::size_t builds() const;
+
+  /// Rows evicted by the LRU cap.
+  std::size_t evictions() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const TopKRowOrder> order;
+    std::list<std::size_t>::iterator lru_pos;
+  };
+
+  const std::size_t max_resident_rows_;
+  mutable std::mutex mutex_;
+  std::list<std::size_t> lru_;  // Front = most recently used. Guarded.
+  std::unordered_map<std::size_t, Entry> rows_;  // Guarded by mutex_.
+  std::size_t builds_ = 0;                       // Guarded by mutex_.
+  std::size_t evictions_ = 0;                    // Guarded by mutex_.
+};
+
+/// Builds the sorted column order of row `u` directly (the cache-free
+/// reference used by TopKIndex itself and by tests).
+TopKRowOrder BuildTopKRowOrder(const Matrix& s, std::size_t u);
+
+}  // namespace slampred
+
+#endif  // SLAMPRED_SERVE_TOPK_INDEX_H_

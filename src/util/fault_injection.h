@@ -23,6 +23,9 @@
 //   "fit.embedding"   embedding stage of the fit pipeline (fit_pipeline.cc)
 //   "fit.solve"       solve stage of the fit pipeline (fit_pipeline.cc)
 //   "artifact.read"   model artifact loading (model_artifact.cc)
+//   "serve.swap"      model hot-swap validation (serve/model_registry.cc)
+//   "serve.batch"     batch dispatch of the scoring service
+//                     (serve/batch_scorer.cc)
 
 #ifndef SLAMPRED_UTIL_FAULT_INJECTION_H_
 #define SLAMPRED_UTIL_FAULT_INJECTION_H_

@@ -52,6 +52,42 @@ ThreadPool::~ThreadPool() {
   }
   work_cv_.notify_all();
   for (std::thread& worker : workers_) worker.join();
+  DrainAsyncTasks();
+}
+
+// Runs every still-queued Submit task on the calling thread so their
+// futures always complete, even across a Resize or at destruction.
+void ThreadPool::DrainAsyncTasks() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (async_tasks_.empty()) return;
+      task = std::move(async_tasks_.front());
+      async_tasks_.pop_front();
+    }
+    task();
+  }
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> fn) {
+  std::packaged_task<void()> task(std::move(fn));
+  std::future<void> future = task.get_future();
+  bool run_inline = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (num_threads_ <= 1 || shutdown_) {
+      run_inline = true;
+    } else {
+      async_tasks_.push_back(std::move(task));
+    }
+  }
+  if (run_inline) {
+    task();  // Serial path: completes before Submit returns.
+  } else {
+    work_cv_.notify_one();
+  }
+  return future;
 }
 
 ThreadPool& ThreadPool::Global() {
@@ -69,6 +105,7 @@ void ThreadPool::Resize(std::size_t num_threads) {
   work_cv_.notify_all();
   for (std::thread& worker : workers_) worker.join();
   workers_.clear();
+  DrainAsyncTasks();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     shutdown_ = false;
@@ -111,13 +148,26 @@ void ThreadPool::WorkerLoop() {
   std::uint64_t seen_epoch = 0;
   for (;;) {
     std::shared_ptr<LoopTask> task;
+    std::packaged_task<void()> async_task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      work_cv_.wait(lock,
-                    [&] { return shutdown_ || epoch_ != seen_epoch; });
+      work_cv_.wait(lock, [&] {
+        return shutdown_ || epoch_ != seen_epoch || !async_tasks_.empty();
+      });
       if (shutdown_) return;
-      seen_epoch = epoch_;
-      task = current_task_;
+      if (epoch_ != seen_epoch) {
+        // ParallelFor dispatches take priority; a queued Submit task is
+        // picked up on a later iteration (or by another worker).
+        seen_epoch = epoch_;
+        task = current_task_;
+      } else {
+        async_task = std::move(async_tasks_.front());
+        async_tasks_.pop_front();
+      }
+    }
+    if (async_task.valid()) {
+      async_task();
+      continue;
     }
     if (task == nullptr) continue;
     RunChunks(*task);
@@ -208,6 +258,35 @@ double ParallelReduceSum(
     std::size_t begin, std::size_t end, std::size_t grain,
     const std::function<double(std::size_t, std::size_t)>& chunk_fn) {
   return ThreadPool::Global().ParallelReduceSum(begin, end, grain, chunk_fn);
+}
+
+void CompletionCounter::Add(std::size_t n) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  expected_ += n;
+}
+
+void CompletionCounter::Done(std::size_t n) {
+  // Notify under the lock: once a waiter's Wait() returns, the counter
+  // may be destroyed immediately, so Done must not touch the condition
+  // variable after releasing the mutex.
+  std::lock_guard<std::mutex> lock(mutex_);
+  completed_ += n;
+  cv_.notify_all();
+}
+
+void CompletionCounter::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [&] { return completed_ >= expected_; });
+}
+
+std::size_t CompletionCounter::completed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return completed_;
+}
+
+std::size_t CompletionCounter::outstanding() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return expected_ - completed_;
 }
 
 }  // namespace slampred

@@ -1,0 +1,448 @@
+// Deterministic concurrency harness for the serving layer: N caller
+// threads issue interleaved Score / ScorePairs / TopK against one
+// ModelRegistry while the suite bit-compares every response against the
+// serial ScoringSession oracle — at 1/4/7 pool threads, with batching
+// on and off, and during artifact hot-swap (every response must match
+// exactly one artifact version, never a torn mix). Also covers the
+// serve.swap / serve.batch fault-injection sites and version draining.
+
+#include "core/scoring_service.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/model_artifact.h"
+#include "core/scoring_session.h"
+#include "serve/load_generator.h"
+#include "util/binary_io.h"
+#include "util/fault_injection.h"
+#include "util/random.h"
+#include "util/thread_pool.h"
+
+namespace slampred {
+namespace {
+
+// A recognizable, version-taggable score surface: f(u, v) + offset.
+double ScoreValue(std::size_t u, std::size_t v, double offset) {
+  return 0.25 * static_cast<double>(u) -
+         0.125 * static_cast<double>(v) +
+         static_cast<double>((u * 31 + v * 17) % 97) + offset;
+}
+
+ModelArtifact MakeArtifact(std::size_t n, double offset) {
+  ModelArtifact artifact;
+  artifact.s = Matrix(n, n);
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v = 0; v < n; ++v) {
+      artifact.s(u, v) = ScoreValue(u, v, offset);
+    }
+  }
+  return artifact;
+}
+
+// The serial oracle the concurrent service is bit-compared against.
+ScoringSession MakeOracle(const ModelArtifact& artifact) {
+  auto session = ScoringSession::FromArtifact(ModelArtifact(artifact));
+  EXPECT_TRUE(session.ok()) << session.status().ToString();
+  return std::move(session).value();
+}
+
+// Reference top-K: full sort, descending score, ascending v on ties.
+std::vector<TopKEntry> ReferenceTopK(const Matrix& s, std::size_t u,
+                                     std::size_t k) {
+  std::vector<TopKEntry> all;
+  for (std::size_t v = 0; v < s.cols(); ++v) {
+    if (v != u) all.push_back({v, s(u, v)});
+  }
+  std::sort(all.begin(), all.end(), [](const TopKEntry& a,
+                                       const TopKEntry& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.v < b.v;
+  });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+std::vector<UserPair> DeterministicPairs(Rng& rng, std::size_t n,
+                                         std::size_t count) {
+  std::vector<UserPair> pairs(count);
+  for (UserPair& pair : pairs) {
+    pair.u = static_cast<std::size_t>(rng.NextBounded(n));
+    pair.v = static_cast<std::size_t>(rng.NextBounded(n));
+  }
+  return pairs;
+}
+
+class ScoringServiceTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    FaultInjector::Instance().Reset();
+    ThreadPool::Global().Resize(4);
+  }
+};
+
+TEST_F(ScoringServiceTest, ScorePairsMatchesSerialOracleBitForBit) {
+  const std::size_t n = 20;
+  const ModelArtifact artifact = MakeArtifact(n, 0.0);
+  const ScoringSession oracle = MakeOracle(artifact);
+
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Swap(ModelArtifact(artifact)).ok());
+  ScoringService service(&registry);
+
+  Rng rng(7);
+  const std::vector<UserPair> pairs = DeterministicPairs(rng, n, 257);
+  auto expected = oracle.ScorePairs(pairs);
+  ASSERT_TRUE(expected.ok());
+  auto got = service.ScorePairs(pairs);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got.value().version, 1u);
+  ASSERT_EQ(got.value().scores.size(), expected.value().size());
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_EQ(got.value().scores[i], expected.value()[i]) << "pair " << i;
+  }
+
+  auto single = service.Score(3, 11);
+  ASSERT_TRUE(single.ok());
+  EXPECT_EQ(single.value(), oracle.Score(3, 11).value());
+}
+
+TEST_F(ScoringServiceTest, ErrorsMatchTheOracleContract) {
+  ModelRegistry registry;
+  ScoringService service(&registry);
+  // Before the first swap every request is a failed precondition.
+  EXPECT_EQ(service.Score(0, 0).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(service.ScorePairs({{0, 1}}).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(service.TopK(0, 3).status().code(),
+            StatusCode::kFailedPrecondition);
+
+  ASSERT_TRUE(registry.Swap(MakeArtifact(6, 0.0)).ok());
+  EXPECT_EQ(service.Score(6, 0).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(service.ScorePairs({{0, 1}, {1, 6}}).status().code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(service.TopK(9, 3).status().code(), StatusCode::kOutOfRange);
+  // A bad pair request fails alone; the model keeps serving.
+  EXPECT_TRUE(service.ScorePairs({{0, 1}}).ok());
+}
+
+// The core harness: at 1/4/7 pool threads, concurrent mixed traffic
+// must be bit-identical to the serial oracle, with batching on and off.
+TEST_F(ScoringServiceTest, ConcurrentMixedTrafficMatchesOracle) {
+  const std::size_t n = 40;
+  const ModelArtifact artifact = MakeArtifact(n, 0.0);
+  const ScoringSession oracle = MakeOracle(artifact);
+  const Matrix& s = oracle.artifact().s;
+
+  for (const std::size_t pool_threads : {1u, 4u, 7u}) {
+    ThreadPool::Global().Resize(pool_threads);
+    for (const bool batching : {true, false}) {
+      ModelRegistry registry;
+      ASSERT_TRUE(registry.Swap(ModelArtifact(artifact)).ok());
+      BatchScorerOptions batch;
+      batch.enabled = batching;
+      ScoringService service(&registry, batch);
+
+      const std::size_t num_callers = 6;
+      const std::size_t iterations = 40;
+      std::vector<std::string> failures(num_callers);
+      std::vector<std::thread> callers;
+      for (std::size_t t = 0; t < num_callers; ++t) {
+        callers.emplace_back([&, t] {
+          Rng rng(1000 + t);
+          for (std::size_t i = 0; i < iterations; ++i) {
+            const std::size_t op = i % 3;
+            if (op == 0) {
+              const std::size_t u = rng.NextBounded(n);
+              const std::size_t v = rng.NextBounded(n);
+              auto got = service.Score(u, v);
+              if (!got.ok() || got.value() != s(u, v)) {
+                failures[t] = "Score mismatch at iteration " +
+                              std::to_string(i);
+                return;
+              }
+            } else if (op == 1) {
+              const auto pairs = DeterministicPairs(
+                  rng, n, 1 + rng.NextBounded(96));
+              auto got = service.ScorePairs(pairs);
+              if (!got.ok()) {
+                failures[t] = got.status().ToString();
+                return;
+              }
+              for (std::size_t j = 0; j < pairs.size(); ++j) {
+                if (got.value().scores[j] != s(pairs[j].u, pairs[j].v)) {
+                  failures[t] = "ScorePairs mismatch at iteration " +
+                                std::to_string(i) + " element " +
+                                std::to_string(j);
+                  return;
+                }
+              }
+            } else {
+              const std::size_t u = rng.NextBounded(n);
+              const std::size_t k = rng.NextBounded(n + 2);
+              auto got = service.TopK(u, k);
+              if (!got.ok()) {
+                failures[t] = got.status().ToString();
+                return;
+              }
+              const auto expected = ReferenceTopK(s, u, k);
+              if (got.value().entries.size() != expected.size()) {
+                failures[t] = "TopK size mismatch at iteration " +
+                              std::to_string(i);
+                return;
+              }
+              for (std::size_t j = 0; j < expected.size(); ++j) {
+                if (!(got.value().entries[j] == expected[j])) {
+                  failures[t] = "TopK order mismatch at iteration " +
+                                std::to_string(i);
+                  return;
+                }
+              }
+            }
+          }
+        });
+      }
+      for (std::thread& caller : callers) caller.join();
+      for (std::size_t t = 0; t < num_callers; ++t) {
+        EXPECT_EQ(failures[t], "")
+            << "caller " << t << " at " << pool_threads
+            << " pool threads, batching " << (batching ? "on" : "off");
+      }
+    }
+  }
+}
+
+TEST_F(ScoringServiceTest, BatchingOnAndOffAreBitIdentical) {
+  const std::size_t n = 24;
+  const ModelArtifact artifact = MakeArtifact(n, 0.0);
+  ModelRegistry registry_on, registry_off;
+  ASSERT_TRUE(registry_on.Swap(ModelArtifact(artifact)).ok());
+  ASSERT_TRUE(registry_off.Swap(ModelArtifact(artifact)).ok());
+  BatchScorerOptions on, off;
+  on.enabled = true;
+  // Tiny batch bound + long wait forces real coalescing boundaries.
+  on.max_batch_pairs = 8;
+  off.enabled = false;
+  ScoringService batched(&registry_on, on);
+  ScoringService direct(&registry_off, off);
+
+  Rng rng(99);
+  for (std::size_t i = 0; i < 30; ++i) {
+    const auto pairs = DeterministicPairs(rng, n, 1 + rng.NextBounded(20));
+    auto a = batched.ScorePairs(pairs);
+    auto b = direct.ScorePairs(pairs);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(a.value().scores, b.value().scores) << "request " << i;
+    const std::size_t u = rng.NextBounded(n);
+    auto ta = batched.TopK(u, 5, false);
+    auto tb = direct.TopK(u, 5, false);
+    ASSERT_TRUE(ta.ok() && tb.ok());
+    ASSERT_EQ(ta.value().entries.size(), tb.value().entries.size());
+    for (std::size_t j = 0; j < ta.value().entries.size(); ++j) {
+      EXPECT_TRUE(ta.value().entries[j] == tb.value().entries[j]);
+    }
+  }
+}
+
+// Hot-swap under load: responses must never mix two artifact versions.
+// Version 1, 3, 5, ... serve offset 0; versions 2, 4, ... offset 1000.
+TEST_F(ScoringServiceTest, HotSwapUnderLoadNeverServesATornModel) {
+  const std::size_t n = 32;
+  const ModelArtifact artifact_a = MakeArtifact(n, 0.0);
+  const ModelArtifact artifact_b = MakeArtifact(n, 1000.0);
+
+  for (const std::size_t pool_threads : {1u, 4u, 7u}) {
+    ThreadPool::Global().Resize(pool_threads);
+    ModelRegistry registry;
+    ASSERT_TRUE(registry.Swap(ModelArtifact(artifact_a)).ok());
+    ScoringService service(&registry);
+
+    std::atomic<bool> stop{false};
+    std::thread swapper([&] {
+      // Alternate B, A, B, ... so even versions carry offset 1000.
+      for (std::size_t i = 0; !stop.load(std::memory_order_relaxed); ++i) {
+        const ModelArtifact& next = (i % 2 == 0) ? artifact_b : artifact_a;
+        ASSERT_TRUE(registry.Swap(ModelArtifact(next)).ok());
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    });
+
+    const std::size_t num_callers = 4;
+    std::vector<std::string> failures(num_callers);
+    std::vector<std::thread> callers;
+    for (std::size_t t = 0; t < num_callers; ++t) {
+      callers.emplace_back([&, t] {
+        Rng rng(500 + t);
+        for (std::size_t i = 0; i < 150; ++i) {
+          const auto pairs = DeterministicPairs(rng, n,
+                                                1 + rng.NextBounded(48));
+          auto got = service.ScorePairs(pairs);
+          if (!got.ok()) {
+            failures[t] = got.status().ToString();
+            return;
+          }
+          // The version the response claims fixes the offset every
+          // score must carry; any other value is a torn read.
+          const double offset =
+              got.value().version % 2 == 1 ? 0.0 : 1000.0;
+          for (std::size_t j = 0; j < pairs.size(); ++j) {
+            const double expected =
+                ScoreValue(pairs[j].u, pairs[j].v, offset);
+            if (got.value().scores[j] != expected) {
+              failures[t] = "torn response: version " +
+                            std::to_string(got.value().version) +
+                            " element " + std::to_string(j);
+              return;
+            }
+          }
+        }
+      });
+    }
+    for (std::thread& caller : callers) caller.join();
+    stop.store(true, std::memory_order_relaxed);
+    swapper.join();
+    for (std::size_t t = 0; t < num_callers; ++t) {
+      EXPECT_EQ(failures[t], "")
+          << "caller " << t << " at " << pool_threads << " pool threads";
+    }
+    EXPECT_EQ(registry.swap_count(), registry.current_version());
+    EXPECT_EQ(registry.recovery().swap_failures, 0);
+  }
+}
+
+TEST_F(ScoringServiceTest, OldVersionKeepsServingWhileItDrains) {
+  const std::size_t n = 10;
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Swap(MakeArtifact(n, 0.0)).ok());
+
+  // An in-flight request holds version 1 across the swap.
+  const std::shared_ptr<const ServableModel> held = registry.Acquire();
+  ASSERT_TRUE(registry.Swap(MakeArtifact(n, 1000.0)).ok());
+
+  EXPECT_EQ(held->version, 1u);
+  EXPECT_EQ(held->session.Score(2, 3).value(), ScoreValue(2, 3, 0.0));
+  EXPECT_EQ(registry.current_version(), 2u);
+  EXPECT_EQ(registry.Acquire()->session.Score(2, 3).value(),
+            ScoreValue(2, 3, 1000.0));
+  // The drained version dies with its last holder; the registry holds
+  // the only other reference to version 2.
+  EXPECT_EQ(held.use_count(), 1);
+}
+
+TEST_F(ScoringServiceTest, SwapChecksumMatchesSerializedArtifact) {
+  const ModelArtifact artifact = MakeArtifact(8, 0.0);
+  const std::string bytes = SerializeModelArtifact(artifact);
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Swap(ModelArtifact(artifact)).ok());
+  EXPECT_EQ(registry.Acquire()->checksum,
+            Crc32(bytes.data(), bytes.size()));
+}
+
+TEST_F(ScoringServiceTest, SwapFaultMidSwapLeavesPreviousModelServing) {
+  const std::size_t n = 12;
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Swap(MakeArtifact(n, 0.0)).ok());
+  ScoringService service(&registry);
+
+  FaultSpec spec;
+  spec.kind = FaultKind::kFailIo;
+  FaultInjector::Instance().Arm("serve.swap", spec);
+  const Status failed = registry.Swap(MakeArtifact(n, 1000.0));
+  EXPECT_EQ(failed.code(), StatusCode::kIoError);
+
+  // The previous model still serves, version unchanged, failure counted.
+  EXPECT_EQ(registry.current_version(), 1u);
+  auto score = service.Score(1, 2);
+  ASSERT_TRUE(score.ok());
+  EXPECT_EQ(score.value(), ScoreValue(1, 2, 0.0));
+  EXPECT_EQ(service.recovery().swap_failures, 1);
+  EXPECT_GE(service.recovery().Total(), 1);
+
+  // Once the fault window passes, the swap goes through.
+  FaultInjector::Instance().Disarm("serve.swap");
+  ASSERT_TRUE(registry.Swap(MakeArtifact(n, 1000.0)).ok());
+  EXPECT_EQ(registry.current_version(), 2u);
+  EXPECT_EQ(service.Score(1, 2).value(), ScoreValue(1, 2, 1000.0));
+}
+
+TEST_F(ScoringServiceTest, BatchFaultFailsOneDispatchAndIsCounted) {
+  const std::size_t n = 12;
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Swap(MakeArtifact(n, 0.0)).ok());
+  ScoringService service(&registry);
+
+  FaultSpec spec;
+  spec.kind = FaultKind::kFailNumerical;
+  FaultInjector::Instance().Arm("serve.batch", spec);
+  EXPECT_EQ(service.ScorePairs({{0, 1}}).status().code(),
+            StatusCode::kNumericalError);
+  EXPECT_EQ(service.recovery().batch_failures, 1);
+  // Only that dispatch failed; the next one serves normally.
+  EXPECT_TRUE(service.ScorePairs({{0, 1}}).ok());
+  EXPECT_EQ(service.recovery().batch_failures, 1);
+}
+
+TEST_F(ScoringServiceTest, CoalescesConcurrentRequestsIntoFewerBatches) {
+  const std::size_t n = 16;
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Swap(MakeArtifact(n, 0.0)).ok());
+  BatchScorerOptions batch;
+  batch.max_wait = std::chrono::milliseconds(20);
+  ScoringService service(&registry, batch);
+
+  const std::size_t num_callers = 8;
+  const std::size_t requests_each = 25;
+  std::vector<std::thread> callers;
+  for (std::size_t t = 0; t < num_callers; ++t) {
+    callers.emplace_back([&, t] {
+      Rng rng(t);
+      for (std::size_t i = 0; i < requests_each; ++i) {
+        auto got = service.ScorePairs(DeterministicPairs(rng, n, 4));
+        ASSERT_TRUE(got.ok());
+      }
+    });
+  }
+  for (std::thread& caller : callers) caller.join();
+  const std::size_t total = num_callers * requests_each;
+  EXPECT_LE(service.batcher().batches_dispatched(), total);
+  // All requests answered correctly even when coalesced.
+  EXPECT_EQ(service.recovery().batch_failures, 0);
+}
+
+// The load generator doubles as an end-to-end smoke of the whole layer.
+TEST_F(ScoringServiceTest, LoadGeneratorRunsBothModes) {
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Swap(MakeArtifact(24, 0.0)).ok());
+  ScoringService service(&registry);
+
+  LoadGeneratorOptions options;
+  options.duration_seconds = 0.1;
+  options.concurrency = 2;
+  options.pairs_per_request = 8;
+  options.swap_every_seconds = 0.02;
+  auto closed = RunLoadGenerator(registry, service, options);
+  ASSERT_TRUE(closed.ok()) << closed.status().ToString();
+  EXPECT_GT(closed.value().requests, 0u);
+  EXPECT_EQ(closed.value().errors, 0u);
+  EXPECT_GT(closed.value().throughput_rps, 0.0);
+  EXPECT_EQ(closed.value().final_version, 1 + closed.value().swaps);
+  EXPECT_NE(closed.value().ToJson().find("\"throughput_rps\""),
+            std::string::npos);
+
+  options.mode = LoadGeneratorOptions::Mode::kOpen;
+  options.open_rate_rps = 500.0;
+  options.swap_every_seconds = 0.0;
+  auto open = RunLoadGenerator(registry, service, options);
+  ASSERT_TRUE(open.ok()) << open.status().ToString();
+  EXPECT_GT(open.value().requests, 0u);
+  EXPECT_EQ(open.value().errors, 0u);
+}
+
+}  // namespace
+}  // namespace slampred

@@ -26,6 +26,17 @@
 //       Load an artifact once, then time batched ScorePairs calls and
 //       report the serving throughput in pairs/sec.
 //
+//   slampred_cli serve-bench --model FILE --mode closed|open
+//                            [--concurrency N] [--duration S] [--rate RPS]
+//                            [--batch 0|1] [--request-pairs N] [--topk K]
+//                            [--swap-under-load 0|1] [--json PATH]
+//       Concurrent serving load generator (ModelRegistry +
+//       ScoringService): closed-loop (N caller threads back-to-back) or
+//       open-loop (fixed --rate arrival schedule on the thread pool)
+//       traffic, mixed ScorePairs/TopK requests, optional model
+//       hot-swapping under load. Reports throughput and p50/p95/p99
+//       latency; --json writes the report (BENCH_serve.json) for CI.
+//
 //   slampred_cli evaluate --target FILE --source FILE --anchors FILE
 //                         [--method NAME] [--folds K] [--io-policy POLICY]
 //                         [--save-model-dir DIR] [--rescore-dir DIR]
@@ -61,10 +72,13 @@
 
 #include "core/fit_report.h"
 #include "core/model_artifact.h"
+#include "core/scoring_service.h"
 #include "core/scoring_session.h"
 #include "datagen/aligned_generator.h"
 #include "eval/experiment.h"
 #include "graph/graph_io.h"
+#include "serve/load_generator.h"
+#include "util/binary_io.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
@@ -368,9 +382,76 @@ int Predict(const Flags& flags) {
   return PrintTopPredictions(model, fitted.value().second, top_k);
 }
 
+// `serve-bench --mode closed|open`: the concurrent serving load
+// generator over ModelRegistry + ScoringService.
+int ServeLoadGen(const Flags& flags, const std::string& model_path) {
+  LoadGeneratorOptions options;
+  const std::string mode = flags.Get("mode", "closed");
+  if (mode == "open") {
+    options.mode = LoadGeneratorOptions::Mode::kOpen;
+  } else if (mode != "closed") {
+    std::fprintf(stderr, "--mode must be closed or open, got %s\n",
+                 mode.c_str());
+    return 2;
+  }
+  options.concurrency = static_cast<std::size_t>(
+      std::stoull(flags.Get("concurrency", "4")));
+  options.duration_seconds = std::stod(flags.Get("duration", "2"));
+  options.open_rate_rps = std::stod(flags.Get("rate", "2000"));
+  options.pairs_per_request = static_cast<std::size_t>(
+      std::stoull(flags.Get("request-pairs", "64")));
+  options.top_k = static_cast<std::size_t>(
+      std::stoull(flags.Get("topk", "10")));
+  options.seed = static_cast<std::uint64_t>(
+      std::stoull(flags.Get("seed", "42")));
+  const std::string swap = flags.Get("swap-under-load", "0");
+  if (swap == "1" || swap == "true") options.swap_every_seconds = 0.25;
+
+  ModelRegistry registry;
+  const Status swapped = registry.SwapFromFile(model_path);
+  if (!swapped.ok()) {
+    std::fprintf(stderr, "%s\n", swapped.ToString().c_str());
+    return 1;
+  }
+  BatchScorerOptions batch;
+  const std::string batching = flags.Get("batch", "1");
+  batch.enabled = batching == "1" || batching == "true";
+  ScoringService service(&registry, batch);
+  const auto model = registry.Acquire();
+  std::printf("serving %s (%zu users, version %llu, checksum %08x) "
+              "[%zu thread(s)]\n",
+              model->session.name().c_str(), model->num_users(),
+              static_cast<unsigned long long>(model->version),
+              model->checksum, ThreadPool::Global().num_threads());
+
+  auto report = RunLoadGenerator(registry, service, options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", report.value().ToString().c_str());
+  const RecoveryStats recovery = service.recovery();
+  if (recovery.Total() > 0) {
+    std::fprintf(stderr, "serving recoveries: %s\n",
+                 recovery.ToString().c_str());
+  }
+  if (flags.Has("json")) {
+    const std::string json_path = flags.Get("json", "BENCH_serve.json");
+    const Status written =
+        WriteStringToFile(report.value().ToJson() + "\n", json_path);
+    if (!written.ok()) {
+      std::fprintf(stderr, "%s\n", written.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}
+
 int ServeBench(const Flags& flags) {
   const auto model_path = flags.GetRequired("model");
   if (!model_path.has_value()) return 2;
+  if (flags.Has("mode")) return ServeLoadGen(flags, *model_path);
   const std::size_t num_pairs = static_cast<std::size_t>(
       std::stoull(flags.Get("pairs", "200000")));
   const std::size_t rounds = static_cast<std::size_t>(
