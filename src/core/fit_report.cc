@@ -106,6 +106,11 @@ std::string FitReportJson(const FitReport& report) {
   AppendField(out, "checkpoint_resumes", rec.checkpoint_resumes, &first);
   AppendField(out, "swap_failures", rec.swap_failures, &first);
   AppendField(out, "batch_failures", rec.batch_failures, &first);
+  AppendField(out, "shed", rec.shed, &first);
+  AppendField(out, "deadline_exceeded", rec.deadline_exceeded, &first);
+  AppendField(out, "breaker_trips", rec.breaker_trips, &first);
+  AppendField(out, "degraded_responses", rec.degraded_responses, &first);
+  AppendField(out, "artifact_rollbacks", rec.artifact_rollbacks, &first);
   AppendField(out, "total", rec.Total(), &first);
   out += "}}";
   return out;

@@ -342,6 +342,17 @@ Status SaveModelArtifact(const ModelArtifact& artifact,
   return WriteStringToFile(SerializeModelArtifact(artifact), path);
 }
 
+std::string LastGoodArtifactPath(const std::string& path) {
+  return path + ".last_good";
+}
+
+Status WriteArtifactAtomic(const ModelArtifact& artifact,
+                           const std::string& path) {
+  const std::string bytes = SerializeModelArtifact(artifact);
+  SLAMPRED_RETURN_NOT_OK(WriteFileAtomic(bytes, path));
+  return WriteFileAtomic(bytes, LastGoodArtifactPath(path));
+}
+
 Result<ModelArtifact> LoadModelArtifact(const std::string& path) {
   SLAMPRED_RETURN_NOT_OK(InjectedArtifactFault());
   auto bytes = ReadFileToString(path);

@@ -69,6 +69,19 @@ Result<ModelArtifact> DeserializeModelArtifact(const std::string& bytes);
 Status SaveModelArtifact(const ModelArtifact& artifact,
                          const std::string& path);
 
+/// The `last_good` sidecar path of a published artifact: the previous
+/// fully-verified copy WriteArtifactAtomic keeps beside `path` so a
+/// loader can roll back when `path` is torn or corrupt.
+std::string LastGoodArtifactPath(const std::string& path);
+
+/// Crash-safe artifact publication: serializes once, writes `path` via
+/// WriteFileAtomic (tmp + fsync + rename, so a kill mid-write can never
+/// leave a torn artifact at the published path), then refreshes the
+/// LastGoodArtifactPath sidecar with the same verified bytes. A failure
+/// while refreshing the sidecar does not un-publish `path`.
+Status WriteArtifactAtomic(const ModelArtifact& artifact,
+                           const std::string& path);
+
 /// Reads and parses an artifact file. Honors the "artifact.read" fault
 /// site. Corrupt / truncated / wrong-version files are rejected with a
 /// diagnosed Status.

@@ -19,13 +19,14 @@ Result<double> ScoringService::Score(std::size_t u, std::size_t v) const {
 }
 
 Result<ScoreBatchResponse> ScoringService::ScorePairs(
-    const std::vector<UserPair>& pairs) {
-  return batcher_.ScorePairs(pairs);
+    const std::vector<UserPair>& pairs, const RequestOptions& request) {
+  return batcher_.ScorePairs(pairs, request);
 }
 
 Result<TopKResponse> ScoringService::TopK(std::size_t u, std::size_t k,
-                                          bool exclude_known_links) {
-  return batcher_.TopK(u, k, exclude_known_links);
+                                          bool exclude_known_links,
+                                          const RequestOptions& request) {
+  return batcher_.TopK(u, k, exclude_known_links, request);
 }
 
 std::uint64_t ScoringService::current_version() const {

@@ -48,14 +48,21 @@ class ScoringService {
 
   /// Batch scores answered from one consistent model snapshot;
   /// coalesced with concurrent callers when batching is enabled.
-  Result<ScoreBatchResponse> ScorePairs(const std::vector<UserPair>& pairs);
+  /// `request` carries per-request options (deadline): a request whose
+  /// deadline passes while queued is answered kDeadlineExceeded, and a
+  /// full admission queue sheds with kResourceExhausted. The response's
+  /// `tier` says which path answered (full / cached / degraded).
+  Result<ScoreBatchResponse> ScorePairs(const std::vector<UserPair>& pairs,
+                                        const RequestOptions& request = {});
 
   /// Per-user top-K retrieval (best k candidates v for user u,
   /// descending score, ties by ascending v, self excluded). With
   /// `exclude_known_links`, candidates stored in the registry's
   /// known-links adjacency row u are skipped — serve only *new* links.
+  /// Deadline / shed / tier semantics as in ScorePairs.
   Result<TopKResponse> TopK(std::size_t u, std::size_t k,
-                            bool exclude_known_links = false);
+                            bool exclude_known_links = false,
+                            const RequestOptions& request = {});
 
   /// Version currently published by the registry (0 = none yet).
   std::uint64_t current_version() const;

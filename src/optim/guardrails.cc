@@ -19,6 +19,17 @@ std::string RecoveryStats::ToString() const {
     out += ", swap_failures=" + std::to_string(swap_failures) +
            ", batch_failures=" + std::to_string(batch_failures);
   }
+  if (shed != 0 || deadline_exceeded != 0) {
+    out += ", shed=" + std::to_string(shed) +
+           ", deadline_exceeded=" + std::to_string(deadline_exceeded);
+  }
+  if (breaker_trips != 0 || degraded_responses != 0) {
+    out += ", breaker_trips=" + std::to_string(breaker_trips) +
+           ", degraded_responses=" + std::to_string(degraded_responses);
+  }
+  if (artifact_rollbacks != 0) {
+    out += ", artifact_rollbacks=" + std::to_string(artifact_rollbacks);
+  }
   return out + "}";
 }
 

@@ -41,12 +41,18 @@ struct RecoveryStats {
   int checkpoint_resumes = 0;  ///< CCCP resumed from a checkpoint.
   int swap_failures = 0;       ///< Rejected model hot-swaps (serving).
   int batch_failures = 0;      ///< Failed batch dispatches (serving).
+  int shed = 0;                ///< Requests rejected by admission control.
+  int deadline_exceeded = 0;   ///< Requests shed past their deadline.
+  int breaker_trips = 0;       ///< Circuit-breaker closed→open transitions.
+  int degraded_responses = 0;  ///< Responses served off the full path.
+  int artifact_rollbacks = 0;  ///< Swaps recovered via a last_good sidecar.
 
   /// Total number of recoveries of any kind.
   int Total() const {
     return nan_rollbacks + prox_rollbacks + divergence_backoffs +
            svd_fallbacks + checkpoint_resumes + swap_failures +
-           batch_failures;
+           batch_failures + shed + deadline_exceeded + breaker_trips +
+           degraded_responses + artifact_rollbacks;
   }
 
   /// Adds another stats object into this one.
@@ -58,6 +64,11 @@ struct RecoveryStats {
     checkpoint_resumes += other.checkpoint_resumes;
     swap_failures += other.swap_failures;
     batch_failures += other.batch_failures;
+    shed += other.shed;
+    deadline_exceeded += other.deadline_exceeded;
+    breaker_trips += other.breaker_trips;
+    degraded_responses += other.degraded_responses;
+    artifact_rollbacks += other.artifact_rollbacks;
   }
 
   /// One-line human-readable summary.

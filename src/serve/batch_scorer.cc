@@ -30,7 +30,7 @@ Status InjectedBatchFault() {
 }  // namespace
 
 BatchScorer::BatchScorer(ModelRegistry* registry, BatchScorerOptions options)
-    : registry_(registry), options_(options) {}
+    : registry_(registry), options_(options), breaker_(options.breaker) {}
 
 std::size_t BatchScorer::Cost(const Request& request) {
   return request.pairs != nullptr ? std::max<std::size_t>(
@@ -39,29 +39,43 @@ std::size_t BatchScorer::Cost(const Request& request) {
 }
 
 Result<ScoreBatchResponse> BatchScorer::ScorePairs(
-    const std::vector<UserPair>& pairs) {
+    const std::vector<UserPair>& pairs, const RequestOptions& options) {
   Request request;
   request.pairs = &pairs;
+  request.deadline = options.deadline;
   RunQueued(request);
   if (!request.status.ok()) return request.status;
-  return ScoreBatchResponse{std::move(request.scores), request.version};
+  return ScoreBatchResponse{std::move(request.scores), request.version,
+                            request.tier};
 }
 
 Result<TopKResponse> BatchScorer::TopK(std::size_t u, std::size_t k,
-                                       bool exclude_known_links) {
+                                       bool exclude_known_links,
+                                       const RequestOptions& options) {
   Request request;
   request.u = u;
   request.k = k;
   request.exclude_known_links = exclude_known_links;
+  request.deadline = options.deadline;
   RunQueued(request);
   if (!request.status.ok()) return request.status;
-  return TopKResponse{std::move(request.entries), request.version};
+  return TopKResponse{std::move(request.entries), request.version,
+                      request.tier};
 }
 
 void BatchScorer::RunQueued(Request& request) {
+  const bool has_deadline =
+      request.deadline != std::chrono::steady_clock::time_point::max();
+
   if (!options_.enabled) {
     // Batch of one through the identical dispatch path (same snapshot
     // discipline, same fault site), skipping the queue.
+    if (has_deadline && std::chrono::steady_clock::now() >= request.deadline) {
+      request.status = Status::DeadlineExceeded(
+          "deadline passed before the request could be dispatched");
+      registry_->NoteDeadlineExceeded();
+      return;
+    }
     ProcessBatch({&request});
     std::lock_guard<std::mutex> lock(mutex_);
     ++batches_;
@@ -69,34 +83,99 @@ void BatchScorer::RunQueued(Request& request) {
   }
 
   std::unique_lock<std::mutex> lock(mutex_);
+
+  if (has_deadline && std::chrono::steady_clock::now() >= request.deadline) {
+    request.status = Status::DeadlineExceeded(
+        "deadline passed before the request could be queued");
+    registry_->NoteDeadlineExceeded();
+    return;
+  }
+
+  // Admission control: a full queue sheds one request per ShedPolicy.
+  if (options_.queue_cap > 0 && queue_.size() >= options_.queue_cap) {
+    if (options_.shed_policy == ShedPolicy::kRejectNewest) {
+      request.status = Status::ResourceExhausted(
+          "admission queue at cap " + std::to_string(options_.queue_cap) +
+          "; request shed (reject-newest)");
+      registry_->NoteShed();
+      return;
+    }
+    // Reject-oldest: evict the front of the queue to make room.
+    Request* victim = queue_.front();
+    queue_.pop_front();
+    queued_pairs_ -= Cost(*victim);
+    victim->status = Status::ResourceExhausted(
+        "shed from a full admission queue (reject-oldest, cap " +
+        std::to_string(options_.queue_cap) + ")");
+    victim->done = true;
+    registry_->NoteShed();
+    cv_.notify_all();  // Wake the evicted owner promptly.
+  }
+
   queue_.push_back(&request);
   queued_pairs_ += Cost(request);
-  const auto deadline = std::chrono::steady_clock::now() + options_.max_wait;
+  const auto coalesce_deadline =
+      std::chrono::steady_clock::now() + options_.max_wait;
   while (!request.done) {
+    if (has_deadline && std::chrono::steady_clock::now() >= request.deadline) {
+      // Shed only while still queued: once a leader has claimed this
+      // request the stack storage must stay live until the batch marks
+      // it done (and that batch will answer it).
+      auto it = std::find(queue_.begin(), queue_.end(), &request);
+      if (it != queue_.end()) {
+        queue_.erase(it);
+        queued_pairs_ -= Cost(request);
+        request.status = Status::DeadlineExceeded(
+            "deadline passed while waiting in the admission queue");
+        request.done = true;
+        registry_->NoteDeadlineExceeded();
+        return;
+      }
+    }
     if (!dispatching_ &&
         (queued_pairs_ >= options_.max_batch_pairs ||
          queue_.size() >= options_.max_batch_requests ||
-         std::chrono::steady_clock::now() >= deadline)) {
+         std::chrono::steady_clock::now() >= coalesce_deadline)) {
       DispatchLocked(lock);
       continue;
     }
     if (dispatching_) {
       // A dispatch (possibly carrying this request) is in flight; it
-      // always ends with notify_all, so an untimed wait cannot hang.
-      cv_.wait(lock);
+      // always ends with notify_all, so the wait cannot hang. A timed
+      // wait lets a still-queued request wake at its own deadline.
+      if (has_deadline) {
+        cv_.wait_until(lock, request.deadline);
+      } else {
+        cv_.wait(lock);
+      }
     } else {
-      cv_.wait_until(lock, deadline);
+      cv_.wait_until(lock, has_deadline
+                               ? std::min(coalesce_deadline, request.deadline)
+                               : coalesce_deadline);
     }
   }
 }
 
 void BatchScorer::DispatchLocked(std::unique_lock<std::mutex>& lock) {
   dispatching_ = true;
+  const auto now = std::chrono::steady_clock::now();
   std::vector<Request*> batch;
   std::size_t batch_pairs = 0;
+  bool dropped_expired = false;
   while (!queue_.empty() && batch.size() < options_.max_batch_requests) {
     Request* next = queue_.front();
     const std::size_t cost = Cost(*next);
+    if (next->deadline <= now) {
+      // Expired while queued: shed before dispatch, never scored.
+      queue_.pop_front();
+      queued_pairs_ -= cost;
+      next->status = Status::DeadlineExceeded(
+          "deadline passed while waiting in the admission queue");
+      next->done = true;
+      registry_->NoteDeadlineExceeded();
+      dropped_expired = true;
+      continue;
+    }
     if (!batch.empty() && batch_pairs + cost > options_.max_batch_pairs) {
       break;
     }
@@ -104,6 +183,11 @@ void BatchScorer::DispatchLocked(std::unique_lock<std::mutex>& lock) {
     queued_pairs_ -= cost;
     batch.push_back(next);
     batch_pairs += cost;
+  }
+  if (dropped_expired) cv_.notify_all();  // Wake expired owners promptly.
+  if (batch.empty()) {
+    dispatching_ = false;
+    return;
   }
   ++batches_;
   if (batch.size() > 1) coalesced_ += batch.size();
@@ -117,14 +201,23 @@ void BatchScorer::DispatchLocked(std::unique_lock<std::mutex>& lock) {
 }
 
 void BatchScorer::ProcessBatch(const std::vector<Request*>& batch) {
+  if (!breaker_.AllowRequest()) {
+    // Breaker open: the full dispatch path is quarantined. Answer from
+    // the cheap tier against the last-good model instead of failing.
+    ProcessBatchCheap(batch);
+    return;
+  }
   const Status injected = InjectedBatchFault();
   if (!injected.ok()) {
     registry_->NoteBatchFailure();
+    if (breaker_.RecordFailure()) registry_->NoteBreakerTrip();
     for (Request* request : batch) request->status = injected;
     return;
   }
   const std::shared_ptr<const ServableModel> model = registry_->Acquire();
   if (model == nullptr) {
+    // Not a path failure — there is simply nothing published yet; the
+    // breaker state is left untouched.
     for (Request* request : batch) {
       request->status = Status::FailedPrecondition(
           "no model published; Swap one into the registry first");
@@ -180,10 +273,21 @@ void BatchScorer::ProcessBatch(const std::vector<Request*>& batch) {
   }
 
   // Top-K requests fan out one request per index (row sorts dominate).
+  // A request too close to its deadline for a full row sort is answered
+  // from the cheap tier instead (only when degrade_topk_under is set).
+  const auto topk_now = std::chrono::steady_clock::now();
   ParallelFor(0, topk_requests.size(), 1,
               [&](std::size_t i0, std::size_t i1) {
                 for (std::size_t i = i0; i < i1; ++i) {
                   Request* request = topk_requests[i];
+                  if (options_.degrade_topk_under.count() > 0 &&
+                      request->deadline !=
+                          std::chrono::steady_clock::time_point::max() &&
+                      request->deadline - topk_now <
+                          options_.degrade_topk_under) {
+                    AnswerCheap(*model, request);
+                    continue;
+                  }
                   auto result = TopKOnModel(*model, request->u, request->k,
                                             request->exclude_known_links);
                   if (result.ok()) {
@@ -193,6 +297,51 @@ void BatchScorer::ProcessBatch(const std::vector<Request*>& batch) {
                   }
                 }
               });
+
+  // The full path ran to completion: per-request argument errors (e.g.
+  // out-of-range pairs) are caller mistakes, not path failures.
+  breaker_.RecordSuccess();
+}
+
+void BatchScorer::ProcessBatchCheap(const std::vector<Request*>& batch) {
+  const std::shared_ptr<const ServableModel> model = registry_->Acquire();
+  if (model == nullptr) {
+    for (Request* request : batch) {
+      request->status = Status::FailedPrecondition(
+          "no model published; Swap one into the registry first");
+    }
+    return;
+  }
+  for (Request* request : batch) {
+    request->version = model->version;
+    AnswerCheap(*model, request);
+  }
+}
+
+void BatchScorer::AnswerCheap(const ServableModel& model, Request* request) {
+  if (request->pairs != nullptr) {
+    auto result = DegradedScorePairsOnModel(model, *request->pairs);
+    if (!result.ok()) {
+      request->status = result.status();
+      return;
+    }
+    request->scores = std::move(result).value();
+    request->tier = ServeTier::kDegraded;
+  } else if (CachedTopKOnModel(model, request->u, request->k,
+                               request->exclude_known_links,
+                               &request->entries)) {
+    request->tier = ServeTier::kCached;
+  } else {
+    auto result = DegradedTopKOnModel(model, request->u, request->k,
+                                      request->exclude_known_links);
+    if (!result.ok()) {
+      request->status = result.status();
+      return;
+    }
+    request->entries = std::move(result).value();
+    request->tier = ServeTier::kDegraded;
+  }
+  registry_->NoteDegradedResponse();
 }
 
 std::size_t BatchScorer::batches_dispatched() const {
@@ -203,6 +352,11 @@ std::size_t BatchScorer::batches_dispatched() const {
 std::size_t BatchScorer::coalesced_requests() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return coalesced_;
+}
+
+std::size_t BatchScorer::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
 }
 
 }  // namespace slampred

@@ -18,6 +18,24 @@
 // fault fails every request of that batch (counted in
 // RecoveryStats::batch_failures) and the next dispatch proceeds
 // normally.
+//
+// Request-lifecycle robustness on top of the protocol:
+//
+//   * Deadlines — a request whose deadline passes while it is still in
+//     the queue is removed (by its owner waking at the deadline, or by
+//     the leader at claim time — whichever comes first), counted in
+//     RecoveryStats::deadline_exceeded, and answered kDeadlineExceeded
+//     without being dispatched. A request already claimed into a batch
+//     is always answered by that batch.
+//   * Admission control — with queue_cap set, an arrival that finds the
+//     queue full is shed per ShedPolicy (the arrival itself, or the
+//     oldest queued request making room for it), answered
+//     kResourceExhausted and counted in RecoveryStats::shed.
+//   * Circuit breaker — `breaker.failure_threshold` consecutive failed
+//     dispatches trip the batch breaker; while it is open, batches are
+//     answered from the cheap tier (cached top-K rows when resident,
+//     else known-links common-neighbor scores) with responses tagged
+//     cached/degraded, until a half-open probe dispatch succeeds.
 
 #ifndef SLAMPRED_SERVE_BATCH_SCORER_H_
 #define SLAMPRED_SERVE_BATCH_SCORER_H_
@@ -29,11 +47,18 @@
 #include <mutex>
 #include <vector>
 
+#include "serve/circuit_breaker.h"
 #include "serve/model_registry.h"
 #include "serve/scoring_kernels.h"
 #include "util/status.h"
 
 namespace slampred {
+
+/// Which request is shed when an arrival finds the admission queue full.
+enum class ShedPolicy {
+  kRejectNewest,  ///< The arrival is rejected; queued work is kept.
+  kRejectOldest,  ///< The oldest queued request is evicted to make room.
+};
 
 /// Batching knobs.
 struct BatchScorerOptions {
@@ -47,6 +72,17 @@ struct BatchScorerOptions {
   /// A request waits at most this long to be coalesced before its
   /// caller dispatches whatever is queued.
   std::chrono::microseconds max_wait{500};
+  /// Bound on requests waiting in the admission queue (not yet claimed
+  /// into a batch); 0 = unbounded (the historical behavior).
+  std::size_t queue_cap = 0;
+  /// Load-shedding policy applied when the queue is at queue_cap.
+  ShedPolicy shed_policy = ShedPolicy::kRejectNewest;
+  /// Circuit breaker guarding the full dispatch path.
+  CircuitBreakerOptions breaker;
+  /// When > 0, a TopK request whose remaining deadline budget is below
+  /// this is answered from the cheap tier instead of sorting a full row
+  /// (0 = never degrade on deadline pressure alone).
+  std::chrono::microseconds degrade_topk_under{0};
 };
 
 /// Thread-safe batching front end over a ModelRegistry.
@@ -59,13 +95,16 @@ class BatchScorer {
 
   /// Scores `pairs` against one consistent model snapshot. Blocks the
   /// calling thread until its batch is dispatched (bounded by
-  /// max_wait + dispatch time). kFailedPrecondition before the first
-  /// successful registry swap.
-  Result<ScoreBatchResponse> ScorePairs(const std::vector<UserPair>& pairs);
+  /// max_wait + dispatch time, or by the request deadline while still
+  /// queued). kFailedPrecondition before the first successful registry
+  /// swap; kDeadlineExceeded / kResourceExhausted when shed.
+  Result<ScoreBatchResponse> ScorePairs(const std::vector<UserPair>& pairs,
+                                        const RequestOptions& request = {});
 
   /// Top-k retrieval for user `u`, batched like ScorePairs.
   Result<TopKResponse> TopK(std::size_t u, std::size_t k,
-                            bool exclude_known_links);
+                            bool exclude_known_links,
+                            const RequestOptions& request = {});
 
   const BatchScorerOptions& options() const { return options_; }
 
@@ -75,6 +114,13 @@ class BatchScorer {
   /// Requests that shared a dispatch with at least one other request.
   std::size_t coalesced_requests() const;
 
+  /// Requests currently waiting in the admission queue (not yet claimed
+  /// into a batch).
+  std::size_t queue_depth() const;
+
+  /// The batch-dispatch circuit breaker (read-only introspection).
+  const CircuitBreaker& breaker() const { return breaker_; }
+
  private:
   struct Request {
     // Inputs.
@@ -82,12 +128,15 @@ class BatchScorer {
     std::size_t u = 0;
     std::size_t k = 0;
     bool exclude_known_links = false;
+    std::chrono::steady_clock::time_point deadline =
+        std::chrono::steady_clock::time_point::max();
     // Outputs — written by the dispatching leader, read by the owner
     // only after observing done == true under the scorer mutex.
     Status status;
     std::vector<double> scores;
     std::vector<TopKEntry> entries;
     std::uint64_t version = 0;
+    ServeTier tier = ServeTier::kFull;
     bool done = false;
   };
 
@@ -104,8 +153,16 @@ class BatchScorer {
   /// Scores one claimed batch against one snapshot (no lock held).
   void ProcessBatch(const std::vector<Request*>& batch);
 
+  /// Answers one claimed batch from the cheap tier (breaker open).
+  void ProcessBatchCheap(const std::vector<Request*>& batch);
+
+  /// Answers one request off the full path: cached top-K row when
+  /// resident, else the degraded common-neighbor kernel.
+  void AnswerCheap(const ServableModel& model, Request* request);
+
   ModelRegistry* const registry_;
   const BatchScorerOptions options_;
+  CircuitBreaker breaker_;
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<Request*> queue_;        // Guarded by mutex_.

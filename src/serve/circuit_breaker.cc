@@ -1,0 +1,101 @@
+#include "serve/circuit_breaker.h"
+
+#include <algorithm>
+
+namespace slampred {
+
+CircuitBreaker::CircuitBreaker(CircuitBreakerOptions options)
+    : options_(std::move(options)), backoff_(options_.base_backoff) {}
+
+std::chrono::steady_clock::time_point CircuitBreaker::Now() const {
+  return options_.clock ? options_.clock() : std::chrono::steady_clock::now();
+}
+
+bool CircuitBreaker::AllowRequest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (Now() - opened_at_ < backoff_) return false;
+      state_ = State::kHalfOpen;
+      probes_remaining_ = std::max(options_.half_open_budget, 1);
+      [[fallthrough]];
+    case State::kHalfOpen:
+      if (probes_remaining_ <= 0) return false;
+      --probes_remaining_;
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // A success in any state closes the window: either a healthy closed
+  // operation or a half-open probe that proved the path recovered.
+  state_ = State::kClosed;
+  consecutive_failures_ = 0;
+  probes_remaining_ = 0;
+  backoff_ = options_.base_backoff;
+}
+
+bool CircuitBreaker::RecordFailure() {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case State::kClosed:
+      if (++consecutive_failures_ < std::max(options_.failure_threshold, 1)) {
+        return false;
+      }
+      state_ = State::kOpen;
+      opened_at_ = Now();
+      ++trips_;
+      return true;
+    case State::kHalfOpen:
+      // The probe failed: re-open and double the hold time.
+      state_ = State::kOpen;
+      opened_at_ = Now();
+      backoff_ = std::min(backoff_ * 2, options_.max_backoff);
+      probes_remaining_ = 0;
+      ++trips_;
+      return true;
+    case State::kOpen:
+      // A straggler failure from an operation admitted before the trip;
+      // the breaker is already open, nothing changes.
+      return false;
+  }
+  return false;
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+int CircuitBreaker::trips() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return trips_;
+}
+
+int CircuitBreaker::consecutive_failures() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return consecutive_failures_;
+}
+
+std::chrono::milliseconds CircuitBreaker::current_backoff() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return backoff_;
+}
+
+const char* CircuitBreakerStateName(CircuitBreaker::State state) {
+  switch (state) {
+    case CircuitBreaker::State::kClosed:
+      return "closed";
+    case CircuitBreaker::State::kOpen:
+      return "open";
+    case CircuitBreaker::State::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+}  // namespace slampred

@@ -1,0 +1,102 @@
+// CircuitBreaker — the serve-side overload/fault latch shared by the
+// swap path (ModelRegistry) and the batch dispatch path (BatchScorer).
+//
+// State machine:
+//
+//   closed ──(N consecutive failures)──▶ open
+//   open ──(backoff elapsed)──▶ half-open (deterministic probe budget)
+//   half-open ──(probe succeeds)──▶ closed (backoff resets)
+//   half-open ──(probe fails)──▶ open (backoff doubles, capped)
+//
+// While open, callers must not run the guarded operation: the registry
+// holds the last-good model and the batch scorer answers from the
+// degraded tier instead. Every closed→open or half-open→open transition
+// is a trip (RecordFailure returns true so the caller can count it in
+// RecoveryStats::breaker_trips).
+//
+// Time is read through an injectable clock so tests can drive the
+// open → half-open → closed cycle deterministically; production uses
+// std::chrono::steady_clock.
+
+#ifndef SLAMPRED_SERVE_CIRCUIT_BREAKER_H_
+#define SLAMPRED_SERVE_CIRCUIT_BREAKER_H_
+
+#include <chrono>
+#include <functional>
+#include <mutex>
+
+namespace slampred {
+
+/// Breaker tuning knobs.
+struct CircuitBreakerOptions {
+  /// Consecutive failures that trip the breaker open.
+  int failure_threshold = 3;
+  /// First open-state hold time; doubles on every half-open failure.
+  std::chrono::milliseconds base_backoff{100};
+  /// Cap on the exponential backoff.
+  std::chrono::milliseconds max_backoff{5000};
+  /// Probes allowed through per half-open window (the deterministic
+  /// retry budget).
+  int half_open_budget = 1;
+  /// Test hook: overrides the time source (null = steady_clock::now).
+  std::function<std::chrono::steady_clock::time_point()> clock;
+};
+
+/// Thread-safe three-state circuit breaker.
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  explicit CircuitBreaker(CircuitBreakerOptions options = {});
+
+  CircuitBreaker(const CircuitBreaker&) = delete;
+  CircuitBreaker& operator=(const CircuitBreaker&) = delete;
+
+  /// True when the guarded operation may run now: always in closed
+  /// state; in open state only once the backoff has elapsed (which
+  /// transitions to half-open and consumes one probe); in half-open
+  /// state while probe budget remains (consuming one probe per call).
+  bool AllowRequest();
+
+  /// Records a successful guarded operation. A half-open probe success
+  /// closes the breaker and resets the backoff.
+  void RecordSuccess();
+
+  /// Records a failed guarded operation. Returns true when this failure
+  /// tripped the breaker open (from closed after `failure_threshold`
+  /// consecutive failures, or a failed half-open probe re-opening with a
+  /// doubled backoff).
+  bool RecordFailure();
+
+  State state() const;
+
+  /// Total closed→open and half-open→open transitions.
+  int trips() const;
+
+  /// Consecutive failures seen in the current closed window.
+  int consecutive_failures() const;
+
+  /// The open-state hold time currently in effect.
+  std::chrono::milliseconds current_backoff() const;
+
+  const CircuitBreakerOptions& options() const { return options_; }
+
+ private:
+  std::chrono::steady_clock::time_point Now() const;
+
+  const CircuitBreakerOptions options_;
+  mutable std::mutex mu_;
+  State state_ = State::kClosed;                       // Guarded by mu_.
+  int consecutive_failures_ = 0;                       // Guarded by mu_.
+  int trips_ = 0;                                      // Guarded by mu_.
+  int probes_remaining_ = 0;                           // Guarded by mu_.
+  std::chrono::milliseconds backoff_;                  // Guarded by mu_.
+  std::chrono::steady_clock::time_point opened_at_{};  // Guarded by mu_.
+};
+
+/// Stable name of a breaker state (for logs and reports).
+const char* CircuitBreakerStateName(CircuitBreaker::State state);
+
+}  // namespace slampred
+
+#endif  // SLAMPRED_SERVE_CIRCUIT_BREAKER_H_

@@ -5,12 +5,14 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "util/fault_injection.h"
 #include "util/random.h"
 #include "util/thread_pool.h"
 
@@ -24,20 +26,105 @@ struct Tally {
   std::size_t score_requests = 0;
   std::size_t topk_requests = 0;
   std::size_t errors = 0;
+  LoadErrorBreakdown breakdown;
+  ServeTierCounts tiers;
+  std::size_t invariant_violations = 0;
   std::vector<double> latencies_ms;
+
+  void MergeCountsFrom(const Tally& other) {
+    score_requests += other.score_requests;
+    topk_requests += other.topk_requests;
+    errors += other.errors;
+    breakdown.deadline_exceeded += other.breakdown.deadline_exceeded;
+    breakdown.shed += other.breakdown.shed;
+    breakdown.io += other.breakdown.io;
+    breakdown.numerical += other.breakdown.numerical;
+    breakdown.unavailable += other.breakdown.unavailable;
+    breakdown.other += other.breakdown.other;
+    tiers.full += other.tiers.full;
+    tiers.cached += other.tiers.cached;
+    tiers.degraded += other.tiers.degraded;
+    invariant_violations += other.invariant_violations;
+  }
 };
 
+void ClassifyError(const Status& status, Tally& tally) {
+  ++tally.errors;
+  switch (status.code()) {
+    case StatusCode::kDeadlineExceeded:
+      ++tally.breakdown.deadline_exceeded;
+      break;
+    case StatusCode::kResourceExhausted:
+      ++tally.breakdown.shed;
+      break;
+    case StatusCode::kIoError:
+      ++tally.breakdown.io;
+      break;
+    case StatusCode::kNumericalError:
+      ++tally.breakdown.numerical;
+      break;
+    case StatusCode::kUnavailable:
+      ++tally.breakdown.unavailable;
+      break;
+    default:
+      ++tally.breakdown.other;
+      break;
+  }
+}
+
+void CountTier(ServeTier tier, Tally& tally) {
+  switch (tier) {
+    case ServeTier::kFull:
+      ++tally.tiers.full;
+      break;
+    case ServeTier::kCached:
+      ++tally.tiers.cached;
+      break;
+    case ServeTier::kDegraded:
+      ++tally.tiers.degraded;
+      break;
+  }
+}
+
 // Issues the request_index-th request of one deterministic stream and
-// returns whether it succeeded (latency is timed by the caller).
-bool IssueRequest(ScoringService& service, std::size_t num_users,
-                  const LoadGeneratorOptions& options, Rng& rng,
-                  std::size_t request_index, Tally& tally) {
+// records its outcome — error taxonomy, response tier, and (when
+// verify_s is set) a full-tier bit-exactness check against the
+// initially published score matrix.
+void IssueRequest(ScoringService& service, std::size_t num_users,
+                  const LoadGeneratorOptions& options, const Matrix* verify_s,
+                  Rng& rng, std::size_t request_index, Tally& tally) {
+  RequestOptions request;
+  if (options.deadline_ms > 0.0) {
+    request.deadline =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double, std::milli>(
+                               options.deadline_ms));
+  }
   if (options.topk_every > 0 &&
       request_index % options.topk_every == options.topk_every - 1) {
     ++tally.topk_requests;
     const std::size_t u = static_cast<std::size_t>(
         rng.NextBounded(num_users));
-    return service.TopK(u, options.top_k, true).ok();
+    auto result = service.TopK(u, options.top_k, true, request);
+    if (!result.ok()) {
+      ClassifyError(result.status(), tally);
+      return;
+    }
+    CountTier(result.value().tier, tally);
+    if (verify_s != nullptr && result.value().tier == ServeTier::kFull) {
+      // Full-tier invariant: every entry's score is the served matrix
+      // value and the list is non-increasing.
+      double prev = std::numeric_limits<double>::infinity();
+      for (const TopKEntry& entry : result.value().entries) {
+        if (entry.v >= num_users || entry.score != (*verify_s)(u, entry.v) ||
+            entry.score > prev) {
+          ++tally.invariant_violations;
+          break;
+        }
+        prev = entry.score;
+      }
+    }
+    return;
   }
   ++tally.score_requests;
   std::vector<UserPair> pairs(std::max<std::size_t>(
@@ -46,7 +133,58 @@ bool IssueRequest(ScoringService& service, std::size_t num_users,
     pair.u = static_cast<std::size_t>(rng.NextBounded(num_users));
     pair.v = static_cast<std::size_t>(rng.NextBounded(num_users));
   }
-  return service.ScorePairs(pairs).ok();
+  auto result = service.ScorePairs(pairs, request);
+  if (!result.ok()) {
+    ClassifyError(result.status(), tally);
+    return;
+  }
+  CountTier(result.value().tier, tally);
+  if (verify_s != nullptr && result.value().tier == ServeTier::kFull) {
+    const std::vector<double>& scores = result.value().scores;
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      if (i >= scores.size() ||
+          scores[i] != (*verify_s)(pairs[i].u, pairs[i].v)) {
+        ++tally.invariant_violations;
+        break;
+      }
+    }
+  }
+}
+
+// Arms the chaos fault schedule: a sustained-but-bounded stream of swap
+// and artifact-read failures plus one consecutive serve.batch fault
+// window sized to trip the dispatch breaker. All cadences are
+// deterministic hit counts, so two chaos runs with the same workload
+// shape inject the same fault sequence; every site runs dry before a
+// typical run ends, letting the CI leg assert recovery (final_version
+// advancing again after the faults stop).
+void ArmChaosFaults() {
+  FaultInjector& injector = FaultInjector::Instance();
+  FaultSpec swap_spec;
+  swap_spec.kind = FaultKind::kFailIo;
+  swap_spec.every_n = 2;  // Every other swap fails...
+  swap_spec.max_triggers = 6;  // ...for the first dozen swaps.
+  injector.Arm("serve.swap", swap_spec);
+
+  FaultSpec read_spec;
+  read_spec.kind = FaultKind::kFailIo;
+  read_spec.every_n = 3;  // Absorbed by the SwapFromFile retry budget.
+  read_spec.max_triggers = 4;
+  injector.Arm("artifact.read", read_spec);
+
+  FaultSpec batch_spec;
+  batch_spec.kind = FaultKind::kFailNumerical;
+  batch_spec.trigger_after = 25;  // Let the run warm up first.
+  batch_spec.max_triggers = 4;    // 3 consecutive trip the breaker; the
+                                  // 4th fails the first half-open probe.
+  injector.Arm("serve.batch", batch_spec);
+}
+
+void DisarmChaosFaults() {
+  FaultInjector& injector = FaultInjector::Instance();
+  injector.Disarm("serve.swap");
+  injector.Disarm("artifact.read");
+  injector.Disarm("serve.batch");
 }
 
 double PercentileMs(const std::vector<double>& sorted_ms, double q) {
@@ -93,8 +231,47 @@ std::string LoadGeneratorReport::ToJson() const {
   AppendJsonSize(out, "score_requests", score_requests, &first);
   AppendJsonSize(out, "topk_requests", topk_requests, &first);
   AppendJsonSize(out, "errors", errors, &first);
+  out += ",\"error_breakdown\":{";
+  first = true;
+  AppendJsonSize(out, "deadline_exceeded", error_breakdown.deadline_exceeded,
+                 &first);
+  AppendJsonSize(out, "shed", error_breakdown.shed, &first);
+  AppendJsonSize(out, "io", error_breakdown.io, &first);
+  AppendJsonSize(out, "numerical", error_breakdown.numerical, &first);
+  AppendJsonSize(out, "unavailable", error_breakdown.unavailable, &first);
+  AppendJsonSize(out, "other", error_breakdown.other, &first);
+  out += "}";
+  out += ",\"tiers\":{";
+  first = true;
+  AppendJsonSize(out, "full", tiers.full, &first);
+  AppendJsonSize(out, "cached", tiers.cached, &first);
+  AppendJsonSize(out, "degraded", tiers.degraded, &first);
+  out += "}";
+  first = false;
+  AppendJsonSize(out, "invariant_violations", invariant_violations, &first);
   AppendJsonSize(out, "swaps", swaps, &first);
   AppendJsonSize(out, "final_version", final_version, &first);
+  out += ",\"recovery\":{";
+  first = true;
+  AppendJsonSize(out, "swap_failures",
+                 static_cast<std::uint64_t>(recovery.swap_failures), &first);
+  AppendJsonSize(out, "batch_failures",
+                 static_cast<std::uint64_t>(recovery.batch_failures), &first);
+  AppendJsonSize(out, "shed", static_cast<std::uint64_t>(recovery.shed),
+                 &first);
+  AppendJsonSize(out, "deadline_exceeded",
+                 static_cast<std::uint64_t>(recovery.deadline_exceeded),
+                 &first);
+  AppendJsonSize(out, "breaker_trips",
+                 static_cast<std::uint64_t>(recovery.breaker_trips), &first);
+  AppendJsonSize(out, "degraded_responses",
+                 static_cast<std::uint64_t>(recovery.degraded_responses),
+                 &first);
+  AppendJsonSize(out, "artifact_rollbacks",
+                 static_cast<std::uint64_t>(recovery.artifact_rollbacks),
+                 &first);
+  out += "}";
+  first = false;
   AppendJsonNumber(out, "duration_seconds", duration_seconds, &first);
   AppendJsonNumber(out, "throughput_rps", throughput_rps, &first);
   out += ",\"latency_ms\":{";
@@ -122,7 +299,28 @@ std::string LoadGeneratorReport::ToString() const {
       static_cast<unsigned long long>(final_version), throughput_rps,
       duration_seconds, latency.p50_ms, latency.p95_ms, latency.p99_ms,
       latency.max_ms);
-  return buffer;
+  std::string out = buffer;
+  if (errors > 0) {
+    std::snprintf(buffer, sizeof(buffer),
+                  "\n  errors: deadline %zu  shed %zu  io %zu  "
+                  "numerical %zu  unavailable %zu  other %zu",
+                  error_breakdown.deadline_exceeded, error_breakdown.shed,
+                  error_breakdown.io, error_breakdown.numerical,
+                  error_breakdown.unavailable, error_breakdown.other);
+    out += buffer;
+  }
+  if (tiers.cached > 0 || tiers.degraded > 0 || invariant_violations > 0) {
+    std::snprintf(buffer, sizeof(buffer),
+                  "\n  tiers: full %zu  cached %zu  degraded %zu; "
+                  "invariant violations %zu",
+                  tiers.full, tiers.cached, tiers.degraded,
+                  invariant_violations);
+    out += buffer;
+  }
+  if (recovery.Total() > 0) {
+    out += "\n  " + recovery.ToString();
+  }
+  return out;
 }
 
 Result<LoadGeneratorReport> RunLoadGenerator(
@@ -140,6 +338,15 @@ Result<LoadGeneratorReport> RunLoadGenerator(
   const std::size_t concurrency = std::max<std::size_t>(
       options.concurrency, 1);
 
+  // Full-tier verification reference: the swapper only ever republishes
+  // the initially published artifact (in memory or from swap_path), so
+  // every version serves the same score matrix and a full-tier response
+  // must bit-match it regardless of which version answered.
+  const bool verify = options.verify || options.chaos;
+  const Matrix* verify_s = verify ? &initial->session.artifact().s : nullptr;
+
+  if (options.chaos) ArmChaosFaults();
+
   const auto start = Clock::now();
   const auto deadline =
       start + std::chrono::duration_cast<Clock::duration>(
@@ -153,6 +360,7 @@ Result<LoadGeneratorReport> RunLoadGenerator(
   if (options.swap_every_seconds > 0.0) {
     const ModelArtifact artifact = initial->session.artifact();
     swapper = std::thread([&registry, &stop_swapper, &swaps, artifact,
+                           path = options.swap_path,
                            interval = options.swap_every_seconds] {
       auto next = Clock::now() +
                   std::chrono::duration_cast<Clock::duration>(
@@ -160,7 +368,10 @@ Result<LoadGeneratorReport> RunLoadGenerator(
       while (!stop_swapper.load(std::memory_order_relaxed)) {
         std::this_thread::sleep_for(std::chrono::milliseconds(2));
         if (Clock::now() < next) continue;
-        if (registry.Swap(ModelArtifact(artifact)).ok()) ++swaps;
+        const Status swapped = path.empty()
+                                   ? registry.Swap(ModelArtifact(artifact))
+                                   : registry.SwapFromFile(path);
+        if (swapped.ok()) ++swaps;
         next += std::chrono::duration_cast<Clock::duration>(
             std::chrono::duration<double>(interval));
       }
@@ -179,9 +390,7 @@ Result<LoadGeneratorReport> RunLoadGenerator(
         Rng rng(options.seed + 0x9e3779b9u * (t + 1));
         for (std::size_t i = 0; Clock::now() < deadline; ++i) {
           const auto issued = Clock::now();
-          const bool ok = IssueRequest(service, num_users, options, rng, i,
-                                       tally);
-          if (!ok) ++tally.errors;
+          IssueRequest(service, num_users, options, verify_s, rng, i, tally);
           tally.latencies_ms.push_back(
               std::chrono::duration<double, std::milli>(Clock::now() -
                                                         issued)
@@ -208,17 +417,14 @@ Result<LoadGeneratorReport> RunLoadGenerator(
       pool.Submit([&, i, arrival] {
         Tally local;
         Rng rng(options.seed + 0x9e3779b97f4a7c15ULL * (i + 1));
-        const bool ok = IssueRequest(service, num_users, options, rng, i,
-                                     local);
+        IssueRequest(service, num_users, options, verify_s, rng, i, local);
         const double latency_ms =
             std::chrono::duration<double, std::milli>(Clock::now() - arrival)
                 .count();
         {
           std::lock_guard<std::mutex> lock(tally_mutex);
           Tally& tally = tallies[0];
-          tally.score_requests += local.score_requests;
-          tally.topk_requests += local.topk_requests;
-          if (!ok) ++tally.errors;
+          tally.MergeCountsFrom(local);
           tally.latencies_ms.push_back(latency_ms);
         }
         inflight.Done();
@@ -231,6 +437,7 @@ Result<LoadGeneratorReport> RunLoadGenerator(
     stop_swapper.store(true, std::memory_order_relaxed);
     swapper.join();
   }
+  if (options.chaos) DisarmChaosFaults();
   const double elapsed =
       std::chrono::duration<double>(Clock::now() - start).count();
 
@@ -245,13 +452,19 @@ Result<LoadGeneratorReport> RunLoadGenerator(
   report.duration_seconds = elapsed;
 
   std::vector<double> latencies;
+  Tally merged;
   for (const Tally& tally : tallies) {
-    report.score_requests += tally.score_requests;
-    report.topk_requests += tally.topk_requests;
-    report.errors += tally.errors;
+    merged.MergeCountsFrom(tally);
     latencies.insert(latencies.end(), tally.latencies_ms.begin(),
                      tally.latencies_ms.end());
   }
+  report.score_requests = merged.score_requests;
+  report.topk_requests = merged.topk_requests;
+  report.errors = merged.errors;
+  report.error_breakdown = merged.breakdown;
+  report.tiers = merged.tiers;
+  report.invariant_violations = merged.invariant_violations;
+  report.recovery = registry.recovery();
   report.requests = report.score_requests + report.topk_requests;
   report.throughput_rps =
       elapsed > 0.0 ? static_cast<double>(report.requests) / elapsed : 0.0;

@@ -11,6 +11,14 @@
 // thread-pool tasks; latency is measured from the *scheduled* arrival,
 // so queueing delay under overload is visible instead of coordinated
 // away.
+//
+// Overload and chaos features: per-request deadlines (`deadline_ms`),
+// an error taxonomy broken down by status code, per-tier response
+// counts, and a chaos mode that arms the serve.swap / serve.batch /
+// artifact.read fault sites at a deterministic cadence for the run and
+// verifies response invariants (every full-tier response bit-matches
+// the served artifact) — the measurement half of
+// `slampred_cli serve-bench --chaos`.
 
 #ifndef SLAMPRED_SERVE_LOAD_GENERATOR_H_
 #define SLAMPRED_SERVE_LOAD_GENERATOR_H_
@@ -47,6 +55,20 @@ struct LoadGeneratorOptions {
   double swap_every_seconds = 0.0;
   /// Seed of the deterministic per-thread request streams.
   std::uint64_t seed = 42;
+  /// > 0: every request carries a deadline this many ms after issue.
+  double deadline_ms = 0.0;
+  /// Non-empty: the swapper republishes via SwapFromFile(swap_path)
+  /// instead of an in-memory Swap, exercising the artifact.read site
+  /// and last_good rollback. The file must hold the served artifact.
+  std::string swap_path;
+  /// Arms the serve.swap / serve.batch / artifact.read fault sites at a
+  /// deterministic cadence for the duration of the run (disarmed again
+  /// before returning) and turns `verify` on.
+  bool chaos = false;
+  /// Verifies every full-tier response against the initially published
+  /// score matrix (valid because the swapper republishes the same
+  /// artifact); mismatches are counted as invariant violations.
+  bool verify = false;
 };
 
 /// Latency distribution over all completed requests.
@@ -55,6 +77,23 @@ struct LatencySummary {
   double p95_ms = 0.0;
   double p99_ms = 0.0;
   double max_ms = 0.0;
+};
+
+/// Errors broken down by status code (sums to the report's `errors`).
+struct LoadErrorBreakdown {
+  std::size_t deadline_exceeded = 0;  ///< kDeadlineExceeded.
+  std::size_t shed = 0;               ///< kResourceExhausted.
+  std::size_t io = 0;                 ///< kIoError.
+  std::size_t numerical = 0;          ///< kNumericalError.
+  std::size_t unavailable = 0;        ///< kUnavailable.
+  std::size_t other = 0;              ///< Everything else.
+};
+
+/// Successful responses broken down by the tier that answered them.
+struct ServeTierCounts {
+  std::size_t full = 0;
+  std::size_t cached = 0;
+  std::size_t degraded = 0;
 };
 
 /// Outcome of one run.
@@ -66,8 +105,15 @@ struct LoadGeneratorReport {
   std::size_t score_requests = 0;
   std::size_t topk_requests = 0;
   std::size_t errors = 0;
+  LoadErrorBreakdown error_breakdown;
+  ServeTierCounts tiers;
+  /// Full-tier responses that failed verification (verify mode only;
+  /// must stay 0 — the chaos CI leg asserts on it).
+  std::size_t invariant_violations = 0;
   std::uint64_t swaps = 0;          ///< Successful mid-run hot-swaps.
   std::uint64_t final_version = 0;  ///< Registry version after the run.
+  /// Registry recovery counters at the end of the run.
+  RecoveryStats recovery;
   double duration_seconds = 0.0;
   double throughput_rps = 0.0;
   LatencySummary latency;

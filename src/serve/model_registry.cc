@@ -1,5 +1,6 @@
 #include "serve/model_registry.h"
 
+#include <thread>
 #include <utility>
 
 #include "util/binary_io.h"
@@ -28,39 +29,48 @@ Status InjectedSwapFault() {
 }  // namespace
 
 ModelRegistry::ModelRegistry(ModelRegistryOptions options)
-    : options_(options) {}
+    : options_(options), swap_breaker_(options.breaker) {}
 
 Status ModelRegistry::Swap(ModelArtifact artifact, CsrMatrix known_links) {
+  if (!swap_breaker_.AllowRequest()) {
+    return Status::Unavailable(
+        "swap breaker open after repeated swap failures; serving version " +
+        std::to_string(current_version()));
+  }
+  const Status status =
+      SwapValidated(std::move(artifact), std::move(known_links));
+  if (!status.ok()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++recovery_.swap_failures;
+  }
+  RecordSwapOutcome(status.ok());
+  return status;
+}
+
+Status ModelRegistry::SwapValidated(ModelArtifact artifact,
+                                    CsrMatrix known_links) {
   // Validate by round-tripping through the on-disk form: the parse
   // recomputes every section CRC-32 and re-checks the structural
   // invariants, so only bytes a loader would accept can be published.
   const std::string bytes = SerializeModelArtifact(artifact);
   const std::uint32_t checksum = Crc32(bytes.data(), bytes.size());
 
-  auto publish_failure = [this](Status status) {
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      ++recovery_.swap_failures;
-    }
-    return status;
-  };
-
   // Mid-swap fault window: validation has started, nothing published.
   const Status injected = InjectedSwapFault();
-  if (!injected.ok()) return publish_failure(injected);
+  if (!injected.ok()) return injected;
 
   auto reparsed = DeserializeModelArtifact(bytes);
-  if (!reparsed.ok()) return publish_failure(reparsed.status());
+  if (!reparsed.ok()) return reparsed.status();
   auto session = ScoringSession::FromArtifact(std::move(reparsed).value());
-  if (!session.ok()) return publish_failure(session.status());
+  if (!session.ok()) return session.status();
 
   const std::size_t n = session.value().num_users();
   if (known_links.rows() != 0 &&
       (known_links.rows() != n || known_links.cols() != n)) {
-    return publish_failure(Status::InvalidArgument(
+    return Status::InvalidArgument(
         "known-links adjacency is " + std::to_string(known_links.rows()) +
         "x" + std::to_string(known_links.cols()) +
-        " but the artifact serves " + std::to_string(n) + " users"));
+        " but the artifact serves " + std::to_string(n) + " users");
   }
 
   std::lock_guard<std::mutex> lock(mutex_);
@@ -74,13 +84,56 @@ Status ModelRegistry::Swap(ModelArtifact artifact, CsrMatrix known_links) {
 
 Status ModelRegistry::SwapFromFile(const std::string& path,
                                    CsrMatrix known_links) {
-  auto artifact = LoadModelArtifact(path);
-  if (!artifact.ok()) {
+  if (!swap_breaker_.AllowRequest()) {
+    return Status::Unavailable(
+        "swap breaker open after repeated swap failures; serving version " +
+        std::to_string(current_version()));
+  }
+
+  // Primary path with a deterministic retry budget: a torn write or a
+  // transient read fault often clears within the backoff window.
+  Status last = Status::OK();
+  std::chrono::milliseconds backoff = options_.swap_retry_backoff;
+  const int attempts = 1 + std::max(options_.swap_retry_attempts, 0);
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(backoff);
+      backoff *= 2;
+    }
+    auto artifact = LoadModelArtifact(path);
+    if (!artifact.ok()) {
+      last = artifact.status();
+      continue;
+    }
+    last = SwapValidated(std::move(artifact).value(), known_links);
+    if (last.ok()) {
+      RecordSwapOutcome(true);
+      return last;
+    }
+  }
+
+  // The primary failed for good: one swap_failure for the whole
+  // operation, then roll back to the last-good sidecar so serving keeps
+  // a valid (if older) model published.
+  {
     std::lock_guard<std::mutex> lock(mutex_);
     ++recovery_.swap_failures;
-    return artifact.status();
   }
-  return Swap(std::move(artifact).value(), std::move(known_links));
+  auto fallback = LoadModelArtifact(LastGoodArtifactPath(path));
+  if (fallback.ok()) {
+    const Status rolled_back =
+        SwapValidated(std::move(fallback).value(), std::move(known_links));
+    if (rolled_back.ok()) {
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++recovery_.artifact_rollbacks;
+      }
+      RecordSwapOutcome(true);
+      return Status::OK();
+    }
+  }
+  RecordSwapOutcome(false);
+  return last;
 }
 
 std::shared_ptr<const ServableModel> ModelRegistry::Acquire() const {
@@ -106,6 +159,34 @@ RecoveryStats ModelRegistry::recovery() const {
 void ModelRegistry::NoteBatchFailure() {
   std::lock_guard<std::mutex> lock(mutex_);
   ++recovery_.batch_failures;
+}
+
+void ModelRegistry::NoteShed() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++recovery_.shed;
+}
+
+void ModelRegistry::NoteDeadlineExceeded() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++recovery_.deadline_exceeded;
+}
+
+void ModelRegistry::NoteBreakerTrip() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++recovery_.breaker_trips;
+}
+
+void ModelRegistry::NoteDegradedResponse() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++recovery_.degraded_responses;
+}
+
+void ModelRegistry::RecordSwapOutcome(bool ok) {
+  if (ok) {
+    swap_breaker_.RecordSuccess();
+    return;
+  }
+  if (swap_breaker_.RecordFailure()) NoteBreakerTrip();
 }
 
 }  // namespace slampred

@@ -10,6 +10,15 @@
 // request finishes, and no request ever observes a half-swapped model.
 // A failed swap leaves the previous model serving untouched and is
 // counted in RecoveryStats::swap_failures.
+//
+// The swap path is additionally guarded by a circuit breaker: after
+// `breaker.failure_threshold` consecutive failed swaps the registry
+// stops attempting swaps (fast kUnavailable, last-good model keeps
+// serving) until the breaker's exponential backoff elapses and a
+// half-open probe succeeds. SwapFromFile layers crash-safe recovery on
+// top: a torn or corrupt file is retried with a doubling backoff, then
+// rolled back to the `.last_good` sidecar WriteArtifactAtomic published
+// alongside the primary (counted in RecoveryStats::artifact_rollbacks).
 
 #ifndef SLAMPRED_SERVE_MODEL_REGISTRY_H_
 #define SLAMPRED_SERVE_MODEL_REGISTRY_H_
@@ -24,6 +33,7 @@
 #include "core/scoring_session.h"
 #include "linalg/csr_matrix.h"
 #include "optim/guardrails.h"
+#include "serve/circuit_breaker.h"
 #include "serve/topk_index.h"
 #include "util/status.h"
 
@@ -64,6 +74,13 @@ struct ServableModel {
 struct ModelRegistryOptions {
   /// LRU cap on resident top-K rows per model version.
   std::size_t max_resident_topk_rows = 64;
+  /// Extra SwapFromFile attempts after the first failure (the
+  /// deterministic retry budget for torn/transient artifact reads).
+  int swap_retry_attempts = 2;
+  /// Sleep before the first retry; doubles per retry.
+  std::chrono::milliseconds swap_retry_backoff{1};
+  /// Circuit breaker guarding the swap path.
+  CircuitBreakerOptions breaker;
 };
 
 /// Thread-safe owner of the current ServableModel.
@@ -82,10 +99,17 @@ class ModelRegistry {
   /// previously published model keeps serving and swap_failures is
   /// incremented. `known_links`, when non-empty, must be a square
   /// matrix of the artifact's order; it backs TopK known-link exclusion.
+  /// While the swap breaker is open, returns kUnavailable immediately
+  /// without attempting the swap (not counted as a swap failure).
   Status Swap(ModelArtifact artifact, CsrMatrix known_links = {});
 
   /// Loads the artifact at `path` (offset-diagnosed kIoError on
-  /// corruption) and Swap()s it in.
+  /// corruption) and Swap()s it in. On failure, retries the load+swap up
+  /// to `swap_retry_attempts` more times with a doubling backoff, then
+  /// falls back to the `.last_good` sidecar (see WriteArtifactAtomic);
+  /// a successful rollback publishes the sidecar, increments
+  /// RecoveryStats::artifact_rollbacks, and returns OK. One swap_failure
+  /// is counted per failed primary path regardless of retry count.
   Status SwapFromFile(const std::string& path, CsrMatrix known_links = {});
 
   /// The currently published model, or nullptr before the first
@@ -99,14 +123,39 @@ class ModelRegistry {
   /// Number of successfully published versions.
   std::uint64_t swap_count() const;
 
-  /// Serving-side recovery counters (swap_failures, batch_failures).
+  /// Serving-side recovery counters (swap/batch failures, shed,
+  /// deadline, breaker, degraded-tier and rollback counts).
   RecoveryStats recovery() const;
 
   /// Counts a failed batch dispatch (called by BatchScorer).
   void NoteBatchFailure();
 
+  /// Counts a request rejected by admission control.
+  void NoteShed();
+
+  /// Counts a request shed because its deadline passed.
+  void NoteDeadlineExceeded();
+
+  /// Counts a circuit-breaker trip (swap or batch breaker).
+  void NoteBreakerTrip();
+
+  /// Counts a response answered off the full path (cached or degraded).
+  void NoteDegradedResponse();
+
+  /// The swap-path circuit breaker (read-only introspection).
+  const CircuitBreaker& swap_breaker() const { return swap_breaker_; }
+
  private:
+  /// Validation + publish, shared by Swap and SwapFromFile. Touches
+  /// neither the counters nor the breaker — callers count one
+  /// swap_failure per failed public operation, not per attempt.
+  Status SwapValidated(ModelArtifact artifact, CsrMatrix known_links);
+
+  /// Feeds a swap outcome into the breaker, counting any trip.
+  void RecordSwapOutcome(bool ok);
+
   const ModelRegistryOptions options_;
+  CircuitBreaker swap_breaker_;
   mutable std::mutex mutex_;
   std::shared_ptr<const ServableModel> current_;  // Guarded by mutex_.
   std::uint64_t next_version_ = 1;                // Guarded by mutex_.

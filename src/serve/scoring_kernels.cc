@@ -2,10 +2,23 @@
 
 #include <algorithm>
 #include <string>
+#include <unordered_map>
 
 #include "util/thread_pool.h"
 
 namespace slampred {
+
+const char* ServeTierName(ServeTier tier) {
+  switch (tier) {
+    case ServeTier::kFull:
+      return "full";
+    case ServeTier::kCached:
+      return "cached";
+    case ServeTier::kDegraded:
+      return "degraded";
+  }
+  return "unknown";
+}
 
 Result<std::vector<double>> ScorePairsOnModel(
     const ServableModel& model, const std::vector<UserPair>& pairs) {
@@ -41,6 +54,31 @@ bool IsKnownLink(const CsrMatrix& known, std::size_t u, std::size_t v) {
   return std::binary_search(begin, end, v);
 }
 
+// Common-neighbor count of (u, v): the size of the intersection of the
+// two sorted CSR rows.
+std::size_t CommonNeighborCount(const CsrMatrix& known, std::size_t u,
+                                std::size_t v) {
+  const auto& row_ptr = known.row_ptr();
+  const auto& col_idx = known.col_idx();
+  std::size_t a = row_ptr[u];
+  const std::size_t a_end = row_ptr[u + 1];
+  std::size_t b = row_ptr[v];
+  const std::size_t b_end = row_ptr[v + 1];
+  std::size_t count = 0;
+  while (a < a_end && b < b_end) {
+    if (col_idx[a] < col_idx[b]) {
+      ++a;
+    } else if (col_idx[b] < col_idx[a]) {
+      ++b;
+    } else {
+      ++count;
+      ++a;
+      ++b;
+    }
+  }
+  return count;
+}
+
 }  // namespace
 
 Result<std::vector<TopKEntry>> TopKOnModel(const ServableModel& model,
@@ -64,6 +102,89 @@ Result<std::vector<TopKEntry>> TopKOnModel(const ServableModel& model,
     entries.push_back({static_cast<std::size_t>(v), s(u, v)});
     if (entries.size() == k) break;
   }
+  return entries;
+}
+
+bool CachedTopKOnModel(const ServableModel& model, std::size_t u,
+                       std::size_t k, bool exclude_known_links,
+                       std::vector<TopKEntry>* entries) {
+  const Matrix& s = model.session.artifact().s;
+  const std::size_t n = s.rows();
+  if (u >= n) return false;
+  const std::shared_ptr<const TopKRowOrder> order = model.topk.Peek(u);
+  if (order == nullptr) return false;
+  entries->clear();
+  if (k == 0) return true;
+  entries->reserve(std::min(k, n == 0 ? std::size_t{0} : n - 1));
+  const bool exclude = exclude_known_links && model.known_links.rows() == n;
+  for (const std::uint32_t v : *order) {
+    if (exclude && IsKnownLink(model.known_links, u, v)) continue;
+    entries->push_back({static_cast<std::size_t>(v), s(u, v)});
+    if (entries->size() == k) break;
+  }
+  return true;
+}
+
+Result<std::vector<double>> DegradedScorePairsOnModel(
+    const ServableModel& model, const std::vector<UserPair>& pairs) {
+  const std::size_t n = model.session.artifact().s.rows();
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    if (pairs[i].u >= n || pairs[i].v >= n) {
+      return Status::OutOfRange(
+          "pair " + std::to_string(i) + " = (" + std::to_string(pairs[i].u) +
+          ", " + std::to_string(pairs[i].v) +
+          ") outside the served score matrix (" + std::to_string(n) +
+          " users)");
+    }
+  }
+  std::vector<double> scores(pairs.size(), 0.0);
+  const CsrMatrix& known = model.known_links;
+  if (known.rows() != n) return scores;  // No adjacency shipped: all 0.
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    scores[i] = static_cast<double>(
+        CommonNeighborCount(known, pairs[i].u, pairs[i].v));
+  }
+  return scores;
+}
+
+Result<std::vector<TopKEntry>> DegradedTopKOnModel(const ServableModel& model,
+                                                   std::size_t u,
+                                                   std::size_t k,
+                                                   bool exclude_known_links) {
+  const std::size_t n = model.session.artifact().s.rows();
+  if (u >= n) {
+    return Status::OutOfRange("user " + std::to_string(u) +
+                              " outside the served score matrix (" +
+                              std::to_string(n) + " users)");
+  }
+  std::vector<TopKEntry> entries;
+  if (k == 0) return entries;
+  const CsrMatrix& known = model.known_links;
+  if (known.rows() != n) return entries;  // No adjacency: nothing to rank.
+
+  // Count common neighbors of u over the two-hop neighborhood only.
+  const auto& row_ptr = known.row_ptr();
+  const auto& col_idx = known.col_idx();
+  std::unordered_map<std::size_t, std::size_t> counts;
+  for (std::size_t e = row_ptr[u]; e < row_ptr[u + 1]; ++e) {
+    const std::size_t w = col_idx[e];
+    for (std::size_t f = row_ptr[w]; f < row_ptr[w + 1]; ++f) {
+      const std::size_t v = col_idx[f];
+      if (v == u) continue;
+      ++counts[v];
+    }
+  }
+  entries.reserve(counts.size());
+  for (const auto& [v, count] : counts) {
+    if (exclude_known_links && IsKnownLink(known, u, v)) continue;
+    entries.push_back({v, static_cast<double>(count)});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const TopKEntry& a, const TopKEntry& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.v < b.v;  // Deterministic tie-break.
+            });
+  if (entries.size() > k) entries.resize(k);
   return entries;
 }
 

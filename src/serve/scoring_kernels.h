@@ -8,6 +8,7 @@
 #ifndef SLAMPRED_SERVE_SCORING_KERNELS_H_
 #define SLAMPRED_SERVE_SCORING_KERNELS_H_
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -17,6 +18,36 @@
 #include "util/status.h"
 
 namespace slampred {
+
+/// Which path produced a response. `kFull` is the bit-exact contract
+/// path (snapshot S lookups / cached sorted-row order); `kCached`
+/// answers a top-K from an already-resident sorted row when the full
+/// path is unavailable; `kDegraded` answers from the known-links CSR
+/// (common-neighbor scores) when even the cache cannot help. Only
+/// `kFull` responses carry the determinism guarantee.
+enum class ServeTier { kFull, kCached, kDegraded };
+
+/// Stable name of a serve tier ("full" / "cached" / "degraded").
+const char* ServeTierName(ServeTier tier);
+
+/// Per-request serving options (deadline and future per-request knobs).
+struct RequestOptions {
+  /// Absolute point after which the request should be shed rather than
+  /// answered; time_point::max() (the default) means no deadline.
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
+
+  bool has_deadline() const {
+    return deadline != std::chrono::steady_clock::time_point::max();
+  }
+
+  /// Options with a deadline `timeout` from now.
+  static RequestOptions WithTimeout(std::chrono::nanoseconds timeout) {
+    RequestOptions options;
+    options.deadline = std::chrono::steady_clock::now() + timeout;
+    return options;
+  }
+};
 
 /// One retrieved neighbor candidate of a TopK query.
 struct TopKEntry {
@@ -32,12 +63,14 @@ struct TopKEntry {
 struct ScoreBatchResponse {
   std::vector<double> scores;
   std::uint64_t version = 0;  ///< Registry version that answered.
+  ServeTier tier = ServeTier::kFull;  ///< Path that produced the scores.
 };
 
 /// Top-K retrieval answered from one model version.
 struct TopKResponse {
   std::vector<TopKEntry> entries;  ///< At most k, best first.
   std::uint64_t version = 0;       ///< Registry version that answered.
+  ServeTier tier = ServeTier::kFull;  ///< Path that produced the entries.
 };
 
 /// Scores every pair against `model`'s S, fanned out deterministically
@@ -56,6 +89,33 @@ Result<std::vector<double>> ScorePairsOnModel(
 Result<std::vector<TopKEntry>> TopKOnModel(const ServableModel& model,
                                            std::size_t u, std::size_t k,
                                            bool exclude_known_links);
+
+/// Cached-tier top-K: answers from an already-resident sorted row of
+/// the model's top-K cache (TopKIndex::Peek) — full-quality entries,
+/// but only when they are free. Returns true and fills `entries` on a
+/// cache hit; false (building nothing) on a miss or out-of-range `u`,
+/// in which case the caller falls through to the degraded kernel.
+bool CachedTopKOnModel(const ServableModel& model, std::size_t u,
+                       std::size_t k, bool exclude_known_links,
+                       std::vector<TopKEntry>* entries);
+
+/// Degraded-tier pair scores: the common-neighbor count of (u, v) in the
+/// model's known-links CSR instead of a lookup into S. Cheap (two sorted
+/// row intersections per pair, no dense matrix touched), deterministic,
+/// and well-ordered — but NOT comparable to full-tier scores. Bounds are
+/// checked against the adjacency; an empty adjacency scores every pair 0.
+Result<std::vector<double>> DegradedScorePairsOnModel(
+    const ServableModel& model, const std::vector<UserPair>& pairs);
+
+/// Degraded-tier top-K: candidates ranked by common-neighbor count with
+/// `u` (descending count, ties by ascending v; v == u and zero-count
+/// candidates never returned). With `exclude_known_links`, direct
+/// neighbors of u are skipped. Touches only rows of the CSR reachable
+/// within two hops of u.
+Result<std::vector<TopKEntry>> DegradedTopKOnModel(const ServableModel& model,
+                                                   std::size_t u,
+                                                   std::size_t k,
+                                                   bool exclude_known_links);
 
 }  // namespace slampred
 

@@ -57,6 +57,12 @@ std::shared_ptr<const TopKRowOrder> TopKIndex::Row(const Matrix& s,
   return built;
 }
 
+std::shared_ptr<const TopKRowOrder> TopKIndex::Peek(std::size_t u) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = rows_.find(u);
+  return it == rows_.end() ? nullptr : it->second.order;
+}
+
 std::size_t TopKIndex::resident_rows() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return rows_.size();

@@ -39,6 +39,13 @@ class TopKIndex {
   /// index per model).
   std::shared_ptr<const TopKRowOrder> Row(const Matrix& s, std::size_t u);
 
+  /// The cached order of row `u` if resident, else null — never builds.
+  /// The cheap-path probe behind the `cached` serve tier: a hit answers
+  /// without touching the score matrix beyond the cached order; a miss
+  /// tells the caller to fall through to the degraded kernel. Does not
+  /// refresh the row's LRU position (a probe is not a use).
+  std::shared_ptr<const TopKRowOrder> Peek(std::size_t u) const;
+
   std::size_t max_resident_rows() const { return max_resident_rows_; }
 
   /// Rows currently resident in the cache.

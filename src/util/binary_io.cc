@@ -3,6 +3,13 @@
 #include <cstdio>
 #include <cstring>
 
+#if defined(_WIN32)
+#include <io.h>
+#else
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
 namespace slampred {
 namespace {
 
@@ -180,6 +187,56 @@ Status WriteStringToFile(const std::string& data, const std::string& path) {
   const std::size_t written = std::fwrite(data.data(), 1, data.size(), file);
   const bool failed = written != data.size() || std::fclose(file) != 0;
   if (failed) return Status::IoError("write error on '" + path + "'");
+  return Status::OK();
+}
+
+namespace {
+
+// fsyncs the directory holding `path` so the rename itself is durable.
+// Best-effort on platforms without directory fds.
+void SyncParentDirectory(const std::string& path) {
+#if !defined(_WIN32)
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+#else
+  (void)path;
+#endif
+}
+
+}  // namespace
+
+Status WriteFileAtomic(const std::string& data, const std::string& path) {
+  // Same directory as the target so the rename cannot cross devices.
+  const std::string tmp_path = path + ".tmp";
+  std::FILE* file = std::fopen(tmp_path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::IoError("cannot open '" + tmp_path + "' for writing");
+  }
+  bool failed = std::fwrite(data.data(), 1, data.size(), file) != data.size();
+  failed = std::fflush(file) != 0 || failed;
+#if !defined(_WIN32)
+  // Data must reach stable storage BEFORE the rename publishes it;
+  // otherwise a crash can expose a renamed-but-empty file.
+  failed = ::fsync(::fileno(file)) != 0 || failed;
+#endif
+  failed = std::fclose(file) != 0 || failed;
+  if (failed) {
+    std::remove(tmp_path.c_str());
+    return Status::IoError("write error on '" + tmp_path + "'");
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return Status::IoError("cannot rename '" + tmp_path + "' over '" + path +
+                           "'");
+  }
+  SyncParentDirectory(path);
   return Status::OK();
 }
 

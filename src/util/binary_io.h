@@ -98,6 +98,14 @@ Result<std::string> ReadFileToString(const std::string& path);
 /// (kIoError on failure).
 Status WriteStringToFile(const std::string& data, const std::string& path);
 
+/// Crash-safe replacement of `path`: the bytes are written to a
+/// temporary file in the same directory, flushed and fsync'd to stable
+/// storage, then atomically rename(2)'d over `path` (and the directory
+/// entry fsync'd). A crash or kill at ANY point leaves `path` either
+/// absent or holding its complete previous/next contents — never a torn
+/// prefix. On failure the temporary is removed and `path` is untouched.
+Status WriteFileAtomic(const std::string& data, const std::string& path);
+
 }  // namespace slampred
 
 #endif  // SLAMPRED_UTIL_BINARY_IO_H_

@@ -63,6 +63,11 @@ FaultKind FaultInjector::Hit(const std::string& site) {
       state.triggers >= state.spec.max_triggers) {
     return FaultKind::kNone;
   }
+  if (state.spec.every_n > 1) {
+    // 1-based index among the eligible hits; only multiples of N fire.
+    const int eligible = hit_index - state.spec.trigger_after + 1;
+    if (eligible % state.spec.every_n != 0) return FaultKind::kNone;
+  }
   ++state.triggers;
   return state.spec.kind;
 }

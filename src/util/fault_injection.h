@@ -59,6 +59,13 @@ struct FaultSpec {
   int trigger_after = 0;
   /// Maximum number of triggers; < 0 means trigger on every eligible hit.
   int max_triggers = 1;
+  /// Periodic trigger cadence over the *eligible* hits (those past
+  /// trigger_after): <= 1 fires on every eligible hit (the historical
+  /// behavior); N > 1 fires on the Nth, 2Nth, 3Nth, ... eligible hit.
+  /// Composes with trigger_after (shifts the eligible window) and
+  /// max_triggers (caps total firings), so a chaos run can inject a
+  /// sustained low-rate fault stream instead of one solid window.
+  int every_n = 0;
 };
 
 /// Process-wide deterministic fault injector. Thread-safe; intended to

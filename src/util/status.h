@@ -27,6 +27,9 @@ enum class StatusCode : std::uint8_t {
   kNotConverged = 7,
   kIoError = 8,
   kInternal = 9,
+  kDeadlineExceeded = 10,
+  kResourceExhausted = 11,
+  kUnavailable = 12,
 };
 
 /// Returns a stable human-readable name for a status code.
@@ -73,6 +76,15 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   /// True iff the operation succeeded.

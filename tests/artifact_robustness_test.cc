@@ -3,7 +3,9 @@
 // targeted magic/version/checksum damage must all yield clean,
 // offset-diagnosed Status failures — never a crash or an out-of-bounds
 // read (the ASan CI leg runs this file too). Also covers the
-// "artifact.read" fault-injection site.
+// "artifact.read" fault-injection site, crash-safe publication
+// (WriteArtifactAtomic: tmp + fsync + rename + last_good sidecar), and
+// SwapFromFile recovery from torn files via retry and rollback.
 
 #include <gtest/gtest.h>
 
@@ -12,6 +14,7 @@
 
 #include "core/model_artifact.h"
 #include "core/scoring_session.h"
+#include "serve/model_registry.h"
 #include "util/binary_io.h"
 #include "util/fault_injection.h"
 
@@ -187,6 +190,128 @@ TEST(ArtifactRobustnessTest, ArtifactReadFaultSite) {
   EXPECT_TRUE(session.value().Score(0, 1).ok());
 
   FaultInjector::Instance().Reset();
+  std::remove(path.c_str());
+}
+
+// The artifact behind ValidArtifactBytes(), for WriteArtifactAtomic.
+ModelArtifact ValidArtifact() {
+  auto artifact = DeserializeModelArtifact(ValidArtifactBytes());
+  EXPECT_TRUE(artifact.ok());
+  return std::move(artifact).value();
+}
+
+TEST(ArtifactPublicationTest, AtomicWritePublishesPrimaryAndSidecar) {
+  const std::string path = ::testing::TempDir() + "/atomic.slpmodel";
+  ASSERT_TRUE(WriteArtifactAtomic(ValidArtifact(), path).ok());
+
+  // Primary and sidecar both load, hold identical bytes, and no .tmp
+  // staging file survives the publish.
+  auto primary = ReadFileToString(path);
+  auto sidecar = ReadFileToString(LastGoodArtifactPath(path));
+  ASSERT_TRUE(primary.ok());
+  ASSERT_TRUE(sidecar.ok());
+  EXPECT_EQ(primary.value(), sidecar.value());
+  EXPECT_TRUE(DeserializeModelArtifact(primary.value()).ok());
+  EXPECT_FALSE(ReadFileToString(path + ".tmp").ok());
+  EXPECT_FALSE(ReadFileToString(LastGoodArtifactPath(path) + ".tmp").ok());
+
+  std::remove(path.c_str());
+  std::remove(LastGoodArtifactPath(path).c_str());
+}
+
+TEST(ArtifactPublicationTest, MidWriteKillLeavesPublishedArtifactIntact) {
+  const std::string path = ::testing::TempDir() + "/killed.slpmodel";
+  ASSERT_TRUE(WriteArtifactAtomic(ValidArtifact(), path).ok());
+  const std::string bytes = ValidArtifactBytes();
+
+  // Simulate a writer killed mid-write at every prefix length: the
+  // staging .tmp holds a torn copy, but the published path — which an
+  // atomic publish only touches via rename — must keep serving.
+  for (std::size_t len = 0; len < bytes.size(); len += 37) {
+    ASSERT_TRUE(WriteStringToFile(bytes.substr(0, len), path + ".tmp").ok());
+    auto loaded = LoadModelArtifact(path);
+    ASSERT_TRUE(loaded.ok()) << "torn tmp of " << len
+                             << " bytes corrupted the published artifact";
+  }
+
+  std::remove((path + ".tmp").c_str());
+  std::remove(path.c_str());
+  std::remove(LastGoodArtifactPath(path).c_str());
+}
+
+TEST(ArtifactPublicationTest,
+     EveryTruncationOfPrimaryRollsBackToLastGoodSidecar) {
+  const std::string path = ::testing::TempDir() + "/torn.slpmodel";
+  ASSERT_TRUE(WriteArtifactAtomic(ValidArtifact(), path).ok());
+  const std::string bytes = ValidArtifactBytes();
+
+  // No retry sleeps: every load failure goes straight to the rollback.
+  ModelRegistryOptions options;
+  options.swap_retry_attempts = 0;
+  ModelRegistry registry(options);
+
+  int rollbacks = 0;
+  for (std::size_t len = 0; len < bytes.size(); len += 13) {
+    // A torn primary (as if a non-atomic writer died mid-publish)...
+    ASSERT_TRUE(WriteStringToFile(bytes.substr(0, len), path).ok());
+    // ...is recovered by publishing the last_good sidecar instead.
+    const Status swapped = registry.SwapFromFile(path);
+    ASSERT_TRUE(swapped.ok()) << "prefix " << len << ": "
+                              << swapped.ToString();
+    ++rollbacks;
+    EXPECT_EQ(registry.recovery().artifact_rollbacks, rollbacks);
+    EXPECT_EQ(registry.recovery().swap_failures, rollbacks);
+    EXPECT_EQ(registry.current_version(),
+              static_cast<std::uint64_t>(rollbacks));
+    // The published model is the sidecar's artifact, fully servable.
+    const auto model = registry.Acquire();
+    ASSERT_NE(model, nullptr);
+    EXPECT_EQ(model->num_users(), 4u);
+  }
+
+  std::remove(path.c_str());
+  std::remove(LastGoodArtifactPath(path).c_str());
+}
+
+TEST(ArtifactPublicationTest, TransientReadFaultIsAbsorbedByRetryBudget) {
+  const std::string path = ::testing::TempDir() + "/transient.slpmodel";
+  ASSERT_TRUE(WriteArtifactAtomic(ValidArtifact(), path).ok());
+
+  // One injected read failure; the deterministic retry reloads cleanly,
+  // so no swap failure and no rollback are recorded.
+  FaultSpec spec;
+  spec.kind = FaultKind::kFailIo;
+  spec.max_triggers = 1;
+  FaultInjector::Instance().Arm("artifact.read", spec);
+
+  ModelRegistry registry;
+  const Status swapped = registry.SwapFromFile(path);
+  ASSERT_TRUE(swapped.ok()) << swapped.ToString();
+  EXPECT_EQ(registry.recovery().swap_failures, 0);
+  EXPECT_EQ(registry.recovery().artifact_rollbacks, 0);
+  EXPECT_EQ(registry.current_version(), 1u);
+
+  FaultInjector::Instance().Reset();
+  std::remove(path.c_str());
+  std::remove(LastGoodArtifactPath(path).c_str());
+}
+
+TEST(ArtifactPublicationTest, MissingSidecarPropagatesThePrimaryFailure) {
+  const std::string path = ::testing::TempDir() + "/no_sidecar.slpmodel";
+  std::string bytes = ValidArtifactBytes();
+  bytes[0] = 'X';  // Corrupt primary, and no last_good exists.
+  ASSERT_TRUE(WriteStringToFile(bytes, path).ok());
+
+  ModelRegistryOptions options;
+  options.swap_retry_attempts = 0;
+  ModelRegistry registry(options);
+  const Status swapped = registry.SwapFromFile(path);
+  ASSERT_FALSE(swapped.ok());
+  EXPECT_EQ(swapped.code(), StatusCode::kIoError);
+  EXPECT_EQ(registry.recovery().swap_failures, 1);
+  EXPECT_EQ(registry.recovery().artifact_rollbacks, 0);
+  EXPECT_EQ(registry.current_version(), 0u);
+
   std::remove(path.c_str());
 }
 

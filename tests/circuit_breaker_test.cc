@@ -1,0 +1,158 @@
+// Unit tests for the serve-side CircuitBreaker state machine, driven
+// entirely by the injectable fake clock: trip threshold, exponential
+// backoff with cap, half-open probe budget, and reset-on-success.
+
+#include "serve/circuit_breaker.h"
+
+#include <chrono>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace slampred {
+namespace {
+
+using std::chrono::milliseconds;
+
+struct FakeClock {
+  std::chrono::steady_clock::time_point now{};
+  void Advance(milliseconds d) { now += d; }
+};
+
+CircuitBreakerOptions OptionsOn(FakeClock& clock) {
+  CircuitBreakerOptions options;
+  options.failure_threshold = 3;
+  options.base_backoff = milliseconds(100);
+  options.max_backoff = milliseconds(400);
+  options.half_open_budget = 1;
+  options.clock = [&clock] { return clock.now; };
+  return options;
+}
+
+TEST(CircuitBreakerTest, StaysClosedBelowTheFailureThreshold) {
+  FakeClock clock;
+  CircuitBreaker breaker(OptionsOn(clock));
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.AllowRequest());
+
+  EXPECT_FALSE(breaker.RecordFailure());
+  EXPECT_FALSE(breaker.RecordFailure());
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker.consecutive_failures(), 2);
+  EXPECT_TRUE(breaker.AllowRequest());
+
+  // A success resets the consecutive-failure window.
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.consecutive_failures(), 0);
+  EXPECT_FALSE(breaker.RecordFailure());
+  EXPECT_FALSE(breaker.RecordFailure());
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker.trips(), 0);
+}
+
+TEST(CircuitBreakerTest, TripsOpenAtTheThresholdAndBlocksDuringBackoff) {
+  FakeClock clock;
+  CircuitBreaker breaker(OptionsOn(clock));
+  EXPECT_FALSE(breaker.RecordFailure());
+  EXPECT_FALSE(breaker.RecordFailure());
+  EXPECT_TRUE(breaker.RecordFailure());  // Third failure trips.
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.trips(), 1);
+
+  // Blocked while the backoff has not elapsed.
+  EXPECT_FALSE(breaker.AllowRequest());
+  clock.Advance(milliseconds(99));
+  EXPECT_FALSE(breaker.AllowRequest());
+}
+
+TEST(CircuitBreakerTest, HalfOpenProbeBudgetIsDeterministic) {
+  FakeClock clock;
+  auto options = OptionsOn(clock);
+  options.half_open_budget = 2;
+  CircuitBreaker breaker(options);
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+
+  clock.Advance(milliseconds(100));
+  // Exactly half_open_budget probes pass; the rest are blocked.
+  EXPECT_TRUE(breaker.AllowRequest());
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_TRUE(breaker.AllowRequest());
+  EXPECT_FALSE(breaker.AllowRequest());
+  EXPECT_FALSE(breaker.AllowRequest());
+}
+
+TEST(CircuitBreakerTest, FailedProbeReopensWithDoubledCappedBackoff) {
+  FakeClock clock;
+  CircuitBreaker breaker(OptionsOn(clock));
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.current_backoff(), milliseconds(100));
+
+  // 100 → 200 → 400 → capped at 400.
+  for (const int expected_ms : {200, 400, 400}) {
+    clock.Advance(breaker.current_backoff());
+    ASSERT_TRUE(breaker.AllowRequest());
+    EXPECT_TRUE(breaker.RecordFailure());  // Probe failure re-trips.
+    EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+    EXPECT_EQ(breaker.current_backoff(), milliseconds(expected_ms));
+  }
+  EXPECT_EQ(breaker.trips(), 4);
+}
+
+TEST(CircuitBreakerTest, ProbeSuccessClosesAndResetsBackoff) {
+  FakeClock clock;
+  CircuitBreaker breaker(OptionsOn(clock));
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  clock.Advance(milliseconds(100));
+  ASSERT_TRUE(breaker.AllowRequest());
+  breaker.RecordFailure();  // Backoff now 200ms.
+  clock.Advance(milliseconds(200));
+  ASSERT_TRUE(breaker.AllowRequest());
+
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker.consecutive_failures(), 0);
+  EXPECT_EQ(breaker.current_backoff(), milliseconds(100));
+  EXPECT_TRUE(breaker.AllowRequest());
+
+  // The next trip starts a fresh backoff ladder from the base again.
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  EXPECT_TRUE(breaker.RecordFailure());
+  EXPECT_FALSE(breaker.AllowRequest());
+  clock.Advance(milliseconds(100));
+  EXPECT_TRUE(breaker.AllowRequest());
+}
+
+TEST(CircuitBreakerTest, StragglerFailureWhileOpenDoesNotRetrip) {
+  FakeClock clock;
+  CircuitBreaker breaker(OptionsOn(clock));
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  EXPECT_TRUE(breaker.RecordFailure());
+  // A failure reported by an in-flight straggler after the trip must
+  // not count as another trip or extend the backoff.
+  EXPECT_FALSE(breaker.RecordFailure());
+  EXPECT_EQ(breaker.trips(), 1);
+  EXPECT_EQ(breaker.current_backoff(), milliseconds(100));
+}
+
+TEST(CircuitBreakerTest, StateNamesAreStable) {
+  EXPECT_EQ(std::string(CircuitBreakerStateName(
+                CircuitBreaker::State::kClosed)),
+            "closed");
+  EXPECT_EQ(std::string(CircuitBreakerStateName(
+                CircuitBreaker::State::kOpen)),
+            "open");
+  EXPECT_EQ(std::string(CircuitBreakerStateName(
+                CircuitBreaker::State::kHalfOpen)),
+            "half-open");
+}
+
+}  // namespace
+}  // namespace slampred

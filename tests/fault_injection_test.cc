@@ -69,6 +69,68 @@ TEST_F(FaultInjectionTest, UnlimitedTriggersAndReset) {
   EXPECT_EQ(injector.TriggerCount("site.b"), 0);
 }
 
+TEST_F(FaultInjectionTest, EveryNFiresOnPeriodicEligibleHits) {
+  SLAMPRED_REQUIRE_INJECTION();
+  auto& injector = FaultInjector::Instance();
+  FaultSpec spec;
+  spec.kind = FaultKind::kFailIo;
+  spec.every_n = 3;
+  spec.max_triggers = -1;
+  injector.Arm("site.n", spec);
+
+  // Fires on exactly the 3rd, 6th, 9th, ... hit.
+  for (int hit = 1; hit <= 12; ++hit) {
+    const FaultKind got = injector.Hit("site.n");
+    if (hit % 3 == 0) {
+      EXPECT_EQ(got, FaultKind::kFailIo) << "hit " << hit;
+    } else {
+      EXPECT_EQ(got, FaultKind::kNone) << "hit " << hit;
+    }
+  }
+  EXPECT_EQ(injector.HitCount("site.n"), 12);
+  EXPECT_EQ(injector.TriggerCount("site.n"), 4);
+}
+
+TEST_F(FaultInjectionTest, EveryNComposesWithTriggerAfterAndMaxTriggers) {
+  SLAMPRED_REQUIRE_INJECTION();
+  auto& injector = FaultInjector::Instance();
+  FaultSpec spec;
+  spec.kind = FaultKind::kFailNumerical;
+  spec.trigger_after = 2;  // Hits 1-2 pass; eligible hits start at 3.
+  spec.every_n = 2;        // Fire on the 2nd, 4th, ... eligible hit.
+  spec.max_triggers = 2;   // ...but only twice in total.
+  injector.Arm("site.c", spec);
+
+  // Eligible index is (hit - trigger_after): hit 4 → eligible 2 (fires),
+  // hit 6 → eligible 4 (fires, budget spent), nothing afterwards.
+  const FaultKind expected[] = {
+      FaultKind::kNone,          FaultKind::kNone, FaultKind::kNone,
+      FaultKind::kFailNumerical, FaultKind::kNone, FaultKind::kFailNumerical,
+      FaultKind::kNone,          FaultKind::kNone, FaultKind::kNone,
+      FaultKind::kNone};
+  for (int hit = 0; hit < 10; ++hit) {
+    EXPECT_EQ(injector.Hit("site.c"), expected[hit]) << "hit " << (hit + 1);
+  }
+  EXPECT_EQ(injector.TriggerCount("site.c"), 2);
+}
+
+TEST_F(FaultInjectionTest, EveryNOfOneKeepsHistoricalEveryHitBehavior) {
+  SLAMPRED_REQUIRE_INJECTION();
+  auto& injector = FaultInjector::Instance();
+  for (const int every_n : {0, 1}) {
+    FaultSpec spec;
+    spec.kind = FaultKind::kPoisonNaN;
+    spec.every_n = every_n;
+    spec.max_triggers = -1;
+    injector.Arm("site.one", spec);
+    for (int hit = 0; hit < 4; ++hit) {
+      EXPECT_EQ(injector.Hit("site.one"), FaultKind::kPoisonNaN)
+          << "every_n " << every_n << " hit " << hit;
+    }
+    injector.Disarm("site.one");
+  }
+}
+
 // Small symmetric fixture whose solve converges hard, so fault-free and
 // recovered runs land on the same fixed point.
 Objective SmallObjective() {

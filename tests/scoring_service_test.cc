@@ -5,12 +5,20 @@
 // on and off, and during artifact hot-swap (every response must match
 // exactly one artifact version, never a torn mix). Also covers the
 // serve.swap / serve.batch fault-injection sites and version draining.
+//
+// The overload suite at the bottom drives the robustness features:
+// per-request deadlines, bounded admission with both shed policies,
+// exact counter accounting under 6-thread overload, and the
+// batch-dispatch circuit breaker's trip → degraded-tier → half-open →
+// recovery cycle on a fake clock.
 
 #include "core/scoring_service.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstddef>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -442,6 +450,372 @@ TEST_F(ScoringServiceTest, LoadGeneratorRunsBothModes) {
   ASSERT_TRUE(open.ok()) << open.status().ToString();
   EXPECT_GT(open.value().requests, 0u);
   EXPECT_EQ(open.value().errors, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Overload suite: deadlines, admission control, degraded tiers, and the
+// batch-dispatch circuit breaker.
+// ---------------------------------------------------------------------
+
+RequestOptions ExpiredDeadline() {
+  RequestOptions request;
+  request.deadline =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
+  return request;
+}
+
+TEST_F(ScoringServiceTest, ExpiredDeadlineIsShedBeforeDispatch) {
+  const std::size_t n = 12;
+  for (const bool batching : {true, false}) {
+    ModelRegistry registry;
+    ASSERT_TRUE(registry.Swap(MakeArtifact(n, 0.0)).ok());
+    BatchScorerOptions batch;
+    batch.enabled = batching;
+    ScoringService service(&registry, batch);
+
+    EXPECT_EQ(service.ScorePairs({{0, 1}}, ExpiredDeadline()).status().code(),
+              StatusCode::kDeadlineExceeded);
+    EXPECT_EQ(service.TopK(0, 3, false, ExpiredDeadline()).status().code(),
+              StatusCode::kDeadlineExceeded);
+    EXPECT_EQ(service.recovery().deadline_exceeded, 2);
+    // A request with headroom still serves at the full tier.
+    auto ok = service.ScorePairs(
+        {{0, 1}}, RequestOptions::WithTimeout(std::chrono::seconds(5)));
+    ASSERT_TRUE(ok.ok());
+    EXPECT_EQ(ok.value().tier, ServeTier::kFull);
+    EXPECT_EQ(service.recovery().deadline_exceeded, 2);
+  }
+}
+
+// Fills the admission queue with two parked requests (long coalesce
+// window, finite deadlines so they clean themselves up), then checks
+// what a third arrival does under each shed policy.
+TEST_F(ScoringServiceTest, FullAdmissionQueueShedsPerPolicy) {
+  const std::size_t n = 12;
+  for (const ShedPolicy policy :
+       {ShedPolicy::kRejectNewest, ShedPolicy::kRejectOldest}) {
+    ModelRegistry registry;
+    ASSERT_TRUE(registry.Swap(MakeArtifact(n, 0.0)).ok());
+    BatchScorerOptions batch;
+    batch.queue_cap = 2;
+    batch.shed_policy = policy;
+    // Nothing dispatches on its own inside the test window: the queue
+    // only drains via deadlines and shedding.
+    batch.max_wait = std::chrono::seconds(10);
+    batch.max_batch_pairs = 1u << 20;
+    batch.max_batch_requests = 1u << 20;
+    ScoringService service(&registry, batch);
+
+    const auto parked_deadline =
+        RequestOptions::WithTimeout(std::chrono::seconds(1));
+    Status parked[2];
+    std::vector<std::thread> owners;
+    for (std::size_t t = 0; t < 2; ++t) {
+      owners.emplace_back([&, t] {
+        parked[t] = service.ScorePairs({{0, 1}}, parked_deadline).status();
+      });
+    }
+    while (service.batcher().queue_depth() < 2) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+
+    // Third arrival against the full queue (its own deadline keeps the
+    // reject-oldest variant, which enqueues it, from waiting 10s).
+    const Status third =
+        service
+            .ScorePairs({{0, 1}},
+                        RequestOptions::WithTimeout(
+                            std::chrono::milliseconds(400)))
+            .status();
+    for (std::thread& owner : owners) owner.join();
+
+    if (policy == ShedPolicy::kRejectNewest) {
+      // The arrival is rejected; both parked requests expire in place.
+      EXPECT_EQ(third.code(), StatusCode::kResourceExhausted);
+      EXPECT_EQ(parked[0].code(), StatusCode::kDeadlineExceeded);
+      EXPECT_EQ(parked[1].code(), StatusCode::kDeadlineExceeded);
+    } else {
+      // The oldest parked request is evicted to make room; the arrival
+      // and the survivor then expire in place.
+      EXPECT_EQ(third.code(), StatusCode::kDeadlineExceeded);
+      const bool first_evicted =
+          parked[0].code() == StatusCode::kResourceExhausted;
+      const bool second_evicted =
+          parked[1].code() == StatusCode::kResourceExhausted;
+      EXPECT_TRUE(first_evicted != second_evicted)
+          << parked[0].ToString() << " / " << parked[1].ToString();
+    }
+    // Exactly one shed and two deadline expiries, however they landed.
+    EXPECT_EQ(service.recovery().shed, 1);
+    EXPECT_EQ(service.recovery().deadline_exceeded, 2);
+  }
+}
+
+// The acceptance scenario: six caller threads against a tiny admission
+// queue with tight deadlines. Every response must be OK (bit-identical
+// to the oracle), shed, or deadline-exceeded — with the registry
+// counters accounting exactly for every non-OK response — and no caller
+// may block meaningfully past its deadline.
+TEST_F(ScoringServiceTest, OverloadAccountsForEveryResponse) {
+  const std::size_t n = 32;
+  const ModelArtifact artifact = MakeArtifact(n, 0.0);
+  const Matrix& s = artifact.s;
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Swap(ModelArtifact(artifact)).ok());
+  BatchScorerOptions batch;
+  batch.queue_cap = 4;
+  batch.max_batch_pairs = 64;
+  batch.max_wait = std::chrono::microseconds(200);
+  ScoringService service(&registry, batch);
+
+  const std::size_t num_callers = 6;
+  const std::size_t requests_each = 150;
+  const auto deadline_budget = std::chrono::milliseconds(2);
+  // Once claimed into a batch a request is answered by that batch, so a
+  // caller can legitimately outlive its deadline by one dispatch; the
+  // slack only has to catch unbounded blocking, not scheduling noise.
+  const auto slack = std::chrono::milliseconds(250);
+
+  struct CallerTally {
+    std::size_t ok = 0;
+    std::size_t deadline = 0;
+    std::size_t shed = 0;
+    std::string failure;
+  };
+  std::vector<CallerTally> tallies(num_callers);
+  std::vector<std::thread> callers;
+  for (std::size_t t = 0; t < num_callers; ++t) {
+    callers.emplace_back([&, t] {
+      CallerTally& tally = tallies[t];
+      Rng rng(9000 + t);
+      for (std::size_t i = 0; i < requests_each; ++i) {
+        const auto start = std::chrono::steady_clock::now();
+        RequestOptions request;
+        request.deadline = start + deadline_budget;
+        Status status;
+        if (i % 4 == 3) {
+          const std::size_t u = rng.NextBounded(n);
+          const std::size_t k = 1 + rng.NextBounded(8);
+          auto got = service.TopK(u, k, false, request);
+          status = got.status();
+          if (got.ok()) {
+            if (got.value().tier != ServeTier::kFull) {
+              tally.failure = "unexpected tier on request " +
+                              std::to_string(i);
+              return;
+            }
+            const auto expected = ReferenceTopK(s, u, k);
+            if (got.value().entries.size() != expected.size()) {
+              tally.failure = "TopK size mismatch on request " +
+                              std::to_string(i);
+              return;
+            }
+            for (std::size_t j = 0; j < expected.size(); ++j) {
+              if (!(got.value().entries[j] == expected[j])) {
+                tally.failure = "TopK mismatch on request " +
+                                std::to_string(i);
+                return;
+              }
+            }
+          }
+        } else {
+          const auto pairs =
+              DeterministicPairs(rng, n, 1 + rng.NextBounded(24));
+          auto got = service.ScorePairs(pairs, request);
+          status = got.status();
+          if (got.ok()) {
+            if (got.value().tier != ServeTier::kFull) {
+              tally.failure = "unexpected tier on request " +
+                              std::to_string(i);
+              return;
+            }
+            for (std::size_t j = 0; j < pairs.size(); ++j) {
+              if (got.value().scores[j] != s(pairs[j].u, pairs[j].v)) {
+                tally.failure = "score mismatch on request " +
+                                std::to_string(i);
+                return;
+              }
+            }
+          }
+        }
+        const auto elapsed = std::chrono::steady_clock::now() - start;
+        if (elapsed > deadline_budget + slack) {
+          tally.failure = "request " + std::to_string(i) +
+                          " blocked past its deadline";
+          return;
+        }
+        if (status.ok()) {
+          ++tally.ok;
+        } else if (status.code() == StatusCode::kDeadlineExceeded) {
+          ++tally.deadline;
+        } else if (status.code() == StatusCode::kResourceExhausted) {
+          ++tally.shed;
+        } else {
+          tally.failure = "unexpected error: " + status.ToString();
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& caller : callers) caller.join();
+
+  std::size_t ok = 0, deadline = 0, shed = 0;
+  for (std::size_t t = 0; t < num_callers; ++t) {
+    ASSERT_EQ(tallies[t].failure, "") << "caller " << t;
+    ok += tallies[t].ok;
+    deadline += tallies[t].deadline;
+    shed += tallies[t].shed;
+  }
+  EXPECT_EQ(ok + deadline + shed, num_callers * requests_each);
+  // Exact accounting: one counter increment per non-OK response.
+  const RecoveryStats recovery = service.recovery();
+  EXPECT_EQ(static_cast<std::size_t>(recovery.deadline_exceeded), deadline);
+  EXPECT_EQ(static_cast<std::size_t>(recovery.shed), shed);
+  EXPECT_EQ(recovery.batch_failures, 0);
+  EXPECT_EQ(service.batcher().breaker().trips(), 0);
+}
+
+// Deterministic breaker lifecycle, driven by a fake clock and a
+// bounded serve.batch fault: trip after three consecutive dispatch
+// failures, serve degraded while open, fail the first half-open probe
+// (backoff doubles), recover on the second.
+TEST_F(ScoringServiceTest, BreakerTripsServesDegradedAndRecovers) {
+  const std::size_t n = 12;
+  const ModelArtifact artifact = MakeArtifact(n, 0.0);
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Swap(ModelArtifact(artifact)).ok());
+
+  auto fake_now = std::chrono::steady_clock::time_point{};
+  BatchScorerOptions batch;
+  batch.enabled = false;  // Batch-of-one keeps the cycle single-threaded.
+  batch.breaker.failure_threshold = 3;
+  batch.breaker.base_backoff = std::chrono::milliseconds(100);
+  batch.breaker.clock = [&fake_now] { return fake_now; };
+  ScoringService service(&registry, batch);
+
+  FaultSpec spec;
+  spec.kind = FaultKind::kFailNumerical;
+  spec.max_triggers = 4;  // Three to trip + one failed probe.
+  FaultInjector::Instance().Arm("serve.batch", spec);
+
+  // Three consecutive dispatch failures trip the breaker.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(service.ScorePairs({{0, 1}}).status().code(),
+              StatusCode::kNumericalError);
+  }
+  EXPECT_EQ(service.batcher().breaker().state(),
+            CircuitBreaker::State::kOpen);
+  EXPECT_EQ(service.recovery().breaker_trips, 1);
+  EXPECT_EQ(service.recovery().batch_failures, 3);
+
+  // While open, requests are answered from the cheap tier (no known
+  // links registered, so degraded pair scores are all zero) instead of
+  // hitting the quarantined dispatch path.
+  auto degraded = service.ScorePairs({{0, 1}, {2, 3}});
+  ASSERT_TRUE(degraded.ok());
+  EXPECT_EQ(degraded.value().tier, ServeTier::kDegraded);
+  EXPECT_EQ(degraded.value().scores, (std::vector<double>{0.0, 0.0}));
+  EXPECT_EQ(service.recovery().degraded_responses, 1);
+
+  // Backoff elapses; the half-open probe hits the last armed fault and
+  // re-opens the breaker with a doubled backoff.
+  fake_now += std::chrono::milliseconds(150);
+  EXPECT_EQ(service.ScorePairs({{0, 1}}).status().code(),
+            StatusCode::kNumericalError);
+  EXPECT_EQ(service.batcher().breaker().state(),
+            CircuitBreaker::State::kOpen);
+  EXPECT_EQ(service.batcher().breaker().current_backoff(),
+            std::chrono::milliseconds(200));
+  EXPECT_EQ(service.recovery().breaker_trips, 2);
+
+  // Still open inside the doubled backoff: degraded again.
+  auto still_open = service.ScorePairs({{4, 5}});
+  ASSERT_TRUE(still_open.ok());
+  EXPECT_EQ(still_open.value().tier, ServeTier::kDegraded);
+
+  // The fault budget is exhausted, so the next probe succeeds and the
+  // breaker closes; responses return to the full tier, bit-identical.
+  fake_now += std::chrono::milliseconds(250);
+  auto recovered = service.ScorePairs({{1, 2}});
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered.value().tier, ServeTier::kFull);
+  EXPECT_EQ(recovered.value().scores[0], ScoreValue(1, 2, 0.0));
+  EXPECT_EQ(service.batcher().breaker().state(),
+            CircuitBreaker::State::kClosed);
+  EXPECT_EQ(service.recovery().breaker_trips, 2);
+  EXPECT_EQ(service.recovery().batch_failures, 4);
+  EXPECT_EQ(service.recovery().degraded_responses, 2);
+}
+
+// While the breaker is open, a TopK row that is already resident in the
+// per-version cache is served verbatim (kCached); a cold row falls back
+// to the common-neighbor kernel (kDegraded).
+TEST_F(ScoringServiceTest, OpenBreakerServesCachedRowsThenDegrades) {
+  const std::size_t n = 16;
+  const ModelArtifact artifact = MakeArtifact(n, 0.0);
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Swap(ModelArtifact(artifact)).ok());
+
+  auto fake_now = std::chrono::steady_clock::time_point{};
+  BatchScorerOptions batch;
+  batch.enabled = false;
+  batch.breaker.failure_threshold = 1;
+  batch.breaker.clock = [&fake_now] { return fake_now; };
+  ScoringService service(&registry, batch);
+
+  // Warm the row cache for u = 3 at the full tier.
+  auto warm = service.TopK(3, 5, false);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(warm.value().tier, ServeTier::kFull);
+
+  // One injected failure trips the threshold-1 breaker.
+  FaultSpec spec;
+  spec.kind = FaultKind::kFailNumerical;
+  spec.max_triggers = 1;
+  FaultInjector::Instance().Arm("serve.batch", spec);
+  EXPECT_FALSE(service.ScorePairs({{0, 1}}).ok());
+  EXPECT_EQ(service.batcher().breaker().state(),
+            CircuitBreaker::State::kOpen);
+
+  // Resident row: answered from the cache, entries identical to the
+  // full-tier response.
+  auto cached = service.TopK(3, 5, false);
+  ASSERT_TRUE(cached.ok());
+  EXPECT_EQ(cached.value().tier, ServeTier::kCached);
+  ASSERT_EQ(cached.value().entries.size(), warm.value().entries.size());
+  for (std::size_t j = 0; j < cached.value().entries.size(); ++j) {
+    EXPECT_TRUE(cached.value().entries[j] == warm.value().entries[j]);
+  }
+
+  // Cold row: common-neighbor fallback (no known links → no entries).
+  auto cold = service.TopK(9, 5, false);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_EQ(cold.value().tier, ServeTier::kDegraded);
+  EXPECT_EQ(service.recovery().degraded_responses, 2);
+}
+
+// degrade_topk_under: a TopK whose remaining deadline budget is below
+// the configured floor skips the full row sort and answers cheap.
+TEST_F(ScoringServiceTest, TopKDegradesUnderDeadlinePressure) {
+  const std::size_t n = 16;
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Swap(MakeArtifact(n, 0.0)).ok());
+  BatchScorerOptions batch;
+  batch.enabled = false;
+  batch.degrade_topk_under = std::chrono::seconds(10);
+  ScoringService service(&registry, batch);
+
+  // 1s of budget is far below the 10s floor → cheap tier.
+  auto pressured = service.TopK(
+      2, 5, false, RequestOptions::WithTimeout(std::chrono::seconds(1)));
+  ASSERT_TRUE(pressured.ok());
+  EXPECT_EQ(pressured.value().tier, ServeTier::kDegraded);
+  EXPECT_EQ(service.recovery().degraded_responses, 1);
+
+  // No deadline → never degraded, whatever the floor.
+  auto relaxed = service.TopK(2, 5, false);
+  ASSERT_TRUE(relaxed.ok());
+  EXPECT_EQ(relaxed.value().tier, ServeTier::kFull);
 }
 
 }  // namespace

@@ -29,13 +29,21 @@
 //   slampred_cli serve-bench --model FILE --mode closed|open
 //                            [--concurrency N] [--duration S] [--rate RPS]
 //                            [--batch 0|1] [--request-pairs N] [--topk K]
-//                            [--swap-under-load 0|1] [--json PATH]
+//                            [--swap-under-load 0|1] [--deadline-ms MS]
+//                            [--queue-cap N] [--shed-policy newest|oldest]
+//                            [--chaos 0|1] [--json PATH]
 //       Concurrent serving load generator (ModelRegistry +
 //       ScoringService): closed-loop (N caller threads back-to-back) or
 //       open-loop (fixed --rate arrival schedule on the thread pool)
 //       traffic, mixed ScorePairs/TopK requests, optional model
-//       hot-swapping under load. Reports throughput and p50/p95/p99
-//       latency; --json writes the report (BENCH_serve.json) for CI.
+//       hot-swapping under load. --deadline-ms attaches a deadline to
+//       every request; --queue-cap bounds the admission queue with
+//       --shed-policy picking the victim; --chaos arms the serve.swap /
+//       serve.batch / artifact.read fault sites on a deterministic
+//       schedule, swaps from a crash-safe on-disk serving copy, and
+//       verifies every full-tier response bit-exactly. Reports
+//       throughput, p50/p95/p99 latency, the error taxonomy and serve
+//       tiers; --json writes the report (BENCH_serve.json) for CI.
 //
 //   slampred_cli evaluate --target FILE --source FILE --anchors FILE
 //                         [--method NAME] [--folds K] [--io-policy POLICY]
@@ -406,6 +414,9 @@ int ServeLoadGen(const Flags& flags, const std::string& model_path) {
       std::stoull(flags.Get("seed", "42")));
   const std::string swap = flags.Get("swap-under-load", "0");
   if (swap == "1" || swap == "true") options.swap_every_seconds = 0.25;
+  options.deadline_ms = std::stod(flags.Get("deadline-ms", "0"));
+  const std::string chaos = flags.Get("chaos", "0");
+  options.chaos = chaos == "1" || chaos == "true";
 
   ModelRegistry registry;
   const Status swapped = registry.SwapFromFile(model_path);
@@ -413,9 +424,36 @@ int ServeLoadGen(const Flags& flags, const std::string& model_path) {
     std::fprintf(stderr, "%s\n", swapped.ToString().c_str());
     return 1;
   }
+  if (options.chaos) {
+    // Chaos swaps reload from disk so the artifact.read fault site and
+    // the last_good rollback run under load. Publish a crash-safe
+    // serving copy (primary + sidecar) next to the model and swap at a
+    // fast cadence so the deterministic fault schedule runs dry within
+    // the bench window.
+    const std::string serving_path = model_path + ".serving";
+    const auto published = registry.Acquire();
+    const Status wrote =
+        WriteArtifactAtomic(published->session.artifact(), serving_path);
+    if (!wrote.ok()) {
+      std::fprintf(stderr, "%s\n", wrote.ToString().c_str());
+      return 1;
+    }
+    options.swap_path = serving_path;
+    if (options.swap_every_seconds <= 0.0) options.swap_every_seconds = 0.05;
+  }
   BatchScorerOptions batch;
   const std::string batching = flags.Get("batch", "1");
   batch.enabled = batching == "1" || batching == "true";
+  batch.queue_cap = static_cast<std::size_t>(
+      std::stoull(flags.Get("queue-cap", "0")));
+  const std::string shed_policy = flags.Get("shed-policy", "newest");
+  if (shed_policy == "oldest") {
+    batch.shed_policy = ShedPolicy::kRejectOldest;
+  } else if (shed_policy != "newest") {
+    std::fprintf(stderr, "--shed-policy must be newest or oldest, got %s\n",
+                 shed_policy.c_str());
+    return 2;
+  }
   ScoringService service(&registry, batch);
   const auto model = registry.Acquire();
   std::printf("serving %s (%zu users, version %llu, checksum %08x) "
