@@ -23,10 +23,14 @@
 #include "linalg/csr_matrix.h"
 #include "linalg/matrix.h"
 #include "linalg/matrix_ops.h"
+#include "linalg/qr.h"
 #include "linalg/randomized_svd.h"
 #include "linalg/sparse_tensor3.h"
 #include "linalg/svd.h"
 #include "linalg/symmetric_eigen.h"
+#include "optim/cccp.h"
+#include "optim/factored_solver.h"
+#include "optim/guardrails.h"
 #include "optim/objective.h"
 #include "optim/proximal.h"
 #include "util/random.h"
@@ -363,6 +367,96 @@ void BM_ObjectiveDense(benchmark::State& state) {
 }
 BENCHMARK(BM_ObjectiveDense)->Apply([](benchmark::internal::Benchmark* b) {
   SizeThreadGrid(b, {256, 1024, 2048});
+});
+
+// --- Factored low-rank solve path -----------------------------------
+// The factored prox shrinks the spectrum of a k-column range sketch in
+// O(n·k²), so its n axis extends to 16384 where the dense proxes
+// (O(n³)) stop at 128–256. The full-solve pair below runs both
+// backends on the same problem with a reduced iteration budget (this
+// times the per-step cost, not convergence); the dense twin is capped
+// at 512, past which a single dense decomposition already exceeds the
+// entire factored solve — the crossover recorded in EXPERIMENTS.md.
+
+void BM_ProxNuclearFactored(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  ThreadCountGuard guard(static_cast<std::size_t>(state.range(1)));
+  // 24 sketch columns = the default rank 16 + 8 oversampling regime.
+  constexpr std::size_t kSketchCols = 24;
+  Rng rng(23);
+  const Matrix q =
+      OrthonormalizeColumns(Matrix::RandomGaussian(n, kSketchCols, rng));
+  const Matrix b = Matrix::RandomGaussian(n, kSketchCols, rng);
+  const GuardrailOptions guardrails;
+  for (auto _ : state) {
+    RecoveryStats stats;
+    auto prox = GuardedFactoredProxNuclear(q, b, 0.1, guardrails, &stats);
+    benchmark::DoNotOptimize(prox);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ProxNuclearFactored)
+    ->Apply([](benchmark::internal::Benchmark* b) {
+      SizeThreadGrid(b, {256, 1024, 4096, 16384});
+    });
+
+// Identical reduced budget for both full-solve benchmarks: four
+// accepted proximal steps, one CCCP round, no early exit.
+CccpOptions BenchSolveOptions() {
+  CccpOptions options;
+  options.inner.theta = 0.05;
+  options.inner.max_iterations = 4;
+  options.inner.tol = 0.0;
+  options.max_outer_iterations = 1;
+  options.outer_tol = 0.0;
+  return options;
+}
+
+void BM_SolveFactored(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const SocialGraph g1 = BenchGraph(n);
+  const SocialGraph g2 = BenchGraph(n);
+  ThreadCountGuard guard(static_cast<std::size_t>(state.range(1)));
+  const std::vector<SparseTensor3> tensors = {BenchSparseTensor(g1, g2)};
+  const std::vector<double> weights = {0.25};
+  FactoredObjective objective;
+  objective.a = g1.AdjacencyCsr();
+  objective.grad_v = BuildIntimacyGradientCsr(tensors, weights, n);
+  objective.gamma = 0.3;
+  objective.tau = 0.1;
+  const CccpOptions options = BenchSolveOptions();
+  const FactoredSolverOptions factored;  // rank 24 + 8 oversampling.
+  for (auto _ : state) {
+    auto s = SolveCccpFactored(objective, options, factored);
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SolveFactored)->Apply([](benchmark::internal::Benchmark* b) {
+  SizeThreadGrid(b, {256, 1024, 4096, 16384});
+});
+
+void BM_SolveDense(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const SocialGraph g1 = BenchGraph(n);
+  const SocialGraph g2 = BenchGraph(n);
+  ThreadCountGuard guard(static_cast<std::size_t>(state.range(1)));
+  const std::vector<SparseTensor3> tensors = {BenchSparseTensor(g1, g2)};
+  const std::vector<double> weights = {0.25};
+  Objective objective;
+  objective.a = g1.AdjacencyCsr();
+  objective.grad_v = BuildIntimacyGradient(tensors, weights, n);
+  objective.gamma = 0.3;
+  objective.tau = 0.1;
+  const CccpOptions options = BenchSolveOptions();
+  for (auto _ : state) {
+    auto s = SolveCccp(objective, options);
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SolveDense)->Apply([](benchmark::internal::Benchmark* b) {
+  SizeThreadGrid(b, {64, 128, 256, 512});
 });
 
 void BM_Auc(benchmark::State& state) {

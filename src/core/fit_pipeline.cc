@@ -4,6 +4,7 @@
 #include <string>
 #include <utility>
 
+#include "optim/factored_solver.h"
 #include "optim/objective.h"
 #include "util/fault_injection.h"
 #include "util/random.h"
@@ -167,6 +168,8 @@ SolveStageConfig SolveStageConfigFrom(const SlamPredConfig& config) {
   stage.tau = config.tau;
   stage.loss = config.loss;
   stage.optimization = config.optimization;
+  stage.solver_backend = config.solver_backend;
+  stage.factored = config.factored;
   return stage;
 }
 
@@ -198,28 +201,52 @@ Status SolveStage::Run(FitContext& context) const {
     }
   }
 
-  // Assemble and solve the sparse + low-rank estimation (Algorithm 1).
-  Objective objective;
-  objective.a = context.target_structure->AdjacencyCsr();
-  objective.grad_v =
-      BuildIntimacyGradient(context.adapted_tensors, weights, n);
-  objective.gamma = config_.gamma;
-  objective.tau = config_.tau;
-  objective.loss = config_.loss;
-
-  context.memory_stats.adjacency_nnz = objective.a.nnz();
-  context.memory_stats.adjacency_bytes = objective.a.EstimatedBytes();
+  const CsrMatrix adjacency = context.target_structure->AdjacencyCsr();
+  context.memory_stats.adjacency_nnz = adjacency.nnz();
+  context.memory_stats.adjacency_bytes = adjacency.EstimatedBytes();
   context.memory_stats.adjacency_dense_bytes = n * n * sizeof(double);
   // At the end of the embedding phase the adjacency, raw and adapted
   // tensors are all live — that is the tracked high-water mark.
   context.memory_stats.peak_bytes = context.memory_stats.adjacency_bytes +
                                     context.memory_stats.raw_tensor_bytes +
                                     context.memory_stats.adapted_tensor_bytes;
-
+  context.memory_stats.iterate_dense_bytes = n * n * sizeof(double);
   context.trace = CccpTrace();
+
+  if (config_.solver_backend == SolverBackend::kFactored) {
+    // Assemble the factored estimation: the constant CCCP gradient G
+    // stays CSR so nothing n²-sized is ever materialised.
+    FactoredObjective objective;
+    objective.a = adjacency;
+    objective.grad_v =
+        BuildIntimacyGradientCsr(context.adapted_tensors, weights, n);
+    objective.gamma = config_.gamma;
+    objective.tau = config_.tau;
+    objective.loss = config_.loss;
+
+    auto solution = SolveCccpFactored(objective, config_.optimization,
+                                      config_.factored, &context.trace);
+    if (!solution.ok()) return solution.status();
+    context.s_factored = std::move(solution).value();
+    context.memory_stats.iterate_bytes = context.s_factored.EstimatedBytes();
+    context.memory_stats.solver_rank = context.s_factored.rank();
+    return Status::OK();
+  }
+
+  // Assemble and solve the sparse + low-rank estimation (Algorithm 1).
+  Objective objective;
+  objective.a = adjacency;
+  objective.grad_v =
+      BuildIntimacyGradient(context.adapted_tensors, weights, n);
+  objective.gamma = config_.gamma;
+  objective.tau = config_.tau;
+  objective.loss = config_.loss;
+
   auto solution = SolveCccp(objective, config_.optimization, &context.trace);
   if (!solution.ok()) return solution.status();
   context.s = std::move(solution).value();
+  context.memory_stats.iterate_bytes =
+      context.s.data().size() * sizeof(double);
   return Status::OK();
 }
 

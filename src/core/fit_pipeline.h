@@ -30,9 +30,11 @@
 #include "features/feature_tensor.h"
 #include "graph/aligned_networks.h"
 #include "graph/social_graph.h"
+#include "linalg/factored_matrix.h"
 #include "linalg/matrix.h"
 #include "linalg/sparse_tensor3.h"
 #include "optim/cccp.h"
+#include "optim/solver_backend.h"
 #include "util/status.h"
 
 namespace slampred {
@@ -60,8 +62,11 @@ struct FitContext {
   /// Set by EmbeddingStage: adapted tensors in target coordinates.
   std::vector<SparseTensor3> adapted_tensors;
 
-  /// Set by SolveStage: the fitted predictor matrix and its trace.
+  /// Set by SolveStage: the fitted predictor matrix and its trace. A
+  /// dense-backend solve fills `s`; a factored one fills `s_factored`
+  /// and leaves `s` empty.
   Matrix s;
+  FactoredMatrix s_factored;
   CccpTrace trace;
 
   /// Diagnostics accumulated across stages.
@@ -149,6 +154,8 @@ struct SolveStageConfig {
   double tau = 6.0;
   LossKind loss = LossKind::kSquaredFrobenius;
   CccpOptions optimization;
+  SolverBackend solver_backend = SolverBackend::kDense;
+  FactoredSolverOptions factored;
 };
 SolveStageConfig SolveStageConfigFrom(const SlamPredConfig& config);
 

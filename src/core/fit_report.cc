@@ -44,6 +44,11 @@ FitReport MakeFitReport(const SlamPred& model) {
   report.memory_stats = model.memory_stats();
   report.recovery = model.trace().recovery;
   report.threads = ThreadPool::Global().num_threads();
+  report.solver_backend = model.config().solver_backend;
+  report.solver_rank =
+      report.solver_backend == SolverBackend::kFactored
+          ? model.config().factored.rank
+          : 0;
   return report;
 }
 
@@ -55,6 +60,13 @@ void PrintFitReport(std::FILE* out, const FitReport& report) {
       "svd %.3f | total %.3f  [%zu thread(s)]\n",
       times.features_seconds, times.embedding_seconds, times.cccp_seconds,
       times.svd_seconds, times.total_seconds, report.threads);
+  std::fprintf(out, "solver backend: %s",
+               SolverBackendName(report.solver_backend));
+  if (report.solver_backend == SolverBackend::kFactored) {
+    std::fprintf(out, " (rank %zu, fitted rank %zu)", report.solver_rank,
+                 report.memory_stats.solver_rank);
+  }
+  std::fprintf(out, "\n");
   std::fprintf(out, "sparse-path memory: %s\n",
                report.memory_stats.ToString().c_str());
   if (report.recovery.Total() > 0) {
@@ -66,6 +78,10 @@ void PrintFitReport(std::FILE* out, const FitReport& report) {
 std::string FitReportJson(const FitReport& report) {
   std::string out = "{";
   out += "\"threads\":" + std::to_string(report.threads);
+  out += ",\"solver_backend\":\"";
+  out += SolverBackendName(report.solver_backend);
+  out += "\"";
+  out += ",\"solver_rank\":" + std::to_string(report.solver_rank);
 
   out += ",\"phase_times\":{";
   bool first = true;
@@ -94,6 +110,9 @@ std::string FitReportJson(const FitReport& report) {
   AppendField(out, "adapted_tensor_dense_bytes",
               mem.adapted_tensor_dense_bytes, &first);
   AppendField(out, "peak_bytes", mem.peak_bytes, &first);
+  AppendField(out, "iterate_bytes", mem.iterate_bytes, &first);
+  AppendField(out, "iterate_dense_bytes", mem.iterate_dense_bytes, &first);
+  AppendField(out, "solver_rank", mem.solver_rank, &first);
   out += "}";
 
   const RecoveryStats& rec = report.recovery;

@@ -22,6 +22,11 @@ struct FitReport {
   FitMemoryStats memory_stats;
   RecoveryStats recovery;
   std::size_t threads = 1;
+  /// Solver backend of the fit and, for the factored backend, the
+  /// configured factor rank (the fitted rank is
+  /// memory_stats.solver_rank).
+  SolverBackend solver_backend = SolverBackend::kDense;
+  std::size_t solver_rank = 0;
 };
 
 /// Collects the report of `model`'s last Fit (threads = current global

@@ -11,11 +11,15 @@ namespace {
 
 constexpr char kMagic[8] = {'S', 'L', 'P', 'M', 'O', 'D', 'E', 'L'};
 
-// Section ids of format version 1.
+// Section ids of format version 1. kSectionLowRankFactors is an
+// additive extension within the version: readers predating it skip the
+// section (checksum still verified) and fail cleanly on the missing
+// score matrix rather than misreading the factors.
 enum SectionId : std::uint32_t {
   kSectionConfig = 1,
   kSectionScoreMatrix = 2,
   kSectionAdaptedTensors = 3,
+  kSectionLowRankFactors = 4,
 };
 
 // The config is stored field by field in a fixed order; any layout
@@ -207,7 +211,12 @@ Result<ModelArtifact> MakeModelArtifact(const SlamPred& model,
   }
   ModelArtifact artifact;
   artifact.config = model.config();
-  artifact.s = model.ScoreMatrix();
+  if (model.config().solver_backend == SolverBackend::kFactored) {
+    artifact.low_rank = model.FactoredScoreMatrix();
+    artifact.has_low_rank = true;
+  } else {
+    artifact.s = model.ScoreMatrix();
+  }
   if (include_adapted_tensors) {
     artifact.adapted_tensors = model.adapted_tensors();
     artifact.has_adapted_tensors = true;
@@ -219,17 +228,28 @@ std::string SerializeModelArtifact(const ModelArtifact& artifact) {
   BinaryWriter writer;
   writer.WriteBytes(kMagic, sizeof(kMagic));
   writer.WriteU32(kModelArtifactFormatVersion);
-  const std::uint32_t section_count =
-      artifact.has_adapted_tensors ? 3u : 2u;
+  const bool write_s = !artifact.s.empty() || !artifact.has_low_rank;
+  std::uint32_t section_count = 1u;  // config is always present
+  if (write_s) ++section_count;
+  if (artifact.has_low_rank) ++section_count;
+  if (artifact.has_adapted_tensors) ++section_count;
   writer.WriteU32(section_count);
 
   BinaryWriter config_writer;
   SerializeConfig(artifact.config, config_writer);
   AppendSection(kSectionConfig, config_writer.buffer(), writer);
 
-  BinaryWriter s_writer;
-  artifact.s.Serialize(s_writer);
-  AppendSection(kSectionScoreMatrix, s_writer.buffer(), writer);
+  if (write_s) {
+    BinaryWriter s_writer;
+    artifact.s.Serialize(s_writer);
+    AppendSection(kSectionScoreMatrix, s_writer.buffer(), writer);
+  }
+
+  if (artifact.has_low_rank) {
+    BinaryWriter factor_writer;
+    artifact.low_rank.Serialize(factor_writer);
+    AppendSection(kSectionLowRankFactors, factor_writer.buffer(), writer);
+  }
 
   if (artifact.has_adapted_tensors) {
     BinaryWriter tensor_writer;
@@ -266,6 +286,7 @@ Result<ModelArtifact> DeserializeModelArtifact(const std::string& bytes) {
   ModelArtifact artifact;
   bool have_config = false;
   bool have_s = false;
+  bool have_low_rank = false;
   for (std::uint32_t i = 0; i < section_count.value(); ++i) {
     const std::size_t section_offset = reader.offset();
     auto id = reader.ReadU32();
@@ -306,6 +327,14 @@ Result<ModelArtifact> DeserializeModelArtifact(const std::string& bytes) {
         have_s = true;
         break;
       }
+      case kSectionLowRankFactors: {
+        auto factors = FactoredMatrix::Deserialize(section);
+        if (!factors.ok()) return factors.status();
+        artifact.low_rank = std::move(factors).value();
+        artifact.has_low_rank = true;
+        have_low_rank = true;
+        break;
+      }
       case kSectionAdaptedTensors: {
         auto count = section.ReadU64();
         if (!count.ok()) return count.status();
@@ -324,15 +353,28 @@ Result<ModelArtifact> DeserializeModelArtifact(const std::string& bytes) {
         break;
     }
   }
-  if (!have_config || !have_s) {
+  if (!have_config || (!have_s && !have_low_rank)) {
     return Status::IoError(
-        "artifact is missing a required section (config and score matrix "
-        "are mandatory)");
+        "artifact is missing a required section (config and a score "
+        "matrix — dense or low-rank factors — are mandatory)");
   }
   if (artifact.s.rows() != artifact.s.cols()) {
     return Status::IoError("artifact score matrix is not square: " +
                            std::to_string(artifact.s.rows()) + "x" +
                            std::to_string(artifact.s.cols()));
+  }
+  if (artifact.has_low_rank &&
+      artifact.low_rank.rows() != artifact.low_rank.cols()) {
+    return Status::IoError(
+        "artifact low-rank factors are not square: " +
+        std::to_string(artifact.low_rank.rows()) + "x" +
+        std::to_string(artifact.low_rank.cols()));
+  }
+  // The serialized config predates the factored backend (its fields are
+  // not part of the fixed layout), so the backend is inferred from the
+  // sections present — a low-rank artifact serves factored scores.
+  if (artifact.has_low_rank) {
+    artifact.config.solver_backend = SolverBackend::kFactored;
   }
   return artifact;
 }

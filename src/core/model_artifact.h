@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "core/slampred.h"
+#include "linalg/factored_matrix.h"
 #include "linalg/matrix.h"
 #include "linalg/sparse_tensor3.h"
 #include "util/status.h"
@@ -44,8 +45,16 @@ struct ModelArtifact {
   /// regularization weights, the solver settings — everything needed to
   /// reproduce or identify the model).
   SlamPredConfig config;
-  /// The fitted predictor matrix S (n x n).
+  /// The fitted predictor matrix S (n x n). Empty when the model was
+  /// fitted with the factored backend — `low_rank` holds S = U·Vᵀ then.
   Matrix s;
+  /// The factored predictor S = U·Vᵀ of a factored-backend fit, stored
+  /// as its own checksummed section so artifacts stay O(n·r). Presence
+  /// of this section marks the artifact as factored at load time
+  /// (config.solver_backend is forced to kFactored); old readers skip
+  /// the unknown section and reject only because `s` is absent.
+  FactoredMatrix low_rank;
+  bool has_low_rank = false;
   /// Optionally the adapted feature tensors X̂^k of the fit (target
   /// coordinates, CSR) — for artifact consumers that post-process
   /// features; omitted by default to keep serving artifacts small.

@@ -11,6 +11,18 @@ Result<ScoringSession> ScoringSession::FromFile(const std::string& path) {
 }
 
 Result<ScoringSession> ScoringSession::FromArtifact(ModelArtifact artifact) {
+  if (artifact.s.empty() && artifact.has_low_rank) {
+    // Factored artifacts materialise S = U·Vᵀ once at load so the whole
+    // serve path (sessions, registry, batch scorer, top-K) stays
+    // backend-agnostic dense reads.
+    if (artifact.low_rank.rows() != artifact.low_rank.cols()) {
+      return Status::InvalidArgument(
+          "artifact low-rank factors must be square, got " +
+          std::to_string(artifact.low_rank.rows()) + "x" +
+          std::to_string(artifact.low_rank.cols()));
+    }
+    artifact.s = artifact.low_rank.ToDense();
+  }
   if (artifact.s.empty()) {
     return Status::InvalidArgument(
         "artifact holds an empty score matrix; nothing to serve");

@@ -25,16 +25,17 @@ std::string FitMemoryStats::ToString() const {
   auto mib = [](std::size_t bytes) {
     return static_cast<double>(bytes) / (1024.0 * 1024.0);
   };
-  char buffer[320];
+  char buffer[448];
   std::snprintf(
       buffer, sizeof(buffer),
       "A^t %zu nnz (%.2f MiB csr, dense %.2f) | X %zu nnz (%.2f, dense "
-      "%.2f) | X-hat %zu nnz (%.2f, dense %.2f) | peak %.2f MiB "
-      "(dense %.2f)",
+      "%.2f) | X-hat %zu nnz (%.2f, dense %.2f) | S %.2f MiB (dense %.2f, "
+      "rank %zu) | peak %.2f MiB (dense %.2f)",
       adjacency_nnz, mib(adjacency_bytes), mib(adjacency_dense_bytes),
       raw_tensor_nnz, mib(raw_tensor_bytes), mib(raw_tensor_dense_bytes),
       adapted_tensor_nnz, mib(adapted_tensor_bytes),
-      mib(adapted_tensor_dense_bytes), mib(peak_bytes),
+      mib(adapted_tensor_dense_bytes), mib(iterate_bytes),
+      mib(iterate_dense_bytes), solver_rank, mib(peak_bytes),
       mib(adjacency_dense_bytes + raw_tensor_dense_bytes +
           adapted_tensor_dense_bytes));
   return buffer;
@@ -75,6 +76,7 @@ Status SlamPred::Fit(const AlignedNetworks& networks,
   adapted_tensors_ = std::move(context.adapted_tensors);
   if (!run.ok()) return run;
   s_ = std::move(context.s);
+  s_factored_ = std::move(context.s_factored);
   fitted_ = true;
   return Status::OK();
 }
@@ -83,11 +85,15 @@ Result<double> SlamPred::Score(std::size_t u, std::size_t v) const {
   if (!fitted_) {
     return Status::FailedPrecondition("SLAMPRED scored before Fit");
   }
-  if (u >= s_.rows() || v >= s_.cols()) {
+  const std::size_t n = NumUsersFitted();
+  if (u >= n || v >= n) {
     return Status::OutOfRange(
         "pair (" + std::to_string(u) + ", " + std::to_string(v) +
-        ") outside the fitted score matrix (" + std::to_string(s_.rows()) +
+        ") outside the fitted score matrix (" + std::to_string(n) +
         " users)");
+  }
+  if (config_.solver_backend == SolverBackend::kFactored) {
+    return s_factored_.At(u, v);
   }
   return s_(u, v);
 }
@@ -99,18 +105,21 @@ Result<std::vector<double>> SlamPred::ScorePairs(
   if (!fitted_) {
     return Status::FailedPrecondition("SLAMPRED scored before Fit");
   }
+  const std::size_t n = NumUsersFitted();
+  const bool factored = config_.solver_backend == SolverBackend::kFactored;
   std::vector<double> scores;
   scores.reserve(pairs.size());
   for (std::size_t i = 0; i < pairs.size(); ++i) {
     const UserPair& pair = pairs[i];
-    if (pair.u >= s_.rows() || pair.v >= s_.cols()) {
+    if (pair.u >= n || pair.v >= n) {
       return Status::OutOfRange(
           "pair " + std::to_string(i) + " = (" + std::to_string(pair.u) +
           ", " + std::to_string(pair.v) +
-          ") outside the fitted score matrix (" + std::to_string(s_.rows()) +
+          ") outside the fitted score matrix (" + std::to_string(n) +
           " users)");
     }
-    scores.push_back(s_(pair.u, pair.v));
+    scores.push_back(factored ? s_factored_.At(pair.u, pair.v)
+                              : s_(pair.u, pair.v));
   }
   return scores;
 }

@@ -25,8 +25,10 @@
 #include "features/feature_tensor.h"
 #include "graph/aligned_networks.h"
 #include "graph/social_graph.h"
+#include "linalg/factored_matrix.h"
 #include "linalg/matrix.h"
 #include "optim/cccp.h"
+#include "optim/solver_backend.h"
 #include "util/status.h"
 
 namespace slampred {
@@ -83,6 +85,15 @@ struct SlamPredConfig {
   DomainAdapterOptions adapter;
   CccpOptions optimization;
 
+  /// Iterate representation of the CCCP solve: the dense oracle or the
+  /// factored low-rank path (S = U·Vᵀ, O(n·r²) prox). The factored
+  /// backend requires the squared-Frobenius loss and ignores
+  /// project_unit_box / gamma's entry-wise prox (see DESIGN.md §13).
+  SolverBackend solver_backend = SolverBackend::kDense;
+  /// Range-finder controls of the factored backend (rank r, sketch
+  /// oversampling, power iterations, sketch seed).
+  FactoredSolverOptions factored;
+
   /// Seed for the model's internal sampling (embedding instances).
   std::uint64_t seed = 7;
 };
@@ -123,8 +134,17 @@ struct FitMemoryStats {
   std::size_t adapted_tensor_bytes = 0;
   std::size_t adapted_tensor_dense_bytes = 0;
   /// High-water mark of the tracked CSR footprint: adjacency + raw +
-  /// adapted tensors all live at the end of the embedding phase.
+  /// adapted tensors all live at the end of the embedding phase. (The
+  /// solver iterate is tracked separately in iterate_bytes.)
   std::size_t peak_bytes = 0;
+  /// Heap bytes of the solver iterate: n²·8 for the dense backend, the
+  /// two factor matrices for the factored one — the n³-to-n·r² story in
+  /// one number.
+  std::size_t iterate_bytes = 0;
+  /// What a dense iterate of the same order would occupy (n²·8).
+  std::size_t iterate_dense_bytes = 0;
+  /// Factor rank of the fitted iterate (0 for the dense backend).
+  std::size_t solver_rank = 0;
 
   /// One-line human-readable summary for CLI / bench output.
   std::string ToString() const;
@@ -148,8 +168,21 @@ class SlamPred : public LinkPredictor {
   Status Fit(const AlignedNetworks& networks,
              const SocialGraph& target_structure);
 
-  /// The inferred predictor matrix S (valid after Fit).
+  /// The inferred predictor matrix S (valid after a dense-backend Fit;
+  /// empty after a factored fit — use FactoredScoreMatrix there).
   const Matrix& ScoreMatrix() const { return s_; }
+
+  /// The factored predictor S = U·Vᵀ (valid after a factored-backend
+  /// Fit; empty factors otherwise).
+  const FactoredMatrix& FactoredScoreMatrix() const { return s_factored_; }
+
+  /// Number of users the fitted predictor covers, whichever backend
+  /// produced it.
+  std::size_t NumUsersFitted() const {
+    return config_.solver_backend == SolverBackend::kFactored
+               ? s_factored_.rows()
+               : s_.rows();
+  }
 
   /// True once Fit has succeeded.
   bool fitted() const { return fitted_; }
@@ -182,6 +215,7 @@ class SlamPred : public LinkPredictor {
  private:
   SlamPredConfig config_;
   Matrix s_;
+  FactoredMatrix s_factored_;
   CccpTrace trace_;
   FitPhaseTimes phase_times_;
   FitMemoryStats memory_stats_;

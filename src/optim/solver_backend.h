@@ -1,0 +1,46 @@
+// Solver backend selection: the dense iterate (the bit-exact oracle,
+// O(n³) nuclear prox) versus the factored low-rank iterate
+// (FactoredMatrix, O(n·r²) prox — the path past the dense-SVD wall).
+// The backend is threaded from the CLI through SlamPredConfig into
+// SolveStage and down to the optim layer; see DESIGN.md "Factored
+// low-rank solver".
+
+#ifndef SLAMPRED_OPTIM_SOLVER_BACKEND_H_
+#define SLAMPRED_OPTIM_SOLVER_BACKEND_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace slampred {
+
+/// Which iterate representation the CCCP solve runs on.
+enum class SolverBackend : std::uint8_t {
+  kDense = 0,     ///< Dense n×n iterate, exact SVD prox (the oracle).
+  kFactored = 1,  ///< S = U·Vᵀ iterate, factored prox + subspace reuse.
+};
+
+inline const char* SolverBackendName(SolverBackend backend) {
+  return backend == SolverBackend::kFactored ? "factored" : "dense";
+}
+
+/// Controls of the factored backend's randomized range finder.
+struct FactoredSolverOptions {
+  /// Target rank r of the iterate. The nuclear shrinkage truncates the
+  /// spectrum anyway; r only needs to cover the surviving ranks.
+  std::size_t rank = 24;
+  /// Extra sketch columns beyond `rank` (range-finder oversampling).
+  std::size_t oversampling = 8;
+  /// Subspace (power) iterations on a cold-started sketch.
+  int power_iterations = 2;
+  /// Subspace iterations when warm-started from the previous step's
+  /// basis — the subspace barely moves between iterations, so fewer
+  /// passes suffice.
+  int warm_power_iterations = 1;
+  /// Base seed of the gaussian sketches (deterministic; the per-step
+  /// draw is derived from it, never from global state).
+  std::uint64_t seed = 0x5eedULL;
+};
+
+}  // namespace slampred
+
+#endif  // SLAMPRED_OPTIM_SOLVER_BACKEND_H_

@@ -316,5 +316,140 @@ TEST_F(ModelArtifactTest, EmptyArtifactRejectedForServing) {
   EXPECT_FALSE(ScoringSession::FromArtifact(std::move(artifact)).ok());
 }
 
+// ---------------------------------------------------------------------
+// Factored-backend artifacts: a model fitted with the factored solver
+// snapshots its U·Vᵀ factors into the low-rank section instead of the
+// dense score matrix. The section must round-trip bit-exactly, mark the
+// backend on load, and serve through ScoringSession with scores
+// identical to the in-memory factored model.
+
+class FactoredArtifactTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    AlignedGeneratorConfig gen_config = DefaultExperimentConfig(19);
+    gen_config.population.num_personas = 90;
+    auto gen = GenerateAligned(gen_config);
+    ASSERT_TRUE(gen.ok());
+    generated_ = new GeneratedAligned(std::move(gen).value());
+    SocialGraph full = SocialGraph::FromHeterogeneousNetwork(
+        generated_->networks.target());
+    Rng rng(12);
+    auto folds = SplitLinks(full, 5, rng);
+    ASSERT_TRUE(folds.ok());
+    train_graph_ = new SocialGraph(
+        full.WithEdgesRemoved(folds.value()[0].test_edges));
+
+    SlamPredConfig config;
+    config.optimization.inner.max_iterations = 25;
+    config.optimization.max_outer_iterations = 2;
+    config.solver_backend = SolverBackend::kFactored;
+    config.factored.rank = 16;
+    model_ = new SlamPred(config);
+    ASSERT_TRUE(model_->Fit(generated_->networks, *train_graph_).ok());
+  }
+
+  static void TearDownTestSuite() {
+    delete generated_;
+    delete train_graph_;
+    delete model_;
+    generated_ = nullptr;
+  }
+
+  static std::vector<UserPair> SamplePairs() {
+    std::vector<UserPair> pairs;
+    const std::size_t n = model_->NumUsersFitted();
+    for (std::size_t u = 0; u < n; u += 3) {
+      for (std::size_t v = u + 1; v < n; v += 7) pairs.push_back({u, v});
+    }
+    return pairs;
+  }
+
+  static GeneratedAligned* generated_;
+  static SocialGraph* train_graph_;
+  static SlamPred* model_;
+};
+
+GeneratedAligned* FactoredArtifactTest::generated_ = nullptr;
+SocialGraph* FactoredArtifactTest::train_graph_ = nullptr;
+SlamPred* FactoredArtifactTest::model_ = nullptr;
+
+TEST_F(FactoredArtifactTest, SnapshotCarriesTheFactorsNotADenseMatrix) {
+  auto artifact = MakeModelArtifact(*model_);
+  ASSERT_TRUE(artifact.ok()) << artifact.status().ToString();
+  EXPECT_TRUE(artifact.value().has_low_rank);
+  EXPECT_TRUE(artifact.value().s.empty());
+  EXPECT_TRUE(artifact.value().low_rank == model_->FactoredScoreMatrix());
+  EXPECT_GT(artifact.value().low_rank.rank(), 0u);
+}
+
+TEST_F(FactoredArtifactTest, RoundTripIsExactAndMarksTheBackend) {
+  auto artifact = MakeModelArtifact(*model_);
+  ASSERT_TRUE(artifact.ok());
+  const std::string bytes = SerializeModelArtifact(artifact.value());
+  auto back = DeserializeModelArtifact(bytes);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_TRUE(back.value().has_low_rank);
+  EXPECT_TRUE(back.value().s.empty());
+  // Factor matrices carry exact IEEE-754 patterns through the stream.
+  EXPECT_TRUE(back.value().low_rank == model_->FactoredScoreMatrix());
+  // The backend is inferred from which section is present, so a loaded
+  // factored artifact always reports the factored solver.
+  EXPECT_EQ(back.value().config.solver_backend, SolverBackend::kFactored);
+  // Re-serializing the parsed artifact reproduces the original stream.
+  EXPECT_EQ(SerializeModelArtifact(back.value()), bytes);
+}
+
+TEST_F(FactoredArtifactTest, ServedScoresBitIdenticalAcrossThreadCounts) {
+  const std::string path = TempPath("factored_roundtrip.slpmodel");
+  auto artifact = MakeModelArtifact(*model_);
+  ASSERT_TRUE(artifact.ok());
+  ASSERT_TRUE(SaveModelArtifact(artifact.value(), path).ok());
+
+  const std::vector<UserPair> pairs = SamplePairs();
+  auto expected = model_->ScorePairs(pairs);
+  ASSERT_TRUE(expected.ok());
+  const Matrix dense = model_->FactoredScoreMatrix().ToDense();
+
+  const std::size_t original_threads = ThreadPool::Global().num_threads();
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2},
+                              std::size_t{7}}) {
+    ThreadPool::Global().Resize(threads);
+    auto session = ScoringSession::FromFile(path);
+    ASSERT_TRUE(session.ok()) << session.status().ToString();
+    EXPECT_EQ(session.value().num_users(), model_->NumUsersFitted());
+    auto served = session.value().ScorePairs(pairs);
+    ASSERT_TRUE(served.ok());
+    ASSERT_EQ(served.value().size(), expected.value().size());
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      // Bitwise equality against both the in-memory factored model and
+      // the densified factors the session materialized at load.
+      EXPECT_EQ(served.value()[i], expected.value()[i])
+          << "pair " << i << " at " << threads << " thread(s)";
+      EXPECT_EQ(served.value()[i], dense(pairs[i].u, pairs[i].v))
+          << "pair " << i << " at " << threads << " thread(s)";
+    }
+  }
+  ThreadPool::Global().Resize(original_threads);
+  std::remove(path.c_str());
+}
+
+TEST_F(FactoredArtifactTest, DenseArtifactsStayDenseOnLoad) {
+  // A dense-backend snapshot must not pick up the factored backend on
+  // load: the inference keys off the low-rank section alone.
+  SlamPredConfig config;
+  config.optimization.inner.max_iterations = 10;
+  config.optimization.max_outer_iterations = 1;
+  SlamPred dense_model(config);
+  ASSERT_TRUE(dense_model.Fit(generated_->networks, *train_graph_).ok());
+  auto artifact = MakeModelArtifact(dense_model);
+  ASSERT_TRUE(artifact.ok());
+  EXPECT_FALSE(artifact.value().has_low_rank);
+  auto back = DeserializeModelArtifact(SerializeModelArtifact(artifact.value()));
+  ASSERT_TRUE(back.ok());
+  EXPECT_FALSE(back.value().has_low_rank);
+  EXPECT_EQ(back.value().config.solver_backend, SolverBackend::kDense);
+  EXPECT_EQ(back.value().s, dense_model.ScoreMatrix());
+}
+
 }  // namespace
 }  // namespace slampred

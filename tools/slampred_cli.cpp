@@ -6,6 +6,7 @@
 //
 //   slampred_cli fit --target FILE --source FILE --anchors FILE
 //                    --save-model FILE [--method NAME] [--save-tensors 1]
+//                    [--solver dense|factored] [--rank R]
 //                    [--io-policy POLICY] [--stats-json PATH]
 //       Fit once on the full observed structure and write a versioned
 //       binary model artifact. The artifact can then be served over and
@@ -13,6 +14,7 @@
 //
 //   slampred_cli predict --target FILE --source FILE --anchors FILE
 //                        [--method NAME] [--top K] [--io-policy POLICY]
+//                        [--solver dense|factored] [--rank R]
 //                        [--stats-json PATH]
 //   slampred_cli predict --model FILE --target FILE
 //                        [--top K] [--io-policy POLICY]
@@ -47,11 +49,18 @@
 //
 //   slampred_cli evaluate --target FILE --source FILE --anchors FILE
 //                         [--method NAME] [--folds K] [--io-policy POLICY]
+//                         [--solver dense|factored] [--rank R]
 //                         [--save-model-dir DIR] [--rescore-dir DIR]
 //                         [--stats-json PATH]
 //       Cross-validated AUC / Precision@100 for one method.
 //       --save-model-dir writes one artifact per fold; --rescore-dir
 //       skips the fits entirely and rescores those saved artifacts.
+//
+// --solver picks the CCCP iterate representation for SLAMPRED variants:
+// `dense` (default, the bit-exact oracle) or `factored` (S = U·Vᵀ with
+// --rank R factors, O(n·r²) prox — see DESIGN.md §13). The backend and
+// rank are echoed in the fit report, --stats-json, and the serve-bench
+// summary of a factored artifact.
 //
 // --stats-json PATH writes the fit diagnostics (phase times, sparse-path
 // memory, solver recoveries) as one JSON object to PATH ("-" = stdout).
@@ -219,6 +228,34 @@ Result<AlignedNetworks> LoadBundle(const Flags& flags) {
   return bundle;
 }
 
+// --solver dense|factored and --rank R, shared by every fitting command
+// (fit, predict, evaluate).
+Status ApplySolverFlags(const Flags& flags, SlamPredConfig& config) {
+  const std::string solver = flags.Get("solver", "dense");
+  if (solver == "factored") {
+    config.solver_backend = SolverBackend::kFactored;
+  } else if (solver != "dense") {
+    return Status::InvalidArgument("--solver must be dense or factored, got " +
+                                   solver);
+  }
+  if (flags.Has("rank")) {
+    const std::size_t rank =
+        static_cast<std::size_t>(std::stoull(flags.Get("rank", "24")));
+    if (rank == 0) return Status::InvalidArgument("--rank must be >= 1");
+    config.factored.rank = rank;
+  }
+  return Status::OK();
+}
+
+// One-phrase backend description of a loaded artifact for the
+// serve-bench summaries.
+std::string ArtifactBackendSummary(const ModelArtifact& artifact) {
+  if (artifact.has_low_rank) {
+    return "factored, rank " + std::to_string(artifact.low_rank.rank());
+  }
+  return "dense";
+}
+
 // The SLAMPRED config both `fit` and the fitting form of `predict` use,
 // so a saved artifact and an in-process fit produce bit-identical
 // models for the same inputs.
@@ -236,6 +273,7 @@ Result<SlamPredConfig> CliModelConfig(const Flags& flags) {
   }
   config.optimization.inner.max_iterations = 60;
   config.optimization.max_outer_iterations = 2;
+  SLAMPRED_RETURN_NOT_OK(ApplySolverFlags(flags, config));
   return config;
 }
 
@@ -456,11 +494,13 @@ int ServeLoadGen(const Flags& flags, const std::string& model_path) {
   }
   ScoringService service(&registry, batch);
   const auto model = registry.Acquire();
-  std::printf("serving %s (%zu users, version %llu, checksum %08x) "
+  std::printf("serving %s (%zu users, version %llu, checksum %08x, %s) "
               "[%zu thread(s)]\n",
               model->session.name().c_str(), model->num_users(),
               static_cast<unsigned long long>(model->version),
-              model->checksum, ThreadPool::Global().num_threads());
+              model->checksum,
+              ArtifactBackendSummary(model->session.artifact()).c_str(),
+              ThreadPool::Global().num_threads());
 
   auto report = RunLoadGenerator(registry, service, options);
   if (!report.ok()) {
@@ -507,8 +547,10 @@ int ServeBench(const Flags& flags) {
   }
   const double load_seconds = load_watch.ElapsedSeconds();
   const std::size_t n = session.value().num_users();
-  std::printf("loaded %s (%zu users) in %.3f s\n",
-              session.value().name().c_str(), n, load_seconds);
+  std::printf("loaded %s (%zu users, %s) in %.3f s\n",
+              session.value().name().c_str(), n,
+              ArtifactBackendSummary(session.value().artifact()).c_str(),
+              load_seconds);
 
   // Deterministic batch cycling over the upper triangle.
   std::vector<UserPair> batch;
@@ -573,6 +615,11 @@ int Evaluate(const Flags& flags) {
       std::stoull(flags.Get("folds", "5")));
   options.slampred.optimization.inner.max_iterations = 60;
   options.slampred.optimization.max_outer_iterations = 2;
+  const Status solver_flags = ApplySolverFlags(flags, options.slampred);
+  if (!solver_flags.ok()) {
+    std::fprintf(stderr, "%s\n", solver_flags.ToString().c_str());
+    return 2;
+  }
   options.save_model_dir = flags.Get("save-model-dir", "");
   auto runner = ExperimentRunner::Create(bundle.value(), options);
   if (!runner.ok()) {
