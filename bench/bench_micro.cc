@@ -20,6 +20,8 @@
 #include "eval/metrics.h"
 #include "features/feature_tensor.h"
 #include "features/structural_features.h"
+#include "graph/partitioner.h"
+#include "graph/social_graph.h"
 #include "linalg/csr_matrix.h"
 #include "linalg/matrix.h"
 #include "linalg/matrix_ops.h"
@@ -484,6 +486,32 @@ void BM_GenerateBundle(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GenerateBundle)->Arg(60)->Arg(120);
+
+void BM_GenerateScaleOut(benchmark::State& state) {
+  for (auto _ : state) {
+    ScaleOutConfig config;
+    config.num_users = static_cast<std::size_t>(state.range(0));
+    config.seed = 11;
+    auto generated = GenerateAlignedScaleOut(config);
+    benchmark::DoNotOptimize(generated);
+  }
+}
+BENCHMARK(BM_GenerateScaleOut)->Arg(10000)->Arg(100000);
+
+void BM_PartitionGraph(benchmark::State& state) {
+  ScaleOutConfig config;
+  config.num_users = static_cast<std::size_t>(state.range(0));
+  config.seed = 11;
+  auto generated = GenerateAlignedScaleOut(config);
+  const SocialGraph graph = SocialGraph::FromHeterogeneousNetwork(
+      generated.value().networks.target());
+  PartitionOptions options;
+  options.max_cluster_size = 512;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PartitionGraph(graph, options));
+  }
+}
+BENCHMARK(BM_PartitionGraph)->Arg(10000)->Arg(100000);
 
 }  // namespace
 }  // namespace slampred

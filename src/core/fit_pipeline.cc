@@ -1,14 +1,18 @@
 #include "core/fit_pipeline.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <string>
 #include <utility>
+#include <vector>
 
+#include "graph/cluster_extract.h"
 #include "optim/factored_solver.h"
 #include "optim/objective.h"
 #include "util/fault_injection.h"
 #include "util/random.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace slampred {
 namespace {
@@ -250,9 +254,281 @@ Status SolveStage::Run(FitContext& context) const {
   return Status::OK();
 }
 
+Status PartitionStage::Run(FitContext& context) const {
+  auto partition = PartitionGraph(*context.target_structure, options_);
+  if (!partition.ok()) return partition.status();
+  context.partition = std::move(partition).value();
+  context.partition_stats = context.partition.stats;
+  return Status::OK();
+}
+
+namespace {
+
+// Per-cluster fault site: same kind → Status mapping as the stage-level
+// sites, scoped to one cluster's sub-fit so chaos tests can fail a
+// single cluster and watch the retry / surfaced-error path.
+Status InjectedClusterFault(std::size_t cluster) {
+  const std::string prefix = "cluster " + std::to_string(cluster) + ": ";
+  switch (SLAMPRED_FAULT_HIT("fit.cluster")) {
+    case FaultKind::kNone:
+      return Status::OK();
+    case FaultKind::kFailNotConverged:
+      return Status::NotConverged(prefix + "injected not-converged fault");
+    case FaultKind::kFailIo:
+      return Status::IoError(prefix + "injected io fault");
+    case FaultKind::kFailNumerical:
+    case FaultKind::kPoisonNaN:
+    case FaultKind::kPoisonInf:
+      return Status::NumericalError(prefix + "injected numerical fault");
+  }
+  return Status::OK();
+}
+
+// Everything one cluster's sub-fit produces. One ParallelFor index
+// writes one slot, so the fan-out needs no locking.
+struct ClusterFitResult {
+  Status status = Status::OK();
+  ModelShard shard;
+  CccpTrace trace;
+  FitMemoryStats memory;
+  double seconds = 0.0;
+  bool retried = false;
+};
+
+// One attempt at one cluster's sub-fit: extract the induced bundle and
+// run the full monolithic pipeline on it. The sub-config never
+// partitions again, remaps the per-source weights onto the sources that
+// survived extraction, and clamps the factored rank to the cluster
+// size. A cluster covering every user keeps the config untouched — the
+// sub-fit is then the monolithic fit, bit for bit.
+Status FitClusterOnce(const SlamPredConfig& model_config,
+                      const FitContext& context,
+                      const std::vector<std::size_t>& members,
+                      std::size_t cluster, ClusterFitResult& out) {
+  SLAMPRED_RETURN_NOT_OK(InjectedClusterFault(cluster));
+  auto bundle = ExtractClusterBundle(*context.networks,
+                                     *context.target_structure, members);
+  if (!bundle.ok()) return bundle.status();
+
+  const bool proper_subset =
+      members.size() < context.networks->target().NumUsers();
+  SlamPredConfig sub = model_config;
+  sub.partition = PartitionOptions{};
+  if (proper_subset && !model_config.alpha_sources.empty()) {
+    std::vector<double> alphas;
+    for (const std::size_t k : bundle.value().kept_sources) {
+      alphas.push_back(k < model_config.alpha_sources.size()
+                           ? model_config.alpha_sources[k]
+                           : model_config.alpha_sources.back());
+    }
+    if (!alphas.empty()) sub.alpha_sources = std::move(alphas);
+  }
+  if (proper_subset && sub.solver_backend == SolverBackend::kFactored) {
+    sub.factored.rank = std::min(sub.factored.rank, members.size());
+  }
+
+  FitContext sub_context;
+  sub_context.networks = &bundle.value().networks;
+  sub_context.target_structure = &bundle.value().structure;
+  const auto stages = BuildFitPipeline(sub);
+  const Status run = RunFitPipeline(stages, sub_context);
+  out.trace = std::move(sub_context.trace);
+  out.memory = sub_context.memory_stats;
+  SLAMPRED_RETURN_NOT_OK(run);
+
+  out.shard.users.clear();
+  out.shard.users.reserve(members.size());
+  for (const std::size_t u : members) {
+    out.shard.users.push_back(static_cast<std::uint32_t>(u));
+  }
+  if (sub.solver_backend == SolverBackend::kFactored) {
+    out.shard.low_rank = std::move(sub_context.s_factored);
+    out.shard.has_low_rank = true;
+  } else {
+    out.shard.s = std::move(sub_context.s);
+    out.shard.has_low_rank = false;
+  }
+  return Status::OK();
+}
+
+// The boundary-refinement pass: scores the cross-cluster pairs the
+// per-cluster blocks cannot see. Candidates for user u are the
+// cross-cluster users within two hops (cut-edge endpoints and their
+// neighbors), capped per row; the refined score averages what u's
+// cluster thinks of v's neighborhood with what v's cluster thinks of
+// u's:
+//
+//   refined(u, v) = ½ · ( avg_{w ∈ N(v), C(w)=C(u)} S(u, w)
+//                       + avg_{w ∈ N(u), C(w)=C(v)} S(v, w) )
+//
+// (an empty side contributes 0; a pair with both sides empty is left
+// unscored). Rows of the upper triangle are built in parallel — one
+// writer per row — then mirrored into a symmetric CSR.
+CsrMatrix RefineBoundary(const ShardedScores& shards,
+                         const std::vector<std::uint32_t>& cluster_of,
+                         const SocialGraph& structure,
+                         std::size_t max_candidates) {
+  const std::size_t n = structure.num_users();
+  std::vector<std::vector<CsrMatrix::RowEntry>> upper(n);
+  ParallelFor(0, n, 8, [&](std::size_t row_begin, std::size_t row_end) {
+    std::vector<std::size_t> candidates;
+    for (std::size_t u = row_begin; u < row_end; ++u) {
+      const std::uint32_t cu = cluster_of[u];
+      candidates.clear();
+      for (const std::size_t v : structure.Neighbors(u)) {
+        if (v > u && cluster_of[v] != cu) candidates.push_back(v);
+        for (const std::size_t w : structure.Neighbors(v)) {
+          if (w > u && cluster_of[w] != cu) candidates.push_back(w);
+        }
+      }
+      std::sort(candidates.begin(), candidates.end());
+      candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                       candidates.end());
+      if (max_candidates > 0 && candidates.size() > max_candidates) {
+        candidates.resize(max_candidates);
+      }
+      for (const std::size_t v : candidates) {
+        const std::uint32_t cv = cluster_of[v];
+        double sum_u = 0.0, sum_v = 0.0;
+        std::size_t count_u = 0, count_v = 0;
+        for (const std::size_t w : structure.Neighbors(v)) {
+          if (w != u && cluster_of[w] == cu) {
+            sum_u += shards.At(u, w);
+            ++count_u;
+          }
+        }
+        for (const std::size_t w : structure.Neighbors(u)) {
+          if (w != v && cluster_of[w] == cv) {
+            sum_v += shards.At(v, w);
+            ++count_v;
+          }
+        }
+        if (count_u + count_v == 0) continue;
+        const double score =
+            0.5 * ((count_u > 0 ? sum_u / count_u : 0.0) +
+                   (count_v > 0 ? sum_v / count_v : 0.0));
+        if (score != 0.0) upper[u].push_back({v, score});
+      }
+    }
+  });
+
+  // Mirror to a symmetric CSR: row v collects the transposed entries
+  // (scattered in ascending u, all columns < v) followed by its own
+  // upper-triangle entries (all columns > v) — sorted by construction.
+  std::vector<std::vector<CsrMatrix::RowEntry>> rows(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    for (const CsrMatrix::RowEntry& entry : upper[u]) {
+      rows[entry.first].push_back({u, entry.second});
+    }
+  }
+  for (std::size_t u = 0; u < n; ++u) {
+    rows[u].insert(rows[u].end(), upper[u].begin(), upper[u].end());
+  }
+  return CsrMatrix::FromRows(n, std::move(rows));
+}
+
+}  // namespace
+
+Status PartitionedSolveStage::Run(FitContext& context) const {
+  const std::size_t n = context.networks->target().NumUsers();
+  if (context.partition.num_users() != n ||
+      context.partition.num_clusters() == 0) {
+    return Status::FailedPrecondition(
+        "partitioned solve needs a partition (run the partition stage "
+        "first)");
+  }
+  const std::size_t num_clusters = context.partition.num_clusters();
+  std::vector<ClusterFitResult> results(num_clusters);
+
+  // Fan the independent sub-fits out over the pool, one cluster per
+  // chunk. Sub-fit parallelism serialises inside the outer region
+  // (nested ParallelFor), so every thread count computes the same
+  // numbers. A failed cluster gets exactly one resume before its error
+  // surfaces; the retry is counted as a checkpoint resume.
+  ParallelFor(0, num_clusters, 1, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t c = begin; c < end; ++c) {
+      ClusterFitResult& result = results[c];
+      Stopwatch watch;
+      result.status = FitClusterOnce(config_, context,
+                                     context.partition.clusters[c], c, result);
+      if (!result.status.ok()) {
+        result.retried = true;
+        result.status = FitClusterOnce(
+            config_, context, context.partition.clusters[c], c, result);
+      }
+      result.seconds = watch.ElapsedSeconds();
+    }
+  });
+
+  context.partition_stats = context.partition.stats;
+  context.partition_stats.cluster_solve_seconds.assign(num_clusters, 0.0);
+  context.trace = CccpTrace();
+  context.trace.converged = true;
+  Status first_failure = Status::OK();
+  std::vector<ModelShard> shards;
+  shards.reserve(num_clusters);
+  for (std::size_t c = 0; c < num_clusters; ++c) {
+    ClusterFitResult& result = results[c];
+    context.partition_stats.cluster_solve_seconds[c] = result.seconds;
+    context.trace.recovery.Merge(result.trace.recovery);
+    if (result.retried) ++context.trace.recovery.checkpoint_resumes;
+    context.trace.converged =
+        context.trace.converged && result.trace.converged;
+    context.trace.outer_iterations = std::max(
+        context.trace.outer_iterations, result.trace.outer_iterations);
+    // Sparse inputs sum across clusters; the peak is the largest single
+    // cluster's high-water mark (clusters share no tensors).
+    context.memory_stats.adjacency_nnz += result.memory.adjacency_nnz;
+    context.memory_stats.adjacency_bytes += result.memory.adjacency_bytes;
+    context.memory_stats.adjacency_dense_bytes +=
+        result.memory.adjacency_dense_bytes;
+    context.memory_stats.raw_tensor_nnz += result.memory.raw_tensor_nnz;
+    context.memory_stats.raw_tensor_bytes += result.memory.raw_tensor_bytes;
+    context.memory_stats.raw_tensor_dense_bytes +=
+        result.memory.raw_tensor_dense_bytes;
+    context.memory_stats.adapted_tensor_nnz +=
+        result.memory.adapted_tensor_nnz;
+    context.memory_stats.adapted_tensor_bytes +=
+        result.memory.adapted_tensor_bytes;
+    context.memory_stats.adapted_tensor_dense_bytes +=
+        result.memory.adapted_tensor_dense_bytes;
+    context.memory_stats.peak_bytes =
+        std::max(context.memory_stats.peak_bytes, result.memory.peak_bytes);
+    if (!result.status.ok() && first_failure.ok()) {
+      first_failure = Status(
+          result.status.code(),
+          "cluster " + std::to_string(c) + " of " +
+              std::to_string(num_clusters) + ": " + result.status.message());
+    }
+    shards.push_back(std::move(result.shard));
+  }
+  SLAMPRED_RETURN_NOT_OK(first_failure);
+
+  auto sharded = ShardedScores::Create(std::move(shards), CsrMatrix(), n);
+  if (!sharded.ok()) return sharded.status();
+  context.shards = std::move(sharded).value();
+
+  Stopwatch refine_watch;
+  SLAMPRED_RETURN_NOT_OK(context.shards.AttachBoundary(RefineBoundary(
+      context.shards, context.partition.cluster_of, *context.target_structure,
+      config_.partition.max_boundary_candidates)));
+  context.partition_stats.refine_seconds = refine_watch.ElapsedSeconds();
+
+  context.memory_stats.iterate_bytes = context.shards.EstimatedBytes();
+  context.memory_stats.iterate_dense_bytes = n * n * sizeof(double);
+  context.memory_stats.solver_rank = context.shards.MaxRank();
+  context.partitioned = true;
+  return Status::OK();
+}
+
 std::vector<std::unique_ptr<FitStage>> BuildFitPipeline(
     const SlamPredConfig& config) {
   std::vector<std::unique_ptr<FitStage>> stages;
+  if (config.partition.mode == PartitionMode::kAuto) {
+    stages.push_back(std::make_unique<PartitionStage>(config.partition));
+    stages.push_back(std::make_unique<PartitionedSolveStage>(config));
+    return stages;
+  }
   stages.push_back(
       std::make_unique<FeatureStage>(FeatureStageConfigFrom(config)));
   stages.push_back(

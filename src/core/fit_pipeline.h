@@ -25,10 +25,12 @@
 #include <memory>
 #include <vector>
 
+#include "core/score_shards.h"
 #include "core/slampred.h"
 #include "embedding/domain_adapter.h"
 #include "features/feature_tensor.h"
 #include "graph/aligned_networks.h"
+#include "graph/partitioner.h"
 #include "graph/social_graph.h"
 #include "linalg/factored_matrix.h"
 #include "linalg/matrix.h"
@@ -69,9 +71,22 @@ struct FitContext {
   FactoredMatrix s_factored;
   CccpTrace trace;
 
-  /// Diagnostics accumulated across stages.
+  /// Set by PartitionStage (partitioned pipeline only): the clustering
+  /// of the training structure the per-cluster solves run on.
+  GraphPartition partition;
+
+  /// Set by PartitionedSolveStage: the per-cluster score shards plus
+  /// the boundary-refinement scores; `partitioned` marks success so the
+  /// model dispatches scoring to `shards`.
+  ShardedScores shards;
+  bool partitioned = false;
+
+  /// Diagnostics accumulated across stages. `partition_stats` carries
+  /// the cluster summary and per-cluster solve timings of a partitioned
+  /// run (zeroed in a monolithic one).
   FitPhaseTimes phase_times;
   FitMemoryStats memory_stats;
+  PartitionStats partition_stats;
 };
 
 /// One pipeline stage. Run() reads and extends the context; it must be
@@ -174,7 +189,48 @@ class SolveStage : public FitStage {
   SolveStageConfig config_;
 };
 
-/// The full three-stage pipeline configured from `config`.
+/// Clusters the training structure (graph/partitioner.h) into
+/// context.partition and seeds context.partition_stats. Only part of
+/// the pipeline when config.partition.mode == kAuto.
+class PartitionStage : public FitStage {
+ public:
+  explicit PartitionStage(PartitionOptions options)
+      : options_(std::move(options)) {}
+  const char* name() const override { return "partition"; }
+  Status Run(FitContext& context) const override;
+  double& PhaseSlot(FitPhaseTimes& times) const override {
+    return times.partition_seconds;
+  }
+
+ private:
+  PartitionOptions options_;
+};
+
+/// The partitioned replacement of the whole feature → embedding → solve
+/// chain: extracts each cluster's induced sub-bundle, fans independent
+/// full SLAMPRED sub-fits out over the thread pool (each guarded by the
+/// "fit.cluster" fault site with one checkpoint-resume retry), then
+/// rescores cross-cluster candidate pairs in a boundary-refinement pass.
+/// Named "solve" so the stage-level "fit.solve" fault site covers both
+/// pipelines. Nested sub-fit parallelism serialises inside the outer
+/// fan-out, so results are bit-identical for every thread count.
+class PartitionedSolveStage : public FitStage {
+ public:
+  explicit PartitionedSolveStage(SlamPredConfig config)
+      : config_(std::move(config)) {}
+  const char* name() const override { return "solve"; }
+  Status Run(FitContext& context) const override;
+  double& PhaseSlot(FitPhaseTimes& times) const override {
+    return times.cccp_seconds;
+  }
+
+ private:
+  SlamPredConfig config_;
+};
+
+/// The full pipeline configured from `config`: the three-stage
+/// monolithic chain, or PartitionStage → PartitionedSolveStage when
+/// config.partition.mode == kAuto.
 std::vector<std::unique_ptr<FitStage>> BuildFitPipeline(
     const SlamPredConfig& config);
 

@@ -49,17 +49,31 @@ FitReport MakeFitReport(const SlamPred& model) {
       report.solver_backend == SolverBackend::kFactored
           ? model.config().factored.rank
           : 0;
+  report.partitioned = model.partitioned();
+  if (report.partitioned) report.partition = model.partition_stats();
   return report;
 }
 
 void PrintFitReport(std::FILE* out, const FitReport& report) {
   const FitPhaseTimes& times = report.phase_times;
-  std::fprintf(
-      out,
-      "phase times (s): features %.3f | embedding %.3f | cccp %.3f | "
-      "svd %.3f | total %.3f  [%zu thread(s)]\n",
-      times.features_seconds, times.embedding_seconds, times.cccp_seconds,
-      times.svd_seconds, times.total_seconds, report.threads);
+  if (report.partitioned) {
+    std::fprintf(
+        out,
+        "phase times (s): partition %.3f | features %.3f | embedding %.3f "
+        "| cccp %.3f | svd %.3f | total %.3f  [%zu thread(s)]\n",
+        times.partition_seconds, times.features_seconds,
+        times.embedding_seconds, times.cccp_seconds, times.svd_seconds,
+        times.total_seconds, report.threads);
+    std::fprintf(out, "partitioned solve: %s\n",
+                 report.partition.ToString().c_str());
+  } else {
+    std::fprintf(
+        out,
+        "phase times (s): features %.3f | embedding %.3f | cccp %.3f | "
+        "svd %.3f | total %.3f  [%zu thread(s)]\n",
+        times.features_seconds, times.embedding_seconds, times.cccp_seconds,
+        times.svd_seconds, times.total_seconds, report.threads);
+  }
   std::fprintf(out, "solver backend: %s",
                SolverBackendName(report.solver_backend));
   if (report.solver_backend == SolverBackend::kFactored) {
@@ -83,8 +97,13 @@ std::string FitReportJson(const FitReport& report) {
   out += "\"";
   out += ",\"solver_rank\":" + std::to_string(report.solver_rank);
 
+  out += ",\"partitioned\":";
+  out += report.partitioned ? "true" : "false";
+
   out += ",\"phase_times\":{";
   bool first = true;
+  AppendField(out, "partition_seconds", report.phase_times.partition_seconds,
+              &first);
   AppendField(out, "features_seconds", report.phase_times.features_seconds,
               &first);
   AppendField(out, "embedding_seconds", report.phase_times.embedding_seconds,
@@ -131,7 +150,34 @@ std::string FitReportJson(const FitReport& report) {
   AppendField(out, "degraded_responses", rec.degraded_responses, &first);
   AppendField(out, "artifact_rollbacks", rec.artifact_rollbacks, &first);
   AppendField(out, "total", rec.Total(), &first);
-  out += "}}";
+  out += "}";
+
+  if (report.partitioned) {
+    const PartitionStats& part = report.partition;
+    out += ",\"partition\":{";
+    first = true;
+    AppendField(out, "num_clusters", part.num_clusters, &first);
+    AppendField(out, "min_cluster", part.min_cluster, &first);
+    AppendField(out, "max_cluster", part.max_cluster, &first);
+    AppendField(out, "mean_cluster", part.mean_cluster, &first);
+    AppendField(out, "cut_edges", part.cut_edges, &first);
+    AppendField(out, "total_edges", part.total_edges, &first);
+    AppendField(out, "cut_edge_fraction", part.cut_edge_fraction, &first);
+    AppendField(out, "refine_seconds", part.refine_seconds, &first);
+    out += ",\"size_histogram\":[";
+    for (std::size_t b = 0; b < part.size_histogram.size(); ++b) {
+      if (b > 0) out += ",";
+      out += std::to_string(part.size_histogram[b]);
+    }
+    out += "],\"cluster_solve_seconds\":[";
+    for (std::size_t c = 0; c < part.cluster_solve_seconds.size(); ++c) {
+      if (c > 0) out += ",";
+      out += FormatDouble(part.cluster_solve_seconds[c], 6);
+    }
+    out += "]}";
+  }
+
+  out += "}";
   return out;
 }
 

@@ -27,6 +27,10 @@ struct FitReport {
   /// memory_stats.solver_rank).
   SolverBackend solver_backend = SolverBackend::kDense;
   std::size_t solver_rank = 0;
+  /// True when the fit ran the hierarchical partitioned solve; then
+  /// `partition` carries the cluster structure and per-cluster timings.
+  bool partitioned = false;
+  PartitionStats partition;
 };
 
 /// Collects the report of `model`'s last Fit (threads = current global

@@ -1,7 +1,9 @@
 #include "core/model_artifact.h"
 
+#include <algorithm>
 #include <cstring>
 #include <utility>
+#include <vector>
 
 #include "util/binary_io.h"
 #include "util/fault_injection.h"
@@ -20,6 +22,13 @@ enum SectionId : std::uint32_t {
   kSectionScoreMatrix = 2,
   kSectionAdaptedTensors = 3,
   kSectionLowRankFactors = 4,
+  // Sharded (partitioned-fit) artifacts: one manifest (user count +
+  // per-shard user ranges), then one section per shard (its index +
+  // ModelShard payload) so a serving registry can re-publish a single
+  // shard, then the boundary-refinement CSR.
+  kSectionShardManifest = 5,
+  kSectionShard = 6,
+  kSectionBoundary = 7,
 };
 
 // The config is stored field by field in a fixed order; any layout
@@ -211,7 +220,10 @@ Result<ModelArtifact> MakeModelArtifact(const SlamPred& model,
   }
   ModelArtifact artifact;
   artifact.config = model.config();
-  if (model.config().solver_backend == SolverBackend::kFactored) {
+  if (model.partitioned()) {
+    artifact.shards = model.ShardedScoreMatrix();
+    artifact.has_shards = true;
+  } else if (model.config().solver_backend == SolverBackend::kFactored) {
     artifact.low_rank = model.FactoredScoreMatrix();
     artifact.has_low_rank = true;
   } else {
@@ -228,11 +240,17 @@ std::string SerializeModelArtifact(const ModelArtifact& artifact) {
   BinaryWriter writer;
   writer.WriteBytes(kMagic, sizeof(kMagic));
   writer.WriteU32(kModelArtifactFormatVersion);
-  const bool write_s = !artifact.s.empty() || !artifact.has_low_rank;
+  const bool write_s =
+      !artifact.s.empty() || (!artifact.has_low_rank && !artifact.has_shards);
   std::uint32_t section_count = 1u;  // config is always present
   if (write_s) ++section_count;
   if (artifact.has_low_rank) ++section_count;
   if (artifact.has_adapted_tensors) ++section_count;
+  if (artifact.has_shards) {
+    // Manifest + one section per shard + the boundary CSR.
+    section_count +=
+        2u + static_cast<std::uint32_t>(artifact.shards.num_shards());
+  }
   writer.WriteU32(section_count);
 
   BinaryWriter config_writer;
@@ -258,6 +276,30 @@ std::string SerializeModelArtifact(const ModelArtifact& artifact) {
       tensor.Serialize(tensor_writer);
     }
     AppendSection(kSectionAdaptedTensors, tensor_writer.buffer(), writer);
+  }
+
+  if (artifact.has_shards) {
+    const ShardedScores& shards = artifact.shards;
+    BinaryWriter manifest_writer;
+    manifest_writer.WriteU64(shards.num_users());
+    manifest_writer.WriteU64(shards.num_shards());
+    for (const ModelShard& shard : shards.shards()) {
+      manifest_writer.WriteU64(shard.users.size());
+      manifest_writer.WriteU32(shard.users.front());
+      manifest_writer.WriteU32(shard.users.back());
+    }
+    AppendSection(kSectionShardManifest, manifest_writer.buffer(), writer);
+
+    for (std::size_t i = 0; i < shards.num_shards(); ++i) {
+      BinaryWriter shard_writer;
+      shard_writer.WriteU64(i);
+      shards.shards()[i].Serialize(shard_writer);
+      AppendSection(kSectionShard, shard_writer.buffer(), writer);
+    }
+
+    BinaryWriter boundary_writer;
+    shards.boundary().Serialize(boundary_writer);
+    AppendSection(kSectionBoundary, boundary_writer.buffer(), writer);
   }
   return writer.TakeBuffer();
 }
@@ -287,6 +329,12 @@ Result<ModelArtifact> DeserializeModelArtifact(const std::string& bytes) {
   bool have_config = false;
   bool have_s = false;
   bool have_low_rank = false;
+  bool have_manifest = false;
+  bool have_boundary = false;
+  std::uint64_t manifest_users = 0;
+  std::vector<std::uint64_t> manifest_sizes;
+  std::vector<std::pair<std::uint64_t, ModelShard>> loaded_shards;
+  CsrMatrix boundary;
   for (std::uint32_t i = 0; i < section_count.value(); ++i) {
     const std::size_t section_offset = reader.offset();
     auto id = reader.ReadU32();
@@ -347,16 +395,92 @@ Result<ModelArtifact> DeserializeModelArtifact(const std::string& bytes) {
         artifact.has_adapted_tensors = true;
         break;
       }
+      case kSectionShardManifest: {
+        auto users = section.ReadU64();
+        if (!users.ok()) return users.status();
+        manifest_users = users.value();
+        auto shard_count = section.ReadU64();
+        if (!shard_count.ok()) return shard_count.status();
+        for (std::uint64_t k = 0; k < shard_count.value(); ++k) {
+          auto shard_users = section.ReadU64();
+          if (!shard_users.ok()) return shard_users.status();
+          auto first = section.ReadU32();
+          if (!first.ok()) return first.status();
+          auto last = section.ReadU32();
+          if (!last.ok()) return last.status();
+          manifest_sizes.push_back(shard_users.value());
+        }
+        have_manifest = true;
+        break;
+      }
+      case kSectionShard: {
+        auto index = section.ReadU64();
+        if (!index.ok()) return index.status();
+        auto shard = ModelShard::Deserialize(section);
+        if (!shard.ok()) return shard.status();
+        loaded_shards.emplace_back(index.value(), std::move(shard).value());
+        break;
+      }
+      case kSectionBoundary: {
+        auto csr = CsrMatrix::Deserialize(section);
+        if (!csr.ok()) return csr.status();
+        boundary = std::move(csr).value();
+        have_boundary = true;
+        break;
+      }
       default:
         // Checksum-verified but unknown: skip (additive growth within a
         // format version stays readable).
         break;
     }
   }
-  if (!have_config || (!have_s && !have_low_rank)) {
+  if (have_manifest || !loaded_shards.empty()) {
+    if (!have_manifest) {
+      return Status::IoError(
+          "sharded artifact carries shard sections but no manifest");
+    }
+    if (loaded_shards.size() != manifest_sizes.size()) {
+      return Status::IoError(
+          "sharded artifact manifest names " +
+          std::to_string(manifest_sizes.size()) + " shards but " +
+          std::to_string(loaded_shards.size()) + " shard sections follow");
+    }
+    std::sort(loaded_shards.begin(), loaded_shards.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::vector<ModelShard> shards;
+    shards.reserve(loaded_shards.size());
+    for (std::size_t k = 0; k < loaded_shards.size(); ++k) {
+      if (loaded_shards[k].first != k) {
+        return Status::IoError("sharded artifact shard index " +
+                               std::to_string(k) + " is missing");
+      }
+      if (loaded_shards[k].second.users.size() != manifest_sizes[k]) {
+        return Status::IoError(
+            "shard " + std::to_string(k) + " covers " +
+            std::to_string(loaded_shards[k].second.users.size()) +
+            " users but the manifest promises " +
+            std::to_string(manifest_sizes[k]));
+      }
+      shards.push_back(std::move(loaded_shards[k].second));
+    }
+    if (!have_boundary) {
+      return Status::IoError("sharded artifact is missing its boundary "
+                             "section");
+    }
+    auto sharded = ShardedScores::Create(
+        std::move(shards), std::move(boundary),
+        static_cast<std::size_t>(manifest_users));
+    if (!sharded.ok()) {
+      return Status::IoError("sharded artifact is inconsistent: " +
+                             sharded.status().message());
+    }
+    artifact.shards = std::move(sharded).value();
+    artifact.has_shards = true;
+  }
+  if (!have_config || (!have_s && !have_low_rank && !artifact.has_shards)) {
     return Status::IoError(
         "artifact is missing a required section (config and a score "
-        "matrix — dense or low-rank factors — are mandatory)");
+        "matrix — dense, low-rank factors, or shards — are mandatory)");
   }
   if (artifact.s.rows() != artifact.s.cols()) {
     return Status::IoError("artifact score matrix is not square: " +
@@ -370,11 +494,15 @@ Result<ModelArtifact> DeserializeModelArtifact(const std::string& bytes) {
         std::to_string(artifact.low_rank.rows()) + "x" +
         std::to_string(artifact.low_rank.cols()));
   }
-  // The serialized config predates the factored backend (its fields are
-  // not part of the fixed layout), so the backend is inferred from the
-  // sections present — a low-rank artifact serves factored scores.
+  // The serialized config predates the factored backend and the
+  // partitioner (their fields are not part of the fixed layout), so both
+  // are inferred from the sections present — a low-rank artifact serves
+  // factored scores; a sharded one marks itself partitioned.
   if (artifact.has_low_rank) {
     artifact.config.solver_backend = SolverBackend::kFactored;
+  }
+  if (artifact.has_shards) {
+    artifact.config.partition.mode = PartitionMode::kAuto;
   }
   return artifact;
 }

@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "core/score_shards.h"
 #include "core/slampred.h"
 #include "linalg/factored_matrix.h"
 #include "linalg/matrix.h"
@@ -60,6 +61,14 @@ struct ModelArtifact {
   /// features; omitted by default to keep serving artifacts small.
   std::vector<SparseTensor3> adapted_tensors;
   bool has_adapted_tensors = false;
+  /// The sharded predictor of a partitioned fit: every cluster's score
+  /// block is its own checksummed section (independently replaceable at
+  /// serve time), preceded by a manifest section mapping clusters to
+  /// their user ranges and followed by the boundary-refinement CSR.
+  /// Presence marks the artifact as partitioned; readers predating the
+  /// sections skip them and fail cleanly on the missing score matrix.
+  ShardedScores shards;
+  bool has_shards = false;
 };
 
 /// Snapshots a fitted model into an artifact. Fails with

@@ -1,0 +1,191 @@
+#include "core/score_shards.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "util/binary_io.h"
+
+namespace slampred {
+
+std::size_t ModelShard::EstimatedBytes() const {
+  return users.size() * sizeof(std::uint32_t) +
+         s.data().size() * sizeof(double) +
+         (has_low_rank ? low_rank.EstimatedBytes() : 0);
+}
+
+Status ModelShard::Validate() const {
+  const std::size_t m = users.size();
+  if (m == 0) return Status::InvalidArgument("shard has no users");
+  for (std::size_t i = 1; i < m; ++i) {
+    if (users[i] <= users[i - 1]) {
+      return Status::InvalidArgument(
+          "shard users must be strictly ascending");
+    }
+  }
+  if (has_low_rank) {
+    if (low_rank.rows() != m || low_rank.cols() != m) {
+      return Status::InvalidArgument(
+          "shard factors are " + std::to_string(low_rank.rows()) + "x" +
+          std::to_string(low_rank.cols()) + " for " + std::to_string(m) +
+          " users");
+    }
+    return Status::OK();
+  }
+  if (s.rows() != m || s.cols() != m) {
+    return Status::InvalidArgument(
+        "shard score block is " + std::to_string(s.rows()) + "x" +
+        std::to_string(s.cols()) + " for " + std::to_string(m) + " users");
+  }
+  return Status::OK();
+}
+
+void ModelShard::Serialize(BinaryWriter& writer) const {
+  writer.WriteU64(users.size());
+  for (const std::uint32_t u : users) writer.WriteU32(u);
+  writer.WriteBool(has_low_rank);
+  if (has_low_rank) {
+    low_rank.Serialize(writer);
+  } else {
+    s.Serialize(writer);
+  }
+}
+
+Result<ModelShard> ModelShard::Deserialize(BinaryReader& reader) {
+  ModelShard shard;
+  auto count = reader.ReadU64();
+  if (!count.ok()) return count.status();
+  if (count.value() > reader.remaining() / sizeof(std::uint32_t)) {
+    return reader.Truncated(
+        static_cast<std::size_t>(count.value()) * sizeof(std::uint32_t),
+        "shard users");
+  }
+  shard.users.reserve(static_cast<std::size_t>(count.value()));
+  for (std::uint64_t i = 0; i < count.value(); ++i) {
+    auto user = reader.ReadU32();
+    if (!user.ok()) return user.status();
+    shard.users.push_back(user.value());
+  }
+  auto factored = reader.ReadBool();
+  if (!factored.ok()) return factored.status();
+  shard.has_low_rank = factored.value();
+  if (shard.has_low_rank) {
+    auto low_rank = FactoredMatrix::Deserialize(reader);
+    if (!low_rank.ok()) return low_rank.status();
+    shard.low_rank = std::move(low_rank).value();
+  } else {
+    auto s = Matrix::Deserialize(reader);
+    if (!s.ok()) return s.status();
+    shard.s = std::move(s).value();
+  }
+  SLAMPRED_RETURN_NOT_OK(shard.Validate());
+  return shard;
+}
+
+Result<ShardedScores> ShardedScores::Create(std::vector<ModelShard> shards,
+                                            CsrMatrix boundary,
+                                            std::size_t num_users) {
+  ShardedScores out;
+  out.cluster_of_.assign(num_users, 0);
+  out.local_index_.assign(num_users, 0);
+  std::vector<bool> covered(num_users, false);
+  for (std::size_t c = 0; c < shards.size(); ++c) {
+    SLAMPRED_RETURN_NOT_OK(shards[c].Validate());
+    for (std::size_t i = 0; i < shards[c].users.size(); ++i) {
+      const std::size_t u = shards[c].users[i];
+      if (u >= num_users) {
+        return Status::InvalidArgument(
+            "shard " + std::to_string(c) + " names user " +
+            std::to_string(u) + " outside [0, " + std::to_string(num_users) +
+            ")");
+      }
+      if (covered[u]) {
+        return Status::InvalidArgument("user " + std::to_string(u) +
+                                       " appears in two shards");
+      }
+      covered[u] = true;
+      out.cluster_of_[u] = static_cast<std::uint32_t>(c);
+      out.local_index_[u] = static_cast<std::uint32_t>(i);
+    }
+  }
+  for (std::size_t u = 0; u < num_users; ++u) {
+    if (!covered[u]) {
+      return Status::InvalidArgument("user " + std::to_string(u) +
+                                     " is covered by no shard");
+    }
+  }
+  out.shards_ = std::move(shards);
+  SLAMPRED_RETURN_NOT_OK(out.AttachBoundary(std::move(boundary)));
+  return out;
+}
+
+Status ShardedScores::AttachBoundary(CsrMatrix boundary) {
+  if (boundary.rows() != 0 && (boundary.rows() != num_users() ||
+                               boundary.cols() != num_users())) {
+    return Status::InvalidArgument(
+        "boundary matrix is " + std::to_string(boundary.rows()) + "x" +
+        std::to_string(boundary.cols()) + " for " +
+        std::to_string(num_users()) + " users");
+  }
+  boundary_ = std::move(boundary);
+  return Status::OK();
+}
+
+Status ShardedScores::ReplaceShard(std::size_t index, ModelShard shard) {
+  if (index >= shards_.size()) {
+    return Status::OutOfRange("shard index " + std::to_string(index) +
+                              " outside [0, " +
+                              std::to_string(shards_.size()) + ")");
+  }
+  SLAMPRED_RETURN_NOT_OK(shard.Validate());
+  if (shard.users != shards_[index].users) {
+    return Status::InvalidArgument(
+        "replacement for shard " + std::to_string(index) +
+        " covers different users (a shard swap never changes the "
+        "partition)");
+  }
+  shards_[index] = std::move(shard);
+  return Status::OK();
+}
+
+double ShardedScores::At(std::size_t u, std::size_t v) const {
+  const std::uint32_t cu = cluster_of_[u];
+  if (cu == cluster_of_[v]) {
+    return shards_[cu].At(local_index_[u], local_index_[v]);
+  }
+  if (boundary_.rows() == 0) return 0.0;
+  return boundary_.At(u, v);
+}
+
+void ShardedScores::RowScores(std::size_t u, std::vector<double>& out) const {
+  const std::size_t n = num_users();
+  out.assign(n, 0.0);
+  const ModelShard& own = shards_[cluster_of_[u]];
+  const std::size_t lu = local_index_[u];
+  for (std::size_t j = 0; j < own.users.size(); ++j) {
+    out[own.users[j]] = own.At(lu, j);
+  }
+  if (boundary_.rows() == 0) return;
+  const auto& row_ptr = boundary_.row_ptr();
+  const auto& col_idx = boundary_.col_idx();
+  const auto& values = boundary_.values();
+  for (std::size_t e = row_ptr[u]; e < row_ptr[u + 1]; ++e) {
+    out[col_idx[e]] = values[e];
+  }
+}
+
+std::size_t ShardedScores::MaxRank() const {
+  std::size_t rank = 0;
+  for (const ModelShard& shard : shards_) rank = std::max(rank, shard.rank());
+  return rank;
+}
+
+std::size_t ShardedScores::EstimatedBytes() const {
+  std::size_t bytes = boundary_.EstimatedBytes() +
+                      (cluster_of_.size() + local_index_.size()) *
+                          sizeof(std::uint32_t);
+  for (const ModelShard& shard : shards_) bytes += shard.EstimatedBytes();
+  return bytes;
+}
+
+}  // namespace slampred

@@ -1,0 +1,117 @@
+// Sharded predictor container — the merge product of the hierarchical
+// partitioned solve. Each cluster's sub-fit yields one ModelShard (the
+// cluster's member list plus its dense or factored score block in local
+// coordinates); cross-cluster pairs are scored from the boundary
+// refinement CSR (global coordinates, symmetric) or default to 0 when
+// uncovered. ShardedScores stitches the shards back into one
+// n-user scoring surface, and is what a sharded model artifact carries
+// and a ScoringSession serves from — shard by shard, never densified
+// to n×n.
+
+#ifndef SLAMPRED_CORE_SCORE_SHARDS_H_
+#define SLAMPRED_CORE_SCORE_SHARDS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "linalg/csr_matrix.h"
+#include "linalg/factored_matrix.h"
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+namespace slampred {
+
+class BinaryReader;
+class BinaryWriter;
+
+/// One cluster's fitted score block: the ascending global user ids of
+/// its members and their scores in local coordinates (dense or
+/// factored, matching the sub-fit's solver backend).
+struct ModelShard {
+  /// Ascending global user ids of the shard's members.
+  std::vector<std::uint32_t> users;
+  /// Dense block (users.size() × users.size()); empty when factored.
+  Matrix s;
+  /// Factored block S = U·Vᵀ of a factored sub-fit.
+  FactoredMatrix low_rank;
+  bool has_low_rank = false;
+
+  std::size_t num_users() const { return users.size(); }
+
+  /// Score of the local pair (i, j); unchecked.
+  double At(std::size_t i, std::size_t j) const {
+    return has_low_rank ? low_rank.At(i, j) : s(i, j);
+  }
+
+  /// Factor rank of a factored block (0 for a dense one).
+  std::size_t rank() const { return has_low_rank ? low_rank.rank() : 0; }
+
+  /// Heap bytes of the member list plus the score block.
+  std::size_t EstimatedBytes() const;
+
+  /// Shape/ordering invariants (square block of the member count,
+  /// strictly ascending users).
+  Status Validate() const;
+
+  void Serialize(BinaryWriter& writer) const;
+  static Result<ModelShard> Deserialize(BinaryReader& reader);
+};
+
+/// The full sharded predictor: disjoint shards covering the users
+/// [0, n) plus the symmetric boundary CSR scoring cross-cluster pairs.
+class ShardedScores {
+ public:
+  /// Empty (unsharded) container.
+  ShardedScores() = default;
+
+  /// Validates and assembles: the shards must cover [0, num_users)
+  /// exactly once and `boundary` must be empty or num_users square.
+  static Result<ShardedScores> Create(std::vector<ModelShard> shards,
+                                      CsrMatrix boundary,
+                                      std::size_t num_users);
+
+  /// Replaces the boundary CSR (same shape rules as Create). Used by
+  /// the solve stage, which assembles shards first and computes the
+  /// refinement from them.
+  Status AttachBoundary(CsrMatrix boundary);
+
+  /// Replaces shard `index` with `shard`, which must cover exactly the
+  /// same users (hot-swapping a shard never changes the partition).
+  Status ReplaceShard(std::size_t index, ModelShard shard);
+
+  bool empty() const { return cluster_of_.empty(); }
+  std::size_t num_users() const { return cluster_of_.size(); }
+  std::size_t num_shards() const { return shards_.size(); }
+  const std::vector<ModelShard>& shards() const { return shards_; }
+  const CsrMatrix& boundary() const { return boundary_; }
+
+  /// Shard index / in-shard index of user `u` (unchecked).
+  std::uint32_t shard_of(std::size_t u) const { return cluster_of_[u]; }
+  std::size_t local_index(std::size_t u) const { return local_index_[u]; }
+
+  /// Score of the global pair (u, v); unchecked. Same shard → block
+  /// lookup; different shards → boundary CSR (0 when uncovered).
+  double At(std::size_t u, std::size_t v) const;
+
+  /// Fills `out` (resized to num_users) with the full score row of
+  /// `u`: the own-shard block scattered to global columns, boundary
+  /// entries for cross-shard columns, 0 elsewhere.
+  void RowScores(std::size_t u, std::vector<double>& out) const;
+
+  /// Largest factor rank across the shards (0 when all dense).
+  std::size_t MaxRank() const;
+
+  /// Heap bytes of every shard plus the boundary CSR.
+  std::size_t EstimatedBytes() const;
+
+ private:
+  std::vector<ModelShard> shards_;
+  std::vector<std::uint32_t> cluster_of_;   // size n
+  std::vector<std::uint32_t> local_index_;  // size n
+  CsrMatrix boundary_;                      // n×n symmetric, or empty
+};
+
+}  // namespace slampred
+
+#endif  // SLAMPRED_CORE_SCORE_SHARDS_H_

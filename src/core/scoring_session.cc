@@ -11,17 +11,30 @@ Result<ScoringSession> ScoringSession::FromFile(const std::string& path) {
 }
 
 Result<ScoringSession> ScoringSession::FromArtifact(ModelArtifact artifact) {
+  if (artifact.has_shards) {
+    if (artifact.shards.empty()) {
+      return Status::InvalidArgument(
+          "sharded artifact holds no shards; nothing to serve");
+    }
+    const std::size_t n = artifact.shards.num_users();
+    return ScoringSession(std::move(artifact), Backend::kSharded, n);
+  }
   if (artifact.s.empty() && artifact.has_low_rank) {
-    // Factored artifacts materialise S = U·Vᵀ once at load so the whole
-    // serve path (sessions, registry, batch scorer, top-K) stays
-    // backend-agnostic dense reads.
+    // Served straight from the factors — At(u, v) is an O(r) dot
+    // product bit-identical to the densified entry, so nothing O(n²)
+    // is ever materialised at load.
     if (artifact.low_rank.rows() != artifact.low_rank.cols()) {
       return Status::InvalidArgument(
           "artifact low-rank factors must be square, got " +
           std::to_string(artifact.low_rank.rows()) + "x" +
           std::to_string(artifact.low_rank.cols()));
     }
-    artifact.s = artifact.low_rank.ToDense();
+    if (artifact.low_rank.rows() == 0) {
+      return Status::InvalidArgument(
+          "artifact holds empty low-rank factors; nothing to serve");
+    }
+    const std::size_t n = artifact.low_rank.rows();
+    return ScoringSession(std::move(artifact), Backend::kFactored, n);
   }
   if (artifact.s.empty()) {
     return Status::InvalidArgument(
@@ -33,17 +46,34 @@ Result<ScoringSession> ScoringSession::FromArtifact(ModelArtifact artifact) {
         std::to_string(artifact.s.rows()) + "x" +
         std::to_string(artifact.s.cols()));
   }
-  return ScoringSession(std::move(artifact));
+  const std::size_t n = artifact.s.rows();
+  return ScoringSession(std::move(artifact), Backend::kDense, n);
 }
 
 Result<double> ScoringSession::Score(std::size_t u, std::size_t v) const {
-  if (u >= artifact_.s.rows() || v >= artifact_.s.cols()) {
+  if (u >= num_users_ || v >= num_users_) {
     return Status::OutOfRange(
         "pair (" + std::to_string(u) + ", " + std::to_string(v) +
-        ") outside the served score matrix (" +
-        std::to_string(artifact_.s.rows()) + " users)");
+        ") outside the served score matrix (" + std::to_string(num_users_) +
+        " users)");
   }
-  return artifact_.s(u, v);
+  return ScoreUnchecked(u, v);
+}
+
+void ScoringSession::RowScores(std::size_t u, std::vector<double>& out) const {
+  if (backend_ == Backend::kSharded) {
+    artifact_.shards.RowScores(u, out);
+    return;
+  }
+  out.resize(num_users_);
+  if (backend_ == Backend::kDense) {
+    const double* row = artifact_.s.data().data() + u * num_users_;
+    for (std::size_t v = 0; v < num_users_; ++v) out[v] = row[v];
+    return;
+  }
+  for (std::size_t v = 0; v < num_users_; ++v) {
+    out[v] = artifact_.low_rank.At(u, v);
+  }
 }
 
 std::string ScoringSession::name() const {
@@ -56,14 +86,14 @@ Result<std::vector<double>> ScoringSession::ScorePairs(
   scores.reserve(pairs.size());
   for (std::size_t i = 0; i < pairs.size(); ++i) {
     const UserPair& pair = pairs[i];
-    if (pair.u >= artifact_.s.rows() || pair.v >= artifact_.s.cols()) {
+    if (pair.u >= num_users_ || pair.v >= num_users_) {
       return Status::OutOfRange(
           "pair " + std::to_string(i) + " = (" + std::to_string(pair.u) +
           ", " + std::to_string(pair.v) +
-          ") outside the served score matrix (" +
-          std::to_string(artifact_.s.rows()) + " users)");
+          ") outside the served score matrix (" + std::to_string(num_users_) +
+          " users)");
     }
-    scores.push_back(artifact_.s(pair.u, pair.v));
+    scores.push_back(ScoreUnchecked(pair.u, pair.v));
   }
   return scores;
 }

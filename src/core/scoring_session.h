@@ -1,13 +1,20 @@
 // ScoringSession — the serve-many half of the train-once / serve-many
 // split. Wraps a loaded ModelArtifact behind the LinkPredictor
-// interface: Score / ScorePairs are pure lookups into the fitted S, no
-// fit stage ever runs, so a session is cheap to construct and safe to
-// keep hot in a serving process. Scores are bit-identical to the
-// SlamPred model the artifact was snapshotted from.
+// interface: Score / ScorePairs are pure lookups into the fitted
+// predictor, no fit stage ever runs, so a session is cheap to construct
+// and safe to keep hot in a serving process. Scores are bit-identical
+// to the SlamPred model the artifact was snapshotted from.
+//
+// The session dispatches on the artifact's representation instead of
+// normalising to dense at load: a factored artifact is served straight
+// from its U·Vᵀ factors (O(n·r) resident instead of the O(n²) block the
+// old densifying load paid) and a sharded one from its per-cluster
+// blocks plus the boundary CSR.
 
 #ifndef SLAMPRED_CORE_SCORING_SESSION_H_
 #define SLAMPRED_CORE_SCORING_SESSION_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -20,6 +27,13 @@ namespace slampred {
 /// Serves link scores from a fitted model artifact.
 class ScoringSession : public LinkPredictor {
  public:
+  /// The representation scores are read from.
+  enum class Backend : std::uint8_t {
+    kDense = 0,     ///< artifact.s element lookups.
+    kFactored = 1,  ///< artifact.low_rank.At — never densified.
+    kSharded = 2,   ///< artifact.shards block + boundary lookups.
+  };
+
   /// Loads the artifact at `path` (offset-diagnosed kIoError on any
   /// corruption) and validates it for serving.
   static Result<ScoringSession> FromFile(const std::string& path);
@@ -27,27 +41,46 @@ class ScoringSession : public LinkPredictor {
   /// Wraps an already-materialised artifact.
   static Result<ScoringSession> FromArtifact(ModelArtifact artifact);
 
-  /// Number of users the fitted S covers (== its order).
-  std::size_t num_users() const { return artifact_.s.rows(); }
+  /// Number of users the fitted predictor covers.
+  std::size_t num_users() const { return num_users_; }
+
+  Backend backend() const { return backend_; }
 
   const ModelArtifact& artifact() const { return artifact_; }
 
   /// Confidence score of (u, v); kOutOfRange when either id falls
-  /// outside the fitted S.
+  /// outside the fitted predictor.
   Result<double> Score(std::size_t u, std::size_t v) const;
+
+  /// Unchecked score lookup — the hot serving path; callers must have
+  /// bounds-checked (u, v) against num_users().
+  double ScoreUnchecked(std::size_t u, std::size_t v) const {
+    if (backend_ == Backend::kDense) return artifact_.s(u, v);
+    if (backend_ == Backend::kFactored) return artifact_.low_rank.At(u, v);
+    return artifact_.shards.At(u, v);
+  }
+
+  /// Fills `out` (resized to num_users) with u's full score row —
+  /// whichever backend, without materialising anything n²-sized.
+  void RowScores(std::size_t u, std::vector<double>& out) const;
 
   /// Variant name of the underlying config, marked as artifact-served.
   std::string name() const override;
 
-  /// Batch scores; every pair is bounds-checked against the fitted S.
+  /// Batch scores; every pair is bounds-checked against the predictor.
   Result<std::vector<double>> ScorePairs(
       const std::vector<UserPair>& pairs) const override;
 
  private:
-  explicit ScoringSession(ModelArtifact artifact)
-      : artifact_(std::move(artifact)) {}
+  ScoringSession(ModelArtifact artifact, Backend backend,
+                 std::size_t num_users)
+      : artifact_(std::move(artifact)),
+        backend_(backend),
+        num_users_(num_users) {}
 
   ModelArtifact artifact_;
+  Backend backend_ = Backend::kDense;
+  std::size_t num_users_ = 0;
 };
 
 }  // namespace slampred

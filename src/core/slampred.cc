@@ -72,11 +72,15 @@ Status SlamPred::Fit(const AlignedNetworks& networks,
   phase_times_.svd_seconds = SvdSecondsThisThread() - svd_seconds_before;
   phase_times_.total_seconds = total_watch.ElapsedSeconds();
   memory_stats_ = context.memory_stats;
+  partition_stats_ = context.partition_stats;
   trace_ = std::move(context.trace);
   adapted_tensors_ = std::move(context.adapted_tensors);
+  partitioned_ = false;
   if (!run.ok()) return run;
   s_ = std::move(context.s);
   s_factored_ = std::move(context.s_factored);
+  shards_ = std::move(context.shards);
+  partitioned_ = context.partitioned;
   fitted_ = true;
   return Status::OK();
 }
@@ -92,6 +96,7 @@ Result<double> SlamPred::Score(std::size_t u, std::size_t v) const {
         ") outside the fitted score matrix (" + std::to_string(n) +
         " users)");
   }
+  if (partitioned_) return shards_.At(u, v);
   if (config_.solver_backend == SolverBackend::kFactored) {
     return s_factored_.At(u, v);
   }
@@ -118,8 +123,9 @@ Result<std::vector<double>> SlamPred::ScorePairs(
           ") outside the fitted score matrix (" + std::to_string(n) +
           " users)");
     }
-    scores.push_back(factored ? s_factored_.At(pair.u, pair.v)
-                              : s_(pair.u, pair.v));
+    scores.push_back(partitioned_ ? shards_.At(pair.u, pair.v)
+                     : factored  ? s_factored_.At(pair.u, pair.v)
+                                 : s_(pair.u, pair.v));
   }
   return scores;
 }

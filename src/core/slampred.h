@@ -21,9 +21,11 @@
 #include <vector>
 
 #include "baselines/link_predictor.h"
+#include "core/score_shards.h"
 #include "embedding/domain_adapter.h"
 #include "features/feature_tensor.h"
 #include "graph/aligned_networks.h"
+#include "graph/partitioner.h"
 #include "graph/social_graph.h"
 #include "linalg/factored_matrix.h"
 #include "linalg/matrix.h"
@@ -94,6 +96,15 @@ struct SlamPredConfig {
   /// oversampling, power iterations, sketch seed).
   FactoredSolverOptions factored;
 
+  /// Hierarchical partitioned solve (DESIGN.md "Hierarchical
+  /// partitioned solve"): mode kAuto clusters the training structure
+  /// and runs one independent sub-fit per cluster (fanned out over the
+  /// thread pool), then a boundary-refinement pass scores cross-cluster
+  /// pairs. kNone (the default) is the monolithic solve. A partition
+  /// that yields a single cluster reproduces the monolithic fit
+  /// bit-exactly.
+  PartitionOptions partition;
+
   /// Seed for the model's internal sampling (embedding instances).
   std::uint64_t seed = 7;
 };
@@ -117,6 +128,11 @@ struct FitPhaseTimes {
   double cccp_seconds = 0.0;
   double svd_seconds = 0.0;
   double total_seconds = 0.0;
+  /// Wall time of the partition stage (0 for a monolithic fit). In a
+  /// partitioned fit, cccp_seconds covers the whole partitioned solve
+  /// (per-cluster sub-fits plus the boundary refinement); per-cluster
+  /// breakdowns live in PartitionStats.
+  double partition_seconds = 0.0;
 };
 
 /// Memory footprint of the last Fit's sparse data path, surfaced next to
@@ -176,9 +192,21 @@ class SlamPred : public LinkPredictor {
   /// Fit; empty factors otherwise).
   const FactoredMatrix& FactoredScoreMatrix() const { return s_factored_; }
 
+  /// True after a partitioned Fit (config.partition.mode == kAuto):
+  /// scores come from ShardedScoreMatrix, not s / s_factored.
+  bool partitioned() const { return partitioned_; }
+
+  /// The sharded predictor of a partitioned Fit (empty otherwise).
+  const ShardedScores& ShardedScoreMatrix() const { return shards_; }
+
+  /// Partition summary and per-cluster solve timings of a partitioned
+  /// Fit (zeroed otherwise).
+  const PartitionStats& partition_stats() const { return partition_stats_; }
+
   /// Number of users the fitted predictor covers, whichever backend
   /// produced it.
   std::size_t NumUsersFitted() const {
+    if (partitioned_) return shards_.num_users();
     return config_.solver_backend == SolverBackend::kFactored
                ? s_factored_.rows()
                : s_.rows();
@@ -216,6 +244,9 @@ class SlamPred : public LinkPredictor {
   SlamPredConfig config_;
   Matrix s_;
   FactoredMatrix s_factored_;
+  ShardedScores shards_;
+  PartitionStats partition_stats_;
+  bool partitioned_ = false;
   CccpTrace trace_;
   FitPhaseTimes phase_times_;
   FitMemoryStats memory_stats_;

@@ -61,6 +61,47 @@ struct GeneratedAligned {
 /// source. Deterministic in config.seed.
 Result<GeneratedAligned> GenerateAligned(const AlignedGeneratorConfig& config);
 
+/// Structural scale-out generator knobs: n >= 100k users with power-law
+/// degrees, built edge-by-edge in O(nodes + edges) memory — no persona
+/// population, no attributes, and never a dense n x n pass (the
+/// all-pairs loop of GenerateAligned is quadratic and tops out around a
+/// few thousand users).
+struct ScaleOutConfig {
+  std::size_t num_users = 100000;
+  /// Latent communities; users are assigned in contiguous blocks.
+  std::size_t num_communities = 64;
+  /// Expected mean friend degree of the target network.
+  double avg_degree = 8.0;
+  /// Tail exponent of the Pareto degree-weight distribution (> 1;
+  /// larger = lighter tail, 2.5 matches typical social graphs).
+  double power_law_exponent = 2.5;
+  /// Fraction of edges drawn across community boundaries.
+  double inter_community_fraction = 0.05;
+  /// Fraction of target users that also exist in the source network.
+  double source_coverage = 0.7;
+  /// Source mean degree relative to the target (sources are denser).
+  double source_degree_scale = 1.25;
+  std::uint64_t seed = 42;
+};
+
+/// A scale-out bundle: target + one source + anchors over the covered
+/// subset, plus the latent community assignment for evaluation.
+struct GeneratedScaleOut {
+  AlignedNetworks networks;
+  /// community_of_target[u] = latent community behind target user u.
+  /// Communities occupy contiguous user-id ranges, which makes this the
+  /// natural ground truth for partitioner quality checks.
+  std::vector<std::uint32_t> community_of_target;
+};
+
+/// Samples a structural-only aligned bundle at scale: per-user Pareto
+/// degree weights, Chung-Lu style expected-edge-count sampling with
+/// weight-proportional endpoint draws restricted to a community (intra)
+/// or crossing communities (inter). The source network covers a random
+/// `source_coverage` subset of target users; every covered user is
+/// anchored. Deterministic in config.seed; runs in O(nodes + edges).
+Result<GeneratedScaleOut> GenerateAlignedScaleOut(const ScaleOutConfig& config);
+
 /// A small default config tuned so the full Table II experiment runs in
 /// seconds on one core while preserving the paper's qualitative shapes.
 AlignedGeneratorConfig DefaultExperimentConfig(std::uint64_t seed = 42);

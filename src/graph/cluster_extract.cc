@@ -1,0 +1,142 @@
+#include "graph/cluster_extract.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace slampred {
+namespace {
+
+constexpr std::uint32_t kNotLocal = std::numeric_limits<std::uint32_t>::max();
+
+// Restricts `full` to `members` (ascending): users are renumbered to
+// [0, members.size()), friend edges are induced, each member's posts
+// are copied with fresh sequential post ids, and the word / timestamp /
+// location universes keep their global ids. `local_of` must be a
+// NumUsers-sized map filled with kNotLocal except at the members.
+HeterogeneousNetwork InduceNetwork(const HeterogeneousNetwork& full,
+                                   const std::vector<std::size_t>& members,
+                                   const std::vector<std::uint32_t>& local_of) {
+  HeterogeneousNetwork out(full.name());
+  out.AddNodes(NodeType::kUser, members.size());
+  out.AddNodes(NodeType::kWord, full.NumNodes(NodeType::kWord));
+  out.AddNodes(NodeType::kTimestamp, full.NumNodes(NodeType::kTimestamp));
+  out.AddNodes(NodeType::kLocation, full.NumNodes(NodeType::kLocation));
+
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    const std::size_t u = members[i];
+    for (const std::size_t v : full.Neighbors(EdgeType::kFriend, u)) {
+      if (v <= u || local_of[v] == kNotLocal) continue;
+      SLAMPRED_CHECK(
+          out.AddEdge(EdgeType::kFriend, i, local_of[v]).ok());
+    }
+    for (const std::size_t p : full.Neighbors(EdgeType::kWrite, u)) {
+      const std::size_t lp = out.AddNodes(NodeType::kPost, 1);
+      SLAMPRED_CHECK(out.AddEdge(EdgeType::kWrite, i, lp).ok());
+      for (const std::size_t w : full.Neighbors(EdgeType::kHasWord, p)) {
+        SLAMPRED_CHECK(out.AddEdge(EdgeType::kHasWord, lp, w).ok());
+      }
+      for (const std::size_t t : full.Neighbors(EdgeType::kPostedAt, p)) {
+        SLAMPRED_CHECK(out.AddEdge(EdgeType::kPostedAt, lp, t).ok());
+      }
+      for (const std::size_t l : full.Neighbors(EdgeType::kCheckin, p)) {
+        SLAMPRED_CHECK(out.AddEdge(EdgeType::kCheckin, lp, l).ok());
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<ClusterBundle> ExtractClusterBundle(
+    const AlignedNetworks& networks, const SocialGraph& target_structure,
+    const std::vector<std::size_t>& members) {
+  const std::size_t n = networks.target().NumUsers();
+  if (members.empty()) {
+    return Status::InvalidArgument("cluster has no members");
+  }
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    if (members[i] >= n) {
+      return Status::OutOfRange("cluster member " +
+                                std::to_string(members[i]) +
+                                " outside the target's users");
+    }
+    if (i > 0 && members[i] <= members[i - 1]) {
+      return Status::InvalidArgument(
+          "cluster members must be strictly ascending");
+    }
+  }
+
+  // A cluster covering every user gets a verbatim copy: the sub-fit
+  // then sees byte-identical inputs (same source users, same seeded
+  // sampling universe) and reproduces the monolithic solve bit-exactly.
+  if (members.size() == n) {
+    ClusterBundle bundle{networks, target_structure, {}};
+    for (std::size_t k = 0; k < networks.num_sources(); ++k) {
+      bundle.kept_sources.push_back(k);
+    }
+    return bundle;
+  }
+
+  std::vector<std::uint32_t> local_of(n, kNotLocal);
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    local_of[members[i]] = static_cast<std::uint32_t>(i);
+  }
+
+  ClusterBundle bundle{
+      AlignedNetworks(InduceNetwork(networks.target(), members, local_of)),
+      SocialGraph(members.size()),
+      {}};
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    for (const std::size_t v : target_structure.Neighbors(members[i])) {
+      if (v <= members[i] || local_of[v] == kNotLocal) continue;
+      SLAMPRED_CHECK(bundle.structure.AddEdge(i, local_of[v]).ok());
+    }
+  }
+
+  for (std::size_t k = 0; k < networks.num_sources(); ++k) {
+    const AnchorLinks& anchors = networks.anchors(k);
+    const HeterogeneousNetwork& source = networks.source(k);
+
+    // Source users kept: the members' anchored partners plus those
+    // partners' source-side friends (so the partners keep their local
+    // neighborhoods and the source features stay informative).
+    std::vector<std::size_t> kept;
+    for (const std::size_t u : members) {
+      const auto partner = anchors.RightOf(u);
+      if (!partner.has_value()) continue;
+      kept.push_back(*partner);
+      for (const std::size_t w :
+           source.Neighbors(EdgeType::kFriend, *partner)) {
+        kept.push_back(w);
+      }
+    }
+    std::sort(kept.begin(), kept.end());
+    kept.erase(std::unique(kept.begin(), kept.end()), kept.end());
+    if (kept.empty()) continue;  // No anchors into this cluster.
+
+    std::vector<std::uint32_t> source_local(source.NumUsers(), kNotLocal);
+    for (std::size_t i = 0; i < kept.size(); ++i) {
+      source_local[kept[i]] = static_cast<std::uint32_t>(i);
+    }
+    HeterogeneousNetwork induced = InduceNetwork(source, kept, source_local);
+
+    AnchorLinks cluster_anchors(members.size(), kept.size());
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      const auto partner = anchors.RightOf(members[i]);
+      if (!partner.has_value()) continue;
+      SLAMPRED_CHECK(
+          cluster_anchors.Add(i, source_local[*partner]).ok());
+    }
+    bundle.networks.AddSource(std::move(induced),
+                              std::move(cluster_anchors));
+    bundle.kept_sources.push_back(k);
+  }
+  return bundle;
+}
+
+}  // namespace slampred

@@ -1,0 +1,45 @@
+// Per-cluster sub-bundle extraction — the "extract" step between the
+// partitioner and the per-cluster SLAMPRED solves. Given the member
+// list of one cluster, builds the induced aligned-networks bundle the
+// cluster's sub-fit runs on: the target restricted to the members
+// (friend edges, posts and their attribute edges re-rooted on local
+// user ids; word/timestamp/location universes kept global so attribute
+// profiles stay comparable), the training structure induced on the
+// members, the anchors restricted to member users, and each source
+// restricted to the anchored partners plus their source-side friends.
+// Sources left with no anchors are dropped (the cluster degrades to
+// the target-only variant for them); kept_sources records the original
+// indices so per-source weights can be remapped.
+
+#ifndef SLAMPRED_GRAPH_CLUSTER_EXTRACT_H_
+#define SLAMPRED_GRAPH_CLUSTER_EXTRACT_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/aligned_networks.h"
+#include "graph/social_graph.h"
+#include "util/status.h"
+
+namespace slampred {
+
+/// The induced inputs of one cluster's sub-fit.
+struct ClusterBundle {
+  AlignedNetworks networks;
+  SocialGraph structure;
+  /// Original indices of the sources kept (those with at least one
+  /// anchor into the cluster), in ascending order.
+  std::vector<std::size_t> kept_sources;
+};
+
+/// Extracts the sub-bundle induced by `members` (ascending global user
+/// ids of one cluster). When the cluster covers every target user the
+/// bundle is a verbatim copy — this is what makes the single-cluster
+/// partitioned fit bit-identical to the monolithic one.
+Result<ClusterBundle> ExtractClusterBundle(
+    const AlignedNetworks& networks, const SocialGraph& target_structure,
+    const std::vector<std::size_t>& members);
+
+}  // namespace slampred
+
+#endif  // SLAMPRED_GRAPH_CLUSTER_EXTRACT_H_

@@ -224,8 +224,8 @@ void BatchScorer::ProcessBatch(const std::vector<Request*>& batch) {
     }
     return;
   }
-  const Matrix& s = model->session.artifact().s;
-  const std::size_t n = s.rows();
+  const ScoringSession& session = model->session;
+  const std::size_t n = session.num_users();
 
   // Validate and flatten the pair requests into one contiguous batch.
   std::vector<Request*> topk_requests;
@@ -262,7 +262,7 @@ void BatchScorer::ProcessBatch(const std::vector<Request*>& batch) {
   ParallelFor(0, flat.size(), GrainForWork(8),
               [&](std::size_t i0, std::size_t i1) {
                 for (std::size_t i = i0; i < i1; ++i) {
-                  flat_scores[i] = s(flat[i].u, flat[i].v);
+                  flat_scores[i] = session.ScoreUnchecked(flat[i].u, flat[i].v);
                 }
               });
   for (const auto& [request, offset] : flat_slices) {

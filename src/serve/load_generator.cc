@@ -88,11 +88,12 @@ void CountTier(ServeTier tier, Tally& tally) {
 
 // Issues the request_index-th request of one deterministic stream and
 // records its outcome — error taxonomy, response tier, and (when
-// verify_s is set) a full-tier bit-exactness check against the
-// initially published score matrix.
+// verify_session is set) a full-tier bit-exactness check against the
+// initially published model, whichever backend it serves from.
 void IssueRequest(ScoringService& service, std::size_t num_users,
-                  const LoadGeneratorOptions& options, const Matrix* verify_s,
-                  Rng& rng, std::size_t request_index, Tally& tally) {
+                  const LoadGeneratorOptions& options,
+                  const ScoringSession* verify_session, Rng& rng,
+                  std::size_t request_index, Tally& tally) {
   RequestOptions request;
   if (options.deadline_ms > 0.0) {
     request.deadline =
@@ -111,12 +112,14 @@ void IssueRequest(ScoringService& service, std::size_t num_users,
       return;
     }
     CountTier(result.value().tier, tally);
-    if (verify_s != nullptr && result.value().tier == ServeTier::kFull) {
-      // Full-tier invariant: every entry's score is the served matrix
+    if (verify_session != nullptr &&
+        result.value().tier == ServeTier::kFull) {
+      // Full-tier invariant: every entry's score is the served model's
       // value and the list is non-increasing.
       double prev = std::numeric_limits<double>::infinity();
       for (const TopKEntry& entry : result.value().entries) {
-        if (entry.v >= num_users || entry.score != (*verify_s)(u, entry.v) ||
+        if (entry.v >= num_users ||
+            entry.score != verify_session->ScoreUnchecked(u, entry.v) ||
             entry.score > prev) {
           ++tally.invariant_violations;
           break;
@@ -139,11 +142,12 @@ void IssueRequest(ScoringService& service, std::size_t num_users,
     return;
   }
   CountTier(result.value().tier, tally);
-  if (verify_s != nullptr && result.value().tier == ServeTier::kFull) {
+  if (verify_session != nullptr && result.value().tier == ServeTier::kFull) {
     const std::vector<double>& scores = result.value().scores;
     for (std::size_t i = 0; i < pairs.size(); ++i) {
       if (i >= scores.size() ||
-          scores[i] != (*verify_s)(pairs[i].u, pairs[i].v)) {
+          scores[i] !=
+              verify_session->ScoreUnchecked(pairs[i].u, pairs[i].v)) {
         ++tally.invariant_violations;
         break;
       }
@@ -340,10 +344,10 @@ Result<LoadGeneratorReport> RunLoadGenerator(
 
   // Full-tier verification reference: the swapper only ever republishes
   // the initially published artifact (in memory or from swap_path), so
-  // every version serves the same score matrix and a full-tier response
-  // must bit-match it regardless of which version answered.
+  // every version serves the same scores and a full-tier response must
+  // bit-match the initial session regardless of which version answered.
   const bool verify = options.verify || options.chaos;
-  const Matrix* verify_s = verify ? &initial->session.artifact().s : nullptr;
+  const ScoringSession* verify_session = verify ? &initial->session : nullptr;
 
   if (options.chaos) ArmChaosFaults();
 
@@ -390,7 +394,8 @@ Result<LoadGeneratorReport> RunLoadGenerator(
         Rng rng(options.seed + 0x9e3779b9u * (t + 1));
         for (std::size_t i = 0; Clock::now() < deadline; ++i) {
           const auto issued = Clock::now();
-          IssueRequest(service, num_users, options, verify_s, rng, i, tally);
+          IssueRequest(service, num_users, options, verify_session, rng, i,
+                       tally);
           tally.latencies_ms.push_back(
               std::chrono::duration<double, std::milli>(Clock::now() -
                                                         issued)
@@ -417,7 +422,8 @@ Result<LoadGeneratorReport> RunLoadGenerator(
       pool.Submit([&, i, arrival] {
         Tally local;
         Rng rng(options.seed + 0x9e3779b97f4a7c15ULL * (i + 1));
-        IssueRequest(service, num_users, options, verify_s, rng, i, local);
+        IssueRequest(service, num_users, options, verify_session, rng, i,
+                     local);
         const double latency_ms =
             std::chrono::duration<double, std::milli>(Clock::now() - arrival)
                 .count();

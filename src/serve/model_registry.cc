@@ -82,6 +82,39 @@ Status ModelRegistry::SwapValidated(ModelArtifact artifact,
   return Status::OK();
 }
 
+Status ModelRegistry::SwapShard(std::size_t shard_index, ModelShard shard) {
+  if (!swap_breaker_.AllowRequest()) {
+    return Status::Unavailable(
+        "swap breaker open after repeated swap failures; serving version " +
+        std::to_string(current_version()));
+  }
+  const std::shared_ptr<const ServableModel> current = Acquire();
+  Status status = Status::OK();
+  if (current == nullptr) {
+    status = Status::FailedPrecondition(
+        "no model published; Swap a full sharded artifact in first");
+  } else if (!current->session.artifact().has_shards) {
+    status = Status::FailedPrecondition(
+        "published artifact is not sharded; SwapShard needs a partitioned "
+        "model");
+  } else {
+    // Copy-on-swap: the published model stays immutable; the candidate
+    // artifact (other shards + boundary included) re-validates as a
+    // whole before publishing.
+    ModelArtifact candidate = current->session.artifact();
+    status = candidate.shards.ReplaceShard(shard_index, std::move(shard));
+    if (status.ok()) {
+      status = SwapValidated(std::move(candidate), current->known_links);
+    }
+  }
+  if (!status.ok()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++recovery_.swap_failures;
+  }
+  RecordSwapOutcome(status.ok());
+  return status;
+}
+
 Status ModelRegistry::SwapFromFile(const std::string& path,
                                    CsrMatrix known_links) {
   if (!swap_breaker_.AllowRequest()) {

@@ -112,6 +112,17 @@ class ModelRegistry {
   /// is counted per failed primary path regardless of retry count.
   Status SwapFromFile(const std::string& path, CsrMatrix known_links = {});
 
+  /// Republishes the current sharded artifact with shard `shard_index`
+  /// replaced by `shard` — the per-shard hot-swap of the hierarchical
+  /// partitioned solve: only the refitted cluster's block ships, the
+  /// other shards, the boundary CSR and the known-links adjacency carry
+  /// over unchanged. The replacement must cover exactly the same users
+  /// (a shard swap never changes the partition) and goes through the
+  /// same validation round trip, fault site, breaker and failure
+  /// accounting as a full Swap. kFailedPrecondition when nothing is
+  /// published or the current artifact is not sharded.
+  Status SwapShard(std::size_t shard_index, ModelShard shard);
+
   /// The currently published model, or nullptr before the first
   /// successful Swap. The returned snapshot stays valid (and immutable)
   /// for as long as the caller holds it, across any number of swaps.

@@ -22,8 +22,8 @@ const char* ServeTierName(ServeTier tier) {
 
 Result<std::vector<double>> ScorePairsOnModel(
     const ServableModel& model, const std::vector<UserPair>& pairs) {
-  const Matrix& s = model.session.artifact().s;
-  const std::size_t n = s.rows();
+  const ScoringSession& session = model.session;
+  const std::size_t n = session.num_users();
   for (std::size_t i = 0; i < pairs.size(); ++i) {
     if (pairs[i].u >= n || pairs[i].v >= n) {
       return Status::OutOfRange(
@@ -37,7 +37,7 @@ Result<std::vector<double>> ScorePairsOnModel(
   ParallelFor(0, pairs.size(), GrainForWork(8),
               [&](std::size_t i0, std::size_t i1) {
                 for (std::size_t i = i0; i < i1; ++i) {
-                  scores[i] = s(pairs[i].u, pairs[i].v);
+                  scores[i] = session.ScoreUnchecked(pairs[i].u, pairs[i].v);
                 }
               });
   return scores;
@@ -84,8 +84,8 @@ std::size_t CommonNeighborCount(const CsrMatrix& known, std::size_t u,
 Result<std::vector<TopKEntry>> TopKOnModel(const ServableModel& model,
                                            std::size_t u, std::size_t k,
                                            bool exclude_known_links) {
-  const Matrix& s = model.session.artifact().s;
-  const std::size_t n = s.rows();
+  const ScoringSession& session = model.session;
+  const std::size_t n = session.num_users();
   if (u >= n) {
     return Status::OutOfRange("user " + std::to_string(u) +
                               " outside the served score matrix (" +
@@ -96,10 +96,10 @@ Result<std::vector<TopKEntry>> TopKOnModel(const ServableModel& model,
   entries.reserve(std::min(k, n == 0 ? std::size_t{0} : n - 1));
 
   const bool exclude = exclude_known_links && model.known_links.rows() == n;
-  const std::shared_ptr<const TopKRowOrder> order = model.topk.Row(s, u);
+  const std::shared_ptr<const TopKRowOrder> order = model.topk.Row(session, u);
   for (const std::uint32_t v : *order) {
     if (exclude && IsKnownLink(model.known_links, u, v)) continue;
-    entries.push_back({static_cast<std::size_t>(v), s(u, v)});
+    entries.push_back({static_cast<std::size_t>(v), session.ScoreUnchecked(u, v)});
     if (entries.size() == k) break;
   }
   return entries;
@@ -108,8 +108,8 @@ Result<std::vector<TopKEntry>> TopKOnModel(const ServableModel& model,
 bool CachedTopKOnModel(const ServableModel& model, std::size_t u,
                        std::size_t k, bool exclude_known_links,
                        std::vector<TopKEntry>* entries) {
-  const Matrix& s = model.session.artifact().s;
-  const std::size_t n = s.rows();
+  const ScoringSession& session = model.session;
+  const std::size_t n = session.num_users();
   if (u >= n) return false;
   const std::shared_ptr<const TopKRowOrder> order = model.topk.Peek(u);
   if (order == nullptr) return false;
@@ -119,7 +119,8 @@ bool CachedTopKOnModel(const ServableModel& model, std::size_t u,
   const bool exclude = exclude_known_links && model.known_links.rows() == n;
   for (const std::uint32_t v : *order) {
     if (exclude && IsKnownLink(model.known_links, u, v)) continue;
-    entries->push_back({static_cast<std::size_t>(v), s(u, v)});
+    entries->push_back(
+        {static_cast<std::size_t>(v), session.ScoreUnchecked(u, v)});
     if (entries->size() == k) break;
   }
   return true;
@@ -127,7 +128,7 @@ bool CachedTopKOnModel(const ServableModel& model, std::size_t u,
 
 Result<std::vector<double>> DegradedScorePairsOnModel(
     const ServableModel& model, const std::vector<UserPair>& pairs) {
-  const std::size_t n = model.session.artifact().s.rows();
+  const std::size_t n = model.session.num_users();
   for (std::size_t i = 0; i < pairs.size(); ++i) {
     if (pairs[i].u >= n || pairs[i].v >= n) {
       return Status::OutOfRange(
@@ -151,7 +152,7 @@ Result<std::vector<TopKEntry>> DegradedTopKOnModel(const ServableModel& model,
                                                    std::size_t u,
                                                    std::size_t k,
                                                    bool exclude_known_links) {
-  const std::size_t n = model.session.artifact().s.rows();
+  const std::size_t n = model.session.num_users();
   if (u >= n) {
     return Status::OutOfRange("user " + std::to_string(u) +
                               " outside the served score matrix (" +

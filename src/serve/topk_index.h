@@ -13,6 +13,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -22,6 +23,8 @@
 #include "linalg/matrix.h"
 
 namespace slampred {
+
+class ScoringSession;
 
 /// Sorted column order of one score-matrix row (self excluded).
 using TopKRowOrder = std::vector<std::uint32_t>;
@@ -38,6 +41,13 @@ class TopKIndex {
   /// The same `s` must be passed for the lifetime of the index (one
   /// index per model).
   std::shared_ptr<const TopKRowOrder> Row(const Matrix& s, std::size_t u);
+
+  /// Same, over a scoring session of any backend — dense rows sort in
+  /// place, factored rows materialise one scratch row, sharded rows
+  /// merge the per-shard and boundary orders (see BuildTopKRowOrder).
+  /// The same session must be passed for the lifetime of the index.
+  std::shared_ptr<const TopKRowOrder> Row(const ScoringSession& session,
+                                          std::size_t u);
 
   /// The cached order of row `u` if resident, else null — never builds.
   /// The cheap-path probe behind the `cached` serve tier: a hit answers
@@ -64,6 +74,11 @@ class TopKIndex {
     std::list<std::size_t>::iterator lru_pos;
   };
 
+  /// The shared LRU path of both Row overloads: returns the resident
+  /// order or runs `build` outside the lock (first insert wins).
+  std::shared_ptr<const TopKRowOrder> CachedRow(
+      std::size_t u, const std::function<TopKRowOrder()>& build);
+
   const std::size_t max_resident_rows_;
   mutable std::mutex mutex_;
   std::list<std::size_t> lru_;  // Front = most recently used. Guarded.
@@ -75,6 +90,14 @@ class TopKIndex {
 /// Builds the sorted column order of row `u` directly (the cache-free
 /// reference used by TopKIndex itself and by tests).
 TopKRowOrder BuildTopKRowOrder(const Matrix& s, std::size_t u);
+
+/// Backend-dispatched variant: a dense session reuses the dense builder
+/// bit-identically; a factored one argsorts a scratch row of factor dot
+/// products; a sharded one runs a three-way ordered merge of the
+/// own-shard block row, the boundary-CSR row and the implicit zero tail
+/// (uncovered columns), each pre-sorted under the same (descending
+/// score, ascending column) order — no n-sized scratch scoring pass.
+TopKRowOrder BuildTopKRowOrder(const ScoringSession& session, std::size_t u);
 
 }  // namespace slampred
 

@@ -1,0 +1,283 @@
+// Tests for the deterministic label-propagation partitioner (the
+// "cluster" step of the hierarchical partitioned solve) and for the
+// scale-out structural generator that feeds it: determinism across
+// thread counts and repeated calls, size-cap enforcement, stats
+// consistency, and the O(nodes + edges) generator's shape.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "datagen/aligned_generator.h"
+#include "graph/partitioner.h"
+#include "graph/social_graph.h"
+#include "util/thread_pool.h"
+
+namespace slampred {
+namespace {
+
+// A mid-sized power-law graph with planted communities — large enough
+// that label propagation finds real structure, small enough to stay
+// fast.
+SocialGraph ScaleOutGraph(std::size_t users, std::uint64_t seed) {
+  ScaleOutConfig config;
+  config.num_users = users;
+  config.num_communities = 8;
+  config.seed = seed;
+  auto generated = GenerateAlignedScaleOut(config);
+  EXPECT_TRUE(generated.ok()) << generated.status().ToString();
+  return SocialGraph::FromHeterogeneousNetwork(
+      generated.value().networks.target());
+}
+
+TEST(PartitionerTest, CoversEveryUserExactlyOnce) {
+  const SocialGraph graph = ScaleOutGraph(1500, 7);
+  PartitionOptions options;
+  options.max_cluster_size = 256;
+  auto partition = PartitionGraph(graph, options);
+  ASSERT_TRUE(partition.ok());
+
+  std::vector<int> seen(graph.num_users(), 0);
+  for (std::size_t c = 0; c < partition.value().num_clusters(); ++c) {
+    const auto& members = partition.value().clusters[c];
+    ASSERT_FALSE(members.empty());
+    ASSERT_TRUE(std::is_sorted(members.begin(), members.end()));
+    for (const std::size_t u : members) {
+      ++seen[u];
+      EXPECT_EQ(partition.value().cluster_of[u], c);
+    }
+  }
+  for (std::size_t u = 0; u < graph.num_users(); ++u) {
+    EXPECT_EQ(seen[u], 1) << "user " << u;
+  }
+  // Clusters are ordered by their smallest member.
+  for (std::size_t c = 1; c < partition.value().num_clusters(); ++c) {
+    EXPECT_LT(partition.value().clusters[c - 1].front(),
+              partition.value().clusters[c].front());
+  }
+}
+
+TEST(PartitionerTest, RespectsTheHardSizeCap) {
+  const SocialGraph graph = ScaleOutGraph(1500, 7);
+  for (const std::size_t cap : {64u, 200u, 1024u}) {
+    PartitionOptions options;
+    options.max_cluster_size = cap;
+    auto partition = PartitionGraph(graph, options);
+    ASSERT_TRUE(partition.ok());
+    EXPECT_LE(partition.value().stats.max_cluster, cap);
+    for (const auto& members : partition.value().clusters) {
+      EXPECT_LE(members.size(), cap);
+    }
+  }
+}
+
+TEST(PartitionerTest, DeterministicAcrossThreadCountsAndCalls) {
+  const SocialGraph graph = ScaleOutGraph(1200, 11);
+  PartitionOptions options;
+  options.max_cluster_size = 200;
+
+  const std::size_t previous = ThreadPool::Global().num_threads();
+  ThreadPool::Global().Resize(1);
+  auto reference = PartitionGraph(graph, options);
+  ASSERT_TRUE(reference.ok());
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{7}}) {
+    ThreadPool::Global().Resize(threads);
+    auto repeat = PartitionGraph(graph, options);
+    ASSERT_TRUE(repeat.ok());
+    EXPECT_EQ(repeat.value().cluster_of, reference.value().cluster_of)
+        << threads << " threads";
+  }
+  ThreadPool::Global().Resize(previous);
+
+  // Same seed, same call context: identical again.
+  auto again = PartitionGraph(graph, options);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value().cluster_of, reference.value().cluster_of);
+}
+
+TEST(PartitionerTest, StatsAreConsistent) {
+  const SocialGraph graph = ScaleOutGraph(1500, 7);
+  PartitionOptions options;
+  options.max_cluster_size = 256;
+  auto partition = PartitionGraph(graph, options);
+  ASSERT_TRUE(partition.ok());
+  const PartitionStats& stats = partition.value().stats;
+
+  EXPECT_EQ(stats.num_clusters, partition.value().num_clusters());
+  EXPECT_GT(stats.num_clusters, 1u);
+  EXPECT_GE(stats.max_cluster, stats.min_cluster);
+  EXPECT_NEAR(stats.mean_cluster,
+              static_cast<double>(graph.num_users()) /
+                  static_cast<double>(stats.num_clusters),
+              1e-9);
+  EXPECT_LE(stats.cut_edges, stats.total_edges);
+  EXPECT_GE(stats.cut_edge_fraction, 0.0);
+  EXPECT_LE(stats.cut_edge_fraction, 1.0);
+  std::size_t histogram_total = 0;
+  for (const std::size_t count : stats.size_histogram) {
+    histogram_total += count;
+  }
+  EXPECT_EQ(histogram_total, stats.num_clusters);
+  EXPECT_FALSE(stats.ToString().empty());
+}
+
+TEST(PartitionerTest, MinClusterFloorReducesClusterCount) {
+  const SocialGraph graph = ScaleOutGraph(1500, 7);
+  PartitionOptions fragmented;
+  fragmented.max_cluster_size = 256;
+  fragmented.min_cluster_size = 1;
+  PartitionOptions merged = fragmented;
+  merged.min_cluster_size = 64;
+  auto loose = PartitionGraph(graph, fragmented);
+  auto tight = PartitionGraph(graph, merged);
+  ASSERT_TRUE(loose.ok());
+  ASSERT_TRUE(tight.ok());
+  // Merging under the floor can only consolidate clusters.
+  EXPECT_LE(tight.value().num_clusters(), loose.value().num_clusters());
+}
+
+TEST(PartitionerTest, RejectsInvalidOptions) {
+  const SocialGraph graph(16);
+  PartitionOptions zero_cap;
+  zero_cap.max_cluster_size = 0;
+  EXPECT_FALSE(PartitionGraph(graph, zero_cap).ok());
+
+  PartitionOptions inverted;
+  inverted.max_cluster_size = 8;
+  inverted.min_cluster_size = 16;
+  EXPECT_FALSE(PartitionGraph(graph, inverted).ok());
+}
+
+TEST(PartitionerTest, ParsePartitionModeRoundTrips) {
+  auto none = ParsePartitionMode("none");
+  auto automatic = ParsePartitionMode("auto");
+  ASSERT_TRUE(none.ok());
+  ASSERT_TRUE(automatic.ok());
+  EXPECT_EQ(none.value(), PartitionMode::kNone);
+  EXPECT_EQ(automatic.value(), PartitionMode::kAuto);
+  EXPECT_STREQ(PartitionModeName(PartitionMode::kNone), "none");
+  EXPECT_STREQ(PartitionModeName(PartitionMode::kAuto), "auto");
+  EXPECT_FALSE(ParsePartitionMode("sometimes").ok());
+}
+
+TEST(ScaleOutGeneratorTest, DeterministicStructuralBundle) {
+  ScaleOutConfig config;
+  config.num_users = 2000;
+  config.num_communities = 8;
+  config.seed = 5;
+  auto first = GenerateAlignedScaleOut(config);
+  auto second = GenerateAlignedScaleOut(config);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+
+  const AlignedNetworks& networks = first.value().networks;
+  EXPECT_EQ(networks.target().NumUsers(), config.num_users);
+  EXPECT_EQ(first.value().community_of_target.size(), config.num_users);
+  // Structural only: no posts, words, or other attribute nodes.
+  EXPECT_EQ(networks.target().NumNodes(NodeType::kPost), 0u);
+  EXPECT_EQ(networks.source(0).NumNodes(NodeType::kPost), 0u);
+  // Every covered source user is anchored.
+  EXPECT_EQ(networks.anchors(0).size(), networks.source(0).NumUsers());
+  EXPECT_EQ(networks.source(0).NumUsers(),
+            static_cast<std::size_t>(0.7 * 2000));
+
+  EXPECT_EQ(networks.target().Summary(),
+            second.value().networks.target().Summary());
+  EXPECT_EQ(networks.source(0).Summary(),
+            second.value().networks.source(0).Summary());
+  EXPECT_EQ(first.value().community_of_target,
+            second.value().community_of_target);
+}
+
+TEST(ScaleOutGeneratorTest, EdgeCountTracksTheConfiguredDegree) {
+  ScaleOutConfig config;
+  config.num_users = 4000;
+  config.avg_degree = 6.0;
+  config.seed = 9;
+  auto generated = GenerateAlignedScaleOut(config);
+  ASSERT_TRUE(generated.ok());
+  const double expected =
+      config.avg_degree * static_cast<double>(config.num_users) / 2.0;
+  const auto edges = static_cast<double>(
+      generated.value().networks.target().NumEdges(EdgeType::kFriend));
+  // Collisions and duplicate draws under-deliver; gross mismatches mean
+  // the expected-count sampling is broken.
+  EXPECT_GT(edges, 0.5 * expected);
+  EXPECT_LT(edges, 1.1 * expected);
+}
+
+TEST(ScaleOutGeneratorTest, DegreesHaveAHeavyTail) {
+  ScaleOutConfig config;
+  config.num_users = 3000;
+  config.seed = 13;
+  auto generated = GenerateAlignedScaleOut(config);
+  ASSERT_TRUE(generated.ok());
+  const SocialGraph graph = SocialGraph::FromHeterogeneousNetwork(
+      generated.value().networks.target());
+  std::size_t max_degree = 0;
+  std::size_t total_degree = 0;
+  for (std::size_t u = 0; u < graph.num_users(); ++u) {
+    max_degree = std::max(max_degree, graph.Degree(u));
+    total_degree += graph.Degree(u);
+  }
+  const double mean_degree = static_cast<double>(total_degree) /
+                             static_cast<double>(graph.num_users());
+  // A Pareto(1.5-shape) weight distribution must produce hubs far above
+  // the mean; a uniform-degree bug would keep the max within ~3x.
+  EXPECT_GT(static_cast<double>(max_degree), 5.0 * mean_degree);
+}
+
+TEST(ScaleOutGeneratorTest, CommunitiesDominateTheEdgeStructure) {
+  ScaleOutConfig config;
+  config.num_users = 3000;
+  config.num_communities = 8;
+  config.inter_community_fraction = 0.05;
+  config.seed = 17;
+  auto generated = GenerateAlignedScaleOut(config);
+  ASSERT_TRUE(generated.ok());
+  const SocialGraph graph = SocialGraph::FromHeterogeneousNetwork(
+      generated.value().networks.target());
+  const std::vector<std::uint32_t>& community =
+      generated.value().community_of_target;
+  std::size_t cross = 0;
+  std::size_t total = 0;
+  for (std::size_t u = 0; u < graph.num_users(); ++u) {
+    for (const std::size_t v : graph.Neighbors(u)) {
+      if (v <= u) continue;
+      ++total;
+      if (community[u] != community[v]) ++cross;
+    }
+  }
+  ASSERT_GT(total, 0u);
+  const double cross_fraction =
+      static_cast<double>(cross) / static_cast<double>(total);
+  EXPECT_LT(cross_fraction, 0.15);
+  EXPECT_GT(cross_fraction, 0.0);
+}
+
+TEST(ScaleOutGeneratorTest, RejectsBadConfigs) {
+  ScaleOutConfig config;
+  config.num_users = 1;
+  EXPECT_FALSE(GenerateAlignedScaleOut(config).ok());
+
+  config = ScaleOutConfig{};
+  config.num_communities = 0;
+  EXPECT_FALSE(GenerateAlignedScaleOut(config).ok());
+
+  config = ScaleOutConfig{};
+  config.power_law_exponent = 1.0;
+  EXPECT_FALSE(GenerateAlignedScaleOut(config).ok());
+
+  config = ScaleOutConfig{};
+  config.source_coverage = 0.0;
+  EXPECT_FALSE(GenerateAlignedScaleOut(config).ok());
+
+  config = ScaleOutConfig{};
+  config.inter_community_fraction = 1.5;
+  EXPECT_FALSE(GenerateAlignedScaleOut(config).ok());
+}
+
+}  // namespace
+}  // namespace slampred

@@ -4,9 +4,19 @@
 //       Generate a synthetic aligned bundle and write target.txt,
 //       source.txt and anchors.txt in DIR (graph_io text format).
 //
+//   slampred_cli generate --out-dir DIR --scale-out 1 [--users N]
+//                         [--communities C] [--avg-degree D]
+//                         [--power-law A] [--inter-fraction F]
+//                         [--coverage F] [--seed N]
+//       Structural scale-out bundle: N users (default 100000) with
+//       power-law degrees in O(nodes + edges) memory — the input for the
+//       partitioned-fit smoke path. No attributes are generated.
+//
 //   slampred_cli fit --target FILE --source FILE --anchors FILE
 //                    --save-model FILE [--method NAME] [--save-tensors 1]
 //                    [--solver dense|factored] [--rank R]
+//                    [--partition none|auto] [--max-cluster N]
+//                    [--min-cluster N] [--inner N] [--outer N]
 //                    [--io-policy POLICY] [--stats-json PATH]
 //       Fit once on the full observed structure and write a versioned
 //       binary model artifact. The artifact can then be served over and
@@ -61,6 +71,19 @@
 // --rank R factors, O(n·r²) prox — see DESIGN.md §13). The backend and
 // rank are echoed in the fit report, --stats-json, and the serve-bench
 // summary of a factored artifact.
+//
+// --partition auto replaces the single global fit with the hierarchical
+// partitioned solve (DESIGN.md §14): cluster the target adjacency
+// (--max-cluster / --min-cluster size bounds), fit each cluster
+// independently in parallel, refine cross-cluster pairs from the
+// neighbouring cluster factors, and emit a sharded artifact. A fit
+// whose clustering yields a single cluster is bit-identical to
+// --partition none. Applies to fit, predict and evaluate.
+//
+// --inner / --outer override the fit iteration budgets (inner proximal
+// iterations per CCCP round and CCCP rounds; CLI defaults 60 / 2). The
+// CI large-n smoke passes a reduced budget so the end-to-end partitioned
+// path fits in its wall-clock bound.
 //
 // --stats-json PATH writes the fit diagnostics (phase times, sparse-path
 // memory, solver recoveries) as one JSON object to PATH ("-" = stdout).
@@ -147,19 +170,9 @@ std::optional<MethodId> MethodFromName(const std::string& name) {
   return std::nullopt;
 }
 
-int Generate(const Flags& flags) {
-  const auto out_dir = flags.GetRequired("out-dir");
-  if (!out_dir.has_value()) return 2;
-  const std::uint64_t seed = static_cast<std::uint64_t>(
-      std::stoull(flags.Get("seed", "42")));
-
-  auto generated = GenerateAligned(DefaultExperimentConfig(seed));
-  if (!generated.ok()) {
-    std::fprintf(stderr, "%s\n", generated.status().ToString().c_str());
-    return 1;
-  }
-  const AlignedNetworks& networks = generated.value().networks;
-  const std::string base = *out_dir + "/";
+// Writes a generated bundle as target.txt / source.txt / anchors.txt.
+int WriteBundle(const AlignedNetworks& networks, const std::string& out_dir) {
+  const std::string base = out_dir + "/";
   for (const auto& [status, path] :
        {std::make_pair(SaveNetwork(networks.target(), base + "target.txt"),
                        base + "target.txt"),
@@ -177,6 +190,45 @@ int Generate(const Flags& flags) {
   std::printf("source : %s\n", networks.source(0).Summary().c_str());
   std::printf("anchors: %zu\n", networks.anchors(0).size());
   return 0;
+}
+
+int Generate(const Flags& flags) {
+  const auto out_dir = flags.GetRequired("out-dir");
+  if (!out_dir.has_value()) return 2;
+  const std::uint64_t seed = static_cast<std::uint64_t>(
+      std::stoull(flags.Get("seed", "42")));
+
+  const std::string scale_out = flags.Get("scale-out", "0");
+  if (scale_out == "1" || scale_out == "true") {
+    ScaleOutConfig config;
+    config.seed = seed;
+    config.num_users = static_cast<std::size_t>(
+        std::stoull(flags.Get("users", "100000")));
+    config.num_communities = static_cast<std::size_t>(
+        std::stoull(flags.Get("communities", "64")));
+    config.avg_degree = std::stod(flags.Get("avg-degree", "8"));
+    config.power_law_exponent = std::stod(flags.Get("power-law", "2.5"));
+    config.inter_community_fraction =
+        std::stod(flags.Get("inter-fraction", "0.05"));
+    config.source_coverage = std::stod(flags.Get("coverage", "0.7"));
+    Stopwatch watch;
+    auto generated = GenerateAlignedScaleOut(config);
+    if (!generated.ok()) {
+      std::fprintf(stderr, "%s\n", generated.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("scale-out bundle: %zu users, %zu communities in %.2f s\n",
+                config.num_users, config.num_communities,
+                watch.ElapsedSeconds());
+    return WriteBundle(generated.value().networks, *out_dir);
+  }
+
+  auto generated = GenerateAligned(DefaultExperimentConfig(seed));
+  if (!generated.ok()) {
+    std::fprintf(stderr, "%s\n", generated.status().ToString().c_str());
+    return 1;
+  }
+  return WriteBundle(generated.value().networks, *out_dir);
 }
 
 // Reports what a lenient load had to skip, so silently-degraded input
@@ -247,9 +299,60 @@ Status ApplySolverFlags(const Flags& flags, SlamPredConfig& config) {
   return Status::OK();
 }
 
+// --partition none|auto plus the --max-cluster / --min-cluster size
+// bounds of the hierarchical partitioned solve; shared by every fitting
+// command.
+Status ApplyPartitionFlags(const Flags& flags, SlamPredConfig& config) {
+  const std::string partition = flags.Get("partition", "none");
+  if (partition == "auto") {
+    config.partition.mode = PartitionMode::kAuto;
+  } else if (partition != "none") {
+    return Status::InvalidArgument("--partition must be none or auto, got " +
+                                   partition);
+  }
+  if (flags.Has("max-cluster")) {
+    const std::size_t cap = static_cast<std::size_t>(
+        std::stoull(flags.Get("max-cluster", "1024")));
+    if (cap == 0) return Status::InvalidArgument("--max-cluster must be >= 1");
+    config.partition.max_cluster_size = cap;
+  }
+  if (flags.Has("min-cluster")) {
+    config.partition.min_cluster_size = static_cast<std::size_t>(
+        std::stoull(flags.Get("min-cluster", "8")));
+  }
+  if (config.partition.min_cluster_size > config.partition.max_cluster_size) {
+    return Status::InvalidArgument("--min-cluster exceeds --max-cluster");
+  }
+  return Status::OK();
+}
+
+// --inner / --outer iteration budgets; used by the CI smoke paths to
+// run reduced-budget fits at large n. Defaults leave the CLI budget
+// (inner 60, outer 2) untouched.
+Status ApplyBudgetFlags(const Flags& flags, SlamPredConfig& config) {
+  if (flags.Has("inner")) {
+    const std::size_t inner = static_cast<std::size_t>(
+        std::stoull(flags.Get("inner", "60")));
+    if (inner == 0) return Status::InvalidArgument("--inner must be >= 1");
+    config.optimization.inner.max_iterations = inner;
+  }
+  if (flags.Has("outer")) {
+    const std::size_t outer = static_cast<std::size_t>(
+        std::stoull(flags.Get("outer", "2")));
+    if (outer == 0) return Status::InvalidArgument("--outer must be >= 1");
+    config.optimization.max_outer_iterations = outer;
+  }
+  return Status::OK();
+}
+
 // One-phrase backend description of a loaded artifact for the
 // serve-bench summaries.
 std::string ArtifactBackendSummary(const ModelArtifact& artifact) {
+  if (artifact.has_shards) {
+    return "sharded, " + std::to_string(artifact.shards.num_shards()) +
+           " shard(s), max rank " +
+           std::to_string(artifact.shards.MaxRank());
+  }
   if (artifact.has_low_rank) {
     return "factored, rank " + std::to_string(artifact.low_rank.rank());
   }
@@ -274,6 +377,8 @@ Result<SlamPredConfig> CliModelConfig(const Flags& flags) {
   config.optimization.inner.max_iterations = 60;
   config.optimization.max_outer_iterations = 2;
   SLAMPRED_RETURN_NOT_OK(ApplySolverFlags(flags, config));
+  SLAMPRED_RETURN_NOT_OK(ApplyPartitionFlags(flags, config));
+  SLAMPRED_RETURN_NOT_OK(ApplyBudgetFlags(flags, config));
   return config;
 }
 
@@ -618,6 +723,16 @@ int Evaluate(const Flags& flags) {
   const Status solver_flags = ApplySolverFlags(flags, options.slampred);
   if (!solver_flags.ok()) {
     std::fprintf(stderr, "%s\n", solver_flags.ToString().c_str());
+    return 2;
+  }
+  const Status partition_flags = ApplyPartitionFlags(flags, options.slampred);
+  if (!partition_flags.ok()) {
+    std::fprintf(stderr, "%s\n", partition_flags.ToString().c_str());
+    return 2;
+  }
+  const Status budget_flags = ApplyBudgetFlags(flags, options.slampred);
+  if (!budget_flags.ok()) {
+    std::fprintf(stderr, "%s\n", budget_flags.ToString().c_str());
     return 2;
   }
   options.save_model_dir = flags.Get("save-model-dir", "");
