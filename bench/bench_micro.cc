@@ -16,8 +16,13 @@
 #include <string>
 #include <vector>
 
+#include "core/model_artifact.h"
+#include "core/scoring_session.h"
 #include "datagen/aligned_generator.h"
 #include "eval/metrics.h"
+#include "linalg/quantized_matrix.h"
+#include "serve/artifact_quantizer.h"
+#include "serve/topk_index.h"
 #include "features/feature_tensor.h"
 #include "features/structural_features.h"
 #include "graph/partitioner.h"
@@ -512,6 +517,73 @@ void BM_PartitionGraph(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PartitionGraph)->Arg(10000)->Arg(100000);
+
+// --- Quantized serving path (DESIGN.md §15) --------------------------
+// Quantization cost (per-row affine fit + code emission), dequantized
+// lookup cost against the float baseline, and top-K row builds straight
+// off the u8 payload — the hot loops behind --quantize serving.
+
+QuantizationBits BitsFromArg(std::int64_t bits) {
+  return bits == 16 ? QuantizationBits::kU16 : QuantizationBits::kU8;
+}
+
+void BM_QuantizeRow(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  ThreadCountGuard guard(static_cast<std::size_t>(state.range(1)));
+  const QuantizationBits bits = BitsFromArg(state.range(2));
+  const Matrix s = RandomMatrix(n, 22);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(QuantizedMatrix::FromMatrix(s, bits));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_QuantizeRow)
+    ->ArgsProduct({{256, 1024}, {1, 4}, {8, 16}})
+    ->ArgNames({"n", "threads", "bits"});
+
+void BM_DequantScore(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const QuantizationBits bits = BitsFromArg(state.range(1));
+  const QuantizedMatrix q =
+      QuantizedMatrix::FromMatrix(RandomMatrix(n, 23), bits).value();
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) sum += q.At(i, j);
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n));
+}
+BENCHMARK(BM_DequantScore)
+    ->ArgsProduct({{256, 1024}, {8, 16}})
+    ->ArgNames({"n", "bits"});
+
+void BM_TopKQuantized(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  ThreadCountGuard guard(static_cast<std::size_t>(state.range(1)));
+  ModelArtifact artifact;
+  artifact.s = RandomMatrix(n, 24);
+  ArtifactQuantizerOptions options;
+  options.bits = QuantizationBits::kU8;
+  ScoringSession session = ScoringSession::FromArtifact(
+                               QuantizeModelArtifact(std::move(artifact),
+                                                     options)
+                                   .value())
+                               .value();
+  std::size_t u = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildTopKRowOrder(session, u));
+    u = (u + 1) % n;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_TopKQuantized)->Apply([](benchmark::internal::Benchmark* b) {
+  SizeThreadGrid(b, {256, 1024});
+});
 
 }  // namespace
 }  // namespace slampred

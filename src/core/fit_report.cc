@@ -83,6 +83,23 @@ void PrintFitReport(std::FILE* out, const FitReport& report) {
   std::fprintf(out, "\n");
   std::fprintf(out, "sparse-path memory: %s\n",
                report.memory_stats.ToString().c_str());
+  if (report.artifact.present) {
+    std::fprintf(out, "artifact: %llu bytes (%s",
+                 static_cast<unsigned long long>(
+                     report.artifact.artifact_bytes),
+                 report.artifact.mode.c_str());
+    if (report.artifact.mode != "float" &&
+        report.artifact.float_artifact_bytes > 0) {
+      std::fprintf(
+          out, ", float equiv %llu bytes, %.2fx smaller, %zu hot row(s)",
+          static_cast<unsigned long long>(
+              report.artifact.float_artifact_bytes),
+          static_cast<double>(report.artifact.float_artifact_bytes) /
+              static_cast<double>(report.artifact.artifact_bytes),
+          report.artifact.hot_rows);
+    }
+    std::fprintf(out, ")\n");
+  }
   if (report.recovery.Total() > 0) {
     std::fprintf(out, "solver recoveries: %s\n",
                  report.recovery.ToString().c_str());
@@ -175,6 +192,17 @@ std::string FitReportJson(const FitReport& report) {
       out += FormatDouble(part.cluster_solve_seconds[c], 6);
     }
     out += "]}";
+  }
+
+  if (report.artifact.present) {
+    out += ",\"artifact\":{";
+    out += "\"mode\":\"" + report.artifact.mode + "\"";
+    out += ",\"artifact_bytes\":" +
+           std::to_string(report.artifact.artifact_bytes);
+    out += ",\"float_artifact_bytes\":" +
+           std::to_string(report.artifact.float_artifact_bytes);
+    out += ",\"hot_rows\":" + std::to_string(report.artifact.hot_rows);
+    out += "}";
   }
 
   out += "}";

@@ -7,6 +7,7 @@
 #ifndef SLAMPRED_CORE_FIT_REPORT_H_
 #define SLAMPRED_CORE_FIT_REPORT_H_
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
 
@@ -15,6 +16,20 @@
 #include "util/status.h"
 
 namespace slampred {
+
+/// Byte accounting of the artifact a fit wrote — filled by the CLI
+/// after serialization (absent when no artifact was written). For a
+/// quantized fit, `artifact_bytes` is the quantized form actually saved
+/// and `float_artifact_bytes` what the same model costs in float form.
+struct ArtifactSizeStats {
+  bool present = false;
+  /// "float", "u8" or "u16".
+  std::string mode = "float";
+  std::uint64_t artifact_bytes = 0;
+  std::uint64_t float_artifact_bytes = 0;
+  /// Hot rows snapshotted into the artifact (quantized fits only).
+  std::size_t hot_rows = 0;
+};
 
 /// Snapshot of one fit's diagnostics plus the thread count it ran with.
 struct FitReport {
@@ -31,6 +46,8 @@ struct FitReport {
   /// `partition` carries the cluster structure and per-cluster timings.
   bool partitioned = false;
   PartitionStats partition;
+  /// Bytes of the written artifact (quantized vs float).
+  ArtifactSizeStats artifact;
 };
 
 /// Collects the report of `model`'s last Fit (threads = current global

@@ -29,6 +29,13 @@ enum SectionId : std::uint32_t {
   kSectionShardManifest = 5,
   kSectionShard = 6,
   kSectionBoundary = 7,
+  // Quantized artifacts (DESIGN.md §15). All additive within the
+  // format version: old readers skip them (checksums still verified)
+  // and fail cleanly on the missing float payload.
+  kSectionQuantizedScores = 8,    // full-matrix QuantizedMatrix
+  kSectionQuantizedShard = 9,     // shard index + users + quantized block
+  kSectionQuantizedBoundary = 10,  // QuantizedSymmetricCsr
+  kSectionHotCache = 11,          // precomputed hot-user row prefixes
 };
 
 // The config is stored field by field in a fixed order; any layout
@@ -241,13 +248,18 @@ std::string SerializeModelArtifact(const ModelArtifact& artifact) {
   writer.WriteBytes(kMagic, sizeof(kMagic));
   writer.WriteU32(kModelArtifactFormatVersion);
   const bool write_s =
-      !artifact.s.empty() || (!artifact.has_low_rank && !artifact.has_shards);
+      !artifact.s.empty() ||
+      (!artifact.has_low_rank && !artifact.has_shards &&
+       !artifact.has_quantized_s);
   std::uint32_t section_count = 1u;  // config is always present
   if (write_s) ++section_count;
   if (artifact.has_low_rank) ++section_count;
+  if (artifact.has_quantized_s) ++section_count;
+  if (artifact.has_hot_rows) ++section_count;
   if (artifact.has_adapted_tensors) ++section_count;
   if (artifact.has_shards) {
-    // Manifest + one section per shard + the boundary CSR.
+    // Manifest + one section per shard (float or quantized) + the
+    // boundary (float CSR or quantized).
     section_count +=
         2u + static_cast<std::uint32_t>(artifact.shards.num_shards());
   }
@@ -267,6 +279,18 @@ std::string SerializeModelArtifact(const ModelArtifact& artifact) {
     BinaryWriter factor_writer;
     artifact.low_rank.Serialize(factor_writer);
     AppendSection(kSectionLowRankFactors, factor_writer.buffer(), writer);
+  }
+
+  if (artifact.has_quantized_s) {
+    BinaryWriter q_writer;
+    artifact.quantized_s.Serialize(q_writer);
+    AppendSection(kSectionQuantizedScores, q_writer.buffer(), writer);
+  }
+
+  if (artifact.has_hot_rows) {
+    BinaryWriter hot_writer;
+    artifact.hot_rows.Serialize(hot_writer);
+    AppendSection(kSectionHotCache, hot_writer.buffer(), writer);
   }
 
   if (artifact.has_adapted_tensors) {
@@ -291,15 +315,30 @@ std::string SerializeModelArtifact(const ModelArtifact& artifact) {
     AppendSection(kSectionShardManifest, manifest_writer.buffer(), writer);
 
     for (std::size_t i = 0; i < shards.num_shards(); ++i) {
+      const ModelShard& shard = shards.shards()[i];
       BinaryWriter shard_writer;
       shard_writer.WriteU64(i);
-      shards.shards()[i].Serialize(shard_writer);
-      AppendSection(kSectionShard, shard_writer.buffer(), writer);
+      if (shard.has_quantized) {
+        shard_writer.WriteU64(shard.users.size());
+        for (const std::uint32_t u : shard.users) shard_writer.WriteU32(u);
+        shard.quantized.Serialize(shard_writer);
+        AppendSection(kSectionQuantizedShard, shard_writer.buffer(), writer);
+      } else {
+        shard.Serialize(shard_writer);
+        AppendSection(kSectionShard, shard_writer.buffer(), writer);
+      }
     }
 
-    BinaryWriter boundary_writer;
-    shards.boundary().Serialize(boundary_writer);
-    AppendSection(kSectionBoundary, boundary_writer.buffer(), writer);
+    if (shards.has_quantized_boundary()) {
+      BinaryWriter boundary_writer;
+      shards.quantized_boundary().Serialize(boundary_writer);
+      AppendSection(kSectionQuantizedBoundary, boundary_writer.buffer(),
+                    writer);
+    } else {
+      BinaryWriter boundary_writer;
+      shards.boundary().Serialize(boundary_writer);
+      AppendSection(kSectionBoundary, boundary_writer.buffer(), writer);
+    }
   }
   return writer.TakeBuffer();
 }
@@ -331,10 +370,12 @@ Result<ModelArtifact> DeserializeModelArtifact(const std::string& bytes) {
   bool have_low_rank = false;
   bool have_manifest = false;
   bool have_boundary = false;
+  bool have_quantized_boundary = false;
   std::uint64_t manifest_users = 0;
   std::vector<std::uint64_t> manifest_sizes;
   std::vector<std::pair<std::uint64_t, ModelShard>> loaded_shards;
   CsrMatrix boundary;
+  QuantizedSymmetricCsr quantized_boundary;
   for (std::uint32_t i = 0; i < section_count.value(); ++i) {
     const std::size_t section_offset = reader.offset();
     auto id = reader.ReadU32();
@@ -428,6 +469,53 @@ Result<ModelArtifact> DeserializeModelArtifact(const std::string& bytes) {
         have_boundary = true;
         break;
       }
+      case kSectionQuantizedScores: {
+        auto q = QuantizedMatrix::Deserialize(section);
+        if (!q.ok()) return q.status();
+        SLAMPRED_RETURN_NOT_OK(q.value().Validate());
+        artifact.quantized_s = std::move(q).value();
+        artifact.has_quantized_s = true;
+        break;
+      }
+      case kSectionQuantizedShard: {
+        auto index = section.ReadU64();
+        if (!index.ok()) return index.status();
+        auto count = section.ReadU64();
+        if (!count.ok()) return count.status();
+        if (count.value() > section.remaining() / sizeof(std::uint32_t)) {
+          return section.Truncated(
+              static_cast<std::size_t>(count.value()) * sizeof(std::uint32_t),
+              "quantized shard users");
+        }
+        ModelShard shard;
+        shard.users.reserve(static_cast<std::size_t>(count.value()));
+        for (std::uint64_t k = 0; k < count.value(); ++k) {
+          auto user = section.ReadU32();
+          if (!user.ok()) return user.status();
+          shard.users.push_back(user.value());
+        }
+        auto block = QuantizedSymmetricDense::Deserialize(section);
+        if (!block.ok()) return block.status();
+        shard.quantized = std::move(block).value();
+        shard.has_quantized = true;
+        SLAMPRED_RETURN_NOT_OK(shard.Validate());
+        loaded_shards.emplace_back(index.value(), std::move(shard));
+        break;
+      }
+      case kSectionQuantizedBoundary: {
+        auto q = QuantizedSymmetricCsr::Deserialize(section);
+        if (!q.ok()) return q.status();
+        quantized_boundary = std::move(q).value();
+        have_quantized_boundary = true;
+        break;
+      }
+      case kSectionHotCache: {
+        auto cache = HotRowCache::Deserialize(section);
+        if (!cache.ok()) return cache.status();
+        artifact.hot_rows = std::move(cache).value();
+        artifact.has_hot_rows = true;
+        break;
+      }
       default:
         // Checksum-verified but unknown: skip (additive growth within a
         // format version stays readable).
@@ -463,7 +551,7 @@ Result<ModelArtifact> DeserializeModelArtifact(const std::string& bytes) {
       }
       shards.push_back(std::move(loaded_shards[k].second));
     }
-    if (!have_boundary) {
+    if (!have_boundary && !have_quantized_boundary) {
       return Status::IoError("sharded artifact is missing its boundary "
                              "section");
     }
@@ -475,12 +563,22 @@ Result<ModelArtifact> DeserializeModelArtifact(const std::string& bytes) {
                              sharded.status().message());
     }
     artifact.shards = std::move(sharded).value();
+    if (have_quantized_boundary) {
+      Status attached =
+          artifact.shards.AttachQuantizedBoundary(std::move(quantized_boundary));
+      if (!attached.ok()) {
+        return Status::IoError("sharded artifact is inconsistent: " +
+                               attached.message());
+      }
+    }
     artifact.has_shards = true;
   }
-  if (!have_config || (!have_s && !have_low_rank && !artifact.has_shards)) {
+  if (!have_config || (!have_s && !have_low_rank && !artifact.has_shards &&
+                       !artifact.has_quantized_s)) {
     return Status::IoError(
         "artifact is missing a required section (config and a score "
-        "matrix — dense, low-rank factors, or shards — are mandatory)");
+        "matrix — dense, low-rank factors, quantized scores, or shards — "
+        "are mandatory)");
   }
   if (artifact.s.rows() != artifact.s.cols()) {
     return Status::IoError("artifact score matrix is not square: " +
@@ -493,6 +591,13 @@ Result<ModelArtifact> DeserializeModelArtifact(const std::string& bytes) {
         "artifact low-rank factors are not square: " +
         std::to_string(artifact.low_rank.rows()) + "x" +
         std::to_string(artifact.low_rank.cols()));
+  }
+  if (artifact.has_quantized_s &&
+      artifact.quantized_s.rows() != artifact.quantized_s.cols()) {
+    return Status::IoError(
+        "artifact quantized score matrix is not square: " +
+        std::to_string(artifact.quantized_s.rows()) + "x" +
+        std::to_string(artifact.quantized_s.cols()));
   }
   // The serialized config predates the factored backend and the
   // partitioner (their fields are not part of the fixed layout), so both

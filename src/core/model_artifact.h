@@ -27,10 +27,12 @@
 #include <string>
 #include <vector>
 
+#include "core/hot_row_cache.h"
 #include "core/score_shards.h"
 #include "core/slampred.h"
 #include "linalg/factored_matrix.h"
 #include "linalg/matrix.h"
+#include "linalg/quantized_matrix.h"
 #include "linalg/sparse_tensor3.h"
 #include "util/status.h"
 
@@ -69,6 +71,19 @@ struct ModelArtifact {
   /// sections skip them and fail cleanly on the missing score matrix.
   ShardedScores shards;
   bool has_shards = false;
+  /// Quantized full score matrix (DESIGN.md §15): per-row scale/offset
+  /// plus u8/u16 codes, written in place of the float payload by the
+  /// artifact quantizer for dense and factored-densified models.
+  /// Quantized SHARDED models instead carry quantized blocks inside
+  /// `shards`. Readers predating the section skip it (checksums still
+  /// verified) and reject only because no float score matrix follows.
+  QuantizedMatrix quantized_s;
+  bool has_quantized_s = false;
+  /// Precomputed top-K row prefixes for the hot-user set, snapshotted
+  /// from the FLOAT scores before quantization dropped them, so serving
+  /// a hot user is bit-equal to a float session's lazily-built order.
+  HotRowCache hot_rows;
+  bool has_hot_rows = false;
 };
 
 /// Snapshots a fitted model into an artifact. Fails with

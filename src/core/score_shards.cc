@@ -11,7 +11,8 @@ namespace slampred {
 std::size_t ModelShard::EstimatedBytes() const {
   return users.size() * sizeof(std::uint32_t) +
          s.data().size() * sizeof(double) +
-         (has_low_rank ? low_rank.EstimatedBytes() : 0);
+         (has_low_rank ? low_rank.EstimatedBytes() : 0) +
+         (has_quantized ? quantized.EstimatedBytes() : 0);
 }
 
 Status ModelShard::Validate() const {
@@ -22,6 +23,14 @@ Status ModelShard::Validate() const {
       return Status::InvalidArgument(
           "shard users must be strictly ascending");
     }
+  }
+  if (has_quantized) {
+    if (quantized.rows() != m) {
+      return Status::InvalidArgument(
+          "shard quantized block is " + std::to_string(quantized.rows()) +
+          " rows for " + std::to_string(m) + " users");
+    }
+    return Status::OK();
   }
   if (has_low_rank) {
     if (low_rank.rows() != m || low_rank.cols() != m) {
@@ -131,6 +140,25 @@ Status ShardedScores::AttachBoundary(CsrMatrix boundary) {
   return Status::OK();
 }
 
+Status ShardedScores::AttachQuantizedBoundary(QuantizedSymmetricCsr boundary) {
+  if (boundary.rows() != 0 && boundary.rows() != num_users()) {
+    return Status::InvalidArgument(
+        "quantized boundary has " + std::to_string(boundary.rows()) +
+        " rows for " + std::to_string(num_users()) + " users");
+  }
+  has_quantized_boundary_ = boundary.rows() != 0;
+  quantized_boundary_ = std::move(boundary);
+  return Status::OK();
+}
+
+bool ShardedScores::IsQuantized() const {
+  if (has_quantized_boundary_) return true;
+  for (const ModelShard& shard : shards_) {
+    if (shard.has_quantized) return true;
+  }
+  return false;
+}
+
 Status ShardedScores::ReplaceShard(std::size_t index, ModelShard shard) {
   if (index >= shards_.size()) {
     return Status::OutOfRange("shard index " + std::to_string(index) +
@@ -153,6 +181,7 @@ double ShardedScores::At(std::size_t u, std::size_t v) const {
   if (cu == cluster_of_[v]) {
     return shards_[cu].At(local_index_[u], local_index_[v]);
   }
+  if (has_quantized_boundary_) return quantized_boundary_.At(u, v);
   if (boundary_.rows() == 0) return 0.0;
   return boundary_.At(u, v);
 }
@@ -164,6 +193,13 @@ void ShardedScores::RowScores(std::size_t u, std::vector<double>& out) const {
   const std::size_t lu = local_index_[u];
   for (std::size_t j = 0; j < own.users.size(); ++j) {
     out[own.users[j]] = own.At(lu, j);
+  }
+  if (has_quantized_boundary_) {
+    // Boundary entries never cover own-shard columns, so plain
+    // assignment matches the float path.
+    quantized_boundary_.ForEachInRow(
+        u, [&](std::uint32_t col, double value) { out[col] = value; });
+    return;
   }
   if (boundary_.rows() == 0) return;
   const auto& row_ptr = boundary_.row_ptr();
@@ -182,6 +218,7 @@ std::size_t ShardedScores::MaxRank() const {
 
 std::size_t ShardedScores::EstimatedBytes() const {
   std::size_t bytes = boundary_.EstimatedBytes() +
+                      quantized_boundary_.EstimatedBytes() +
                       (cluster_of_.size() + local_index_.size()) *
                           sizeof(std::uint32_t);
   for (const ModelShard& shard : shards_) bytes += shard.EstimatedBytes();

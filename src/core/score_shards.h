@@ -18,6 +18,7 @@
 #include "linalg/csr_matrix.h"
 #include "linalg/factored_matrix.h"
 #include "linalg/matrix.h"
+#include "linalg/quantized_matrix.h"
 #include "util/status.h"
 
 namespace slampred {
@@ -36,11 +37,17 @@ struct ModelShard {
   /// Factored block S = U·Vᵀ of a factored sub-fit.
   FactoredMatrix low_rank;
   bool has_low_rank = false;
+  /// Quantized block of a quantized artifact (DESIGN.md §15): the
+  /// densified cluster block stored as a canonical upper triangle of
+  /// u8/u16 codes. Takes precedence over the float representations.
+  QuantizedSymmetricDense quantized;
+  bool has_quantized = false;
 
   std::size_t num_users() const { return users.size(); }
 
   /// Score of the local pair (i, j); unchecked.
   double At(std::size_t i, std::size_t j) const {
+    if (has_quantized) return quantized.At(i, j);
     return has_low_rank ? low_rank.At(i, j) : s(i, j);
   }
 
@@ -76,6 +83,11 @@ class ShardedScores {
   /// refinement from them.
   Status AttachBoundary(CsrMatrix boundary);
 
+  /// Attaches a quantized boundary (empty or num_users square). A
+  /// quantized boundary takes precedence over the float one when both
+  /// are present (loaders attach exactly one).
+  Status AttachQuantizedBoundary(QuantizedSymmetricCsr boundary);
+
   /// Replaces shard `index` with `shard`, which must cover exactly the
   /// same users (hot-swapping a shard never changes the partition).
   Status ReplaceShard(std::size_t index, ModelShard shard);
@@ -85,6 +97,13 @@ class ShardedScores {
   std::size_t num_shards() const { return shards_.size(); }
   const std::vector<ModelShard>& shards() const { return shards_; }
   const CsrMatrix& boundary() const { return boundary_; }
+  const QuantizedSymmetricCsr& quantized_boundary() const {
+    return quantized_boundary_;
+  }
+  bool has_quantized_boundary() const { return has_quantized_boundary_; }
+
+  /// True when any shard block or the boundary is quantized.
+  bool IsQuantized() const;
 
   /// Shard index / in-shard index of user `u` (unchecked).
   std::uint32_t shard_of(std::size_t u) const { return cluster_of_[u]; }
@@ -110,6 +129,8 @@ class ShardedScores {
   std::vector<std::uint32_t> cluster_of_;   // size n
   std::vector<std::uint32_t> local_index_;  // size n
   CsrMatrix boundary_;                      // n×n symmetric, or empty
+  QuantizedSymmetricCsr quantized_boundary_;  // quantized alternative
+  bool has_quantized_boundary_ = false;
 };
 
 }  // namespace slampred

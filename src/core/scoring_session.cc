@@ -19,6 +19,24 @@ Result<ScoringSession> ScoringSession::FromArtifact(ModelArtifact artifact) {
     const std::size_t n = artifact.shards.num_users();
     return ScoringSession(std::move(artifact), Backend::kSharded, n);
   }
+  if (artifact.has_quantized_s) {
+    // Dequantize-on-the-fly: scores are offset + scale·code reads, the
+    // quantized codes are the resident payload, and nothing float-dense
+    // is materialised at load.
+    if (artifact.quantized_s.rows() != artifact.quantized_s.cols()) {
+      return Status::InvalidArgument(
+          "artifact quantized scores must be square, got " +
+          std::to_string(artifact.quantized_s.rows()) + "x" +
+          std::to_string(artifact.quantized_s.cols()));
+    }
+    if (artifact.quantized_s.empty()) {
+      return Status::InvalidArgument(
+          "artifact holds an empty quantized score matrix; nothing to "
+          "serve");
+    }
+    const std::size_t n = artifact.quantized_s.rows();
+    return ScoringSession(std::move(artifact), Backend::kQuantized, n);
+  }
   if (artifact.s.empty() && artifact.has_low_rank) {
     // Served straight from the factors — At(u, v) is an O(r) dot
     // product bit-identical to the densified entry, so nothing O(n²)
@@ -63,6 +81,10 @@ Result<double> ScoringSession::Score(std::size_t u, std::size_t v) const {
 void ScoringSession::RowScores(std::size_t u, std::vector<double>& out) const {
   if (backend_ == Backend::kSharded) {
     artifact_.shards.RowScores(u, out);
+    return;
+  }
+  if (backend_ == Backend::kQuantized) {
+    artifact_.quantized_s.RowScores(u, out);
     return;
   }
   out.resize(num_users_);

@@ -29,9 +29,10 @@ class ScoringSession : public LinkPredictor {
  public:
   /// The representation scores are read from.
   enum class Backend : std::uint8_t {
-    kDense = 0,     ///< artifact.s element lookups.
-    kFactored = 1,  ///< artifact.low_rank.At — never densified.
-    kSharded = 2,   ///< artifact.shards block + boundary lookups.
+    kDense = 0,      ///< artifact.s element lookups.
+    kFactored = 1,   ///< artifact.low_rank.At — never densified.
+    kSharded = 2,    ///< artifact.shards block + boundary lookups.
+    kQuantized = 3,  ///< artifact.quantized_s dequantize-on-the-fly.
   };
 
   /// Loads the artifact at `path` (offset-diagnosed kIoError on any
@@ -57,7 +58,15 @@ class ScoringSession : public LinkPredictor {
   double ScoreUnchecked(std::size_t u, std::size_t v) const {
     if (backend_ == Backend::kDense) return artifact_.s(u, v);
     if (backend_ == Backend::kFactored) return artifact_.low_rank.At(u, v);
+    if (backend_ == Backend::kQuantized) return artifact_.quantized_s.At(u, v);
     return artifact_.shards.At(u, v);
+  }
+
+  /// True when scores come from a quantized payload (the kQuantized
+  /// backend, or a sharded backend with quantized blocks/boundary).
+  bool IsQuantized() const {
+    return backend_ == Backend::kQuantized ||
+           (backend_ == Backend::kSharded && artifact_.shards.IsQuantized());
   }
 
   /// Fills `out` (resized to num_users) with u's full score row —

@@ -1,0 +1,695 @@
+#include "linalg/quantized_matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "util/binary_io.h"
+#include "util/thread_pool.h"
+
+namespace slampred {
+namespace {
+
+// Quantizes one value under (offset, inv_scale): nearest code, clamped
+// to [0, levels]. inv_scale is 0 for constant rows, mapping everything
+// to code 0.
+template <typename Code>
+Code QuantizeValue(double v, double offset, double inv_scale,
+                   std::size_t levels) {
+  const double scaled = (v - offset) * inv_scale;
+  long long code = std::llround(scaled);
+  if (code < 0) code = 0;
+  if (code > static_cast<long long>(levels)) {
+    code = static_cast<long long>(levels);
+  }
+  return static_cast<Code>(code);
+}
+
+// Row min/max with a finite-ness check; returns false on NaN/inf.
+bool RowRange(const double* row, std::size_t n, double& lo, double& hi) {
+  lo = row[0];
+  hi = row[0];
+  for (std::size_t j = 0; j < n; ++j) {
+    const double v = row[j];
+    if (!std::isfinite(v)) return false;
+    if (v < lo) lo = v;
+    if (v > hi) hi = v;
+  }
+  return true;
+}
+
+Status CheckRowParams(const std::vector<double>& offsets,
+                      const std::vector<double>& scales, std::size_t rows,
+                      const char* context) {
+  if (offsets.size() != rows || scales.size() != rows) {
+    return Status::IoError(std::string(context) +
+                           ": row parameter vectors sized " +
+                           std::to_string(offsets.size()) + "/" +
+                           std::to_string(scales.size()) + " for " +
+                           std::to_string(rows) + " row(s)");
+  }
+  for (std::size_t i = 0; i < rows; ++i) {
+    if (!std::isfinite(offsets[i])) {
+      return Status::IoError(std::string(context) + ": non-finite offset in row " +
+                             std::to_string(i));
+    }
+    if (!std::isfinite(scales[i]) || scales[i] < 0.0) {
+      return Status::IoError(std::string(context) + ": corrupt scale " +
+                             std::to_string(scales[i]) + " in row " +
+                             std::to_string(i) +
+                             " (must be finite and non-negative)");
+    }
+  }
+  return Status::OK();
+}
+
+void WriteDoubleVector(BinaryWriter& writer, const std::vector<double>& v) {
+  for (double x : v) writer.WriteDouble(x);
+}
+
+Status ReadDoubleVector(BinaryReader& reader, std::size_t count,
+                        std::vector<double>& out, const char* what) {
+  if (reader.remaining() < count * sizeof(double)) {
+    return reader.Truncated(count * sizeof(double), what);
+  }
+  out.resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    auto x = reader.ReadDouble();
+    if (!x.ok()) return x.status();
+    out[i] = x.value();
+  }
+  return Status::OK();
+}
+
+Result<QuantizationBits> ReadBits(BinaryReader& reader) {
+  auto raw = reader.ReadU8();
+  if (!raw.ok()) return raw.status();
+  if (raw.value() != 8 && raw.value() != 16) {
+    return Status::IoError("unknown quantization width " +
+                           std::to_string(raw.value()) +
+                           " (expected 8 or 16)");
+  }
+  return raw.value() == 8 ? QuantizationBits::kU8 : QuantizationBits::kU16;
+}
+
+}  // namespace
+
+const char* QuantizationBitsName(QuantizationBits bits) {
+  return bits == QuantizationBits::kU8 ? "u8" : "u16";
+}
+
+Result<QuantizedMatrix> QuantizedMatrix::FromMatrix(const Matrix& m,
+                                                    QuantizationBits bits) {
+  QuantizedMatrix q;
+  q.rows_ = m.rows();
+  q.cols_ = m.cols();
+  q.bits_ = bits;
+  q.offsets_.assign(q.rows_, 0.0);
+  q.scales_.assign(q.rows_, 0.0);
+  if (bits == QuantizationBits::kU8) {
+    q.codes8_.resize(q.rows_ * q.cols_);
+  } else {
+    q.codes16_.resize(q.rows_ * q.cols_);
+  }
+  if (q.rows_ == 0 || q.cols_ == 0) return q;
+
+  const double levels = static_cast<double>(QuantizationLevels(bits));
+  std::vector<std::uint8_t> bad_row(q.rows_, 0);
+  // One writer per row: codes are a pure function of the row contents,
+  // so the result is bit-identical for any thread count.
+  ParallelFor(0, q.rows_, GrainForWork(q.cols_),
+              [&](std::size_t begin, std::size_t end) {
+                for (std::size_t i = begin; i < end; ++i) {
+                  const double* row = m.data().data() + i * q.cols_;
+                  double lo, hi;
+                  if (!RowRange(row, q.cols_, lo, hi)) {
+                    bad_row[i] = 1;
+                    continue;
+                  }
+                  const double scale = hi > lo ? (hi - lo) / levels : 0.0;
+                  const double inv_scale = scale > 0.0 ? 1.0 / scale : 0.0;
+                  q.offsets_[i] = lo;
+                  q.scales_[i] = scale;
+                  if (bits == QuantizationBits::kU8) {
+                    std::uint8_t* codes = q.codes8_.data() + i * q.cols_;
+                    for (std::size_t j = 0; j < q.cols_; ++j) {
+                      codes[j] = QuantizeValue<std::uint8_t>(
+                          row[j], lo, inv_scale,
+                          QuantizationLevels(QuantizationBits::kU8));
+                    }
+                  } else {
+                    std::uint16_t* codes = q.codes16_.data() + i * q.cols_;
+                    for (std::size_t j = 0; j < q.cols_; ++j) {
+                      codes[j] = QuantizeValue<std::uint16_t>(
+                          row[j], lo, inv_scale,
+                          QuantizationLevels(QuantizationBits::kU16));
+                    }
+                  }
+                }
+              });
+  for (std::size_t i = 0; i < q.rows_; ++i) {
+    if (bad_row[i]) {
+      return Status::InvalidArgument(
+          "cannot quantize row " + std::to_string(i) +
+          ": contains NaN or infinite score");
+    }
+  }
+  return q;
+}
+
+void QuantizedMatrix::RowScores(std::size_t i,
+                                std::vector<double>& out) const {
+  out.resize(cols_);
+  const double offset = offsets_[i];
+  const double scale = scales_[i];
+  if (bits_ == QuantizationBits::kU8) {
+    const std::uint8_t* codes = codes8_.data() + i * cols_;
+    for (std::size_t j = 0; j < cols_; ++j) {
+      out[j] = offset + scale * static_cast<double>(codes[j]);
+    }
+  } else {
+    const std::uint16_t* codes = codes16_.data() + i * cols_;
+    for (std::size_t j = 0; j < cols_; ++j) {
+      out[j] = offset + scale * static_cast<double>(codes[j]);
+    }
+  }
+}
+
+Matrix QuantizedMatrix::ToDense() const {
+  Matrix m(rows_, cols_);
+  std::vector<double> row;
+  for (std::size_t i = 0; i < rows_; ++i) {
+    RowScores(i, row);
+    std::memcpy(m.data().data() + i * cols_, row.data(),
+                cols_ * sizeof(double));
+  }
+  return m;
+}
+
+std::size_t QuantizedMatrix::PayloadBytes() const {
+  const std::size_t code_bytes =
+      bits_ == QuantizationBits::kU8 ? codes8_.size() : codes16_.size() * 2;
+  return code_bytes + (offsets_.size() + scales_.size()) * sizeof(double);
+}
+
+Status QuantizedMatrix::Validate() const {
+  Status params = CheckRowParams(offsets_, scales_, rows_, "quantized matrix");
+  if (!params.ok()) return params;
+  const std::size_t want = rows_ * cols_;
+  const std::size_t have =
+      bits_ == QuantizationBits::kU8 ? codes8_.size() : codes16_.size();
+  if (have != want ||
+      (bits_ == QuantizationBits::kU8 ? !codes16_.empty() : !codes8_.empty())) {
+    return Status::IoError("quantized matrix code storage sized " +
+                           std::to_string(have) + " for " +
+                           std::to_string(want) + " entries");
+  }
+  return Status::OK();
+}
+
+void QuantizedMatrix::Serialize(BinaryWriter& writer) const {
+  writer.WriteU8(static_cast<std::uint8_t>(bits_));
+  writer.WriteU64(rows_);
+  writer.WriteU64(cols_);
+  WriteDoubleVector(writer, offsets_);
+  WriteDoubleVector(writer, scales_);
+  if (bits_ == QuantizationBits::kU8) {
+    writer.WriteBytes(codes8_.data(), codes8_.size());
+  } else {
+    for (std::uint16_t c : codes16_) writer.WriteU16(c);
+  }
+}
+
+Result<QuantizedMatrix> QuantizedMatrix::Deserialize(BinaryReader& reader) {
+  auto bits = ReadBits(reader);
+  if (!bits.ok()) return bits.status();
+  auto rows = reader.ReadU64();
+  if (!rows.ok()) return rows.status();
+  auto cols = reader.ReadU64();
+  if (!cols.ok()) return cols.status();
+
+  QuantizedMatrix q;
+  q.bits_ = bits.value();
+  q.rows_ = static_cast<std::size_t>(rows.value());
+  q.cols_ = static_cast<std::size_t>(cols.value());
+  // Reject absurd shapes before any allocation can be driven by them.
+  const std::size_t code_width = q.bits_ == QuantizationBits::kU8 ? 1 : 2;
+  if (q.rows_ != 0 &&
+      (q.cols_ > reader.remaining() / code_width / q.rows_ + 1)) {
+    return reader.Truncated(q.rows_ * q.cols_ * code_width,
+                            "quantized code block");
+  }
+  Status s = ReadDoubleVector(reader, q.rows_, q.offsets_,
+                              "quantized row offsets");
+  if (!s.ok()) return s;
+  s = ReadDoubleVector(reader, q.rows_, q.scales_, "quantized row scales");
+  if (!s.ok()) return s;
+  s = CheckRowParams(q.offsets_, q.scales_, q.rows_, "quantized matrix");
+  if (!s.ok()) return s;
+
+  const std::size_t entries = q.rows_ * q.cols_;
+  if (q.bits_ == QuantizationBits::kU8) {
+    q.codes8_.resize(entries);
+    s = reader.ReadBytes(q.codes8_.data(), entries);
+    if (!s.ok()) return s;
+  } else {
+    if (reader.remaining() < entries * 2) {
+      return reader.Truncated(entries * 2, "quantized u16 codes");
+    }
+    q.codes16_.resize(entries);
+    for (std::size_t e = 0; e < entries; ++e) {
+      auto c = reader.ReadU16();
+      if (!c.ok()) return c.status();
+      q.codes16_[e] = c.value();
+    }
+  }
+  return q;
+}
+
+Result<QuantizedSymmetricDense> QuantizedSymmetricDense::FromMatrix(
+    const Matrix& m, QuantizationBits bits) {
+  if (m.rows() != m.cols()) {
+    return Status::InvalidArgument(
+        "symmetric block quantization requires a square matrix, got " +
+        std::to_string(m.rows()) + "x" + std::to_string(m.cols()));
+  }
+  const std::size_t n = m.rows();
+  QuantizedSymmetricDense q;
+  q.rows_ = n;
+  q.bits_ = bits;
+  q.offsets_.assign(n, 0.0);
+  q.scales_.assign(n, 0.0);
+  const std::size_t tri = n * (n + 1) / 2;
+  if (bits == QuantizationBits::kU8) {
+    q.codes8_.resize(tri);
+  } else {
+    q.codes16_.resize(tri);
+  }
+  if (n == 0) return q;
+
+  const double levels = static_cast<double>(QuantizationLevels(bits));
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* row = m.data().data() + i * n;
+    // Canonical segment j in [i, n): the parameters of row i only ever
+    // dequantize canonical entries, so the range covers exactly those.
+    double lo, hi;
+    if (!RowRange(row + i, n - i, lo, hi)) {
+      return Status::InvalidArgument("cannot quantize block row " +
+                                     std::to_string(i) +
+                                     ": contains NaN or infinite score");
+    }
+    const double scale = hi > lo ? (hi - lo) / levels : 0.0;
+    const double inv_scale = scale > 0.0 ? 1.0 / scale : 0.0;
+    q.offsets_[i] = lo;
+    q.scales_[i] = scale;
+    for (std::size_t j = i; j < n; ++j) {
+      const double a = row[j];
+      const double b = m(j, i);
+      if (!std::isfinite(b)) {
+        return Status::InvalidArgument("cannot quantize block row " +
+                                       std::to_string(j) +
+                                       ": contains NaN or infinite score");
+      }
+      if (std::abs(a - b) > 1e-9 * (std::abs(a) + std::abs(b) + 1.0)) {
+        return Status::InvalidArgument(
+            "block is not symmetric at (" + std::to_string(i) + ", " +
+            std::to_string(j) + "): " + std::to_string(a) + " vs " +
+            std::to_string(b) +
+            " — symmetric quantization would rewrite scores");
+      }
+      const std::size_t e = q.TriIndex(i, j);
+      if (bits == QuantizationBits::kU8) {
+        q.codes8_[e] = QuantizeValue<std::uint8_t>(a, lo, inv_scale, 255u);
+      } else {
+        q.codes16_[e] = QuantizeValue<std::uint16_t>(a, lo, inv_scale, 65535u);
+      }
+    }
+  }
+  return q;
+}
+
+void QuantizedSymmetricDense::RowScores(std::size_t i,
+                                        std::vector<double>& out) const {
+  out.resize(rows_);
+  for (std::size_t j = 0; j < rows_; ++j) out[j] = At(i, j);
+}
+
+std::size_t QuantizedSymmetricDense::EstimatedBytes() const {
+  return (offsets_.size() + scales_.size()) * sizeof(double) +
+         codes8_.size() + codes16_.size() * 2;
+}
+
+void QuantizedSymmetricDense::Serialize(BinaryWriter& writer) const {
+  writer.WriteU8(static_cast<std::uint8_t>(bits_));
+  writer.WriteU64(rows_);
+  WriteDoubleVector(writer, offsets_);
+  WriteDoubleVector(writer, scales_);
+  if (bits_ == QuantizationBits::kU8) {
+    writer.WriteBytes(codes8_.data(), codes8_.size());
+  } else {
+    for (std::uint16_t c : codes16_) writer.WriteU16(c);
+  }
+}
+
+Result<QuantizedSymmetricDense> QuantizedSymmetricDense::Deserialize(
+    BinaryReader& reader) {
+  auto bits = ReadBits(reader);
+  if (!bits.ok()) return bits.status();
+  auto rows = reader.ReadU64();
+  if (!rows.ok()) return rows.status();
+
+  QuantizedSymmetricDense q;
+  q.bits_ = bits.value();
+  q.rows_ = static_cast<std::size_t>(rows.value());
+  const std::size_t n = q.rows_;
+  const std::size_t tri = n * (n + 1) / 2;
+  const std::size_t code_width = q.bits_ == QuantizationBits::kU8 ? 1 : 2;
+  const std::size_t min_bytes = n * 2 * sizeof(double) + tri * code_width;
+  if (n != 0 && reader.remaining() < min_bytes) {
+    return reader.Truncated(min_bytes, "quantized block body");
+  }
+  Status s = ReadDoubleVector(reader, n, q.offsets_, "quantized row offsets");
+  if (!s.ok()) return s;
+  s = ReadDoubleVector(reader, n, q.scales_, "quantized row scales");
+  if (!s.ok()) return s;
+  s = CheckRowParams(q.offsets_, q.scales_, n, "quantized block");
+  if (!s.ok()) return s;
+  if (q.bits_ == QuantizationBits::kU8) {
+    q.codes8_.resize(tri);
+    s = reader.ReadBytes(q.codes8_.data(), tri);
+    if (!s.ok()) return s;
+  } else {
+    q.codes16_.resize(tri);
+    for (std::size_t e = 0; e < tri; ++e) {
+      auto c = reader.ReadU16();
+      if (!c.ok()) return c.status();
+      q.codes16_[e] = c.value();
+    }
+  }
+  return q;
+}
+
+Result<QuantizedSymmetricCsr> QuantizedSymmetricCsr::FromCsr(
+    const CsrMatrix& csr, QuantizationBits bits) {
+  if (csr.rows() != csr.cols()) {
+    return Status::InvalidArgument(
+        "symmetric quantization requires a square matrix, got " +
+        std::to_string(csr.rows()) + "x" + std::to_string(csr.cols()));
+  }
+  const std::size_t n = csr.rows();
+  QuantizedSymmetricCsr q;
+  q.rows_ = n;
+  q.bits_ = bits;
+  q.offsets_.assign(n, 0.0);
+  q.scales_.assign(n, 0.0);
+  q.row_ptr_.assign(n + 1, 0);
+  if (n == 0) return q;
+
+  // Pass 1: per-row min/max over the FULL stored pattern plus the
+  // implicit zeros (any row shorter than n has absent entries, which
+  // must dequantize to a value the code range can represent — include
+  // 0 in the range so the codes of stored entries stay faithful even
+  // though absent entries are returned as exact 0.0 without decoding).
+  const double levels = static_cast<double>(QuantizationLevels(bits));
+  for (std::size_t u = 0; u < n; ++u) {
+    double lo = 0.0, hi = 0.0;
+    bool any = false;
+    for (std::size_t e = csr.row_ptr()[u]; e < csr.row_ptr()[u + 1]; ++e) {
+      const double v = csr.values()[e];
+      if (!std::isfinite(v)) {
+        return Status::InvalidArgument(
+            "cannot quantize boundary row " + std::to_string(u) +
+            ": contains NaN or infinite score");
+      }
+      if (!any) {
+        lo = v;
+        hi = v;
+        any = true;
+      } else {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+    }
+    if (csr.row_ptr()[u + 1] - csr.row_ptr()[u] < n) {
+      lo = std::min(lo, 0.0);
+      hi = std::max(hi, 0.0);
+    }
+    q.offsets_[u] = lo;
+    q.scales_[u] = hi > lo ? (hi - lo) / levels : 0.0;
+  }
+
+  // Pass 2: verify exact symmetry and quantize every stored entry
+  // under the min-endpoint row parameters. Both (u,v) and (v,u) get
+  // the same code by construction, so the mirrored pattern is filled
+  // directly.
+  const std::size_t nnz = csr.nnz();
+  q.col_idx_.resize(nnz);
+  if (bits == QuantizationBits::kU8) {
+    q.codes8_.resize(nnz);
+  } else {
+    q.codes16_.resize(nnz);
+  }
+  for (std::size_t u = 0; u <= n; ++u) q.row_ptr_[u] = csr.row_ptr()[u];
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t e = csr.row_ptr()[u]; e < csr.row_ptr()[u + 1]; ++e) {
+      const std::size_t v = csr.col_idx()[e];
+      if (v >= n) {
+        return Status::InvalidArgument("boundary column " + std::to_string(v) +
+                                       " out of range for " +
+                                       std::to_string(n) + " rows");
+      }
+      const double value = csr.values()[e];
+      if (u < v) {
+        // Verify the mirror entry exists with the exact same bits.
+        const double mirror = csr.At(v, u);
+        if (std::memcmp(&mirror, &value, sizeof(double)) != 0) {
+          return Status::InvalidArgument(
+              "boundary matrix is not exactly symmetric at (" +
+              std::to_string(u) + ", " + std::to_string(v) + ")");
+        }
+      }
+      const std::size_t basis = std::min(u, v);
+      const double scale = q.scales_[basis];
+      const double inv_scale = scale > 0.0 ? 1.0 / scale : 0.0;
+      const std::size_t code =
+          bits == QuantizationBits::kU8
+              ? QuantizeValue<std::uint8_t>(value, q.offsets_[basis], inv_scale,
+                                            255u)
+              : QuantizeValue<std::uint16_t>(value, q.offsets_[basis],
+                                             inv_scale, 65535u);
+      q.col_idx_[e] = static_cast<std::uint32_t>(v);
+      if (bits == QuantizationBits::kU8) {
+        q.codes8_[e] = static_cast<std::uint8_t>(code);
+      } else {
+        q.codes16_[e] = static_cast<std::uint16_t>(code);
+      }
+    }
+  }
+  return q;
+}
+
+double QuantizedSymmetricCsr::At(std::size_t u, std::size_t v) const {
+  const std::size_t begin = row_ptr_[u];
+  const std::size_t end = row_ptr_[u + 1];
+  const auto* first = col_idx_.data() + begin;
+  const auto* last = col_idx_.data() + end;
+  const auto* it =
+      std::lower_bound(first, last, static_cast<std::uint32_t>(v));
+  if (it == last || *it != v) return 0.0;
+  return DequantEntry(u, begin + static_cast<std::size_t>(it - first));
+}
+
+void QuantizedSymmetricCsr::ScatterRow(std::size_t u,
+                                       std::vector<double>& out) const {
+  for (std::size_t e = row_ptr_[u]; e < row_ptr_[u + 1]; ++e) {
+    out[col_idx_[e]] += DequantEntry(u, e);
+  }
+}
+
+std::size_t QuantizedSymmetricCsr::EstimatedBytes() const {
+  return (offsets_.size() + scales_.size()) * sizeof(double) +
+         row_ptr_.size() * sizeof(std::size_t) +
+         col_idx_.size() * sizeof(std::uint32_t) + codes8_.size() +
+         codes16_.size() * 2;
+}
+
+void QuantizedSymmetricCsr::Serialize(BinaryWriter& writer) const {
+  writer.WriteU8(static_cast<std::uint8_t>(bits_));
+  writer.WriteU64(rows_);
+  // Strict upper triangle only — the reader mirrors the pattern back.
+  std::uint64_t upper = 0;
+  for (std::size_t u = 0; u < rows_; ++u) {
+    for (std::size_t e = row_ptr_[u]; e < row_ptr_[u + 1]; ++e) {
+      if (col_idx_[e] > u) ++upper;
+    }
+  }
+  writer.WriteU64(upper);
+  WriteDoubleVector(writer, offsets_);
+  WriteDoubleVector(writer, scales_);
+  for (std::size_t u = 0; u < rows_; ++u) {
+    std::uint32_t count = 0;
+    for (std::size_t e = row_ptr_[u]; e < row_ptr_[u + 1]; ++e) {
+      if (col_idx_[e] > u) ++count;
+    }
+    writer.WriteU32(count);
+  }
+  for (std::size_t u = 0; u < rows_; ++u) {
+    for (std::size_t e = row_ptr_[u]; e < row_ptr_[u + 1]; ++e) {
+      if (col_idx_[e] <= u) continue;
+      writer.WriteU32(col_idx_[e]);
+      if (bits_ == QuantizationBits::kU8) {
+        writer.WriteU8(codes8_[e]);
+      } else {
+        writer.WriteU16(codes16_[e]);
+      }
+    }
+  }
+}
+
+Result<QuantizedSymmetricCsr> QuantizedSymmetricCsr::Deserialize(
+    BinaryReader& reader) {
+  auto bits = ReadBits(reader);
+  if (!bits.ok()) return bits.status();
+  auto rows = reader.ReadU64();
+  if (!rows.ok()) return rows.status();
+  auto upper = reader.ReadU64();
+  if (!upper.ok()) return upper.status();
+
+  QuantizedSymmetricCsr q;
+  q.bits_ = bits.value();
+  q.rows_ = static_cast<std::size_t>(rows.value());
+  const std::size_t n = q.rows_;
+  const std::size_t upper_nnz = static_cast<std::size_t>(upper.value());
+  const std::size_t entry_width =
+      sizeof(std::uint32_t) + (q.bits_ == QuantizationBits::kU8 ? 1 : 2);
+  // Everything after the header has a computable lower bound; reject
+  // absurd counts before they drive allocations.
+  const std::size_t min_bytes =
+      n * (2 * sizeof(double) + sizeof(std::uint32_t)) +
+      upper_nnz * entry_width;
+  if (reader.remaining() < min_bytes) {
+    return reader.Truncated(min_bytes, "quantized symmetric CSR body");
+  }
+  Status s = ReadDoubleVector(reader, n, q.offsets_, "quantized row offsets");
+  if (!s.ok()) return s;
+  s = ReadDoubleVector(reader, n, q.scales_, "quantized row scales");
+  if (!s.ok()) return s;
+  s = CheckRowParams(q.offsets_, q.scales_, n, "quantized boundary");
+  if (!s.ok()) return s;
+
+  std::vector<std::uint32_t> upper_counts(n);
+  std::size_t total = 0;
+  for (std::size_t u = 0; u < n; ++u) {
+    auto c = reader.ReadU32();
+    if (!c.ok()) return c.status();
+    upper_counts[u] = c.value();
+    total += c.value();
+  }
+  if (total != upper_nnz) {
+    return Status::IoError("quantized boundary row counts sum to " +
+                           std::to_string(total) + ", header says " +
+                           std::to_string(upper_nnz));
+  }
+
+  // Read the upper triangle, validating strict ordering, then mirror.
+  struct UpperEntry {
+    std::uint32_t row;
+    std::uint32_t col;
+    std::size_t code;
+  };
+  std::vector<UpperEntry> entries;
+  entries.reserve(upper_nnz);
+  for (std::size_t u = 0; u < n; ++u) {
+    std::uint32_t prev = 0;
+    bool first = true;
+    for (std::uint32_t k = 0; k < upper_counts[u]; ++k) {
+      auto col = reader.ReadU32();
+      if (!col.ok()) return col.status();
+      const std::uint32_t v = col.value();
+      if (v <= u || v >= n) {
+        return Status::IoError("quantized boundary entry (" +
+                               std::to_string(u) + ", " + std::to_string(v) +
+                               ") outside the strict upper triangle of " +
+                               std::to_string(n) + " rows");
+      }
+      if (!first && v <= prev) {
+        return Status::IoError("quantized boundary columns not strictly "
+                               "ascending in row " +
+                               std::to_string(u));
+      }
+      first = false;
+      prev = v;
+      std::size_t code;
+      if (q.bits_ == QuantizationBits::kU8) {
+        auto c = reader.ReadU8();
+        if (!c.ok()) return c.status();
+        code = c.value();
+      } else {
+        auto c = reader.ReadU16();
+        if (!c.ok()) return c.status();
+        code = c.value();
+      }
+      entries.push_back({static_cast<std::uint32_t>(u), v, code});
+    }
+  }
+
+  // Mirror: count both directions, prefix-sum, scatter in order. The
+  // scatter preserves ascending columns because entries arrive sorted
+  // by (row, col) and mirrored ones by (col, row).
+  q.row_ptr_.assign(n + 1, 0);
+  for (const auto& e : entries) {
+    ++q.row_ptr_[e.row + 1];
+    ++q.row_ptr_[e.col + 1];
+  }
+  for (std::size_t u = 0; u < n; ++u) q.row_ptr_[u + 1] += q.row_ptr_[u];
+  const std::size_t nnz = 2 * upper_nnz;
+  q.col_idx_.resize(nnz);
+  if (q.bits_ == QuantizationBits::kU8) {
+    q.codes8_.resize(nnz);
+  } else {
+    q.codes16_.resize(nnz);
+  }
+  std::vector<std::size_t> cursor(q.row_ptr_.begin(), q.row_ptr_.end() - 1);
+  auto place = [&](std::uint32_t row, std::uint32_t col, std::size_t code) {
+    const std::size_t slot = cursor[row]++;
+    q.col_idx_[slot] = col;
+    if (q.bits_ == QuantizationBits::kU8) {
+      q.codes8_[slot] = static_cast<std::uint8_t>(code);
+    } else {
+      q.codes16_[slot] = static_cast<std::uint16_t>(code);
+    }
+  };
+  for (const auto& e : entries) place(e.row, e.col, e.code);
+  for (const auto& e : entries) place(e.col, e.row, e.code);
+  // The second sweep appends mirrored entries (col, row) with row < col
+  // ascending, which lands after the upper entries of that row only if
+  // the row's upper entries all exceed... they don't: mirrored columns
+  // (all < row) must precede upper columns (all > row). Re-sort each
+  // row's slice to restore ascending order; slices are tiny.
+  for (std::size_t u = 0; u < n; ++u) {
+    const std::size_t begin = q.row_ptr_[u];
+    const std::size_t end = q.row_ptr_[u + 1];
+    std::vector<std::size_t> order(end - begin);
+    for (std::size_t k = 0; k < order.size(); ++k) order[k] = begin + k;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return q.col_idx_[a] < q.col_idx_[b];
+    });
+    std::vector<std::uint32_t> cols(end - begin);
+    std::vector<std::size_t> codes(end - begin);
+    for (std::size_t k = 0; k < order.size(); ++k) {
+      cols[k] = q.col_idx_[order[k]];
+      codes[k] = q.CodeOf(order[k]);
+    }
+    for (std::size_t k = 0; k < order.size(); ++k) {
+      q.col_idx_[begin + k] = cols[k];
+      if (q.bits_ == QuantizationBits::kU8) {
+        q.codes8_[begin + k] = static_cast<std::uint8_t>(codes[k]);
+      } else {
+        q.codes16_[begin + k] = static_cast<std::uint16_t>(codes[k]);
+      }
+    }
+  }
+  return q;
+}
+
+}  // namespace slampred

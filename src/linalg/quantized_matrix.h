@@ -1,0 +1,300 @@
+// Per-row affine quantization of score matrices — the storage layer of
+// the quantized serving artifacts (DESIGN.md §15).
+//
+// Each row is quantized independently: offset = row minimum, scale =
+// (row max − row min) / levels (255 for u8, 65535 for u16), and every
+// entry stores the nearest code clamp(round((s − offset)/scale)).
+// Dequantization is offset + scale·code, so
+//
+//   * the per-element round-trip error is bounded by scale/2 (up to
+//     IEEE-754 rounding slack of a few ulps),
+//   * a constant row has scale 0 and round-trips exactly,
+//   * code 0 dequantizes to the row offset bit for bit.
+//
+// Quantization rejects non-finite input with a Status instead of
+// encoding garbage, fans rows out over the deterministic ParallelFor
+// (each row is written by exactly one chunk, so codes are bit-identical
+// for every thread count), and deserialization re-validates the scale
+// and offset vectors — a corrupt scale is an offset-diagnosed kIoError,
+// never a silent mis-dequantization.
+//
+// QuantizedSymmetricCsr is the sparse sibling for the boundary CSR of a
+// sharded artifact: the matrix must be exactly symmetric, only the
+// strict upper triangle is stored on disk (half the entries), and the
+// full pattern is mirrored back at load. An entry (u, v) is quantized
+// and dequantized under the scale/offset of row min(u, v), so the
+// served matrix stays exactly symmetric.
+
+#ifndef SLAMPRED_LINALG_QUANTIZED_MATRIX_H_
+#define SLAMPRED_LINALG_QUANTIZED_MATRIX_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "linalg/csr_matrix.h"
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+namespace slampred {
+
+class BinaryReader;
+class BinaryWriter;
+
+/// Code width of a quantized payload.
+enum class QuantizationBits : std::uint8_t {
+  kU8 = 8,    ///< 256 levels per row.
+  kU16 = 16,  ///< 65536 levels per row.
+};
+
+/// Stable name ("u8" / "u16").
+const char* QuantizationBitsName(QuantizationBits bits);
+
+/// Number of code steps per row (levels = 2^bits − 1).
+inline std::size_t QuantizationLevels(QuantizationBits bits) {
+  return bits == QuantizationBits::kU8 ? 255u : 65535u;
+}
+
+/// Dense matrix stored as per-row (offset, scale) plus one u8/u16 code
+/// per entry. Immutable after construction.
+class QuantizedMatrix {
+ public:
+  /// Empty 0x0 matrix.
+  QuantizedMatrix() = default;
+
+  /// Quantizes `m` row by row. Fails with kInvalidArgument when any
+  /// entry is NaN or ±inf (quantizing garbage would serve garbage).
+  static Result<QuantizedMatrix> FromMatrix(const Matrix& m,
+                                            QuantizationBits bits);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+  QuantizationBits bits() const { return bits_; }
+
+  /// Dequantized entry (i, j); unchecked.
+  double At(std::size_t i, std::size_t j) const {
+    return offsets_[i] + scales_[i] * static_cast<double>(CodeAt(i, j));
+  }
+
+  /// Raw code of entry (i, j); unchecked.
+  std::size_t CodeAt(std::size_t i, std::size_t j) const {
+    const std::size_t e = i * cols_ + j;
+    return bits_ == QuantizationBits::kU8
+               ? static_cast<std::size_t>(codes8_[e])
+               : static_cast<std::size_t>(codes16_[e]);
+  }
+
+  /// Fills `out` (resized to cols) with the dequantized row `i`.
+  void RowScores(std::size_t i, std::vector<double>& out) const;
+
+  /// Per-row quantization parameters.
+  const std::vector<double>& offsets() const { return offsets_; }
+  const std::vector<double>& scales() const { return scales_; }
+
+  /// Dequantizes the whole matrix (tests / round-trip checks).
+  Matrix ToDense() const;
+
+  /// Bytes of the quantized representation (codes + row parameters).
+  std::size_t PayloadBytes() const;
+
+  /// Bytes the same matrix costs as dense float64.
+  std::size_t FloatBytes() const { return rows_ * cols_ * sizeof(double); }
+
+  /// Heap bytes held (the in-memory footprint).
+  std::size_t EstimatedBytes() const { return PayloadBytes(); }
+
+  /// Shape / parameter invariants: offset and scale vectors sized to
+  /// rows with finite offsets and finite non-negative scales, codes
+  /// sized rows·cols in the declared width.
+  Status Validate() const;
+
+  /// Appends bits + shape + row parameters + codes to `writer`.
+  void Serialize(BinaryWriter& writer) const;
+
+  /// Reads a matrix written by Serialize. Truncation, an unknown code
+  /// width, or a corrupt (non-finite / negative) scale or offset vector
+  /// all fail with an offset-diagnosed kIoError.
+  static Result<QuantizedMatrix> Deserialize(BinaryReader& reader);
+
+  bool operator==(const QuantizedMatrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_ &&
+           bits_ == other.bits_ && offsets_ == other.offsets_ &&
+           scales_ == other.scales_ && codes8_ == other.codes8_ &&
+           codes16_ == other.codes16_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  QuantizationBits bits_ = QuantizationBits::kU8;
+  std::vector<double> offsets_;        // size rows
+  std::vector<double> scales_;         // size rows, >= 0
+  std::vector<std::uint8_t> codes8_;   // rows*cols when bits == kU8
+  std::vector<std::uint16_t> codes16_;  // rows*cols when bits == kU16
+};
+
+/// Quantized square block that stores only the upper triangle —
+/// the per-cluster shard-block counterpart. Shard blocks come from
+/// U·Vᵀ products that are symmetric up to the last ulp, so the upper
+/// entry (i, j), i <= j is taken as canonical: both (i, j) and (j, i)
+/// dequantize to the identical value under row i's parameters, and the
+/// stored codes cover only n(n+1)/2 entries. FromMatrix rejects blocks
+/// whose asymmetry exceeds floating-point noise rather than silently
+/// rewriting genuinely asymmetric scores.
+class QuantizedSymmetricDense {
+ public:
+  QuantizedSymmetricDense() = default;
+
+  /// Quantizes a square, symmetric-up-to-ulp matrix. Fails with
+  /// kInvalidArgument on non-square shape, NaN/inf entries, or
+  /// asymmetry beyond |a − b| <= 1e-9 · (|a| + |b| + 1).
+  static Result<QuantizedSymmetricDense> FromMatrix(const Matrix& m,
+                                                    QuantizationBits bits);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return rows_; }
+  bool empty() const { return rows_ == 0; }
+  QuantizationBits bits() const { return bits_; }
+
+  /// Dequantized entry; At(i, j) == At(j, i) bit for bit.
+  double At(std::size_t i, std::size_t j) const {
+    if (i > j) std::swap(i, j);
+    const std::size_t e = TriIndex(i, j);
+    const std::size_t code = bits_ == QuantizationBits::kU8
+                                 ? static_cast<std::size_t>(codes8_[e])
+                                 : static_cast<std::size_t>(codes16_[e]);
+    return offsets_[i] + scales_[i] * static_cast<double>(code);
+  }
+
+  /// Fills `out` (resized to rows) with the dequantized row `i`.
+  void RowScores(std::size_t i, std::vector<double>& out) const;
+
+  const std::vector<double>& offsets() const { return offsets_; }
+  const std::vector<double>& scales() const { return scales_; }
+
+  /// Heap bytes held (triangular codes + row parameters).
+  std::size_t EstimatedBytes() const;
+
+  void Serialize(BinaryWriter& writer) const;
+
+  /// Reads a block written by Serialize; truncation and corrupt
+  /// scale/offset vectors fail with an offset-diagnosed kIoError.
+  static Result<QuantizedSymmetricDense> Deserialize(BinaryReader& reader);
+
+  bool operator==(const QuantizedSymmetricDense& other) const {
+    return rows_ == other.rows_ && bits_ == other.bits_ &&
+           offsets_ == other.offsets_ && scales_ == other.scales_ &&
+           codes8_ == other.codes8_ && codes16_ == other.codes16_;
+  }
+
+ private:
+  /// Index of canonical entry (i, j), i <= j, in the packed upper
+  /// triangle: row i's segment starts at i·n − i(i−1)/2 and holds the
+  /// n − i entries j = i .. n−1.
+  std::size_t TriIndex(std::size_t i, std::size_t j) const {
+    return i * rows_ - (i * (i - 1)) / 2 + (j - i);
+  }
+
+  std::size_t rows_ = 0;
+  QuantizationBits bits_ = QuantizationBits::kU8;
+  std::vector<double> offsets_;         // size rows (canonical-segment params)
+  std::vector<double> scales_;          // size rows, >= 0
+  std::vector<std::uint8_t> codes8_;    // n(n+1)/2 when bits == kU8
+  std::vector<std::uint16_t> codes16_;  // n(n+1)/2 when bits == kU16
+};
+
+/// Quantized symmetric sparse matrix — the boundary-CSR counterpart.
+/// In memory the full (mirrored) pattern is held for O(log nnz(row))
+/// lookups and O(nnz(row)) row streams; on disk only the strict upper
+/// triangle is stored. Entry (u, v) always dequantizes under the
+/// parameters of row min(u, v), so At(u, v) == At(v, u) bit for bit.
+class QuantizedSymmetricCsr {
+ public:
+  QuantizedSymmetricCsr() = default;
+
+  /// Quantizes a symmetric CSR. Fails with kInvalidArgument when the
+  /// matrix is not square, not exactly symmetric (pattern and values),
+  /// or holds non-finite values.
+  static Result<QuantizedSymmetricCsr> FromCsr(const CsrMatrix& csr,
+                                               QuantizationBits bits);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return rows_; }
+  /// Stored entries of the full mirrored pattern (2x the upper count).
+  std::size_t nnz() const { return col_idx_.size(); }
+  bool empty() const { return rows_ == 0; }
+  QuantizationBits bits() const { return bits_; }
+
+  /// Dequantized entry (u, v); 0.0 when the pair is not stored.
+  double At(std::size_t u, std::size_t v) const;
+
+  /// Streams the stored entries of row `u` as (column, dequantized
+  /// value) without materialising anything n-sized.
+  template <typename Fn>
+  void ForEachInRow(std::size_t u, Fn&& fn) const {
+    for (std::size_t e = row_ptr_[u]; e < row_ptr_[u + 1]; ++e) {
+      fn(col_idx_[e], DequantEntry(u, e));
+    }
+  }
+
+  /// Adds the dequantized row `u` into `out` (sized >= rows).
+  void ScatterRow(std::size_t u, std::vector<double>& out) const;
+
+  std::size_t RowNnz(std::size_t u) const {
+    return row_ptr_[u + 1] - row_ptr_[u];
+  }
+
+  /// Per-basis-row quantization parameters.
+  const std::vector<double>& offsets() const { return offsets_; }
+  const std::vector<double>& scales() const { return scales_; }
+
+  /// Heap bytes held (full mirrored pattern + row parameters).
+  std::size_t EstimatedBytes() const;
+
+  /// Appends bits + shape + row parameters + the strict upper triangle
+  /// to `writer`.
+  void Serialize(BinaryWriter& writer) const;
+
+  /// Reads a matrix written by Serialize and mirrors the pattern back.
+  /// Truncation, out-of-range or non-ascending columns, lower-triangle
+  /// entries, and corrupt scale/offset vectors all fail with an
+  /// offset-diagnosed kIoError.
+  static Result<QuantizedSymmetricCsr> Deserialize(BinaryReader& reader);
+
+  bool operator==(const QuantizedSymmetricCsr& other) const {
+    return rows_ == other.rows_ && bits_ == other.bits_ &&
+           offsets_ == other.offsets_ && scales_ == other.scales_ &&
+           row_ptr_ == other.row_ptr_ && col_idx_ == other.col_idx_ &&
+           codes8_ == other.codes8_ && codes16_ == other.codes16_;
+  }
+
+ private:
+  std::size_t CodeOf(std::size_t e) const {
+    return bits_ == QuantizationBits::kU8
+               ? static_cast<std::size_t>(codes8_[e])
+               : static_cast<std::size_t>(codes16_[e]);
+  }
+
+  /// Dequantizes stored entry `e` of row `u` under row min(u, col).
+  double DequantEntry(std::size_t u, std::size_t e) const {
+    const std::size_t basis = std::min(u, static_cast<std::size_t>(col_idx_[e]));
+    return offsets_[basis] + scales_[basis] * static_cast<double>(CodeOf(e));
+  }
+
+  std::size_t rows_ = 0;
+  QuantizationBits bits_ = QuantizationBits::kU8;
+  std::vector<double> offsets_;          // size rows (basis-row params)
+  std::vector<double> scales_;           // size rows, >= 0
+  std::vector<std::size_t> row_ptr_;     // size rows + 1, full pattern
+  std::vector<std::uint32_t> col_idx_;   // full mirrored pattern
+  std::vector<std::uint8_t> codes8_;     // per stored entry (kU8)
+  std::vector<std::uint16_t> codes16_;   // per stored entry (kU16)
+};
+
+}  // namespace slampred
+
+#endif  // SLAMPRED_LINALG_QUANTIZED_MATRIX_H_

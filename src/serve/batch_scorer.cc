@@ -288,10 +288,13 @@ void BatchScorer::ProcessBatch(const std::vector<Request*>& batch) {
                     AnswerCheap(*model, request);
                     continue;
                   }
+                  ServeTier tier = ServeTier::kFull;
                   auto result = TopKOnModel(*model, request->u, request->k,
-                                            request->exclude_known_links);
+                                            request->exclude_known_links,
+                                            &tier);
                   if (result.ok()) {
                     request->entries = std::move(result).value();
+                    request->tier = tier;
                   } else {
                     request->status = result.status();
                   }

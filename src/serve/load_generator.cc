@@ -255,6 +255,12 @@ std::string LoadGeneratorReport::ToJson() const {
   AppendJsonSize(out, "invariant_violations", invariant_violations, &first);
   AppendJsonSize(out, "swaps", swaps, &first);
   AppendJsonSize(out, "final_version", final_version, &first);
+  AppendJsonSize(out, "artifact_bytes", artifact_bytes, &first);
+  AppendJsonSize(out, "float_equiv_bytes", float_equiv_bytes, &first);
+  AppendJsonSize(out, "hot_rows", hot_rows, &first);
+  AppendJsonSize(out, "hot_hits", hot_hits, &first);
+  AppendJsonNumber(out, "cache_hit_rate", cache_hit_rate, &first);
+  AppendJsonNumber(out, "auc", auc, &first);
   out += ",\"recovery\":{";
   first = true;
   AppendJsonSize(out, "swap_failures",
@@ -320,6 +326,20 @@ std::string LoadGeneratorReport::ToString() const {
                   tiers.full, tiers.cached, tiers.degraded,
                   invariant_violations);
     out += buffer;
+  }
+  if (hot_rows > 0 || auc >= 0.0 || artifact_bytes > 0) {
+    std::snprintf(buffer, sizeof(buffer),
+                  "\n  artifact %llu bytes (float equiv %llu); hot rows "
+                  "%zu, hot hits %llu, cache hit rate %.3f",
+                  static_cast<unsigned long long>(artifact_bytes),
+                  static_cast<unsigned long long>(float_equiv_bytes),
+                  hot_rows, static_cast<unsigned long long>(hot_hits),
+                  cache_hit_rate);
+    out += buffer;
+    if (auc >= 0.0) {
+      std::snprintf(buffer, sizeof(buffer), "; sampled AUC %.4f", auc);
+      out += buffer;
+    }
   }
   if (recovery.Total() > 0) {
     out += "\n  " + recovery.ToString();
@@ -471,6 +491,16 @@ Result<LoadGeneratorReport> RunLoadGenerator(
   report.tiers = merged.tiers;
   report.invariant_violations = merged.invariant_violations;
   report.recovery = registry.recovery();
+  if (const auto final_model = registry.Acquire()) {
+    report.hot_rows = final_model->hot_rows.size();
+    report.hot_hits =
+        final_model->hot_hits.load(std::memory_order_relaxed);
+  }
+  report.cache_hit_rate =
+      merged.topk_requests > 0
+          ? static_cast<double>(merged.tiers.cached) /
+                static_cast<double>(merged.topk_requests)
+          : 0.0;
   report.requests = report.score_requests + report.topk_requests;
   report.throughput_rps =
       elapsed > 0.0 ? static_cast<double>(report.requests) / elapsed : 0.0;

@@ -112,6 +112,20 @@ struct LoadGeneratorReport {
   std::size_t invariant_violations = 0;
   std::uint64_t swaps = 0;          ///< Successful mid-run hot-swaps.
   std::uint64_t final_version = 0;  ///< Registry version after the run.
+  /// Quantized-serving accounting. `artifact_bytes` is the serialized
+  /// size of the served artifact and `float_equiv_bytes` what the same
+  /// model costs in float form (equal when serving float; filled by the
+  /// CLI, which knows both files). `hot_rows` / `hot_hits` count the
+  /// precomputed hot-user cache and the top-K responses it answered;
+  /// `cache_hit_rate` is tiers.cached / topk_requests. `auc` is the
+  /// sampled link-prediction AUC of the served scores against the
+  /// observed graph (−1 when not computed).
+  std::uint64_t artifact_bytes = 0;
+  std::uint64_t float_equiv_bytes = 0;
+  std::size_t hot_rows = 0;
+  std::uint64_t hot_hits = 0;
+  double cache_hit_rate = 0.0;
+  double auc = -1.0;
   /// Registry recovery counters at the end of the run.
   RecoveryStats recovery;
   double duration_seconds = 0.0;

@@ -1,5 +1,6 @@
 #include "serve/model_registry.h"
 
+#include <algorithm>
 #include <thread>
 #include <utility>
 
@@ -72,11 +73,57 @@ Status ModelRegistry::SwapValidated(ModelArtifact artifact,
         "x" + std::to_string(known_links.cols()) +
         " but the artifact serves " + std::to_string(n) + " users");
   }
+  ScoringSession live = std::move(session).value();
+
+  // Merge the hot-row cache before publishing, outside the registry
+  // lock: artifact-carried rows (float-oracle snapshots written by the
+  // quantizer) win; the remaining configured hot users get rows built
+  // from the session about to be published, so a quantized swap serves
+  // its hot set warm from the first request. Full orders double as
+  // TopKIndex seeds below.
+  HotRowCache hot_rows;
+  if (live.artifact().has_hot_rows) hot_rows = live.artifact().hot_rows;
+  std::vector<std::pair<std::uint32_t, TopKRowOrder>> seeds;
+  for (const std::uint32_t u : options_.hot_users) {
+    if (u >= n || hot_rows.Find(u) != nullptr) continue;
+    TopKRowOrder order = BuildTopKRowOrder(live, u);
+    HotRow row;
+    row.user = u;
+    row.complete = order.size() <= options_.hot_row_entries;
+    const std::size_t keep =
+        std::min(order.size(), options_.hot_row_entries);
+    row.entries.reserve(keep);
+    for (std::size_t i = 0; i < keep; ++i) {
+      row.entries.push_back({order[i], live.ScoreUnchecked(u, order[i])});
+    }
+    hot_rows.AddRow(std::move(row));
+    seeds.emplace_back(u, std::move(order));
+  }
 
   std::lock_guard<std::mutex> lock(mutex_);
   auto model = std::make_shared<const ServableModel>(
-      std::move(session).value(), next_version_, checksum,
-      std::move(known_links), options_.max_resident_topk_rows);
+      std::move(live), next_version_, checksum, std::move(known_links),
+      options_.max_resident_topk_rows, std::move(hot_rows));
+
+  // Warm the per-version TopK cache: registry-built full orders first
+  // (they exist in hand), then artifact-carried complete rows (their
+  // entries are the whole order), up to the LRU cap.
+  std::size_t seeded = 0;
+  for (auto& seed : seeds) {
+    if (seeded >= options_.max_resident_topk_rows) break;
+    model->topk.Insert(seed.first, std::move(seed.second));
+    ++seeded;
+  }
+  for (const HotRow& row : model->hot_rows.rows()) {
+    if (seeded >= options_.max_resident_topk_rows) break;
+    if (!row.complete || model->topk.Peek(row.user) != nullptr) continue;
+    TopKRowOrder order;
+    order.reserve(row.entries.size());
+    for (const HotRowEntry& entry : row.entries) order.push_back(entry.v);
+    model->topk.Insert(row.user, std::move(order));
+    ++seeded;
+  }
+
   ++next_version_;
   current_ = std::move(model);  // Old version drains via shared_ptr.
   return Status::OK();

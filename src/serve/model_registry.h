@@ -23,12 +23,15 @@
 #ifndef SLAMPRED_SERVE_MODEL_REGISTRY_H_
 #define SLAMPRED_SERVE_MODEL_REGISTRY_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <utility>
+#include <vector>
 
+#include "core/hot_row_cache.h"
 #include "core/model_artifact.h"
 #include "core/scoring_session.h"
 #include "linalg/csr_matrix.h"
@@ -45,11 +48,12 @@ namespace slampred {
 struct ServableModel {
   ServableModel(ScoringSession session_in, std::uint64_t version_in,
                 std::uint32_t checksum_in, CsrMatrix known_links_in,
-                std::size_t max_topk_rows)
+                std::size_t max_topk_rows, HotRowCache hot_rows_in = {})
       : session(std::move(session_in)),
         version(version_in),
         checksum(checksum_in),
         known_links(std::move(known_links_in)),
+        hot_rows(std::move(hot_rows_in)),
         topk(max_topk_rows) {}
 
   ServableModel(const ServableModel&) = delete;
@@ -66,6 +70,13 @@ struct ServableModel {
   const std::uint32_t checksum;
   /// Known-link adjacency for TopK exclusion (empty = no exclusions).
   const CsrMatrix known_links;
+  /// Precomputed top-K row prefixes for the hot-user set, merged at
+  /// swap time from the artifact-carried cache (float-oracle snapshots)
+  /// and the registry's configured hot users. A top-K served from here
+  /// reports tier `cached` and never touches the score payload.
+  const HotRowCache hot_rows;
+  /// Top-K responses answered from `hot_rows`.
+  mutable std::atomic<std::uint64_t> hot_hits{0};
   /// Lazily-built per-row top-K order cache (interior mutex).
   mutable TopKIndex topk;
 };
@@ -74,6 +85,14 @@ struct ServableModel {
 struct ModelRegistryOptions {
   /// LRU cap on resident top-K rows per model version.
   std::size_t max_resident_topk_rows = 64;
+  /// Users whose top-K rows are precomputed at swap time, before the
+  /// new version starts answering. Rows already carried by the artifact
+  /// (written by the quantizer from the float scores) are kept as-is;
+  /// rows for the remaining users here are built from the published
+  /// session. Full orders also warm the TopKIndex up to its LRU cap.
+  std::vector<std::uint32_t> hot_users;
+  /// Entries kept per precomputed hot row (the served prefix).
+  std::size_t hot_row_entries = 256;
   /// Extra SwapFromFile attempts after the first failure (the
   /// deterministic retry budget for torn/transient artifact reads).
   int swap_retry_attempts = 2;

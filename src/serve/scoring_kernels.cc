@@ -79,11 +79,32 @@ std::size_t CommonNeighborCount(const CsrMatrix& known, std::size_t u,
   return count;
 }
 
+// Walks a precomputed hot row's prefix into `entries`. True when the
+// prefix answered the request — k entries collected, or the row is
+// complete (every candidate was stored, so a short answer is the real
+// answer). False leaves `entries` empty for the fallback path: a
+// bounded prefix plus exclusions may not reach k even though the full
+// row would.
+bool ServeFromHotRow(const ServableModel& model, const HotRow& row,
+                     std::size_t u, std::size_t k, bool exclude,
+                     std::vector<TopKEntry>* entries) {
+  for (const HotRowEntry& entry : row.entries) {
+    if (exclude && IsKnownLink(model.known_links, u, entry.v)) continue;
+    entries->push_back({static_cast<std::size_t>(entry.v), entry.score});
+    if (entries->size() == k) break;
+  }
+  if (entries->size() == k || row.complete) return true;
+  entries->clear();
+  return false;
+}
+
 }  // namespace
 
 Result<std::vector<TopKEntry>> TopKOnModel(const ServableModel& model,
                                            std::size_t u, std::size_t k,
-                                           bool exclude_known_links) {
+                                           bool exclude_known_links,
+                                           ServeTier* tier_out) {
+  if (tier_out != nullptr) *tier_out = ServeTier::kFull;
   const ScoringSession& session = model.session;
   const std::size_t n = session.num_users();
   if (u >= n) {
@@ -96,6 +117,13 @@ Result<std::vector<TopKEntry>> TopKOnModel(const ServableModel& model,
   entries.reserve(std::min(k, n == 0 ? std::size_t{0} : n - 1));
 
   const bool exclude = exclude_known_links && model.known_links.rows() == n;
+  if (const HotRow* hot = model.hot_rows.Find(u)) {
+    if (ServeFromHotRow(model, *hot, u, k, exclude, &entries)) {
+      model.hot_hits.fetch_add(1, std::memory_order_relaxed);
+      if (tier_out != nullptr) *tier_out = ServeTier::kCached;
+      return entries;
+    }
+  }
   const std::shared_ptr<const TopKRowOrder> order = model.topk.Row(session, u);
   for (const std::uint32_t v : *order) {
     if (exclude && IsKnownLink(model.known_links, u, v)) continue;
@@ -111,12 +139,23 @@ bool CachedTopKOnModel(const ServableModel& model, std::size_t u,
   const ScoringSession& session = model.session;
   const std::size_t n = session.num_users();
   if (u >= n) return false;
+  entries->clear();
+  const bool exclude = exclude_known_links && model.known_links.rows() == n;
+  if (const HotRow* hot = model.hot_rows.Find(u)) {
+    if (k == 0) {
+      model.hot_hits.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    entries->reserve(std::min(k, n - 1));
+    if (ServeFromHotRow(model, *hot, u, k, exclude, entries)) {
+      model.hot_hits.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
   const std::shared_ptr<const TopKRowOrder> order = model.topk.Peek(u);
   if (order == nullptr) return false;
-  entries->clear();
   if (k == 0) return true;
-  entries->reserve(std::min(k, n == 0 ? std::size_t{0} : n - 1));
-  const bool exclude = exclude_known_links && model.known_links.rows() == n;
+  entries->reserve(std::min(k, n - 1));
   for (const std::uint32_t v : *order) {
     if (exclude && IsKnownLink(model.known_links, u, v)) continue;
     entries->push_back(

@@ -86,13 +86,22 @@ Result<std::vector<double>> ScorePairsOnModel(
 /// v stored in row u of the model's known-links adjacency is skipped.
 /// Returns fewer than k entries when fewer candidates exist; kOutOfRange
 /// when u is outside the served matrix.
+///
+/// A hot user (model.hot_rows) whose precomputed prefix covers the
+/// request is answered from the stored (v, score) pairs — the float
+/// oracle snapshot, never the quantized payload — and `tier_out` (when
+/// non-null) reports kCached; otherwise the full path runs and reports
+/// kFull. Hot-row entry order matches the full path's bit-exactly, so
+/// the tier changes cost, never results.
 Result<std::vector<TopKEntry>> TopKOnModel(const ServableModel& model,
                                            std::size_t u, std::size_t k,
-                                           bool exclude_known_links);
+                                           bool exclude_known_links,
+                                           ServeTier* tier_out = nullptr);
 
-/// Cached-tier top-K: answers from an already-resident sorted row of
-/// the model's top-K cache (TopKIndex::Peek) — full-quality entries,
-/// but only when they are free. Returns true and fills `entries` on a
+/// Cached-tier top-K: answers from a precomputed hot row whose prefix
+/// covers the request, else from an already-resident sorted row of the
+/// model's top-K cache (TopKIndex::Peek) — full-quality entries, but
+/// only when they are free. Returns true and fills `entries` on a
 /// cache hit; false (building nothing) on a miss or out-of-range `u`,
 /// in which case the caller falls through to the degraded kernel.
 bool CachedTopKOnModel(const ServableModel& model, std::size_t u,

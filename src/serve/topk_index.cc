@@ -47,8 +47,17 @@ TopKRowOrder BuildShardedRowOrder(const ShardedScores& shards,
   std::sort(block.begin(), block.end(), RankedBefore);
 
   std::vector<RankedColumn> cross;
-  const CsrMatrix& boundary = shards.boundary();
-  if (boundary.rows() != 0) {
+  if (shards.has_quantized_boundary()) {
+    const QuantizedSymmetricCsr& boundary = shards.quantized_boundary();
+    cross.reserve(boundary.RowNnz(u));
+    boundary.ForEachInRow(u, [&](std::uint32_t v, double score) {
+      if (covered[v]) return;  // Own shard (or self) wins.
+      covered[v] = true;
+      cross.push_back({v, score});
+    });
+    std::sort(cross.begin(), cross.end(), RankedBefore);
+  } else if (shards.boundary().rows() != 0) {
+    const CsrMatrix& boundary = shards.boundary();
     const auto& row_ptr = boundary.row_ptr();
     const auto& col_idx = boundary.col_idx();
     const auto& values = boundary.values();
@@ -126,6 +135,10 @@ TopKRowOrder BuildTopKRowOrder(const ScoringSession& session, std::size_t u) {
     case ScoringSession::Backend::kSharded:
       return BuildShardedRowOrder(session.artifact().shards, u);
     case ScoringSession::Backend::kFactored:
+    case ScoringSession::Backend::kQuantized:
+      // Both serve through the generic RowScores argsort below: the
+      // factored row is O(n·r) to materialise, the quantized one a
+      // dequantizing stream.
       break;
   }
   const std::size_t n = session.num_users();
@@ -190,6 +203,24 @@ std::shared_ptr<const TopKRowOrder> TopKIndex::Row(
     const ScoringSession& session, std::size_t u) {
   return CachedRow(u,
                    [&session, u] { return BuildTopKRowOrder(session, u); });
+}
+
+void TopKIndex::Insert(std::size_t u, TopKRowOrder order) {
+  auto built = std::make_shared<const TopKRowOrder>(std::move(order));
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = rows_.find(u);
+  if (it != rows_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return;
+  }
+  lru_.push_front(u);
+  rows_.emplace(u, Entry{std::move(built), lru_.begin()});
+  while (rows_.size() > max_resident_rows_) {
+    const std::size_t victim = lru_.back();
+    lru_.pop_back();
+    rows_.erase(victim);
+    ++evictions_;
+  }
 }
 
 std::shared_ptr<const TopKRowOrder> TopKIndex::Peek(std::size_t u) const {

@@ -56,6 +56,11 @@ class TopKIndex {
   /// refresh the row's LRU position (a probe is not a use).
   std::shared_ptr<const TopKRowOrder> Peek(std::size_t u) const;
 
+  /// Seeds the cache with an already-built order (swap-time warmup of
+  /// hot-user rows). Follows the same first-insert-wins rule as Row: a
+  /// resident row is kept, not replaced. Counts as a use for LRU.
+  void Insert(std::size_t u, TopKRowOrder order);
+
   std::size_t max_resident_rows() const { return max_resident_rows_; }
 
   /// Rows currently resident in the cache.

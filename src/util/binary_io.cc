@@ -45,6 +45,11 @@ void BinaryWriter::WriteU8(std::uint8_t value) {
   buffer_.push_back(static_cast<char>(value));
 }
 
+void BinaryWriter::WriteU16(std::uint16_t value) {
+  buffer_.push_back(static_cast<char>(value & 0xFFu));
+  buffer_.push_back(static_cast<char>((value >> 8) & 0xFFu));
+}
+
 void BinaryWriter::WriteU32(std::uint32_t value) {
   for (int i = 0; i < 4; ++i) {
     buffer_.push_back(static_cast<char>((value >> (8 * i)) & 0xFFu));
@@ -89,6 +94,15 @@ Status BinaryReader::Truncated(std::size_t need, const char* what) const {
 Result<std::uint8_t> BinaryReader::ReadU8() {
   if (remaining() < 1) return Truncated(1, "u8");
   return data_[offset_++];
+}
+
+Result<std::uint16_t> BinaryReader::ReadU16() {
+  if (remaining() < 2) return Truncated(2, "u16");
+  std::uint16_t value = static_cast<std::uint16_t>(
+      static_cast<std::uint16_t>(data_[offset_]) |
+      (static_cast<std::uint16_t>(data_[offset_ + 1]) << 8));
+  offset_ += 2;
+  return value;
 }
 
 Result<std::uint32_t> BinaryReader::ReadU32() {

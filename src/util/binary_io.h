@@ -32,6 +32,7 @@ class BinaryWriter {
   BinaryWriter() = default;
 
   void WriteU8(std::uint8_t value);
+  void WriteU16(std::uint16_t value);
   void WriteU32(std::uint32_t value);
   void WriteU64(std::uint64_t value);
   void WriteI32(std::int32_t value);
@@ -61,6 +62,7 @@ class BinaryReader {
       : BinaryReader(buffer.data(), buffer.size()) {}
 
   Result<std::uint8_t> ReadU8();
+  Result<std::uint16_t> ReadU16();
   Result<std::uint32_t> ReadU32();
   Result<std::uint64_t> ReadU64();
   Result<std::int32_t> ReadI32();

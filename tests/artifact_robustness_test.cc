@@ -11,11 +11,16 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "core/model_artifact.h"
 #include "core/scoring_session.h"
+#include "serve/artifact_quantizer.h"
 #include "serve/model_registry.h"
 #include "util/binary_io.h"
 #include "util/fault_injection.h"
@@ -474,6 +479,355 @@ TEST(ArtifactPublicationTest, MissingSidecarPropagatesThePrimaryFailure) {
   EXPECT_EQ(registry.current_version(), 0u);
 
   std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------
+// Quantized and hot-cache sections (ids 8–11, DESIGN.md §15) get the
+// same fuzz treatment as the float sections: every prefix truncation
+// and per-byte bit flip must fail cleanly, unknown-id skips must behave
+// like an old reader, and — the sharpest case — a corrupt scale vector
+// whose section CRC has been recomputed must be REJECTED by the
+// semantic validation layer, never mis-dequantized into garbage scores.
+
+// A quantized dense artifact: config + quantized scores (8) + hot
+// cache (11) + adapted tensors, no float score payload at all.
+std::string ValidQuantizedArtifactBytes() {
+  ArtifactQuantizerOptions options;
+  options.bits = QuantizationBits::kU8;
+  options.hot_user_ids = {0, 2};
+  options.hot_row_entries = 2;  // Bounded (incomplete) prefixes.
+  auto quantized = QuantizeModelArtifact(ValidArtifact(), options);
+  EXPECT_TRUE(quantized.ok()) << quantized.status().ToString();
+  return SerializeModelArtifact(quantized.value());
+}
+
+// A deterministic sharded float artifact: two symmetric blocks over
+// users [0, 3) and [3, 6) plus a symmetric cross-shard boundary.
+ModelArtifact ValidShardedArtifact() {
+  std::vector<ModelShard> shards(2);
+  for (std::size_t c = 0; c < 2; ++c) {
+    for (std::size_t i = 0; i < 3; ++i) {
+      shards[c].users.push_back(static_cast<std::uint32_t>(3 * c + i));
+    }
+    shards[c].s = Matrix(3, 3);
+    for (std::size_t i = 0; i < 3; ++i) {
+      for (std::size_t j = 0; j < 3; ++j) {
+        shards[c].s(i, j) = 0.125 * static_cast<double>(i + j) +
+                            (c == 0 ? 0.0 : 0.5) + (i == j ? 1.0 : 0.0);
+      }
+    }
+  }
+  Matrix boundary(6, 6);
+  boundary(0, 4) = 0.5;
+  boundary(4, 0) = 0.5;
+  boundary(2, 5) = -0.25;
+  boundary(5, 2) = -0.25;
+  ModelArtifact artifact;
+  auto sharded = ShardedScores::Create(std::move(shards),
+                                       CsrMatrix::FromDense(boundary), 6);
+  EXPECT_TRUE(sharded.ok()) << sharded.status().ToString();
+  artifact.shards = std::move(sharded).value();
+  artifact.has_shards = true;
+  return artifact;
+}
+
+// The quantized form: manifest (5) + quantized shards (9) + quantized
+// boundary (10) + hot cache (11).
+std::string ValidQuantizedShardedArtifactBytes() {
+  ArtifactQuantizerOptions options;
+  options.bits = QuantizationBits::kU16;
+  options.hot_user_ids = {1};
+  options.hot_row_entries = 16;  // Complete row (n−1 = 5 fits).
+  auto quantized = QuantizeModelArtifact(ValidShardedArtifact(), options);
+  EXPECT_TRUE(quantized.ok()) << quantized.status().ToString();
+  return SerializeModelArtifact(quantized.value());
+}
+
+// Payload offset and size of the first section with id `id` in a
+// serialized artifact stream (npos when absent).
+std::pair<std::size_t, std::size_t> FindSectionPayload(
+    const std::string& bytes, std::uint32_t id) {
+  auto read_u32 = [&](std::size_t pos) {
+    std::uint32_t value = 0;
+    for (std::size_t b = 0; b < 4; ++b) {
+      value |= static_cast<std::uint32_t>(
+                   static_cast<unsigned char>(bytes[pos + b]))
+               << (8 * b);
+    }
+    return value;
+  };
+  auto read_u64 = [&](std::size_t pos) {
+    std::uint64_t value = 0;
+    for (std::size_t b = 0; b < 8; ++b) {
+      value |= static_cast<std::uint64_t>(
+                   static_cast<unsigned char>(bytes[pos + b]))
+               << (8 * b);
+    }
+    return value;
+  };
+  std::size_t pos = 16;
+  while (pos + 12 <= bytes.size()) {
+    const std::uint64_t size = read_u64(pos + 4);
+    if (read_u32(pos) == id) {
+      return {pos + 12, static_cast<std::size_t>(size)};
+    }
+    pos += 12 + size + 4;
+  }
+  return {std::string::npos, 0};
+}
+
+// Patches `count` raw bytes inside a section payload and recomputes the
+// section CRC, so the corruption reaches the semantic validators
+// instead of being caught by the checksum.
+std::string PatchPayloadWithValidCrc(std::string bytes, std::uint32_t id,
+                                     std::size_t payload_offset,
+                                     const void* data, std::size_t count) {
+  const auto [begin, size] = FindSectionPayload(bytes, id);
+  EXPECT_NE(begin, std::string::npos) << "section " << id << " not found";
+  EXPECT_LE(payload_offset + count, size);
+  std::memcpy(&bytes[begin + payload_offset], data, count);
+  const std::uint32_t crc = Crc32(bytes.data() + begin, size);
+  for (std::size_t b = 0; b < 4; ++b) {
+    bytes[begin + size + b] = static_cast<char>((crc >> (8 * b)) & 0xFF);
+  }
+  return bytes;
+}
+
+constexpr std::uint32_t kQuantizedScoresSectionId = 8;
+constexpr std::uint32_t kQuantizedShardSectionId = 9;
+constexpr std::uint32_t kQuantizedBoundarySectionId = 10;
+constexpr std::uint32_t kHotCacheSectionId = 11;
+
+TEST(QuantizedArtifactRobustnessTest, ValidBytesParseAndServe) {
+  auto artifact = DeserializeModelArtifact(ValidQuantizedArtifactBytes());
+  ASSERT_TRUE(artifact.ok()) << artifact.status().ToString();
+  EXPECT_TRUE(artifact.value().has_quantized_s);
+  EXPECT_TRUE(artifact.value().has_hot_rows);
+  EXPECT_EQ(artifact.value().hot_rows.size(), 2u);
+  EXPECT_TRUE(artifact.value().s.empty());
+  auto session = ScoringSession::FromArtifact(std::move(artifact).value());
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  EXPECT_EQ(session.value().backend(), ScoringSession::Backend::kQuantized);
+
+  auto sharded =
+      DeserializeModelArtifact(ValidQuantizedShardedArtifactBytes());
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+  EXPECT_TRUE(sharded.value().has_shards);
+  EXPECT_TRUE(sharded.value().shards.IsQuantized());
+  EXPECT_TRUE(sharded.value().shards.has_quantized_boundary());
+  auto sharded_session =
+      ScoringSession::FromArtifact(std::move(sharded).value());
+  ASSERT_TRUE(sharded_session.ok()) << sharded_session.status().ToString();
+  EXPECT_TRUE(sharded_session.value().IsQuantized());
+}
+
+TEST(QuantizedArtifactRobustnessTest, EveryTruncationFailsCleanly) {
+  for (const std::string& bytes : {ValidQuantizedArtifactBytes(),
+                                   ValidQuantizedShardedArtifactBytes()}) {
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+      const auto result = DeserializeModelArtifact(bytes.substr(0, len));
+      ASSERT_FALSE(result.ok()) << "prefix of " << len << " bytes parsed";
+      EXPECT_FALSE(result.status().message().empty());
+    }
+  }
+}
+
+TEST(QuantizedArtifactRobustnessTest, EveryBitFlipIsHandledWithoutCrashing) {
+  for (const std::string& bytes : {ValidQuantizedArtifactBytes(),
+                                   ValidQuantizedShardedArtifactBytes()}) {
+    std::size_t rejected = 0;
+    for (std::size_t pos = 0; pos < bytes.size(); ++pos) {
+      std::string corrupt = bytes;
+      corrupt[pos] = static_cast<char>(corrupt[pos] ^ 0x40);
+      const auto result = DeserializeModelArtifact(corrupt);
+      if (!result.ok()) {
+        ++rejected;
+        EXPECT_FALSE(result.status().message().empty());
+      }
+    }
+    EXPECT_GT(rejected, bytes.size() * 9 / 10);
+  }
+}
+
+TEST(QuantizedArtifactRobustnessTest, OldReaderSkipsQuantizedSections) {
+  // A reader that knows neither the quantized-scores nor the hot-cache
+  // id walks both sections cleanly (CRCs verified) and then reports the
+  // missing score matrix — never garbage.
+  const std::string patched =
+      PatchSectionId(PatchSectionId(ValidQuantizedArtifactBytes(),
+                                    kQuantizedScoresSectionId, 98),
+                     kHotCacheSectionId, 97);
+  const auto result = DeserializeModelArtifact(patched);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("required section"),
+            std::string::npos);
+
+  // Skipping ONLY the hot cache still serves the quantized payload —
+  // the cache is an optimization, not a dependency.
+  const std::string no_cache =
+      PatchSectionId(ValidQuantizedArtifactBytes(), kHotCacheSectionId, 97);
+  auto artifact = DeserializeModelArtifact(no_cache);
+  ASSERT_TRUE(artifact.ok()) << artifact.status().ToString();
+  EXPECT_TRUE(artifact.value().has_quantized_s);
+  EXPECT_FALSE(artifact.value().has_hot_rows);
+  EXPECT_TRUE(
+      ScoringSession::FromArtifact(std::move(artifact).value()).ok());
+}
+
+TEST(QuantizedArtifactRobustnessTest,
+     CorruptScaleWithValidChecksumIsRejected) {
+  // QuantizedMatrix payload: bits (1) + rows (8) + cols (8) + offsets
+  // (4·8) puts the scale vector at offset 49. A negative or non-finite
+  // scale with a RECOMPUTED CRC must be caught by the parameter
+  // validation — mis-dequantizing would serve garbage silently.
+  const std::string bytes = ValidQuantizedArtifactBytes();
+  const std::size_t scale_offset = 1 + 8 + 8 + 4 * 8;
+  for (double bad : {-2.5, std::numeric_limits<double>::quiet_NaN(),
+                     std::numeric_limits<double>::infinity()}) {
+    const std::string corrupt = PatchPayloadWithValidCrc(
+        bytes, kQuantizedScoresSectionId, scale_offset, &bad, sizeof(bad));
+    const auto result = DeserializeModelArtifact(corrupt);
+    ASSERT_FALSE(result.ok()) << "scale " << bad << " accepted";
+    EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+    EXPECT_NE(result.status().message().find("scale"), std::string::npos)
+        << result.status().ToString();
+  }
+}
+
+TEST(QuantizedArtifactRobustnessTest,
+     CorruptBoundaryScaleWithValidChecksumIsRejected) {
+  // QuantizedSymmetricCsr payload: bits (1) + rows (8) + upper nnz (8)
+  // + offsets (6·8) puts the boundary scale vector at offset 65.
+  const std::string bytes = ValidQuantizedShardedArtifactBytes();
+  const double bad = -1.0;
+  const std::string corrupt =
+      PatchPayloadWithValidCrc(bytes, kQuantizedBoundarySectionId,
+                               1 + 8 + 8 + 6 * 8, &bad, sizeof(bad));
+  const auto result = DeserializeModelArtifact(corrupt);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("scale"), std::string::npos)
+      << result.status().ToString();
+}
+
+TEST(QuantizedArtifactRobustnessTest,
+     CorruptHotCacheWithValidChecksumIsRejected) {
+  // Hot-cache payload: count (8) + user (4) + complete (1) + entry
+  // count (8) + v (4) puts the first entry's float-oracle score at
+  // offset 25. Breaking the descending serve order (or planting a
+  // non-finite score) with a valid CRC must reject the cache.
+  const std::string bytes = ValidQuantizedArtifactBytes();
+  const std::size_t score_offset = 8 + 4 + 1 + 8 + 4;
+  for (double bad : {-1e300, std::numeric_limits<double>::quiet_NaN()}) {
+    const std::string corrupt = PatchPayloadWithValidCrc(
+        bytes, kHotCacheSectionId, score_offset, &bad, sizeof(bad));
+    const auto result = DeserializeModelArtifact(corrupt);
+    ASSERT_FALSE(result.ok()) << "hot-cache score " << bad << " accepted";
+    EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+  }
+}
+
+TEST(QuantizedArtifactRobustnessTest, QuantizedShardTruncationInsideBlock) {
+  // A flip inside a quantized shard's code block trips that section's
+  // CRC specifically.
+  const std::string bytes = ValidQuantizedShardedArtifactBytes();
+  const auto [begin, size] =
+      FindSectionPayload(bytes, kQuantizedShardSectionId);
+  ASSERT_NE(begin, std::string::npos);
+  std::string corrupt = bytes;
+  corrupt[begin + size - 1] =
+      static_cast<char>(corrupt[begin + size - 1] ^ 0xFF);
+  const auto result = DeserializeModelArtifact(corrupt);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("checksum mismatch"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Backward-compat golden fixtures: tiny artifacts of every backend are
+// committed under tests/data/ and must keep loading bit-exactly. Run
+// with SLAMPRED_WRITE_GOLDEN=1 to regenerate after an INTENTIONAL
+// format change (and bump kModelArtifactFormatVersion when doing so).
+
+#ifndef SLAMPRED_TEST_DATA_DIR
+#define SLAMPRED_TEST_DATA_DIR "tests/data"
+#endif
+
+std::string GoldenPath(const char* name) {
+  return std::string(SLAMPRED_TEST_DATA_DIR) + "/" + name;
+}
+
+TEST(GoldenArtifactTest, WriterRegeneratesFixtures) {
+  if (std::getenv("SLAMPRED_WRITE_GOLDEN") == nullptr) {
+    GTEST_SKIP() << "set SLAMPRED_WRITE_GOLDEN=1 to regenerate fixtures";
+  }
+  ASSERT_TRUE(WriteStringToFile(ValidArtifactBytes(),
+                                GoldenPath("golden_dense_v1.slpmodel"))
+                  .ok());
+  ASSERT_TRUE(WriteStringToFile(ValidFactoredArtifactBytes(),
+                                GoldenPath("golden_factored_v1.slpmodel"))
+                  .ok());
+  ASSERT_TRUE(
+      WriteStringToFile(SerializeModelArtifact(ValidShardedArtifact()),
+                        GoldenPath("golden_sharded_v1.slpmodel"))
+          .ok());
+  ASSERT_TRUE(WriteStringToFile(ValidQuantizedArtifactBytes(),
+                                GoldenPath("golden_quantized_u8_v1.slpmodel"))
+                  .ok());
+}
+
+TEST(GoldenArtifactTest, DenseFixtureLoadsBitExact) {
+  auto bytes = ReadFileToString(GoldenPath("golden_dense_v1.slpmodel"));
+  ASSERT_TRUE(bytes.ok()) << bytes.status().ToString();
+  auto artifact = DeserializeModelArtifact(bytes.value());
+  ASSERT_TRUE(artifact.ok()) << artifact.status().ToString();
+  // The committed fixture is exactly what today's writer produces.
+  EXPECT_EQ(bytes.value(), ValidArtifactBytes());
+  EXPECT_EQ(artifact.value().s, ValidArtifact().s);
+  auto session = ScoringSession::FromArtifact(std::move(artifact).value());
+  ASSERT_TRUE(session.ok());
+  EXPECT_EQ(session.value().ScoreUnchecked(1, 2), 0.25 + 0.25);
+}
+
+TEST(GoldenArtifactTest, FactoredFixtureLoadsBitExact) {
+  auto bytes = ReadFileToString(GoldenPath("golden_factored_v1.slpmodel"));
+  ASSERT_TRUE(bytes.ok()) << bytes.status().ToString();
+  EXPECT_EQ(bytes.value(), ValidFactoredArtifactBytes());
+  auto artifact = DeserializeModelArtifact(bytes.value());
+  ASSERT_TRUE(artifact.ok()) << artifact.status().ToString();
+  EXPECT_TRUE(artifact.value().has_low_rank);
+  auto session = ScoringSession::FromArtifact(std::move(artifact).value());
+  ASSERT_TRUE(session.ok());
+  EXPECT_EQ(session.value().backend(), ScoringSession::Backend::kFactored);
+}
+
+TEST(GoldenArtifactTest, ShardedFixtureLoadsBitExact) {
+  auto bytes = ReadFileToString(GoldenPath("golden_sharded_v1.slpmodel"));
+  ASSERT_TRUE(bytes.ok()) << bytes.status().ToString();
+  EXPECT_EQ(bytes.value(), SerializeModelArtifact(ValidShardedArtifact()));
+  auto artifact = DeserializeModelArtifact(bytes.value());
+  ASSERT_TRUE(artifact.ok()) << artifact.status().ToString();
+  ASSERT_TRUE(artifact.value().has_shards);
+  const ModelArtifact oracle = ValidShardedArtifact();
+  for (std::size_t u = 0; u < 6; ++u) {
+    for (std::size_t v = 0; v < 6; ++v) {
+      EXPECT_EQ(artifact.value().shards.At(u, v), oracle.shards.At(u, v));
+    }
+  }
+}
+
+TEST(GoldenArtifactTest, QuantizedFixtureLoadsBitExactAndReserializes) {
+  auto bytes = ReadFileToString(GoldenPath("golden_quantized_u8_v1.slpmodel"));
+  ASSERT_TRUE(bytes.ok()) << bytes.status().ToString();
+  // Today's quantizer reproduces the committed bytes exactly...
+  EXPECT_EQ(bytes.value(), ValidQuantizedArtifactBytes());
+  auto artifact = DeserializeModelArtifact(bytes.value());
+  ASSERT_TRUE(artifact.ok()) << artifact.status().ToString();
+  // ...and a quantized artifact written today re-loads bit-exact:
+  // parse → re-serialize is the identity on the byte stream.
+  EXPECT_EQ(SerializeModelArtifact(artifact.value()), bytes.value());
+  auto session = ScoringSession::FromArtifact(std::move(artifact).value());
+  ASSERT_TRUE(session.ok());
+  EXPECT_EQ(session.value().backend(), ScoringSession::Backend::kQuantized);
 }
 
 }  // namespace

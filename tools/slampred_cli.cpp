@@ -17,10 +17,24 @@
 //                    [--solver dense|factored] [--rank R]
 //                    [--partition none|auto] [--max-cluster N]
 //                    [--min-cluster N] [--inner N] [--outer N]
+//                    [--quantize off|u8|u16] [--hot-users N]
+//                    [--hot-row-entries N]
 //                    [--io-policy POLICY] [--stats-json PATH]
 //       Fit once on the full observed structure and write a versioned
 //       binary model artifact. The artifact can then be served over and
 //       over (`predict --model`, `serve-bench`) with no refit.
+//       --quantize writes the score payload as per-row u8/u16 codes
+//       (DESIGN.md §15) and --hot-users N snapshots the top-K rows of
+//       the first N users from the float scores before they are
+//       dropped; the fit report and --stats-json carry the quantized
+//       vs float byte counts.
+//
+//   slampred_cli quantize --model FILE --out FILE [--quantize u8|u16]
+//                         [--hot-users N] [--hot-row-entries N]
+//                         [--stats-json PATH]
+//       Rewrite an existing float artifact in quantized form (default
+//       u8) without refitting — the cheap path for large models: fit
+//       once in float, quantize in seconds.
 //
 //   slampred_cli predict --target FILE --source FILE --anchors FILE
 //                        [--method NAME] [--top K] [--io-policy POLICY]
@@ -43,6 +57,9 @@
 //                            [--batch 0|1] [--request-pairs N] [--topk K]
 //                            [--swap-under-load 0|1] [--deadline-ms MS]
 //                            [--queue-cap N] [--shed-policy newest|oldest]
+//                            [--quantize off|u8|u16] [--hot-users N]
+//                            [--hot-row-entries N]
+//                            [--auc-pairs N] [--target FILE]
 //                            [--chaos 0|1] [--json PATH]
 //       Concurrent serving load generator (ModelRegistry +
 //       ScoringService): closed-loop (N caller threads back-to-back) or
@@ -56,6 +73,13 @@
 //       verifies every full-tier response bit-exactly. Reports
 //       throughput, p50/p95/p99 latency, the error taxonomy and serve
 //       tiers; --json writes the report (BENCH_serve.json) for CI.
+//       --quantize serves the quantized transform of the artifact
+//       instead of the float form; --hot-users N precomputes top-K
+//       rows for the first N users (served as tier `cached`);
+//       --auc-pairs N with --target FILE adds a sampled
+//       link-prediction AUC to the report, so quantized and float runs
+//       can be compared. The report always carries artifact bytes,
+//       float-equivalent bytes, hot-row counts and the cache hit rate.
 //
 //   slampred_cli evaluate --target FILE --source FILE --anchors FILE
 //                         [--method NAME] [--folds K] [--io-policy POLICY]
@@ -117,6 +141,8 @@
 #include "datagen/aligned_generator.h"
 #include "eval/experiment.h"
 #include "graph/graph_io.h"
+#include "linalg/quantized_matrix.h"
+#include "serve/artifact_quantizer.h"
 #include "serve/load_generator.h"
 #include "util/binary_io.h"
 #include "util/stopwatch.h"
@@ -349,14 +375,117 @@ Status ApplyBudgetFlags(const Flags& flags, SlamPredConfig& config) {
 // serve-bench summaries.
 std::string ArtifactBackendSummary(const ModelArtifact& artifact) {
   if (artifact.has_shards) {
-    return "sharded, " + std::to_string(artifact.shards.num_shards()) +
-           " shard(s), max rank " +
-           std::to_string(artifact.shards.MaxRank());
+    std::string out = "sharded, " +
+                      std::to_string(artifact.shards.num_shards()) +
+                      " shard(s)";
+    if (artifact.shards.IsQuantized()) {
+      out += ", quantized";
+    } else {
+      out += ", max rank " + std::to_string(artifact.shards.MaxRank());
+    }
+    return out;
+  }
+  if (artifact.has_quantized_s) {
+    return std::string("quantized ") +
+           QuantizationBitsName(artifact.quantized_s.bits());
   }
   if (artifact.has_low_rank) {
     return "factored, rank " + std::to_string(artifact.low_rank.rank());
   }
   return "dense";
+}
+
+// On-disk size of `path` (0 when unreadable).
+std::uint64_t FileSizeBytes(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return 0;
+  std::fseek(file, 0, SEEK_END);
+  const long size = std::ftell(file);
+  std::fclose(file);
+  return size < 0 ? 0 : static_cast<std::uint64_t>(size);
+}
+
+// --quantize off|u8|u16 → nullopt / the code width. `fallback` is the
+// mode used when the flag is absent ("off" everywhere except the
+// quantize subcommand, which defaults to u8).
+Result<std::optional<QuantizationBits>> QuantizeBitsFromFlags(
+    const Flags& flags, const std::string& fallback) {
+  const std::string mode = flags.Get("quantize", fallback);
+  if (mode == "off") return std::optional<QuantizationBits>{};
+  if (mode == "u8") {
+    return std::optional<QuantizationBits>{QuantizationBits::kU8};
+  }
+  if (mode == "u16") {
+    return std::optional<QuantizationBits>{QuantizationBits::kU16};
+  }
+  return Status::InvalidArgument("--quantize must be off, u8 or u16, got " +
+                                 mode);
+}
+
+// The quantizer options shared by fit/predict/quantize: code width from
+// `bits`, hot-user set from --hot-users N (the first N ids) and
+// --hot-row-entries.
+ArtifactQuantizerOptions QuantizerOptionsFromFlags(const Flags& flags,
+                                                   QuantizationBits bits) {
+  ArtifactQuantizerOptions options;
+  options.bits = bits;
+  options.hot_user_count = static_cast<std::size_t>(
+      std::stoull(flags.Get("hot-users", "0")));
+  options.hot_row_entries = static_cast<std::size_t>(
+      std::stoull(flags.Get("hot-row-entries", "256")));
+  return options;
+}
+
+// Sampled link-prediction AUC of the served scores: `sample_pairs`
+// random observed edges as positives against as many random non-edges,
+// drawn deterministically from `seed`. Returns −1 when the sample is
+// degenerate (no edges, or the graph does not match the model).
+double SampledAuc(const ScoringSession& session, const SocialGraph& observed,
+                  std::size_t sample_pairs, std::uint64_t seed) {
+  const std::size_t n = session.num_users();
+  if (sample_pairs == 0 || observed.num_users() != n) return -1.0;
+  const std::vector<UserPair> edges = observed.Edges();
+  if (edges.empty() || observed.Density() >= 1.0) return -1.0;
+
+  std::uint64_t state = seed;
+  const auto next = [&state]() {
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  };
+
+  std::vector<double> positives;
+  positives.reserve(sample_pairs);
+  for (std::size_t i = 0; i < sample_pairs; ++i) {
+    const UserPair& edge = edges[next() % edges.size()];
+    positives.push_back(session.ScoreUnchecked(edge.u, edge.v));
+  }
+  std::vector<double> negatives;
+  negatives.reserve(sample_pairs);
+  for (std::size_t attempts = 0;
+       negatives.size() < sample_pairs && attempts < sample_pairs * 100;
+       ++attempts) {
+    const std::size_t u = static_cast<std::size_t>(next() % n);
+    const std::size_t v = static_cast<std::size_t>(next() % n);
+    if (u == v || observed.HasEdge(u, v)) continue;
+    negatives.push_back(session.ScoreUnchecked(u, v));
+  }
+  if (negatives.empty()) return -1.0;
+
+  double wins = 0.0;
+  for (const double p : positives) {
+    for (const double q : negatives) {
+      if (p > q) {
+        wins += 1.0;
+      } else if (p == q) {
+        wins += 0.5;
+      }
+    }
+  }
+  return wins / (static_cast<double>(positives.size()) *
+                 static_cast<double>(negatives.size()));
 }
 
 // The SLAMPRED config both `fit` and the fitting form of `predict` use,
@@ -452,14 +581,18 @@ int PrintTopPredictions(const LinkPredictor& scorer,
 int Fit(const Flags& flags) {
   const auto model_path = flags.GetRequired("save-model");
   if (!model_path.has_value()) return 2;
+  auto quantize_bits = QuantizeBitsFromFlags(flags, "off");
+  if (!quantize_bits.ok()) {
+    std::fprintf(stderr, "%s\n", quantize_bits.status().ToString().c_str());
+    return 2;
+  }
   auto fitted = FitFromFlags(flags);
   if (!fitted.ok()) {
     std::fprintf(stderr, "%s\n", fitted.status().ToString().c_str());
     return 1;
   }
   const SlamPred& model = fitted.value().first;
-  const int report_rc = EmitFitReport(flags, MakeFitReport(model));
-  if (report_rc != 0) return report_rc;
+  FitReport report = MakeFitReport(model);
 
   const std::string save_tensors = flags.Get("save-tensors", "0");
   auto artifact = MakeModelArtifact(
@@ -468,15 +601,102 @@ int Fit(const Flags& flags) {
     std::fprintf(stderr, "%s\n", artifact.status().ToString().c_str());
     return 1;
   }
+  report.artifact.present = true;
+  if (quantize_bits.value().has_value()) {
+    ArtifactQuantizeReport quantize_report;
+    auto quantized = QuantizeModelArtifact(
+        std::move(artifact).value(),
+        QuantizerOptionsFromFlags(flags, *quantize_bits.value()), &quantize_report);
+    if (!quantized.ok()) {
+      std::fprintf(stderr, "%s\n", quantized.status().ToString().c_str());
+      return 1;
+    }
+    artifact = std::move(quantized).value();
+    report.artifact.mode = QuantizationBitsName(*quantize_bits.value());
+    report.artifact.float_artifact_bytes = quantize_report.float_bytes;
+    report.artifact.hot_rows = quantize_report.hot_rows;
+  }
   const std::string bytes = SerializeModelArtifact(artifact.value());
+  report.artifact.artifact_bytes = bytes.size();
+  if (report.artifact.mode == "float") {
+    report.artifact.float_artifact_bytes = bytes.size();
+  }
   const Status saved = SaveModelArtifact(artifact.value(), *model_path);
   if (!saved.ok()) {
     std::fprintf(stderr, "%s\n", saved.ToString().c_str());
     return 1;
   }
-  std::printf("wrote model artifact %s (%zu bytes, format v%u, %s)\n",
+  const int report_rc = EmitFitReport(flags, report);
+  if (report_rc != 0) return report_rc;
+  std::printf("wrote model artifact %s (%zu bytes, format v%u, %s, %s)\n",
               model_path->c_str(), bytes.size(), kModelArtifactFormatVersion,
-              SlamPredVariantName(model.config()));
+              SlamPredVariantName(model.config()),
+              ArtifactBackendSummary(artifact.value()).c_str());
+  return 0;
+}
+
+// `quantize --model IN --out OUT [--quantize u8|u16] [--hot-users N]
+// [--hot-row-entries N]`: rewrites a float artifact with quantized
+// score sections plus a precomputed hot-user cache — no refit, so a
+// 9-minute fit quantizes in seconds.
+int Quantize(const Flags& flags) {
+  const auto model_path = flags.GetRequired("model");
+  const auto out_path = flags.GetRequired("out");
+  if (!model_path || !out_path) return 2;
+  auto quantize_bits = QuantizeBitsFromFlags(flags, "u8");
+  if (!quantize_bits.ok()) {
+    std::fprintf(stderr, "%s\n", quantize_bits.status().ToString().c_str());
+    return 2;
+  }
+  if (!quantize_bits.value().has_value()) {
+    std::fprintf(stderr, "quantize needs --quantize u8 or u16\n");
+    return 2;
+  }
+  auto artifact = LoadModelArtifact(*model_path);
+  if (!artifact.ok()) {
+    std::fprintf(stderr, "%s\n", artifact.status().ToString().c_str());
+    return 1;
+  }
+  Stopwatch watch;
+  ArtifactQuantizeReport report;
+  auto quantized = QuantizeModelArtifact(
+      std::move(artifact).value(),
+      QuantizerOptionsFromFlags(flags, *quantize_bits.value()), &report);
+  if (!quantized.ok()) {
+    std::fprintf(stderr, "%s\n", quantized.status().ToString().c_str());
+    return 1;
+  }
+  const Status saved = SaveModelArtifact(quantized.value(), *out_path);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "%s\n", saved.ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "quantized %s -> %s (%s): %llu bytes from %llu float bytes "
+      "(%.2fx smaller), %zu hot row(s), %.2f s\n",
+      model_path->c_str(), out_path->c_str(),
+      QuantizationBitsName(*quantize_bits.value()),
+      static_cast<unsigned long long>(report.quantized_bytes),
+      static_cast<unsigned long long>(report.float_bytes), report.shrink(),
+      report.hot_rows, watch.ElapsedSeconds());
+  if (flags.Has("stats-json")) {
+    std::string json = "{\"mode\":\"";
+    json += QuantizationBitsName(*quantize_bits.value());
+    json += "\",\"artifact_bytes\":" + std::to_string(report.quantized_bytes);
+    json += ",\"float_artifact_bytes\":" + std::to_string(report.float_bytes);
+    json += ",\"hot_rows\":" + std::to_string(report.hot_rows);
+    json += "}\n";
+    const std::string json_path = flags.Get("stats-json", "-");
+    if (json_path == "-") {
+      std::fwrite(json.data(), 1, json.size(), stdout);
+    } else {
+      const Status written = WriteStringToFile(json, json_path);
+      if (!written.ok()) {
+        std::fprintf(stderr, "%s\n", written.ToString().c_str());
+        return 1;
+      }
+    }
+  }
   return 0;
 }
 
@@ -500,7 +720,25 @@ int PredictFromArtifact(const Flags& flags, std::size_t top_k) {
   const SocialGraph observed =
       SocialGraph::FromHeterogeneousNetwork(target.value());
 
-  auto session = ScoringSession::FromFile(*model_path);
+  auto quantize_bits = QuantizeBitsFromFlags(flags, "off");
+  if (!quantize_bits.ok()) {
+    std::fprintf(stderr, "%s\n", quantize_bits.status().ToString().c_str());
+    return 2;
+  }
+  auto session = [&]() -> Result<ScoringSession> {
+    if (!quantize_bits.value().has_value()) {
+      return ScoringSession::FromFile(*model_path);
+    }
+    // --quantize: transform the loaded float artifact in memory and
+    // serve the dequantizing session instead.
+    auto artifact = LoadModelArtifact(*model_path);
+    if (!artifact.ok()) return artifact.status();
+    auto quantized = QuantizeModelArtifact(
+        std::move(artifact).value(),
+        QuantizerOptionsFromFlags(flags, *quantize_bits.value()));
+    if (!quantized.ok()) return quantized.status();
+    return ScoringSession::FromArtifact(std::move(quantized).value());
+  }();
   if (!session.ok()) {
     std::fprintf(stderr, "%s\n", session.status().ToString().c_str());
     return 1;
@@ -522,6 +760,11 @@ int Predict(const Flags& flags) {
       std::stoull(flags.Get("top", "20")));
   if (flags.Has("model")) return PredictFromArtifact(flags, top_k);
 
+  auto quantize_bits = QuantizeBitsFromFlags(flags, "off");
+  if (!quantize_bits.ok()) {
+    std::fprintf(stderr, "%s\n", quantize_bits.status().ToString().c_str());
+    return 2;
+  }
   auto fitted = FitFromFlags(flags);
   if (!fitted.ok()) {
     std::fprintf(stderr, "%s\n", fitted.status().ToString().c_str());
@@ -530,6 +773,30 @@ int Predict(const Flags& flags) {
   const SlamPred& model = fitted.value().first;
   const int report_rc = EmitFitReport(flags, MakeFitReport(model));
   if (report_rc != 0) return report_rc;
+  if (quantize_bits.value().has_value()) {
+    // --quantize: rank from the quantized artifact the fit would ship,
+    // not the float model — the scores readers of the output will see.
+    auto artifact = MakeModelArtifact(model, false);
+    if (!artifact.ok()) {
+      std::fprintf(stderr, "%s\n", artifact.status().ToString().c_str());
+      return 1;
+    }
+    auto quantized = QuantizeModelArtifact(
+        std::move(artifact).value(),
+        QuantizerOptionsFromFlags(flags, *quantize_bits.value()));
+    if (!quantized.ok()) {
+      std::fprintf(stderr, "%s\n", quantized.status().ToString().c_str());
+      return 1;
+    }
+    auto session = ScoringSession::FromArtifact(std::move(quantized).value());
+    if (!session.ok()) {
+      std::fprintf(stderr, "%s\n", session.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("ranking from quantized scores (%s)\n",
+                QuantizationBitsName(*quantize_bits.value()));
+    return PrintTopPredictions(session.value(), fitted.value().second, top_k);
+  }
   return PrintTopPredictions(model, fitted.value().second, top_k);
 }
 
@@ -561,8 +828,50 @@ int ServeLoadGen(const Flags& flags, const std::string& model_path) {
   const std::string chaos = flags.Get("chaos", "0");
   options.chaos = chaos == "1" || chaos == "true";
 
-  ModelRegistry registry;
-  const Status swapped = registry.SwapFromFile(model_path);
+  auto quantize_bits = QuantizeBitsFromFlags(flags, "off");
+  if (!quantize_bits.ok()) {
+    std::fprintf(stderr, "%s\n", quantize_bits.status().ToString().c_str());
+    return 2;
+  }
+  const std::size_t hot_users = static_cast<std::size_t>(
+      std::stoull(flags.Get("hot-users", "0")));
+  ModelRegistryOptions registry_options;
+  registry_options.hot_row_entries = static_cast<std::size_t>(
+      std::stoull(flags.Get("hot-row-entries", "256")));
+  registry_options.hot_users.reserve(hot_users);
+  for (std::size_t u = 0; u < hot_users; ++u) {
+    registry_options.hot_users.push_back(static_cast<std::uint32_t>(u));
+  }
+
+  ModelRegistry registry(registry_options);
+  std::uint64_t artifact_bytes = 0;
+  std::uint64_t float_equiv_bytes = 0;
+  Status swapped = Status::OK();
+  if (quantize_bits.value().has_value()) {
+    // --quantize: transform the float artifact in memory, then publish
+    // the quantized form — the hot-user cache the quantizer snapshots
+    // rides in, so the registry precomputes nothing at swap time.
+    auto artifact = LoadModelArtifact(model_path);
+    if (!artifact.ok()) {
+      std::fprintf(stderr, "%s\n", artifact.status().ToString().c_str());
+      return 1;
+    }
+    ArtifactQuantizeReport quantize_report;
+    auto quantized = QuantizeModelArtifact(
+        std::move(artifact).value(),
+        QuantizerOptionsFromFlags(flags, *quantize_bits.value()), &quantize_report);
+    if (!quantized.ok()) {
+      std::fprintf(stderr, "%s\n", quantized.status().ToString().c_str());
+      return 1;
+    }
+    artifact_bytes = quantize_report.quantized_bytes;
+    float_equiv_bytes = quantize_report.float_bytes;
+    swapped = registry.Swap(std::move(quantized).value());
+  } else {
+    swapped = registry.SwapFromFile(model_path);
+    artifact_bytes = FileSizeBytes(model_path);
+    float_equiv_bytes = artifact_bytes;
+  }
   if (!swapped.ok()) {
     std::fprintf(stderr, "%s\n", swapped.ToString().c_str());
     return 1;
@@ -611,6 +920,33 @@ int ServeLoadGen(const Flags& flags, const std::string& model_path) {
   if (!report.ok()) {
     std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
     return 1;
+  }
+  report.value().artifact_bytes = artifact_bytes;
+  report.value().float_equiv_bytes = float_equiv_bytes;
+
+  // --auc-pairs N with --target FILE: sampled link-prediction AUC of
+  // the served scores (quantized or float) against the observed graph,
+  // so the CI leg can assert quantized AUC stays within tolerance of
+  // the float run.
+  const std::size_t auc_pairs = static_cast<std::size_t>(
+      std::stoull(flags.Get("auc-pairs", "0")));
+  if (auc_pairs > 0) {
+    const std::string target_path = flags.Get("target", "");
+    if (target_path.empty()) {
+      std::fprintf(stderr, "--auc-pairs needs --target FILE; skipping AUC\n");
+    } else {
+      ParseStats stats;
+      auto target = LoadNetwork(target_path, ParseOptions{}, &stats);
+      if (!target.ok()) {
+        std::fprintf(stderr, "%s\n", target.status().ToString().c_str());
+        return 1;
+      }
+      const SocialGraph observed =
+          SocialGraph::FromHeterogeneousNetwork(target.value());
+      const auto served = registry.Acquire();
+      report.value().auc =
+          SampledAuc(served->session, observed, auc_pairs, options.seed);
+    }
   }
   std::printf("%s\n", report.value().ToString().c_str());
   const RecoveryStats recovery = service.recovery();
@@ -774,7 +1110,7 @@ int Evaluate(const Flags& flags) {
 void Usage() {
   std::fprintf(stderr,
                "usage: slampred_cli "
-               "<generate|fit|predict|serve-bench|evaluate> [--flag "
+               "<generate|fit|predict|quantize|serve-bench|evaluate> [--flag "
                "value ...]\n       see the header comment of "
                "tools/slampred_cli.cpp\n");
 }
@@ -800,6 +1136,7 @@ int main(int argc, char** argv) {
   if (command == "generate") return Generate(flags);
   if (command == "fit") return Fit(flags);
   if (command == "predict") return Predict(flags);
+  if (command == "quantize") return Quantize(flags);
   if (command == "serve-bench") return ServeBench(flags);
   if (command == "evaluate") return Evaluate(flags);
   Usage();
